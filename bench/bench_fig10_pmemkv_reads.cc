@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Figure 10: number of NVM reads of the PMEMKV benchmarks, normalized
+ * to the baseline-security scheme.
+ */
+
+#include "bench/suites.hh"
+
+using namespace fsencr;
+using namespace fsencr::bench;
+
+int
+main(int argc, char **argv)
+{
+    auto rows = runPmemkvRows(quickMode(argc, argv));
+    printFigure("Figure 10: Number of reads (normalized to baseline): "
+                "PMEMKV benchmarks",
+                rows, Metric::Reads, Scheme::BaselineSecurity,
+                {Scheme::NoEncryption, Scheme::FsEncr});
+    return 0;
+}

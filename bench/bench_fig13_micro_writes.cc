@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Figure 13: NVM writes of the synthetic DAX micro-benchmarks,
+ * normalized to the baseline-security scheme.
+ */
+
+#include "bench/suites.hh"
+
+using namespace fsencr;
+using namespace fsencr::bench;
+
+int
+main(int argc, char **argv)
+{
+    auto rows = runMicroRows(quickMode(argc, argv));
+    printFigure("Figure 13: Number of writes (normalized to "
+                "baseline): synthetic micro-benchmarks",
+                rows, Metric::Writes, Scheme::BaselineSecurity,
+                {Scheme::NoEncryption, Scheme::FsEncr});
+    return 0;
+}

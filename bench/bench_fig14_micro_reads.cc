@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Figure 14: NVM reads of the synthetic DAX micro-benchmarks,
+ * normalized to the baseline-security scheme.
+ */
+
+#include "bench/suites.hh"
+
+using namespace fsencr;
+using namespace fsencr::bench;
+
+int
+main(int argc, char **argv)
+{
+    auto rows = runMicroRows(quickMode(argc, argv));
+    printFigure("Figure 14: Number of reads (normalized to baseline): "
+                "synthetic micro-benchmarks",
+                rows, Metric::Reads, Scheme::BaselineSecurity,
+                {Scheme::NoEncryption, Scheme::FsEncr});
+    return 0;
+}

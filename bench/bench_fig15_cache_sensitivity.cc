@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Figure 15: sensitivity of the FsEncr slowdown (vs. baseline
+ * security) to the metadata-cache size, for one workload from each
+ * suite: Fillrandom-L (PMEMKV), Hashmap (Whisper) and DAX-2
+ * (synthetic). Real workloads should improve steeply with cache size;
+ * the synthetic stride barely improves.
+ */
+
+#include <cstdio>
+
+#include "bench/suites.hh"
+
+using namespace fsencr;
+using namespace fsencr::bench;
+
+namespace {
+
+double
+slowdownAt(const WorkloadFactory &factory, std::size_t cache_bytes)
+{
+    SimConfig cfg;
+    cfg.sec.metadataCacheBytes = cache_bytes;
+    BenchRow row = runRow("sweep", factory,
+                          {Scheme::BaselineSecurity, Scheme::FsEncr},
+                          cfg);
+    double base = static_cast<double>(
+        row.cells.at(Scheme::BaselineSecurity).ticks);
+    double fsenc =
+        static_cast<double>(row.cells.at(Scheme::FsEncr).ticks);
+    return (fsenc / base - 1.0) * 100.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = quickMode(argc, argv);
+
+    workloads::PmemkvConfig fill;
+    fill.op = workloads::PmemkvOp::FillRandom;
+    fill.valueBytes = 4096;
+    fill.numKeys = quick ? 256 : 2048;
+    fill.numOps = fill.numKeys;
+
+    workloads::WhisperConfig hashmap;
+    hashmap.kind = workloads::WhisperKind::Hashmap;
+    hashmap.numKeys = quick ? 4096 : 32768;
+    hashmap.numOps = hashmap.numKeys;
+    hashmap.valueBytes = 128;
+    hashmap.readRatio = 0.3;
+
+    workloads::DaxMicroConfig dax2;
+    dax2.kind = workloads::DaxMicroKind::Dax2;
+    dax2.spanBytes = quick ? (4 << 20) : (32 << 20);
+
+    struct Line
+    {
+        const char *name;
+        WorkloadFactory factory;
+    };
+    std::vector<Line> lines = {
+        {"Fillrandom-L",
+         [fill]() {
+             return std::make_unique<workloads::PmemkvWorkload>(fill);
+         }},
+        {"Hashmap",
+         [hashmap]() {
+             return std::make_unique<workloads::WhisperWorkload>(
+                 hashmap);
+         }},
+        {"DAX-2",
+         [dax2]() {
+             return std::make_unique<workloads::DaxMicroWorkload>(
+                 dax2);
+         }},
+    };
+
+    const std::size_t sizes[] = {128 << 10, 256 << 10, 512 << 10,
+                                 1 << 20, 2 << 20};
+
+    std::printf("\nFigure 15: Sensitivity to metadata cache size\n");
+    std::printf("(FsEncr slowdown over baseline security, percent)\n");
+    std::printf("%-14s", "cache size");
+    for (const Line &l : lines)
+        std::printf(" %14s", l.name);
+    std::printf("\n");
+
+    for (std::size_t size : sizes) {
+        std::printf("%-14s",
+                    (std::to_string(size >> 10) + "KB").c_str());
+        for (const Line &l : lines)
+            std::printf(" %13.2f%%", slowdownAt(l.factory, size));
+        std::printf("\n");
+    }
+    return 0;
+}

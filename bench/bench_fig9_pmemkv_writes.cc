@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Figure 9: number of NVM writes of the PMEMKV benchmarks, normalized
+ * to the baseline-security scheme.
+ */
+
+#include "bench/suites.hh"
+
+using namespace fsencr;
+using namespace fsencr::bench;
+
+int
+main(int argc, char **argv)
+{
+    auto rows = runPmemkvRows(quickMode(argc, argv));
+    printFigure("Figure 9: Number of writes (normalized to baseline): "
+                "PMEMKV benchmarks",
+                rows, Metric::Writes, Scheme::BaselineSecurity,
+                {Scheme::NoEncryption, Scheme::FsEncr});
+    return 0;
+}

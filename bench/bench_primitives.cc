@@ -1,0 +1,158 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator's primitive
+ * building blocks: AES, SHA-256, CTR pad generation, cache model
+ * accesses, OTT lookups and device timing. These bound the host cost
+ * of simulation and document the crypto substrate's raw throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "common/rng.hh"
+#include "crypto/aes.hh"
+#include "crypto/ctr_mode.hh"
+#include "crypto/sha256.hh"
+#include "fsenc/ott.hh"
+#include "mem/nvm_device.hh"
+#include "mem/phys_layout.hh"
+#include "secmem/merkle_tree.hh"
+
+using namespace fsencr;
+
+static void
+BM_AesEncryptBlock(benchmark::State &state)
+{
+    Rng rng(1);
+    crypto::Aes128 aes(crypto::randomKey(rng));
+    crypto::Block128 blk;
+    rng.fill(blk.data(), blk.size());
+    for (auto _ : state) {
+        blk = aes.encryptBlock(blk);
+        benchmark::DoNotOptimize(blk);
+    }
+    state.SetBytesProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_AesEncryptBlock);
+
+static void
+BM_AesKeySchedule(benchmark::State &state)
+{
+    Rng rng(2);
+    crypto::Key128 key = crypto::randomKey(rng);
+    for (auto _ : state) {
+        crypto::Aes128 aes(key);
+        benchmark::DoNotOptimize(aes);
+    }
+}
+BENCHMARK(BM_AesKeySchedule);
+
+static void
+BM_Sha256Line(benchmark::State &state)
+{
+    Rng rng(3);
+    std::uint8_t line[blockSize];
+    rng.fill(line, sizeof(line));
+    for (auto _ : state) {
+        auto d = crypto::Sha256::digest(line, sizeof(line));
+        benchmark::DoNotOptimize(d);
+    }
+    state.SetBytesProcessed(state.iterations() * blockSize);
+}
+BENCHMARK(BM_Sha256Line);
+
+static void
+BM_MakeOtp(benchmark::State &state)
+{
+    Rng rng(4);
+    crypto::Aes128 aes(crypto::randomKey(rng));
+    std::uint64_t page = 0;
+    for (auto _ : state) {
+        crypto::CtrIv iv{page++, 3, 1, 2};
+        auto pad = crypto::makeOtp(aes, iv);
+        benchmark::DoNotOptimize(pad);
+    }
+    state.SetBytesProcessed(state.iterations() * blockSize);
+}
+BENCHMARK(BM_MakeOtp);
+
+static void
+BM_CacheAccessHit(benchmark::State &state)
+{
+    SetAssocCache cache("bench", 512 << 10, 8);
+    cache.access(0x1000, false);
+    for (auto _ : state) {
+        auto r = cache.access(0x1000, false);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_CacheAccessHit);
+
+static void
+BM_CacheAccessStream(benchmark::State &state)
+{
+    SetAssocCache cache("bench", 512 << 10, 8);
+    Addr a = 0;
+    for (auto _ : state) {
+        auto r = cache.access(a, (a >> 6) & 1);
+        benchmark::DoNotOptimize(r);
+        a += blockSize;
+    }
+}
+BENCHMARK(BM_CacheAccessStream);
+
+static void
+BM_DeviceAccess(benchmark::State &state)
+{
+    NvmDevice dev{PcmParams{}};
+    Rng rng(5);
+    Tick now = 0;
+    for (auto _ : state) {
+        MemRequest req;
+        req.paddr = rng.nextBounded(1ull << 30) & ~63ull;
+        req.isWrite = rng.nextBounded(2) != 0;
+        now += dev.access(req, now) / 4;
+        benchmark::DoNotOptimize(now);
+    }
+}
+BENCHMARK(BM_DeviceAccess);
+
+static void
+BM_OttLookupHit(benchmark::State &state)
+{
+    PhysLayout layout{LayoutParams{}};
+    NvmDevice dev{PcmParams{}};
+    MerkleTree tree(layout, dev, 8);
+    Rng rng(6);
+    OpenTunnelTable ott(SecParams{}, layout, dev, tree,
+                        crypto::randomKey(rng), 1000);
+    for (std::uint32_t i = 0; i < 512; ++i)
+        ott.insert(1, i + 1, crypto::randomKey(rng), 0, false);
+    std::uint32_t fid = 1;
+    for (auto _ : state) {
+        auto r = ott.lookup(1, (fid++ % 512) + 1, 0);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_OttLookupHit);
+
+static void
+BM_MerkleUpdateLeaf(benchmark::State &state)
+{
+    PhysLayout layout{LayoutParams{}};
+    NvmDevice dev{PcmParams{}};
+    MerkleTree tree(layout, dev, 8);
+    Rng rng(7);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        Addr leaf =
+            layout.merkleLeavesBase() + (i++ % 4096) * blockSize;
+        std::uint8_t line[blockSize];
+        rng.fill(line, sizeof(line));
+        dev.writeLine(leaf, line);
+        tree.updateLeaf(leaf);
+    }
+}
+BENCHMARK(BM_MerkleUpdateLeaf);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+#include "bench/harness.hh"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace fsencr {
+namespace bench {
+
+const char *
+metricName(Metric m)
+{
+    switch (m) {
+      case Metric::Slowdown: return "slowdown";
+      case Metric::Writes: return "NVM writes";
+      case Metric::Reads: return "NVM reads";
+    }
+    return "?";
+}
+
+double
+metricValue(const Cell &c, Metric m)
+{
+    switch (m) {
+      case Metric::Slowdown: return static_cast<double>(c.ticks);
+      case Metric::Writes: return static_cast<double>(c.nvmWrites);
+      case Metric::Reads: return static_cast<double>(c.nvmReads);
+    }
+    return 0.0;
+}
+
+BenchRow
+runRow(const std::string &name, const WorkloadFactory &factory,
+       const std::vector<Scheme> &schemes, const SimConfig &base_cfg)
+{
+    BenchRow row;
+    row.name = name;
+    for (Scheme scheme : schemes) {
+        SimConfig cfg = base_cfg;
+        cfg.scheme = scheme;
+        System sys(cfg);
+        auto w = factory();
+        auto t0 = std::chrono::steady_clock::now();
+        workloads::WorkloadResult r = workloads::runWorkload(sys, *w);
+        double host = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        std::fprintf(stderr, "  [%s / %s] %.2fs host\n", name.c_str(),
+                     schemeName(scheme), host);
+        Cell cell;
+        cell.ticks = r.ticks;
+        cell.nvmReads = r.nvmReads;
+        cell.nvmWrites = r.nvmWrites;
+        cell.operations = r.operations;
+        row.cells[scheme] = cell;
+    }
+    return row;
+}
+
+double
+normalizedGeomean(const std::vector<BenchRow> &rows, Metric metric,
+                  Scheme scheme, Scheme base)
+{
+    double log_sum = 0.0;
+    unsigned n = 0;
+    for (const BenchRow &row : rows) {
+        auto it = row.cells.find(scheme);
+        auto bit = row.cells.find(base);
+        if (it == row.cells.end() || bit == row.cells.end())
+            continue;
+        double v = metricValue(it->second, metric);
+        double b = metricValue(bit->second, metric);
+        if (b <= 0.0 || v <= 0.0)
+            continue;
+        log_sum += std::log(v / b);
+        ++n;
+    }
+    return n ? std::exp(log_sum / n) : 0.0;
+}
+
+void
+printFigure(const std::string &title, const std::vector<BenchRow> &rows,
+            Metric metric, Scheme normalize_to,
+            const std::vector<Scheme> &show)
+{
+    std::printf("\n%s\n", title.c_str());
+    std::printf("(%s, normalized to %s)\n", metricName(metric),
+                schemeName(normalize_to));
+
+    std::printf("%-16s", "benchmark");
+    for (Scheme s : show)
+        std::printf(" %22s", schemeName(s));
+    std::printf("\n");
+
+    for (const BenchRow &row : rows) {
+        std::printf("%-16s", row.name.c_str());
+        double base =
+            metricValue(row.cells.at(normalize_to), metric);
+        for (Scheme s : show) {
+            double v = metricValue(row.cells.at(s), metric);
+            if (base > 0.0)
+                std::printf(" %22.3f", v / base);
+            else
+                std::printf(" %22s", "n/a");
+        }
+        std::printf("\n");
+    }
+
+    std::printf("%-16s", "geomean");
+    for (Scheme s : show)
+        std::printf(" %22.3f",
+                    normalizedGeomean(rows, metric, s, normalize_to));
+    std::printf("\n");
+}
+
+} // namespace bench
+} // namespace fsencr

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared benchmark harness: runs a workload factory across protection
+ * schemes on fresh Systems and prints paper-style normalized tables
+ * (slowdown / NVM writes / NVM reads, Figures 3 and 8-15).
+ */
+
+#ifndef FSENCR_BENCH_HARNESS_HH
+#define FSENCR_BENCH_HARNESS_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace fsencr {
+namespace bench {
+
+/** Creates a fresh workload instance (one per scheme run). */
+using WorkloadFactory =
+    std::function<std::unique_ptr<workloads::Workload>()>;
+
+/** Raw measurements of one (workload, scheme) cell. */
+struct Cell
+{
+    Tick ticks = 0;
+    std::uint64_t nvmReads = 0;
+    std::uint64_t nvmWrites = 0;
+    std::uint64_t operations = 0;
+};
+
+/** One row of a figure: a workload across schemes. */
+struct BenchRow
+{
+    std::string name;
+    std::map<Scheme, Cell> cells;
+};
+
+/** Which quantity a figure plots. */
+enum class Metric { Slowdown, Writes, Reads };
+
+const char *metricName(Metric m);
+
+/** Extract the raw metric value from a cell. */
+double metricValue(const Cell &c, Metric m);
+
+/**
+ * Run one workload under each scheme (fresh System per scheme).
+ *
+ * @param base_cfg configuration template; scheme is overridden
+ */
+BenchRow runRow(const std::string &name, const WorkloadFactory &factory,
+                const std::vector<Scheme> &schemes,
+                const SimConfig &base_cfg = SimConfig{});
+
+/**
+ * Print a normalized figure: one line per row, one column per shown
+ * scheme, each value divided by the row's `normalize_to` cell. Ends
+ * with the geometric-mean row the paper quotes.
+ */
+void printFigure(const std::string &title,
+                 const std::vector<BenchRow> &rows, Metric metric,
+                 Scheme normalize_to,
+                 const std::vector<Scheme> &show);
+
+/** Geometric mean of (metric of scheme / metric of base) over rows. */
+double normalizedGeomean(const std::vector<BenchRow> &rows,
+                         Metric metric, Scheme scheme, Scheme base);
+
+} // namespace bench
+} // namespace fsencr
+
+#endif // FSENCR_BENCH_HARNESS_HH

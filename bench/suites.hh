@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared suite builders for the figure benches. Every bench accepts
+ * `--quick` to shrink workload sizes for smoke runs; full sizes
+ * reproduce the paper's figures.
+ */
+
+#ifndef FSENCR_BENCH_SUITES_HH
+#define FSENCR_BENCH_SUITES_HH
+
+#include <cstring>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "workloads/dax_micro.hh"
+#include "workloads/pmemkv_bench.hh"
+#include "workloads/whisper_bench.hh"
+
+namespace fsencr {
+namespace bench {
+
+/** True if --quick appears in argv. */
+inline bool
+quickMode(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--quick") == 0)
+            return true;
+    return false;
+}
+
+/** The three schemes Figures 8-14 compare. */
+inline std::vector<Scheme>
+paperSchemes()
+{
+    return {Scheme::NoEncryption, Scheme::BaselineSecurity,
+            Scheme::FsEncr};
+}
+
+/** Run the PMEMKV suite (Figures 8-10 share these rows). */
+inline std::vector<BenchRow>
+runPmemkvRows(bool quick)
+{
+    std::uint64_t small_keys = quick ? 4096 : 32768;
+    std::uint64_t large_keys = quick ? 256 : 2048;
+    std::vector<BenchRow> rows;
+    for (const auto &cfg :
+         workloads::pmemkvSuite(small_keys, large_keys)) {
+        workloads::PmemkvWorkload probe(cfg);
+        rows.push_back(runRow(
+            probe.name(),
+            [cfg]() {
+                return std::make_unique<workloads::PmemkvWorkload>(
+                    cfg);
+            },
+            paperSchemes()));
+    }
+    return rows;
+}
+
+/** Run the Whisper suite (Figure 11 and Figure 3 share these). */
+inline std::vector<BenchRow>
+runWhisperRows(bool quick, const std::vector<Scheme> &schemes)
+{
+    std::uint64_t keys = quick ? 4096 : 32768;
+    std::vector<BenchRow> rows;
+    for (const auto &cfg : workloads::whisperSuite(keys)) {
+        workloads::WhisperWorkload probe(cfg);
+        rows.push_back(runRow(
+            probe.name(),
+            [cfg]() {
+                return std::make_unique<workloads::WhisperWorkload>(
+                    cfg);
+            },
+            schemes));
+    }
+    return rows;
+}
+
+/** Run the DAX micro suite (Figures 12-14 share these rows). */
+inline std::vector<BenchRow>
+runMicroRows(bool quick)
+{
+    std::vector<BenchRow> rows;
+    for (auto cfg : workloads::daxMicroSuite()) {
+        if (quick) {
+            // Still larger than the LLC so that writeback traffic
+            // (Figure 13) exists even in smoke runs.
+            cfg.spanBytes = 8 << 20;
+            cfg.swapOps = 20000;
+        }
+        workloads::DaxMicroWorkload probe(cfg);
+        rows.push_back(runRow(
+            probe.name(),
+            [cfg]() {
+                return std::make_unique<workloads::DaxMicroWorkload>(
+                    cfg);
+            },
+            paperSchemes()));
+    }
+    return rows;
+}
+
+} // namespace bench
+} // namespace fsencr
+
+#endif // FSENCR_BENCH_SUITES_HH

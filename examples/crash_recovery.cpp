@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Crash consistency walk-through (Sections II-D and III-H): a
+ * persistent log is appended under FsEncr, power fails mid-run, and
+ * the reboot path recovers — Merkle root verification, Osiris counter
+ * recovery via ECC probing, OTT recall from the encrypted spill
+ * region — after which every persisted record is readable and every
+ * unpersisted one is gone.
+ *
+ *   ./build/examples/crash_recovery
+ */
+
+#include <cstdio>
+
+#include "sim/system.hh"
+
+using namespace fsencr;
+
+namespace {
+
+constexpr std::uint64_t recordBytes = 64;
+
+Addr
+recordAddr(Addr base, std::uint64_t i)
+{
+    return base + i * recordBytes;
+}
+
+} // namespace
+
+int
+main()
+{
+    SimConfig cfg;
+    cfg.scheme = Scheme::FsEncr;
+    System sys(cfg);
+    sys.provisionAdmin("admin-pw");
+    sys.bootLogin("admin-pw");
+    sys.addUser("logger", 1000, 100, "logger-pw");
+    std::uint32_t pid = sys.createProcess(1000);
+    sys.runOnCore(0, pid);
+
+    int fd = sys.creat(0, "/pmem/audit.log", 0600, true, "logger-pw");
+    sys.ftruncate(0, fd, 1 << 20);
+    Addr base = sys.mmapFile(0, fd, 1 << 20);
+
+    // Append 1000 records, persisting each one — except the last 3,
+    // which are left dirty in the cache when the power fails.
+    constexpr std::uint64_t persisted = 1000;
+    constexpr std::uint64_t unpersisted = 3;
+    for (std::uint64_t i = 0; i < persisted + unpersisted; ++i) {
+        std::uint64_t stamp = 0xbeef0000 + i;
+        sys.write<std::uint64_t>(0, recordAddr(base, i), stamp);
+        if (i < persisted)
+            sys.persist(0, recordAddr(base, i), recordBytes);
+    }
+
+    std::printf("appended %llu records (%llu persisted), then...\n",
+                static_cast<unsigned long long>(
+                    persisted + unpersisted),
+                static_cast<unsigned long long>(persisted));
+    std::printf("*** POWER FAILURE ***\n\n");
+    sys.crash();
+
+    std::printf("reboot: regenerating the Merkle tree and probing "
+                "counters (Osiris)...\n");
+    bool ok = sys.recover();
+    std::printf("  metadata integrity + counter recovery: %s\n",
+                ok ? "OK" : "FAILED");
+    std::printf("  osiris probes issued : %llu\n",
+                static_cast<unsigned long long>(
+                    sys.mc().statGroup().scalarValue(
+                        "osiris.probes")));
+    std::printf("  counters recovered   : %llu\n",
+                static_cast<unsigned long long>(
+                    sys.mc().statGroup().scalarValue(
+                        "osiris.recovered")));
+    sys.bootLogin("admin-pw");
+
+    // Verify: all persisted records readable, unpersisted ones gone.
+    std::uint64_t good = 0, lost = 0;
+    for (std::uint64_t i = 0; i < persisted; ++i)
+        if (sys.read<std::uint64_t>(0, recordAddr(base, i)) ==
+            0xbeef0000 + i)
+            ++good;
+    for (std::uint64_t i = persisted; i < persisted + unpersisted; ++i)
+        if (sys.read<std::uint64_t>(0, recordAddr(base, i)) !=
+            0xbeef0000 + i)
+            ++lost;
+
+    std::printf("\npersisted records intact : %llu / %llu\n",
+                static_cast<unsigned long long>(good),
+                static_cast<unsigned long long>(persisted));
+    std::printf("unpersisted records lost : %llu / %llu (expected "
+                "— they never reached the persistence domain)\n",
+                static_cast<unsigned long long>(lost),
+                static_cast<unsigned long long>(unpersisted));
+
+    bool success = ok && good == persisted;
+    std::printf("\n%s\n", success ? "recovery complete"
+                                  : "RECOVERY FAILED");
+    return success ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Quickstart: boot a machine with FsEncr, create an encrypted file on
+ * the DAX-mounted NVM filesystem, map it, access it with plain
+ * loads/stores, and show that the device holds ciphertext while the
+ * application sees plaintext at near-baseline speed.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/system.hh"
+
+using namespace fsencr;
+
+int
+main()
+{
+    // 1. Configure the machine (Table III defaults) with FsEncr.
+    SimConfig cfg;
+    cfg.scheme = Scheme::FsEncr;
+    System sys(cfg);
+
+    // 2. Provision & boot: the admin credential unlocks the
+    //    controller's file-decryption path.
+    sys.provisionAdmin("admin-secret");
+    sys.bootLogin("admin-secret");
+
+    // 3. A user and a process.
+    sys.addUser("alice", 1000, 100, "alices-passphrase");
+    std::uint32_t pid = sys.createProcess(1000);
+    sys.runOnCore(0, pid);
+
+    // 4. Create an encrypted file on the DAX filesystem, size it, and
+    //    map it straight into the address space — no page cache.
+    int fd = sys.creat(0, "/pmem/notes.db", 0600, /*encrypted=*/true,
+                       "alices-passphrase");
+    sys.ftruncate(0, fd, 1 << 20);
+    Addr va = sys.mmapFile(0, fd, 1 << 20);
+
+    // 5. Ordinary loads and stores — the DF-bit routes them through
+    //    the file-encryption engine transparently.
+    const char secret[] = "meet me at the usual place at noon";
+    sys.store(0, va, secret, sizeof(secret));
+    sys.persist(0, va, sizeof(secret)); // clwb + fence
+
+    char read_back[sizeof(secret)] = {};
+    sys.load(0, va, read_back, sizeof(read_back));
+    std::printf("application reads : \"%s\"\n", read_back);
+
+    // 6. What does the NVM device actually store? Ciphertext.
+    auto ino = sys.fs().lookup("/pmem/notes.db");
+    Addr page = sys.fs().inode(*ino).blocks[0];
+    std::uint8_t raw[blockSize];
+    sys.device().readLine(page, raw);
+    std::printf("device stores     : ");
+    for (int i = 0; i < 16; ++i)
+        std::printf("%02x", raw[i]);
+    std::printf("...  (%s plaintext)\n",
+                std::memcmp(raw, secret, 16) == 0 ? "IS" : "is NOT");
+
+    // 7. The paper's accounting: how much did encryption cost?
+    std::printf("\nsimulated time    : %.2f us\n",
+                sys.now() / 1e6);
+    std::printf("page faults       : %llu (first touch only)\n",
+                static_cast<unsigned long long>(
+                    sys.kernel().pageFaults()));
+    std::printf("NVM reads/writes  : %llu / %llu\n",
+                static_cast<unsigned long long>(sys.device().numReads()),
+                static_cast<unsigned long long>(
+                    sys.device().numWrites()));
+    std::printf("OTT hits          : %llu\n",
+                static_cast<unsigned long long>(
+                    sys.mc().statGroup().scalarValue("ott.hits")));
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A persistent key-value store on an encrypted DAX file — the
+ * motivating application class of the paper's introduction. Runs the
+ * same B-tree workload under all four schemes and prints the cost of
+ * each protection level.
+ *
+ *   ./build/examples/secure_kv_store
+ */
+
+#include <cstdio>
+
+#include "pmdk/pmem.hh"
+#include "workloads/btree_kv.hh"
+#include "workloads/workload.hh"
+
+using namespace fsencr;
+using namespace fsencr::workloads;
+
+namespace {
+
+struct RunResult
+{
+    Tick ticks;
+    std::uint64_t reads, writes;
+};
+
+RunResult
+runStore(Scheme scheme)
+{
+    SimConfig cfg;
+    cfg.scheme = scheme;
+    System sys(cfg);
+    standardEnvironment(sys, "kv-owner-pass");
+
+    pmdk::PmemPool pool(sys, 0, "/pmem/store.pool", 64 << 20,
+                        /*encrypted=*/true, "kv-owner-pass");
+    BTreeKv kv(pool);
+
+    // Load 4000 user records, then serve a lookup-heavy mix.
+    std::uint8_t record[256];
+    Rng rng(77);
+    sys.beginMeasurement();
+    for (std::uint64_t k = 0; k < 4000; ++k) {
+        rng.fill(record, sizeof(record));
+        kv.put(0, k, record, sizeof(record));
+    }
+    std::uint8_t out[256];
+    for (int i = 0; i < 8000; ++i)
+        kv.get(i % 2, rng.nextBounded(4000), out, sizeof(out));
+
+    return {sys.measuredTicks(), sys.measuredReads(),
+            sys.measuredWrites()};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Persistent B-tree KV store: 4000 inserts + 8000 "
+                "lookups on an encrypted DAX file\n\n");
+    std::printf("%-26s %12s %10s %10s %10s\n", "scheme", "time(us)",
+                "NVM rd", "NVM wr", "vs no-enc");
+
+    double base = 0;
+    for (Scheme s : {Scheme::NoEncryption, Scheme::BaselineSecurity,
+                     Scheme::FsEncr, Scheme::SoftwareEncryption}) {
+        RunResult r = runStore(s);
+        if (base == 0)
+            base = static_cast<double>(r.ticks);
+        std::printf("%-26s %12.1f %10llu %10llu %9.2fx\n",
+                    schemeName(s), r.ticks / 1e6,
+                    static_cast<unsigned long long>(r.reads),
+                    static_cast<unsigned long long>(r.writes),
+                    r.ticks / base);
+    }
+
+    std::printf("\nFsEncr delivers filesystem encryption at a small "
+                "fraction of the software-encryption cost\n");
+    return 0;
+}

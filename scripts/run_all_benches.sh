@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Run every figure/table/ablation bench and collect the outputs.
+#
+# Usage: scripts/run_all_benches.sh [--quick] [output-file]
+set -u
+
+quick=""
+out="bench_output.txt"
+for arg in "$@"; do
+    case "$arg" in
+      --quick) quick="--quick" ;;
+      *) out="$arg" ;;
+    esac
+done
+
+build_dir="$(dirname "$0")/../build"
+: > "$out"
+
+benches=(
+    bench_table1_vulnerability
+    bench_fig3_software_encryption
+    bench_fig8_pmemkv_slowdown
+    bench_fig9_pmemkv_writes
+    bench_fig10_pmemkv_reads
+    bench_fig11_whisper
+    bench_fig12_micro_slowdown
+    bench_fig13_micro_writes
+    bench_fig14_micro_reads
+    bench_fig15_cache_sensitivity
+    bench_ablation_ott
+    bench_ablation_osiris
+    bench_ablation_metacache
+    bench_ablation_rekey
+    bench_recovery_time
+)
+
+for b in "${benches[@]}"; do
+    echo "=== $b ===" | tee -a "$out"
+    "$build_dir/bench/$b" $quick 2>/dev/null | tee -a "$out"
+    echo | tee -a "$out"
+done
+
+echo "=== bench_primitives ===" | tee -a "$out"
+"$build_dir/bench/bench_primitives" \
+    --benchmark_min_time=0.05s 2>/dev/null | tee -a "$out"

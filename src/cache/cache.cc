@@ -1,0 +1,159 @@
+#include "cache/cache.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace fsencr {
+
+SetAssocCache::SetAssocCache(const std::string &name,
+                             std::size_t size_bytes, unsigned assoc,
+                             std::size_t line_bytes)
+    : lineBytes_(line_bytes),
+      lineShift_(floorLog2(line_bytes)),
+      assoc_(assoc),
+      statGroup_(name)
+{
+    if (!isPowerOf2(line_bytes))
+        fatal("cache line size must be a power of two");
+    if (assoc == 0 || size_bytes < line_bytes * assoc)
+        fatal("cache %s: bad geometry (size %zu, assoc %u)",
+              name.c_str(), size_bytes, assoc);
+
+    numSets_ = size_bytes / (line_bytes * assoc);
+    if (!isPowerOf2(numSets_))
+        fatal("cache %s: number of sets (%zu) must be a power of two",
+              name.c_str(), numSets_);
+    lines_.resize(numSets_ * assoc_);
+
+    statGroup_.addScalar("hits", hits_);
+    statGroup_.addScalar("misses", misses_);
+    statGroup_.addScalar("evictions", evictions_);
+    statGroup_.addScalar("writebacks", writebacks_);
+}
+
+std::size_t
+SetAssocCache::setIndex(Addr addr) const
+{
+    return (addr >> lineShift_) & (numSets_ - 1);
+}
+
+Addr
+SetAssocCache::tagOf(Addr addr) const
+{
+    return addr >> lineShift_;
+}
+
+Addr
+SetAssocCache::reconstruct(const Line &l) const
+{
+    return l.tag << lineShift_;
+}
+
+SetAssocCache::Line *
+SetAssocCache::findLine(Addr addr)
+{
+    std::size_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Line &l = lines_[set * assoc_ + w];
+        if (l.valid && l.tag == tag)
+            return &l;
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Line *
+SetAssocCache::findLine(Addr addr) const
+{
+    return const_cast<SetAssocCache *>(this)->findLine(addr);
+}
+
+CacheAccessResult
+SetAssocCache::access(Addr addr, bool is_write)
+{
+    CacheAccessResult res;
+    ++lruClock_;
+
+    if (Line *l = findLine(addr)) {
+        ++hits_;
+        res.hit = true;
+        l->lru = lruClock_;
+        if (is_write)
+            l->dirty = true;
+        return res;
+    }
+
+    ++misses_;
+
+    // Allocate: pick an invalid way, else the LRU way.
+    std::size_t set = setIndex(addr);
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Line &l = lines_[set * assoc_ + w];
+        if (!l.valid) {
+            victim = &l;
+            break;
+        }
+        if (!victim || l.lru < victim->lru)
+            victim = &l;
+    }
+
+    if (victim->valid) {
+        ++evictions_;
+        res.evicted = true;
+        res.victimAddr = reconstruct(*victim);
+        if (victim->dirty) {
+            ++writebacks_;
+            res.writeback = true;
+        }
+    }
+
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tagOf(addr);
+    victim->lru = lruClock_;
+    return res;
+}
+
+bool
+SetAssocCache::probe(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+bool
+SetAssocCache::invalidate(Addr addr)
+{
+    if (Line *l = findLine(addr)) {
+        bool was_dirty = l->dirty;
+        l->valid = false;
+        l->dirty = false;
+        return was_dirty;
+    }
+    return false;
+}
+
+void
+SetAssocCache::clean(Addr addr)
+{
+    if (Line *l = findLine(addr))
+        l->dirty = false;
+}
+
+bool
+SetAssocCache::isDirty(Addr addr) const
+{
+    const Line *l = findLine(addr);
+    return l != nullptr && l->dirty;
+}
+
+void
+SetAssocCache::loseAll()
+{
+    for (Line &l : lines_) {
+        l.valid = false;
+        l.dirty = false;
+    }
+}
+
+} // namespace fsencr

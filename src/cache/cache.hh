@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Generic set-associative writeback cache (tags + LRU, no data array).
+ *
+ * The simulator keeps functional data in backing stores, so caches track
+ * tags, dirty bits and replacement state only. Used for L1/L2/L3, the
+ * security-metadata cache, and (with one set) fully-associative
+ * structures.
+ */
+
+#ifndef FSENCR_CACHE_CACHE_HH
+#define FSENCR_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace fsencr {
+
+/** Result of a cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /** True if the allocation evicted a dirty line. */
+    bool writeback = false;
+    /** Line address of the evicted victim (valid if writeback or
+     *  evicted). */
+    Addr victimAddr = 0;
+    /** True if any valid line was evicted (dirty or clean). */
+    bool evicted = false;
+};
+
+/** Set-associative LRU writeback cache. */
+class SetAssocCache
+{
+  public:
+    /**
+     * @param name stats group name
+     * @param size_bytes total capacity
+     * @param assoc ways per set
+     * @param line_bytes line size (64 everywhere in this model)
+     */
+    SetAssocCache(const std::string &name, std::size_t size_bytes,
+                  unsigned assoc, std::size_t line_bytes = blockSize);
+
+    /**
+     * Look up and, on a miss, allocate the line.
+     *
+     * @param addr any address within the line
+     * @param is_write marks the line dirty on hit or after fill
+     * @return hit/miss and victim information
+     */
+    CacheAccessResult access(Addr addr, bool is_write);
+
+    /** Look up without allocating or touching LRU state. */
+    bool probe(Addr addr) const;
+
+    /**
+     * Remove the line if present.
+     * @return true iff it was present and dirty
+     */
+    bool invalidate(Addr addr);
+
+    /** Mark the line clean if present (e.g., after clwb). */
+    void clean(Addr addr);
+
+    /** True iff the line is present and dirty. */
+    bool isDirty(Addr addr) const;
+
+    /**
+     * Visit every valid line. Visitor gets (addr, dirty). Used for
+     * flush-on-shutdown and crash modeling.
+     */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn) const
+    {
+        for (const Line &l : lines_)
+            if (l.valid)
+                fn(reconstruct(l), l.dirty);
+    }
+
+    /** Drop everything without writeback (power loss). */
+    void loseAll();
+
+    std::size_t numSets() const { return numSets_; }
+    unsigned assoc() const { return assoc_; }
+    std::size_t capacityBytes() const { return numSets_ * assoc_ * lineBytes_; }
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        std::uint64_t lru = 0;
+    };
+
+    std::size_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Addr reconstruct(const Line &l) const;
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+
+    std::size_t lineBytes_;
+    unsigned lineShift_;
+    std::size_t numSets_;
+    unsigned assoc_;
+    std::uint64_t lruClock_ = 0;
+    std::vector<Line> lines_;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar hits_;
+    stats::Scalar misses_;
+    stats::Scalar evictions_;
+    stats::Scalar writebacks_;
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_CACHE_CACHE_HH

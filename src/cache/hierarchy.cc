@@ -1,0 +1,161 @@
+#include "cache/hierarchy.hh"
+
+#include "common/logging.hh"
+
+namespace fsencr {
+
+CacheHierarchy::CacheHierarchy(const CpuParams &params)
+    : params_(params), statGroup_("caches")
+{
+    for (unsigned c = 0; c < params.numCores; ++c) {
+        l1_.push_back(std::make_unique<SetAssocCache>(
+            "l1_" + std::to_string(c), params.l1.sizeBytes,
+            params.l1.assoc));
+        l2_.push_back(std::make_unique<SetAssocCache>(
+            "l2_" + std::to_string(c), params.l2.sizeBytes,
+            params.l2.assoc));
+        statGroup_.addChild(&l1_.back()->statGroup());
+        statGroup_.addChild(&l2_.back()->statGroup());
+    }
+    l3_ = std::make_unique<SetAssocCache>("l3", params.l3.sizeBytes,
+                                          params.l3.assoc);
+    statGroup_.addChild(&l3_->statGroup());
+}
+
+HierarchyResult
+CacheHierarchy::access(unsigned core, Addr addr, bool is_write,
+                       WritebackSink &sink)
+{
+    if (core >= l1_.size())
+        panic("access from core %u but only %zu cores configured", core,
+              l1_.size());
+
+    HierarchyResult res;
+    Addr line = blockAlign(addr);
+
+    // L1.
+    res.cycles += params_.l1.latency;
+    CacheAccessResult r1 = l1_[core]->access(line, is_write);
+    if (r1.writeback) {
+        // Dirty L1 victim is absorbed by L2 (allocate + dirty).
+        CacheAccessResult wr = l2_[core]->access(r1.victimAddr, true);
+        if (wr.writeback) {
+            CacheAccessResult w3 = l3_->access(wr.victimAddr, true);
+            if (w3.writeback)
+                sink.writebackLine(w3.victimAddr);
+        }
+    }
+    if (r1.hit) {
+        res.level = HitLevel::L1;
+        return res;
+    }
+
+    // L2.
+    res.cycles += params_.l2.latency;
+    CacheAccessResult r2 = l2_[core]->access(line, false);
+    if (r2.writeback) {
+        CacheAccessResult w3 = l3_->access(r2.victimAddr, true);
+        if (w3.writeback)
+            sink.writebackLine(w3.victimAddr);
+    }
+    if (r2.hit) {
+        res.level = HitLevel::L2;
+        return res;
+    }
+
+    // L3 (shared).
+    res.cycles += params_.l3.latency;
+    CacheAccessResult r3 = l3_->access(line, false);
+    if (r3.writeback)
+        sink.writebackLine(r3.victimAddr);
+    if (r3.evicted) {
+        // Inclusive L3: back-invalidate the victim upstream; any dirty
+        // copy there supersedes the L3 copy and must reach memory.
+        for (unsigned c = 0; c < l1_.size(); ++c) {
+            bool d1 = l1_[c]->invalidate(r3.victimAddr);
+            bool d2 = l2_[c]->invalidate(r3.victimAddr);
+            if ((d1 || d2) && !r3.writeback)
+                sink.writebackLine(r3.victimAddr);
+        }
+    }
+    if (r3.hit) {
+        res.level = HitLevel::L3;
+        return res;
+    }
+
+    res.level = HitLevel::Memory;
+    return res;
+}
+
+bool
+CacheHierarchy::clwb(unsigned core, Addr addr, WritebackSink &sink)
+{
+    (void)core; // clwb drains the line regardless of which core issues it
+    Addr line = blockAlign(addr);
+    bool dirty = false;
+
+    // clwb semantics: drain the dirty data to memory, but the line may
+    // remain cached clean at every level (unlike clflush).
+    for (unsigned c = 0; c < l1_.size(); ++c) {
+        if (l1_[c]->isDirty(line))
+            dirty = true;
+        l1_[c]->clean(line);
+        if (l2_[c]->isDirty(line))
+            dirty = true;
+        l2_[c]->clean(line);
+    }
+    if (l3_->isDirty(line))
+        dirty = true;
+    l3_->clean(line);
+
+    if (dirty)
+        sink.writebackLine(line);
+    return dirty;
+}
+
+void
+CacheHierarchy::flushAll(WritebackSink &sink)
+{
+    // Gather dirty lines from private caches first (they supersede LLC
+    // copies), then the LLC.
+    std::vector<Addr> dirty_lines;
+    auto gather = [&dirty_lines](Addr addr, bool dirty) {
+        if (dirty)
+            dirty_lines.push_back(addr);
+    };
+    for (unsigned c = 0; c < l1_.size(); ++c) {
+        l1_[c]->forEachLine(gather);
+        l2_[c]->forEachLine(gather);
+    }
+    l3_->forEachLine(gather);
+
+    for (unsigned c = 0; c < l1_.size(); ++c) {
+        l1_[c]->loseAll();
+        l2_[c]->loseAll();
+    }
+    l3_->loseAll();
+
+    for (Addr a : dirty_lines)
+        sink.writebackLine(a);
+}
+
+std::vector<Addr>
+CacheHierarchy::crash()
+{
+    std::vector<Addr> lost;
+    auto gather = [&lost](Addr addr, bool dirty) {
+        if (dirty)
+            lost.push_back(addr);
+    };
+    for (unsigned c = 0; c < l1_.size(); ++c) {
+        l1_[c]->forEachLine(gather);
+        l2_[c]->forEachLine(gather);
+        l1_[c]->loseAll();
+        l2_[c]->loseAll();
+    }
+    l3_->forEachLine(gather);
+    l3_->loseAll();
+    return lost;
+}
+
+} // namespace fsencr

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Three-level cache hierarchy: private L1/L2 per core, shared inclusive
+ * L3. Dirty evictions cascade downward; L3 victims are written back to
+ * the memory controller through a WritebackSink.
+ */
+
+#ifndef FSENCR_CACHE_HIERARCHY_HH
+#define FSENCR_CACHE_HIERARCHY_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace fsencr {
+
+/** Receives line addresses that must be written back to memory. */
+class WritebackSink
+{
+  public:
+    virtual ~WritebackSink() = default;
+    /** The line at addr (full address, may carry DF-bit) left the
+     *  hierarchy dirty and must reach the device. */
+    virtual void writebackLine(Addr addr) = 0;
+};
+
+/** Where a demand access was satisfied. */
+enum class HitLevel { L1, L2, L3, Memory };
+
+/** Result of a hierarchy access. */
+struct HierarchyResult
+{
+    HitLevel level = HitLevel::L1;
+    /** Cycles spent in cache lookups (memory latency not included). */
+    Cycles cycles = 0;
+};
+
+/** The modeled cache hierarchy. */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(const CpuParams &params);
+
+    /**
+     * Demand access from a core.
+     *
+     * @param core issuing core
+     * @param addr full physical address (may carry the DF-bit)
+     * @param is_write store vs load
+     * @param sink receives dirty L3 victims
+     */
+    HierarchyResult access(unsigned core, Addr addr, bool is_write,
+                           WritebackSink &sink);
+
+    /**
+     * Cache-line writeback instruction (clwb): push the line out of
+     * every level to the memory controller if dirty; the line may stay
+     * cached clean.
+     *
+     * @return true iff a writeback to memory was generated
+     */
+    bool clwb(unsigned core, Addr addr, WritebackSink &sink);
+
+    /** Flush the entire hierarchy (orderly shutdown). */
+    void flushAll(WritebackSink &sink);
+
+    /** Power loss: all cached state vanishes, dirty lines are lost.
+     *  Returns the addresses of the lost dirty lines so the caller can
+     *  roll architectural state back to the persisted image. */
+    std::vector<Addr> crash();
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+
+    SetAssocCache &l3() { return *l3_; }
+
+  private:
+    CpuParams params_;
+    std::vector<std::unique_ptr<SetAssocCache>> l1_;
+    std::vector<std::unique_ptr<SetAssocCache>> l2_;
+    std::unique_ptr<SetAssocCache> l3_;
+    stats::StatGroup statGroup_;
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_CACHE_HIERARCHY_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared across the simulator.
+ */
+
+#ifndef FSENCR_COMMON_BITFIELD_HH
+#define FSENCR_COMMON_BITFIELD_HH
+
+#include <cstdint>
+
+namespace fsencr {
+
+/** Extract bits [first, last] (inclusive, last >= first) of val. */
+constexpr std::uint64_t
+bits(std::uint64_t val, unsigned last, unsigned first)
+{
+    unsigned nbits = last - first + 1;
+    std::uint64_t mask =
+        nbits >= 64 ? ~0ull : ((1ull << nbits) - 1);
+    return (val >> first) & mask;
+}
+
+/** Insert bits [first, last] of val into dst. */
+constexpr std::uint64_t
+insertBits(std::uint64_t dst, unsigned last, unsigned first,
+           std::uint64_t val)
+{
+    unsigned nbits = last - first + 1;
+    std::uint64_t mask =
+        nbits >= 64 ? ~0ull : ((1ull << nbits) - 1);
+    return (dst & ~(mask << first)) | ((val & mask) << first);
+}
+
+/** Test a single bit. */
+constexpr bool
+bit(std::uint64_t val, unsigned n)
+{
+    return (val >> n) & 1ull;
+}
+
+/** Integer log2 (val must be a power of two). */
+constexpr unsigned
+floorLog2(std::uint64_t val)
+{
+    unsigned r = 0;
+    while (val > 1) {
+        val >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** True iff val is a power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t val)
+{
+    return val != 0 && (val & (val - 1)) == 0;
+}
+
+/** Round v up to the next multiple of align (align is a power of two). */
+constexpr std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+} // namespace fsencr
+
+#endif // FSENCR_COMMON_BITFIELD_HH

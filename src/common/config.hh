@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Simulation configuration mirroring Table III of the paper.
+ *
+ * Every knob an experiment sweeps (metadata cache size, OTT latency,
+ * Osiris stop-loss, ...) lives here so that benches construct a SimConfig,
+ * tweak fields, and build a System from it.
+ */
+
+#ifndef FSENCR_COMMON_CONFIG_HH
+#define FSENCR_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace fsencr {
+
+/** Which protection scheme a System is built with. */
+enum class Scheme {
+    /** Plain ext4-dax, no encryption whatsoever. */
+    NoEncryption,
+    /** ext4-dax + counter-mode memory encryption + Merkle tree. */
+    BaselineSecurity,
+    /** BaselineSecurity + hardware-assisted filesystem encryption. */
+    FsEncr,
+    /** ext4-dax + eCryptfs-style software filesystem encryption. */
+    SoftwareEncryption,
+};
+
+/** Human-readable scheme name for reports. */
+inline const char *
+schemeName(Scheme s)
+{
+    switch (s) {
+      case Scheme::NoEncryption: return "ext4-dax-no-encryption";
+      case Scheme::BaselineSecurity: return "baseline-security";
+      case Scheme::FsEncr: return "fsencr";
+      case Scheme::SoftwareEncryption: return "software-encryption";
+    }
+    return "unknown";
+}
+
+/** Parameters of one cache level. */
+struct CacheParams
+{
+    std::size_t sizeBytes;
+    unsigned assoc;
+    Cycles latency; // lookup latency in CPU cycles
+};
+
+/** DDR-attached PCM timing parameters (Table III). */
+struct PcmParams
+{
+    std::uint64_t capacityBytes = 16ull << 30;
+    unsigned channels = 1;
+    unsigned ranksPerChannel = 2;
+    unsigned banksPerRank = 8;
+    std::size_t rowBufferBytes = 1024;
+    Tick readLatency = 60 * tickPerNs;   // PCM array read
+    Tick writeLatency = 150 * tickPerNs; // PCM cell write
+    Tick tRCD = 55 * tickPerNs;
+    Tick tCL = Tick(12.5 * tickPerNs);
+    Tick tBURST = 5 * tickPerNs;
+    Tick tWR = 150 * tickPerNs;
+    /** Latency to accept a posted (non-persist) write into the MC
+     *  write queue. */
+    Tick writeAcceptLatency = 5 * tickPerNs;
+    /** Write-pending-queue depth: accepts stall when this many writes
+     *  are outstanding (ADR durability = WPQ accept). */
+    unsigned writeQueueDepth = 64;
+};
+
+/** Encryption-related parameters (Table III, Section III). */
+struct SecParams
+{
+    Tick aesLatency = 40 * tickPerNs;
+    std::size_t metadataCacheBytes = 512 << 10;
+    unsigned metadataCacheAssoc = 8;
+    /** Metadata-cache lookup latency (CPU cycles). */
+    Cycles metadataCacheLatency = 3;
+    /** Pad-XOR latency on the read return path (CPU cycles). */
+    Cycles xorLatency = 1;
+    /** OTT crash consistency: log inserts to the spill region
+     *  immediately (option 1) vs. rely on a backup-power flush
+     *  (option 2). */
+    bool ottLogImmediately = true;
+    bool ottBackupPowerFlush = false;
+    /** Post-crash metadata recovery scheme: a full Osiris sweep over
+     *  every written line, or Anubis-style shadow tracking (Zubair &
+     *  Awad, ISCA'19 — cited in Section III-H) that logs which counter
+     *  blocks were dirty on-chip so recovery probes only those. */
+    enum class Recovery { OsirisSweep, AnubisShadow };
+    Recovery recovery = Recovery::OsirisSweep;
+
+    /** Partition the metadata cache per metadata kind (Section III-D)
+     *  instead of sharing it; shares are relative weights. */
+    bool metadataCachePartitioned = false;
+    unsigned mecbShare = 2;
+    unsigned fecbShare = 1;
+    unsigned merkleShare = 1;
+    unsigned merkleArity = 8;
+    /** OTT geometry: 8 banks x 128 fully-associative entries. */
+    unsigned ottEntries = 1024;
+    Cycles ottLatency = 20;
+    /** Osiris stop-loss: persist a counter every N-th update. */
+    unsigned osirisStopLoss = 4;
+    /** FECB counters persist every (stopLoss * this) updates: file
+     *  counters tolerate a larger lag because recovery probes the
+     *  (memory, file) lag pair two-dimensionally. Halves FsEncr's
+     *  metadata write amplification. */
+    unsigned fecbStopLossFactor = 4;
+    /** Bytes reserved for the encrypted OTT spill hash table. */
+    std::size_t ottSpillBytes = 1 << 20;
+};
+
+/** Software-encryption (eCryptfs-like) baseline parameters. */
+struct SwEncParams
+{
+    /** Decrypted page-cache capacity in 4KB pages (the OS page cache;
+     *  16MB here — small machines thrash on large working sets). */
+    std::size_t pageCachePages = 4096;
+    /** Software AES cost per 16B block (AES-NI kernel path). */
+    Tick swAesPerBlock = 6 * tickPerNs;
+    /** Kernel crossing + fault handling cost per page fill. */
+    Tick faultOverhead = 2000 * tickPerNs;
+    /** memcpy cost per 64B line when copying page to the page cache. */
+    Tick copyPerLine = 4 * tickPerNs;
+    /** msync(2) syscall overhead: without DAX, pmem_persist degrades
+     *  to msync, which re-encrypts each dirty 4KB page. */
+    Tick msyncSyscall = 1000 * tickPerNs;
+};
+
+/** CPU-side parameters. */
+struct CpuParams
+{
+    unsigned numCores = 2;
+    Tick cyclePeriod = 1 * tickPerNs; // 1 GHz
+    CacheParams l1{32 << 10, 8, 2};
+    CacheParams l2{512 << 10, 8, 20};
+    CacheParams l3{4 << 20, 64, 32};
+    unsigned tlbEntries = 64;
+    /** Minor page fault handling cost (kernel entry/exit + PTE setup). */
+    Cycles pageFaultCycles = 1500;
+};
+
+/** Physical memory layout of the simulated machine. */
+struct LayoutParams
+{
+    /** General-purpose memory: [0, generalBytes). */
+    std::uint64_t generalBytes = 10ull << 30;
+    /** Reserved security-metadata carve-out: [metaBase, pmemBase). */
+    std::uint64_t metaBase = 10ull << 30;
+    /** Persistent region (memmap=4G!12G): [pmemBase, pmemBase+pmemBytes). */
+    std::uint64_t pmemBase = 12ull << 30;
+    std::uint64_t pmemBytes = 4ull << 30;
+};
+
+/** Top-level simulation configuration. */
+struct SimConfig
+{
+    Scheme scheme = Scheme::FsEncr;
+    CpuParams cpu;
+    PcmParams pcm;
+    SecParams sec;
+    SwEncParams swenc;
+    LayoutParams layout;
+    std::uint64_t seed = 42;
+
+    /** Ticks per CPU cycle. */
+    Tick cyclePeriod() const { return cpu.cyclePeriod; }
+
+    bool
+    hasMemoryEncryption() const
+    {
+        return scheme == Scheme::BaselineSecurity ||
+               scheme == Scheme::FsEncr;
+    }
+
+    bool hasFsEncr() const { return scheme == Scheme::FsEncr; }
+    bool
+    hasSoftwareEncryption() const
+    {
+        return scheme == Scheme::SoftwareEncryption;
+    }
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_COMMON_CONFIG_HH

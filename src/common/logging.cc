@@ -1,0 +1,29 @@
+#include "common/logging.hh"
+
+#include <cstdarg>
+#include <vector>
+
+namespace fsencr {
+namespace detail {
+
+std::string
+formatMessage(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int needed = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    if (needed < 0) {
+        va_end(ap_copy);
+        return std::string(fmt);
+    }
+    std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap_copy);
+    va_end(ap_copy);
+    return std::string(buf.data());
+}
+
+} // namespace detail
+} // namespace fsencr

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic()  — an internal simulator bug; never the user's fault. Aborts.
+ * fatal()  — the simulation cannot continue due to a user/config error.
+ * warn()   — something is suspicious but the simulation continues.
+ * inform() — plain status output.
+ */
+
+#ifndef FSENCR_COMMON_LOGGING_HH
+#define FSENCR_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace fsencr {
+
+/** Thrown by fatal() so tests can observe user-level errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Thrown by panic() so tests can observe simulator bugs. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+namespace detail {
+
+std::string formatMessage(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Report an internal simulator bug and abort via exception. */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args... args)
+{
+    std::string msg = detail::formatMessage(fmt, args...);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    throw PanicError(msg);
+}
+
+/** Report an unrecoverable user-level error via exception. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args... args)
+{
+    std::string msg = detail::formatMessage(fmt, args...);
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    throw FatalError(msg);
+}
+
+/** Report a suspicious condition and continue. */
+template <typename... Args>
+void
+warn(const char *fmt, Args... args)
+{
+    std::string msg = detail::formatMessage(fmt, args...);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(const char *fmt, Args... args)
+{
+    std::string msg = detail::formatMessage(fmt, args...);
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace fsencr
+
+#endif // FSENCR_COMMON_LOGGING_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads.
+ *
+ * All randomness in the simulator flows through Rng so that every
+ * experiment is exactly reproducible from its seed. The generator is
+ * SplitMix64 (Steele et al.) — tiny, fast and statistically adequate for
+ * workload generation. A Zipfian sampler (Gray et al., "Quickly generating
+ * billion-record synthetic databases") backs the YCSB workload.
+ */
+
+#ifndef FSENCR_COMMON_RNG_HH
+#define FSENCR_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace fsencr {
+
+/** SplitMix64 deterministic generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : _state(seed)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (_state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound). bound must be non-zero. */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Fill a byte buffer with pseudo-random data. */
+    void
+    fill(void *buf, std::size_t len)
+    {
+        auto *p = static_cast<std::uint8_t *>(buf);
+        while (len >= 8) {
+            std::uint64_t v = next();
+            for (int i = 0; i < 8; ++i)
+                p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+            p += 8;
+            len -= 8;
+        }
+        if (len > 0) {
+            std::uint64_t v = next();
+            for (std::size_t i = 0; i < len; ++i)
+                p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+        }
+    }
+
+  private:
+    std::uint64_t _state;
+};
+
+/**
+ * Zipfian integer sampler over [0, n) with skew theta (default 0.99 as in
+ * YCSB). Uses the standard rejection-free inverse method.
+ */
+class ZipfianGenerator
+{
+  public:
+    ZipfianGenerator(std::uint64_t n, double theta = 0.99,
+                     std::uint64_t seed = 12345)
+        : _n(n), _theta(theta), _rng(seed)
+    {
+        _zetan = zeta(n, theta);
+        _zeta2 = zeta(2, theta);
+        _alpha = 1.0 / (1.0 - theta);
+        _eta = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+               (1.0 - _zeta2 / _zetan);
+    }
+
+    std::uint64_t
+    next()
+    {
+        double u = _rng.nextDouble();
+        double uz = u * _zetan;
+        if (uz < 1.0)
+            return 0;
+        if (uz < 1.0 + std::pow(0.5, _theta))
+            return 1;
+        auto v = static_cast<std::uint64_t>(
+            static_cast<double>(_n) *
+            std::pow(_eta * u - _eta + 1.0, _alpha));
+        return v >= _n ? _n - 1 : v;
+    }
+
+  private:
+    static double
+    zeta(std::uint64_t n, double theta)
+    {
+        double sum = 0.0;
+        for (std::uint64_t i = 1; i <= n; ++i)
+            sum += 1.0 / std::pow(static_cast<double>(i), theta);
+        return sum;
+    }
+
+    std::uint64_t _n;
+    double _theta;
+    Rng _rng;
+    double _zetan;
+    double _zeta2;
+    double _alpha;
+    double _eta;
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_COMMON_RNG_HH

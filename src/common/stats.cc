@@ -1,0 +1,93 @@
+#include "common/stats.hh"
+
+#include "common/logging.hh"
+
+namespace fsencr {
+namespace stats {
+
+std::uint64_t
+StatGroup::scalarValue(const std::string &path) const
+{
+    auto dot = path.find('.');
+    if (dot == std::string::npos) {
+        auto it = _scalars.find(path);
+        if (it == _scalars.end())
+            fatal("unknown stat '%s' in group '%s'", path.c_str(),
+                  _name.c_str());
+        return it->second->value();
+    }
+    std::string head = path.substr(0, dot);
+    std::string rest = path.substr(dot + 1);
+    for (StatGroup *child : _children) {
+        if (child->name() == head)
+            return child->scalarValue(rest);
+    }
+    fatal("unknown stat group '%s' under '%s'", head.c_str(), _name.c_str());
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::string base = prefix.empty() ? _name : prefix + "." + _name;
+    for (const auto &[name, s] : _scalars)
+        os << base << "." << name << " = " << s->value() << "\n";
+    for (const auto &[name, f] : _formulas)
+        os << base << "." << name << " = " << f->value() << "\n";
+    for (const auto &[name, h] : _histograms) {
+        os << base << "." << name << ".samples = " << h->samples() << "\n";
+        os << base << "." << name << ".mean = " << h->mean() << "\n";
+        os << base << "." << name << ".max = " << h->maxValue() << "\n";
+    }
+    for (const StatGroup *child : _children)
+        child->dump(os, base);
+}
+
+void
+StatGroup::dumpJson(std::ostream &os, unsigned indent) const
+{
+    std::string pad(indent, ' ');
+    std::string inner(indent + 2, ' ');
+    os << pad << "{\n";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+    for (const auto &[name, s] : _scalars) {
+        sep();
+        os << inner << "\"" << name << "\": " << s->value();
+    }
+    for (const auto &[name, f] : _formulas) {
+        sep();
+        os << inner << "\"" << name << "\": " << f->value();
+    }
+    for (const auto &[name, h] : _histograms) {
+        sep();
+        os << inner << "\"" << name << "\": {\"samples\": "
+           << h->samples() << ", \"mean\": " << h->mean()
+           << ", \"max\": " << h->maxValue() << "}";
+    }
+    for (const StatGroup *child : _children) {
+        sep();
+        os << inner << "\"" << child->name() << "\":\n";
+        child->dumpJson(os, indent + 2);
+    }
+    os << "\n" << pad << "}";
+    if (indent == 0)
+        os << "\n";
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, s] : _scalars)
+        s->reset();
+    for (auto &[name, h] : _histograms)
+        h->reset();
+    for (StatGroup *child : _children)
+        child->resetAll();
+}
+
+} // namespace stats
+} // namespace fsencr

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Minimal gem5-flavoured statistics framework.
+ *
+ * Components register named scalar counters, formulas and histograms in a
+ * StatGroup. Groups nest, and the whole tree can be dumped as
+ * `group.sub.stat = value` lines or queried programmatically by the
+ * benchmark harness.
+ */
+
+#ifndef FSENCR_COMMON_STATS_HH
+#define FSENCR_COMMON_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fsencr {
+namespace stats {
+
+/** A simple monotonically updated scalar statistic. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator++() { ++_value; return *this; }
+    Scalar &operator+=(std::uint64_t v) { _value += v; return *this; }
+    Scalar &operator=(std::uint64_t v) { _value = v; return *this; }
+
+    std::uint64_t value() const { return _value; }
+    void reset() { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** A derived statistic computed on demand from other stats. */
+class Formula
+{
+  public:
+    using Fn = std::function<double()>;
+
+    Formula() = default;
+    explicit Formula(Fn fn) : _fn(std::move(fn)) {}
+
+    void setFunction(Fn fn) { _fn = std::move(fn); }
+    double value() const { return _fn ? _fn() : 0.0; }
+
+  private:
+    Fn _fn;
+};
+
+/** A fixed-bucket histogram (linear buckets plus overflow). */
+class Histogram
+{
+  public:
+    Histogram() : Histogram(16, 64) {}
+
+    /**
+     * @param num_buckets number of linear buckets
+     * @param bucket_width width of each bucket
+     */
+    Histogram(unsigned num_buckets, std::uint64_t bucket_width)
+        : _width(bucket_width), _buckets(num_buckets, 0)
+    {}
+
+    void
+    sample(std::uint64_t v)
+    {
+        ++_samples;
+        _sum += v;
+        if (v > _max) _max = v;
+        if (_samples == 1 || v < _min) _min = v;
+        std::size_t idx = static_cast<std::size_t>(v / _width);
+        if (idx >= _buckets.size())
+            ++_overflow;
+        else
+            ++_buckets[idx];
+    }
+
+    std::uint64_t samples() const { return _samples; }
+    std::uint64_t sum() const { return _sum; }
+    std::uint64_t minValue() const { return _min; }
+    std::uint64_t maxValue() const { return _max; }
+    double mean() const
+    {
+        return _samples ? static_cast<double>(_sum) / _samples : 0.0;
+    }
+    const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+    std::uint64_t overflow() const { return _overflow; }
+
+    void
+    reset()
+    {
+        _samples = _sum = _min = _max = _overflow = 0;
+        std::fill(_buckets.begin(), _buckets.end(), 0);
+    }
+
+  private:
+    std::uint64_t _width;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _samples = 0;
+    std::uint64_t _sum = 0;
+    std::uint64_t _min = 0;
+    std::uint64_t _max = 0;
+    std::uint64_t _overflow = 0;
+};
+
+/**
+ * A named collection of statistics. Groups form a tree; a component owns
+ * its group and registers children/stats with human-readable names.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    /** Register a scalar under this group. Returns it for chaining. */
+    Scalar &
+    addScalar(const std::string &name, Scalar &s)
+    {
+        _scalars[name] = &s;
+        return s;
+    }
+
+    Formula &
+    addFormula(const std::string &name, Formula &f)
+    {
+        _formulas[name] = &f;
+        return f;
+    }
+
+    Histogram &
+    addHistogram(const std::string &name, Histogram &h)
+    {
+        _histograms[name] = &h;
+        return h;
+    }
+
+    void addChild(StatGroup *child) { _children.push_back(child); }
+
+    const std::string &name() const { return _name; }
+
+    /** Look up a scalar value by dotted path relative to this group. */
+    std::uint64_t scalarValue(const std::string &path) const;
+
+    /** Dump `prefix.name = value` lines for the whole subtree. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Dump the subtree as a JSON object. */
+    void dumpJson(std::ostream &os, unsigned indent = 0) const;
+
+    /** Reset every stat in the subtree. */
+    void resetAll();
+
+  private:
+    std::string _name;
+    std::map<std::string, Scalar *> _scalars;
+    std::map<std::string, Formula *> _formulas;
+    std::map<std::string, Histogram *> _histograms;
+    std::vector<StatGroup *> _children;
+};
+
+} // namespace stats
+} // namespace fsencr
+
+#endif // FSENCR_COMMON_STATS_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fundamental scalar types used across the FsEncr simulator.
+ *
+ * The simulator follows gem5 conventions: time is measured in ticks
+ * (1 tick = 1 picosecond), physical and virtual addresses are 64-bit
+ * integers, and cache lines are 64 bytes.
+ */
+
+#ifndef FSENCR_COMMON_TYPES_HH
+#define FSENCR_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace fsencr {
+
+/** Simulated time. 1 tick == 1 picosecond. */
+using Tick = std::uint64_t;
+
+/** Physical or virtual address. */
+using Addr = std::uint64_t;
+
+/** CPU cycle count (converted to ticks through a clock period). */
+using Cycles = std::uint64_t;
+
+/** One tick per picosecond. */
+constexpr Tick tickPerPs = 1;
+
+/** Ticks in one nanosecond. */
+constexpr Tick tickPerNs = 1000;
+
+/** Ticks in one microsecond. */
+constexpr Tick tickPerUs = 1000 * tickPerNs;
+
+/** Cache line (block) size used everywhere in the model. */
+constexpr std::size_t blockSize = 64;
+
+/** log2 of the block size. */
+constexpr unsigned blockShift = 6;
+
+/** Page size used by the OS model and counter blocks. */
+constexpr std::size_t pageSize = 4096;
+
+/** log2 of the page size. */
+constexpr unsigned pageShift = 12;
+
+/** Blocks per 4KB page (what one counter block covers). */
+constexpr std::size_t blocksPerPage = pageSize / blockSize;
+
+/** Align an address down to its cache-line base. */
+constexpr Addr
+blockAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(blockSize - 1);
+}
+
+/** Align an address down to its page base. */
+constexpr Addr
+pageAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(pageSize - 1);
+}
+
+/** Offset of an address within its cache line. */
+constexpr Addr
+blockOffset(Addr addr)
+{
+    return addr & static_cast<Addr>(blockSize - 1);
+}
+
+/** Offset of an address within its page. */
+constexpr Addr
+pageOffset(Addr addr)
+{
+    return addr & static_cast<Addr>(pageSize - 1);
+}
+
+/** Page frame number of a physical address. */
+constexpr Addr
+pageNumber(Addr addr)
+{
+    return addr >> pageShift;
+}
+
+/** Index of the cache block within its page. */
+constexpr unsigned
+blockInPage(Addr addr)
+{
+    return static_cast<unsigned>((addr >> blockShift) &
+                                 (blocksPerPage - 1));
+}
+
+} // namespace fsencr
+
+#endif // FSENCR_COMMON_TYPES_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Per-core state of the simple timing CPU model.
+ *
+ * The model is an in-order latency-accumulation CPU: each memory
+ * operation's latency is computed through TLB, caches and the memory
+ * controller and added to the global clock. Multiple cores interleave at
+ * operation granularity and contend for the shared L3, metadata cache
+ * and NVM banks — the effects the paper's normalized figures measure.
+ */
+
+#ifndef FSENCR_CPU_CORE_HH
+#define FSENCR_CPU_CORE_HH
+
+#include <cstdint>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "cpu/tlb.hh"
+
+namespace fsencr {
+
+/** One hardware context. */
+class Core
+{
+  public:
+    Core(unsigned id, const CpuParams &params)
+        : id_(id), tlb_(params.tlbEntries),
+          statGroup_("core" + std::to_string(id))
+    {
+        statGroup_.addChild(&tlb_.statGroup());
+        statGroup_.addScalar("loads", loads_);
+        statGroup_.addScalar("stores", stores_);
+        statGroup_.addScalar("clwbs", clwbs_);
+        statGroup_.addScalar("fences", fences_);
+        statGroup_.addScalar("pageFaults", pageFaults_);
+    }
+
+    unsigned id() const { return id_; }
+    Tlb &tlb() { return tlb_; }
+
+    /** Process currently scheduled on this core. */
+    std::uint32_t currentPid() const { return pid_; }
+    void setCurrentPid(std::uint32_t pid) { pid_ = pid; }
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+
+    stats::Scalar loads_;
+    stats::Scalar stores_;
+    stats::Scalar clwbs_;
+    stats::Scalar fences_;
+    stats::Scalar pageFaults_;
+
+  private:
+    unsigned id_;
+    Tlb tlb_;
+    std::uint32_t pid_ = 0;
+    stats::StatGroup statGroup_;
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_CPU_CORE_HH

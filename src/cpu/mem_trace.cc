@@ -1,0 +1,135 @@
+#include "cpu/mem_trace.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "fsenc/secure_memory_controller.hh"
+
+namespace fsencr {
+
+namespace {
+
+/** Fixed 24-byte on-disk record. */
+struct DiskRecord
+{
+    std::uint8_t kind;
+    std::uint8_t pad[3];
+    std::uint32_t gid;
+    std::uint64_t paddr;
+    std::uint32_t fid;
+    std::uint32_t reserved;
+};
+static_assert(sizeof(DiskRecord) == 24, "trace record layout");
+
+} // namespace
+
+bool
+MemTrace::save(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+
+    std::uint32_t header[4] = {magic, version,
+                               static_cast<std::uint32_t>(
+                                   records_.size()),
+                               0};
+    bool ok = std::fwrite(header, sizeof(header), 1, f) == 1;
+    for (const TraceRecord &r : records_) {
+        if (!ok)
+            break;
+        DiskRecord d{};
+        d.kind = static_cast<std::uint8_t>(r.kind);
+        d.gid = r.gid;
+        d.paddr = r.paddr;
+        d.fid = r.fid;
+        ok = std::fwrite(&d, sizeof(d), 1, f) == 1;
+    }
+    ok = (std::fclose(f) == 0) && ok;
+    return ok;
+}
+
+bool
+MemTrace::load(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+
+    std::uint32_t header[4];
+    if (std::fread(header, sizeof(header), 1, f) != 1 ||
+        header[0] != magic || header[1] != version) {
+        std::fclose(f);
+        return false;
+    }
+
+    records_.clear();
+    records_.reserve(header[2]);
+    for (std::uint32_t i = 0; i < header[2]; ++i) {
+        DiskRecord d;
+        if (std::fread(&d, sizeof(d), 1, f) != 1) {
+            std::fclose(f);
+            return false;
+        }
+        TraceRecord r;
+        r.kind = static_cast<TraceRecord::Kind>(d.kind);
+        r.gid = d.gid;
+        r.paddr = d.paddr;
+        r.fid = d.fid;
+        records_.push_back(r);
+    }
+    std::fclose(f);
+    return true;
+}
+
+ReplayResult
+replayTrace(const MemTrace &trace, const SimConfig &cfg)
+{
+    PhysLayout layout(cfg.layout);
+    NvmDevice device(cfg.pcm);
+    Rng rng(cfg.seed);
+    SecureMemoryController mc(cfg, layout, device, rng);
+
+    // Replay keys are derived deterministically from the trace ids so
+    // that functional decryption stays consistent within the replay.
+    Rng key_rng(cfg.seed ^ 0x7261636b);
+
+    ReplayResult res;
+    Tick now = 0;
+    std::uint8_t zero_line[blockSize] = {};
+
+    for (const TraceRecord &r : trace.records()) {
+        switch (r.kind) {
+          case TraceRecord::Kind::Read:
+            now += mc.readLine(r.paddr, now);
+            ++res.requests;
+            break;
+          case TraceRecord::Kind::Write:
+            now += mc.writeLine(r.paddr, zero_line, now, false);
+            ++res.requests;
+            break;
+          case TraceRecord::Kind::PersistWrite:
+            now += mc.writeLine(r.paddr, zero_line, now, true);
+            ++res.requests;
+            break;
+          case TraceRecord::Kind::MmioStamp:
+            now += mc.mmioStampPage(r.paddr, r.gid, r.fid, now);
+            break;
+          case TraceRecord::Kind::MmioKey:
+            now += mc.mmioRegisterFileKey(r.gid, r.fid,
+                                          crypto::randomKey(key_rng),
+                                          now);
+            break;
+        }
+    }
+
+    res.totalTicks = now;
+    res.nvmReads = device.numReads();
+    res.nvmWrites = device.numWrites();
+    return res;
+}
+
+} // namespace fsencr

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Memory-request trace capture and replay (gem5 TraceCPU-style).
+ *
+ * A trace records the physical-address request stream leaving the
+ * cache hierarchy plus the MMIO events the kernel issued (key
+ * registration, FECB stamps), which is everything the secure memory
+ * controller needs. Replaying a trace against controllers with
+ * different configurations gives fast, perfectly-repeatable
+ * sensitivity studies without re-running the OS and workload logic.
+ *
+ * The on-disk format is a little-endian binary stream of fixed-size
+ * records with a magic/version header.
+ */
+
+#ifndef FSENCR_CPU_MEM_TRACE_HH
+#define FSENCR_CPU_MEM_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fsencr {
+
+/** One trace event. */
+struct TraceRecord
+{
+    enum class Kind : std::uint8_t {
+        Read = 0,       //!< demand line fill
+        Write = 1,      //!< background writeback
+        PersistWrite = 2, //!< persist-ordered (clwb) write
+        MmioStamp = 3,  //!< FECB stamp {gid, fid} at paddr
+        MmioKey = 4,    //!< file-key registration {gid, fid}
+    };
+
+    Kind kind = Kind::Read;
+    Addr paddr = 0;         //!< full address (DF-bit included)
+    std::uint32_t gid = 0;  //!< MMIO events only
+    std::uint32_t fid = 0;  //!< MMIO events only
+};
+
+/** An in-memory trace with binary (de)serialization. */
+class MemTrace
+{
+  public:
+    void
+    append(const TraceRecord &r)
+    {
+        records_.push_back(r);
+    }
+
+    const std::vector<TraceRecord> &records() const { return records_; }
+    std::size_t size() const { return records_.size(); }
+    void clear() { records_.clear(); }
+
+    /** Write the trace to a file. @return true on success */
+    bool save(const std::string &path) const;
+
+    /** Load a trace from a file. @return true on success */
+    bool load(const std::string &path);
+
+    static constexpr std::uint32_t magic = 0x46734d54; // "FsMT"
+    static constexpr std::uint32_t version = 1;
+
+  private:
+    std::vector<TraceRecord> records_;
+};
+
+/** Statistics of one replay run. */
+struct ReplayResult
+{
+    Tick totalTicks = 0;
+    std::uint64_t nvmReads = 0;
+    std::uint64_t nvmWrites = 0;
+    std::uint64_t requests = 0;
+};
+
+class SecureMemoryController;
+
+/**
+ * Replay a trace against a controller built from the given config
+ * (fresh device + controller per call).
+ */
+ReplayResult replayTrace(const MemTrace &trace,
+                         const struct SimConfig &cfg);
+
+} // namespace fsencr
+
+#endif // FSENCR_CPU_MEM_TRACE_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Per-core TLB model.
+ *
+ * Fully-associative, LRU. Hits are free (folded into the L1 latency);
+ * misses cost a page-table walk; unmapped pages raise a page fault that
+ * the kernel model services. Entries carry the DF-bit so that every
+ * access to a DAX-file page is tagged without kernel involvement after
+ * the first fault (Section III-C).
+ */
+
+#ifndef FSENCR_CPU_TLB_HH
+#define FSENCR_CPU_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace fsencr {
+
+/** A translation: virtual page -> physical page (with DF-bit). */
+struct TlbEntry
+{
+    bool valid = false;
+    Addr vpn = 0;
+    /** Physical frame address (page-aligned), DF-bit included. */
+    Addr pframe = 0;
+    std::uint64_t lru = 0;
+};
+
+/** Fully-associative LRU TLB. */
+class Tlb
+{
+  public:
+    explicit Tlb(unsigned entries)
+        : entries_(entries), statGroup_("tlb")
+    {
+        statGroup_.addScalar("hits", hits_);
+        statGroup_.addScalar("misses", misses_);
+    }
+
+    /**
+     * Look up a translation.
+     * @param vaddr the virtual address
+     * @param pframe_out page-aligned physical frame (with DF-bit)
+     * @return true on hit
+     */
+    bool
+    lookup(Addr vaddr, Addr &pframe_out)
+    {
+        Addr vpn = pageNumber(vaddr);
+        ++lruClock_;
+        for (TlbEntry &e : entries_) {
+            if (e.valid && e.vpn == vpn) {
+                ++hits_;
+                e.lru = lruClock_;
+                pframe_out = e.pframe;
+                return true;
+            }
+        }
+        ++misses_;
+        return false;
+    }
+
+    /** Install a translation, evicting LRU. */
+    void
+    insert(Addr vaddr, Addr pframe)
+    {
+        Addr vpn = pageNumber(vaddr);
+        TlbEntry *victim = nullptr;
+        for (TlbEntry &e : entries_) {
+            if (e.valid && e.vpn == vpn) {
+                victim = &e;
+                break;
+            }
+            if (!e.valid) {
+                victim = &e;
+                break;
+            }
+            if (!victim || e.lru < victim->lru)
+                victim = &e;
+        }
+        victim->valid = true;
+        victim->vpn = vpn;
+        victim->pframe = pageAlign(pframe);
+        victim->lru = ++lruClock_;
+    }
+
+    /** Drop a translation (munmap / unlink shootdown). */
+    void
+    invalidate(Addr vaddr)
+    {
+        Addr vpn = pageNumber(vaddr);
+        for (TlbEntry &e : entries_)
+            if (e.valid && e.vpn == vpn)
+                e.valid = false;
+    }
+
+    /** Full flush (context switch / crash). */
+    void
+    flush()
+    {
+        for (TlbEntry &e : entries_)
+            e.valid = false;
+    }
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+
+  private:
+    std::vector<TlbEntry> entries_;
+    std::uint64_t lruClock_ = 0;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar hits_;
+    stats::Scalar misses_;
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_CPU_TLB_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * AES-128 block cipher (FIPS-197), from scratch.
+ *
+ * The simulator uses AES both functionally (real ciphertext lives in the
+ * modeled NVM device, so security tests are meaningful) and as the
+ * hardware engine whose latency Table III fixes at 40 ns. Only AES-128 is
+ * needed: memory-encryption keys, file keys and the OTT key are all
+ * 128-bit, matching the paper.
+ */
+
+#ifndef FSENCR_CRYPTO_AES_HH
+#define FSENCR_CRYPTO_AES_HH
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+namespace fsencr {
+namespace crypto {
+
+/** A 128-bit key or block. */
+using Block128 = std::array<std::uint8_t, 16>;
+
+/** AES-128 with a precomputed key schedule. */
+class Aes128
+{
+  public:
+    /** Expand the given 16-byte key. */
+    explicit Aes128(const Block128 &key);
+
+    /** Encrypt one 16-byte block (ECB primitive). */
+    Block128 encryptBlock(const Block128 &plain) const;
+
+    /** Decrypt one 16-byte block (ECB primitive). */
+    Block128 decryptBlock(const Block128 &cipher) const;
+
+    /** Re-key in place. */
+    void setKey(const Block128 &key);
+
+    /** Rounds for AES-128. */
+    static constexpr unsigned numRounds = 10;
+
+  private:
+    /** 11 round keys x 16 bytes. */
+    std::array<std::uint8_t, 16 * (numRounds + 1)> roundKeys_;
+};
+
+} // namespace crypto
+} // namespace fsencr
+
+#endif // FSENCR_CRYPTO_AES_HH

@@ -1,0 +1,45 @@
+#include "crypto/ctr_mode.hh"
+
+#include <cstring>
+
+namespace fsencr {
+namespace crypto {
+
+Line
+makeOtp(const Aes128 &aes, const CtrIv &iv)
+{
+    Line pad;
+    for (unsigned word = 0; word < blockSize / 16; ++word) {
+        Block128 in{};
+        // Pack the IV fields: pageId(8B) | major(8B') folded with
+        // pageOffset, minor and the word counter. Layout is fixed; any
+        // injective packing preserves CTR security.
+        std::uint64_t hi = iv.pageId;
+        std::uint64_t lo = (iv.major << 22) ^
+                           (static_cast<std::uint64_t>(iv.minor) << 8) ^
+                           (static_cast<std::uint64_t>(iv.pageOffset) << 2) ^
+                           word;
+        std::memcpy(in.data(), &hi, 8);
+        std::memcpy(in.data() + 8, &lo, 8);
+        Block128 out = aes.encryptBlock(in);
+        std::memcpy(pad.data() + word * 16, out.data(), 16);
+    }
+    return pad;
+}
+
+void
+xorLine(Line &dst, const Line &src)
+{
+    for (std::size_t i = 0; i < dst.size(); ++i)
+        dst[i] ^= src[i];
+}
+
+void
+xorLine(std::uint8_t *dst, const Line &pad)
+{
+    for (std::size_t i = 0; i < pad.size(); ++i)
+        dst[i] ^= pad[i];
+}
+
+} // namespace crypto
+} // namespace fsencr

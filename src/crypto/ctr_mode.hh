@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Counter-mode (CTR) one-time-pad construction for 64-byte cache lines.
+ *
+ * Follows Figure 2 of the paper: the Initialization Vector carries a
+ * unique page ID, the page offset (block index within the page) for
+ * spatial uniqueness, a per-page major counter, and a per-block minor
+ * counter for temporal uniqueness. The 64-byte pad is produced by
+ * encrypting four IVs (one per 16-byte AES block, distinguished by a
+ * word-counter field) under the engine key.
+ */
+
+#ifndef FSENCR_CRYPTO_CTR_MODE_HH
+#define FSENCR_CRYPTO_CTR_MODE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "crypto/aes.hh"
+
+namespace fsencr {
+namespace crypto {
+
+/** A 64-byte one-time pad (or data line). */
+using Line = std::array<std::uint8_t, blockSize>;
+
+/** The fields of a counter-mode IV (Figure 2). */
+struct CtrIv
+{
+    std::uint64_t pageId;     //!< unique page identifier (PFN)
+    std::uint32_t pageOffset; //!< block index within the page
+    std::uint64_t major;      //!< per-page major counter
+    std::uint32_t minor;      //!< per-block minor counter
+};
+
+/**
+ * Generate the 64-byte OTP for a line.
+ *
+ * @param aes keyed AES engine
+ * @param iv IV fields for this line version
+ * @return 64-byte pad
+ */
+Line makeOtp(const Aes128 &aes, const CtrIv &iv);
+
+/** XOR two 64-byte lines (dst ^= src). */
+void xorLine(Line &dst, const Line &src);
+
+/** XOR a raw 64-byte buffer with a pad in place. */
+void xorLine(std::uint8_t *dst, const Line &pad);
+
+} // namespace crypto
+} // namespace fsencr
+
+#endif // FSENCR_CRYPTO_CTR_MODE_HH

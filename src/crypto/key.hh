@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Key types, generation and derivation.
+ *
+ * Mirrors the paper's key hierarchy (Section III-E): per-file File
+ * Encryption Keys (FEK) are random; the FEK-encrypting key (FEKEK, the
+ * user master key) is derived from a passphrase. The OTT key and the
+ * memory-encryption key are processor-resident randoms.
+ */
+
+#ifndef FSENCR_CRYPTO_KEY_HH
+#define FSENCR_CRYPTO_KEY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+#include "crypto/aes.hh"
+#include "crypto/sha256.hh"
+
+namespace fsencr {
+namespace crypto {
+
+/** 128-bit key. */
+using Key128 = Block128;
+
+/** All-zero key constant (an invalid / unset key). */
+inline Key128
+zeroKey()
+{
+    return Key128{};
+}
+
+/** True iff the key is the all-zero sentinel. */
+inline bool
+isZeroKey(const Key128 &k)
+{
+    for (auto b : k)
+        if (b != 0)
+            return false;
+    return true;
+}
+
+/** Generate a random key from the given deterministic RNG. */
+inline Key128
+randomKey(Rng &rng)
+{
+    Key128 k;
+    rng.fill(k.data(), k.size());
+    return k;
+}
+
+/**
+ * Derive a 128-bit key from a passphrase with an iterated, salted
+ * SHA-256 (a miniature PBKDF; iteration count is small because the
+ * simulator derives keys constantly in tests).
+ */
+inline Key128
+deriveKey(const std::string &passphrase, const std::string &salt,
+          unsigned iterations = 64)
+{
+    Digest256 d = Sha256::digest(salt + ":" + passphrase);
+    for (unsigned i = 1; i < iterations; ++i)
+        d = Sha256::digest(d.data(), d.size());
+    Key128 k;
+    for (int i = 0; i < 16; ++i)
+        k[i] = d[i];
+    return k;
+}
+
+/**
+ * Wrap (encrypt) one key under another — used to store FEKs in file
+ * metadata encrypted by the user master key (FEKEK), as eCryptfs does.
+ */
+inline Key128
+wrapKey(const Key128 &kek, const Key128 &key)
+{
+    Aes128 aes(kek);
+    return aes.encryptBlock(key);
+}
+
+/** Unwrap (decrypt) a wrapped key. */
+inline Key128
+unwrapKey(const Key128 &kek, const Key128 &wrapped)
+{
+    Aes128 aes(kek);
+    return aes.decryptBlock(wrapped);
+}
+
+} // namespace crypto
+} // namespace fsencr
+
+#endif // FSENCR_CRYPTO_KEY_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4), from scratch.
+ *
+ * Used for Merkle-tree MACs over 64-byte metadata blocks, the Osiris-style
+ * ECC probe, and the passphrase key-derivation function.
+ */
+
+#ifndef FSENCR_CRYPTO_SHA256_HH
+#define FSENCR_CRYPTO_SHA256_HH
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+
+namespace fsencr {
+namespace crypto {
+
+/** A 256-bit digest. */
+using Digest256 = std::array<std::uint8_t, 32>;
+
+/** Incremental SHA-256 context. */
+class Sha256
+{
+  public:
+    Sha256() { reset(); }
+
+    /** Restart the hash. */
+    void reset();
+
+    /** Absorb len bytes. */
+    void update(const void *data, std::size_t len);
+
+    /** Finish and return the digest. The context must be reset to reuse. */
+    Digest256 final();
+
+    /** One-shot helper. */
+    static Digest256 digest(const void *data, std::size_t len);
+
+    /** One-shot helper over a string. */
+    static Digest256 digest(const std::string &s);
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::array<std::uint32_t, 8> state_;
+    std::uint64_t bitLen_;
+    std::array<std::uint8_t, 64> buffer_;
+    std::size_t bufLen_;
+};
+
+/** Truncate a digest to 64 bits (hash-table keys, short MACs). */
+std::uint64_t digestTo64(const Digest256 &d);
+
+} // namespace crypto
+} // namespace fsencr
+
+#endif // FSENCR_CRYPTO_SHA256_HH

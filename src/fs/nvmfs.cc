@@ -1,0 +1,153 @@
+#include "fs/nvmfs.hh"
+
+#include "common/logging.hh"
+
+namespace fsencr {
+
+NvmFilesystem::NvmFilesystem(const PhysLayout &layout)
+    : layout_(layout), statGroup_("nvmfs")
+{
+    // Reserve the first 16 MB of the PMEM region for "on-disk"
+    // filesystem metadata (superblock, inode table, bitmap), matching
+    // a realistic mkfs layout even though those structures are modeled
+    // host-side.
+    constexpr std::uint64_t metadata_reserve = 16ull << 20;
+    dataBase_ = layout.pmemBase() + metadata_reserve;
+    std::uint64_t data_bytes = layout.pmemBytes() - metadata_reserve;
+    bitmap_.assign(data_bytes / pageSize, false);
+
+    statGroup_.addScalar("creates", creates_);
+    statGroup_.addScalar("unlinks", unlinks_);
+    statGroup_.addScalar("blockAllocs", blockAllocs_);
+}
+
+Addr
+NvmFilesystem::allocBlock()
+{
+    for (std::size_t probed = 0; probed < bitmap_.size(); ++probed) {
+        std::size_t idx = (nextFit_ + probed) % bitmap_.size();
+        if (!bitmap_[idx]) {
+            bitmap_[idx] = true;
+            nextFit_ = idx + 1;
+            ++blocksInUse_;
+            ++blockAllocs_;
+            return dataBase_ + static_cast<Addr>(idx) * pageSize;
+        }
+    }
+    fatal("nvmfs: out of space (%llu blocks in use)",
+          static_cast<unsigned long long>(blocksInUse_));
+}
+
+void
+NvmFilesystem::freeBlock(Addr paddr)
+{
+    std::size_t idx = (paddr - dataBase_) / pageSize;
+    if (idx >= bitmap_.size() || !bitmap_[idx])
+        panic("nvmfs: bad block free at %#lx",
+              static_cast<unsigned long>(paddr));
+    bitmap_[idx] = false;
+    --blocksInUse_;
+}
+
+std::uint32_t
+NvmFilesystem::create(const std::string &path, std::uint32_t uid,
+                      std::uint32_t gid, std::uint16_t mode,
+                      bool encrypted)
+{
+    if (dir_.count(path))
+        fatal("nvmfs: path '%s' already exists", path.c_str());
+    ++creates_;
+    Inode node;
+    node.ino = nextIno_++;
+    node.uid = uid;
+    node.gid = gid;
+    node.mode = mode;
+    node.encrypted = encrypted;
+    inodes_[node.ino] = node;
+    dir_[path] = node.ino;
+    return node.ino;
+}
+
+std::optional<std::uint32_t>
+NvmFilesystem::lookup(const std::string &path) const
+{
+    auto it = dir_.find(path);
+    if (it == dir_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::vector<Addr>
+NvmFilesystem::unlink(const std::string &path)
+{
+    auto it = dir_.find(path);
+    if (it == dir_.end())
+        fatal("nvmfs: unlink of missing path '%s'", path.c_str());
+    ++unlinks_;
+    std::uint32_t ino = it->second;
+    dir_.erase(it);
+
+    Inode &node = inodes_.at(ino);
+    std::vector<Addr> freed = node.blocks;
+    for (Addr b : node.blocks)
+        freeBlock(b);
+    inodes_.erase(ino);
+    return freed;
+}
+
+Inode &
+NvmFilesystem::inode(std::uint32_t ino)
+{
+    auto it = inodes_.find(ino);
+    if (it == inodes_.end())
+        fatal("nvmfs: bad inode %u", ino);
+    return it->second;
+}
+
+const Inode &
+NvmFilesystem::inode(std::uint32_t ino) const
+{
+    return const_cast<NvmFilesystem *>(this)->inode(ino);
+}
+
+void
+NvmFilesystem::extendTo(std::uint32_t ino, std::uint64_t new_size)
+{
+    Inode &node = inode(ino);
+    std::uint64_t needed = (new_size + pageSize - 1) / pageSize;
+    while (node.blocks.size() < needed)
+        node.blocks.push_back(allocBlock());
+    if (new_size > node.size)
+        node.size = new_size;
+}
+
+Addr
+NvmFilesystem::blockPaddr(std::uint32_t ino, std::uint64_t offset) const
+{
+    const Inode &node = inode(ino);
+    std::uint64_t blk = offset / pageSize;
+    if (blk >= node.blocks.size())
+        fatal("nvmfs: offset %llu beyond file %u (size %llu)",
+              static_cast<unsigned long long>(offset), ino,
+              static_cast<unsigned long long>(node.size));
+    return node.blocks[blk] + pageOffset(offset);
+}
+
+bool
+NvmFilesystem::permits(const Inode &node, std::uint32_t uid,
+                       std::uint32_t gid, bool want_write)
+{
+    if (uid == 0)
+        return true; // root
+    std::uint16_t mode = node.mode;
+    if (uid == node.uid)
+        return want_write ? (mode & modeOwnerWrite)
+                          : (mode & modeOwnerRead);
+    if (gid == node.gid)
+        return want_write ? (mode & modeGroupWrite)
+                          : (mode & modeGroupRead);
+    return want_write ? (mode & modeOtherWrite)
+                      : (mode & modeOtherRead);
+}
+
+} // namespace fsencr

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * A DAX-enabled NVM filesystem in the spirit of ext4-dax.
+ *
+ * The filesystem owns the persistent region [pmemBase, pmemBase+4GB):
+ * a 4 KB block allocator hands out physical pages, inodes track
+ * ownership/permissions/encryption state, and a flat namespace maps
+ * paths to inodes. The defining DAX property: a file offset translates
+ * directly to a physical NVM address (blockPaddr) that the kernel maps
+ * into an application's address space — no page cache in between.
+ *
+ * Modeling note (see DESIGN.md §7): filesystem *metadata* (superblock,
+ * inode table, directory, bitmap) is kept as host-side structures that
+ * survive simulated crashes, standing in for a journaled metadata path;
+ * file *data* flows through the full simulated memory system including
+ * encryption, and is the subject of every experiment.
+ */
+
+#ifndef FSENCR_FS_NVMFS_HH
+#define FSENCR_FS_NVMFS_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "crypto/key.hh"
+#include "mem/phys_layout.hh"
+
+namespace fsencr {
+
+/** Unix-ish permission bits. */
+enum ModeBits : std::uint16_t {
+    modeOwnerRead = 0400,
+    modeOwnerWrite = 0200,
+    modeGroupRead = 0040,
+    modeGroupWrite = 0020,
+    modeOtherRead = 0004,
+    modeOtherWrite = 0002,
+};
+
+/** An on-"disk" inode. */
+struct Inode
+{
+    std::uint32_t ino = 0;
+    std::uint32_t uid = 0;
+    std::uint32_t gid = 0;
+    std::uint16_t mode = 0600;
+    bool encrypted = false;
+    std::uint64_t size = 0;
+    /** FEK wrapped under the owner's FEKEK (eCryptfs-style). */
+    crypto::Key128 wrappedFek{};
+    /** Truncated hash of the FEK for open-time passphrase checks. */
+    std::uint64_t fekCheck = 0;
+    /** Physical page address of each 4KB file block. */
+    std::vector<Addr> blocks;
+};
+
+/** The filesystem. */
+class NvmFilesystem
+{
+  public:
+    explicit NvmFilesystem(const PhysLayout &layout);
+
+    /**
+     * Create a file.
+     * @return the new inode number
+     * @throws FatalError if the path exists
+     */
+    std::uint32_t create(const std::string &path, std::uint32_t uid,
+                         std::uint32_t gid, std::uint16_t mode,
+                         bool encrypted);
+
+    /** Path -> inode number, or nullopt. */
+    std::optional<std::uint32_t> lookup(const std::string &path) const;
+
+    /** Remove a file and free its blocks.
+     *  @return the freed physical pages (for shredding) */
+    std::vector<Addr> unlink(const std::string &path);
+
+    /** Mutable inode access. */
+    Inode &inode(std::uint32_t ino);
+    const Inode &inode(std::uint32_t ino) const;
+
+    /** Grow the file to at least new_size bytes (block granular). */
+    void extendTo(std::uint32_t ino, std::uint64_t new_size);
+
+    /**
+     * DAX translation: physical address of the byte at file offset.
+     * The page must be allocated.
+     */
+    Addr blockPaddr(std::uint32_t ino, std::uint64_t offset) const;
+
+    /** Permission check for a (uid, gid) principal. */
+    static bool permits(const Inode &node, std::uint32_t uid,
+                        std::uint32_t gid, bool want_write);
+
+    /** List directory contents (path -> ino). */
+    const std::map<std::string, std::uint32_t> &entries() const
+    {
+        return dir_;
+    }
+
+    std::uint64_t blocksInUse() const { return blocksInUse_; }
+    std::uint64_t capacityBlocks() const { return bitmap_.size(); }
+
+    /** Adopt the on-module filesystem image of a migrated device
+     *  (superblock, inodes, directory, allocation state). */
+    void
+    adoptImage(const NvmFilesystem &donor)
+    {
+        bitmap_ = donor.bitmap_;
+        nextFit_ = donor.nextFit_;
+        blocksInUse_ = donor.blocksInUse_;
+        dir_ = donor.dir_;
+        inodes_ = donor.inodes_;
+        nextIno_ = donor.nextIno_;
+    }
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+
+  private:
+    Addr allocBlock();
+    void freeBlock(Addr paddr);
+
+    const PhysLayout &layout_;
+    Addr dataBase_;
+
+    std::vector<bool> bitmap_;
+    std::size_t nextFit_ = 0;
+    std::uint64_t blocksInUse_ = 0;
+
+    std::map<std::string, std::uint32_t> dir_;
+    std::map<std::uint32_t, Inode> inodes_;
+    std::uint32_t nextIno_ = 1;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar creates_;
+    stats::Scalar unlinks_;
+    stats::Scalar blockAllocs_;
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_FS_NVMFS_HH

@@ -1,0 +1,423 @@
+#include "fsenc/ott.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "crypto/sha256.hh"
+
+namespace fsencr {
+
+namespace {
+
+/** Serialized spill-slot image (fits one 64B line). */
+struct SlotImage
+{
+    std::uint8_t valid;
+    std::uint8_t pad[3];
+    std::uint32_t gid;
+    std::uint32_t fid;
+    std::uint8_t key[16];
+
+    void
+    toLine(std::uint8_t *out) const
+    {
+        std::memset(out, 0, blockSize);
+        out[0] = valid;
+        std::memcpy(out + 4, &gid, 4);
+        std::memcpy(out + 8, &fid, 4);
+        std::memcpy(out + 12, key, 16);
+    }
+
+    void
+    fromLine(const std::uint8_t *in)
+    {
+        valid = in[0];
+        std::memcpy(&gid, in + 4, 4);
+        std::memcpy(&fid, in + 8, 4);
+        std::memcpy(key, in + 12, 16);
+    }
+};
+
+/** Virgin NVM reads as zero; an all-zero ciphertext is an empty slot
+ *  (sealed images are never all-zero: the XTS tweak whitens them). */
+bool
+isVirginSlot(const std::uint8_t *cipher)
+{
+    for (std::size_t i = 0; i < blockSize; ++i)
+        if (cipher[i] != 0)
+            return false;
+    return true;
+}
+
+std::uint64_t
+hashIds(std::uint32_t gid, std::uint32_t fid)
+{
+    std::uint64_t v = (std::uint64_t(gid) << 32) | fid;
+    // SplitMix64 finalizer.
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+    return v ^ (v >> 31);
+}
+
+} // namespace
+
+OpenTunnelTable::OpenTunnelTable(const SecParams &params,
+                                 const PhysLayout &layout,
+                                 NvmDevice &device, MerkleTree &merkle,
+                                 const crypto::Key128 &ott_key,
+                                 Tick cycle_period)
+    : params_(params), layout_(layout), device_(device), merkle_(merkle),
+      ottAes_(ott_key), cyclePeriod_(cycle_period),
+      entries_(params.ottEntries), statGroup_("ott")
+{
+    statGroup_.addScalar("lookups", lookups_);
+    statGroup_.addScalar("hits", hits_);
+    statGroup_.addScalar("spillRecalls", spillRecalls_);
+    statGroup_.addScalar("spillWrites", spillWrites_);
+    statGroup_.addScalar("inserts", inserts_);
+    statGroup_.addScalar("removes", removes_);
+    statGroup_.addScalar("missingKeys", missingKeys_);
+}
+
+std::size_t
+OpenTunnelTable::numSpillSlots() const
+{
+    return layout_.ottSpillBytes() / blockSize;
+}
+
+std::size_t
+OpenTunnelTable::spillHomeSlot(std::uint32_t gid,
+                               std::uint32_t fid) const
+{
+    return static_cast<std::size_t>(hashIds(gid, fid) % numSpillSlots());
+}
+
+Addr
+OpenTunnelTable::spillSlotAddr(std::size_t slot) const
+{
+    return layout_.ottSpillBase() + slot * blockSize;
+}
+
+void
+OpenTunnelTable::sealSlot(std::size_t slot, const std::uint8_t *plain,
+                          std::uint8_t *cipher) const
+{
+    // XTS-lite: tweak_i = AES_k(slot || i); c_i = AES_k(p_i ^ t_i) ^ t_i.
+    for (unsigned i = 0; i < blockSize / 16; ++i) {
+        crypto::Block128 tweak_in{};
+        std::uint64_t s = slot;
+        std::memcpy(tweak_in.data(), &s, 8);
+        tweak_in[8] = static_cast<std::uint8_t>(i);
+        crypto::Block128 tweak = ottAes_.encryptBlock(tweak_in);
+
+        crypto::Block128 blk;
+        std::memcpy(blk.data(), plain + i * 16, 16);
+        for (int j = 0; j < 16; ++j)
+            blk[j] ^= tweak[j];
+        blk = ottAes_.encryptBlock(blk);
+        for (int j = 0; j < 16; ++j)
+            blk[j] ^= tweak[j];
+        std::memcpy(cipher + i * 16, blk.data(), 16);
+    }
+}
+
+void
+OpenTunnelTable::openSlot(std::size_t slot, const std::uint8_t *cipher,
+                          std::uint8_t *plain) const
+{
+    for (unsigned i = 0; i < blockSize / 16; ++i) {
+        crypto::Block128 tweak_in{};
+        std::uint64_t s = slot;
+        std::memcpy(tweak_in.data(), &s, 8);
+        tweak_in[8] = static_cast<std::uint8_t>(i);
+        crypto::Block128 tweak = ottAes_.encryptBlock(tweak_in);
+
+        crypto::Block128 blk;
+        std::memcpy(blk.data(), cipher + i * 16, 16);
+        for (int j = 0; j < 16; ++j)
+            blk[j] ^= tweak[j];
+        blk = ottAes_.decryptBlock(blk);
+        for (int j = 0; j < 16; ++j)
+            blk[j] ^= tweak[j];
+        std::memcpy(plain + i * 16, blk.data(), 16);
+    }
+}
+
+OpenTunnelTable::Entry *
+OpenTunnelTable::findEntry(std::uint32_t gid, std::uint32_t fid)
+{
+    for (Entry &e : entries_) {
+        if (e.valid && e.gid == gid && e.fid == fid)
+            return &e;
+    }
+    return nullptr;
+}
+
+Tick
+OpenTunnelTable::spillWrite(const Entry &e, Tick now)
+{
+    ++spillWrites_;
+    std::size_t home = spillHomeSlot(e.gid, e.fid);
+    std::size_t n = numSpillSlots();
+    std::size_t target = home;
+    Tick latency = 0;
+
+    // Linear probe for this entry's existing slot or a free one.
+    for (unsigned p = 0; p < spillProbeDepth; ++p) {
+        std::size_t slot = (home + p) % n;
+        std::uint8_t cipher[blockSize];
+        device_.read(spillSlotAddr(slot), cipher, blockSize);
+        SlotImage img;
+        if (isVirginSlot(cipher)) {
+            img.valid = 0;
+        } else {
+            std::uint8_t plain[blockSize];
+            openSlot(slot, cipher, plain);
+            img.fromLine(plain);
+        }
+        if (!img.valid || (img.gid == e.gid && img.fid == e.fid)) {
+            target = slot;
+            break;
+        }
+        if (p == spillProbeDepth - 1) {
+            warn("OTT spill table bucket overflow; overwriting slot");
+            target = home;
+        }
+    }
+
+    SlotImage img{};
+    img.valid = 1;
+    img.gid = e.gid;
+    img.fid = e.fid;
+    std::memcpy(img.key, e.key.data(), 16);
+
+    std::uint8_t plain[blockSize];
+    img.toLine(plain);
+    std::uint8_t cipher[blockSize];
+    sealSlot(target, plain, cipher);
+
+    Addr addr = spillSlotAddr(target);
+    device_.write(addr, cipher, blockSize);
+    merkle_.updateLeaf(addr);
+
+    MemRequest req;
+    req.paddr = addr;
+    req.isWrite = true;
+    req.cls = TrafficClass::OttSpill;
+    latency += device_.access(req, now);
+    return latency;
+}
+
+std::optional<OpenTunnelTable::Entry>
+OpenTunnelTable::spillRead(std::uint32_t gid, std::uint32_t fid,
+                           Tick now, Tick &latency)
+{
+    std::size_t home = spillHomeSlot(gid, fid);
+    std::size_t n = numSpillSlots();
+    latency = 0;
+
+    for (unsigned p = 0; p < spillProbeDepth; ++p) {
+        std::size_t slot = (home + p) % n;
+        Addr addr = spillSlotAddr(slot);
+
+        MemRequest req;
+        req.paddr = addr;
+        req.isWrite = false;
+        req.cls = TrafficClass::OttSpill;
+        latency += device_.access(req, now + latency);
+
+        if (!merkle_.verifyLeaf(addr))
+            fatal("OTT spill region integrity violation at %#lx",
+                  static_cast<unsigned long>(addr));
+
+        std::uint8_t cipher[blockSize];
+        device_.read(addr, cipher, blockSize);
+        if (isVirginSlot(cipher))
+            continue;
+        std::uint8_t plain[blockSize];
+        openSlot(slot, cipher, plain);
+        SlotImage img;
+        img.fromLine(plain);
+        if (img.valid && img.gid == gid && img.fid == fid) {
+            Entry e;
+            e.valid = true;
+            e.gid = gid;
+            e.fid = fid;
+            std::memcpy(e.key.data(), img.key, 16);
+            // Decrypting the recalled entry costs one AES pass.
+            latency += params_.aesLatency;
+            return e;
+        }
+        // Keep probing even past empty slots: erasures leave holes in
+        // the chain (no tombstones in this simple open addressing).
+    }
+    return std::nullopt;
+}
+
+Tick
+OpenTunnelTable::spillErase(std::uint32_t gid, std::uint32_t fid,
+                            Tick now)
+{
+    std::size_t home = spillHomeSlot(gid, fid);
+    std::size_t n = numSpillSlots();
+    Tick latency = 0;
+
+    for (unsigned p = 0; p < spillProbeDepth; ++p) {
+        std::size_t slot = (home + p) % n;
+        Addr addr = spillSlotAddr(slot);
+        std::uint8_t cipher[blockSize];
+        device_.read(addr, cipher, blockSize);
+        if (isVirginSlot(cipher))
+            continue;
+        std::uint8_t plain[blockSize];
+        openSlot(slot, cipher, plain);
+        SlotImage img;
+        img.fromLine(plain);
+        if (img.valid && img.gid == gid && img.fid == fid) {
+            img.valid = 0;
+            std::memset(img.key, 0, 16);
+            img.toLine(plain);
+            sealSlot(slot, plain, cipher);
+            device_.write(addr, cipher, blockSize);
+            merkle_.updateLeaf(addr);
+
+            MemRequest req;
+            req.paddr = addr;
+            req.isWrite = true;
+            req.cls = TrafficClass::OttSpill;
+            latency += device_.access(req, now);
+            return latency;
+        }
+    }
+    return latency;
+}
+
+OttLookupResult
+OpenTunnelTable::lookup(std::uint32_t gid, std::uint32_t fid, Tick now)
+{
+    ++lookups_;
+    ++lruClock_;
+    OttLookupResult res;
+    res.latency = params_.ottLatency * cyclePeriod_;
+
+    if (Entry *e = findEntry(gid, fid)) {
+        ++hits_;
+        e->lru = lruClock_;
+        res.found = true;
+        res.ottHit = true;
+        res.key = e->key;
+        return res;
+    }
+
+    // Recall from the encrypted spill region.
+    Tick spill_latency = 0;
+    auto recalled = spillRead(gid, fid, now + res.latency, spill_latency);
+    res.latency += spill_latency;
+    if (recalled) {
+        ++spillRecalls_;
+        res.found = true;
+        res.key = recalled->key;
+        res.latency += installEntry(*recalled, now + res.latency);
+    } else {
+        ++missingKeys_;
+    }
+    return res;
+}
+
+Tick
+OpenTunnelTable::installEntry(const Entry &e, Tick now)
+{
+    // Free or LRU way.
+    Entry *victim = nullptr;
+    for (Entry &cand : entries_) {
+        if (!cand.valid) {
+            victim = &cand;
+            break;
+        }
+        if (!victim || cand.lru < victim->lru)
+            victim = &cand;
+    }
+
+    Tick latency = 0;
+    if (victim->valid)
+        latency += spillWrite(*victim, now);
+
+    *victim = e;
+    victim->lru = ++lruClock_;
+    return latency;
+}
+
+Tick
+OpenTunnelTable::insert(std::uint32_t gid, std::uint32_t fid,
+                        const crypto::Key128 &key, Tick now,
+                        bool log_immediately)
+{
+    ++inserts_;
+    Entry e;
+    e.valid = true;
+    e.gid = gid;
+    e.fid = fid;
+    e.key = key;
+
+    Tick latency = 0;
+    if (Entry *existing = findEntry(gid, fid)) {
+        *existing = e;
+        existing->lru = ++lruClock_;
+    } else {
+        latency += installEntry(e, now);
+    }
+    if (log_immediately)
+        latency += spillWrite(e, now + latency);
+    return latency;
+}
+
+Tick
+OpenTunnelTable::remove(std::uint32_t gid, std::uint32_t fid, Tick now)
+{
+    ++removes_;
+    if (Entry *e = findEntry(gid, fid)) {
+        e->valid = false;
+        e->key.fill(0);
+    }
+    return spillErase(gid, fid, now);
+}
+
+void
+OpenTunnelTable::crash(bool backup_power_flush, Tick now)
+{
+    if (backup_power_flush) {
+        for (const Entry &e : entries_)
+            if (e.valid)
+                spillWrite(e, now);
+    }
+    for (Entry &e : entries_) {
+        e.valid = false;
+        e.key.fill(0);
+        e.lru = 0;
+    }
+    lruClock_ = 0;
+}
+
+void
+OpenTunnelTable::adoptKey(const crypto::Key128 &ott_key)
+{
+    ottAes_.setKey(ott_key);
+    for (Entry &e : entries_) {
+        e.valid = false;
+        e.key.fill(0);
+        e.lru = 0;
+    }
+    lruClock_ = 0;
+}
+
+std::size_t
+OpenTunnelTable::validEntries() const
+{
+    std::size_t n = 0;
+    for (const Entry &e : entries_)
+        if (e.valid)
+            ++n;
+    return n;
+}
+
+} // namespace fsencr

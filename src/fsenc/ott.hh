@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Open Tunnel Table (OTT) — the on-chip file-key store (Section III-E).
+ *
+ * 1024 entries (8 banks x 128 fully-associative entries searched in
+ * parallel), each holding {File ID (14 b), Group ID (18 b), 128-bit
+ * file key}. Lookup costs 20 cycles (a deliberate power/latency
+ * trade-off versus a single-cycle TLB-style search).
+ *
+ * Evicted entries spill to a dedicated memory region as a
+ * set-associative hash table, encrypted under the processor-resident
+ * OTT key (XTS-style deterministic encryption, since the table is
+ * at-rest storage) and covered by the Merkle tree. A lookup that misses
+ * the OTT recalls the entry from the spill region.
+ */
+
+#ifndef FSENCR_FSENC_OTT_HH
+#define FSENCR_FSENC_OTT_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "crypto/key.hh"
+#include "mem/nvm_device.hh"
+#include "mem/phys_layout.hh"
+#include "secmem/merkle_tree.hh"
+
+namespace fsencr {
+
+/** Result of an OTT key lookup. */
+struct OttLookupResult
+{
+    /** True iff a key was found (in the OTT or the spill region). */
+    bool found = false;
+    /** True iff it was an on-chip OTT hit (no spill recall). */
+    bool ottHit = false;
+    crypto::Key128 key{};
+    /** Latency of the lookup (OTT search + any spill traffic). */
+    Tick latency = 0;
+};
+
+/** The Open Tunnel Table plus its encrypted spill region. */
+class OpenTunnelTable
+{
+  public:
+    OpenTunnelTable(const SecParams &params, const PhysLayout &layout,
+                    NvmDevice &device, MerkleTree &merkle,
+                    const crypto::Key128 &ott_key, Tick cycle_period);
+
+    /**
+     * Find the key for (group, file). On an OTT miss the entry is
+     * recalled from the encrypted spill region (extra device read +
+     * AES) and reinstalled, possibly spilling a victim.
+     *
+     * @param now current time (device timing)
+     */
+    OttLookupResult lookup(std::uint32_t gid, std::uint32_t fid,
+                           Tick now);
+
+    /**
+     * Install a new file key (MMIO path, file creation).
+     *
+     * @param log_immediately also write the entry through to the spill
+     *        region now (crash-consistency option 1, Section III-H)
+     * @return latency of the insert
+     */
+    Tick insert(std::uint32_t gid, std::uint32_t fid,
+                const crypto::Key128 &key, Tick now,
+                bool log_immediately);
+
+    /** Remove a file's key from OTT and spill (file deletion). */
+    Tick remove(std::uint32_t gid, std::uint32_t fid, Tick now);
+
+    /**
+     * Power loss. With backup_power_flush (crash-consistency option
+     * 2), the 2KB table is flushed to the spill region on the backup
+     * capacitor; otherwise only immediately-logged entries survive.
+     */
+    void crash(bool backup_power_flush, Tick now);
+
+    /** Number of valid on-chip entries. */
+    std::size_t validEntries() const;
+
+    /**
+     * Adopt a transported module (Section VI): install its OTT key so
+     * the on-module encrypted spill region becomes readable; the
+     * on-chip array of the new machine starts empty.
+     */
+    void adoptKey(const crypto::Key128 &ott_key);
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint32_t gid = 0;
+        std::uint32_t fid = 0;
+        crypto::Key128 key{};
+        std::uint64_t lru = 0;
+    };
+
+    /** Spill-slot layout helpers. */
+    std::size_t numSpillSlots() const;
+    std::size_t spillHomeSlot(std::uint32_t gid, std::uint32_t fid) const;
+    Addr spillSlotAddr(std::size_t slot) const;
+
+    /** XTS-style deterministic slot cipher. */
+    void sealSlot(std::size_t slot, const std::uint8_t *plain,
+                  std::uint8_t *cipher) const;
+    void openSlot(std::size_t slot, const std::uint8_t *cipher,
+                  std::uint8_t *plain) const;
+
+    /** Write an entry to its spill slot; returns device latency. */
+    Tick spillWrite(const Entry &e, Tick now);
+
+    /** Try to find (gid, fid) in the spill region. */
+    std::optional<Entry> spillRead(std::uint32_t gid, std::uint32_t fid,
+                                   Tick now, Tick &latency);
+
+    /** Remove (gid, fid) from the spill region if present. */
+    Tick spillErase(std::uint32_t gid, std::uint32_t fid, Tick now);
+
+    Entry *findEntry(std::uint32_t gid, std::uint32_t fid);
+
+    /** Insert into the on-chip array, spilling the LRU victim. */
+    Tick installEntry(const Entry &e, Tick now);
+
+    SecParams params_;
+    const PhysLayout &layout_;
+    NvmDevice &device_;
+    MerkleTree &merkle_;
+    crypto::Aes128 ottAes_;
+    Tick cyclePeriod_;
+
+    std::vector<Entry> entries_;
+    std::uint64_t lruClock_ = 0;
+
+    static constexpr unsigned spillProbeDepth = 8;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar lookups_;
+    stats::Scalar hits_;
+    stats::Scalar spillRecalls_;
+    stats::Scalar spillWrites_;
+    stats::Scalar inserts_;
+    stats::Scalar removes_;
+    stats::Scalar missingKeys_;
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_FSENC_OTT_HH

@@ -1,0 +1,1036 @@
+#include "fsenc/secure_memory_controller.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "cpu/mem_trace.hh"
+
+namespace fsencr {
+
+SecureMemoryController::SecureMemoryController(const SimConfig &cfg,
+                                               const PhysLayout &layout,
+                                               NvmDevice &device,
+                                               Rng &rng)
+    : cfg_(cfg), layout_(layout), device_(device),
+      memKey_(crypto::randomKey(rng)),
+      ottKeyValue_(crypto::randomKey(rng)),
+      memAes_(memKey_),
+      osiris_(cfg.sec.osirisStopLoss),
+      statGroup_("mc"),
+      readLatency_(32, 10 * tickPerNs),
+      writeLatency_(32, 10 * tickPerNs)
+{
+    if (cfg_.hasMemoryEncryption()) {
+        merkle_ = std::make_unique<MerkleTree>(layout_, device_,
+                                               cfg_.sec.merkleArity);
+        counters_ = std::make_unique<CounterStore>(device_, *merkle_);
+        metaCache_ = std::make_unique<MetadataCache>(cfg_.sec,
+                                                     layout_);
+        statGroup_.addChild(&merkle_->statGroup());
+        statGroup_.addChild(&counters_->statGroup());
+        statGroup_.addChild(&metaCache_->statGroup());
+        statGroup_.addChild(&osiris_.statGroup());
+    }
+    if (cfg_.hasFsEncr()) {
+        ott_ = std::make_unique<OpenTunnelTable>(
+            cfg_.sec, layout_, device_, *merkle_, ottKeyValue_,
+            cfg_.cyclePeriod());
+        statGroup_.addChild(&ott_->statGroup());
+    }
+
+    statGroup_.addScalar("dataReads", dataReads_);
+    statGroup_.addScalar("dataWrites", dataWrites_);
+    statGroup_.addScalar("daxReads", daxReads_);
+    statGroup_.addScalar("daxWrites", daxWrites_);
+    statGroup_.addScalar("metaCacheMisses", metaCacheMisses_);
+    statGroup_.addScalar("merkleFetches", merkleFetches_);
+    statGroup_.addScalar("pageReencryptions", pageReencryptions_);
+    statGroup_.addScalar("lazyRekeyedPages", lazyRekeyedPages_);
+    statGroup_.addScalar("missingKeyAccesses", missingKeyAccesses_);
+    statGroup_.addScalar("integrityViolations", integrityViolations_);
+    statGroup_.addHistogram("readLatency", readLatency_);
+    statGroup_.addHistogram("writeLatency", writeLatency_);
+}
+
+crypto::Line
+SecureMemoryController::memPad(Addr line_addr, const Mecb &mecb,
+                               unsigned blk) const
+{
+    crypto::CtrIv iv;
+    iv.pageId = pageNumber(line_addr);
+    iv.pageOffset = blk;
+    iv.major = mecb.major;
+    iv.minor = mecb.minors.minor[blk];
+    return crypto::makeOtp(memAes_, iv);
+}
+
+crypto::Line
+SecureMemoryController::filePad(Addr line_addr, const Fecb &fecb,
+                                unsigned blk,
+                                const crypto::Key128 &key) const
+{
+    crypto::Aes128 aes(key);
+    crypto::CtrIv iv;
+    iv.pageId = pageNumber(line_addr);
+    iv.pageOffset = blk;
+    iv.major = fecb.major;
+    iv.minor = fecb.minors.minor[blk];
+    return crypto::makeOtp(aes, iv);
+}
+
+void
+SecureMemoryController::handleMetaEviction(Addr victim_addr, bool dirty,
+                                           Tick now)
+{
+    auto kind = layout_.classifyMeta(victim_addr);
+    switch (kind) {
+      case PhysLayout::MetaKind::Mecb:
+        counters_->evictMecb(victim_addr, dirty);
+        anubisShadow_.erase(victim_addr);
+        break;
+      case PhysLayout::MetaKind::Fecb:
+        counters_->evictFecb(victim_addr, dirty);
+        anubisShadow_.erase(victim_addr);
+        break;
+      case PhysLayout::MetaKind::MerkleNode:
+        // Node MACs live in the sparse host-side tree; the device write
+        // below models the traffic only.
+        break;
+      default:
+        panic("unexpected metadata-cache victim %#lx",
+              static_cast<unsigned long>(victim_addr));
+    }
+
+    if (dirty) {
+        MemRequest req;
+        req.paddr = victim_addr;
+        req.isWrite = true;
+        req.cls = kind == PhysLayout::MetaKind::MerkleNode
+                      ? TrafficClass::Merkle
+                      : TrafficClass::Metadata;
+        device_.access(req, now); // background bank occupancy
+    }
+}
+
+Tick
+SecureMemoryController::fetchMetadata(Addr meta_addr, Tick now,
+                                      bool *missed)
+{
+    Tick lat = cfg_.sec.metadataCacheLatency * cfg_.cyclePeriod();
+    CacheAccessResult res = metaCache_->access(meta_addr, false);
+    if (res.evicted)
+        handleMetaEviction(res.victimAddr, res.writeback, now);
+    if (res.hit)
+        return lat;
+
+    if (missed)
+        *missed = true;
+
+    ++metaCacheMisses_;
+
+    // Fetch the metadata line itself.
+    MemRequest req;
+    req.paddr = meta_addr;
+    req.isWrite = false;
+    req.cls = layout_.classifyMeta(meta_addr) ==
+                      PhysLayout::MetaKind::MerkleNode
+                  ? TrafficClass::Merkle
+                  : TrafficClass::Metadata;
+    lat += device_.access(req, now + lat);
+
+    // Anubis: log the newly resident counter block in the persistent
+    // shadow table (one extra NVM write per fill).
+    if (cfg_.sec.recovery == SecParams::Recovery::AnubisShadow &&
+        req.cls == TrafficClass::Metadata) {
+        anubisShadow_.insert(meta_addr);
+        MemRequest st;
+        st.paddr = meta_addr; // rides in a dedicated shadow region
+        st.isWrite = true;
+        st.cls = TrafficClass::Metadata;
+        device_.access(st, now + lat);
+    }
+
+    // Integrity: counter blocks are Merkle leaves; check the device
+    // image against the tree before trusting it.
+    if (req.cls == TrafficClass::Metadata &&
+        !merkle_->verifyLeaf(meta_addr)) {
+        ++integrityViolations_;
+        throw IntegrityError("counter block tampered at address " +
+                             std::to_string(meta_addr));
+    }
+
+    // Bonsai walk: fetch ancestors until a cached (trusted) node.
+    if (layout_.classifyMeta(meta_addr) !=
+        PhysLayout::MetaKind::MerkleNode) {
+        for (unsigned level = 1; level < merkle_->numLevels(); ++level) {
+            Addr node = merkle_->ancestorAddr(meta_addr, level);
+            CacheAccessResult nr = metaCache_->access(node, false);
+            if (nr.evicted)
+                handleMetaEviction(nr.victimAddr, nr.writeback,
+                                   now + lat);
+            if (nr.hit)
+                break;
+            ++merkleFetches_;
+            MemRequest mreq;
+            mreq.paddr = node;
+            mreq.isWrite = false;
+            mreq.cls = TrafficClass::Merkle;
+            lat += device_.access(mreq, now + lat);
+        }
+    }
+    return lat;
+}
+
+void
+SecureMemoryController::touchMetadataDirty(Addr meta_addr)
+{
+    CacheAccessResult res = metaCache_->access(meta_addr, true);
+    if (res.evicted)
+        handleMetaEviction(res.victimAddr, res.writeback, 0);
+}
+
+void
+SecureMemoryController::persistPageCounters(Addr line_addr, bool dax,
+                                            Tick now)
+{
+    Addr mecb_addr = layout_.mecbAddr(line_addr);
+    counters_->persistMecb(mecb_addr);
+    metaCache_->clean(mecb_addr);
+    MemRequest req;
+    req.paddr = mecb_addr;
+    req.isWrite = true;
+    req.cls = TrafficClass::Metadata;
+    device_.access(req, now);
+
+    if (dax) {
+        Addr fecb_addr = layout_.fecbAddr(line_addr);
+        counters_->persistFecb(fecb_addr);
+        metaCache_->clean(fecb_addr);
+        MemRequest freq;
+        freq.paddr = fecb_addr;
+        freq.isWrite = true;
+        freq.cls = TrafficClass::Metadata;
+        device_.access(freq, now);
+    }
+
+    // The updated tree path dirties the leaf's level-1 ancestor; its
+    // eventual eviction writes it back.
+    touchMetadataDirty(merkle_->ancestorAddr(mecb_addr, 1));
+}
+
+OttLookupResult
+SecureMemoryController::lookupFileKey(const Fecb &fecb, Tick now)
+{
+    OttLookupResult res = ott_->lookup(fecb.groupId, fecb.fileId, now);
+    if (!res.found)
+        ++missingKeyAccesses_;
+    return res;
+}
+
+Tick
+SecureMemoryController::wpqAccept(Tick now, Tick completion)
+{
+    while (!wpqInFlight_.empty() && wpqInFlight_.front() <= now)
+        wpqInFlight_.pop_front();
+
+    Tick stall = 0;
+    if (wpqInFlight_.size() >= cfg_.pcm.writeQueueDepth) {
+        Tick free_at = wpqInFlight_.front();
+        stall = free_at - now;
+        while (!wpqInFlight_.empty() && wpqInFlight_.front() <= free_at)
+            wpqInFlight_.pop_front();
+    }
+    wpqInFlight_.push_back(std::max(completion, now + stall));
+    return stall;
+}
+
+Tick
+SecureMemoryController::readLine(Addr full_addr, Tick now,
+                                 std::uint8_t *plain_out)
+{
+    Addr line = blockAlign(stripDfBit(full_addr));
+    bool dax = cfg_.hasFsEncr() && hasDfBit(full_addr);
+
+    if (trace_)
+        trace_->append({TraceRecord::Kind::Read, full_addr, 0, 0});
+
+    MemRequest dreq;
+    dreq.paddr = full_addr;
+    dreq.isWrite = false;
+    dreq.cls = TrafficClass::Data;
+
+    if (!cfg_.hasMemoryEncryption()) {
+        Tick lat = device_.access(dreq, now);
+        if (plain_out)
+            device_.readLine(line, plain_out);
+        readLatency_.sample(lat);
+        ++dataReads_;
+        return lat;
+    }
+
+    ++dataReads_;
+    if (dax)
+        ++daxReads_;
+
+    unsigned blk = blockInPage(line);
+    Addr mecb_addr = layout_.mecbAddr(line);
+
+    // Counter fetch (and FECB for DAX lines) through the metadata
+    // cache; the data-array read proceeds in parallel.
+    Tick meta_lat = fetchMetadata(mecb_addr, now);
+    Tick pad_lat = cfg_.sec.aesLatency;
+
+    Mecb mecb = counters_->mecb(mecb_addr);
+
+    bool have_file_key = false;
+    crypto::Key128 file_key{};
+    Fecb fecb;
+    if (dax) {
+        Addr fecb_addr = layout_.fecbAddr(line);
+        bool fecb_missed = false;
+        meta_lat += fetchMetadata(fecb_addr, now + meta_lat,
+                                  &fecb_missed);
+        fecb = counters_->fecb(fecb_addr);
+        if (!fsencLocked_) {
+            OttLookupResult key = lookupFileKey(fecb, now + meta_lat);
+            if (key.found) {
+                have_file_key = true;
+                file_key = key.key;
+                // A page awaiting lazy re-encryption still reads
+                // under its old key (Section VI).
+                if (const crypto::Key128 *old_key =
+                        lazyOldKey(fecb, line))
+                    file_key = *old_key;
+            }
+            // Opening the tunnel — resolving FECB ids to a key —
+            // is serial with the file-pad AES only when the FECB
+            // itself just arrived; for a cached FECB the resolution
+            // is cached alongside it and fully overlaps the data
+            // fetch (this is what makes the OTT affordable at 20
+            // cycles).
+            Tick key_lat = fecb_missed ? key.latency : 0;
+            pad_lat = std::max(cfg_.sec.aesLatency,
+                               key_lat + cfg_.sec.aesLatency);
+        }
+    }
+
+    Tick data_lat = device_.access(dreq, now);
+
+    // Functional decryption of the stored ciphertext.
+    std::uint8_t buf[blockSize];
+    device_.readLine(line, buf);
+    crypto::Line mpad = memPad(line, mecb, blk);
+    crypto::xorLine(buf, mpad);
+    if (dax && have_file_key) {
+        crypto::Line fpad = filePad(line, fecb, blk, file_key);
+        crypto::xorLine(buf, fpad);
+    }
+    if (plain_out)
+        std::memcpy(plain_out, buf, blockSize);
+
+    Tick total = std::max(data_lat, meta_lat + pad_lat) +
+                 cfg_.sec.xorLatency * cfg_.cyclePeriod();
+    readLatency_.sample(total);
+    return total;
+}
+
+Tick
+SecureMemoryController::writeLine(Addr full_addr,
+                                  const std::uint8_t *plain, Tick now,
+                                  bool blocking)
+{
+    Addr line = blockAlign(stripDfBit(full_addr));
+    bool dax = cfg_.hasFsEncr() && hasDfBit(full_addr);
+
+    if (trace_)
+        trace_->append({blocking ? TraceRecord::Kind::PersistWrite
+                                 : TraceRecord::Kind::Write,
+                        full_addr, 0, 0});
+
+    MemRequest dreq;
+    dreq.paddr = full_addr;
+    dreq.isWrite = true;
+    dreq.cls = TrafficClass::Data;
+
+    if (!cfg_.hasMemoryEncryption()) {
+        device_.writeLine(line, plain);
+        Tick dev_lat = device_.access(dreq, now); // bank occupancy
+        // ADR: accept into the WPQ is durability for all schemes, but
+        // a full queue backpressures at the device drain rate.
+        Tick lat = cfg_.pcm.writeAcceptLatency +
+                   wpqAccept(now, now + dev_lat);
+        writeLatency_.sample(lat);
+        ++dataWrites_;
+        return lat;
+    }
+
+    ++dataWrites_;
+    if (dax)
+        ++daxWrites_;
+
+    unsigned blk = blockInPage(line);
+    Addr mecb_addr = layout_.mecbAddr(line);
+    Addr fecb_addr = dax ? layout_.fecbAddr(line) : 0;
+
+    bool meta_missed = false;
+    Tick meta_lat = fetchMetadata(mecb_addr, now, &meta_missed);
+    if (dax)
+        meta_lat += fetchMetadata(fecb_addr, now + meta_lat,
+                                  &meta_missed);
+
+    // Copy-mutate-install: references into the CounterStore can be
+    // invalidated by nested metadata-cache evictions.
+    Mecb mecb = counters_->mecb(mecb_addr);
+    Fecb fecb;
+    if (dax)
+        fecb = counters_->fecb(fecb_addr);
+
+    bool have_file_key = false;
+    crypto::Key128 file_key{};
+    Tick pad_lat = cfg_.sec.aesLatency;
+    Tick reencrypt_lat = 0;
+    if (dax && !fsencLocked_) {
+        OttLookupResult key = lookupFileKey(fecb, now + meta_lat);
+        if (key.found) {
+            have_file_key = true;
+            file_key = key.key;
+            // A write to a page awaiting lazy re-keying first flips
+            // the whole page to the new key (Section VI).
+            reencrypt_lat += lazyRekeyOnWrite(fecb, line, file_key,
+                                              now + meta_lat);
+        }
+        pad_lat = std::max(cfg_.sec.aesLatency,
+                           key.latency + cfg_.sec.aesLatency);
+    }
+
+    // Bump the memory-layer minor counter; a 7-bit overflow bumps the
+    // major and re-encrypts the whole page (split-counter semantics).
+    if (mecb.minors.minor[blk] >= minorCounterMax) {
+        Mecb old_mecb = mecb;
+        mecb.major += 1;
+        mecb.minors = MinorCounters{};
+        reencrypt_lat +=
+            reencryptPage(pageAlign(line), old_mecb,
+                          dax ? &fecb : nullptr, mecb,
+                          dax ? &fecb : nullptr, now + meta_lat);
+    }
+    mecb.minors.minor[blk] += 1;
+
+    if (dax) {
+        if (fecb.minors.minor[blk] >= minorCounterMax) {
+            Fecb old_fecb = fecb;
+            Mecb cur_mecb = mecb;
+            Fecb new_fecb = fecb;
+            new_fecb.major += 1;
+            new_fecb.minors = MinorCounters{};
+            reencrypt_lat +=
+                reencryptPage(pageAlign(line), cur_mecb, &old_fecb,
+                              cur_mecb, &new_fecb, now + meta_lat);
+            fecb = new_fecb;
+        }
+        fecb.minors.minor[blk] += 1;
+    }
+
+    counters_->installMecb(mecb_addr, mecb);
+    touchMetadataDirty(mecb_addr);
+    if (dax) {
+        counters_->installFecb(fecb_addr, fecb);
+        touchMetadataDirty(fecb_addr);
+    }
+
+    // Functional encryption with the *new* counters.
+    std::uint8_t cipher[blockSize];
+    std::memcpy(cipher, plain, blockSize);
+    crypto::Line mpad = memPad(line, mecb, blk);
+    crypto::xorLine(cipher, mpad);
+    if (dax && have_file_key) {
+        crypto::Line fpad = filePad(line, fecb, blk, file_key);
+        crypto::xorLine(cipher, fpad);
+    }
+    device_.writeLine(line, cipher);
+    device_.setEcc(line, OsirisRecovery::eccOf(plain, line));
+
+    // Osiris stop-loss: force-persist counter blocks on their
+    // boundaries (or after an overflow, whose persist the
+    // re-encryption path needs anyway). FECBs persist at a longer
+    // cadence; recovery probes the lag pair two-dimensionally.
+    bool overflowed = reencrypt_lat > 0;
+    if (osiris_.atStopLoss(mecb.minors.minor[blk]) || overflowed) {
+        counters_->persistMecb(mecb_addr);
+        metaCache_->clean(mecb_addr);
+        MemRequest mpw;
+        mpw.paddr = mecb_addr;
+        mpw.isWrite = true;
+        mpw.cls = TrafficClass::Metadata;
+        device_.access(mpw, now + meta_lat);
+        touchMetadataDirty(merkle_->ancestorAddr(mecb_addr, 1));
+    }
+    if (dax) {
+        unsigned fecb_period = std::max(
+            1u, cfg_.sec.osirisStopLoss * cfg_.sec.fecbStopLossFactor);
+        if (fecb.minors.minor[blk] % fecb_period == 0 || overflowed) {
+            counters_->persistFecb(fecb_addr);
+            metaCache_->clean(fecb_addr);
+            MemRequest fpw;
+            fpw.paddr = fecb_addr;
+            fpw.isWrite = true;
+            fpw.cls = TrafficClass::Metadata;
+            device_.access(fpw, now + meta_lat);
+            touchMetadataDirty(merkle_->ancestorAddr(fecb_addr, 1));
+        }
+    }
+
+    Tick dev_lat = device_.access(dreq, now + meta_lat + pad_lat);
+    // The write occupies a WPQ slot until the pad is ready and the
+    // cell write drains; a full queue stalls the accept.
+    Tick completion = now + meta_lat + pad_lat + dev_lat;
+    Tick lat = cfg_.pcm.writeAcceptLatency + reencrypt_lat +
+               wpqAccept(now, completion);
+    if (blocking && meta_missed) {
+        // Persist-ordered (clwb+fence) under ADR: the store is durable
+        // at WPQ accept; pad generation and the cell write drain in
+        // the background. Only a counter fetch from NVM backpressures
+        // the accept itself.
+        lat += meta_lat;
+    }
+    writeLatency_.sample(lat);
+    return lat;
+}
+
+Tick
+SecureMemoryController::reencryptPage(Addr page_addr,
+                                      const Mecb &old_mecb,
+                                      const Fecb *old_fecb,
+                                      const Mecb &new_mecb,
+                                      const Fecb *new_fecb, Tick now)
+{
+    ++pageReencryptions_;
+
+    bool dax = old_fecb != nullptr;
+    crypto::Key128 file_key{};
+    bool have_file_key = false;
+    if (dax && !fsencLocked_) {
+        OttLookupResult key = lookupFileKey(*old_fecb, now);
+        if (key.found) {
+            have_file_key = true;
+            file_key = key.key;
+        }
+    }
+
+    Tick lat = 0;
+    for (unsigned blk = 0; blk < blocksPerPage; ++blk) {
+        Addr line = page_addr + blk * blockSize;
+
+        MemRequest rreq;
+        rreq.paddr = line;
+        rreq.isWrite = false;
+        rreq.cls = TrafficClass::Data;
+        lat += device_.access(rreq, now + lat);
+
+        std::uint8_t buf[blockSize];
+        device_.readLine(line, buf);
+
+        crypto::Line pad = memPad(line, old_mecb, blk);
+        crypto::xorLine(buf, pad);
+        if (have_file_key) {
+            crypto::Line fpad = filePad(line, *old_fecb, blk, file_key);
+            crypto::xorLine(buf, fpad);
+        }
+
+        // buf now holds plaintext; re-encrypt under the new counters.
+        pad = memPad(line, new_mecb, blk);
+        crypto::xorLine(buf, pad);
+        if (have_file_key && new_fecb) {
+            crypto::Line fpad = filePad(line, *new_fecb, blk, file_key);
+            crypto::xorLine(buf, fpad);
+        }
+        device_.writeLine(line, buf);
+
+        MemRequest wreq;
+        wreq.paddr = line;
+        wreq.isWrite = true;
+        wreq.cls = TrafficClass::Data;
+        lat += device_.access(wreq, now + lat);
+    }
+    return lat;
+}
+
+Tick
+SecureMemoryController::mmioRegisterFileKey(std::uint32_t gid,
+                                            std::uint32_t fid,
+                                            const crypto::Key128 &fek,
+                                            Tick now)
+{
+    if (!cfg_.hasFsEncr())
+        return 0;
+    // The hardware identifies files by the FECB's 18/14-bit fields;
+    // mask consistently at every MMIO entry point.
+    gid &= Fecb::groupIdMask;
+    fid &= Fecb::fileIdMask;
+    if (trace_)
+        trace_->append({TraceRecord::Kind::MmioKey, 0, gid, fid});
+    return ott_->insert(gid, fid, fek, now,
+                        cfg_.sec.ottLogImmediately);
+}
+
+Tick
+SecureMemoryController::mmioRemoveFileKey(std::uint32_t gid,
+                                          std::uint32_t fid, Tick now)
+{
+    if (!cfg_.hasFsEncr())
+        return 0;
+    return ott_->remove(gid & Fecb::groupIdMask,
+                        fid & Fecb::fileIdMask, now);
+}
+
+Tick
+SecureMemoryController::mmioStampPage(Addr paddr, std::uint32_t gid,
+                                      std::uint32_t fid, Tick now)
+{
+    if (!cfg_.hasFsEncr())
+        return 0;
+    if (trace_)
+        trace_->append({TraceRecord::Kind::MmioStamp, paddr, gid, fid});
+    Addr line = blockAlign(stripDfBit(paddr));
+    Addr fecb_addr = layout_.fecbAddr(line);
+    Tick lat = fetchMetadata(fecb_addr, now);
+    Fecb fecb = counters_->fecb(fecb_addr);
+    fecb.groupId = gid & Fecb::groupIdMask;
+    fecb.fileId = fid & Fecb::fileIdMask;
+    counters_->installFecb(fecb_addr, fecb);
+    touchMetadataDirty(fecb_addr);
+    // The stamp persists with the block's natural eviction or its
+    // first stop-loss boundary; after a crash the remount path
+    // re-stamps every file page from the (persistent) filesystem
+    // metadata, so no eager write is needed here.
+    return lat;
+}
+
+void
+SecureMemoryController::provisionAdminCredential(
+    const crypto::Key128 &credential)
+{
+    adminCredential_ = credential;
+    fsencLocked_ = false;
+}
+
+void
+SecureMemoryController::mmioAdminLogin(const crypto::Key128 &credential)
+{
+    if (!adminCredential_) {
+        fsencLocked_ = false;
+        return;
+    }
+    fsencLocked_ = credential != *adminCredential_;
+    if (fsencLocked_)
+        warn("admin credential mismatch: FsEncr decryption locked");
+}
+
+Tick
+SecureMemoryController::mmioReplaceFileKey(std::uint32_t gid,
+                                           std::uint32_t fid,
+                                           const crypto::Key128 &new_key,
+                                           Tick now)
+{
+    if (!cfg_.hasFsEncr())
+        return 0;
+    return ott_->insert(gid & Fecb::groupIdMask,
+                        fid & Fecb::fileIdMask, new_key, now,
+                        cfg_.sec.ottLogImmediately);
+}
+
+const crypto::Key128 *
+SecureMemoryController::lazyOldKey(const Fecb &fecb,
+                                   Addr line_addr) const
+{
+    auto it = lazyRekeys_.find(lazyKeyOf(fecb.groupId, fecb.fileId));
+    if (it == lazyRekeys_.end())
+        return nullptr;
+    if (!it->second.pendingPages.count(pageAlign(line_addr)))
+        return nullptr;
+    return &it->second.oldKey;
+}
+
+Tick
+SecureMemoryController::lazyRekeyOnWrite(const Fecb &fecb,
+                                         Addr line_addr,
+                                         const crypto::Key128 &new_key,
+                                         Tick now)
+{
+    auto it = lazyRekeys_.find(lazyKeyOf(fecb.groupId, fecb.fileId));
+    if (it == lazyRekeys_.end())
+        return 0;
+    Addr page = pageAlign(line_addr);
+    if (!it->second.pendingPages.count(page))
+        return 0;
+
+    // Re-encrypt the page in place: counters are untouched, only the
+    // file-layer pad flips from the old key to the new one.
+    ++lazyRekeyedPages_;
+    Tick lat = 0;
+    for (unsigned blk = 0; blk < blocksPerPage; ++blk) {
+        Addr l = page + blk * blockSize;
+        std::uint8_t buf[blockSize];
+        device_.readLine(l, buf);
+        crypto::Line old_pad =
+            filePad(l, fecb, blk, it->second.oldKey);
+        crypto::Line new_pad = filePad(l, fecb, blk, new_key);
+        crypto::xorLine(buf, old_pad);
+        crypto::xorLine(buf, new_pad);
+        device_.writeLine(l, buf);
+
+        MemRequest rreq;
+        rreq.paddr = l;
+        rreq.isWrite = false;
+        rreq.cls = TrafficClass::Data;
+        lat += device_.access(rreq, now + lat);
+        MemRequest wreq;
+        wreq.paddr = l;
+        wreq.isWrite = true;
+        wreq.cls = TrafficClass::Data;
+        lat += device_.access(wreq, now + lat);
+    }
+
+    it->second.pendingPages.erase(page);
+    if (it->second.pendingPages.empty())
+        lazyRekeys_.erase(it);
+    return lat;
+}
+
+Tick
+SecureMemoryController::mmioBeginLazyRekey(std::uint32_t gid,
+                                           std::uint32_t fid,
+                                           const crypto::Key128 &new_key,
+                                           const std::vector<Addr> &pages,
+                                           Tick now)
+{
+    if (!cfg_.hasFsEncr())
+        return 0;
+    gid &= Fecb::groupIdMask;
+    fid &= Fecb::fileIdMask;
+    auto current = ott_->lookup(gid, fid, now);
+    if (!current.found)
+        fatal("lazy rekey of (%u, %u) without a current key", gid,
+              fid);
+
+    LazyRekey state;
+    state.oldKey = current.key;
+    for (Addr p : pages)
+        state.pendingPages.insert(pageAlign(stripDfBit(p)));
+    lazyRekeys_[lazyKeyOf(gid, fid)] = std::move(state);
+
+    return ott_->insert(gid, fid, new_key, now + current.latency,
+                        cfg_.sec.ottLogImmediately) +
+           current.latency;
+}
+
+std::size_t
+SecureMemoryController::lazyRekeyPending(std::uint32_t gid,
+                                         std::uint32_t fid) const
+{
+    auto it = lazyRekeys_.find(lazyKeyOf(gid, fid));
+    return it == lazyRekeys_.end() ? 0
+                                   : it->second.pendingPages.size();
+}
+
+Tick
+SecureMemoryController::rekeyPage(Addr page_addr,
+                                  const crypto::Key128 &old_key,
+                                  Tick now)
+{
+    Addr line = blockAlign(stripDfBit(page_addr));
+    Addr fecb_addr = layout_.fecbAddr(line);
+    Addr mecb_addr = layout_.mecbAddr(line);
+    Tick lat = fetchMetadata(mecb_addr, now);
+    lat += fetchMetadata(fecb_addr, now + lat);
+    Mecb mecb = counters_->mecb(mecb_addr);
+    Fecb fecb = counters_->fecb(fecb_addr);
+
+    OttLookupResult key = lookupFileKey(fecb, now + lat);
+    if (!key.found)
+        fatal("rekeyPage: no current key for (%u, %u)", fecb.groupId,
+              fecb.fileId);
+
+    Tick total = lat;
+    for (unsigned blk = 0; blk < blocksPerPage; ++blk) {
+        Addr l = pageAlign(line) + blk * blockSize;
+        std::uint8_t buf[blockSize];
+        device_.readLine(l, buf);
+        crypto::Line mpad = memPad(l, mecb, blk);
+        crypto::Line old_fpad = filePad(l, fecb, blk, old_key);
+        crypto::Line new_fpad = filePad(l, fecb, blk, key.key);
+        crypto::xorLine(buf, old_fpad);
+        crypto::xorLine(buf, new_fpad);
+        (void)mpad; // memory layer unchanged: old^new file pads suffice
+        device_.writeLine(l, buf);
+
+        MemRequest rreq;
+        rreq.paddr = l;
+        rreq.isWrite = false;
+        rreq.cls = TrafficClass::Data;
+        total += device_.access(rreq, now + total);
+        MemRequest wreq;
+        wreq.paddr = l;
+        wreq.isWrite = true;
+        wreq.cls = TrafficClass::Data;
+        total += device_.access(wreq, now + total);
+    }
+    return total;
+}
+
+Tick
+SecureMemoryController::shredPage(Addr page_addr, Tick now)
+{
+    if (!cfg_.hasMemoryEncryption())
+        return 0;
+    Addr line = pageAlign(stripDfBit(page_addr));
+    Addr mecb_addr = layout_.mecbAddr(line);
+    Tick lat = fetchMetadata(mecb_addr, now);
+
+    Mecb mecb = counters_->mecb(mecb_addr);
+    mecb.major += 1; // every old IV becomes unreachable
+    mecb.minors = MinorCounters{};
+    counters_->installMecb(mecb_addr, mecb);
+    touchMetadataDirty(mecb_addr);
+
+    bool pmem = layout_.isPmem(line);
+    if (cfg_.hasFsEncr() && pmem) {
+        Addr fecb_addr = layout_.fecbAddr(line);
+        lat += fetchMetadata(fecb_addr, now + lat);
+        Fecb fecb;
+        fecb.major = counters_->fecb(fecb_addr).major + 1;
+        counters_->installFecb(fecb_addr, fecb);
+        touchMetadataDirty(fecb_addr);
+    }
+
+    // Drop the stale ECC words: the old plaintext no longer exists
+    // architecturally, so post-crash recovery must not resurrect it.
+    for (unsigned blk = 0; blk < blocksPerPage; ++blk)
+        device_.clearEcc(line + blk * blockSize);
+
+    persistPageCounters(line, cfg_.hasFsEncr() && pmem, now + lat);
+    return lat;
+}
+
+void
+SecureMemoryController::crash(Tick now)
+{
+    if (metaCache_)
+        metaCache_->loseAll();
+    if (counters_)
+        counters_->crash();
+    if (ott_)
+        ott_->crash(cfg_.sec.ottBackupPowerFlush, now);
+    device_.crash();
+}
+
+bool
+SecureMemoryController::recoverMetadata()
+{
+    if (!merkle_)
+        return true;
+    return merkle_->rebuildAndVerify();
+}
+
+bool
+SecureMemoryController::recoverLine(Addr full_addr)
+{
+    if (!cfg_.hasMemoryEncryption())
+        return true;
+
+    Addr line = blockAlign(stripDfBit(full_addr));
+    if (!device_.hasEcc(line))
+        return true; // never written through the encrypted path
+
+    unsigned blk = blockInPage(line);
+    Addr mecb_addr = layout_.mecbAddr(line);
+    Mecb mecb = counters_->persistedMecb(mecb_addr);
+
+    bool dax = false;
+    Fecb fecb;
+    Addr fecb_addr = 0;
+    if (cfg_.hasFsEncr() && layout_.isPmem(line)) {
+        fecb_addr = layout_.fecbAddr(line);
+        // Persisted minors drive the probe; the identity stamp may
+        // live only in the working copy (remount re-stamps it from
+        // filesystem metadata before recovery runs).
+        fecb = counters_->persistedFecb(fecb_addr);
+        Fecb working = counters_->fecb(fecb_addr);
+        if ((working.groupId | working.fileId) != 0) {
+            fecb.groupId = working.groupId;
+            fecb.fileId = working.fileId;
+        }
+        dax = (fecb.groupId | fecb.fileId) != 0;
+    }
+
+    crypto::Key128 file_key{};
+    if (dax) {
+        OttLookupResult key = ott_->lookup(fecb.groupId, fecb.fileId, 0);
+        if (!key.found)
+            return false; // key unrecoverable: line is lost
+        file_key = key.key;
+        if (const crypto::Key128 *old_key = lazyOldKey(fecb, line))
+            file_key = *old_key;
+    }
+
+    std::uint8_t cipher[blockSize];
+    device_.readLine(line, cipher);
+    std::uint32_t stored_ecc = device_.getEcc(line);
+
+    std::uint32_t persisted_mem_minor = mecb.minors.minor[blk];
+    std::uint32_t persisted_file_minor = fecb.minors.minor[blk];
+
+    if (!dax) {
+        auto trial = [&](std::uint32_t cand, std::uint8_t *plain) {
+            std::memcpy(plain, cipher, blockSize);
+            Mecb m = mecb;
+            m.minors.minor[blk] =
+                static_cast<std::uint8_t>(cand & minorCounterMax);
+            crypto::Line mpad = memPad(line, m, blk);
+            crypto::xorLine(plain, mpad);
+        };
+        auto recovered = osiris_.recoverMinor(persisted_mem_minor,
+                                              stored_ecc, trial, line);
+        if (!recovered)
+            return false;
+        mecb.minors.minor[blk] =
+            static_cast<std::uint8_t>(*recovered & minorCounterMax);
+        counters_->installMecb(mecb_addr, mecb);
+        counters_->persistMecb(mecb_addr);
+        return true;
+    }
+
+    // DAX line: the memory and file counters lag independently (the
+    // FECB persists at a longer cadence); probe the pair.
+    auto trial2 = [&](std::uint32_t dm, std::uint32_t df,
+                      std::uint8_t *plain) {
+        std::memcpy(plain, cipher, blockSize);
+        Mecb m = mecb;
+        m.minors.minor[blk] = static_cast<std::uint8_t>(
+            (persisted_mem_minor + dm) & minorCounterMax);
+        crypto::xorLine(plain, memPad(line, m, blk));
+        Fecb f = fecb;
+        f.minors.minor[blk] = static_cast<std::uint8_t>(
+            (persisted_file_minor + df) & minorCounterMax);
+        crypto::xorLine(plain, filePad(line, f, blk, file_key));
+    };
+    unsigned file_span = std::max(
+        1u, cfg_.sec.osirisStopLoss * cfg_.sec.fecbStopLossFactor);
+    auto pair = osiris_.recoverMinorPair(cfg_.sec.osirisStopLoss,
+                                         file_span, stored_ecc, trial2,
+                                         line);
+    if (!pair)
+        return false;
+
+    mecb.minors.minor[blk] = static_cast<std::uint8_t>(
+        (persisted_mem_minor + pair->first) & minorCounterMax);
+    counters_->installMecb(mecb_addr, mecb);
+    counters_->persistMecb(mecb_addr);
+    fecb.minors.minor[blk] = static_cast<std::uint8_t>(
+        (persisted_file_minor + pair->second) & minorCounterMax);
+    counters_->installFecb(fecb_addr, fecb);
+    counters_->persistFecb(fecb_addr);
+    return true;
+}
+
+std::uint64_t
+SecureMemoryController::recoverAll()
+{
+    return recoverAllReport().failures;
+}
+
+SecureMemoryController::RecoveryReport
+SecureMemoryController::recoverAllReport()
+{
+    RecoveryReport report;
+    std::uint64_t probes_before =
+        cfg_.hasMemoryEncryption()
+            ? osiris_.statGroup().scalarValue("probes")
+            : 0;
+
+    // Candidate lines: the full ECC map (Osiris sweep), or only the
+    // lines covered by shadow-tracked counter blocks (Anubis).
+    std::vector<Addr> lines;
+    if (cfg_.sec.recovery == SecParams::Recovery::AnubisShadow) {
+        for (Addr meta : anubisShadow_) {
+            Addr page = layout_.dataPageOfMeta(meta);
+            for (unsigned blk = 0; blk < blocksPerPage; ++blk) {
+                Addr line = page + blk * blockSize;
+                if (device_.hasEcc(line))
+                    lines.push_back(line);
+            }
+        }
+        // A page covered by both MECB and FECB appears twice.
+        std::sort(lines.begin(), lines.end());
+        lines.erase(std::unique(lines.begin(), lines.end()),
+                    lines.end());
+    } else {
+        lines.reserve(device_.eccMap().size());
+        for (const auto &[addr, ecc] : device_.eccMap()) {
+            (void)ecc;
+            lines.push_back(addr);
+        }
+    }
+
+    for (Addr a : lines) {
+        ++report.linesExamined;
+        // Replays the DF-bit decision from the persisted FECB stamp.
+        if (!recoverLine(a))
+            ++report.failures;
+    }
+
+    if (cfg_.hasMemoryEncryption())
+        report.probes = osiris_.statGroup().scalarValue("probes") -
+                        probes_before;
+    // First-order recovery time: one array read per examined line and
+    // one pipelined AES pass per probe (plus the shadow-table scan).
+    report.modelTime =
+        report.linesExamined * cfg_.pcm.readLatency +
+        report.probes * cfg_.sec.aesLatency +
+        anubisShadow_.size() * cfg_.pcm.readLatency;
+    return report;
+}
+
+void
+SecureMemoryController::shutdown(Tick now)
+{
+    if (counters_)
+        counters_->flushAll();
+    if (ott_)
+        ott_->crash(/*backup_power_flush=*/true, now);
+    anubisShadow_.clear(); // everything persisted: no stale counters
+}
+
+SecureMemoryController::SecurityCapsule
+SecureMemoryController::exportCapsule(Tick now)
+{
+    shutdown(now);
+    SecurityCapsule capsule;
+    capsule.memKey = memKey_;
+    capsule.ottKey = ottKeyValue_;
+    if (merkle_)
+        capsule.tree = merkle_->exportState();
+    return capsule;
+}
+
+bool
+SecureMemoryController::importCapsule(const SecurityCapsule &capsule)
+{
+    memKey_ = capsule.memKey;
+    memAes_.setKey(memKey_);
+    ottKeyValue_ = capsule.ottKey;
+    if (cfg_.hasFsEncr() && ott_) {
+        // The transported spill region becomes readable under the
+        // imported OTT key; the new machine's on-chip array is empty.
+        ott_->adoptKey(ottKeyValue_);
+    }
+    if (!merkle_)
+        return true;
+    merkle_->importState(capsule.tree);
+    // Authentication: the regenerated tree over the plugged-in module
+    // must reproduce the transported root.
+    return merkle_->rebuildAndVerify();
+}
+
+} // namespace fsencr

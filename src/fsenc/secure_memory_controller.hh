@@ -1,0 +1,371 @@
+/**
+ * @file
+ * The secure memory controller — where FsEncr lives (Section III).
+ *
+ * On every line request the controller demultiplexes on the DF-bit
+ * (Figure 7): general requests are protected by counter-mode memory
+ * encryption (MECB + memory key); DAX-file requests are additionally
+ * protected by a file-specific pad (FECB + per-file key from the OTT),
+ * the two pads XOR-composed into the final OTP. The metadata cache
+ * holds MECB, FECB and Merkle-tree nodes; misses walk the Bonsai tree
+ * until a cached (trusted) ancestor is reached.
+ *
+ * Functionally the controller really encrypts: the NVM device stores
+ * ciphertext, the out-of-band ECC word backs Osiris counter recovery,
+ * and tampering with persisted metadata trips the Merkle check.
+ */
+
+#ifndef FSENCR_FSENC_SECURE_MEMORY_CONTROLLER_HH
+#define FSENCR_FSENC_SECURE_MEMORY_CONTROLLER_HH
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "crypto/ctr_mode.hh"
+#include "crypto/key.hh"
+#include "fsenc/ott.hh"
+#include "mem/nvm_device.hh"
+#include "mem/phys_layout.hh"
+#include "secmem/counter_store.hh"
+#include "secmem/metadata_cache.hh"
+#include "secmem/merkle_tree.hh"
+#include "secmem/osiris.hh"
+
+namespace fsencr {
+
+/** Raised when the Merkle tree detects metadata tampering/replay. */
+class IntegrityError : public std::runtime_error
+{
+  public:
+    explicit IntegrityError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** The memory controller with layered encryption support. */
+class SecureMemoryController
+{
+  public:
+    SecureMemoryController(const SimConfig &cfg, const PhysLayout &layout,
+                           NvmDevice &device, Rng &rng);
+
+    /**
+     * Service a line read (LLC miss fill).
+     *
+     * @param full_addr physical address, possibly carrying the DF-bit
+     * @param now current time
+     * @param plain_out if non-null, receives the decrypted 64B line
+     * @return total read latency
+     */
+    Tick readLine(Addr full_addr, Tick now,
+                  std::uint8_t *plain_out = nullptr);
+
+    /**
+     * Service a line write (writeback or persist).
+     *
+     * @param full_addr physical address, possibly carrying the DF-bit
+     * @param plain the 64B plaintext to store
+     * @param now current time
+     * @param blocking true for persist-ordered writes (clwb+fence):
+     *        the full device write latency lands on the critical path;
+     *        false for background writebacks (queue-accept latency
+     *        only, bank occupancy still modeled)
+     * @return latency visible to the requester
+     */
+    Tick writeLine(Addr full_addr, const std::uint8_t *plain, Tick now,
+                   bool blocking);
+
+    /// @name MMIO register interface used by the trusted kernel
+    /// (Section III-F.1).
+    /// @{
+
+    /** File creation: register {Group ID, File ID, FEK}. */
+    Tick mmioRegisterFileKey(std::uint32_t gid, std::uint32_t fid,
+                             const crypto::Key128 &fek, Tick now);
+
+    /** File deletion: remove the key from OTT and spill region. */
+    Tick mmioRemoveFileKey(std::uint32_t gid, std::uint32_t fid,
+                           Tick now);
+
+    /** DAX page fault: stamp the page's FECB with Group/File ID. */
+    Tick mmioStampPage(Addr paddr, std::uint32_t gid, std::uint32_t fid,
+                       Tick now);
+
+    /**
+     * Boot-time admin login. A wrong credential locks FsEncr
+     * decryption: file pads are withheld and DAX reads return
+     * memory-layer-only decryption (i.e., garbage), Section VI.
+     */
+    void mmioAdminLogin(const crypto::Key128 &credential);
+
+    /** Provision the admin credential (trusted setup). */
+    void provisionAdminCredential(const crypto::Key128 &credential);
+
+    /// @}
+
+    /**
+     * Re-key a file whose encryption counter saturated (Section VI):
+     * lazily the controller would keep both keys; this model re-encrypts
+     * the file's pages eagerly through rekeyPage().
+     */
+    Tick mmioReplaceFileKey(std::uint32_t gid, std::uint32_t fid,
+                            const crypto::Key128 &new_key, Tick now);
+
+    /**
+     * Re-encrypt one DAX page after a file re-key (old key -> current
+     * OTT key for the ids stamped in the page's FECB).
+     */
+    Tick rekeyPage(Addr page_addr, const crypto::Key128 &old_key,
+                   Tick now);
+
+    /**
+     * Lazy re-key (Section VI): "instead of re-encrypting the entire
+     * file at once, the memory controller can keep both keys and
+     * silently decrypt with the old key ... and encrypt with the new
+     * key during access to pages."
+     *
+     * The new key goes into the OTT; the listed pages stay encrypted
+     * under the old key until their next write, when they are
+     * re-encrypted in place. The pending bitmap is modeled as part of
+     * the (immediately-logged) OTT spill state, so it survives
+     * crashes.
+     *
+     * @param pages page-aligned device addresses of the file's pages
+     */
+    Tick mmioBeginLazyRekey(std::uint32_t gid, std::uint32_t fid,
+                            const crypto::Key128 &new_key,
+                            const std::vector<Addr> &pages, Tick now);
+
+    /** Pages of (gid, fid) still awaiting re-encryption. */
+    std::size_t lazyRekeyPending(std::uint32_t gid,
+                                 std::uint32_t fid) const;
+
+    /**
+     * Silent-Shredder-style secure deletion (Section VI): repurpose the
+     * page's IVs — bump the memory major counter and clear the FECB —
+     * so the old ciphertext is unintelligible even to a holder of the
+     * old file key, without rewriting a single data line.
+     */
+    Tick shredPage(Addr page_addr, Tick now);
+
+    /// @name Crash and recovery
+    /// @{
+
+    /** Power loss: metadata cache, counter copies and OTT vanish. */
+    void crash(Tick now);
+
+    /**
+     * Post-reboot recovery: verify the regenerated Merkle tree against
+     * the on-chip root.
+     * @return true iff the persisted metadata passes integrity
+     */
+    bool recoverMetadata();
+
+    /**
+     * Osiris recovery of one data line: probe counter candidates
+     * against the line's ECC, reinstall and persist the recovered
+     * counters.
+     * @return true iff the line's counters were recovered
+     */
+    bool recoverLine(Addr full_addr);
+
+    /**
+     * Recover every line ever written through the encrypted path.
+     * @return number of lines whose counters could not be recovered
+     */
+    std::uint64_t recoverAll();
+
+    /** What a recovery pass did, with a first-order time model. */
+    struct RecoveryReport
+    {
+        std::uint64_t linesExamined = 0;
+        std::uint64_t probes = 0;
+        std::uint64_t failures = 0;
+        /** Modeled recovery latency: line reads + trial decrypts. */
+        Tick modelTime = 0;
+    };
+
+    /**
+     * recoverAll with accounting. Under Recovery::AnubisShadow only
+     * the lines covered by shadow-tracked (possibly-stale) counter
+     * blocks are probed; the full Osiris sweep probes everything.
+     */
+    RecoveryReport recoverAllReport();
+
+    /// @}
+
+    /** Orderly shutdown: flush counters and OTT. */
+    void shutdown(Tick now);
+
+    /**
+     * Portable security state for moving the filesystem to a new
+     * machine (Section VI): the memory and OTT keys plus the
+     * integrity-tree state, transported "through an authorized user
+     * interface"; the OTT contents are already flushed to the
+     * encrypted spill region on the module itself.
+     */
+    struct SecurityCapsule
+    {
+        crypto::Key128 memKey{};
+        crypto::Key128 ottKey{};
+        MerkleTree::State tree;
+    };
+
+    /** Flush everything and export the capsule. */
+    SecurityCapsule exportCapsule(Tick now);
+
+    /**
+     * Adopt a transported module: install the keys and tree, then
+     * authenticate the module by regenerating the tree from the
+     * device and checking the root (the paper's plug-in procedure).
+     * @return true iff the module authenticates
+     */
+    bool importCapsule(const SecurityCapsule &capsule);
+
+    /// @name Introspection for tests, benches and attack simulation.
+    /// @{
+    const crypto::Key128 &memoryKey() const { return memKey_; }
+    const crypto::Key128 &ottKey() const { return ottKeyValue_; }
+    bool fsencLocked() const { return fsencLocked_; }
+    OpenTunnelTable &ott() { return *ott_; }
+    CounterStore &counters() { return *counters_; }
+    MerkleTree &merkle() { return *merkle_; }
+    MetadataCache &metadataCache() { return *metaCache_; }
+    NvmDevice &device() { return device_; }
+    const PhysLayout &layout() const { return layout_; }
+    /// @}
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+
+    std::uint64_t integrityViolations() const
+    {
+        return integrityViolations_.value();
+    }
+
+    /** Capture the controller-level request stream into a trace
+     *  (nullptr disables). See cpu/mem_trace.hh. */
+    void setTraceCapture(class MemTrace *trace) { trace_ = trace; }
+
+  private:
+    /**
+     * Bring a metadata line on-chip: metadata-cache access, device
+     * fetch + Merkle walk on a miss, eviction handling.
+     *
+     * @param missed set to true if the line had to come from NVM
+     * @return latency
+     */
+    Tick fetchMetadata(Addr meta_addr, Tick now,
+                       bool *missed = nullptr);
+
+    /** Handle a metadata-cache eviction (persist dirty counters). */
+    void handleMetaEviction(Addr victim_addr, bool dirty, Tick now);
+
+    /** Mark a metadata line dirty in the cache (it must be resident). */
+    void touchMetadataDirty(Addr meta_addr);
+
+    /** Build the memory-layer pad for a line version. */
+    crypto::Line memPad(Addr line_addr, const Mecb &mecb,
+                        unsigned blk) const;
+
+    /** Build the file-layer pad for a line version. */
+    crypto::Line filePad(Addr line_addr, const Fecb &fecb, unsigned blk,
+                         const crypto::Key128 &key) const;
+
+    /** Persist both counter blocks of a DAX page together (keeps the
+     *  Osiris probe one-dimensional; see DESIGN.md). */
+    void persistPageCounters(Addr line_addr, bool dax, Tick now);
+
+    /** Re-encrypt a whole page after a major-counter bump. */
+    Tick reencryptPage(Addr page_addr, const Mecb &old_mecb,
+                       const Fecb *old_fecb, const Mecb &new_mecb,
+                       const Fecb *new_fecb, Tick now);
+
+    /** Fetch the file key for a stamped FECB. */
+    OttLookupResult lookupFileKey(const Fecb &fecb, Tick now);
+
+    /**
+     * Write-pending-queue admission: stalls when the queue is full.
+     * @param now arrival time
+     * @param completion when the device finishes this write
+     * @return extra stall before the WPQ accepts
+     */
+    Tick wpqAccept(Tick now, Tick completion);
+
+    SimConfig cfg_;
+    const PhysLayout &layout_;
+    NvmDevice &device_;
+
+    crypto::Key128 memKey_;
+    crypto::Key128 ottKeyValue_;
+    crypto::Aes128 memAes_;
+    std::optional<crypto::Key128> adminCredential_;
+    bool fsencLocked_ = false;
+
+    /** Completion times of in-flight WPQ writes (FIFO). */
+    std::deque<Tick> wpqInFlight_;
+
+    /** Optional request-stream capture. */
+    class MemTrace *trace_ = nullptr;
+
+    /** Anubis shadow table: counter blocks whose on-chip copy may be
+     *  ahead of NVM. Lives in a persistent metadata region, so it
+     *  survives crashes; maintained on metadata-cache fill/eviction. */
+    std::unordered_set<Addr> anubisShadow_;
+
+    /** In-flight lazy re-keys: (gid<<14|fid) -> old key + pending
+     *  pages (a per-file bitmap riding in the OTT spill region). */
+    struct LazyRekey
+    {
+        crypto::Key128 oldKey{};
+        std::unordered_set<Addr> pendingPages;
+    };
+    std::map<std::uint64_t, LazyRekey> lazyRekeys_;
+
+    static std::uint64_t
+    lazyKeyOf(std::uint32_t gid, std::uint32_t fid)
+    {
+        return (static_cast<std::uint64_t>(gid) << 14) | fid;
+    }
+
+    /** If the line's page awaits lazy re-encryption, return the old
+     *  key to decrypt with (reads) — see readLine/writeLine. */
+    const crypto::Key128 *lazyOldKey(const Fecb &fecb,
+                                     Addr line_addr) const;
+
+    /** Write path: re-encrypt a pending page old->new, clear it. */
+    Tick lazyRekeyOnWrite(const Fecb &fecb, Addr line_addr,
+                          const crypto::Key128 &new_key, Tick now);
+
+    std::unique_ptr<MerkleTree> merkle_;
+    std::unique_ptr<CounterStore> counters_;
+    std::unique_ptr<MetadataCache> metaCache_;
+    std::unique_ptr<OpenTunnelTable> ott_;
+    OsirisRecovery osiris_;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar dataReads_;
+    stats::Scalar dataWrites_;
+    stats::Scalar daxReads_;
+    stats::Scalar daxWrites_;
+    stats::Scalar metaCacheMisses_;
+    stats::Scalar merkleFetches_;
+    stats::Scalar pageReencryptions_;
+    stats::Scalar lazyRekeyedPages_;
+    stats::Scalar missingKeyAccesses_;
+    stats::Scalar integrityViolations_;
+    stats::Histogram readLatency_;
+    stats::Histogram writeLatency_;
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_FSENC_SECURE_MEMORY_CONTROLLER_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Sparse functional byte store for simulated physical memory.
+ *
+ * Pages are allocated lazily on first touch and zero-filled, mimicking a
+ * fresh device. Both the architectural (plaintext) image and the NVM
+ * device (ciphertext) image use this container.
+ */
+
+#ifndef FSENCR_MEM_BACKING_STORE_HH
+#define FSENCR_MEM_BACKING_STORE_HH
+
+#include <array>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace fsencr {
+
+/** Lazily allocated sparse page store. */
+class BackingStore
+{
+  public:
+    /** Read len bytes at addr (crosses pages transparently). */
+    void
+    read(Addr addr, void *buf, std::size_t len) const
+    {
+        auto *out = static_cast<std::uint8_t *>(buf);
+        while (len > 0) {
+            Addr page = pageNumber(addr);
+            std::size_t off = pageOffset(addr);
+            std::size_t take = std::min(len, pageSize - off);
+            auto it = pages_.find(page);
+            if (it == pages_.end())
+                std::memset(out, 0, take);
+            else
+                std::memcpy(out, it->second->data() + off, take);
+            out += take;
+            addr += take;
+            len -= take;
+        }
+    }
+
+    /** Write len bytes at addr. */
+    void
+    write(Addr addr, const void *buf, std::size_t len)
+    {
+        const auto *in = static_cast<const std::uint8_t *>(buf);
+        while (len > 0) {
+            Addr page = pageNumber(addr);
+            std::size_t off = pageOffset(addr);
+            std::size_t take = std::min(len, pageSize - off);
+            std::memcpy(pageData(page) + off, in, take);
+            in += take;
+            addr += take;
+            len -= take;
+        }
+    }
+
+    /**
+     * Direct host pointer to a byte of simulated memory. The pointer is
+     * valid only within the containing 4KB page.
+     */
+    std::uint8_t *
+    hostPtr(Addr addr)
+    {
+        return pageData(pageNumber(addr)) + pageOffset(addr);
+    }
+
+    /** Number of pages touched so far. */
+    std::size_t touchedPages() const { return pages_.size(); }
+
+    /** Drop all contents (fresh device). */
+    void clear() { pages_.clear(); }
+
+    /** Deep-copy another store's contents (module migration). */
+    void
+    copyFrom(const BackingStore &other)
+    {
+        pages_.clear();
+        for (const auto &[page, data] : other.pages_) {
+            auto copy = std::make_unique<Page>(*data);
+            pages_.emplace(page, std::move(copy));
+        }
+    }
+
+  private:
+    using Page = std::array<std::uint8_t, pageSize>;
+
+    std::uint8_t *
+    pageData(Addr page)
+    {
+        auto &slot = pages_[page];
+        if (!slot) {
+            slot = std::make_unique<Page>();
+            slot->fill(0);
+        }
+        return slot->data();
+    }
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_MEM_BACKING_STORE_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Memory-controller request descriptor.
+ */
+
+#ifndef FSENCR_MEM_MEM_REQUEST_HH
+#define FSENCR_MEM_MEM_REQUEST_HH
+
+#include "common/types.hh"
+#include "mem/phys_layout.hh"
+
+namespace fsencr {
+
+/** What kind of traffic a device access belongs to (for stats). */
+enum class TrafficClass {
+    Data,     //!< demand data line
+    Metadata, //!< MECB / FECB counter blocks
+    Merkle,   //!< integrity-tree nodes
+    OttSpill, //!< encrypted OTT spill table
+};
+
+/** One line-granular request as seen by the memory controller. */
+struct MemRequest
+{
+    Addr paddr = 0;       //!< full address, may carry the DF-bit
+    bool isWrite = false; //!< store/writeback vs load/fill
+    TrafficClass cls = TrafficClass::Data;
+
+    /** Device address (DF-bit stripped, line aligned). */
+    Addr
+    lineAddr() const
+    {
+        return blockAlign(stripDfBit(paddr));
+    }
+
+    /** True iff this request targets a DAX-file page. */
+    bool isDax() const { return hasDfBit(paddr); }
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_MEM_MEM_REQUEST_HH

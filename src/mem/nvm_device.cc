@@ -1,0 +1,168 @@
+#include "mem/nvm_device.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace fsencr {
+
+NvmDevice::NvmDevice(const PcmParams &params)
+    : params_(params),
+      banks_(params.channels * params.ranksPerChannel *
+             params.banksPerRank),
+      statGroup_("nvm"),
+      latency_(32, 10 * tickPerNs)
+{
+    if (!isPowerOf2(params.rowBufferBytes))
+        fatal("row buffer size must be a power of two");
+    if (!isPowerOf2(params.channels) ||
+        !isPowerOf2(params.ranksPerChannel) ||
+        !isPowerOf2(params.banksPerRank))
+        fatal("channel/rank/bank counts must be powers of two");
+
+    statGroup_.addScalar("reads", reads_);
+    statGroup_.addScalar("writes", writes_);
+    statGroup_.addScalar("rowHits", rowHits_);
+    statGroup_.addScalar("rowMisses", rowMisses_);
+    statGroup_.addScalar("dataReads", classReads_[0]);
+    statGroup_.addScalar("metaReads", classReads_[1]);
+    statGroup_.addScalar("merkleReads", classReads_[2]);
+    statGroup_.addScalar("ottReads", classReads_[3]);
+    statGroup_.addScalar("dataWrites", classWrites_[0]);
+    statGroup_.addScalar("metaWrites", classWrites_[1]);
+    statGroup_.addScalar("merkleWrites", classWrites_[2]);
+    statGroup_.addScalar("ottWrites", classWrites_[3]);
+    statGroup_.addHistogram("latency", latency_);
+}
+
+void
+NvmDevice::decode(Addr addr, unsigned &bank, std::uint64_t &row) const
+{
+    // RoRaBaChCo (MSB..LSB): row | rank | bank | channel | column.
+    unsigned col_bits = floorLog2(params_.rowBufferBytes);
+    unsigned ch_bits = floorLog2(params_.channels);
+    unsigned bank_bits = floorLog2(params_.banksPerRank);
+    unsigned rank_bits = floorLog2(params_.ranksPerChannel);
+
+    std::uint64_t v = addr >> col_bits;
+    unsigned channel =
+        static_cast<unsigned>(v & ((1u << ch_bits) - 1));
+    v >>= ch_bits;
+    unsigned bank_in_rank =
+        static_cast<unsigned>(v & ((1u << bank_bits) - 1));
+    v >>= bank_bits;
+    unsigned rank = static_cast<unsigned>(v & ((1u << rank_bits) - 1));
+    row = v >> rank_bits;
+    bank = (channel * params_.ranksPerChannel + rank) *
+               params_.banksPerRank +
+           bank_in_rank;
+}
+
+Tick
+NvmDevice::access(const MemRequest &req, Tick now)
+{
+    Addr line = req.lineAddr();
+    unsigned bank_idx;
+    std::uint64_t row;
+    decode(line, bank_idx, row);
+    Bank &bank = banks_[bank_idx];
+
+    Tick start = std::max(now, bank.busyUntil);
+    Tick service;
+
+    bool row_hit = bank.openRow == static_cast<std::int64_t>(row);
+    if (row_hit) {
+        ++rowHits_;
+        bank.missStreak = 0;
+        service = params_.tCL + params_.tBURST;
+    } else {
+        ++rowMisses_;
+        ++bank.missStreak;
+        // Activate: array access (PCM read latency dominates tRCD for
+        // reads), then column access.
+        Tick activate = std::max(params_.tRCD, params_.readLatency);
+        service = activate + params_.tCL + params_.tBURST;
+        bank.openRow = static_cast<std::int64_t>(row);
+    }
+
+    Tick done = start + service;
+    if (req.isWrite) {
+        ++writes_;
+        ++classWrites_[static_cast<int>(req.cls)];
+        // Write recovery: the PCM cell write keeps the bank busy past
+        // the bus transaction (writes are posted; latency to the MC is
+        // the bus portion, the cell commits in the background).
+        bank.busyUntil = done + std::max(params_.tWR,
+                                         params_.writeLatency);
+    } else {
+        ++reads_;
+        ++classReads_[static_cast<int>(req.cls)];
+        bank.busyUntil = done;
+    }
+
+    // Open-adaptive: after a streak of misses, close the row so the
+    // next access pays activation but avoids the precharge-on-demand.
+    if (bank.missStreak >= 4) {
+        bank.openRow = -1;
+        bank.missStreak = 0;
+    }
+
+    Tick latency = done - now;
+    latency_.sample(latency);
+    return latency;
+}
+
+void
+NvmDevice::readLine(Addr addr, std::uint8_t *buf) const
+{
+    store_.read(blockAlign(addr), buf, blockSize);
+}
+
+void
+NvmDevice::writeLine(Addr addr, const std::uint8_t *buf)
+{
+    store_.write(blockAlign(addr), buf, blockSize);
+}
+
+void
+NvmDevice::read(Addr addr, void *buf, std::size_t len) const
+{
+    store_.read(addr, buf, len);
+}
+
+void
+NvmDevice::write(Addr addr, const void *buf, std::size_t len)
+{
+    store_.write(addr, buf, len);
+}
+
+void
+NvmDevice::setEcc(Addr line_addr, std::uint32_t ecc)
+{
+    ecc_[blockAlign(line_addr)] = ecc;
+}
+
+std::uint32_t
+NvmDevice::getEcc(Addr line_addr) const
+{
+    auto it = ecc_.find(blockAlign(line_addr));
+    return it == ecc_.end() ? 0 : it->second;
+}
+
+void
+NvmDevice::crash()
+{
+    // Row buffers and bank state are volatile; the cell array is not.
+    for (Bank &b : banks_) {
+        b.openRow = -1;
+        b.busyUntil = 0;
+        b.missStreak = 0;
+    }
+}
+
+void
+NvmDevice::resetStats()
+{
+    statGroup_.resetAll();
+}
+
+} // namespace fsencr

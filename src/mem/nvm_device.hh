@@ -1,0 +1,127 @@
+/**
+ * @file
+ * DDR-attached PCM device model (Table III).
+ *
+ * Timing: per-bank row buffers with an open-adaptive page policy,
+ * RoRaBaChCo address mapping, PCM array latencies of 60 ns (read) /
+ * 150 ns (write), and DDR timing constraints (tRCD/tCL/tBURST/tWR).
+ *
+ * Function: the device holds the *stored* bytes — ciphertext when an
+ * encryption engine sits above it — plus an out-of-band per-line ECC
+ * word used by the Osiris-style counter-recovery scheme.
+ */
+
+#ifndef FSENCR_MEM_NVM_DEVICE_HH
+#define FSENCR_MEM_NVM_DEVICE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/backing_store.hh"
+#include "mem/mem_request.hh"
+
+namespace fsencr {
+
+/** PCM main memory: timing model + functional store. */
+class NvmDevice
+{
+  public:
+    explicit NvmDevice(const PcmParams &params);
+
+    /**
+     * Perform one line-granular timing access.
+     *
+     * @param req the request (line address is derived internally)
+     * @param now current simulated time
+     * @return latency in ticks until the access completes
+     */
+    Tick access(const MemRequest &req, Tick now);
+
+    /** Functional read of one 64B line into buf. */
+    void readLine(Addr addr, std::uint8_t *buf) const;
+
+    /** Functional write of one 64B line from buf. */
+    void writeLine(Addr addr, const std::uint8_t *buf);
+
+    /** Functional sub-line access helpers (metadata structures). */
+    void read(Addr addr, void *buf, std::size_t len) const;
+    void write(Addr addr, const void *buf, std::size_t len);
+
+    /** Out-of-band ECC word for a line (Osiris substrate). */
+    void setEcc(Addr line_addr, std::uint32_t ecc);
+    std::uint32_t getEcc(Addr line_addr) const;
+    bool hasEcc(Addr line_addr) const
+    {
+        return ecc_.count(blockAlign(line_addr)) != 0;
+    }
+    void clearEcc(Addr line_addr) { ecc_.erase(blockAlign(line_addr)); }
+    /** Every line ever written through the encrypted path. */
+    const std::unordered_map<Addr, std::uint32_t> &eccMap() const
+    {
+        return ecc_;
+    }
+
+    /** Drop all volatile device state (row buffers) — crash model. */
+    void crash();
+
+    /** Adopt another module's cell contents and ECC (migration: the
+     *  physical DIMM moves to this machine). */
+    void
+    adoptContents(const NvmDevice &donor)
+    {
+        store_.copyFrom(donor.store_);
+        ecc_ = donor.ecc_;
+        crash(); // fresh machine: no open rows
+    }
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+
+    std::uint64_t numReads() const { return reads_.value(); }
+    std::uint64_t numWrites() const { return writes_.value(); }
+
+    /** Per-traffic-class write counts (indexed by TrafficClass). */
+    std::uint64_t writesByClass(TrafficClass c) const
+    {
+        return classWrites_[static_cast<int>(c)].value();
+    }
+    std::uint64_t readsByClass(TrafficClass c) const
+    {
+        return classReads_[static_cast<int>(c)].value();
+    }
+
+    void resetStats();
+
+  private:
+    struct Bank
+    {
+        std::int64_t openRow = -1;
+        Tick busyUntil = 0;
+        /** Consecutive row misses — drives the adaptive close policy. */
+        unsigned missStreak = 0;
+    };
+
+    /** Decode RoRaBaChCo: which bank and row an address maps to. */
+    void decode(Addr addr, unsigned &bank, std::uint64_t &row) const;
+
+    PcmParams params_;
+    std::vector<Bank> banks_;
+    BackingStore store_;
+    std::unordered_map<Addr, std::uint32_t> ecc_;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar reads_;
+    stats::Scalar writes_;
+    stats::Scalar rowHits_;
+    stats::Scalar rowMisses_;
+    stats::Scalar classReads_[4];
+    stats::Scalar classWrites_[4];
+    stats::Histogram latency_;
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_MEM_NVM_DEVICE_HH

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Physical address map of the simulated machine, including the DF-bit.
+ *
+ * The layout follows Section IV of the paper: a 16 GB PCM module of which
+ * the top 4 GB (memmap=4G!12G) is the persistent region hosting the
+ * DAX-enabled filesystem. A security-metadata carve-out (hidden from the
+ * OS, as in real secure processors) holds encryption counter blocks, the
+ * encrypted OTT spill table, and Merkle-tree nodes.
+ *
+ * Bit 51 of a physical address is the DF-bit (DAX-File bit, Section
+ * III-C): the kernel sets it in the PTE when mapping a DAX-file page and
+ * the memory controller demultiplexes on it. The bit is stripped before
+ * the address reaches the device.
+ */
+
+#ifndef FSENCR_MEM_PHYS_LAYOUT_HH
+#define FSENCR_MEM_PHYS_LAYOUT_HH
+
+#include "common/bitfield.hh"
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace fsencr {
+
+/** The DF-bit position within a physical address (Intel IA-32e spare). */
+constexpr unsigned dfBitPos = 51;
+
+/** The DF-bit mask. */
+constexpr Addr dfBitMask = 1ull << dfBitPos;
+
+/** Set the DF-bit on an address ((1UL<<51)|pfn in the kernel patch). */
+constexpr Addr
+setDfBit(Addr addr)
+{
+    return addr | dfBitMask;
+}
+
+/** True iff the request carries the DF-bit. */
+constexpr bool
+hasDfBit(Addr addr)
+{
+    return (addr & dfBitMask) != 0;
+}
+
+/** Strip the DF-bit, yielding the device address. */
+constexpr Addr
+stripDfBit(Addr addr)
+{
+    return addr & ~dfBitMask;
+}
+
+/**
+ * Computes every derived address of the physical map: where the MECB for
+ * a page lives, where the FECB for a PMEM page lives (interleaved with
+ * its MECB as in Section III-D), the OTT spill region, and the
+ * Merkle-node region.
+ */
+class PhysLayout
+{
+  public:
+    explicit PhysLayout(const LayoutParams &p)
+        : params_(p)
+    {
+        if (p.metaBase > p.pmemBase)
+            fatal("metadata carve-out must precede the PMEM region");
+
+        genPages_ = p.generalBytes / pageSize;
+        pmemPages_ = p.pmemBytes / pageSize;
+
+        genMecbBase_ = p.metaBase;
+        std::uint64_t gen_mecb_bytes = genPages_ * blockSize;
+
+        pmemMetaBase_ = genMecbBase_ + gen_mecb_bytes;
+        std::uint64_t pmem_meta_bytes = pmemPages_ * 2 * blockSize;
+
+        ottSpillBase_ = pmemMetaBase_ + pmem_meta_bytes;
+        ottSpillBytes_ = 1 << 20;
+
+        merkleLeavesEnd_ = ottSpillBase_ + ottSpillBytes_;
+        merkleBase_ = roundUp(merkleLeavesEnd_, pageSize);
+
+        if (merkleBase_ >= p.pmemBase)
+            fatal("metadata carve-out too small for counter blocks");
+    }
+
+    const LayoutParams &params() const { return params_; }
+
+    /** OS-visible general memory: [0, generalBytes). */
+    bool
+    isGeneral(Addr a) const
+    {
+        return stripDfBit(a) < params_.generalBytes;
+    }
+
+    /** Persistent region: [pmemBase, pmemBase + pmemBytes). */
+    bool
+    isPmem(Addr a) const
+    {
+        Addr r = stripDfBit(a);
+        return r >= params_.pmemBase &&
+               r < params_.pmemBase + params_.pmemBytes;
+    }
+
+    /** Security-metadata carve-out (counters, OTT spill, Merkle). */
+    bool
+    isMetadata(Addr a) const
+    {
+        Addr r = stripDfBit(a);
+        return r >= params_.metaBase && r < params_.pmemBase;
+    }
+
+    /** Address of the 64B MECB covering the page of data address a. */
+    Addr
+    mecbAddr(Addr a) const
+    {
+        Addr r = stripDfBit(a);
+        if (isPmem(r)) {
+            Addr page = (r - params_.pmemBase) >> pageShift;
+            return pmemMetaBase_ + page * 2 * blockSize;
+        }
+        if (isGeneral(r))
+            return genMecbBase_ + (r >> pageShift) * blockSize;
+        panic("mecbAddr: %#lx is not a data address",
+              static_cast<unsigned long>(r));
+    }
+
+    /**
+     * Address of the FECB covering a PMEM page; interleaved directly
+     * after the page's MECB ("a file encryption counter block follows
+     * each memory encryption counter block").
+     */
+    Addr
+    fecbAddr(Addr a) const
+    {
+        Addr r = stripDfBit(a);
+        if (!isPmem(r))
+            panic("fecbAddr: %#lx is not in the PMEM region",
+                  static_cast<unsigned long>(r));
+        Addr page = (r - params_.pmemBase) >> pageShift;
+        return pmemMetaBase_ + page * 2 * blockSize + blockSize;
+    }
+
+    /** What kind of metadata a carve-out address holds. */
+    enum class MetaKind { Mecb, Fecb, OttSpill, MerkleNode, Unknown };
+
+    /** Classify an address within the metadata carve-out. */
+    MetaKind
+    classifyMeta(Addr a) const
+    {
+        Addr r = stripDfBit(a);
+        if (r >= genMecbBase_ && r < pmemMetaBase_)
+            return MetaKind::Mecb;
+        if (r >= pmemMetaBase_ && r < ottSpillBase_) {
+            // Interleaved MECB/FECB pairs: even line = MECB, odd = FECB.
+            return ((r - pmemMetaBase_) / blockSize) % 2 == 0
+                       ? MetaKind::Mecb
+                       : MetaKind::Fecb;
+        }
+        if (r >= ottSpillBase_ && r < ottSpillBase_ + ottSpillBytes_)
+            return MetaKind::OttSpill;
+        if (r >= merkleBase_ && r < params_.pmemBase)
+            return MetaKind::MerkleNode;
+        return MetaKind::Unknown;
+    }
+
+    /**
+     * Inverse mapping: the data page a counter block covers
+     * (MECB or FECB address -> page-aligned data address).
+     */
+    Addr
+    dataPageOfMeta(Addr meta_addr) const
+    {
+        Addr r = stripDfBit(meta_addr);
+        if (r >= genMecbBase_ && r < pmemMetaBase_)
+            return ((r - genMecbBase_) / blockSize) << pageShift;
+        if (r >= pmemMetaBase_ && r < ottSpillBase_) {
+            Addr idx = (r - pmemMetaBase_) / (2 * blockSize);
+            return params_.pmemBase + (idx << pageShift);
+        }
+        panic("dataPageOfMeta: %#lx is not a counter block",
+              static_cast<unsigned long>(r));
+    }
+
+    /** Start of the Merkle-leaf-covered metadata range. */
+    Addr merkleLeavesBase() const { return genMecbBase_; }
+
+    /** End (exclusive) of the Merkle-leaf-covered metadata range. */
+    Addr merkleLeavesEnd() const { return merkleLeavesEnd_; }
+
+    /** Where Merkle interior nodes are stored. */
+    Addr merkleNodeBase() const { return merkleBase_; }
+
+    /** OTT spill hash table region. */
+    Addr ottSpillBase() const { return ottSpillBase_; }
+    std::uint64_t ottSpillBytes() const { return ottSpillBytes_; }
+
+    /** Start of the persistent region. */
+    Addr pmemBase() const { return params_.pmemBase; }
+    std::uint64_t pmemBytes() const { return params_.pmemBytes; }
+
+    std::uint64_t generalPages() const { return genPages_; }
+    std::uint64_t pmemPages() const { return pmemPages_; }
+
+  private:
+    LayoutParams params_;
+    std::uint64_t genPages_;
+    std::uint64_t pmemPages_;
+    Addr genMecbBase_;
+    Addr pmemMetaBase_;
+    Addr ottSpillBase_;
+    std::uint64_t ottSpillBytes_;
+    Addr merkleLeavesEnd_;
+    Addr merkleBase_;
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_MEM_PHYS_LAYOUT_HH

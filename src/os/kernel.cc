@@ -1,0 +1,397 @@
+#include "os/kernel.hh"
+
+#include "common/logging.hh"
+#include "crypto/sha256.hh"
+
+namespace fsencr {
+
+Kernel::Kernel(const SimConfig &cfg, const PhysLayout &layout,
+               NvmFilesystem &fs, SecureMemoryController &mc, Rng &rng)
+    : cfg_(cfg), layout_(layout), fs_(fs), mc_(mc), rng_(rng),
+      statGroup_("kernel")
+{
+    statGroup_.addScalar("pageFaults", pageFaults_);
+    statGroup_.addScalar("daxFaults", daxFaults_);
+    statGroup_.addScalar("anonFaults", anonFaults_);
+    statGroup_.addScalar("opens", opens_);
+    statGroup_.addScalar("openDenied", openDenied_);
+    statGroup_.addScalar("creates", creates_);
+    statGroup_.addScalar("unlinks", unlinks_);
+}
+
+std::uint32_t
+Kernel::addUser(const std::string &name, std::uint32_t uid,
+                std::uint32_t gid, const std::string &passphrase)
+{
+    (void)passphrase; // not stored: keys are re-derived at use time
+    User u;
+    u.uid = uid;
+    u.gid = gid;
+    u.name = name;
+    users_[uid] = u;
+    return uid;
+}
+
+std::uint32_t
+Kernel::createProcess(std::uint32_t uid)
+{
+    auto it = users_.find(uid);
+    if (it == users_.end())
+        fatal("createProcess: unknown uid %u", uid);
+    Process p;
+    p.pid = nextPid_++;
+    p.uid = uid;
+    p.gid = it->second.gid;
+    processes_[p.pid] = p;
+    return p.pid;
+}
+
+Process &
+Kernel::process(std::uint32_t pid)
+{
+    auto it = processes_.find(pid);
+    if (it == processes_.end())
+        fatal("unknown pid %u", pid);
+    return it->second;
+}
+
+crypto::Key128
+Kernel::fekekFor(std::uint32_t uid, const std::string &passphrase) const
+{
+    return crypto::deriveKey(passphrase,
+                             "fekek:" + std::to_string(uid));
+}
+
+bool
+Kernel::daxEncrypted(const Inode &node) const
+{
+    return cfg_.hasFsEncr() && node.encrypted;
+}
+
+int
+Kernel::creat(std::uint32_t pid, const std::string &path,
+              std::uint16_t mode, bool encrypted,
+              const std::string &passphrase, Tick now)
+{
+    Process &p = process(pid);
+    ++creates_;
+    std::uint32_t ino =
+        fs_.create(path, p.uid, p.gid, mode, encrypted);
+    Inode &node = fs_.inode(ino);
+
+    if (encrypted) {
+        // The hardware File ID is 14 bits: beyond 16K live inodes two
+        // files could share an OTT slot. Warn — a production design
+        // would recycle inode numbers within the field width.
+        if (ino > Fecb::fileIdMask)
+            warn("inode %u exceeds the 14-bit File ID field", ino);
+        // FEK is random; the FEKEK derives from the creator's
+        // passphrase (keyed to the *owner*), as in eCryptfs.
+        crypto::Key128 fek = crypto::randomKey(rng_);
+        crypto::Key128 fekek = fekekFor(node.uid, passphrase);
+        node.wrappedFek = crypto::wrapKey(fekek, fek);
+        node.fekCheck =
+            crypto::digestTo64(crypto::Sha256::digest(fek.data(),
+                                                      fek.size()));
+        if (cfg_.hasFsEncr())
+            mc_.mmioRegisterFileKey(node.gid, ino, fek, now);
+        keyring_[ino] = fek;
+    }
+
+    OpenFile of;
+    of.ino = ino;
+    of.writable = true;
+    int fd = p.nextFd++;
+    p.fds[fd] = of;
+    return fd;
+}
+
+int
+Kernel::open(std::uint32_t pid, const std::string &path, bool writable,
+             const std::string &passphrase)
+{
+    Process &p = process(pid);
+    ++opens_;
+    auto ino = fs_.lookup(path);
+    if (!ino) {
+        ++openDenied_;
+        return -1;
+    }
+    const Inode &node = fs_.inode(*ino);
+
+    if (!NvmFilesystem::permits(node, p.uid, p.gid, writable)) {
+        ++openDenied_;
+        return -1;
+    }
+
+    if (node.encrypted) {
+        // The chmod-777 defence: even with DAC permission, opening an
+        // encrypted file requires the passphrase that unwraps its FEK.
+        crypto::Key128 fekek = fekekFor(node.uid, passphrase);
+        crypto::Key128 fek = crypto::unwrapKey(fekek, node.wrappedFek);
+        std::uint64_t check = crypto::digestTo64(
+            crypto::Sha256::digest(fek.data(), fek.size()));
+        if (check != node.fekCheck) {
+            ++openDenied_;
+            return -1;
+        }
+        keyring_[*ino] = fek; // keyring holds the FEK while open
+    }
+
+    OpenFile of;
+    of.ino = *ino;
+    of.writable = writable;
+    int fd = p.nextFd++;
+    p.fds[fd] = of;
+    return fd;
+}
+
+void
+Kernel::close(std::uint32_t pid, int fd)
+{
+    process(pid).fds.erase(fd);
+}
+
+void
+Kernel::ftruncate(std::uint32_t pid, int fd, std::uint64_t size)
+{
+    Process &p = process(pid);
+    auto it = p.fds.find(fd);
+    if (it == p.fds.end())
+        fatal("ftruncate: bad fd %d", fd);
+    if (!it->second.writable)
+        fatal("ftruncate: fd %d is read-only", fd);
+    fs_.extendTo(it->second.ino, size);
+}
+
+Tick
+Kernel::unlinkFile(std::uint32_t pid, const std::string &path, Tick now)
+{
+    Process &p = process(pid);
+    ++unlinks_;
+    auto ino = fs_.lookup(path);
+    if (!ino)
+        fatal("unlink: no such path '%s'", path.c_str());
+    Inode &node = fs_.inode(*ino);
+    if (p.uid != 0 && p.uid != node.uid)
+        fatal("unlink: uid %u may not remove '%s'", p.uid,
+              path.c_str());
+
+    bool encrypted = node.encrypted;
+    std::uint32_t gid = node.gid;
+    keyring_.erase(*ino);
+    std::vector<Addr> freed = fs_.unlink(path);
+
+    Tick lat = 0;
+    if (encrypted && cfg_.hasFsEncr())
+        lat += mc_.mmioRemoveFileKey(gid, *ino, now);
+    // Secure deletion: shred every freed page by IV repurposing; a
+    // reused frame belongs to a new file and must be restamped.
+    for (Addr page : freed) {
+        lat += mc_.shredPage(page, now + lat);
+        stampedFrames_.erase(pageAlign(page));
+        swencFrames_.erase(pageAlign(page));
+    }
+    return lat;
+}
+
+void
+Kernel::chmodFile(std::uint32_t pid, const std::string &path,
+                  std::uint16_t mode)
+{
+    Process &p = process(pid);
+    auto ino = fs_.lookup(path);
+    if (!ino)
+        fatal("chmod: no such path '%s'", path.c_str());
+    Inode &node = fs_.inode(*ino);
+    if (p.uid != 0 && p.uid != node.uid)
+        fatal("chmod: uid %u may not chmod '%s'", p.uid, path.c_str());
+    node.mode = mode;
+}
+
+Addr
+Kernel::mmapFile(std::uint32_t pid, int fd, std::uint64_t length)
+{
+    Process &p = process(pid);
+    auto it = p.fds.find(fd);
+    if (it == p.fds.end())
+        fatal("mmap: bad fd %d", fd);
+
+    Vma vma;
+    vma.base = p.mmapCursor;
+    vma.length = roundUp(length, pageSize);
+    vma.ino = it->second.ino;
+    p.mmapCursor += vma.length + pageSize; // guard page
+    p.vmas.push_back(vma);
+    return vma.base;
+}
+
+Addr
+Kernel::mmapAnon(std::uint32_t pid, std::uint64_t length)
+{
+    Process &p = process(pid);
+    Vma vma;
+    vma.base = p.mmapCursor;
+    vma.length = roundUp(length, pageSize);
+    vma.ino = 0;
+    p.mmapCursor += vma.length + pageSize;
+    p.vmas.push_back(vma);
+    return vma.base;
+}
+
+void
+Kernel::munmap(std::uint32_t pid, Addr base)
+{
+    Process &p = process(pid);
+    for (auto it = p.vmas.begin(); it != p.vmas.end(); ++it) {
+        if (it->base == base) {
+            for (Addr va = it->base; va < it->base + it->length;
+                 va += pageSize)
+                p.pageTable.erase(pageNumber(va));
+            p.vmas.erase(it);
+            return;
+        }
+    }
+    fatal("munmap: no VMA at %#lx", static_cast<unsigned long>(base));
+}
+
+Translation
+Kernel::translate(std::uint32_t pid, Addr vaddr, bool is_write,
+                  Tick now)
+{
+    Process &p = process(pid);
+    Translation t;
+
+    auto pte = p.pageTable.find(pageNumber(vaddr));
+    if (pte != p.pageTable.end()) {
+        t.pframe = pte->second;
+        t.cycles = 20; // page-table walk (TLB miss)
+        return t;
+    }
+
+    // Page fault.
+    ++pageFaults_;
+    t.faulted = true;
+    t.cycles = cfg_.cpu.pageFaultCycles;
+
+    const Vma *vma = nullptr;
+    for (const Vma &v : p.vmas) {
+        if (vaddr >= v.base && vaddr < v.base + v.length) {
+            vma = &v;
+            break;
+        }
+    }
+    if (!vma)
+        fatal("segfault: pid %u touched unmapped address %#lx", pid,
+              static_cast<unsigned long>(vaddr));
+
+    Addr pframe;
+    if (vma->ino != 0) {
+        // DAX fault: map the file's own NVM frame directly.
+        ++daxFaults_;
+        const Inode &node = fs_.inode(vma->ino);
+        std::uint64_t offset = pageAlign(vaddr - vma->base);
+        if (offset >= node.blocks.size() * pageSize)
+            fatal("DAX fault beyond EOF of inode %u (offset %llu)",
+                  vma->ino,
+                  static_cast<unsigned long long>(offset));
+        pframe = pageAlign(fs_.blockPaddr(vma->ino, offset));
+        if (cfg_.hasSoftwareEncryption() && node.encrypted)
+            swencFrames_[pframe] = vma->ino;
+        if (daxEncrypted(node)) {
+            // The kernel patch: pte = ((1UL<<51) | pfn).
+            pframe = setDfBit(pframe);
+            t.mcLatency = ensureDaxStamp(vma->ino, pframe, now);
+        }
+    } else {
+        // Anonymous fault: fresh general-memory frame.
+        ++anonFaults_;
+        if (nextGeneralFrame_ + pageSize >
+            layout_.params().generalBytes)
+            fatal("out of general memory frames");
+        pframe = nextGeneralFrame_;
+        nextGeneralFrame_ += pageSize;
+    }
+
+    p.pageTable[pageNumber(vaddr)] = pframe;
+    t.pframe = pframe;
+    (void)is_write;
+    return t;
+}
+
+Tick
+Kernel::restampAllFiles(Tick now)
+{
+    if (!cfg_.hasFsEncr())
+        return 0;
+    stampedFrames_.clear();
+    Tick lat = 0;
+    for (const auto &[path, ino] : fs_.entries()) {
+        (void)path;
+        const Inode &node = fs_.inode(ino);
+        if (!node.encrypted)
+            continue;
+        for (Addr page : node.blocks)
+            lat += ensureDaxStamp(ino, page, now + lat);
+    }
+    return lat;
+}
+
+Tick
+Kernel::touchFileFrame(std::uint32_t ino, Addr pframe, Tick now)
+{
+    const Inode &node = fs_.inode(ino);
+    if (!node.encrypted)
+        return 0;
+    if (cfg_.hasSoftwareEncryption()) {
+        swencFrames_[pageAlign(stripDfBit(pframe))] = ino;
+        return 0;
+    }
+    if (cfg_.hasFsEncr())
+        return ensureDaxStamp(ino, pframe, now);
+    return 0;
+}
+
+Tick
+Kernel::ensureDaxStamp(std::uint32_t ino, Addr pframe, Tick now)
+{
+    Addr frame = pageAlign(stripDfBit(pframe));
+    if (stampedFrames_.count(frame))
+        return 0;
+    stampedFrames_.insert(frame);
+    const Inode &node = fs_.inode(ino);
+    return mc_.mmioStampPage(setDfBit(frame), node.gid, node.ino, now);
+}
+
+void
+Kernel::provisionAdmin(const std::string &admin_passphrase)
+{
+    mc_.provisionAdminCredential(
+        crypto::deriveKey(admin_passphrase, "admin"));
+}
+
+void
+Kernel::bootLogin(const std::string &admin_passphrase)
+{
+    mc_.mmioAdminLogin(crypto::deriveKey(admin_passphrase, "admin"));
+}
+
+std::optional<crypto::Key128>
+Kernel::fileKey(std::uint32_t pid, int fd)
+{
+    Process &p = process(pid);
+    auto it = p.fds.find(fd);
+    if (it == p.fds.end())
+        return std::nullopt;
+    const Inode &node = fs_.inode(it->second.ino);
+    if (!node.encrypted)
+        return std::nullopt;
+    // The Linux-keyring analogue: the FEK was unwrapped (and its check
+    // hash verified) at open() time and parked in the kernel keyring.
+    auto key = keyring_.find(node.ino);
+    if (key == keyring_.end())
+        return std::nullopt;
+    return key->second;
+}
+
+} // namespace fsencr

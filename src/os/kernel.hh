@@ -1,0 +1,261 @@
+/**
+ * @file
+ * The miniature trusted OS kernel (Sections III-C/E/F).
+ *
+ * Responsibilities mirrored from the paper's Linux changes:
+ *  - page tables with the DF-bit set for DAX-file mappings (the
+ *    dax_insert_mapping patch);
+ *  - page-fault handling: DAX faults map the *file's own NVM page*
+ *    into the process address space and signal the memory controller
+ *    (MMIO) to stamp the page's FECB with {Group ID, File ID};
+ *  - key management: per-file FEKs generated at creation, wrapped under
+ *    the owner's passphrase-derived FEKEK, registered with the OTT via
+ *    MMIO, removed at unlink;
+ *  - access control: Unix permissions *plus* the open-time passphrase
+ *    check that defends against accidental chmod 777 (Section VI);
+ *  - secure deletion: freed pages are shredded by IV repurposing.
+ */
+
+#ifndef FSENCR_OS_KERNEL_HH
+#define FSENCR_OS_KERNEL_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "crypto/key.hh"
+#include "fs/nvmfs.hh"
+#include "fsenc/secure_memory_controller.hh"
+
+namespace fsencr {
+
+/** A registered user account. */
+struct User
+{
+    std::uint32_t uid = 0;
+    std::uint32_t gid = 0;
+    std::string name;
+};
+
+/** An open file description. */
+struct OpenFile
+{
+    std::uint32_t ino = 0;
+    bool writable = false;
+};
+
+/** A mapped region of a process address space. */
+struct Vma
+{
+    Addr base = 0;
+    std::uint64_t length = 0;
+    /** 0 for anonymous memory, else the backing inode. */
+    std::uint32_t ino = 0;
+};
+
+/** A process. */
+struct Process
+{
+    std::uint32_t pid = 0;
+    std::uint32_t uid = 0;
+    std::uint32_t gid = 0;
+    std::map<int, OpenFile> fds;
+    int nextFd = 3;
+    std::vector<Vma> vmas;
+    /** Page table: virtual page number -> pframe (DF-bit included). */
+    std::unordered_map<Addr, Addr> pageTable;
+    Addr mmapCursor = 0x7f0000000000ull;
+};
+
+/** Outcome of an address translation. */
+struct Translation
+{
+    /** Page-aligned physical frame with DF-bit, or 0 on failure. */
+    Addr pframe = 0;
+    bool faulted = false;
+    /** Kernel cycles spent (page walk and/or fault handling). */
+    Cycles cycles = 0;
+    /** MMIO / metadata latency charged by the controller. */
+    Tick mcLatency = 0;
+};
+
+/** The kernel model. */
+class Kernel
+{
+  public:
+    Kernel(const SimConfig &cfg, const PhysLayout &layout,
+           NvmFilesystem &fs, SecureMemoryController &mc, Rng &rng);
+
+    /// @name Accounts and processes
+    /// @{
+    std::uint32_t addUser(const std::string &name, std::uint32_t uid,
+                          std::uint32_t gid,
+                          const std::string &passphrase);
+    std::uint32_t createProcess(std::uint32_t uid);
+    Process &process(std::uint32_t pid);
+    /// @}
+
+    /// @name File syscalls
+    /// @{
+
+    /**
+     * Create a file. For encrypted files a fresh FEK is generated,
+     * wrapped under the creator's passphrase-derived FEKEK, and
+     * registered with the memory controller's OTT.
+     * @return a file descriptor
+     */
+    int creat(std::uint32_t pid, const std::string &path,
+              std::uint16_t mode, bool encrypted,
+              const std::string &passphrase, Tick now);
+
+    /**
+     * Open an existing file. Enforces Unix permissions and, for
+     * encrypted files, verifies that the supplied passphrase unwraps
+     * the file's FEK (Section VI, chmod-777 defence).
+     * @return a file descriptor, or -1 on permission/passphrase failure
+     */
+    int open(std::uint32_t pid, const std::string &path, bool writable,
+             const std::string &passphrase);
+
+    void close(std::uint32_t pid, int fd);
+
+    /** Resize a file (allocates NVM blocks). */
+    void ftruncate(std::uint32_t pid, int fd, std::uint64_t size);
+
+    /** Delete a file: key removal (MMIO) + page shredding. */
+    Tick unlinkFile(std::uint32_t pid, const std::string &path,
+                    Tick now);
+
+    /** chmod — deliberately unauthenticated beyond ownership, to model
+     *  the accidental-777 hazard. */
+    void chmodFile(std::uint32_t pid, const std::string &path,
+                   std::uint16_t mode);
+
+    /// @}
+
+    /// @name Memory syscalls
+    /// @{
+    Addr mmapFile(std::uint32_t pid, int fd, std::uint64_t length);
+    Addr mmapAnon(std::uint32_t pid, std::uint64_t length);
+    void munmap(std::uint32_t pid, Addr base);
+    /// @}
+
+    /**
+     * MMU service: translate (pid, vaddr); page faults are handled
+     * inline — DAX pages are mapped to the file's own NVM frame with
+     * the DF-bit, anonymous pages get a fresh general frame.
+     */
+    Translation translate(std::uint32_t pid, Addr vaddr, bool is_write,
+                          Tick now);
+
+    /**
+     * Make sure a DAX-file frame's FECB carries its {Group ID, File
+     * ID} stamp before data flows through it — used by both the
+     * page-fault path and the kernel read()/write() copy path.
+     * @return MMIO latency (0 if already stamped)
+     */
+    Tick ensureDaxStamp(std::uint32_t ino, Addr pframe, Tick now);
+
+    /**
+     * Scheme-dispatching version of the above for the kernel IO path:
+     * FsEncr stamps the FECB; the software-encryption baseline
+     * registers the frame with the stacked-fs layer.
+     */
+    Tick touchFileFrame(std::uint32_t ino, Addr pframe, Tick now);
+
+    /**
+     * Remount path: after a reboot (or module migration) the FECB
+     * working copies are gone; re-send every encrypted file page's
+     * {Group ID, File ID} stamp from the persistent filesystem
+     * metadata so the controller can recognize and recover DAX lines.
+     */
+    Tick restampAllFiles(Tick now);
+
+    /** Boot-time admin login forwarded to the controller. */
+    void bootLogin(const std::string &admin_passphrase);
+
+    /** Provision the admin credential at install time. */
+    void provisionAdmin(const std::string &admin_passphrase);
+
+    /** The FEK of an open file (used by the software-encryption
+     *  baseline, which encrypts in the kernel). */
+    std::optional<crypto::Key128> fileKey(std::uint32_t pid, int fd);
+
+    /** Whether an inode is an encrypted DAX file under FsEncr. */
+    bool daxEncrypted(const Inode &node) const;
+
+    /** Whether a frame belongs to an encrypted file handled by the
+     *  software-encryption baseline. */
+    bool
+    isSwencFrame(Addr paddr) const
+    {
+        return swencFrames_.count(pageAlign(stripDfBit(paddr))) != 0;
+    }
+
+    /** The FEK used to seal a software-encrypted frame at rest, or
+     *  nullptr if the frame is not software-encrypted. */
+    const crypto::Key128 *
+    swencKeyFor(Addr paddr) const
+    {
+        auto it = swencFrames_.find(pageAlign(stripDfBit(paddr)));
+        if (it == swencFrames_.end())
+            return nullptr;
+        auto key = keyring_.find(it->second);
+        return key == keyring_.end() ? nullptr : &key->second;
+    }
+
+    NvmFilesystem &fs() { return fs_; }
+    stats::StatGroup &statGroup() { return statGroup_; }
+
+    std::uint64_t pageFaults() const { return pageFaults_.value(); }
+
+  private:
+    /** FEKEK of a user for a passphrase (eCryptfs-style derivation). */
+    crypto::Key128 fekekFor(std::uint32_t uid,
+                            const std::string &passphrase) const;
+
+    const SimConfig cfg_;
+    const PhysLayout &layout_;
+    NvmFilesystem &fs_;
+    SecureMemoryController &mc_;
+    Rng &rng_;
+
+    std::map<std::uint32_t, User> users_;
+    std::map<std::uint32_t, Process> processes_;
+    std::uint32_t nextPid_ = 1;
+
+    /** General-memory frame allocator (bump). */
+    Addr nextGeneralFrame_ = pageSize; // frame 0 reserved
+
+    /** Kernel keyring: unwrapped FEKs of open encrypted files. */
+    std::map<std::uint32_t, crypto::Key128> keyring_;
+
+    /** Frames of encrypted files under the software-encryption
+     *  baseline (frame -> inode; the stacked-fs layer intercepts
+     *  these and seals them at rest with the file's FEK). */
+    std::unordered_map<Addr, std::uint32_t> swencFrames_;
+
+    /** DAX frames whose FECB stamp has been sent to the MC. */
+    std::unordered_set<Addr> stampedFrames_;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar pageFaults_;
+    stats::Scalar daxFaults_;
+    stats::Scalar anonFaults_;
+    stats::Scalar opens_;
+    stats::Scalar openDenied_;
+    stats::Scalar creates_;
+    stats::Scalar unlinks_;
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_OS_KERNEL_HH

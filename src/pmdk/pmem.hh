@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Miniature PMDK: a persistent memory pool with an allocator and
+ * persist primitives, the substrate the PMEMKV and Whisper-style
+ * workloads build on (both benchmark suites use Intel's PMDK in the
+ * paper, Section V-A).
+ *
+ * A pool is a DAX-mapped file; pmem_persist is clwb-per-line + sfence;
+ * the allocator keeps its cursor in the pool header (real stores
+ * through the simulated memory system) and size-class free lists.
+ */
+
+#ifndef FSENCR_PMDK_PMEM_HH
+#define FSENCR_PMDK_PMEM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "sim/system.hh"
+
+namespace fsencr {
+namespace pmdk {
+
+/** A persistent memory pool over a DAX file. */
+class PmemPool
+{
+  public:
+    /**
+     * Create (or open) a pool file and map it.
+     *
+     * @param sys the machine
+     * @param core issuing core
+     * @param path pool file path
+     * @param pool_size bytes (rounded to pages)
+     * @param encrypted create the backing file encrypted
+     * @param passphrase owner passphrase for encrypted pools
+     */
+    PmemPool(System &sys, unsigned core, const std::string &path,
+             std::uint64_t pool_size, bool encrypted,
+             const std::string &passphrase)
+        : sys_(sys), core_(core), size_(roundUp(pool_size, pageSize))
+    {
+        int fd;
+        if (sys.fs().lookup(path)) {
+            fd = sys.open(core, path, true, passphrase);
+            if (fd < 0)
+                fatal("PmemPool: cannot open '%s'", path.c_str());
+        } else {
+            fd = sys.creat(core, path, 0600, encrypted, passphrase);
+            sys.ftruncate(core, fd, size_);
+        }
+        base_ = sys.mmapFile(core, fd, size_);
+        fd_ = fd;
+
+        std::uint64_t magic = sys_.read<std::uint64_t>(core_, base_);
+        if (magic != poolMagic) {
+            sys_.write<std::uint64_t>(core_, base_, poolMagic);
+            sys_.write<std::uint64_t>(core_, base_ + 8, headerBytes);
+            sys_.write<std::uint64_t>(core_, base_ + 16, 0); // root
+            sys_.persist(core_, base_, 24);
+        }
+    }
+
+    /** Virtual base of the mapped pool. */
+    Addr base() const { return base_; }
+    std::uint64_t size() const { return size_; }
+    System &sys() { return sys_; }
+    unsigned core() const { return core_; }
+
+    /**
+     * Allocate n bytes (64B aligned). Traffic-realistic: the cursor
+     * bump is a persisted pool-header update.
+     */
+    Addr
+    alloc(std::size_t n)
+    {
+        n = roundUp(n, blockSize);
+        auto &fl = freeLists_[n];
+        if (!fl.empty()) {
+            Addr va = fl.back();
+            fl.pop_back();
+            return va;
+        }
+        std::uint64_t cursor =
+            sys_.read<std::uint64_t>(core_, base_ + 8);
+        if (cursor + n > size_)
+            fatal("PmemPool: out of space (%llu used of %llu)",
+                  static_cast<unsigned long long>(cursor),
+                  static_cast<unsigned long long>(size_));
+        sys_.write<std::uint64_t>(core_, base_ + 8, cursor + n);
+        sys_.persist(core_, base_ + 8, 8);
+        return base_ + cursor;
+    }
+
+    /** Return a block to its size-class free list. */
+    void
+    free(Addr va, std::size_t n)
+    {
+        freeLists_[roundUp(n, blockSize)].push_back(va);
+    }
+
+    /** The pool's root object pointer (pool offset, 0 = unset). */
+    Addr
+    root()
+    {
+        return sys_.read<std::uint64_t>(core_, base_ + 16);
+    }
+
+    void
+    setRoot(Addr va)
+    {
+        sys_.write<std::uint64_t>(core_, base_ + 16, va);
+        sys_.persist(core_, base_ + 16, 8);
+    }
+
+    /** pmem_persist(3): flush the range to the persistence domain. */
+    void
+    persist(Addr va, std::size_t n)
+    {
+        sys_.persist(core_, va, n);
+    }
+
+    /** Switch the issuing core (worker handoff). */
+    void setCore(unsigned core) { core_ = core; }
+
+    static constexpr std::uint64_t poolMagic = 0x504d454d4b563231ull;
+    static constexpr std::uint64_t headerBytes = 4096;
+
+  private:
+    System &sys_;
+    unsigned core_;
+    std::uint64_t size_;
+    Addr base_ = 0;
+    int fd_ = -1;
+
+    std::map<std::size_t, std::vector<Addr>> freeLists_;
+};
+
+} // namespace pmdk
+} // namespace fsencr
+
+#endif // FSENCR_PMDK_PMEM_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Split-counter encryption metadata blocks (Section III-D, Figure 6).
+ *
+ * MECB (Memory Encryption Counter Block): one 64-bit major counter plus
+ * 64 seven-bit minor counters — covers one 4 KB page, one minor per
+ * 64 B line. Exactly 64 bytes when packed.
+ *
+ * FECB (File Encryption Counter Block): Group ID (18 b), File ID (14 b),
+ * a 32-bit major counter and 64 seven-bit minors — also exactly 64
+ * bytes. A FECB follows its page's MECB in the metadata region.
+ */
+
+#ifndef FSENCR_SECMEM_COUNTER_BLOCK_HH
+#define FSENCR_SECMEM_COUNTER_BLOCK_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "common/types.hh"
+
+namespace fsencr {
+
+/** Maximum value of a 7-bit minor counter. */
+constexpr std::uint32_t minorCounterMax = 127;
+
+/** 64 packed 7-bit minor counters (56 bytes serialized). */
+struct MinorCounters
+{
+    std::array<std::uint8_t, blocksPerPage> minor{}; // one per line
+
+    /** Pack into 56 bytes of 7-bit fields. */
+    void
+    pack(std::uint8_t *out) const
+    {
+        std::memset(out, 0, 56);
+        for (unsigned i = 0; i < blocksPerPage; ++i) {
+            unsigned bitpos = i * 7;
+            std::uint32_t v = minor[i] & 0x7f;
+            out[bitpos / 8] |=
+                static_cast<std::uint8_t>(v << (bitpos % 8));
+            if (bitpos % 8 > 1)
+                out[bitpos / 8 + 1] |=
+                    static_cast<std::uint8_t>(v >> (8 - bitpos % 8));
+        }
+    }
+
+    /** Unpack from 56 bytes. */
+    void
+    unpack(const std::uint8_t *in)
+    {
+        for (unsigned i = 0; i < blocksPerPage; ++i) {
+            unsigned bitpos = i * 7;
+            std::uint32_t v = in[bitpos / 8] >> (bitpos % 8);
+            if (bitpos % 8 > 1)
+                v |= static_cast<std::uint32_t>(in[bitpos / 8 + 1])
+                     << (8 - bitpos % 8);
+            minor[i] = static_cast<std::uint8_t>(v & 0x7f);
+        }
+    }
+
+    bool
+    operator==(const MinorCounters &o) const
+    {
+        return minor == o.minor;
+    }
+};
+
+/** Memory Encryption Counter Block. */
+struct Mecb
+{
+    std::uint64_t major = 0;
+    MinorCounters minors;
+
+    /** Serialize to a 64-byte line image. */
+    void
+    serialize(std::uint8_t *out) const
+    {
+        std::memcpy(out, &major, 8);
+        minors.pack(out + 8);
+    }
+
+    void
+    deserialize(const std::uint8_t *in)
+    {
+        std::memcpy(&major, in, 8);
+        minors.unpack(in + 8);
+    }
+
+    bool
+    operator==(const Mecb &o) const
+    {
+        return major == o.major && minors == o.minors;
+    }
+};
+
+/** File Encryption Counter Block. */
+struct Fecb
+{
+    std::uint32_t groupId = 0; //!< 18 significant bits
+    std::uint32_t fileId = 0;  //!< 14 significant bits
+    std::uint32_t major = 0;
+    MinorCounters minors;
+
+    static constexpr std::uint32_t groupIdBits = 18;
+    static constexpr std::uint32_t fileIdBits = 14;
+    static constexpr std::uint32_t groupIdMask = (1u << groupIdBits) - 1;
+    static constexpr std::uint32_t fileIdMask = (1u << fileIdBits) - 1;
+
+    /** Serialize to a 64-byte line image. */
+    void
+    serialize(std::uint8_t *out) const
+    {
+        std::uint32_t ids = ((groupId & groupIdMask) << fileIdBits) |
+                            (fileId & fileIdMask);
+        std::memcpy(out, &ids, 4);
+        std::memcpy(out + 4, &major, 4);
+        minors.pack(out + 8);
+    }
+
+    void
+    deserialize(const std::uint8_t *in)
+    {
+        std::uint32_t ids;
+        std::memcpy(&ids, in, 4);
+        groupId = (ids >> fileIdBits) & groupIdMask;
+        fileId = ids & fileIdMask;
+        std::memcpy(&major, in + 4, 4);
+        minors.unpack(in + 8);
+    }
+
+    bool
+    operator==(const Fecb &o) const
+    {
+        return groupId == o.groupId && fileId == o.fileId &&
+               major == o.major && minors == o.minors;
+    }
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_SECMEM_COUNTER_BLOCK_HH

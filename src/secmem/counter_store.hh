@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Volatile working copies of encryption counter blocks.
+ *
+ * The on-chip metadata cache is the only volatile home of counter
+ * blocks; everything else lives persisted in the NVM metadata region.
+ * CounterStore holds the deserialized working copies that correspond to
+ * metadata-cache-resident blocks, persists them to the device (and
+ * updates the Merkle tree) on eviction or on an Osiris stop-loss
+ * boundary, and drops everything on a crash.
+ */
+
+#ifndef FSENCR_SECMEM_COUNTER_STORE_HH
+#define FSENCR_SECMEM_COUNTER_STORE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/nvm_device.hh"
+#include "mem/phys_layout.hh"
+#include "secmem/counter_block.hh"
+#include "secmem/merkle_tree.hh"
+
+namespace fsencr {
+
+/** Volatile counter-block store with persist-through to the device. */
+class CounterStore
+{
+  public:
+    CounterStore(NvmDevice &device, MerkleTree &merkle)
+        : device_(device), merkle_(merkle), statGroup_("counters")
+    {
+        statGroup_.addScalar("mecbPersists", mecbPersists_);
+        statGroup_.addScalar("fecbPersists", fecbPersists_);
+        statGroup_.addScalar("mecbLoads", mecbLoads_);
+        statGroup_.addScalar("fecbLoads", fecbLoads_);
+    }
+
+    /**
+     * Working copy of the MECB at the given metadata address; loaded
+     * (and integrity-verified by the caller) from the device on first
+     * touch.
+     */
+    Mecb &
+    mecb(Addr mecb_addr)
+    {
+        auto it = mecbs_.find(mecb_addr);
+        if (it == mecbs_.end()) {
+            ++mecbLoads_;
+            Mecb blk;
+            std::uint8_t line[blockSize];
+            device_.readLine(mecb_addr, line);
+            blk.deserialize(line);
+            it = mecbs_.emplace(mecb_addr, blk).first;
+        }
+        return it->second;
+    }
+
+    /** Working copy of the FECB at the given metadata address. */
+    Fecb &
+    fecb(Addr fecb_addr)
+    {
+        auto it = fecbs_.find(fecb_addr);
+        if (it == fecbs_.end()) {
+            ++fecbLoads_;
+            Fecb blk;
+            std::uint8_t line[blockSize];
+            device_.readLine(fecb_addr, line);
+            blk.deserialize(line);
+            it = fecbs_.emplace(fecb_addr, blk).first;
+        }
+        return it->second;
+    }
+
+    /** True iff a working copy is resident (no device load needed). */
+    bool
+    residentMecb(Addr a) const
+    {
+        return mecbs_.count(a) != 0;
+    }
+    bool
+    residentFecb(Addr a) const
+    {
+        return fecbs_.count(a) != 0;
+    }
+
+    /** Serialize the working copy to the device and update the tree. */
+    void
+    persistMecb(Addr mecb_addr)
+    {
+        auto it = mecbs_.find(mecb_addr);
+        if (it == mecbs_.end())
+            return;
+        ++mecbPersists_;
+        std::uint8_t line[blockSize];
+        it->second.serialize(line);
+        device_.writeLine(mecb_addr, line);
+        merkle_.updateLeaf(mecb_addr);
+    }
+
+    void
+    persistFecb(Addr fecb_addr)
+    {
+        auto it = fecbs_.find(fecb_addr);
+        if (it == fecbs_.end())
+            return;
+        ++fecbPersists_;
+        std::uint8_t line[blockSize];
+        it->second.serialize(line);
+        device_.writeLine(fecb_addr, line);
+        merkle_.updateLeaf(fecb_addr);
+    }
+
+    /** Persist (if present) and drop the working copy — cache eviction. */
+    void
+    evictMecb(Addr mecb_addr, bool dirty)
+    {
+        if (dirty)
+            persistMecb(mecb_addr);
+        mecbs_.erase(mecb_addr);
+    }
+
+    void
+    evictFecb(Addr fecb_addr, bool dirty)
+    {
+        if (dirty)
+            persistFecb(fecb_addr);
+        fecbs_.erase(fecb_addr);
+    }
+
+    /** Read the *persisted* MECB image (recovery path). */
+    Mecb
+    persistedMecb(Addr mecb_addr) const
+    {
+        Mecb blk;
+        std::uint8_t line[blockSize];
+        device_.readLine(mecb_addr, line);
+        blk.deserialize(line);
+        return blk;
+    }
+
+    Fecb
+    persistedFecb(Addr fecb_addr) const
+    {
+        Fecb blk;
+        std::uint8_t line[blockSize];
+        device_.readLine(fecb_addr, line);
+        blk.deserialize(line);
+        return blk;
+    }
+
+    /** Install a recovered working copy (post-Osiris). */
+    void
+    installMecb(Addr addr, const Mecb &blk)
+    {
+        mecbs_[addr] = blk;
+    }
+
+    void
+    installFecb(Addr addr, const Fecb &blk)
+    {
+        fecbs_[addr] = blk;
+    }
+
+    /** Power loss: every volatile working copy disappears. */
+    void
+    crash()
+    {
+        mecbs_.clear();
+        fecbs_.clear();
+    }
+
+    /** Orderly flush of all working copies (clean shutdown). */
+    void
+    flushAll()
+    {
+        for (auto &[addr, blk] : mecbs_) {
+            (void)blk;
+            persistMecb(addr);
+        }
+        for (auto &[addr, blk] : fecbs_) {
+            (void)blk;
+            persistFecb(addr);
+        }
+    }
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+
+  private:
+    NvmDevice &device_;
+    MerkleTree &merkle_;
+
+    std::unordered_map<Addr, Mecb> mecbs_;
+    std::unordered_map<Addr, Fecb> fecbs_;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar mecbPersists_;
+    stats::Scalar fecbPersists_;
+    stats::Scalar mecbLoads_;
+    stats::Scalar fecbLoads_;
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_SECMEM_COUNTER_STORE_HH

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * 8-ary Bonsai Merkle tree over the security-metadata region.
+ *
+ * Leaves are the 64-byte metadata lines (MECB, FECB, OTT-spill lines);
+ * each interior node holds the 8-byte MACs of its 8 children and is
+ * itself a 64-byte line, cacheable in the metadata cache. The root MAC
+ * never leaves the processor.
+ *
+ * The functional tree is sparse: untouched subtrees collapse to
+ * precomputed per-level "default" MACs, so only metadata that has
+ * actually been persisted consumes host memory.
+ */
+
+#ifndef FSENCR_SECMEM_MERKLE_TREE_HH
+#define FSENCR_SECMEM_MERKLE_TREE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/nvm_device.hh"
+#include "mem/phys_layout.hh"
+
+namespace fsencr {
+
+/** Sparse 8-ary Merkle tree with the root held on-chip. */
+class MerkleTree
+{
+  public:
+    /**
+     * @param layout physical map providing the covered leaf range and
+     *        the node storage base
+     * @param device the NVM device holding persisted leaf bytes
+     * @param arity children per node (paper: 8)
+     */
+    MerkleTree(const PhysLayout &layout, NvmDevice &device,
+               unsigned arity = 8);
+
+    /** Number of levels including the leaf level. */
+    unsigned numLevels() const { return numLevels_; }
+
+    /** Leaf index of a metadata-line address. */
+    std::uint64_t leafIndex(Addr leaf_addr) const;
+
+    /**
+     * Physical address of the interior node at (level, index).
+     * Level 1 is the parents-of-leaves level.
+     */
+    Addr nodeAddr(unsigned level, std::uint64_t index) const;
+
+    /** The interior node covering the given leaf at the given level. */
+    Addr ancestorAddr(Addr leaf_addr, unsigned level) const;
+
+    /**
+     * Recompute the MAC chain of a leaf after its device bytes changed
+     * (called on every metadata persist).
+     */
+    void updateLeaf(Addr leaf_addr);
+
+    /**
+     * Verify a leaf's device bytes against the tree.
+     * @return true iff the leaf MAC and its path to the root match
+     */
+    bool verifyLeaf(Addr leaf_addr) const;
+
+    /**
+     * Rebuild every touched leaf MAC from device bytes and check the
+     * resulting root against the on-chip root (post-crash
+     * "regenerate and verify through the root" step).
+     */
+    bool rebuildAndVerify();
+
+    /** The on-chip root MAC. */
+    std::uint64_t root() const { return root_; }
+
+    /**
+     * Serializable tree state (Section VI, moving a filesystem to a
+     * new machine): the per-level MAC maps model the NVM-resident
+     * interior nodes that travel with the memory module; only the
+     * root needs the authenticated side channel.
+     */
+    struct State
+    {
+        std::vector<std::unordered_map<std::uint64_t, std::uint64_t>>
+            macs;
+        std::uint64_t root = 0;
+    };
+
+    State exportState() const { return State{macs_, root_}; }
+
+    /** Install transported state (geometry must match). */
+    void
+    importState(const State &state)
+    {
+        if (state.macs.size() != macs_.size())
+            panic("merkle import: level count mismatch");
+        macs_ = state.macs;
+        root_ = state.root;
+    }
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+
+  private:
+    /** MAC of a 64-byte buffer. */
+    std::uint64_t macOf(const std::uint8_t *line, Addr addr) const;
+
+    /** MAC of the current device bytes of a leaf. */
+    std::uint64_t leafMacFromDevice(Addr leaf_addr) const;
+
+    /** MAC stored for (level, index); default if untouched. */
+    std::uint64_t storedMac(unsigned level, std::uint64_t index) const;
+
+    /** Recompute an interior node's MAC from its children. */
+    std::uint64_t nodeMac(unsigned level, std::uint64_t index) const;
+
+    /** Propagate a leaf change up to the root. */
+    void propagate(std::uint64_t leaf_index);
+
+    const PhysLayout &layout_;
+    NvmDevice &device_;
+    unsigned arity_;
+    unsigned numLevels_;
+    std::uint64_t numLeaves_;
+
+    /** levelCount_[l]: number of entries at level l (0 = leaves). */
+    std::vector<std::uint64_t> levelCount_;
+    /** Storage offset of each interior level within the node region. */
+    std::vector<Addr> levelBase_;
+
+    /** Sparse MAC store: macs_[level][index]. Level 0 = leaf MACs. */
+    std::vector<std::unordered_map<std::uint64_t, std::uint64_t>> macs_;
+    /** Per-level default MAC of an all-untouched subtree. */
+    std::vector<std::uint64_t> defaultMac_;
+
+    std::uint64_t root_;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar updates_;
+    mutable stats::Scalar verifies_;
+    mutable stats::Scalar failures_;
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_SECMEM_MERKLE_TREE_HH

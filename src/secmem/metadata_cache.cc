@@ -1,0 +1,120 @@
+#include "secmem/metadata_cache.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace fsencr {
+
+namespace {
+
+/** Largest power-of-two byte size not exceeding the share. */
+std::size_t
+powerOfTwoShare(std::size_t total, unsigned share, unsigned out_of)
+{
+    std::size_t want = total * share / out_of;
+    std::size_t size = blockSize;
+    while (size * 2 <= want)
+        size *= 2;
+    return size;
+}
+
+} // namespace
+
+MetadataCache::MetadataCache(const SecParams &params,
+                             const PhysLayout &layout)
+    : layout_(layout), statGroup_("metaCache")
+{
+    if (!params.metadataCachePartitioned) {
+        unified_ = std::make_unique<SetAssocCache>(
+            "unified", params.metadataCacheBytes,
+            params.metadataCacheAssoc);
+        statGroup_.addChild(&unified_->statGroup());
+        return;
+    }
+
+    unsigned total = params.mecbShare + params.fecbShare +
+                     params.merkleShare;
+    if (total == 0)
+        fatal("partitioned metadata cache needs non-zero shares");
+
+    const char *names[3] = {"mecb", "fecb", "merkle"};
+    unsigned shares[3] = {params.mecbShare, params.fecbShare,
+                          params.merkleShare};
+    for (int i = 0; i < 3; ++i) {
+        std::size_t bytes = powerOfTwoShare(params.metadataCacheBytes,
+                                            shares[i], total);
+        unsigned assoc = params.metadataCacheAssoc;
+        while (bytes / (assoc * blockSize) == 0 && assoc > 1)
+            assoc /= 2;
+        parts_[i] = std::make_unique<SetAssocCache>(names[i], bytes,
+                                                    assoc);
+        statGroup_.addChild(&parts_[i]->statGroup());
+    }
+}
+
+unsigned
+MetadataCache::partitionOf(Addr meta_addr) const
+{
+    switch (layout_.classifyMeta(meta_addr)) {
+      case PhysLayout::MetaKind::Mecb:
+        return 0;
+      case PhysLayout::MetaKind::Fecb:
+        return 1;
+      case PhysLayout::MetaKind::MerkleNode:
+        return 2;
+      default:
+        panic("metadata cache asked about non-metadata address %#lx",
+              static_cast<unsigned long>(meta_addr));
+    }
+}
+
+SetAssocCache &
+MetadataCache::cacheFor(Addr meta_addr)
+{
+    if (unified_)
+        return *unified_;
+    return *parts_[partitionOf(meta_addr)];
+}
+
+const SetAssocCache &
+MetadataCache::cacheFor(Addr meta_addr) const
+{
+    return const_cast<MetadataCache *>(this)->cacheFor(meta_addr);
+}
+
+CacheAccessResult
+MetadataCache::access(Addr meta_addr, bool is_write)
+{
+    return cacheFor(meta_addr).access(meta_addr, is_write);
+}
+
+bool
+MetadataCache::probe(Addr meta_addr) const
+{
+    return cacheFor(meta_addr).probe(meta_addr);
+}
+
+void
+MetadataCache::clean(Addr meta_addr)
+{
+    cacheFor(meta_addr).clean(meta_addr);
+}
+
+bool
+MetadataCache::isDirty(Addr meta_addr) const
+{
+    return cacheFor(meta_addr).isDirty(meta_addr);
+}
+
+void
+MetadataCache::loseAll()
+{
+    if (unified_) {
+        unified_->loseAll();
+        return;
+    }
+    for (auto &p : parts_)
+        p->loseAll();
+}
+
+} // namespace fsencr

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The on-chip security-metadata cache.
+ *
+ * Table III: 512 KB, 8-way, 64 B lines, shared by MECBs, FECBs and
+ * Merkle-tree nodes. Section III-D notes the cache "can be partitioned
+ * for each metadata to equitably distribute the cache capacity" — this
+ * wrapper implements both organizations behind one interface so the
+ * partitioning ablation can compare them.
+ */
+
+#ifndef FSENCR_SECMEM_METADATA_CACHE_HH
+#define FSENCR_SECMEM_METADATA_CACHE_HH
+
+#include <memory>
+
+#include "cache/cache.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "mem/phys_layout.hh"
+
+namespace fsencr {
+
+/** Unified or partitioned metadata cache. */
+class MetadataCache
+{
+  public:
+    MetadataCache(const SecParams &params, const PhysLayout &layout);
+
+    /** Look up / allocate the metadata line. */
+    CacheAccessResult access(Addr meta_addr, bool is_write);
+
+    bool probe(Addr meta_addr) const;
+    void clean(Addr meta_addr);
+    bool isDirty(Addr meta_addr) const;
+
+    /** Power loss. */
+    void loseAll();
+
+    bool partitioned() const { return parts_[0] != nullptr; }
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+
+  private:
+    /** Partition index for an address: 0 MECB, 1 FECB, 2 Merkle. */
+    unsigned partitionOf(Addr meta_addr) const;
+
+    SetAssocCache &cacheFor(Addr meta_addr);
+    const SetAssocCache &cacheFor(Addr meta_addr) const;
+
+    const PhysLayout &layout_;
+    /** Unified organization. */
+    std::unique_ptr<SetAssocCache> unified_;
+    /** Partitioned organization (all non-null when enabled). */
+    std::unique_ptr<SetAssocCache> parts_[3];
+
+    stats::StatGroup statGroup_;
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_SECMEM_METADATA_CACHE_HH

@@ -1,0 +1,610 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace fsencr {
+
+System::System(const SimConfig &cfg)
+    : cfg_(cfg), layout_(cfg.layout), rng_(cfg.seed),
+      statGroup_("system")
+{
+    device_ = std::make_unique<NvmDevice>(cfg_.pcm);
+    mc_ = std::make_unique<SecureMemoryController>(cfg_, layout_,
+                                                   *device_, rng_);
+    fs_ = std::make_unique<NvmFilesystem>(layout_);
+    kernel_ = std::make_unique<Kernel>(cfg_, layout_, *fs_, *mc_, rng_);
+    caches_ = std::make_unique<CacheHierarchy>(cfg_.cpu);
+    if (cfg_.hasSoftwareEncryption())
+        swenc_ = std::make_unique<SwEncLayer>(cfg_.swenc, *device_);
+    for (unsigned c = 0; c < cfg_.cpu.numCores; ++c)
+        cores_.push_back(std::make_unique<Core>(c, cfg_.cpu));
+
+    statGroup_.addScalar("loads", totalLoads_);
+    statGroup_.addScalar("stores", totalStores_);
+    statGroup_.addScalar("crashes", crashes_);
+    statGroup_.addScalar("recoveries", recoveries_);
+    statGroup_.addChild(&device_->statGroup());
+    statGroup_.addChild(&mc_->statGroup());
+    statGroup_.addChild(&caches_->statGroup());
+    statGroup_.addChild(&kernel_->statGroup());
+    statGroup_.addChild(&fs_->statGroup());
+    if (swenc_)
+        statGroup_.addChild(&swenc_->statGroup());
+    for (auto &c : cores_)
+        statGroup_.addChild(&c->statGroup());
+}
+
+void
+System::applySwencSeal(Addr line_addr, std::uint8_t *buf)
+{
+    if (!swenc_)
+        return;
+    const crypto::Key128 *fek = kernel_->swencKeyFor(line_addr);
+    if (!fek)
+        return;
+    // eCryptfs derives per-page IVs deterministically; modeled as a
+    // CTR pad keyed by the FEK over (page, block) with no freshness
+    // counter — rewriting a page reuses its pad, one of the scheme's
+    // documented weaknesses relative to FsEncr.
+    crypto::Aes128 aes(*fek);
+    Addr line = blockAlign(stripDfBit(line_addr));
+    crypto::Line pad = crypto::makeOtp(
+        aes, {pageNumber(line), blockInPage(line), 0, 0});
+    crypto::xorLine(buf, pad);
+}
+
+void
+System::writebackLine(Addr paddr)
+{
+    std::uint8_t buf[blockSize];
+    archMem_.read(blockAlign(stripDfBit(paddr)), buf, blockSize);
+    applySwencSeal(paddr, buf);
+    mc_->writeLine(paddr, buf, now_, /*blocking=*/false);
+}
+
+void
+System::accessOnce(unsigned core_id, Addr vaddr, bool is_write,
+                   void *buf, std::size_t size)
+{
+    Core &core = *cores_.at(core_id);
+
+    // Address translation.
+    Addr pframe;
+    if (!core.tlb().lookup(vaddr, pframe)) {
+        Translation t = kernel_->translate(core.currentPid(), vaddr,
+                                           is_write, now_);
+        now_ += t.cycles * cfg_.cyclePeriod();
+        now_ += t.mcLatency;
+        if (t.faulted)
+            ++core.pageFaults_;
+        core.tlb().insert(vaddr, t.pframe);
+        pframe = pageAlign(t.pframe);
+    }
+    Addr paddr = pframe | pageOffset(vaddr);
+
+    // Software-encryption baseline intercepts encrypted-file pages.
+    if (swenc_ && kernel_->isSwencFrame(paddr))
+        now_ += swenc_->onAccess(stripDfBit(paddr), is_write, now_);
+
+    // Cache hierarchy; a miss at every level goes to the controller.
+    HierarchyResult hr = caches_->access(core_id, paddr, is_write,
+                                         *this);
+    now_ += hr.cycles * cfg_.cyclePeriod();
+    if (hr.level == HitLevel::Memory)
+        now_ += mc_->readLine(paddr, now_);
+
+    // Functional data movement against the architectural image.
+    Addr daddr = stripDfBit(paddr);
+    if (is_write) {
+        ++core.stores_;
+        ++totalStores_;
+        archMem_.write(daddr, buf, size);
+    } else {
+        ++core.loads_;
+        ++totalLoads_;
+        archMem_.read(daddr, buf, size);
+    }
+}
+
+void
+System::load(unsigned core, Addr vaddr, void *buf, std::size_t size)
+{
+    auto *p = static_cast<std::uint8_t *>(buf);
+    while (size > 0) {
+        std::size_t in_line =
+            std::min<std::size_t>(size,
+                                  blockSize - blockOffset(vaddr));
+        accessOnce(core, vaddr, false, p, in_line);
+        vaddr += in_line;
+        p += in_line;
+        size -= in_line;
+    }
+}
+
+void
+System::store(unsigned core, Addr vaddr, const void *buf,
+              std::size_t size)
+{
+    const auto *p = static_cast<const std::uint8_t *>(buf);
+    while (size > 0) {
+        std::size_t in_line =
+            std::min<std::size_t>(size,
+                                  blockSize - blockOffset(vaddr));
+        accessOnce(core, vaddr, true,
+                   const_cast<std::uint8_t *>(p), in_line);
+        vaddr += in_line;
+        p += in_line;
+        size -= in_line;
+    }
+}
+
+namespace {
+
+/** Sink that charges full persist latency to the system clock. */
+class BlockingSink : public WritebackSink
+{
+  public:
+    BlockingSink(System &sys, SecureMemoryController &mc,
+                 BackingStore &arch, Tick &now)
+        : sys_(sys), mc_(mc), arch_(arch), now_(now)
+    {}
+
+    void
+    writebackLine(Addr paddr) override
+    {
+        std::uint8_t buf[blockSize];
+        arch_.read(blockAlign(stripDfBit(paddr)), buf, blockSize);
+        now_ += mc_.writeLine(paddr, buf, now_, /*blocking=*/true);
+        (void)sys_;
+    }
+
+  private:
+    System &sys_;
+    SecureMemoryController &mc_;
+    BackingStore &arch_;
+    Tick &now_;
+};
+
+} // namespace
+
+void
+System::clwb(unsigned core_id, Addr vaddr)
+{
+    Core &core = *cores_.at(core_id);
+    ++core.clwbs_;
+
+    Addr pframe;
+    if (!core.tlb().lookup(vaddr, pframe)) {
+        Translation t = kernel_->translate(core.currentPid(), vaddr,
+                                           false, now_);
+        now_ += t.cycles * cfg_.cyclePeriod();
+        now_ += t.mcLatency;
+        core.tlb().insert(vaddr, t.pframe);
+        pframe = pageAlign(t.pframe);
+    }
+    Addr paddr = pframe | pageOffset(vaddr);
+    clwbPhys(core_id, paddr);
+}
+
+void
+System::clwbPhys(unsigned core_id, Addr paddr)
+{
+    // Without DAX the persistence primitive is msync, not clwb: defer
+    // the page to the next fence (Figure 3's fundamental handicap).
+    if (swenc_ && kernel_->isSwencFrame(paddr)) {
+        swencPendingSync_.push_back(pageAlign(stripDfBit(paddr)));
+        now_ += 2 * cfg_.cyclePeriod();
+        return;
+    }
+
+    // The clwb instruction itself.
+    now_ += 2 * cfg_.cyclePeriod();
+    BlockingSink sink(*this, *mc_, archMem_, now_);
+    caches_->clwb(core_id, paddr, sink);
+}
+
+void
+System::fsync(unsigned core, int fd)
+{
+    tick(core, 900); // syscall + inode writeback bookkeeping
+    Process &p = kernel_->process(cores_.at(core)->currentPid());
+    auto it = p.fds.find(fd);
+    if (it == p.fds.end())
+        fatal("fsync: bad fd %d", fd);
+    const Inode &node = fs_->inode(it->second.ino);
+
+    bool df = kernel_->daxEncrypted(node);
+    for (Addr page : node.blocks) {
+        Addr base = df ? setDfBit(page) : page;
+        for (unsigned blk = 0; blk < blocksPerPage; ++blk)
+            clwbPhys(core, base + blk * blockSize);
+    }
+    fence(core);
+}
+
+void
+System::fence(unsigned core_id)
+{
+    Core &core = *cores_.at(core_id);
+    ++core.fences_;
+    // Persist writes already landed synchronously (in-order model);
+    // the fence costs its pipeline drain only.
+    now_ += 10 * cfg_.cyclePeriod();
+
+    if (swenc_ && !swencPendingSync_.empty()) {
+        // Deduplicate pages dirtied since the last fence, then msync.
+        std::sort(swencPendingSync_.begin(), swencPendingSync_.end());
+        swencPendingSync_.erase(std::unique(swencPendingSync_.begin(),
+                                            swencPendingSync_.end()),
+                                swencPendingSync_.end());
+        for (Addr page : swencPendingSync_)
+            now_ += swenc_->msync(page, now_);
+        swencPendingSync_.clear();
+    }
+}
+
+void
+System::persist(unsigned core, Addr vaddr, std::size_t len)
+{
+    Addr line = blockAlign(vaddr);
+    Addr end = vaddr + len;
+    for (; line < end; line += blockSize)
+        clwb(core, line);
+    fence(core);
+}
+
+void
+System::tick(unsigned core, Cycles cycles)
+{
+    (void)core;
+    now_ += cycles * cfg_.cyclePeriod();
+}
+
+std::uint32_t
+System::addUser(const std::string &name, std::uint32_t uid,
+                std::uint32_t gid, const std::string &passphrase)
+{
+    return kernel_->addUser(name, uid, gid, passphrase);
+}
+
+std::uint32_t
+System::createProcess(std::uint32_t uid)
+{
+    return kernel_->createProcess(uid);
+}
+
+void
+System::runOnCore(unsigned core, std::uint32_t pid)
+{
+    cores_.at(core)->setCurrentPid(pid);
+    cores_.at(core)->tlb().flush(); // context switch
+}
+
+int
+System::creat(unsigned core, const std::string &path,
+              std::uint16_t mode, bool encrypted,
+              const std::string &passphrase)
+{
+    tick(core, 800); // syscall + inode setup
+    return kernel_->creat(cores_.at(core)->currentPid(), path, mode,
+                          encrypted, passphrase, now_);
+}
+
+int
+System::open(unsigned core, const std::string &path, bool writable,
+             const std::string &passphrase)
+{
+    tick(core, 600);
+    return kernel_->open(cores_.at(core)->currentPid(), path, writable,
+                         passphrase);
+}
+
+void
+System::closeFd(unsigned core, int fd)
+{
+    tick(core, 200);
+    kernel_->close(cores_.at(core)->currentPid(), fd);
+}
+
+void
+System::ftruncate(unsigned core, int fd, std::uint64_t size)
+{
+    tick(core, 400);
+    kernel_->ftruncate(cores_.at(core)->currentPid(), fd, size);
+}
+
+Addr
+System::mmapFile(unsigned core, int fd, std::uint64_t length)
+{
+    tick(core, 500);
+    return kernel_->mmapFile(cores_.at(core)->currentPid(), fd, length);
+}
+
+Addr
+System::mmapAnon(unsigned core, std::uint64_t length)
+{
+    tick(core, 500);
+    return kernel_->mmapAnon(cores_.at(core)->currentPid(), length);
+}
+
+void
+System::unlink(unsigned core, const std::string &path)
+{
+    tick(core, 600);
+    now_ += kernel_->unlinkFile(cores_.at(core)->currentPid(), path,
+                                now_);
+}
+
+void
+System::chmod(unsigned core, const std::string &path,
+              std::uint16_t mode)
+{
+    tick(core, 300);
+    kernel_->chmodFile(cores_.at(core)->currentPid(), path, mode);
+}
+
+void
+System::accessPhys(unsigned core_id, Addr paddr, bool is_write,
+                   void *buf, std::size_t size)
+{
+    if (swenc_ && kernel_->isSwencFrame(paddr))
+        now_ += swenc_->onAccess(stripDfBit(paddr), is_write, now_);
+
+    HierarchyResult hr = caches_->access(core_id, paddr, is_write,
+                                         *this);
+    now_ += hr.cycles * cfg_.cyclePeriod();
+    if (hr.level == HitLevel::Memory)
+        now_ += mc_->readLine(paddr, now_);
+
+    Addr daddr = stripDfBit(paddr);
+    if (is_write)
+        archMem_.write(daddr, buf, size);
+    else
+        archMem_.read(daddr, buf, size);
+}
+
+void
+System::fileRead(unsigned core, int fd, std::uint64_t offset, void *buf,
+                 std::size_t len)
+{
+    tick(core, 700); // syscall entry/exit
+    Process &p = kernel_->process(cores_.at(core)->currentPid());
+    auto it = p.fds.find(fd);
+    if (it == p.fds.end())
+        fatal("fileRead: bad fd %d", fd);
+    const Inode &node = fs_->inode(it->second.ino);
+
+    auto *out = static_cast<std::uint8_t *>(buf);
+    while (len > 0) {
+        Addr paddr = fs_->blockPaddr(node.ino, offset);
+        if (kernel_->daxEncrypted(node))
+            paddr = setDfBit(paddr);
+        now_ += kernel_->touchFileFrame(node.ino, paddr, now_);
+        std::size_t chunk = std::min<std::size_t>(
+            len, blockSize - blockOffset(paddr));
+        chunk = std::min<std::size_t>(chunk,
+                                      pageSize - pageOffset(offset));
+        accessPhys(core, paddr, false, out, chunk);
+        offset += chunk;
+        out += chunk;
+        len -= chunk;
+    }
+}
+
+void
+System::fileWrite(unsigned core, int fd, std::uint64_t offset,
+                  const void *buf, std::size_t len)
+{
+    tick(core, 700);
+    Process &p = kernel_->process(cores_.at(core)->currentPid());
+    auto it = p.fds.find(fd);
+    if (it == p.fds.end())
+        fatal("fileWrite: bad fd %d", fd);
+    if (!it->second.writable)
+        fatal("fileWrite: fd %d is read-only", fd);
+    Inode &node = fs_->inode(it->second.ino);
+    fs_->extendTo(node.ino, offset + len);
+
+    const auto *in = static_cast<const std::uint8_t *>(buf);
+    while (len > 0) {
+        Addr paddr = fs_->blockPaddr(node.ino, offset);
+        if (kernel_->daxEncrypted(node))
+            paddr = setDfBit(paddr);
+        now_ += kernel_->touchFileFrame(node.ino, paddr, now_);
+        std::size_t chunk = std::min<std::size_t>(
+            len, blockSize - blockOffset(paddr));
+        chunk = std::min<std::size_t>(chunk,
+                                      pageSize - pageOffset(offset));
+        accessPhys(core, paddr, true,
+                   const_cast<std::uint8_t *>(in), chunk);
+        offset += chunk;
+        in += chunk;
+        len -= chunk;
+    }
+}
+
+void
+System::copyFile(unsigned core, const std::string &src,
+                 const std::string &dst,
+                 const std::string &passphrase)
+{
+    int sfd = open(core, src, false, passphrase);
+    if (sfd < 0)
+        fatal("copyFile: cannot open source '%s'", src.c_str());
+    auto src_ino = fs_->lookup(src);
+    const Inode &snode = fs_->inode(*src_ino);
+
+    int dfd = creat(core, dst, snode.mode, snode.encrypted, passphrase);
+    std::uint64_t size = snode.size;
+    std::vector<std::uint8_t> chunk(pageSize);
+    for (std::uint64_t off = 0; off < size; off += pageSize) {
+        std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(pageSize, size - off));
+        fileRead(core, sfd, off, chunk.data(), n);
+        fileWrite(core, dfd, off, chunk.data(), n);
+    }
+    closeFd(core, sfd);
+    closeFd(core, dfd);
+}
+
+void
+System::provisionAdmin(const std::string &passphrase)
+{
+    kernel_->provisionAdmin(passphrase);
+}
+
+void
+System::bootLogin(const std::string &passphrase)
+{
+    kernel_->bootLogin(passphrase);
+}
+
+void
+System::crash()
+{
+    ++crashes_;
+    lostDirtyLines_ = caches_->crash();
+    for (auto &c : cores_)
+        c->tlb().flush();
+    if (swenc_)
+        swenc_->crash();
+    mc_->crash(now_);
+}
+
+bool
+System::lineIsDax(Addr line_addr) const
+{
+    if (!cfg_.hasFsEncr() || !layout_.isPmem(line_addr))
+        return false;
+    // The working copy carries remount-time stamps; fall back to the
+    // persisted image.
+    Addr fecb_addr = layout_.fecbAddr(line_addr);
+    Fecb fecb = mc_->counters().fecb(fecb_addr);
+    if ((fecb.groupId | fecb.fileId) != 0)
+        return true;
+    Fecb persisted = mc_->counters().persistedFecb(fecb_addr);
+    return (persisted.groupId | persisted.fileId) != 0;
+}
+
+void
+System::resyncArchFromDevice()
+{
+    std::vector<Addr> lines;
+    lines.reserve(device_->eccMap().size());
+    for (const auto &[addr, ecc] : device_->eccMap()) {
+        (void)ecc;
+        lines.push_back(addr);
+    }
+    for (Addr line : lines) {
+        Addr paddr = lineIsDax(line) ? setDfBit(line) : line;
+        std::uint8_t buf[blockSize];
+        now_ += mc_->readLine(paddr, now_, buf);
+        archMem_.write(line, buf, blockSize);
+    }
+}
+
+bool
+System::recover()
+{
+    ++recoveries_;
+    bool ok;
+    std::uint64_t failures;
+    try {
+        ok = mc_->recoverMetadata();
+        // Remount: re-stamp every encrypted file page from filesystem
+        // metadata so recovery can identify DAX lines and keys.
+        now_ += kernel_->restampAllFiles(now_);
+        failures = mc_->recoverAll();
+    } catch (const IntegrityError &) {
+        // Tampered persisted metadata discovered mid-recovery.
+        return false;
+    }
+
+    // Resynchronize the architectural image with the decrypted device
+    // contents: whatever was persisted is what the rebooted machine
+    // sees; unpersisted cached writes are gone.
+    resyncArchFromDevice();
+
+    // Dirty lines that never reached the controller: roll the
+    // architectural image back to what the device holds (for encrypted
+    // lines without ECC that is pre-first-write, i.e. zeros).
+    for (Addr full : lostDirtyLines_) {
+        Addr line = blockAlign(stripDfBit(full));
+        if (device_->hasEcc(line))
+            continue; // already resynced through the decrypt path
+        std::uint8_t buf[blockSize];
+        if (cfg_.hasMemoryEncryption()) {
+            std::memset(buf, 0, blockSize);
+        } else {
+            device_->readLine(line, buf);
+            applySwencSeal(line, buf); // unseal sw-encrypted frames
+        }
+        archMem_.write(line, buf, blockSize);
+    }
+    lostDirtyLines_.clear();
+    return ok && failures == 0;
+}
+
+void
+System::shutdown()
+{
+    caches_->flushAll(*this);
+    mc_->shutdown(now_);
+    if (swenc_)
+        now_ += swenc_->flush(now_);
+}
+
+bool
+System::migrateFrom(System &donor)
+{
+    // 1. Orderly power-down of the donor; the capsule leaves through
+    //    the authorized user interface.
+    donor.shutdown();
+    auto capsule = donor.mc().exportCapsule(donor.now());
+
+    // 2. The DIMM (cells + ECC + on-module filesystem image) moves.
+    device_->adoptContents(donor.device());
+    fs_->adoptImage(donor.fs());
+
+    // 3. Plug-in authentication against the transported root.
+    if (!mc_->importCapsule(capsule))
+        return false;
+
+    // 4. Remount: re-stamp the adopted filesystem's pages, then the
+    //    new machine decrypts its view of the module.
+    now_ += kernel_->restampAllFiles(now_);
+    resyncArchFromDevice();
+    return true;
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    statGroup_.dump(os);
+}
+
+void
+System::beginMeasurement()
+{
+    measureStart_ = now_;
+    measureStartReads_ = device_->numReads();
+    measureStartWrites_ = device_->numWrites();
+}
+
+std::uint64_t
+System::measuredReads() const
+{
+    return device_->numReads() - measureStartReads_;
+}
+
+std::uint64_t
+System::measuredWrites() const
+{
+    return device_->numWrites() - measureStartWrites_;
+}
+
+} // namespace fsencr

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * The full simulated machine: cores + TLBs + cache hierarchy + secure
+ * memory controller + PCM device + kernel + NVM filesystem, assembled
+ * for one of the four evaluated schemes (Section V):
+ *
+ *  - ext4-dax, no encryption
+ *  - baseline security (memory encryption + Merkle tree)
+ *  - FsEncr (baseline + hardware filesystem encryption)
+ *  - software encryption (eCryptfs-style stacked fs)
+ *
+ * Workloads drive the machine through load/store/clwb/fence plus the
+ * kernel syscall surface; time is a single accumulated clock (in-order
+ * latency model, see DESIGN.md §4).
+ */
+
+#ifndef FSENCR_SIM_SYSTEM_HH
+#define FSENCR_SIM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "cpu/core.hh"
+#include "fs/nvmfs.hh"
+#include "fsenc/secure_memory_controller.hh"
+#include "mem/backing_store.hh"
+#include "mem/nvm_device.hh"
+#include "mem/phys_layout.hh"
+#include "os/kernel.hh"
+#include "swenc/sw_encryption.hh"
+
+namespace fsencr {
+
+/** The machine. */
+class System : public WritebackSink
+{
+  public:
+    explicit System(const SimConfig &cfg);
+    ~System() override = default;
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /// @name CPU operations (the workload-facing surface)
+    /// @{
+
+    /** Load size bytes at vaddr into buf. */
+    void load(unsigned core, Addr vaddr, void *buf, std::size_t size);
+
+    /** Store size bytes from buf at vaddr. */
+    void store(unsigned core, Addr vaddr, const void *buf,
+               std::size_t size);
+
+    /** Typed helpers. */
+    template <typename T>
+    T
+    read(unsigned core, Addr vaddr)
+    {
+        T v;
+        load(core, vaddr, &v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    write(unsigned core, Addr vaddr, const T &v)
+    {
+        store(core, vaddr, &v, sizeof(T));
+    }
+
+    /** Cache-line writeback (clwb) of the line containing vaddr. */
+    void clwb(unsigned core, Addr vaddr);
+
+    /** Store fence (orders prior clwbs; small fixed cost). */
+    void fence(unsigned core);
+
+    /** pmem_persist: clwb every line of [vaddr, vaddr+len) + fence. */
+    void persist(unsigned core, Addr vaddr, std::size_t len);
+
+    /** Model non-memory compute: advance time by CPU cycles. */
+    void tick(unsigned core, Cycles cycles);
+
+    /// @}
+
+    /// @name Process and syscall surface
+    /// @{
+    std::uint32_t addUser(const std::string &name, std::uint32_t uid,
+                          std::uint32_t gid,
+                          const std::string &passphrase);
+    std::uint32_t createProcess(std::uint32_t uid);
+    void runOnCore(unsigned core, std::uint32_t pid);
+
+    int creat(unsigned core, const std::string &path,
+              std::uint16_t mode, bool encrypted,
+              const std::string &passphrase);
+    int open(unsigned core, const std::string &path, bool writable,
+             const std::string &passphrase);
+    void closeFd(unsigned core, int fd);
+    void ftruncate(unsigned core, int fd, std::uint64_t size);
+    Addr mmapFile(unsigned core, int fd, std::uint64_t length);
+    Addr mmapAnon(unsigned core, std::uint64_t length);
+    void unlink(unsigned core, const std::string &path);
+    void chmod(unsigned core, const std::string &path,
+               std::uint16_t mode);
+
+    /** read()/write() syscall path (kernel copies through the memory
+     *  system at line granularity). */
+    void fileRead(unsigned core, int fd, std::uint64_t offset,
+                  void *buf, std::size_t len);
+    void fileWrite(unsigned core, int fd, std::uint64_t offset,
+                   const void *buf, std::size_t len);
+
+    /** Kernel-mediated whole-file copy (Section VI). */
+    void copyFile(unsigned core, const std::string &src,
+                  const std::string &dst,
+                  const std::string &passphrase);
+
+    /** fsync(2): push the file's cached dirty lines to the
+     *  persistence domain. */
+    void fsync(unsigned core, int fd);
+    /// @}
+
+    /// @name Lifecycle
+    /// @{
+    void provisionAdmin(const std::string &passphrase);
+    void bootLogin(const std::string &passphrase);
+
+    /** Power loss: volatile state (caches, TLBs, metadata cache,
+     *  counters, OTT, page caches) vanishes. */
+    void crash();
+
+    /**
+     * Reboot recovery: Merkle regenerate+verify, Osiris counter
+     * recovery of every persisted line, architectural-state resync
+     * from the decrypted device image.
+     * @return true iff metadata verified and all counters recovered
+     */
+    bool recover();
+
+    /** Orderly shutdown: flush caches and metadata. */
+    void shutdown();
+
+    /**
+     * Move the donor's NVM module (and its filesystem) into this
+     * machine (Section VI): the donor is shut down, its security
+     * capsule travels through the authorized channel, the module is
+     * authenticated against the transported Merkle root, and this
+     * machine's architectural view is resynchronized by decryption.
+     *
+     * Users must be re-registered and files re-opened with their
+     * passphrases on the new machine.
+     *
+     * @return true iff the module authenticated
+     */
+    bool migrateFrom(System &donor);
+    /// @}
+
+    /// @name Introspection
+    /// @{
+    Tick now() const { return now_; }
+    const SimConfig &config() const { return cfg_; }
+    const PhysLayout &layout() const { return layout_; }
+    NvmDevice &device() { return *device_; }
+    SecureMemoryController &mc() { return *mc_; }
+    Kernel &kernel() { return *kernel_; }
+    NvmFilesystem &fs() { return *fs_; }
+    CacheHierarchy &caches() { return *caches_; }
+    SwEncLayer *swenc() { return swenc_.get(); }
+    Core &core(unsigned i) { return *cores_.at(i); }
+    BackingStore &archMem() { return archMem_; }
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+    void dumpStats(std::ostream &os) const;
+
+    /** Start a measurement interval (after warmup/setup). */
+    void beginMeasurement();
+    Tick measuredTicks() const { return now_ - measureStart_; }
+    std::uint64_t measuredReads() const;
+    std::uint64_t measuredWrites() const;
+    /// @}
+
+    /** WritebackSink: dirty L3 victims reach the controller. */
+    void writebackLine(Addr paddr) override;
+
+  private:
+    /** One line-contained access (functional + timing). */
+    void accessOnce(unsigned core, Addr vaddr, bool is_write, void *buf,
+                    std::size_t size);
+
+    /** Physical-address access used by the kernel IO path. */
+    void accessPhys(unsigned core, Addr paddr, bool is_write, void *buf,
+                    std::size_t size);
+
+    /** Is the line containing this device address DAX-encrypted? */
+    bool lineIsDax(Addr line_addr) const;
+
+    /** Rebuild the architectural image by decrypting every line ever
+     *  written through the controller (reboot / migration). */
+    void resyncArchFromDevice();
+
+    /** Software-encryption at-rest seal: XOR the line with the file's
+     *  deterministic eCryptfs-style pad (self-inverse). No-op for
+     *  frames that are not software-encrypted. */
+    void applySwencSeal(Addr line_addr, std::uint8_t *buf);
+
+    /** clwb by physical address (kernel paths). */
+    void clwbPhys(unsigned core, Addr paddr);
+
+    SimConfig cfg_;
+    PhysLayout layout_;
+    Rng rng_;
+    std::unique_ptr<NvmDevice> device_;
+    std::unique_ptr<SecureMemoryController> mc_;
+    std::unique_ptr<NvmFilesystem> fs_;
+    std::unique_ptr<Kernel> kernel_;
+    std::unique_ptr<CacheHierarchy> caches_;
+    std::unique_ptr<SwEncLayer> swenc_;
+    std::vector<std::unique_ptr<Core>> cores_;
+
+    /** Plaintext architectural image (what the CPU sees). */
+    BackingStore archMem_;
+
+    /** Dirty lines dropped by the last crash (rolled back on
+     *  recovery: the persisted image supersedes them). */
+    std::vector<Addr> lostDirtyLines_;
+
+    /** Software-encryption scheme: pages clwb'ed since the last
+     *  fence; the fence turns them into msync calls. */
+    std::vector<Addr> swencPendingSync_;
+
+    Tick now_ = 0;
+    Tick measureStart_ = 0;
+    std::uint64_t measureStartReads_ = 0;
+    std::uint64_t measureStartWrites_ = 0;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar totalLoads_;
+    stats::Scalar totalStores_;
+    stats::Scalar crashes_;
+    stats::Scalar recoveries_;
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_SIM_SYSTEM_HH

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * eCryptfs-style software filesystem encryption baseline (Section II-E).
+ *
+ * This is the strawman the paper's Figure 3 measures: a stacked
+ * cryptographic filesystem on top of the NVM device. Because DAX cannot
+ * expose decrypted bytes directly, every first touch of a file page
+ * takes a fault into the kernel, copies the 4 KB page out of NVM,
+ * decrypts it with kernel-software AES at page granularity, and serves
+ * subsequent accesses from the decrypted page-cache copy; dirty
+ * evictions re-encrypt and write the whole page back. The decrypted
+ * page cache is bounded, so large working sets thrash.
+ */
+
+#ifndef FSENCR_SWENC_SW_ENCRYPTION_HH
+#define FSENCR_SWENC_SW_ENCRYPTION_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/nvm_device.hh"
+
+namespace fsencr {
+
+/** The software-encryption page-cache model. */
+class SwEncLayer
+{
+  public:
+    SwEncLayer(const SwEncParams &params, NvmDevice &device)
+        : params_(params), device_(device), statGroup_("swenc")
+    {
+        statGroup_.addScalar("pageHits", pageHits_);
+        statGroup_.addScalar("pageMisses", pageMisses_);
+        statGroup_.addScalar("pageDecrypts", pageDecrypts_);
+        statGroup_.addScalar("pageEncrypts", pageEncrypts_);
+        statGroup_.addScalar("evictions", evictions_);
+        statGroup_.addScalar("msyncs", msyncs_);
+    }
+
+    /**
+     * Account one access to an encrypted file page.
+     *
+     * @param paddr physical address of the touched byte
+     * @param is_write marks the cached page dirty
+     * @param now current time
+     * @return software latency added on top of the normal access
+     */
+    Tick
+    onAccess(Addr paddr, bool is_write, Tick now)
+    {
+        Addr page = pageAlign(paddr);
+        auto it = cache_.find(page);
+        if (it != cache_.end()) {
+            ++pageHits_;
+            it->second.dirty |= is_write;
+            lru_.splice(lru_.end(), lru_, it->second.lruIt);
+            return 0;
+        }
+
+        ++pageMisses_;
+        Tick lat = fillPage(page, now);
+        if (cache_.size() > params_.pageCachePages)
+            lat += evictOne(now + lat);
+        cache_.at(page).dirty = is_write;
+        return lat;
+    }
+
+    /**
+     * msync of one page: without DAX, pmem_persist degrades to a
+     * syscall that re-encrypts and writes back the whole dirty 4KB
+     * page — the per-operation cost that makes software filesystem
+     * encryption unviable for persistent workloads (Figure 3).
+     */
+    Tick
+    msync(Addr paddr, Tick now)
+    {
+        Addr page = pageAlign(paddr);
+        Tick lat = params_.msyncSyscall;
+        auto it = cache_.find(page);
+        if (it == cache_.end() || !it->second.dirty)
+            return lat;
+        it->second.dirty = false;
+        ++msyncs_;
+        lat += pageCryptoCost() + pageCopyCost();
+        // The page's lines drain through the write queue; the syscall
+        // waits for acceptance, not for the cells.
+        for (unsigned blk = 0; blk < blocksPerPage; ++blk) {
+            MemRequest req;
+            req.paddr = page + blk * blockSize;
+            req.isWrite = true;
+            req.cls = TrafficClass::Data;
+            device_.access(req, now + lat);
+            lat += 5 * tickPerNs; // queue accept per line
+        }
+        return lat;
+    }
+
+    /** Write back every dirty cached page (msync / unmount). */
+    Tick
+    flush(Tick now)
+    {
+        Tick lat = 0;
+        for (auto &[page, entry] : cache_) {
+            if (entry.dirty) {
+                lat += writebackPage(page, now + lat);
+                entry.dirty = false;
+            }
+        }
+        return lat;
+    }
+
+    /** Drop everything (crash: the decrypted copies are volatile). */
+    void
+    crash()
+    {
+        cache_.clear();
+        lru_.clear();
+    }
+
+    std::size_t cachedPages() const { return cache_.size(); }
+    stats::StatGroup &statGroup() { return statGroup_; }
+
+  private:
+    struct Entry
+    {
+        bool dirty = false;
+        std::list<Addr>::iterator lruIt;
+    };
+
+    /** Software AES over a whole 4 KB page. */
+    Tick
+    pageCryptoCost() const
+    {
+        return (pageSize / 16) * params_.swAesPerBlock;
+    }
+
+    /** Copy cost of moving a page to/from the page cache. */
+    Tick
+    pageCopyCost() const
+    {
+        return (pageSize / blockSize) * params_.copyPerLine;
+    }
+
+    Tick
+    fillPage(Addr page, Tick now)
+    {
+        ++pageDecrypts_;
+        Tick lat = params_.faultOverhead;
+        // Read the whole page from the device.
+        for (unsigned blk = 0; blk < blocksPerPage; ++blk) {
+            MemRequest req;
+            req.paddr = page + blk * blockSize;
+            req.isWrite = false;
+            req.cls = TrafficClass::Data;
+            lat += device_.access(req, now + lat);
+        }
+        lat += pageCopyCost();
+        lat += pageCryptoCost();
+
+        Entry e;
+        lru_.push_back(page);
+        e.lruIt = std::prev(lru_.end());
+        cache_[page] = e;
+        return lat;
+    }
+
+    Tick
+    writebackPage(Addr page, Tick now)
+    {
+        ++pageEncrypts_;
+        Tick lat = pageCryptoCost() + pageCopyCost();
+        for (unsigned blk = 0; blk < blocksPerPage; ++blk) {
+            MemRequest req;
+            req.paddr = page + blk * blockSize;
+            req.isWrite = true;
+            req.cls = TrafficClass::Data;
+            lat += device_.access(req, now + lat);
+        }
+        return lat;
+    }
+
+    Tick
+    evictOne(Tick now)
+    {
+        ++evictions_;
+        Addr victim = lru_.front();
+        lru_.pop_front();
+        auto it = cache_.find(victim);
+        Tick lat = 0;
+        if (it->second.dirty)
+            lat = writebackPage(victim, now);
+        cache_.erase(it);
+        return lat;
+    }
+
+    SwEncParams params_;
+    NvmDevice &device_;
+
+    std::unordered_map<Addr, Entry> cache_;
+    std::list<Addr> lru_;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar pageHits_;
+    stats::Scalar pageMisses_;
+    stats::Scalar pageDecrypts_;
+    stats::Scalar pageEncrypts_;
+    stats::Scalar evictions_;
+    stats::Scalar msyncs_;
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_SWENC_SW_ENCRYPTION_HH

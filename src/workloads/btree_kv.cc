@@ -1,0 +1,263 @@
+#include "workloads/btree_kv.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace fsencr {
+namespace workloads {
+
+namespace {
+
+constexpr Addr offNkeys = 0;
+constexpr Addr offLeaf = 4;
+constexpr Addr offKeys = 8;
+constexpr Addr offPtrs = 8 + 8 * BTreeKv::maxKeys;
+
+} // namespace
+
+BTreeKv::BTreeKv(pmdk::PmemPool &pool)
+    : pool_(pool)
+{
+    System &sys = pool_.sys();
+    unsigned core = pool_.core();
+    root_ = pool_.root();
+    if (root_ == 0) {
+        root_ = allocNode(core, true);
+        pool_.setRoot(root_);
+    } else {
+        // Re-opened pool: recount by walking the persistent tree
+        // (real simulated reads — the cost a restarting process pays).
+        count_ = countSubtree(core, root_);
+    }
+    (void)sys;
+}
+
+std::uint64_t
+BTreeKv::countSubtree(unsigned core, Addr node)
+{
+    std::uint32_t n = nkeys(core, node);
+    if (isLeaf(core, node))
+        return n;
+    std::uint64_t total = 0;
+    for (unsigned i = 0; i <= n; ++i)
+        total += countSubtree(core, ptrAt(core, node, i));
+    return total;
+}
+
+std::uint32_t
+BTreeKv::nkeys(unsigned core, Addr n)
+{
+    return pool_.sys().read<std::uint32_t>(core, n + offNkeys);
+}
+
+void
+BTreeKv::setNkeys(unsigned core, Addr n, std::uint32_t v)
+{
+    pool_.sys().write<std::uint32_t>(core, n + offNkeys, v);
+}
+
+bool
+BTreeKv::isLeaf(unsigned core, Addr n)
+{
+    return pool_.sys().read<std::uint32_t>(core, n + offLeaf) != 0;
+}
+
+void
+BTreeKv::setLeaf(unsigned core, Addr n, bool leaf)
+{
+    pool_.sys().write<std::uint32_t>(core, n + offLeaf, leaf ? 1 : 0);
+}
+
+std::uint64_t
+BTreeKv::keyAt(unsigned core, Addr n, unsigned i)
+{
+    return pool_.sys().read<std::uint64_t>(core, n + offKeys + 8 * i);
+}
+
+void
+BTreeKv::setKeyAt(unsigned core, Addr n, unsigned i, std::uint64_t k)
+{
+    pool_.sys().write<std::uint64_t>(core, n + offKeys + 8 * i, k);
+}
+
+Addr
+BTreeKv::ptrAt(unsigned core, Addr n, unsigned i)
+{
+    return pool_.sys().read<std::uint64_t>(core, n + offPtrs + 8 * i);
+}
+
+void
+BTreeKv::setPtrAt(unsigned core, Addr n, unsigned i, Addr p)
+{
+    pool_.sys().write<std::uint64_t>(core, n + offPtrs + 8 * i, p);
+}
+
+Addr
+BTreeKv::allocNode(unsigned core, bool leaf)
+{
+    Addr n = pool_.alloc(nodeBytes);
+    setNkeys(core, n, 0);
+    setLeaf(core, n, leaf);
+    pool_.persist(n, 8);
+    return n;
+}
+
+Addr
+BTreeKv::writeValue(unsigned core, Addr existing, const void *value,
+                    std::size_t len)
+{
+    System &sys = pool_.sys();
+    Addr blob = existing;
+    if (blob != 0) {
+        std::uint64_t old_len = sys.read<std::uint64_t>(core, blob);
+        if (old_len != len) {
+            pool_.free(blob, 8 + old_len);
+            blob = 0;
+        }
+    }
+    if (blob == 0) {
+        blob = pool_.alloc(8 + len);
+        sys.write<std::uint64_t>(core, blob, len);
+    }
+    sys.store(core, blob + 8, value, len);
+    pool_.persist(blob, 8 + len);
+    return blob;
+}
+
+void
+BTreeKv::splitChild(unsigned core, Addr parent, unsigned child_idx)
+{
+    Addr child = ptrAt(core, parent, child_idx);
+    bool child_leaf = isLeaf(core, child);
+    Addr right = allocNode(core, child_leaf);
+
+    constexpr unsigned mid = maxKeys / 2; // 7
+    std::uint64_t mid_key = keyAt(core, child, mid);
+
+    unsigned right_keys;
+    if (child_leaf) {
+        // B+-tree-style leaf split: the separator key keeps its value
+        // in the right leaf and is duplicated as a router above.
+        right_keys = maxKeys - mid; // 8: keys mid..maxKeys-1
+        for (unsigned i = 0; i < right_keys; ++i) {
+            setKeyAt(core, right, i, keyAt(core, child, mid + i));
+            setPtrAt(core, right, i, ptrAt(core, child, mid + i));
+        }
+    } else {
+        // Interior split: the separator moves up, the right node takes
+        // keys mid+1.. and their child pointers.
+        right_keys = maxKeys - mid - 1; // 7
+        for (unsigned i = 0; i < right_keys; ++i) {
+            setKeyAt(core, right, i, keyAt(core, child, mid + 1 + i));
+            setPtrAt(core, right, i, ptrAt(core, child, mid + 1 + i));
+        }
+        setPtrAt(core, right, right_keys, ptrAt(core, child, maxKeys));
+    }
+    setNkeys(core, right, right_keys);
+    setNkeys(core, child, mid);
+    pool_.persist(right, nodeBytes);
+    pool_.persist(child, 8);
+
+    // Shift the parent's keys/pointers to make room.
+    std::uint32_t pn = nkeys(core, parent);
+    for (unsigned i = pn; i > child_idx; --i) {
+        setKeyAt(core, parent, i, keyAt(core, parent, i - 1));
+        setPtrAt(core, parent, i + 1, ptrAt(core, parent, i));
+    }
+    setKeyAt(core, parent, child_idx, mid_key);
+    setPtrAt(core, parent, child_idx + 1, right);
+    setNkeys(core, parent, pn + 1);
+    pool_.persist(parent, nodeBytes);
+}
+
+void
+BTreeKv::put(unsigned core, std::uint64_t key, const void *value,
+             std::size_t len)
+{
+    System &sys = pool_.sys();
+    sys.tick(core, 60); // key hashing / comparison / engine overhead
+
+    // Interior separator convention: keys < separator go left,
+    // >= separator go right.
+    if (nkeys(core, root_) == maxKeys) {
+        Addr new_root = allocNode(core, false);
+        setPtrAt(core, new_root, 0, root_);
+        pool_.persist(new_root, nodeBytes);
+        root_ = new_root;
+        pool_.setRoot(root_);
+        splitChild(core, new_root, 0);
+    }
+
+    Addr node = root_;
+    while (!isLeaf(core, node)) {
+        std::uint32_t n = nkeys(core, node);
+        unsigned idx = 0;
+        while (idx < n && key >= keyAt(core, node, idx))
+            ++idx;
+        Addr child = ptrAt(core, node, idx);
+        if (nkeys(core, child) == maxKeys) {
+            splitChild(core, node, idx);
+            if (key >= keyAt(core, node, idx))
+                ++idx;
+            child = ptrAt(core, node, idx);
+        }
+        node = child;
+    }
+
+    // Leaf insert or in-place update.
+    std::uint32_t n = nkeys(core, node);
+    unsigned idx = 0;
+    while (idx < n && key > keyAt(core, node, idx))
+        ++idx;
+    if (idx < n && keyAt(core, node, idx) == key) {
+        Addr blob = writeValue(core, ptrAt(core, node, idx), value,
+                               len);
+        setPtrAt(core, node, idx, blob);
+        pool_.persist(node + offPtrs + 8 * idx, 8);
+        return;
+    }
+
+    Addr blob = writeValue(core, 0, value, len);
+    for (unsigned i = n; i > idx; --i) {
+        setKeyAt(core, node, i, keyAt(core, node, i - 1));
+        setPtrAt(core, node, i, ptrAt(core, node, i - 1));
+    }
+    setKeyAt(core, node, idx, key);
+    setPtrAt(core, node, idx, blob);
+    setNkeys(core, node, n + 1);
+    pool_.persist(node, nodeBytes);
+    ++count_;
+}
+
+bool
+BTreeKv::get(unsigned core, std::uint64_t key, void *out,
+             std::size_t len)
+{
+    System &sys = pool_.sys();
+    sys.tick(core, 60);
+
+    Addr node = root_;
+    while (!isLeaf(core, node)) {
+        std::uint32_t n = nkeys(core, node);
+        unsigned idx = 0;
+        while (idx < n && key >= keyAt(core, node, idx))
+            ++idx;
+        node = ptrAt(core, node, idx);
+    }
+    std::uint32_t n = nkeys(core, node);
+    for (unsigned i = 0; i < n; ++i) {
+        if (keyAt(core, node, i) == key) {
+            Addr blob = ptrAt(core, node, i);
+            std::uint64_t stored =
+                sys.read<std::uint64_t>(core, blob);
+            sys.load(core, blob + 8, out,
+                     std::min<std::size_t>(len, stored));
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace workloads
+} // namespace fsencr

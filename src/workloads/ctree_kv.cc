@@ -1,0 +1,106 @@
+#include "workloads/ctree_kv.hh"
+
+#include "common/bitfield.hh"
+
+namespace fsencr {
+namespace workloads {
+
+namespace {
+
+/**
+ * Bijective key mixer (SplitMix64 finalizer): the tree orders nodes
+ * by mixed keys so that sequential insertion does not degenerate the
+ * BST into a chain — the crit-bit behaviour of the real Whisper
+ * benchmark. Bijectivity preserves exact-match semantics.
+ */
+std::uint64_t
+mixKey(std::uint64_t k)
+{
+    k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9ull;
+    k = (k ^ (k >> 27)) * 0x94d049bb133111ebull;
+    return k ^ (k >> 31);
+}
+
+} // namespace
+
+CTreeKv::CTreeKv(pmdk::PmemPool &pool, std::size_t value_bytes)
+    : pool_(pool), valueBytes_(value_bytes)
+{
+    rootPtr_ = pool_.alloc(blockSize);
+    // Fresh pool pages read as zero: root pointer starts null.
+}
+
+Addr
+CTreeKv::allocNode(unsigned core, std::uint64_t key, const void *value)
+{
+    System &sys = pool_.sys();
+    Addr n = pool_.alloc(roundUp(offValue + valueBytes_, blockSize));
+    sys.write<std::uint64_t>(core, n + offKey, key);
+    sys.write<std::uint64_t>(core, n + offLeft, 0);
+    sys.write<std::uint64_t>(core, n + offRight, 0);
+    sys.store(core, n + offValue, value, valueBytes_);
+    pool_.persist(n, offValue + valueBytes_);
+    return n;
+}
+
+void
+CTreeKv::put(unsigned core, std::uint64_t key, const void *value)
+{
+    System &sys = pool_.sys();
+    sys.tick(core, 50);
+    key = mixKey(key);
+
+    Addr root = sys.read<std::uint64_t>(core, rootPtr_);
+    if (root == 0) {
+        Addr n = allocNode(core, key, value);
+        sys.write<std::uint64_t>(core, rootPtr_, n);
+        pool_.persist(rootPtr_, 8);
+        ++count_;
+        return;
+    }
+
+    Addr node = root;
+    while (true) {
+        std::uint64_t nkey = sys.read<std::uint64_t>(core,
+                                                     node + offKey);
+        if (nkey == key) {
+            sys.store(core, node + offValue, value, valueBytes_);
+            pool_.persist(node + offValue, valueBytes_);
+            return;
+        }
+        Addr link = key < nkey ? node + offLeft : node + offRight;
+        Addr child = sys.read<std::uint64_t>(core, link);
+        if (child == 0) {
+            Addr n = allocNode(core, key, value);
+            sys.write<std::uint64_t>(core, link, n);
+            pool_.persist(link, 8);
+            ++count_;
+            return;
+        }
+        node = child;
+    }
+}
+
+bool
+CTreeKv::get(unsigned core, std::uint64_t key, void *out)
+{
+    System &sys = pool_.sys();
+    sys.tick(core, 50);
+    key = mixKey(key);
+
+    Addr node = sys.read<std::uint64_t>(core, rootPtr_);
+    while (node != 0) {
+        std::uint64_t nkey = sys.read<std::uint64_t>(core,
+                                                     node + offKey);
+        if (nkey == key) {
+            sys.load(core, node + offValue, out, valueBytes_);
+            return true;
+        }
+        node = sys.read<std::uint64_t>(
+            core, key < nkey ? node + offLeft : node + offRight);
+    }
+    return false;
+}
+
+} // namespace workloads
+} // namespace fsencr

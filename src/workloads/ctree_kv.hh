@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Persistent binary search tree (the Whisper "CTree" benchmark,
+ * data-size 128 B, Table II). A crit-bit-flavoured pointer-chasing
+ * structure: every lookup walks a chain of 64-byte node headers spread
+ * across the pool — the worst case for counter-block locality.
+ */
+
+#ifndef FSENCR_WORKLOADS_CTREE_KV_HH
+#define FSENCR_WORKLOADS_CTREE_KV_HH
+
+#include <cstdint>
+
+#include "pmdk/pmem.hh"
+
+namespace fsencr {
+namespace workloads {
+
+/** Persistent BST with fixed-size inline payloads. */
+class CTreeKv
+{
+  public:
+    CTreeKv(pmdk::PmemPool &pool, std::size_t value_bytes);
+
+    void put(unsigned core, std::uint64_t key, const void *value);
+    bool get(unsigned core, std::uint64_t key, void *out);
+
+    std::uint64_t count() const { return count_; }
+    std::size_t valueBytes() const { return valueBytes_; }
+
+  private:
+    Addr allocNode(unsigned core, std::uint64_t key, const void *value);
+
+    pmdk::PmemPool &pool_;
+    std::size_t valueBytes_;
+    Addr rootPtr_ = 0; //!< pmem address holding the root pointer
+    std::uint64_t count_ = 0;
+
+    /** Node layout: u64 key | u64 left | u64 right | pad | value. */
+    static constexpr Addr offKey = 0;
+    static constexpr Addr offLeft = 8;
+    static constexpr Addr offRight = 16;
+    static constexpr Addr offValue = 24;
+};
+
+} // namespace workloads
+} // namespace fsencr
+
+#endif // FSENCR_WORKLOADS_CTREE_KV_HH

@@ -1,0 +1,123 @@
+#include "workloads/dax_micro.hh"
+
+namespace fsencr {
+namespace workloads {
+
+const char *
+daxMicroKindName(DaxMicroKind k)
+{
+    switch (k) {
+      case DaxMicroKind::Dax1: return "DAX-1";
+      case DaxMicroKind::Dax2: return "DAX-2";
+      case DaxMicroKind::Dax3: return "DAX-3";
+      case DaxMicroKind::Dax4: return "DAX-4";
+    }
+    return "?";
+}
+
+DaxMicroWorkload::DaxMicroWorkload(const DaxMicroConfig &cfg)
+    : cfg_(cfg)
+{}
+
+std::string
+DaxMicroWorkload::name() const
+{
+    return daxMicroKindName(cfg_.kind);
+}
+
+void
+DaxMicroWorkload::setup(System &sys)
+{
+    standardEnvironment(sys, "alice-pass");
+
+    fileBytes_ = cfg_.spanBytes;
+    int fd = sys.creat(0, "/pmem/daxmicro.dat", 0600,
+                       /*encrypted=*/true, "alice-pass");
+    sys.ftruncate(0, fd, fileBytes_);
+    base_ = sys.mmapFile(0, fd, fileBytes_);
+}
+
+void
+DaxMicroWorkload::runStride(System &sys, std::uint64_t stride)
+{
+    // One pass over the span; alternate a 1-byte read and a 1-byte
+    // write so both the decrypt and counter-update paths are stressed.
+    std::uint64_t n = fileBytes_ / stride;
+    ops_ = n;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Addr a = base_ + i * stride;
+        if (i & 1) {
+            std::uint8_t v = static_cast<std::uint8_t>(i);
+            sys.store(0, a, &v, 1);
+        } else {
+            std::uint8_t v;
+            sys.load(0, a, &v, 1);
+        }
+    }
+}
+
+void
+DaxMicroWorkload::runSwap(System &sys, std::size_t array_bytes)
+{
+    Rng rng(cfg_.seed);
+    std::vector<std::uint8_t> a(array_bytes), b(array_bytes);
+    std::uint64_t slots = fileBytes_ / array_bytes;
+    ops_ = cfg_.swapOps;
+
+    for (std::uint64_t i = 0; i < cfg_.swapOps; ++i) {
+        Addr pa = base_ + rng.nextBounded(slots) * array_bytes;
+        Addr pb = base_ + rng.nextBounded(slots) * array_bytes;
+
+        // Initialize both arrays...
+        rng.fill(a.data(), a.size());
+        rng.fill(b.data(), b.size());
+        sys.store(0, pa, a.data(), a.size());
+        sys.store(0, pb, b.data(), b.size());
+
+        // ...then swap their contents (sequential within the array).
+        sys.load(0, pa, a.data(), a.size());
+        sys.load(0, pb, b.data(), b.size());
+        sys.store(0, pa, b.data(), b.size());
+        sys.store(0, pb, a.data(), a.size());
+    }
+}
+
+void
+DaxMicroWorkload::execute(System &sys)
+{
+    switch (cfg_.kind) {
+      case DaxMicroKind::Dax1:
+        runStride(sys, 16);
+        break;
+      case DaxMicroKind::Dax2:
+        runStride(sys, 128);
+        break;
+      case DaxMicroKind::Dax3:
+        runSwap(sys, 16);
+        break;
+      case DaxMicroKind::Dax4:
+        runSwap(sys, 128);
+        break;
+    }
+}
+
+std::vector<DaxMicroConfig>
+daxMicroSuite()
+{
+    std::vector<DaxMicroConfig> suite;
+    for (DaxMicroKind k : {DaxMicroKind::Dax1, DaxMicroKind::Dax2,
+                           DaxMicroKind::Dax3, DaxMicroKind::Dax4}) {
+        DaxMicroConfig c;
+        c.kind = k;
+        // 32MB span: the page-count makes the combined MECB+FECB
+        // footprint (1MB) overflow the 512KB metadata cache, the
+        // differential the sensitivity study (Fig. 15) turns on.
+        c.spanBytes = 32 << 20;
+        c.swapOps = 100000;
+        suite.push_back(c);
+    }
+    return suite;
+}
+
+} // namespace workloads
+} // namespace fsencr

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * In-house synthetic DAX micro-benchmarks (Table II, Figures 12-14):
+ *
+ *  DAX-1  touch 1 byte every 16 bytes of a large mmap'ed file
+ *  DAX-2  touch 1 byte every 128 bytes (worse counter-block locality:
+ *         each FECB/MECB covers 4 KB, so wider strides amortize less)
+ *  DAX-3  initialize two 16 B arrays at random locations and swap them
+ *  DAX-4  same with 128 B arrays
+ */
+
+#ifndef FSENCR_WORKLOADS_DAX_MICRO_HH
+#define FSENCR_WORKLOADS_DAX_MICRO_HH
+
+#include "common/rng.hh"
+#include "workloads/workload.hh"
+
+namespace fsencr {
+namespace workloads {
+
+/** Which micro-benchmark. */
+enum class DaxMicroKind { Dax1, Dax2, Dax3, Dax4 };
+
+const char *daxMicroKindName(DaxMicroKind k);
+
+/** Parameters of one micro run. */
+struct DaxMicroConfig
+{
+    DaxMicroKind kind = DaxMicroKind::Dax1;
+    /** Bytes of file the strided kinds sweep (one pass). */
+    std::uint64_t spanBytes = 16 << 20;
+    /** Swap iterations for DAX-3/4. */
+    std::uint64_t swapOps = 50000;
+    std::uint64_t seed = 3;
+};
+
+/** A DAX micro-benchmark instance. */
+class DaxMicroWorkload : public Workload
+{
+  public:
+    explicit DaxMicroWorkload(const DaxMicroConfig &cfg);
+
+    std::string name() const override;
+    void setup(System &sys) override;
+    void execute(System &sys) override;
+    std::uint64_t operations() const override { return ops_; }
+
+  private:
+    void runStride(System &sys, std::uint64_t stride);
+    void runSwap(System &sys, std::size_t array_bytes);
+
+    DaxMicroConfig cfg_;
+    Addr base_ = 0;
+    std::uint64_t fileBytes_ = 0;
+    std::uint64_t ops_ = 0;
+};
+
+/** The four configurations of Figures 12-14, in figure order. */
+std::vector<DaxMicroConfig> daxMicroSuite();
+
+} // namespace workloads
+} // namespace fsencr
+
+#endif // FSENCR_WORKLOADS_DAX_MICRO_HH

@@ -1,0 +1,87 @@
+#include "workloads/extra_workloads.hh"
+
+namespace fsencr {
+namespace workloads {
+
+void
+LogAppendWorkload::setup(System &sys)
+{
+    standardEnvironment(sys, "logger-pw");
+    std::uint64_t bytes =
+        roundUp(64 + cfg_.numRecords * cfg_.recordBytes, pageSize);
+    int fd = sys.creat(0, "/pmem/wal.log", 0600, true, "logger-pw");
+    sys.ftruncate(0, fd, bytes);
+    base_ = sys.mmapFile(0, fd, bytes);
+
+    // Log header: record count (the checkpoint target).
+    sys.write<std::uint64_t>(0, base_, 0);
+    sys.persist(0, base_, 8);
+}
+
+void
+LogAppendWorkload::execute(System &sys)
+{
+    Rng rng(cfg_.seed);
+    std::vector<std::uint8_t> record(cfg_.recordBytes);
+    Addr data = base_ + 64;
+
+    for (std::uint64_t i = 0; i < cfg_.numRecords; ++i) {
+        rng.fill(record.data(), record.size());
+        Addr at = data + i * cfg_.recordBytes;
+        sys.store(0, at, record.data(), record.size());
+        sys.persist(0, at, record.size());
+        sys.tick(0, 80); // record formatting
+
+        if ((i + 1) % cfg_.checkpointEvery == 0) {
+            sys.write<std::uint64_t>(0, base_, i + 1);
+            sys.persist(0, base_, 8);
+        }
+    }
+}
+
+void
+FileServerWorkload::setup(System &sys)
+{
+    standardEnvironment(sys, "server-pw");
+    std::vector<std::uint8_t> chunk(cfg_.ioBytes);
+    Rng rng(cfg_.seed ^ 0x5a5a);
+
+    for (unsigned f = 0; f < cfg_.numFiles; ++f) {
+        int fd = sys.creat(0, "/pmem/srv" + std::to_string(f), 0600,
+                           /*encrypted=*/true, "server-pw");
+        // Prefill each file.
+        for (std::uint64_t off = 0; off < cfg_.fileBytes;
+             off += cfg_.ioBytes) {
+            rng.fill(chunk.data(), chunk.size());
+            sys.fileWrite(0, fd, off, chunk.data(), chunk.size());
+        }
+        fds_.push_back(fd);
+    }
+}
+
+void
+FileServerWorkload::execute(System &sys)
+{
+    Rng rng(cfg_.seed);
+    ZipfianGenerator popular(cfg_.numFiles, 0.99, cfg_.seed ^ 0x77);
+    std::vector<std::uint8_t> chunk(cfg_.ioBytes);
+
+    std::uint64_t chunks_per_file = cfg_.fileBytes / cfg_.ioBytes;
+    for (std::uint64_t i = 0; i < cfg_.numOps; ++i) {
+        unsigned core =
+            static_cast<unsigned>(i % sys.config().cpu.numCores);
+        int fd = fds_[popular.next()];
+        std::uint64_t off =
+            rng.nextBounded(chunks_per_file) * cfg_.ioBytes;
+        if (rng.nextDouble() < cfg_.readRatio) {
+            sys.fileRead(core, fd, off, chunk.data(), chunk.size());
+        } else {
+            rng.fill(chunk.data(), chunk.size());
+            sys.fileWrite(core, fd, off, chunk.data(), chunk.size());
+        }
+        sys.tick(core, 200); // request parsing / response
+    }
+}
+
+} // namespace workloads
+} // namespace fsencr

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Workloads beyond the paper's Table II, exercising access patterns
+ * the figure benchmarks do not cover:
+ *
+ *  - LogAppend: a write-ahead log — strictly sequential appends, one
+ *    persist per record, periodic checkpoint trims. The best case for
+ *    counter-block locality and the worst case for persist frequency.
+ *  - FileServer: syscall-style IO (open/read/write/close) over many
+ *    files with zipfian popularity — exercises the kernel copy path,
+ *    per-file keys, OTT pressure and permission checks.
+ */
+
+#ifndef FSENCR_WORKLOADS_EXTRA_WORKLOADS_HH
+#define FSENCR_WORKLOADS_EXTRA_WORKLOADS_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "workloads/workload.hh"
+
+namespace fsencr {
+namespace workloads {
+
+/** Write-ahead-log appender. */
+struct LogAppendConfig
+{
+    std::uint64_t numRecords = 20000;
+    std::size_t recordBytes = 256;
+    /** Checkpoint (header rewrite + persist) every N records. */
+    std::uint64_t checkpointEvery = 1024;
+    std::uint64_t seed = 21;
+};
+
+class LogAppendWorkload : public Workload
+{
+  public:
+    explicit LogAppendWorkload(const LogAppendConfig &cfg) : cfg_(cfg)
+    {}
+
+    std::string name() const override { return "LogAppend"; }
+    void setup(System &sys) override;
+    void execute(System &sys) override;
+    std::uint64_t operations() const override
+    {
+        return cfg_.numRecords;
+    }
+
+  private:
+    LogAppendConfig cfg_;
+    Addr base_ = 0;
+};
+
+/** Multi-file syscall file server. */
+struct FileServerConfig
+{
+    unsigned numFiles = 64;
+    std::uint64_t fileBytes = 256 << 10;
+    std::uint64_t numOps = 8000;
+    std::size_t ioBytes = 4096;
+    double readRatio = 0.7;
+    std::uint64_t seed = 22;
+};
+
+class FileServerWorkload : public Workload
+{
+  public:
+    explicit FileServerWorkload(const FileServerConfig &cfg)
+        : cfg_(cfg)
+    {}
+
+    std::string name() const override { return "FileServer"; }
+    void setup(System &sys) override;
+    void execute(System &sys) override;
+    std::uint64_t operations() const override { return cfg_.numOps; }
+
+  private:
+    FileServerConfig cfg_;
+    std::vector<int> fds_;
+};
+
+} // namespace workloads
+} // namespace fsencr
+
+#endif // FSENCR_WORKLOADS_EXTRA_WORKLOADS_HH

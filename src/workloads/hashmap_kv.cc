@@ -1,0 +1,74 @@
+#include "workloads/hashmap_kv.hh"
+
+#include "common/bitfield.hh"
+
+namespace fsencr {
+namespace workloads {
+
+HashmapKv::HashmapKv(pmdk::PmemPool &pool, std::uint64_t capacity,
+                     std::size_t value_bytes)
+    : pool_(pool), valueBytes_(value_bytes)
+{
+    capacity_ = 1;
+    while (capacity_ < capacity)
+        capacity_ <<= 1;
+    slotBytes_ = roundUp(16 + value_bytes, blockSize);
+    table_ = pool_.alloc(capacity_ * slotBytes_);
+    // Slots start zeroed (fresh NVM pages read as zero), so no
+    // initialization sweep is needed.
+}
+
+void
+HashmapKv::put(unsigned core, std::uint64_t key, const void *value)
+{
+    System &sys = pool_.sys();
+    sys.tick(core, 40); // hash + probe arithmetic
+
+    std::uint64_t idx = hashKey(key) & (capacity_ - 1);
+    for (std::uint64_t probe = 0; probe < capacity_; ++probe) {
+        Addr slot = slotAddr((idx + probe) & (capacity_ - 1));
+        std::uint64_t state =
+            sys.read<std::uint64_t>(core, slot + offState);
+        if (state == 0) {
+            sys.write<std::uint64_t>(core, slot + offKey, key);
+            sys.store(core, slot + offValue, value, valueBytes_);
+            sys.write<std::uint64_t>(core, slot + offState, 1);
+            pool_.persist(slot, 16 + valueBytes_);
+            ++count_;
+            return;
+        }
+        std::uint64_t k = sys.read<std::uint64_t>(core, slot + offKey);
+        if (k == key) {
+            sys.store(core, slot + offValue, value, valueBytes_);
+            pool_.persist(slot + offValue, valueBytes_);
+            return;
+        }
+    }
+    fatal("HashmapKv: table full (capacity %llu)",
+          static_cast<unsigned long long>(capacity_));
+}
+
+bool
+HashmapKv::get(unsigned core, std::uint64_t key, void *out)
+{
+    System &sys = pool_.sys();
+    sys.tick(core, 40);
+
+    std::uint64_t idx = hashKey(key) & (capacity_ - 1);
+    for (std::uint64_t probe = 0; probe < capacity_; ++probe) {
+        Addr slot = slotAddr((idx + probe) & (capacity_ - 1));
+        std::uint64_t state =
+            sys.read<std::uint64_t>(core, slot + offState);
+        if (state == 0)
+            return false;
+        std::uint64_t k = sys.read<std::uint64_t>(core, slot + offKey);
+        if (k == key) {
+            sys.load(core, slot + offValue, out, valueBytes_);
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace workloads
+} // namespace fsencr

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Persistent open-addressing hashmap (the Whisper "Hashmap" benchmark,
+ * data-size 128 B, Table II). Also serves as the store behind our YCSB
+ * workload.
+ *
+ * Entries are inline: state word, key, and a fixed-size payload, so a
+ * put is one probe chain plus a ~2-line persisted write — exactly the
+ * short-persist pattern Whisper characterizes.
+ */
+
+#ifndef FSENCR_WORKLOADS_HASHMAP_KV_HH
+#define FSENCR_WORKLOADS_HASHMAP_KV_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "pmdk/pmem.hh"
+
+namespace fsencr {
+namespace workloads {
+
+/** Persistent hashmap with fixed-size inline values. */
+class HashmapKv
+{
+  public:
+    /**
+     * @param pool the persistent pool
+     * @param capacity slots (rounded up to a power of two); size for
+     *        <70% load factor — there is no resize
+     * @param value_bytes inline payload size
+     */
+    HashmapKv(pmdk::PmemPool &pool, std::uint64_t capacity,
+              std::size_t value_bytes);
+
+    void put(unsigned core, std::uint64_t key, const void *value);
+    bool get(unsigned core, std::uint64_t key, void *out);
+
+    std::size_t valueBytes() const { return valueBytes_; }
+    std::uint64_t count() const { return count_; }
+
+  private:
+    static std::uint64_t
+    hashKey(std::uint64_t k)
+    {
+        k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9ull;
+        k = (k ^ (k >> 27)) * 0x94d049bb133111ebull;
+        return k ^ (k >> 31);
+    }
+
+    Addr slotAddr(std::uint64_t idx) const
+    {
+        return table_ + idx * slotBytes_;
+    }
+
+    pmdk::PmemPool &pool_;
+    std::uint64_t capacity_;
+    std::size_t valueBytes_;
+    std::size_t slotBytes_;
+    Addr table_ = 0;
+    std::uint64_t count_ = 0;
+
+    /** Slot layout: u64 state (0 empty / 1 full) | u64 key | value. */
+    static constexpr Addr offState = 0;
+    static constexpr Addr offKey = 8;
+    static constexpr Addr offValue = 16;
+};
+
+} // namespace workloads
+} // namespace fsencr
+
+#endif // FSENCR_WORKLOADS_HASHMAP_KV_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * PMEMKV-style benchmarks (Table II): fillseq / fillrandom / overwrite
+ * / readrandom / readseq over the persistent BTree engine, with small
+ * (64 B) and large (4096 B) values and two worker threads.
+ */
+
+#ifndef FSENCR_WORKLOADS_PMEMKV_BENCH_HH
+#define FSENCR_WORKLOADS_PMEMKV_BENCH_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "workloads/btree_kv.hh"
+#include "workloads/workload.hh"
+
+namespace fsencr {
+namespace workloads {
+
+/** Which PMEMKV benchmark to run. */
+enum class PmemkvOp {
+    FillSeq,
+    FillRandom,
+    Overwrite,
+    ReadRandom,
+    ReadSeq,
+};
+
+const char *pmemkvOpName(PmemkvOp op);
+
+/** Parameters of one PMEMKV run. */
+struct PmemkvConfig
+{
+    PmemkvOp op = PmemkvOp::FillSeq;
+    std::size_t valueBytes = 64; //!< 64 (S) or 4096 (L)
+    std::uint64_t numKeys = 8192;
+    std::uint64_t numOps = 8192;
+    unsigned workers = 2;
+    std::uint64_t seed = 1;
+};
+
+/** A PMEMKV benchmark instance. */
+class PmemkvWorkload : public Workload
+{
+  public:
+    explicit PmemkvWorkload(const PmemkvConfig &cfg);
+
+    std::string name() const override;
+    void setup(System &sys) override;
+    void execute(System &sys) override;
+    std::uint64_t operations() const override { return cfg_.numOps; }
+
+    BTreeKv *kv() { return kv_.get(); }
+
+  private:
+    void doOp(System &sys, unsigned core, std::uint64_t i, Rng &rng);
+
+    PmemkvConfig cfg_;
+    std::unique_ptr<pmdk::PmemPool> pool_;
+    std::unique_ptr<BTreeKv> kv_;
+    std::vector<std::uint8_t> valueBuf_;
+    std::vector<std::uint8_t> readBuf_;
+};
+
+/** The ten PMEMKV configurations of Figures 8-10, in figure order.
+ *  Defaults size the working set beyond the 4MB LLC so the memory
+ *  system is actually exercised. */
+std::vector<PmemkvConfig> pmemkvSuite(std::uint64_t small_keys = 32768,
+                                      std::uint64_t large_keys = 2048);
+
+} // namespace workloads
+} // namespace fsencr
+
+#endif // FSENCR_WORKLOADS_PMEMKV_BENCH_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Whisper-style benchmarks (Table II): YCSB (R/W ratio 0.5, zipfian,
+ * 2 workers), Hashmap (128 B, 2 threads) and CTree (128 B, 2 threads).
+ */
+
+#ifndef FSENCR_WORKLOADS_WHISPER_BENCH_HH
+#define FSENCR_WORKLOADS_WHISPER_BENCH_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "workloads/ctree_kv.hh"
+#include "workloads/hashmap_kv.hh"
+#include "workloads/workload.hh"
+
+namespace fsencr {
+namespace workloads {
+
+/** Which Whisper benchmark. */
+enum class WhisperKind { Ycsb, Hashmap, CTree };
+
+const char *whisperKindName(WhisperKind k);
+
+/** Parameters of one Whisper run. */
+struct WhisperConfig
+{
+    WhisperKind kind = WhisperKind::Ycsb;
+    std::uint64_t numKeys = 16384;
+    std::uint64_t numOps = 16384;
+    std::size_t valueBytes = 128; //!< YCSB uses 1024
+    double readRatio = 0.5;
+    unsigned workers = 2;
+    std::uint64_t seed = 7;
+};
+
+/** A Whisper benchmark instance. */
+class WhisperWorkload : public Workload
+{
+  public:
+    explicit WhisperWorkload(const WhisperConfig &cfg);
+
+    std::string name() const override;
+    void setup(System &sys) override;
+    void execute(System &sys) override;
+    std::uint64_t operations() const override { return cfg_.numOps; }
+
+  private:
+    void put(System &sys, unsigned core, std::uint64_t key);
+    bool get(System &sys, unsigned core, std::uint64_t key);
+
+    WhisperConfig cfg_;
+    std::unique_ptr<pmdk::PmemPool> pool_;
+    std::unique_ptr<HashmapKv> hashmap_;
+    std::unique_ptr<CTreeKv> ctree_;
+    std::vector<std::uint8_t> valueBuf_;
+    std::vector<std::uint8_t> readBuf_;
+};
+
+/** The three Whisper configurations of Figure 11, in figure order.
+ *  Defaults exceed the LLC and the software-encryption page cache. */
+std::vector<WhisperConfig> whisperSuite(std::uint64_t keys = 32768);
+
+} // namespace workloads
+} // namespace fsencr
+
+#endif // FSENCR_WORKLOADS_WHISPER_BENCH_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Workload interface and runner.
+ *
+ * A workload has a setup phase (users, processes, files, data-structure
+ * population — the paper fast-forwards past this, Section V) and a
+ * measured execute phase. The runner brackets execute() with the
+ * System's measurement window and reports ticks plus NVM read/write
+ * counts, exactly the three quantities Figures 8-14 normalize.
+ */
+
+#ifndef FSENCR_WORKLOADS_WORKLOAD_HH
+#define FSENCR_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/system.hh"
+
+namespace fsencr {
+namespace workloads {
+
+/** Measured quantities of one workload run. */
+struct WorkloadResult
+{
+    Tick ticks = 0;
+    std::uint64_t nvmReads = 0;
+    std::uint64_t nvmWrites = 0;
+    std::uint64_t operations = 0;
+};
+
+/** Base class for every benchmark. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Short identifier, e.g. "fillrandom-S". */
+    virtual std::string name() const = 0;
+
+    /** Unmeasured preparation (file creation, data loading). */
+    virtual void setup(System &sys) = 0;
+
+    /** The measured phase. */
+    virtual void execute(System &sys) = 0;
+
+    /** Number of measured operations (for per-op reporting). */
+    virtual std::uint64_t operations() const = 0;
+};
+
+/** Run one workload on one system and collect the result. */
+inline WorkloadResult
+runWorkload(System &sys, Workload &w)
+{
+    w.setup(sys);
+    sys.beginMeasurement();
+    w.execute(sys);
+    WorkloadResult r;
+    r.ticks = sys.measuredTicks();
+    r.nvmReads = sys.measuredReads();
+    r.nvmWrites = sys.measuredWrites();
+    r.operations = w.operations();
+    return r;
+}
+
+/**
+ * Standard environment every workload runs in: user "alice" (uid 1000,
+ * gid 100) with one multi-threaded process whose threads are scheduled
+ * one per core (Threads=2 in Table II), sharing one address space.
+ *
+ * @return the pid
+ */
+inline std::uint32_t
+standardEnvironment(System &sys, const std::string &passphrase)
+{
+    sys.provisionAdmin("admin-pass");
+    sys.bootLogin("admin-pass");
+    sys.addUser("alice", 1000, 100, passphrase);
+    std::uint32_t pid = sys.createProcess(1000);
+    for (unsigned c = 0; c < sys.config().cpu.numCores; ++c)
+        sys.runOnCore(c, pid);
+    return pid;
+}
+
+} // namespace workloads
+} // namespace fsencr
+
+#endif // FSENCR_WORKLOADS_WORKLOAD_HH

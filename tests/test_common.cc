@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the common infrastructure: bitfields, types, stats,
+ * logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/bitfield.hh"
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+using namespace fsencr;
+
+TEST(Bitfield, BitsExtraction)
+{
+    EXPECT_EQ(bits(0xff00, 15, 8), 0xffu);
+    EXPECT_EQ(bits(0xdeadbeef, 7, 0), 0xefu);
+    EXPECT_EQ(bits(~0ull, 63, 0), ~0ull);
+}
+
+TEST(Bitfield, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 7, 4, 0xf), 0xf0u);
+    EXPECT_EQ(insertBits(0xffff, 7, 4, 0), 0xff0fu);
+}
+
+TEST(Bitfield, SingleBit)
+{
+    EXPECT_TRUE(bit(0x8, 3));
+    EXPECT_FALSE(bit(0x8, 2));
+}
+
+TEST(Bitfield, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+}
+
+TEST(Bitfield, PowerOf2)
+{
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(65));
+    EXPECT_FALSE(isPowerOf2(0));
+}
+
+TEST(Bitfield, RoundUp)
+{
+    EXPECT_EQ(roundUp(0, 64), 0u);
+    EXPECT_EQ(roundUp(1, 64), 64u);
+    EXPECT_EQ(roundUp(64, 64), 64u);
+    EXPECT_EQ(roundUp(65, 64), 128u);
+}
+
+TEST(Types, BlockAndPageHelpers)
+{
+    Addr a = 0x12345;
+    EXPECT_EQ(blockAlign(a), 0x12340u);
+    EXPECT_EQ(blockOffset(a), 5u);
+    EXPECT_EQ(pageAlign(a), 0x12000u);
+    EXPECT_EQ(pageOffset(a), 0x345u);
+    EXPECT_EQ(pageNumber(a), 0x12u);
+    EXPECT_EQ(blockInPage(a), 0x345u / 64);
+}
+
+TEST(Types, BlocksPerPage)
+{
+    EXPECT_EQ(blocksPerPage, 64u);
+    EXPECT_EQ(pageSize / blockSize, blocksPerPage);
+}
+
+TEST(Stats, ScalarBasics)
+{
+    stats::Scalar s;
+    EXPECT_EQ(s.value(), 0u);
+    ++s;
+    s += 5;
+    EXPECT_EQ(s.value(), 6u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Stats, HistogramBuckets)
+{
+    stats::Histogram h(4, 10);
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(39);
+    h.sample(1000); // overflow
+    EXPECT_EQ(h.samples(), 5u);
+    EXPECT_EQ(h.buckets()[0], 2u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[3], 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.maxValue(), 1000u);
+    EXPECT_EQ(h.minValue(), 0u);
+}
+
+TEST(Stats, GroupLookupAndDump)
+{
+    stats::StatGroup root("root");
+    stats::StatGroup child("child");
+    stats::Scalar a, b;
+    root.addScalar("a", a);
+    child.addScalar("b", b);
+    root.addChild(&child);
+    a += 3;
+    b += 7;
+
+    EXPECT_EQ(root.scalarValue("a"), 3u);
+    EXPECT_EQ(root.scalarValue("child.b"), 7u);
+
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_NE(os.str().find("root.a = 3"), std::string::npos);
+    EXPECT_NE(os.str().find("root.child.b = 7"), std::string::npos);
+}
+
+TEST(Stats, UnknownStatIsFatal)
+{
+    stats::StatGroup root("root");
+    EXPECT_THROW(root.scalarValue("nope"), FatalError);
+}
+
+TEST(Stats, ResetAllRecurses)
+{
+    stats::StatGroup root("root");
+    stats::StatGroup child("child");
+    stats::Scalar a, b;
+    root.addScalar("a", a);
+    child.addScalar("b", b);
+    root.addChild(&child);
+    a += 1;
+    b += 1;
+    root.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(fatal("boom %d", 1), FatalError);
+}
+
+TEST(Logging, PanicThrows)
+{
+    EXPECT_THROW(panic("bug %s", "here"), PanicError);
+}
+
+TEST(Config, SchemePredicates)
+{
+    SimConfig c;
+    c.scheme = Scheme::NoEncryption;
+    EXPECT_FALSE(c.hasMemoryEncryption());
+    EXPECT_FALSE(c.hasFsEncr());
+    c.scheme = Scheme::BaselineSecurity;
+    EXPECT_TRUE(c.hasMemoryEncryption());
+    EXPECT_FALSE(c.hasFsEncr());
+    c.scheme = Scheme::FsEncr;
+    EXPECT_TRUE(c.hasMemoryEncryption());
+    EXPECT_TRUE(c.hasFsEncr());
+    c.scheme = Scheme::SoftwareEncryption;
+    EXPECT_FALSE(c.hasMemoryEncryption());
+    EXPECT_TRUE(c.hasSoftwareEncryption());
+}
+
+TEST(Config, SchemeNames)
+{
+    EXPECT_STREQ(schemeName(Scheme::FsEncr), "fsencr");
+    EXPECT_STREQ(schemeName(Scheme::BaselineSecurity),
+                 "baseline-security");
+}

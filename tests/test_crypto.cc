@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Crypto substrate tests: FIPS-197 / FIPS 180-4 known-answer tests,
+ * CTR-pad properties, key wrapping and derivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hh"
+#include "crypto/aes.hh"
+#include "crypto/ctr_mode.hh"
+#include "crypto/key.hh"
+#include "crypto/sha256.hh"
+
+using namespace fsencr;
+using namespace fsencr::crypto;
+
+namespace {
+
+Block128
+blockFromHex(const char *hex)
+{
+    Block128 b{};
+    for (int i = 0; i < 16; ++i) {
+        unsigned v;
+        std::sscanf(hex + 2 * i, "%2x", &v);
+        b[i] = static_cast<std::uint8_t>(v);
+    }
+    return b;
+}
+
+std::string
+digestToHex(const Digest256 &d)
+{
+    char buf[65];
+    for (int i = 0; i < 32; ++i)
+        std::snprintf(buf + 2 * i, 3, "%02x", d[i]);
+    return std::string(buf);
+}
+
+} // namespace
+
+TEST(Aes128, Fips197KnownAnswer)
+{
+    // FIPS-197 Appendix C.1.
+    Block128 key = blockFromHex("000102030405060708090a0b0c0d0e0f");
+    Block128 plain = blockFromHex("00112233445566778899aabbccddeeff");
+    Block128 expect = blockFromHex("69c4e0d86a7b0430d8cdb78070b4c55a");
+
+    Aes128 aes(key);
+    EXPECT_EQ(aes.encryptBlock(plain), expect);
+    EXPECT_EQ(aes.decryptBlock(expect), plain);
+}
+
+TEST(Aes128, AppendixBVector)
+{
+    // FIPS-197 Appendix B.
+    Block128 key = blockFromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    Block128 plain = blockFromHex("3243f6a8885a308d313198a2e0370734");
+    Block128 expect = blockFromHex("3925841d02dc09fbdc118597196a0b32");
+
+    Aes128 aes(key);
+    EXPECT_EQ(aes.encryptBlock(plain), expect);
+}
+
+TEST(Aes128, RoundTripRandomBlocks)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 50; ++trial) {
+        Key128 key = randomKey(rng);
+        Aes128 aes(key);
+        Block128 p;
+        rng.fill(p.data(), p.size());
+        EXPECT_EQ(aes.decryptBlock(aes.encryptBlock(p)), p);
+    }
+}
+
+TEST(Aes128, RekeyChangesCiphertext)
+{
+    Rng rng(7);
+    Block128 p;
+    rng.fill(p.data(), p.size());
+    Aes128 aes(randomKey(rng));
+    Block128 c1 = aes.encryptBlock(p);
+    aes.setKey(randomKey(rng));
+    Block128 c2 = aes.encryptBlock(p);
+    EXPECT_NE(c1, c2);
+}
+
+TEST(Sha256, EmptyString)
+{
+    auto d = Sha256::digest("");
+    EXPECT_EQ(digestToHex(d),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc)
+{
+    auto d = Sha256::digest("abc");
+    EXPECT_EQ(digestToHex(d),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage)
+{
+    auto d = Sha256::digest(
+        "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+    EXPECT_EQ(digestToHex(d),
+              "248d6a61d20638b8e5c026930c3e6039"
+              "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot)
+{
+    std::string msg(1000, 'x');
+    Sha256 ctx;
+    for (std::size_t i = 0; i < msg.size(); i += 37)
+        ctx.update(msg.data() + i,
+                   std::min<std::size_t>(37, msg.size() - i));
+    EXPECT_EQ(ctx.final(), Sha256::digest(msg));
+}
+
+TEST(Sha256, LongMessagePaddingBoundaries)
+{
+    // Exercise lengths around the 56/64-byte padding boundaries.
+    for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+        std::string msg(len, 'a');
+        auto d1 = Sha256::digest(msg);
+        Sha256 ctx;
+        ctx.update(msg.data(), msg.size());
+        EXPECT_EQ(ctx.final(), d1) << "length " << len;
+    }
+}
+
+TEST(CtrMode, PadDependsOnEveryIvField)
+{
+    Rng rng(1);
+    Aes128 aes(randomKey(rng));
+    CtrIv base{0x1234, 5, 42, 7};
+
+    Line p0 = makeOtp(aes, base);
+    CtrIv iv = base;
+    iv.pageId ^= 1;
+    EXPECT_NE(p0, makeOtp(aes, iv));
+    iv = base;
+    iv.pageOffset ^= 1;
+    EXPECT_NE(p0, makeOtp(aes, iv));
+    iv = base;
+    iv.major ^= 1;
+    EXPECT_NE(p0, makeOtp(aes, iv));
+    iv = base;
+    iv.minor ^= 1;
+    EXPECT_NE(p0, makeOtp(aes, iv));
+}
+
+TEST(CtrMode, PadIsDeterministic)
+{
+    Rng rng(2);
+    Key128 k = randomKey(rng);
+    Aes128 a1(k), a2(k);
+    CtrIv iv{9, 1, 2, 3};
+    EXPECT_EQ(makeOtp(a1, iv), makeOtp(a2, iv));
+}
+
+TEST(CtrMode, XorRoundTrip)
+{
+    Rng rng(3);
+    Aes128 aes(randomKey(rng));
+    CtrIv iv{77, 3, 1, 9};
+    Line pad = makeOtp(aes, iv);
+
+    std::uint8_t data[blockSize];
+    rng.fill(data, sizeof(data));
+    std::uint8_t orig[blockSize];
+    std::memcpy(orig, data, blockSize);
+
+    xorLine(data, pad);
+    EXPECT_NE(0, std::memcmp(data, orig, blockSize));
+    xorLine(data, pad);
+    EXPECT_EQ(0, std::memcmp(data, orig, blockSize));
+}
+
+TEST(CtrMode, FourAesBlocksAreDistinct)
+{
+    // The four 16-byte words of a pad must differ (word counter).
+    Rng rng(4);
+    Aes128 aes(randomKey(rng));
+    Line pad = makeOtp(aes, CtrIv{1, 0, 0, 0});
+    for (int i = 0; i < 4; ++i)
+        for (int j = i + 1; j < 4; ++j)
+            EXPECT_NE(0, std::memcmp(pad.data() + 16 * i,
+                                     pad.data() + 16 * j, 16));
+}
+
+TEST(Keys, WrapUnwrapRoundTrip)
+{
+    Rng rng(5);
+    Key128 kek = randomKey(rng);
+    Key128 key = randomKey(rng);
+    EXPECT_EQ(unwrapKey(kek, wrapKey(kek, key)), key);
+}
+
+TEST(Keys, WrongKekYieldsGarbage)
+{
+    Rng rng(6);
+    Key128 kek = randomKey(rng);
+    Key128 other = randomKey(rng);
+    Key128 key = randomKey(rng);
+    EXPECT_NE(unwrapKey(other, wrapKey(kek, key)), key);
+}
+
+TEST(Keys, DeriveIsDeterministicAndSalted)
+{
+    Key128 a = deriveKey("hunter2", "salt1");
+    Key128 b = deriveKey("hunter2", "salt1");
+    Key128 c = deriveKey("hunter2", "salt2");
+    Key128 d = deriveKey("hunter3", "salt1");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(a, d);
+}
+
+TEST(Keys, ZeroKeyDetection)
+{
+    EXPECT_TRUE(isZeroKey(zeroKey()));
+    Rng rng(8);
+    EXPECT_FALSE(isZeroKey(randomKey(rng)));
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BoundedStaysInBounds)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Zipfian, SkewsTowardLowRanks)
+{
+    ZipfianGenerator z(1000, 0.99, 5);
+    std::uint64_t low = 0, total = 20000;
+    for (std::uint64_t i = 0; i < total; ++i)
+        if (z.next() < 100)
+            ++low;
+    // With theta=0.99, the top decile draws the majority of samples.
+    EXPECT_GT(low, total / 2);
+}
+
+TEST(Zipfian, StaysInRange)
+{
+    ZipfianGenerator z(50, 0.99, 6);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_LT(z.next(), 50u);
+}

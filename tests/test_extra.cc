@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the extensions beyond the paper's core evaluation: the
+ * partitioned metadata cache, the extra workloads (LogAppend,
+ * FileServer), and the JSON stats emitter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "secmem/metadata_cache.hh"
+#include "workloads/extra_workloads.hh"
+#include "workloads/workload.hh"
+
+using namespace fsencr;
+using namespace fsencr::workloads;
+
+namespace {
+
+SimConfig
+cfgFor(Scheme scheme)
+{
+    SimConfig cfg;
+    cfg.scheme = scheme;
+    cfg.seed = 777;
+    return cfg;
+}
+
+} // namespace
+
+TEST(MetadataCachePartition, UnifiedByDefault)
+{
+    PhysLayout layout{LayoutParams{}};
+    SecParams params;
+    MetadataCache mc(params, layout);
+    EXPECT_FALSE(mc.partitioned());
+}
+
+TEST(MetadataCachePartition, PartitionsIsolateKinds)
+{
+    PhysLayout layout{LayoutParams{}};
+    SecParams params;
+    params.metadataCachePartitioned = true;
+    params.metadataCacheBytes = 64 << 10;
+    MetadataCache mc(params, layout);
+    ASSERT_TRUE(mc.partitioned());
+
+    // Fill the MECB partition far past its capacity; a FECB line
+    // inserted earlier must remain resident (no cross-kind eviction).
+    Addr pmem_page = layout.pmemBase() + 7 * pageSize;
+    Addr fecb = layout.fecbAddr(pmem_page);
+    mc.access(fecb, true);
+    for (Addr a = 0; a < (4u << 20); a += pageSize)
+        mc.access(layout.mecbAddr(a), false);
+    EXPECT_TRUE(mc.probe(fecb));
+    EXPECT_TRUE(mc.isDirty(fecb));
+}
+
+TEST(MetadataCachePartition, UnifiedAllowsCrossKindEviction)
+{
+    PhysLayout layout{LayoutParams{}};
+    SecParams params;
+    params.metadataCacheBytes = 64 << 10;
+    MetadataCache mc(params, layout);
+
+    Addr pmem_page = layout.pmemBase() + 7 * pageSize;
+    Addr fecb = layout.fecbAddr(pmem_page);
+    mc.access(fecb, false);
+    for (Addr a = 0; a < (16u << 20); a += pageSize)
+        mc.access(layout.mecbAddr(a), false);
+    EXPECT_FALSE(mc.probe(fecb)); // swept out by MECB traffic
+}
+
+TEST(MetadataCachePartition, LoseAllClearsEveryPartition)
+{
+    PhysLayout layout{LayoutParams{}};
+    SecParams params;
+    params.metadataCachePartitioned = true;
+    MetadataCache mc(params, layout);
+    Addr pmem_page = layout.pmemBase() + pageSize;
+    mc.access(layout.mecbAddr(0x1000), true);
+    mc.access(layout.fecbAddr(pmem_page), true);
+    mc.loseAll();
+    EXPECT_FALSE(mc.probe(layout.mecbAddr(0x1000)));
+    EXPECT_FALSE(mc.probe(layout.fecbAddr(pmem_page)));
+}
+
+TEST(MetadataCachePartition, FullSystemRunsPartitioned)
+{
+    SimConfig cfg = cfgFor(Scheme::FsEncr);
+    cfg.sec.metadataCachePartitioned = true;
+    System sys(cfg);
+    standardEnvironment(sys, "pw");
+    int fd = sys.creat(0, "/pmem/p", 0600, true, "pw");
+    sys.ftruncate(0, fd, 64 * pageSize);
+    Addr va = sys.mmapFile(0, fd, 64 * pageSize);
+    for (Addr off = 0; off < 64 * pageSize; off += 256)
+        sys.write<std::uint32_t>(0, va + off, 1);
+    sys.persist(0, va, pageSize);
+    // Functional integrity holds under partitioning.
+    EXPECT_EQ(sys.read<std::uint32_t>(0, va), 1u);
+    EXPECT_EQ(sys.mc().integrityViolations(), 0u);
+}
+
+TEST(LogAppend, RunsAndIsWriteBound)
+{
+    System sys(cfgFor(Scheme::FsEncr));
+    LogAppendConfig cfg;
+    cfg.numRecords = 2000;
+    cfg.recordBytes = 256;
+    LogAppendWorkload w(cfg);
+    auto r = runWorkload(sys, w);
+    EXPECT_EQ(r.operations, 2000u);
+    // Every record (4 lines) must reach NVM; reads are bounded by the
+    // write-allocate fills plus metadata traffic.
+    EXPECT_GE(r.nvmWrites, 2000u * (256 / blockSize));
+    EXPECT_LT(r.nvmReads, 2 * r.nvmWrites);
+}
+
+TEST(LogAppend, SequentialAppendsAreCounterFriendly)
+{
+    // Sequential appends share counter blocks: the FsEncr overhead
+    // must stay small even though every record persists.
+    auto run = [](Scheme scheme) {
+        System sys(cfgFor(scheme));
+        LogAppendConfig cfg;
+        cfg.numRecords = 2000;
+        LogAppendWorkload w(cfg);
+        return runWorkload(sys, w).ticks;
+    };
+    double ratio = static_cast<double>(run(Scheme::FsEncr)) /
+                   static_cast<double>(run(Scheme::BaselineSecurity));
+    EXPECT_GE(ratio, 1.0);
+    EXPECT_LT(ratio, 1.25);
+}
+
+TEST(LogAppend, RecoverableAfterCrash)
+{
+    System sys(cfgFor(Scheme::FsEncr));
+    LogAppendConfig cfg;
+    cfg.numRecords = 500;
+    LogAppendWorkload w(cfg);
+    runWorkload(sys, w);
+    sys.crash();
+    EXPECT_TRUE(sys.recover());
+}
+
+TEST(FileServer, RunsAcrossManyFilesAndKeys)
+{
+    System sys(cfgFor(Scheme::FsEncr));
+    FileServerConfig cfg;
+    cfg.numFiles = 16;
+    cfg.fileBytes = 64 << 10;
+    cfg.numOps = 500;
+    FileServerWorkload w(cfg);
+    auto r = runWorkload(sys, w);
+    EXPECT_EQ(r.operations, 500u);
+    // One OTT key per file was registered.
+    EXPECT_GE(sys.mc().ott().validEntries(), 16u);
+}
+
+TEST(FileServer, SyscallPathEncryptsFileData)
+{
+    System sys(cfgFor(Scheme::FsEncr));
+    FileServerConfig cfg;
+    cfg.numFiles = 2;
+    cfg.fileBytes = 16 << 10;
+    cfg.numOps = 50;
+    FileServerWorkload w(cfg);
+    runWorkload(sys, w);
+    // No access may have fallen back to memory-layer-only encryption.
+    EXPECT_EQ(sys.mc().statGroup().scalarValue("missingKeyAccesses"),
+              0u);
+}
+
+TEST(JsonStats, WellFormedAndContainsGroups)
+{
+    System sys(cfgFor(Scheme::FsEncr));
+    standardEnvironment(sys, "pw");
+    int fd = sys.creat(0, "/pmem/j", 0600, true, "pw");
+    sys.ftruncate(0, fd, pageSize);
+    Addr va = sys.mmapFile(0, fd, pageSize);
+    sys.write<std::uint64_t>(0, va, 1);
+
+    std::ostringstream os;
+    sys.statGroup().dumpJson(os);
+    std::string s = os.str();
+
+    EXPECT_NE(s.find("\"nvm\""), std::string::npos);
+    EXPECT_NE(s.find("\"ott\""), std::string::npos);
+    EXPECT_NE(s.find("\"loads\""), std::string::npos);
+
+    // Balanced braces (cheap well-formedness check).
+    long depth = 0;
+    for (char c : s) {
+        if (c == '{')
+            ++depth;
+        if (c == '}')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Kernel and process-model edge cases: descriptor lifecycle, multiple
+ * processes and address-space isolation, permission matrix breadth,
+ * allocator exhaustion paths, multi-channel device configs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/nvm_device.hh"
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+using namespace fsencr;
+
+namespace {
+
+SimConfig
+cfgFor(Scheme scheme)
+{
+    SimConfig cfg;
+    cfg.scheme = scheme;
+    cfg.seed = 2468;
+    return cfg;
+}
+
+struct KernelEdge : ::testing::Test
+{
+    KernelEdge() : sys(cfgFor(Scheme::FsEncr))
+    {
+        sys.provisionAdmin("root");
+        sys.bootLogin("root");
+        sys.addUser("u1", 1000, 100, "p1");
+        sys.addUser("u2", 1001, 101, "p2");
+        pid1 = sys.createProcess(1000);
+        pid2 = sys.createProcess(1001);
+        sys.runOnCore(0, pid1);
+        sys.runOnCore(1, pid2);
+    }
+
+    System sys;
+    std::uint32_t pid1 = 0, pid2 = 0;
+};
+
+} // namespace
+
+TEST_F(KernelEdge, BadFdIsFatal)
+{
+    EXPECT_THROW(sys.ftruncate(0, 999, pageSize), FatalError);
+    char buf[8];
+    EXPECT_THROW(sys.fileRead(0, 999, 0, buf, 8), FatalError);
+    EXPECT_THROW(sys.mmapFile(0, 999, pageSize), FatalError);
+}
+
+TEST_F(KernelEdge, ClosedFdBecomesInvalid)
+{
+    int fd = sys.creat(0, "/pmem/c", 0600, true, "p1");
+    sys.closeFd(0, fd);
+    char buf[4];
+    EXPECT_THROW(sys.fileRead(0, fd, 0, buf, 4), FatalError);
+}
+
+TEST_F(KernelEdge, ReadOnlyFdCannotWrite)
+{
+    int wfd = sys.creat(0, "/pmem/ro", 0644, false, "");
+    sys.fileWrite(0, wfd, 0, "abc", 3);
+    sys.closeFd(0, wfd);
+    int rfd = sys.open(0, "/pmem/ro", false, "");
+    ASSERT_GE(rfd, 0);
+    EXPECT_THROW(sys.fileWrite(0, rfd, 0, "x", 1), FatalError);
+    EXPECT_THROW(sys.ftruncate(0, rfd, pageSize), FatalError);
+}
+
+TEST_F(KernelEdge, AddressSpacesAreIsolated)
+{
+    // Two processes map different files at (potentially) the same VA
+    // range; each sees its own data.
+    int f1 = sys.creat(0, "/pmem/a1", 0600, true, "p1");
+    sys.ftruncate(0, f1, pageSize);
+    Addr va1 = sys.mmapFile(0, f1, pageSize);
+
+    int f2 = sys.creat(1, "/pmem/a2", 0600, true, "p2");
+    sys.ftruncate(1, f2, pageSize);
+    Addr va2 = sys.mmapFile(1, f2, pageSize);
+    EXPECT_EQ(va1, va2); // same mmap cursor in fresh address spaces
+
+    sys.write<std::uint64_t>(0, va1, 111);
+    sys.write<std::uint64_t>(1, va2, 222);
+    EXPECT_EQ(sys.read<std::uint64_t>(0, va1), 111u);
+    EXPECT_EQ(sys.read<std::uint64_t>(1, va2), 222u);
+}
+
+TEST_F(KernelEdge, OthersCannotUnlinkOrChmod)
+{
+    sys.creat(0, "/pmem/mine", 0600, true, "p1");
+    EXPECT_THROW(sys.unlink(1, "/pmem/mine"), FatalError);
+    EXPECT_THROW(sys.chmod(1, "/pmem/mine", 0777), FatalError);
+}
+
+TEST_F(KernelEdge, RootOverridesEverything)
+{
+    sys.addUser("root", 0, 0, "rootpw");
+    std::uint32_t rpid = sys.createProcess(0);
+    sys.runOnCore(1, rpid);
+    sys.creat(0, "/pmem/owned", 0600, false, "");
+    int fd = sys.open(1, "/pmem/owned", true, "");
+    EXPECT_GE(fd, 0);
+    sys.chmod(1, "/pmem/owned", 0644);
+    sys.unlink(1, "/pmem/owned");
+    EXPECT_FALSE(sys.fs().lookup("/pmem/owned").has_value());
+}
+
+TEST_F(KernelEdge, OpenMissingFileFails)
+{
+    EXPECT_EQ(sys.open(0, "/pmem/ghost", false, "p1"), -1);
+}
+
+TEST_F(KernelEdge, MmapBeyondEofFaultsFatally)
+{
+    int fd = sys.creat(0, "/pmem/small", 0600, true, "p1");
+    sys.ftruncate(0, fd, pageSize);
+    Addr va = sys.mmapFile(0, fd, 4 * pageSize); // mapping > file
+    sys.read<std::uint8_t>(0, va);               // in file: fine
+    EXPECT_THROW(sys.read<std::uint8_t>(0, va + 2 * pageSize),
+                 FatalError);
+}
+
+TEST_F(KernelEdge, UnknownUidOrPidIsFatal)
+{
+    EXPECT_THROW(sys.createProcess(4242), FatalError);
+    EXPECT_THROW(sys.kernel().process(999), FatalError);
+}
+
+TEST(MultiChannel, ChannelBitSeparatesBanks)
+{
+    // With two channels, addresses differing only in the channel bit
+    // land on independent banks: back-to-back writes to them dodge
+    // the tWR tail that a single channel's shared bank would impose.
+    PcmParams one;
+    one.channels = 1;
+    PcmParams two;
+    two.channels = 2;
+
+    // Under 1 channel these two addresses share a bank (same bank
+    // bits); under 2 channels the low post-column bit selects the
+    // channel, putting them on different banks.
+    Addr a = 0x0;
+    Addr b = a + one.rowBufferBytes * one.banksPerRank *
+                 one.ranksPerChannel; // same bank, next row (1 ch)
+
+    auto tail = [](const PcmParams &p, Addr x, Addr y) {
+        NvmDevice dev{p};
+        MemRequest w1{x, true, TrafficClass::Data};
+        dev.access(w1, 0);
+        MemRequest w2{y, true, TrafficClass::Data};
+        return dev.access(w2, 0); // waits iff same bank is busy
+    };
+
+    Tick same_bank = tail(one, a, b);
+    // Under 2 channels the same physical stride covers channel+bank
+    // bits differently; pick addresses that differ only in the
+    // channel bit to guarantee separation.
+    Addr c = two.rowBufferBytes; // channel 1, bank 0
+    Tick cross_channel = tail(two, a, c);
+    EXPECT_GT(same_bank, cross_channel);
+}
+
+TEST(MultiChannel, FullSystemRunsWithTwoChannels)
+{
+    SimConfig cfg = cfgFor(Scheme::FsEncr);
+    cfg.pcm.channels = 2;
+    System sys(cfg);
+    workloads::standardEnvironment(sys, "pw");
+    int fd = sys.creat(0, "/pmem/mc2", 0600, true, "pw");
+    sys.ftruncate(0, fd, 16 * pageSize);
+    Addr va = sys.mmapFile(0, fd, 16 * pageSize);
+    for (Addr off = 0; off < 16 * pageSize; off += 64)
+        sys.write<std::uint64_t>(0, va + off, off);
+    sys.persist(0, va, pageSize);
+    EXPECT_EQ(sys.read<std::uint64_t>(0, va + 128), 128u);
+}

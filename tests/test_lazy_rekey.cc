@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Lazy re-key tests (Section VI): after a counter saturation the
+ * controller keeps both keys, decrypting untouched pages with the old
+ * key and re-encrypting pages with the new key on their next write.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "fsenc/secure_memory_controller.hh"
+#include "mem/nvm_device.hh"
+#include "mem/phys_layout.hh"
+
+using namespace fsencr;
+
+namespace {
+
+struct LazyFixture : ::testing::Test
+{
+    LazyFixture()
+        : cfg(makeCfg()), layout(cfg.layout), device(cfg.pcm),
+          rng(cfg.seed), mc(cfg, layout, device, rng)
+    {
+        old_key = crypto::randomKey(rng);
+        new_key = crypto::randomKey(rng);
+        mc.mmioRegisterFileKey(gid, fid, old_key, 0);
+
+        // Three pages of file data under the old key.
+        for (unsigned p = 0; p < 3; ++p) {
+            pages[p] = layout.pmemBase() + (300 + p) * pageSize;
+            mc.mmioStampPage(setDfBit(pages[p]), gid, fid, 0);
+            plain[p][0] = static_cast<std::uint8_t>(0xA0 + p);
+            mc.writeLine(setDfBit(pages[p]), plain[p], p * 1000,
+                         true);
+        }
+    }
+
+    static SimConfig
+    makeCfg()
+    {
+        SimConfig c;
+        c.scheme = Scheme::FsEncr;
+        c.seed = 31337;
+        return c;
+    }
+
+    void
+    beginLazy()
+    {
+        std::vector<Addr> page_list(pages, pages + 3);
+        mc.mmioBeginLazyRekey(gid, fid, new_key, page_list, 10'000);
+    }
+
+    static constexpr std::uint32_t gid = 44, fid = 55;
+    SimConfig cfg;
+    PhysLayout layout;
+    NvmDevice device;
+    Rng rng;
+    SecureMemoryController mc;
+    crypto::Key128 old_key, new_key;
+    Addr pages[3];
+    std::uint8_t plain[3][blockSize] = {};
+};
+
+} // namespace
+
+TEST_F(LazyFixture, ReadsUsePendingOldKey)
+{
+    beginLazy();
+    EXPECT_EQ(mc.lazyRekeyPending(gid, fid), 3u);
+    std::uint8_t out[blockSize];
+    for (unsigned p = 0; p < 3; ++p) {
+        mc.readLine(setDfBit(pages[p]), 20'000 + p, out);
+        EXPECT_EQ(0, std::memcmp(out, plain[p], blockSize)) << p;
+    }
+    // Reads alone never re-encrypt.
+    EXPECT_EQ(mc.lazyRekeyPending(gid, fid), 3u);
+}
+
+TEST_F(LazyFixture, WriteFlipsItsPageOnly)
+{
+    beginLazy();
+    std::uint8_t update[blockSize] = {0x11};
+    mc.writeLine(setDfBit(pages[1]) + blockSize, update, 30'000, true);
+    EXPECT_EQ(mc.lazyRekeyPending(gid, fid), 2u);
+
+    // Both the updated line and the page's other lines decrypt under
+    // the new key; the untouched pages still decrypt (old key path).
+    std::uint8_t out[blockSize];
+    mc.readLine(setDfBit(pages[1]), 40'000, out);
+    EXPECT_EQ(0, std::memcmp(out, plain[1], blockSize));
+    mc.readLine(setDfBit(pages[1]) + blockSize, 41'000, out);
+    EXPECT_EQ(0, std::memcmp(out, update, blockSize));
+    mc.readLine(setDfBit(pages[0]), 42'000, out);
+    EXPECT_EQ(0, std::memcmp(out, plain[0], blockSize));
+}
+
+TEST_F(LazyFixture, CompletesWhenAllPagesWritten)
+{
+    beginLazy();
+    std::uint8_t v[blockSize] = {9};
+    for (unsigned p = 0; p < 3; ++p)
+        mc.writeLine(setDfBit(pages[p]), v, 50'000 + p * 1000, true);
+    EXPECT_EQ(mc.lazyRekeyPending(gid, fid), 0u);
+    EXPECT_EQ(mc.statGroup().scalarValue("lazyRekeyedPages"), 3u);
+
+    // Everything now lives under the new key: an attacker with the
+    // old key and the memory key cannot decrypt.
+    std::uint8_t out[blockSize];
+    mc.readLine(setDfBit(pages[0]), 60'000, out);
+    EXPECT_EQ(0, std::memcmp(out, v, blockSize));
+}
+
+TEST_F(LazyFixture, SurvivesCrashMidRekey)
+{
+    beginLazy();
+    std::uint8_t v[blockSize] = {7};
+    mc.writeLine(setDfBit(pages[0]), v, 50'000, true);
+
+    mc.crash(60'000);
+    ASSERT_TRUE(mc.recoverMetadata());
+    // Remount re-stamps.
+    for (unsigned p = 0; p < 3; ++p)
+        mc.mmioStampPage(setDfBit(pages[p]), gid, fid, 61'000 + p);
+    EXPECT_EQ(mc.recoverAll(), 0u);
+
+    std::uint8_t out[blockSize];
+    mc.readLine(setDfBit(pages[0]), 70'000, out);
+    EXPECT_EQ(out[0], 7); // rekeyed page, new key
+    mc.readLine(setDfBit(pages[2]), 71'000, out);
+    EXPECT_EQ(0, std::memcmp(out, plain[2], blockSize)); // old key
+}
+
+TEST_F(LazyFixture, EagerAndLazyEndStatesAgree)
+{
+    // Lazy rekey finished by writes == eager rekeyPage, as far as a
+    // reader is concerned.
+    beginLazy();
+    std::uint8_t v0[blockSize] = {1}, v1[blockSize] = {2},
+                 v2[blockSize] = {3};
+    mc.writeLine(setDfBit(pages[0]), v0, 80'000, true);
+    mc.writeLine(setDfBit(pages[1]), v1, 81'000, true);
+    mc.writeLine(setDfBit(pages[2]), v2, 82'000, true);
+
+    std::uint8_t out[blockSize];
+    mc.readLine(setDfBit(pages[0]), 90'000, out);
+    EXPECT_EQ(out[0], 1);
+    mc.readLine(setDfBit(pages[1]), 91'000, out);
+    EXPECT_EQ(out[0], 2);
+    mc.readLine(setDfBit(pages[2]), 92'000, out);
+    EXPECT_EQ(out[0], 3);
+}

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Memory substrate tests: backing store, physical layout / DF-bit,
+ * PCM device timing and function.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "mem/backing_store.hh"
+#include "mem/nvm_device.hh"
+#include "mem/phys_layout.hh"
+
+using namespace fsencr;
+
+TEST(BackingStore, ZeroFilledOnFirstTouch)
+{
+    BackingStore bs;
+    std::uint8_t buf[16];
+    bs.read(0x123456, buf, sizeof(buf));
+    for (auto b : buf)
+        EXPECT_EQ(b, 0);
+    EXPECT_EQ(bs.touchedPages(), 0u); // reads don't allocate
+}
+
+TEST(BackingStore, WriteReadRoundTrip)
+{
+    BackingStore bs;
+    const char msg[] = "hello nvm";
+    bs.write(0x5000, msg, sizeof(msg));
+    char out[sizeof(msg)];
+    bs.read(0x5000, out, sizeof(out));
+    EXPECT_STREQ(out, msg);
+}
+
+TEST(BackingStore, CrossPageAccess)
+{
+    BackingStore bs;
+    std::vector<std::uint8_t> data(pageSize * 2);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 7);
+    Addr base = 3 * pageSize - 100; // straddles two pages
+    bs.write(base, data.data(), data.size());
+    std::vector<std::uint8_t> out(data.size());
+    bs.read(base, out.data(), out.size());
+    EXPECT_EQ(out, data);
+}
+
+TEST(BackingStore, HostPtrSeesWrites)
+{
+    BackingStore bs;
+    std::uint32_t v = 0xdeadbeef;
+    bs.write(0x7000, &v, 4);
+    EXPECT_EQ(*reinterpret_cast<std::uint32_t *>(bs.hostPtr(0x7000)),
+              0xdeadbeefu);
+}
+
+TEST(DfBit, SetStripRoundTrip)
+{
+    Addr a = 0x3'0000'1000ull;
+    Addr tagged = setDfBit(a);
+    EXPECT_TRUE(hasDfBit(tagged));
+    EXPECT_FALSE(hasDfBit(a));
+    EXPECT_EQ(stripDfBit(tagged), a);
+    EXPECT_EQ(tagged, ((1ull << 51) | a)); // the paper's PTE trick
+}
+
+namespace {
+
+PhysLayout
+defaultLayout()
+{
+    return PhysLayout(LayoutParams{});
+}
+
+} // namespace
+
+TEST(PhysLayout, RegionClassification)
+{
+    PhysLayout l = defaultLayout();
+    EXPECT_TRUE(l.isGeneral(0x1000));
+    EXPECT_FALSE(l.isPmem(0x1000));
+    Addr pmem = l.pmemBase() + 0x2000;
+    EXPECT_TRUE(l.isPmem(pmem));
+    EXPECT_TRUE(l.isPmem(setDfBit(pmem))); // DF-bit transparent
+    EXPECT_TRUE(l.isMetadata(l.merkleLeavesBase()));
+}
+
+TEST(PhysLayout, MecbCoversPage)
+{
+    PhysLayout l = defaultLayout();
+    // Same page -> same MECB; adjacent page -> adjacent (64B apart).
+    EXPECT_EQ(l.mecbAddr(0x1000), l.mecbAddr(0x1fff));
+    EXPECT_EQ(l.mecbAddr(0x2000) - l.mecbAddr(0x1000), blockSize);
+}
+
+TEST(PhysLayout, FecbInterleavedWithMecb)
+{
+    PhysLayout l = defaultLayout();
+    Addr page = l.pmemBase() + 5 * pageSize;
+    // "A file encryption counter block follows each memory encryption
+    // counter block."
+    EXPECT_EQ(l.fecbAddr(page), l.mecbAddr(page) + blockSize);
+    EXPECT_EQ(l.classifyMeta(l.mecbAddr(page)),
+              PhysLayout::MetaKind::Mecb);
+    EXPECT_EQ(l.classifyMeta(l.fecbAddr(page)),
+              PhysLayout::MetaKind::Fecb);
+}
+
+TEST(PhysLayout, FecbForGeneralMemoryIsError)
+{
+    PhysLayout l = defaultLayout();
+    EXPECT_THROW(l.fecbAddr(0x1000), PanicError);
+}
+
+TEST(PhysLayout, MetadataRegionsDisjointFromPmem)
+{
+    PhysLayout l = defaultLayout();
+    EXPECT_LT(l.merkleNodeBase(), l.pmemBase());
+    EXPECT_GT(l.ottSpillBase(), l.merkleLeavesBase());
+    EXPECT_EQ(l.classifyMeta(l.ottSpillBase()),
+              PhysLayout::MetaKind::OttSpill);
+    EXPECT_EQ(l.classifyMeta(l.merkleNodeBase()),
+              PhysLayout::MetaKind::MerkleNode);
+}
+
+TEST(NvmDevice, FunctionalLineRoundTrip)
+{
+    NvmDevice dev{PcmParams{}};
+    std::uint8_t line[blockSize];
+    for (unsigned i = 0; i < blockSize; ++i)
+        line[i] = static_cast<std::uint8_t>(i);
+    dev.writeLine(0x4000, line);
+    std::uint8_t out[blockSize];
+    dev.readLine(0x4000, out);
+    EXPECT_EQ(0, std::memcmp(line, out, blockSize));
+}
+
+TEST(NvmDevice, RowBufferHitIsFaster)
+{
+    NvmDevice dev{PcmParams{}};
+    MemRequest r1{0x10000, false, TrafficClass::Data};
+    MemRequest r2{0x10040, false, TrafficClass::Data};
+    Tick miss_lat = dev.access(r1, 0);
+    Tick hit_lat = dev.access(r2, miss_lat);
+    EXPECT_LT(hit_lat, miss_lat);
+    EXPECT_EQ(dev.statGroup().scalarValue("rowHits"), 1u);
+}
+
+TEST(NvmDevice, WriteKeepsBankBusyLonger)
+{
+    PcmParams p;
+    NvmDevice dev{p};
+    MemRequest w{0x0, true, TrafficClass::Data};
+    MemRequest r{0x40, false, TrafficClass::Data};
+    dev.access(w, 0);
+    // Read right after the write on the same bank waits for tWR.
+    Tick lat = dev.access(r, 0);
+    EXPECT_GT(lat, p.tCL + p.tBURST);
+}
+
+TEST(NvmDevice, BankParallelism)
+{
+    PcmParams p;
+    NvmDevice dev{p};
+    // Different banks: no serialization.
+    MemRequest a{0x0, false, TrafficClass::Data};
+    MemRequest b{Addr(p.rowBufferBytes), false, TrafficClass::Data};
+    Tick la = dev.access(a, 0);
+    Tick lb = dev.access(b, 0);
+    EXPECT_EQ(la, lb); // identical cold-bank latency
+}
+
+TEST(NvmDevice, TrafficClassCounting)
+{
+    NvmDevice dev{PcmParams{}};
+    dev.access({0x0, false, TrafficClass::Data}, 0);
+    dev.access({0x40, true, TrafficClass::Metadata}, 0);
+    dev.access({0x80, false, TrafficClass::Merkle}, 0);
+    EXPECT_EQ(dev.readsByClass(TrafficClass::Data), 1u);
+    EXPECT_EQ(dev.writesByClass(TrafficClass::Metadata), 1u);
+    EXPECT_EQ(dev.readsByClass(TrafficClass::Merkle), 1u);
+    EXPECT_EQ(dev.numReads(), 2u);
+    EXPECT_EQ(dev.numWrites(), 1u);
+}
+
+TEST(NvmDevice, EccSideStore)
+{
+    NvmDevice dev{PcmParams{}};
+    EXPECT_FALSE(dev.hasEcc(0x1000));
+    dev.setEcc(0x1000, 0xabcd);
+    EXPECT_TRUE(dev.hasEcc(0x1010)); // same line
+    EXPECT_EQ(dev.getEcc(0x1000), 0xabcdu);
+    dev.clearEcc(0x1000);
+    EXPECT_FALSE(dev.hasEcc(0x1000));
+}
+
+TEST(NvmDevice, CrashPreservesDataLosesRowBuffers)
+{
+    NvmDevice dev{PcmParams{}};
+    std::uint8_t line[blockSize] = {42};
+    dev.writeLine(0x2000, line);
+    MemRequest r{0x2000, false, TrafficClass::Data};
+    dev.access(r, 0);
+    Tick warm = dev.access(r, 1'000'000'000);
+    dev.crash();
+    std::uint8_t out[blockSize];
+    dev.readLine(0x2000, out);
+    EXPECT_EQ(out[0], 42); // non-volatile
+    Tick cold = dev.access(r, 2'000'000'000);
+    EXPECT_GT(cold, warm); // row buffer lost
+}
+
+TEST(NvmDevice, DfBitStrippedBeforeDecode)
+{
+    NvmDevice dev{PcmParams{}};
+    std::uint8_t line[blockSize] = {7};
+    dev.writeLine(0x3000, line);
+    MemRequest tagged{setDfBit(0x3000), false, TrafficClass::Data};
+    EXPECT_EQ(tagged.lineAddr(), 0x3000u);
+}

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Kernel and filesystem tests: permissions, passphrase-gated opens
+ * (the chmod-777 defence), DAX faults and DF-bit stamping, key
+ * lifecycle, mmap/munmap, secure deletion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "fs/nvmfs.hh"
+#include "sim/system.hh"
+
+using namespace fsencr;
+
+namespace {
+
+SimConfig
+smallConfig(Scheme scheme)
+{
+    SimConfig cfg;
+    cfg.scheme = scheme;
+    cfg.seed = 1234;
+    return cfg;
+}
+
+struct OsFixture : ::testing::Test
+{
+    OsFixture() : sys(smallConfig(Scheme::FsEncr))
+    {
+        sys.provisionAdmin("root-pw");
+        sys.bootLogin("root-pw");
+        alice = sys.addUser("alice", 1000, 100, "alice-pw");
+        bob = sys.addUser("bob", 1001, 100, "bob-pw");
+        eve = sys.addUser("eve", 2000, 200, "eve-pw");
+        alice_pid = sys.createProcess(alice);
+        sys.runOnCore(0, alice_pid);
+    }
+
+    System sys;
+    std::uint32_t alice, bob, eve;
+    std::uint32_t alice_pid;
+};
+
+} // namespace
+
+TEST_F(OsFixture, CreateLookupUnlink)
+{
+    int fd = sys.creat(0, "/pmem/a.txt", 0600, true, "alice-pw");
+    EXPECT_GE(fd, 0);
+    EXPECT_TRUE(sys.fs().lookup("/pmem/a.txt").has_value());
+    sys.unlink(0, "/pmem/a.txt");
+    EXPECT_FALSE(sys.fs().lookup("/pmem/a.txt").has_value());
+}
+
+TEST_F(OsFixture, DuplicateCreateIsFatal)
+{
+    sys.creat(0, "/pmem/dup", 0600, true, "alice-pw");
+    EXPECT_THROW(sys.creat(0, "/pmem/dup", 0600, true, "alice-pw"),
+                 FatalError);
+}
+
+TEST_F(OsFixture, FileReadWriteRoundTrip)
+{
+    int fd = sys.creat(0, "/pmem/data", 0600, true, "alice-pw");
+    const char msg[] = "persistent secret";
+    sys.fileWrite(0, fd, 0, msg, sizeof(msg));
+    char out[sizeof(msg)] = {};
+    sys.fileRead(0, fd, 0, out, sizeof(out));
+    EXPECT_STREQ(out, msg);
+}
+
+TEST_F(OsFixture, CrossPageFileIo)
+{
+    int fd = sys.creat(0, "/pmem/big", 0600, true, "alice-pw");
+    std::vector<std::uint8_t> data(3 * pageSize + 100);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 13);
+    sys.fileWrite(0, fd, 500, data.data(), data.size());
+    std::vector<std::uint8_t> out(data.size());
+    sys.fileRead(0, fd, 500, out.data(), out.size());
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(OsFixture, MmapLoadStore)
+{
+    int fd = sys.creat(0, "/pmem/m", 0600, true, "alice-pw");
+    sys.ftruncate(0, fd, 4 * pageSize);
+    Addr va = sys.mmapFile(0, fd, 4 * pageSize);
+
+    std::uint64_t magic = 0x1122334455667788ull;
+    sys.write<std::uint64_t>(0, va + 8192, magic);
+    EXPECT_EQ(sys.read<std::uint64_t>(0, va + 8192), magic);
+}
+
+TEST_F(OsFixture, DaxFaultSetsDfBit)
+{
+    int fd = sys.creat(0, "/pmem/df", 0600, true, "alice-pw");
+    sys.ftruncate(0, fd, pageSize);
+    Addr va = sys.mmapFile(0, fd, pageSize);
+    sys.read<std::uint8_t>(0, va); // fault
+
+    const Process &p = sys.kernel().process(alice_pid);
+    Addr pte = p.pageTable.at(pageNumber(va));
+    EXPECT_TRUE(hasDfBit(pte));
+    // The frame is the file's own NVM page (DAX!), inside PMEM.
+    EXPECT_TRUE(sys.layout().isPmem(stripDfBit(pte)));
+}
+
+TEST_F(OsFixture, UnencryptedFileHasNoDfBit)
+{
+    int fd = sys.creat(0, "/pmem/plain", 0600, false, "");
+    sys.ftruncate(0, fd, pageSize);
+    Addr va = sys.mmapFile(0, fd, pageSize);
+    sys.read<std::uint8_t>(0, va);
+    const Process &p = sys.kernel().process(alice_pid);
+    EXPECT_FALSE(hasDfBit(p.pageTable.at(pageNumber(va))));
+}
+
+TEST_F(OsFixture, AnonymousMapUsesGeneralMemory)
+{
+    Addr va = sys.mmapAnon(0, 2 * pageSize);
+    sys.write<std::uint32_t>(0, va, 42);
+    const Process &p = sys.kernel().process(alice_pid);
+    Addr pte = p.pageTable.at(pageNumber(va));
+    EXPECT_FALSE(hasDfBit(pte));
+    EXPECT_TRUE(sys.layout().isGeneral(pte));
+}
+
+TEST_F(OsFixture, PageFaultOnlyOnFirstTouch)
+{
+    int fd = sys.creat(0, "/pmem/fault", 0600, true, "alice-pw");
+    sys.ftruncate(0, fd, pageSize);
+    Addr va = sys.mmapFile(0, fd, pageSize);
+    std::uint64_t faults0 = sys.kernel().pageFaults();
+    sys.read<std::uint8_t>(0, va);
+    sys.read<std::uint8_t>(0, va + 100);
+    sys.read<std::uint8_t>(0, va + 200);
+    EXPECT_EQ(sys.kernel().pageFaults(), faults0 + 1);
+}
+
+TEST_F(OsFixture, SegfaultOnUnmappedAccess)
+{
+    EXPECT_THROW(sys.read<std::uint8_t>(0, 0xdead0000), FatalError);
+}
+
+TEST_F(OsFixture, PermissionDeniedForOtherUser)
+{
+    sys.creat(0, "/pmem/secret", 0600, true, "alice-pw");
+    std::uint32_t eve_pid = sys.createProcess(eve);
+    sys.runOnCore(1, eve_pid);
+    EXPECT_EQ(sys.open(1, "/pmem/secret", false, "eve-pw"), -1);
+}
+
+TEST_F(OsFixture, GroupMemberReadsGroupReadableFile)
+{
+    sys.creat(0, "/pmem/shared", 0640, true, "alice-pw");
+    std::uint32_t bob_pid = sys.createProcess(bob);
+    sys.runOnCore(1, bob_pid);
+    // Bob is in alice's group and knows the file passphrase.
+    EXPECT_GE(sys.open(1, "/pmem/shared", false, "alice-pw"), 0);
+}
+
+TEST_F(OsFixture, Chmod777DefenceViaPassphrase)
+{
+    // The paper's Section VI scenario: accidental chmod 777 would
+    // expose the file under plain DAC, but the open-time passphrase
+    // check still blocks the curious user.
+    sys.creat(0, "/pmem/oops", 0600, true, "alice-pw");
+    sys.chmod(0, "/pmem/oops", 0666);
+
+    std::uint32_t eve_pid = sys.createProcess(eve);
+    sys.runOnCore(1, eve_pid);
+    EXPECT_EQ(sys.open(1, "/pmem/oops", false, "eve-pw"), -1);
+    EXPECT_EQ(sys.open(1, "/pmem/oops", false, "guessed-pw"), -1);
+    // The rightful passphrase (however obtained) does open it — the
+    // defence is the passphrase, not the identity.
+    EXPECT_GE(sys.open(1, "/pmem/oops", false, "alice-pw"), 0);
+}
+
+TEST_F(OsFixture, UnencryptedFileOpensWithoutPassphrase)
+{
+    sys.creat(0, "/pmem/pub", 0644, false, "");
+    std::uint32_t eve_pid = sys.createProcess(eve);
+    sys.runOnCore(1, eve_pid);
+    EXPECT_GE(sys.open(1, "/pmem/pub", false, ""), 0);
+}
+
+TEST_F(OsFixture, WrongPassphraseDeniedForOwnerToo)
+{
+    sys.creat(0, "/pmem/own", 0600, true, "alice-pw");
+    EXPECT_EQ(sys.open(0, "/pmem/own", false, "wrong"), -1);
+    EXPECT_GE(sys.open(0, "/pmem/own", false, "alice-pw"), 0);
+}
+
+TEST_F(OsFixture, UnlinkRemovesOttKey)
+{
+    sys.creat(0, "/pmem/gone", 0600, true, "alice-pw");
+    auto ino = sys.fs().lookup("/pmem/gone");
+    ASSERT_TRUE(ino.has_value());
+    EXPECT_TRUE(sys.mc().ott().lookup(100, *ino, 0).found);
+    sys.unlink(0, "/pmem/gone");
+    EXPECT_FALSE(sys.mc().ott().lookup(100, *ino, 0).found);
+}
+
+TEST_F(OsFixture, UnlinkShredsData)
+{
+    int fd = sys.creat(0, "/pmem/shred", 0600, true, "alice-pw");
+    const char msg[] = "top secret";
+    sys.fileWrite(0, fd, 0, msg, sizeof(msg));
+    sys.shutdown(); // push everything to NVM
+    auto ino = sys.fs().lookup("/pmem/shred");
+    Addr page = sys.fs().inode(*ino).blocks[0];
+    sys.unlink(0, "/pmem/shred");
+
+    // Raw NVM must not contain the plaintext (it never did — it is
+    // ciphertext) and the shred must have cleared the ECC trail.
+    EXPECT_FALSE(sys.device().hasEcc(page));
+}
+
+TEST_F(OsFixture, FsyncMakesSyscallWritesDurable)
+{
+    int fd = sys.creat(0, "/pmem/dur", 0600, true, "alice-pw");
+    const char msg[] = "must survive the crash";
+    sys.fileWrite(0, fd, 0, msg, sizeof(msg));
+    sys.fsync(0, fd);
+    sys.crash();
+    ASSERT_TRUE(sys.recover());
+    char out[sizeof(msg)] = {};
+    sys.fileRead(0, fd, 0, out, sizeof(out));
+    EXPECT_STREQ(out, msg);
+}
+
+TEST_F(OsFixture, UnsyncedSyscallWritesCanBeLost)
+{
+    int fd = sys.creat(0, "/pmem/vol", 0600, true, "alice-pw");
+    const char msg[] = "never flushed";
+    sys.fileWrite(0, fd, 0, msg, sizeof(msg));
+    sys.crash();
+    ASSERT_TRUE(sys.recover());
+    char out[sizeof(msg)] = {};
+    sys.fileRead(0, fd, 0, out, sizeof(out));
+    EXPECT_STRNE(out, msg);
+}
+
+TEST_F(OsFixture, FsyncBadFdIsFatal)
+{
+    EXPECT_THROW(sys.fsync(0, 12345), FatalError);
+}
+
+TEST_F(OsFixture, MunmapInvalidatesTranslation)
+{
+    int fd = sys.creat(0, "/pmem/mm", 0600, true, "alice-pw");
+    sys.ftruncate(0, fd, pageSize);
+    Addr va = sys.mmapFile(0, fd, pageSize);
+    sys.read<std::uint8_t>(0, va);
+    sys.kernel().munmap(alice_pid, va);
+    const Process &p = sys.kernel().process(alice_pid);
+    EXPECT_EQ(p.pageTable.count(pageNumber(va)), 0u);
+}
+
+TEST_F(OsFixture, CopyFilePreservesContentsAcrossKeys)
+{
+    int fd = sys.creat(0, "/pmem/orig", 0600, true, "alice-pw");
+    std::vector<std::uint8_t> data(2 * pageSize);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i);
+    sys.fileWrite(0, fd, 0, data.data(), data.size());
+
+    sys.copyFile(0, "/pmem/orig", "/pmem/copy", "alice-pw");
+
+    int cfd = sys.open(0, "/pmem/copy", false, "alice-pw");
+    ASSERT_GE(cfd, 0);
+    std::vector<std::uint8_t> out(data.size());
+    sys.fileRead(0, cfd, 0, out.data(), out.size());
+    EXPECT_EQ(out, data);
+
+    // The two files hold different ciphertext for identical plaintext
+    // (different FECB counters / physical pages).
+    auto src_ino = sys.fs().lookup("/pmem/orig");
+    auto dst_ino = sys.fs().lookup("/pmem/copy");
+    sys.shutdown();
+    std::uint8_t c1[blockSize], c2[blockSize];
+    sys.device().readLine(sys.fs().inode(*src_ino).blocks[0], c1);
+    sys.device().readLine(sys.fs().inode(*dst_ino).blocks[0], c2);
+    EXPECT_NE(0, std::memcmp(c1, c2, blockSize));
+}
+
+TEST(NvmFilesystemUnit, PermissionMatrix)
+{
+    Inode n;
+    n.uid = 1;
+    n.gid = 10;
+    n.mode = 0640;
+    EXPECT_TRUE(NvmFilesystem::permits(n, 1, 10, false));
+    EXPECT_TRUE(NvmFilesystem::permits(n, 1, 10, true));
+    EXPECT_TRUE(NvmFilesystem::permits(n, 2, 10, false));  // group r
+    EXPECT_FALSE(NvmFilesystem::permits(n, 2, 10, true));  // group !w
+    EXPECT_FALSE(NvmFilesystem::permits(n, 3, 11, false)); // other
+    EXPECT_TRUE(NvmFilesystem::permits(n, 0, 99, true));   // root
+}
+
+TEST(NvmFilesystemUnit, BlockAllocationAndReuse)
+{
+    PhysLayout layout{LayoutParams{}};
+    NvmFilesystem fs(layout);
+    std::uint32_t a = fs.create("/a", 1, 1, 0600, false);
+    fs.extendTo(a, 10 * pageSize);
+    EXPECT_EQ(fs.inode(a).blocks.size(), 10u);
+    EXPECT_EQ(fs.blocksInUse(), 10u);
+
+    std::vector<Addr> freed = fs.unlink("/a");
+    EXPECT_EQ(freed.size(), 10u);
+    EXPECT_EQ(fs.blocksInUse(), 0u);
+
+    std::uint32_t b = fs.create("/b", 1, 1, 0600, false);
+    fs.extendTo(b, pageSize);
+    EXPECT_EQ(fs.blocksInUse(), 1u);
+}
+
+TEST(NvmFilesystemUnit, BlockPaddrTranslation)
+{
+    PhysLayout layout{LayoutParams{}};
+    NvmFilesystem fs(layout);
+    std::uint32_t a = fs.create("/f", 1, 1, 0600, false);
+    fs.extendTo(a, 2 * pageSize);
+    Addr p0 = fs.blockPaddr(a, 0);
+    Addr p1 = fs.blockPaddr(a, pageSize + 123);
+    EXPECT_TRUE(layout.isPmem(p0));
+    EXPECT_EQ(pageOffset(p1), 123u);
+    EXPECT_THROW(fs.blockPaddr(a, 5 * pageSize), FatalError);
+}
+
+TEST(NvmFilesystemUnit, InodeNumbersAreUnique)
+{
+    PhysLayout layout{LayoutParams{}};
+    NvmFilesystem fs(layout);
+    std::uint32_t a = fs.create("/x", 1, 1, 0600, false);
+    std::uint32_t b = fs.create("/y", 1, 1, 0600, false);
+    EXPECT_NE(a, b);
+}

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Property-based parameterized sweeps (TEST_P) over the simulator's
+ * core invariants:
+ *
+ *  - CTR-pad uniqueness across the IV space
+ *  - counter-block serialization round-trips for random contents
+ *  - crash-anywhere recoverability: persisted data survives a crash
+ *    injected after an arbitrary number of operations
+ *  - Merkle tamper detection at arbitrary offsets
+ *  - scheme ordering invariants across workload shapes
+ *  - Osiris recovery across stop-loss configurations
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "crypto/ctr_mode.hh"
+#include "crypto/key.hh"
+#include "secmem/counter_block.hh"
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+using namespace fsencr;
+
+// ---------------------------------------------------------------
+// CTR pad uniqueness: for a grid of IV pairs differing in exactly
+// one field, pads never collide.
+// ---------------------------------------------------------------
+
+class CtrPadUniqueness : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(CtrPadUniqueness, NeighboringIvsNeverCollide)
+{
+    std::uint64_t seed = GetParam();
+    Rng rng(seed);
+    crypto::Aes128 aes(crypto::randomKey(rng));
+
+    crypto::CtrIv base;
+    base.pageId = rng.nextBounded(1u << 20);
+    base.pageOffset = static_cast<std::uint32_t>(rng.nextBounded(64));
+    base.major = rng.nextBounded(1u << 16);
+    base.minor = static_cast<std::uint32_t>(rng.nextBounded(128));
+
+    crypto::Line p0 = crypto::makeOtp(aes, base);
+    for (unsigned delta = 1; delta <= 4; ++delta) {
+        crypto::CtrIv iv = base;
+        iv.minor = (base.minor + delta) % 128;
+        if (iv.minor != base.minor)
+            EXPECT_NE(p0, crypto::makeOtp(aes, iv));
+        iv = base;
+        iv.major = base.major + delta;
+        EXPECT_NE(p0, crypto::makeOtp(aes, iv));
+        iv = base;
+        iv.pageId = base.pageId + delta;
+        EXPECT_NE(p0, crypto::makeOtp(aes, iv));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CtrPadUniqueness,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34,
+                                           55, 89));
+
+// ---------------------------------------------------------------
+// Counter-block serialization round-trips.
+// ---------------------------------------------------------------
+
+class CounterBlockRoundTrip
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(CounterBlockRoundTrip, MecbAndFecbSurviveSerialization)
+{
+    Rng rng(GetParam());
+    Mecb m;
+    m.major = rng.next();
+    for (auto &v : m.minors.minor)
+        v = static_cast<std::uint8_t>(rng.nextBounded(128));
+    std::uint8_t line[blockSize];
+    m.serialize(line);
+    Mecb m2;
+    m2.deserialize(line);
+    EXPECT_EQ(m, m2);
+
+    Fecb f;
+    f.groupId =
+        static_cast<std::uint32_t>(rng.nextBounded(1u << 18));
+    f.fileId = static_cast<std::uint32_t>(rng.nextBounded(1u << 14));
+    f.major = static_cast<std::uint32_t>(rng.next());
+    for (auto &v : f.minors.minor)
+        v = static_cast<std::uint8_t>(rng.nextBounded(128));
+    f.serialize(line);
+    Fecb f2;
+    f2.deserialize(line);
+    EXPECT_EQ(f, f2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CounterBlockRoundTrip,
+                         ::testing::Range<std::uint64_t>(100, 120));
+
+// ---------------------------------------------------------------
+// Crash-anywhere recoverability: write N records with persist, crash,
+// recover, verify all N.
+// ---------------------------------------------------------------
+
+struct CrashPoint
+{
+    Scheme scheme;
+    unsigned records;
+};
+
+class CrashAnywhere : public ::testing::TestWithParam<CrashPoint>
+{};
+
+TEST_P(CrashAnywhere, PersistedRecordsAlwaysRecoverable)
+{
+    CrashPoint p = GetParam();
+    SimConfig cfg;
+    cfg.scheme = p.scheme;
+    cfg.seed = 1000 + p.records;
+    System sys(cfg);
+    workloads::standardEnvironment(sys, "pw");
+
+    int fd = sys.creat(0, "/pmem/f", 0600, true, "pw");
+    sys.ftruncate(0, fd, 1 << 20);
+    Addr va = sys.mmapFile(0, fd, 1 << 20);
+
+    for (unsigned i = 0; i < p.records; ++i) {
+        sys.write<std::uint64_t>(0, va + i * 64,
+                                 0xc0ffee00ull + i);
+        sys.persist(0, va + i * 64, 8);
+    }
+    sys.crash();
+    ASSERT_TRUE(sys.recover());
+    for (unsigned i = 0; i < p.records; ++i)
+        EXPECT_EQ(sys.read<std::uint64_t>(0, va + i * 64),
+                  0xc0ffee00ull + i)
+            << "record " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CrashAnywhere,
+    ::testing::Values(CrashPoint{Scheme::FsEncr, 1},
+                      CrashPoint{Scheme::FsEncr, 7},
+                      CrashPoint{Scheme::FsEncr, 63},
+                      CrashPoint{Scheme::FsEncr, 200},
+                      CrashPoint{Scheme::BaselineSecurity, 1},
+                      CrashPoint{Scheme::BaselineSecurity, 63},
+                      CrashPoint{Scheme::BaselineSecurity, 200}));
+
+// ---------------------------------------------------------------
+// Repeated-write recoverability: the same line rewritten k times, for
+// k spanning stop-loss and minor-overflow boundaries.
+// ---------------------------------------------------------------
+
+class RewriteRecovery : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(RewriteRecovery, LastPersistedVersionSurvives)
+{
+    unsigned k = GetParam();
+    SimConfig cfg;
+    cfg.scheme = Scheme::FsEncr;
+    System sys(cfg);
+    workloads::standardEnvironment(sys, "pw");
+    int fd = sys.creat(0, "/pmem/f", 0600, true, "pw");
+    sys.ftruncate(0, fd, pageSize);
+    Addr va = sys.mmapFile(0, fd, pageSize);
+
+    for (unsigned i = 1; i <= k; ++i) {
+        sys.write<std::uint64_t>(0, va, i);
+        sys.persist(0, va, 8);
+    }
+    sys.crash();
+    ASSERT_TRUE(sys.recover()) << "k=" << k;
+    EXPECT_EQ(sys.read<std::uint64_t>(0, va), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, RewriteRecovery,
+                         ::testing::Values(1, 3, 4, 5, 15, 16, 17, 64,
+                                           127, 128, 129, 260));
+
+// ---------------------------------------------------------------
+// Merkle tamper detection at arbitrary byte offsets of a persisted
+// counter block.
+// ---------------------------------------------------------------
+
+class TamperDetection : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(TamperDetection, AnyFlippedByteIsCaught)
+{
+    unsigned byte = GetParam();
+    SimConfig cfg;
+    cfg.scheme = Scheme::BaselineSecurity;
+    System sys(cfg);
+    workloads::standardEnvironment(sys, "pw");
+    int fd = sys.creat(0, "/pmem/f", 0600, true, "pw");
+    sys.ftruncate(0, fd, pageSize);
+    Addr va = sys.mmapFile(0, fd, pageSize);
+    for (int i = 0; i < 8; ++i) {
+        sys.write<std::uint64_t>(0, va, i);
+        sys.persist(0, va, 8);
+    }
+    sys.crash(); // drop the cached counter copy
+
+    auto ino = sys.fs().lookup("/pmem/f");
+    Addr page = sys.fs().inode(*ino).blocks[0];
+    Addr mecb = sys.layout().mecbAddr(page);
+    std::uint8_t blk[blockSize];
+    sys.device().readLine(mecb, blk);
+    blk[byte] ^= 0x01;
+    sys.device().writeLine(mecb, blk);
+
+    EXPECT_FALSE(sys.mc().recoverMetadata());
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, TamperDetection,
+                         ::testing::Values(0, 1, 7, 8, 9, 31, 32, 63));
+
+// ---------------------------------------------------------------
+// Scheme-ordering invariant across workload shapes.
+// ---------------------------------------------------------------
+
+struct AccessPattern
+{
+    const char *name;
+    std::uint64_t stride;
+    bool writes;
+};
+
+class SchemeOrdering : public ::testing::TestWithParam<AccessPattern>
+{};
+
+TEST_P(SchemeOrdering, EncryptionNeverSpeedsThingsUp)
+{
+    AccessPattern p = GetParam();
+    auto run = [&](Scheme scheme) {
+        SimConfig cfg;
+        cfg.scheme = scheme;
+        System sys(cfg);
+        workloads::standardEnvironment(sys, "pw");
+        int fd = sys.creat(0, "/pmem/w", 0600, true, "pw");
+        std::uint64_t span = 2 << 20;
+        sys.ftruncate(0, fd, span);
+        Addr va = sys.mmapFile(0, fd, span);
+        sys.beginMeasurement();
+        for (Addr off = 0; off < span; off += p.stride) {
+            if (p.writes && ((off / p.stride) & 1)) {
+                std::uint8_t v = 1;
+                sys.store(0, va + off, &v, 1);
+            } else {
+                std::uint8_t v;
+                sys.load(0, va + off, &v, 1);
+            }
+        }
+        if (p.writes)
+            sys.persist(0, va, blockSize); // at least one persist
+        return sys.measuredTicks();
+    };
+
+    Tick none = run(Scheme::NoEncryption);
+    Tick base = run(Scheme::BaselineSecurity);
+    Tick fsenc = run(Scheme::FsEncr);
+    EXPECT_LE(none, base) << p.name;
+    EXPECT_LE(base, fsenc) << p.name;
+    // FsEncr stays within a 1.35x envelope of the baseline on every
+    // pattern (the paper's worst micro-benchmarks sit near 1.2-1.3).
+    EXPECT_LT(static_cast<double>(fsenc) / base, 1.35) << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, SchemeOrdering,
+    ::testing::Values(AccessPattern{"seq-read-16", 16, false},
+                      AccessPattern{"seq-mixed-16", 16, true},
+                      AccessPattern{"seq-read-128", 128, false},
+                      AccessPattern{"seq-mixed-128", 128, true},
+                      AccessPattern{"page-stride", 4096, true}));
+
+// ---------------------------------------------------------------
+// Osiris across stop-loss configurations.
+// ---------------------------------------------------------------
+
+class StopLossSweep : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(StopLossSweep, RecoveryHoldsAtAnyStopLoss)
+{
+    SimConfig cfg;
+    cfg.scheme = Scheme::FsEncr;
+    cfg.sec.osirisStopLoss = GetParam();
+    System sys(cfg);
+    workloads::standardEnvironment(sys, "pw");
+    int fd = sys.creat(0, "/pmem/f", 0600, true, "pw");
+    sys.ftruncate(0, fd, pageSize);
+    Addr va = sys.mmapFile(0, fd, pageSize);
+
+    for (unsigned i = 1; i <= 23; ++i) {
+        sys.write<std::uint64_t>(0, va + (i % 8) * 64, i);
+        sys.persist(0, va + (i % 8) * 64, 8);
+    }
+    sys.crash();
+    ASSERT_TRUE(sys.recover());
+    for (unsigned i = 16; i <= 23; ++i)
+        EXPECT_EQ(sys.read<std::uint64_t>(0, va + (i % 8) * 64), i);
+}
+
+INSTANTIATE_TEST_SUITE_P(StopLoss, StopLossSweep,
+                         ::testing::Values(0, 1, 2, 4, 8, 16));
+
+// ---------------------------------------------------------------
+// Functional encryption round-trip for arbitrary data sizes crossing
+// line and page boundaries.
+// ---------------------------------------------------------------
+
+class SizesRoundTrip : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(SizesRoundTrip, StoreLoadAnySize)
+{
+    std::size_t n = GetParam();
+    SimConfig cfg;
+    cfg.scheme = Scheme::FsEncr;
+    System sys(cfg);
+    workloads::standardEnvironment(sys, "pw");
+    int fd = sys.creat(0, "/pmem/f", 0600, true, "pw");
+    sys.ftruncate(0, fd, roundUp(n + 200, pageSize));
+    Addr va = sys.mmapFile(0, fd, roundUp(n + 200, pageSize));
+
+    std::vector<std::uint8_t> data(n), out(n);
+    Rng rng(n);
+    rng.fill(data.data(), n);
+    // Offset 37: deliberately misaligned.
+    sys.store(0, va + 37, data.data(), n);
+    sys.persist(0, va + 37, n);
+    sys.load(0, va + 37, out.data(), n);
+    EXPECT_EQ(out, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizesRoundTrip,
+                         ::testing::Values(1, 7, 63, 64, 65, 100, 4095,
+                                           4096, 4097, 10000));

@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Security-metadata tests: counter-block packing, Merkle tree
+ * integrity, counter store persistence, Osiris recovery primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hh"
+#include "mem/nvm_device.hh"
+#include "mem/phys_layout.hh"
+#include "secmem/counter_block.hh"
+#include "secmem/counter_store.hh"
+#include "secmem/merkle_tree.hh"
+#include "secmem/osiris.hh"
+#include "crypto/ctr_mode.hh"
+#include "crypto/key.hh"
+
+using namespace fsencr;
+
+TEST(MinorCounters, PackUnpackRoundTrip)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 20; ++trial) {
+        MinorCounters m;
+        for (auto &v : m.minor)
+            v = static_cast<std::uint8_t>(rng.nextBounded(128));
+        std::uint8_t buf[56];
+        m.pack(buf);
+        MinorCounters out;
+        out.unpack(buf);
+        EXPECT_EQ(out, m);
+    }
+}
+
+TEST(MinorCounters, PackIsDense)
+{
+    // All-max counters use every bit.
+    MinorCounters m;
+    for (auto &v : m.minor)
+        v = 127;
+    std::uint8_t buf[56];
+    m.pack(buf);
+    for (auto b : buf)
+        EXPECT_EQ(b, 0xff);
+}
+
+TEST(Mecb, SerializeFitsOneLine)
+{
+    Mecb blk;
+    blk.major = 0x1122334455667788ull;
+    blk.minors.minor[0] = 5;
+    blk.minors.minor[63] = 127;
+    std::uint8_t line[blockSize];
+    blk.serialize(line);
+    Mecb out;
+    out.deserialize(line);
+    EXPECT_EQ(out, blk);
+}
+
+TEST(Fecb, SerializeRoundTripWithIds)
+{
+    Fecb blk;
+    blk.groupId = 0x3ffff; // 18 bits, all set
+    blk.fileId = 0x3fff;   // 14 bits, all set
+    blk.major = 0xdeadbeef;
+    blk.minors.minor[17] = 99;
+    std::uint8_t line[blockSize];
+    blk.serialize(line);
+    Fecb out;
+    out.deserialize(line);
+    EXPECT_EQ(out, blk);
+}
+
+TEST(Fecb, IdsAreMasked)
+{
+    Fecb blk;
+    blk.groupId = 0xfffff;  // over 18 bits
+    blk.fileId = 0xffff;    // over 14 bits
+    std::uint8_t line[blockSize];
+    blk.serialize(line);
+    Fecb out;
+    out.deserialize(line);
+    EXPECT_EQ(out.groupId, 0x3ffffu);
+    EXPECT_EQ(out.fileId, 0x3fffu);
+}
+
+namespace {
+
+struct MerkleFixture : ::testing::Test
+{
+    MerkleFixture()
+        : layout(LayoutParams{}), device(PcmParams{}),
+          tree(layout, device, 8)
+    {}
+
+    PhysLayout layout;
+    NvmDevice device;
+    MerkleTree tree;
+};
+
+} // namespace
+
+TEST_F(MerkleFixture, NineLevelsAtDefaultGeometry)
+{
+    // Table III: 9 levels, 8-ary.
+    EXPECT_EQ(tree.numLevels(), 9u);
+}
+
+TEST_F(MerkleFixture, UpdateChangesRoot)
+{
+    Addr leaf = layout.merkleLeavesBase();
+    std::uint64_t root0 = tree.root();
+    std::uint8_t line[blockSize] = {1, 2, 3};
+    device.writeLine(leaf, line);
+    tree.updateLeaf(leaf);
+    EXPECT_NE(tree.root(), root0);
+}
+
+TEST_F(MerkleFixture, VerifyAcceptsHonestLeaf)
+{
+    Addr leaf = layout.merkleLeavesBase() + 5 * blockSize;
+    std::uint8_t line[blockSize] = {9};
+    device.writeLine(leaf, line);
+    tree.updateLeaf(leaf);
+    EXPECT_TRUE(tree.verifyLeaf(leaf));
+}
+
+TEST_F(MerkleFixture, DetectsTampering)
+{
+    Addr leaf = layout.merkleLeavesBase() + 64 * blockSize;
+    std::uint8_t line[blockSize] = {1};
+    device.writeLine(leaf, line);
+    tree.updateLeaf(leaf);
+
+    // Attacker flips a byte in NVM behind the controller's back.
+    line[3] ^= 0x80;
+    device.writeLine(leaf, line);
+    EXPECT_FALSE(tree.verifyLeaf(leaf));
+}
+
+TEST_F(MerkleFixture, DetectsReplay)
+{
+    Addr leaf = layout.merkleLeavesBase() + 7 * blockSize;
+    std::uint8_t v1[blockSize] = {1};
+    std::uint8_t v2[blockSize] = {2};
+    device.writeLine(leaf, v1);
+    tree.updateLeaf(leaf);
+    device.writeLine(leaf, v2);
+    tree.updateLeaf(leaf);
+
+    // Replay the old value.
+    device.writeLine(leaf, v1);
+    EXPECT_FALSE(tree.verifyLeaf(leaf));
+}
+
+TEST_F(MerkleFixture, VirginLeafVerifiesAsZero)
+{
+    Addr leaf = layout.merkleLeavesBase() + 1000 * blockSize;
+    EXPECT_TRUE(tree.verifyLeaf(leaf));
+    // ...but tampered virgin metadata is caught.
+    std::uint8_t junk[blockSize] = {0xff};
+    device.writeLine(leaf, junk);
+    EXPECT_FALSE(tree.verifyLeaf(leaf));
+}
+
+TEST_F(MerkleFixture, RebuildVerifiesAfterHonestPersist)
+{
+    for (int i = 0; i < 32; ++i) {
+        Addr leaf = layout.merkleLeavesBase() + i * blockSize;
+        std::uint8_t line[blockSize];
+        line[0] = static_cast<std::uint8_t>(i);
+        device.writeLine(leaf, line);
+        tree.updateLeaf(leaf);
+    }
+    EXPECT_TRUE(tree.rebuildAndVerify());
+}
+
+TEST_F(MerkleFixture, RebuildCatchesOfflineTampering)
+{
+    Addr leaf = layout.merkleLeavesBase() + 3 * blockSize;
+    std::uint8_t line[blockSize] = {5};
+    device.writeLine(leaf, line);
+    tree.updateLeaf(leaf);
+
+    // Power-off tampering: flip bits, then "reboot".
+    line[0] ^= 0xff;
+    device.writeLine(leaf, line);
+    EXPECT_FALSE(tree.rebuildAndVerify());
+}
+
+TEST_F(MerkleFixture, AncestorAddressesAreWithinNodeRegion)
+{
+    Addr leaf = layout.merkleLeavesBase() + 12345 * blockSize;
+    for (unsigned level = 1; level < tree.numLevels(); ++level) {
+        Addr node = tree.ancestorAddr(leaf, level);
+        EXPECT_GE(node, layout.merkleNodeBase());
+        EXPECT_LT(node, layout.pmemBase());
+    }
+}
+
+TEST_F(MerkleFixture, SiblingsShareParent)
+{
+    Addr a = layout.merkleLeavesBase();
+    Addr b = a + 7 * blockSize;  // same 8-ary group
+    Addr c = a + 8 * blockSize;  // next group
+    EXPECT_EQ(tree.ancestorAddr(a, 1), tree.ancestorAddr(b, 1));
+    EXPECT_NE(tree.ancestorAddr(a, 1), tree.ancestorAddr(c, 1));
+}
+
+namespace {
+
+struct CounterStoreFixture : ::testing::Test
+{
+    CounterStoreFixture()
+        : layout(LayoutParams{}), device(PcmParams{}),
+          tree(layout, device, 8), store(device, tree)
+    {}
+
+    PhysLayout layout;
+    NvmDevice device;
+    MerkleTree tree;
+    CounterStore store;
+};
+
+} // namespace
+
+TEST_F(CounterStoreFixture, FreshBlockIsZero)
+{
+    Addr a = layout.mecbAddr(0x5000);
+    Mecb &m = store.mecb(a);
+    EXPECT_EQ(m.major, 0u);
+    for (auto v : m.minors.minor)
+        EXPECT_EQ(v, 0);
+}
+
+TEST_F(CounterStoreFixture, PersistSurvivesCrash)
+{
+    Addr a = layout.mecbAddr(0x5000);
+    store.mecb(a).minors.minor[3] = 42;
+    store.mecb(a).major = 7;
+    store.persistMecb(a);
+    store.crash();
+
+    Mecb recovered = store.persistedMecb(a);
+    EXPECT_EQ(recovered.major, 7u);
+    EXPECT_EQ(recovered.minors.minor[3], 42);
+    // The working copy reloads from the persisted image.
+    EXPECT_EQ(store.mecb(a).major, 7u);
+}
+
+TEST_F(CounterStoreFixture, UnpersistedUpdateLostOnCrash)
+{
+    Addr a = layout.mecbAddr(0x9000);
+    store.mecb(a).minors.minor[0] = 99;
+    store.crash();
+    EXPECT_EQ(store.mecb(a).minors.minor[0], 0);
+}
+
+TEST_F(CounterStoreFixture, EvictPersistsDirty)
+{
+    Addr a = layout.mecbAddr(0xa000);
+    store.mecb(a).minors.minor[1] = 11;
+    store.evictMecb(a, /*dirty=*/true);
+    EXPECT_FALSE(store.residentMecb(a));
+    EXPECT_EQ(store.persistedMecb(a).minors.minor[1], 11);
+}
+
+TEST_F(CounterStoreFixture, CleanEvictSkipsPersist)
+{
+    Addr a = layout.mecbAddr(0xb000);
+    store.mecb(a); // load only
+    std::uint64_t persists_before =
+        store.statGroup().scalarValue("mecbPersists");
+    store.evictMecb(a, /*dirty=*/false);
+    EXPECT_EQ(store.statGroup().scalarValue("mecbPersists"),
+              persists_before);
+}
+
+TEST_F(CounterStoreFixture, FecbPersistRoundTrip)
+{
+    Addr page = layout.pmemBase() + 3 * pageSize;
+    Addr fa = layout.fecbAddr(page);
+    Fecb &f = store.fecb(fa);
+    f.groupId = 100;
+    f.fileId = 42;
+    f.minors.minor[5] = 3;
+    store.persistFecb(fa);
+    store.crash();
+    Fecb recovered = store.persistedFecb(fa);
+    EXPECT_EQ(recovered.groupId, 100u);
+    EXPECT_EQ(recovered.fileId, 42u);
+    EXPECT_EQ(recovered.minors.minor[5], 3);
+}
+
+TEST_F(CounterStoreFixture, PersistUpdatesMerkle)
+{
+    Addr a = layout.mecbAddr(0xc000);
+    std::uint64_t root0 = tree.root();
+    store.mecb(a).major = 1;
+    store.persistMecb(a);
+    EXPECT_NE(tree.root(), root0);
+    EXPECT_TRUE(tree.verifyLeaf(a));
+}
+
+TEST(Osiris, EccBindsPlaintextAndAddress)
+{
+    std::uint8_t p1[blockSize] = {1};
+    std::uint8_t p2[blockSize] = {2};
+    EXPECT_NE(OsirisRecovery::eccOf(p1, 0x1000),
+              OsirisRecovery::eccOf(p2, 0x1000));
+    EXPECT_NE(OsirisRecovery::eccOf(p1, 0x1000),
+              OsirisRecovery::eccOf(p1, 0x2000));
+}
+
+TEST(Osiris, StopLossBoundary)
+{
+    OsirisRecovery o(4);
+    EXPECT_TRUE(o.atStopLoss(4));
+    EXPECT_TRUE(o.atStopLoss(8));
+    EXPECT_FALSE(o.atStopLoss(5));
+    OsirisRecovery strict(0);
+    EXPECT_TRUE(strict.atStopLoss(1)); // strict persistence mode
+}
+
+TEST(Osiris, RecoversLaggingCounter)
+{
+    // Simulate: persisted minor = 4, true minor = 6 (lag 2 <= 4).
+    OsirisRecovery o(4);
+    Rng rng(3);
+    crypto::Aes128 aes(crypto::randomKey(rng));
+    Addr line = 0x4000;
+
+    std::uint8_t plain[blockSize];
+    rng.fill(plain, sizeof(plain));
+    std::uint32_t true_minor = 6;
+
+    // "Device" holds ciphertext under the true counter.
+    std::uint8_t cipher[blockSize];
+    std::memcpy(cipher, plain, blockSize);
+    crypto::Line pad =
+        crypto::makeOtp(aes, {pageNumber(line), blockInPage(line), 0,
+                              true_minor});
+    crypto::xorLine(cipher, pad);
+    std::uint32_t ecc = OsirisRecovery::eccOf(plain, line);
+
+    auto trial = [&](std::uint32_t cand, std::uint8_t *out) {
+        std::memcpy(out, cipher, blockSize);
+        crypto::Line p = crypto::makeOtp(
+            aes, {pageNumber(line), blockInPage(line), 0, cand});
+        crypto::xorLine(out, p);
+    };
+
+    auto rec = o.recoverMinor(4, ecc, trial, line);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(*rec, true_minor);
+}
+
+TEST(Osiris, FailsBeyondStopLoss)
+{
+    OsirisRecovery o(2);
+    Rng rng(4);
+    crypto::Aes128 aes(crypto::randomKey(rng));
+    Addr line = 0x8000;
+
+    std::uint8_t plain[blockSize];
+    rng.fill(plain, sizeof(plain));
+    std::uint8_t cipher[blockSize];
+    std::memcpy(cipher, plain, blockSize);
+    crypto::Line pad = crypto::makeOtp(
+        aes, {pageNumber(line), blockInPage(line), 0, 10});
+    crypto::xorLine(cipher, pad);
+    std::uint32_t ecc = OsirisRecovery::eccOf(plain, line);
+
+    auto trial = [&](std::uint32_t cand, std::uint8_t *out) {
+        std::memcpy(out, cipher, blockSize);
+        crypto::Line p = crypto::makeOtp(
+            aes, {pageNumber(line), blockInPage(line), 0, cand});
+        crypto::xorLine(out, p);
+    };
+
+    // Persisted counter lags by 7 > stop-loss 2: unrecoverable, as the
+    // stop-loss invariant promises this can never happen in operation.
+    auto rec = o.recoverMinor(3, ecc, trial, line);
+    EXPECT_FALSE(rec.has_value());
+}

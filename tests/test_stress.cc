@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Stress and geometry-sweep tests: PCM device parameter grid, OTT
+ * spill-chain stress, trace fuzzing, stop-loss-factor traffic
+ * monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "cpu/mem_trace.hh"
+#include "fsenc/ott.hh"
+#include "fsenc/secure_memory_controller.hh"
+#include "mem/nvm_device.hh"
+#include "secmem/merkle_tree.hh"
+#include "workloads/workload.hh"
+
+using namespace fsencr;
+
+// ---------------------------------------------------------------
+// PCM geometry sweep.
+// ---------------------------------------------------------------
+
+struct PcmGeometry
+{
+    unsigned ranks;
+    unsigned banks;
+    std::size_t rowBytes;
+};
+
+class PcmGeometrySweep : public ::testing::TestWithParam<PcmGeometry>
+{};
+
+TEST_P(PcmGeometrySweep, TimingInvariantsHold)
+{
+    PcmGeometry g = GetParam();
+    PcmParams p;
+    p.ranksPerChannel = g.ranks;
+    p.banksPerRank = g.banks;
+    p.rowBufferBytes = g.rowBytes;
+    NvmDevice dev{p};
+
+    // 1. Row-buffer hit beats a miss.
+    MemRequest a{0x100000, false, TrafficClass::Data};
+    MemRequest b{0x100040, false, TrafficClass::Data};
+    Tick miss = dev.access(a, 0);
+    Tick hit = dev.access(b, miss);
+    EXPECT_LT(hit, miss);
+
+    // 2. Determinism.
+    NvmDevice dev2{p};
+    EXPECT_EQ(dev2.access(a, 0), miss);
+
+    // 3. Sequential sweeps beat random sprays of equal volume.
+    NvmDevice seq_dev{p}, rnd_dev{p};
+    Rng rng(9);
+    Tick t_seq = 0, t_rnd = 0;
+    for (unsigned i = 0; i < 512; ++i) {
+        MemRequest s{Addr(i) * blockSize, false, TrafficClass::Data};
+        t_seq += seq_dev.access(s, t_seq);
+        MemRequest r{rng.nextBounded(1u << 28) & ~63ull, false,
+                     TrafficClass::Data};
+        t_rnd += rnd_dev.access(r, t_rnd);
+    }
+    EXPECT_LT(t_seq, t_rnd);
+
+    // 4. Functional store is geometry-independent.
+    std::uint8_t line[blockSize] = {0x42};
+    dev.writeLine(0x4000, line);
+    std::uint8_t out[blockSize];
+    dev.readLine(0x4000, out);
+    EXPECT_EQ(out[0], 0x42);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PcmGeometrySweep,
+    ::testing::Values(PcmGeometry{1, 4, 1024}, PcmGeometry{2, 8, 1024},
+                      PcmGeometry{2, 8, 2048}, PcmGeometry{4, 16, 512},
+                      PcmGeometry{1, 1, 1024}));
+
+// ---------------------------------------------------------------
+// OTT stress: thousands of keys force deep spill chains.
+// ---------------------------------------------------------------
+
+TEST(OttStress, ThousandsOfKeysAllRecallable)
+{
+    PhysLayout layout{LayoutParams{}};
+    NvmDevice device{PcmParams{}};
+    MerkleTree tree(layout, device, 8);
+    Rng rng(123);
+    OpenTunnelTable ott(SecParams{}, layout, device, tree,
+                        crypto::randomKey(rng), 1000);
+
+    constexpr unsigned n = 4000; // ~4x on-chip capacity
+    std::vector<crypto::Key128> keys;
+    keys.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        keys.push_back(crypto::randomKey(rng));
+        ott.insert(i % 7, i + 1, keys.back(), i * 100,
+                   /*log_immediately=*/true);
+    }
+
+    // Every key must be found, on-chip or via spill recall.
+    for (std::uint32_t i = 0; i < n; ++i) {
+        auto r = ott.lookup(i % 7, i + 1, 10'000'000 + i * 100);
+        ASSERT_TRUE(r.found) << "key " << i;
+        EXPECT_EQ(r.key, keys[i]) << "key " << i;
+    }
+
+    // And all of them survive a crash (immediate logging).
+    ott.crash(false, 0);
+    for (std::uint32_t i = 0; i < n; i += 97) {
+        auto r = ott.lookup(i % 7, i + 1, 20'000'000 + i);
+        ASSERT_TRUE(r.found) << "post-crash key " << i;
+        EXPECT_EQ(r.key, keys[i]);
+    }
+}
+
+TEST(OttStress, RemovalsLeaveOtherChainsIntact)
+{
+    PhysLayout layout{LayoutParams{}};
+    NvmDevice device{PcmParams{}};
+    MerkleTree tree(layout, device, 8);
+    Rng rng(321);
+    OpenTunnelTable ott(SecParams{}, layout, device, tree,
+                        crypto::randomKey(rng), 1000);
+
+    std::vector<crypto::Key128> keys;
+    for (std::uint32_t i = 0; i < 2000; ++i) {
+        keys.push_back(crypto::randomKey(rng));
+        ott.insert(1, i + 1, keys.back(), 0, true);
+    }
+    // Remove every third key.
+    for (std::uint32_t i = 0; i < 2000; i += 3)
+        ott.remove(1, i + 1, 0);
+    ott.crash(false, 0); // force everything through the spill region
+
+    for (std::uint32_t i = 0; i < 2000; ++i) {
+        auto r = ott.lookup(1, i + 1, 1000 + i);
+        if (i % 3 == 0)
+            EXPECT_FALSE(r.found) << i;
+        else
+            EXPECT_TRUE(r.found && r.key == keys[i]) << i;
+    }
+}
+
+// ---------------------------------------------------------------
+// Trace fuzz: random (but well-formed) traces replay cleanly under
+// every scheme and never trip integrity machinery.
+// ---------------------------------------------------------------
+
+class TraceFuzz : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(TraceFuzz, RandomTraceReplaysEverywhere)
+{
+    Rng rng(GetParam());
+    PhysLayout layout{LayoutParams{}};
+    MemTrace trace;
+
+    // Register a few file keys and stamp some pages first.
+    constexpr unsigned files = 4;
+    std::vector<Addr> file_pages;
+    for (std::uint32_t f = 0; f < files; ++f) {
+        trace.append({TraceRecord::Kind::MmioKey, 0, 5, f + 1});
+        for (unsigned p = 0; p < 4; ++p) {
+            Addr page = layout.pmemBase() +
+                        (f * 64 + p * 3) * pageSize;
+            file_pages.push_back(page);
+            trace.append({TraceRecord::Kind::MmioStamp,
+                          setDfBit(page), 5, f + 1});
+        }
+    }
+
+    for (unsigned i = 0; i < 2000; ++i) {
+        std::uint64_t roll = rng.nextBounded(100);
+        Addr addr;
+        if (roll < 50) {
+            // DAX line within a stamped page.
+            Addr page =
+                file_pages[rng.nextBounded(file_pages.size())];
+            addr = setDfBit(page + rng.nextBounded(blocksPerPage) *
+                                       blockSize);
+        } else {
+            // General memory.
+            addr = rng.nextBounded(1u << 28) & ~63ull;
+        }
+        TraceRecord::Kind kind =
+            roll % 3 == 0 ? TraceRecord::Kind::PersistWrite
+            : roll % 3 == 1 ? TraceRecord::Kind::Write
+                            : TraceRecord::Kind::Read;
+        trace.append({kind, addr, 0, 0});
+    }
+
+    for (Scheme s : {Scheme::NoEncryption, Scheme::BaselineSecurity,
+                     Scheme::FsEncr}) {
+        SimConfig cfg;
+        cfg.scheme = s;
+        cfg.seed = GetParam();
+        ReplayResult r = replayTrace(trace, cfg);
+        EXPECT_GT(r.totalTicks, 0u);
+        EXPECT_EQ(r.requests, 2000u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceFuzz,
+                         ::testing::Values(1001, 1002, 1003, 1004));
+
+// ---------------------------------------------------------------
+// FECB stop-loss factor: larger factors must not increase NVM writes.
+// ---------------------------------------------------------------
+
+class FecbFactorSweep : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(FecbFactorSweep, WritesMonotoneAndRecoverable)
+{
+    SimConfig cfg;
+    cfg.scheme = Scheme::FsEncr;
+    cfg.sec.fecbStopLossFactor = GetParam();
+    System sys(cfg);
+    workloads::standardEnvironment(sys, "pw");
+    int fd = sys.creat(0, "/pmem/f", 0600, true, "pw");
+    sys.ftruncate(0, fd, 4 * pageSize);
+    Addr va = sys.mmapFile(0, fd, 4 * pageSize);
+
+    sys.beginMeasurement();
+    for (unsigned i = 1; i <= 200; ++i) {
+        sys.write<std::uint64_t>(0, va + (i % 32) * 64, i);
+        sys.persist(0, va + (i % 32) * 64, 8);
+    }
+    // Recovery still holds at this factor.
+    sys.crash();
+    ASSERT_TRUE(sys.recover());
+    for (unsigned i = 193; i <= 200; ++i)
+        EXPECT_EQ(sys.read<std::uint64_t>(0, va + (i % 32) * 64), i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, FecbFactorSweep,
+                         ::testing::Values(1, 2, 4, 8));

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Memory-trace subsystem tests: capture at the controller boundary,
+ * binary round-trip, deterministic replay, and replay-based
+ * sensitivity (the gem5 TraceCPU-style use case).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "cpu/mem_trace.hh"
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+using namespace fsencr;
+
+namespace {
+
+SimConfig
+cfgFor(Scheme scheme)
+{
+    SimConfig cfg;
+    cfg.scheme = scheme;
+    cfg.seed = 55;
+    return cfg;
+}
+
+/** Capture a small DAX workload's controller-level trace. */
+MemTrace
+captureWorkload()
+{
+    System sys(cfgFor(Scheme::FsEncr));
+    MemTrace trace;
+    sys.mc().setTraceCapture(&trace);
+
+    workloads::standardEnvironment(sys, "pw");
+    int fd = sys.creat(0, "/pmem/t", 0600, true, "pw");
+    sys.ftruncate(0, fd, 1 << 20);
+    Addr va = sys.mmapFile(0, fd, 1 << 20);
+    for (Addr off = 0; off < (1u << 20); off += 256) {
+        sys.write<std::uint32_t>(0, va + off,
+                                 static_cast<std::uint32_t>(off));
+        if ((off & 0xfff) == 0)
+            sys.persist(0, va + off, 4);
+    }
+    sys.mc().setTraceCapture(nullptr);
+    return trace;
+}
+
+} // namespace
+
+TEST(MemTraceUnit, CapturesRequestMix)
+{
+    MemTrace trace = captureWorkload();
+    ASSERT_GT(trace.size(), 0u);
+
+    unsigned reads = 0, writes = 0, persists = 0, stamps = 0,
+             keys = 0;
+    for (const TraceRecord &r : trace.records()) {
+        switch (r.kind) {
+          case TraceRecord::Kind::Read: ++reads; break;
+          case TraceRecord::Kind::Write: ++writes; break;
+          case TraceRecord::Kind::PersistWrite: ++persists; break;
+          case TraceRecord::Kind::MmioStamp: ++stamps; break;
+          case TraceRecord::Kind::MmioKey: ++keys; break;
+        }
+    }
+    EXPECT_GT(reads, 0u);
+    EXPECT_GT(persists, 0u);
+    EXPECT_GT(stamps, 0u);
+    EXPECT_EQ(keys, 1u); // one encrypted file created
+}
+
+TEST(MemTraceUnit, DaxRequestsCarryDfBit)
+{
+    MemTrace trace = captureWorkload();
+    bool any_df = false;
+    for (const TraceRecord &r : trace.records())
+        if (r.kind == TraceRecord::Kind::Read && hasDfBit(r.paddr))
+            any_df = true;
+    EXPECT_TRUE(any_df);
+}
+
+TEST(MemTraceUnit, SaveLoadRoundTrip)
+{
+    MemTrace trace = captureWorkload();
+    const char *path = "/tmp/fsencr_test_trace.bin";
+    ASSERT_TRUE(trace.save(path));
+
+    MemTrace loaded;
+    ASSERT_TRUE(loaded.load(path));
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(loaded.records()[i].kind, trace.records()[i].kind);
+        EXPECT_EQ(loaded.records()[i].paddr,
+                  trace.records()[i].paddr);
+        EXPECT_EQ(loaded.records()[i].gid, trace.records()[i].gid);
+        EXPECT_EQ(loaded.records()[i].fid, trace.records()[i].fid);
+    }
+    std::remove(path);
+}
+
+TEST(MemTraceUnit, LoadRejectsGarbage)
+{
+    const char *path = "/tmp/fsencr_bad_trace.bin";
+    std::FILE *f = std::fopen(path, "wb");
+    std::fputs("this is not a trace", f);
+    std::fclose(f);
+    MemTrace t;
+    EXPECT_FALSE(t.load(path));
+    std::remove(path);
+    EXPECT_FALSE(t.load("/nonexistent/path/trace.bin"));
+}
+
+TEST(MemTraceUnit, ReplayIsDeterministic)
+{
+    MemTrace trace = captureWorkload();
+    ReplayResult a = replayTrace(trace, cfgFor(Scheme::FsEncr));
+    ReplayResult b = replayTrace(trace, cfgFor(Scheme::FsEncr));
+    EXPECT_EQ(a.totalTicks, b.totalTicks);
+    EXPECT_EQ(a.nvmReads, b.nvmReads);
+    EXPECT_EQ(a.nvmWrites, b.nvmWrites);
+    EXPECT_GT(a.requests, 0u);
+}
+
+TEST(MemTraceUnit, ReplaySensitivityToMetadataCache)
+{
+    MemTrace trace = captureWorkload();
+
+    SimConfig small = cfgFor(Scheme::FsEncr);
+    small.sec.metadataCacheBytes = 16 << 10;
+    SimConfig big = cfgFor(Scheme::FsEncr);
+    big.sec.metadataCacheBytes = 2 << 20;
+
+    ReplayResult rs = replayTrace(trace, small);
+    ReplayResult rb = replayTrace(trace, big);
+    // A smaller metadata cache can never make the replay faster.
+    EXPECT_GE(rs.totalTicks, rb.totalTicks);
+    EXPECT_GE(rs.nvmReads, rb.nvmReads);
+}
+
+TEST(MemTraceUnit, ReplayAcrossSchemes)
+{
+    MemTrace trace = captureWorkload();
+    ReplayResult none =
+        replayTrace(trace, cfgFor(Scheme::NoEncryption));
+    ReplayResult base =
+        replayTrace(trace, cfgFor(Scheme::BaselineSecurity));
+    ReplayResult fsenc = replayTrace(trace, cfgFor(Scheme::FsEncr));
+    EXPECT_LE(none.totalTicks, base.totalTicks);
+    EXPECT_LE(base.totalTicks, fsenc.totalTicks);
+}

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Workload tests: KV engine correctness through the full simulated
+ * memory system, pool allocator behaviour, workload determinism and
+ * crash consistency of persisted stores.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "pmdk/pmem.hh"
+#include "workloads/btree_kv.hh"
+#include "workloads/ctree_kv.hh"
+#include "workloads/dax_micro.hh"
+#include "workloads/hashmap_kv.hh"
+#include "workloads/pmemkv_bench.hh"
+#include "workloads/whisper_bench.hh"
+#include "workloads/workload.hh"
+
+using namespace fsencr;
+using namespace fsencr::workloads;
+
+namespace {
+
+SimConfig
+cfgFor(Scheme scheme)
+{
+    SimConfig cfg;
+    cfg.scheme = scheme;
+    cfg.seed = 321;
+    return cfg;
+}
+
+struct PoolFixture : ::testing::Test
+{
+    PoolFixture() : sys(cfgFor(Scheme::FsEncr))
+    {
+        standardEnvironment(sys, "alice-pass");
+        pool = std::make_unique<pmdk::PmemPool>(
+            sys, 0, "/pmem/test.pool", 16 << 20, true, "alice-pass");
+    }
+
+    System sys;
+    std::unique_ptr<pmdk::PmemPool> pool;
+};
+
+} // namespace
+
+TEST_F(PoolFixture, AllocationsAreDisjointAndAligned)
+{
+    Addr a = pool->alloc(100);
+    Addr b = pool->alloc(100);
+    EXPECT_EQ(a % blockSize, 0u);
+    EXPECT_EQ(b % blockSize, 0u);
+    EXPECT_GE(b, a + 128); // 100 rounds to 128
+}
+
+TEST_F(PoolFixture, FreeListReusesBlocks)
+{
+    Addr a = pool->alloc(256);
+    pool->free(a, 256);
+    Addr b = pool->alloc(256);
+    EXPECT_EQ(a, b);
+}
+
+TEST_F(PoolFixture, RootPointerPersists)
+{
+    pool->setRoot(0x1234560);
+    EXPECT_EQ(pool->root(), 0x1234560u);
+}
+
+TEST_F(PoolFixture, PoolDataGoesThroughSimMemory)
+{
+    Addr a = pool->alloc(64);
+    std::uint64_t before = sys.statGroup().scalarValue("stores");
+    sys.write<std::uint64_t>(0, a, 42);
+    EXPECT_GT(sys.statGroup().scalarValue("stores"), before);
+}
+
+TEST_F(PoolFixture, OutOfSpaceIsFatal)
+{
+    EXPECT_THROW(pool->alloc(1ull << 40), FatalError);
+}
+
+TEST_F(PoolFixture, BTreePutGetSmall)
+{
+    BTreeKv kv(*pool);
+    std::uint8_t val[64], out[64];
+    Rng rng(5);
+    std::map<std::uint64_t, std::array<std::uint8_t, 64>> shadow;
+
+    for (int i = 0; i < 300; ++i) {
+        std::uint64_t key = rng.nextBounded(120);
+        rng.fill(val, sizeof(val));
+        kv.put(0, key, val, sizeof(val));
+        std::array<std::uint8_t, 64> copy;
+        std::memcpy(copy.data(), val, 64);
+        shadow[key] = copy;
+    }
+    for (auto &[key, expect] : shadow) {
+        ASSERT_TRUE(kv.get(0, key, out, sizeof(out))) << key;
+        EXPECT_EQ(0, std::memcmp(out, expect.data(), 64)) << key;
+    }
+    EXPECT_EQ(kv.count(), shadow.size());
+}
+
+TEST_F(PoolFixture, BTreeSequentialInsertAndSplits)
+{
+    BTreeKv kv(*pool);
+    std::uint64_t v;
+    for (std::uint64_t k = 0; k < 500; ++k) {
+        v = k * 31;
+        kv.put(0, k, &v, sizeof(v));
+    }
+    for (std::uint64_t k = 0; k < 500; ++k) {
+        std::uint64_t out = 0;
+        ASSERT_TRUE(kv.get(0, k, &out, sizeof(out))) << k;
+        EXPECT_EQ(out, k * 31);
+    }
+}
+
+TEST_F(PoolFixture, BTreeMissingKey)
+{
+    BTreeKv kv(*pool);
+    std::uint64_t v = 1;
+    kv.put(0, 10, &v, sizeof(v));
+    std::uint64_t out;
+    EXPECT_FALSE(kv.get(0, 11, &out, sizeof(out)));
+}
+
+TEST_F(PoolFixture, BTreeLargeValues)
+{
+    BTreeKv kv(*pool);
+    std::vector<std::uint8_t> big(4096), out(4096);
+    Rng rng(6);
+    for (std::uint64_t k = 0; k < 40; ++k) {
+        rng.fill(big.data(), big.size());
+        kv.put(0, k, big.data(), big.size());
+        ASSERT_TRUE(kv.get(0, k, out.data(), out.size()));
+        EXPECT_EQ(out, big);
+    }
+}
+
+TEST_F(PoolFixture, BTreeInPlaceOverwrite)
+{
+    BTreeKv kv(*pool);
+    std::uint64_t v1 = 111, v2 = 222, out;
+    kv.put(0, 5, &v1, sizeof(v1));
+    kv.put(0, 5, &v2, sizeof(v2));
+    ASSERT_TRUE(kv.get(0, 5, &out, sizeof(out)));
+    EXPECT_EQ(out, 222u);
+    EXPECT_EQ(kv.count(), 1u);
+}
+
+TEST_F(PoolFixture, HashmapProbesThroughCollisions)
+{
+    // Tiny table forces probe chains; every key must still be found.
+    HashmapKv kv(*pool, 64, 128);
+    std::uint8_t val[128], out[128];
+    Rng rng(7);
+    for (std::uint64_t k = 0; k < 40; ++k) {
+        std::memset(val, static_cast<int>(k), sizeof(val));
+        kv.put(0, k * 977 + 1, val);
+    }
+    for (std::uint64_t k = 0; k < 40; ++k) {
+        ASSERT_TRUE(kv.get(0, k * 977 + 1, out)) << k;
+        EXPECT_EQ(out[0], static_cast<std::uint8_t>(k));
+    }
+}
+
+TEST_F(PoolFixture, HashmapRoundTripAndUpdate)
+{
+    HashmapKv kv(*pool, 2048, 128);
+    std::uint8_t val[128], out[128];
+    Rng rng(8);
+    std::map<std::uint64_t, std::array<std::uint8_t, 128>> shadow;
+    for (int i = 0; i < 400; ++i) {
+        std::uint64_t key = rng.nextBounded(200);
+        rng.fill(val, sizeof(val));
+        kv.put(0, key, val);
+        std::array<std::uint8_t, 128> c;
+        std::memcpy(c.data(), val, 128);
+        shadow[key] = c;
+    }
+    for (auto &[key, expect] : shadow) {
+        ASSERT_TRUE(kv.get(0, key, out));
+        EXPECT_EQ(0, std::memcmp(out, expect.data(), 128));
+    }
+    std::uint8_t dummy[128];
+    EXPECT_FALSE(kv.get(0, 99999, dummy));
+}
+
+TEST_F(PoolFixture, CTreeRoundTrip)
+{
+    CTreeKv kv(*pool, 128);
+    std::uint8_t val[128], out[128];
+    Rng rng(9);
+    std::map<std::uint64_t, std::array<std::uint8_t, 128>> shadow;
+    for (int i = 0; i < 300; ++i) {
+        std::uint64_t key = rng.next();
+        rng.fill(val, sizeof(val));
+        kv.put(0, key, val);
+        std::array<std::uint8_t, 128> c;
+        std::memcpy(c.data(), val, 128);
+        shadow[key] = c;
+    }
+    for (auto &[key, expect] : shadow) {
+        ASSERT_TRUE(kv.get(0, key, out));
+        EXPECT_EQ(0, std::memcmp(out, expect.data(), 128));
+    }
+}
+
+TEST_F(PoolFixture, CTreeUpdateInPlace)
+{
+    CTreeKv kv(*pool, 128);
+    std::uint8_t v1[128], v2[128], out[128];
+    std::memset(v1, 1, 128);
+    std::memset(v2, 2, 128);
+    kv.put(0, 7, v1);
+    kv.put(0, 7, v2);
+    ASSERT_TRUE(kv.get(0, 7, out));
+    EXPECT_EQ(out[0], 2);
+    EXPECT_EQ(kv.count(), 1u);
+}
+
+TEST_F(PoolFixture, BTreeReopensFromPersistentRoot)
+{
+    {
+        BTreeKv kv(*pool);
+        std::uint64_t v;
+        for (std::uint64_t k = 0; k < 120; ++k) {
+            v = k ^ 0xabcd;
+            kv.put(0, k, &v, sizeof(v));
+        }
+    }
+    // A "new process" opens the same pool: the root pointer and all
+    // nodes come back from pmem; the reopen walk recounts the keys.
+    BTreeKv reopened(*pool);
+    EXPECT_EQ(reopened.count(), 120u);
+    std::uint64_t out = 0;
+    ASSERT_TRUE(reopened.get(0, 77, &out, sizeof(out)));
+    EXPECT_EQ(out, 77u ^ 0xabcd);
+}
+
+TEST(WorkloadRuns, BTreeStateSurvivesSystemCrash)
+{
+    System sys(cfgFor(Scheme::FsEncr));
+    standardEnvironment(sys, "alice-pass");
+    pmdk::PmemPool pool(sys, 0, "/pmem/crash.pool", 8 << 20, true,
+                        "alice-pass");
+    BTreeKv kv(pool);
+    std::uint64_t v;
+    for (std::uint64_t k = 0; k < 64; ++k) {
+        v = k + 1000;
+        kv.put(0, k, &v, sizeof(v));
+    }
+    sys.crash();
+    ASSERT_TRUE(sys.recover());
+
+    // Every put persisted its value and node updates, so the tree is
+    // intact after recovery.
+    for (std::uint64_t k = 0; k < 64; ++k) {
+        std::uint64_t out = 0;
+        ASSERT_TRUE(kv.get(0, k, &out, sizeof(out))) << k;
+        EXPECT_EQ(out, k + 1000);
+    }
+}
+
+TEST(WorkloadRuns, PmemkvWorkloadRunsAndCounts)
+{
+    System sys(cfgFor(Scheme::FsEncr));
+    PmemkvConfig cfg;
+    cfg.op = PmemkvOp::FillSeq;
+    cfg.valueBytes = 64;
+    cfg.numKeys = 256;
+    cfg.numOps = 256;
+    PmemkvWorkload w(cfg);
+    auto r = runWorkload(sys, w);
+    EXPECT_GT(r.ticks, 0u);
+    EXPECT_GT(r.nvmWrites, 0u);
+    EXPECT_EQ(r.operations, 256u);
+    EXPECT_EQ(w.name(), "Fillseq-S");
+}
+
+TEST(WorkloadRuns, PmemkvReadWorkloadPreloads)
+{
+    System sys(cfgFor(Scheme::BaselineSecurity));
+    PmemkvConfig cfg;
+    cfg.op = PmemkvOp::ReadRandom;
+    cfg.valueBytes = 64;
+    cfg.numKeys = 256;
+    cfg.numOps = 256;
+    PmemkvWorkload w(cfg);
+    auto r = runWorkload(sys, w);
+    EXPECT_GT(r.ticks, 0u);
+    // A pure-read phase over a small (cache-resident) store generates
+    // at most stray background writes, never a write-dominated
+    // profile.
+    EXPECT_LE(r.nvmWrites, 64u);
+}
+
+TEST(WorkloadRuns, WhisperSuiteShapes)
+{
+    auto suite = whisperSuite(512);
+    ASSERT_EQ(suite.size(), 3u);
+    EXPECT_EQ(suite[0].kind, WhisperKind::Ycsb);
+    EXPECT_EQ(suite[0].valueBytes, 1024u);
+    EXPECT_EQ(suite[1].valueBytes, 128u);
+
+    System sys(cfgFor(Scheme::FsEncr));
+    WhisperWorkload w(suite[1]); // Hashmap
+    auto r = runWorkload(sys, w);
+    EXPECT_GT(r.ticks, 0u);
+    EXPECT_EQ(w.name(), std::string("Hashmap"));
+}
+
+TEST(WorkloadRuns, DaxMicroStrideTouchesExpectedBytes)
+{
+    System sys(cfgFor(Scheme::BaselineSecurity));
+    DaxMicroConfig cfg;
+    cfg.kind = DaxMicroKind::Dax1;
+    cfg.spanBytes = 1 << 20;
+    DaxMicroWorkload w(cfg);
+    auto r = runWorkload(sys, w);
+    EXPECT_EQ(r.operations, (1u << 20) / 16);
+    EXPECT_GT(r.nvmReads, 0u);
+}
+
+TEST(WorkloadRuns, DeterministicAcrossRuns)
+{
+    auto run = []() {
+        System sys(cfgFor(Scheme::FsEncr));
+        PmemkvConfig cfg;
+        cfg.op = PmemkvOp::FillRandom;
+        cfg.valueBytes = 64;
+        cfg.numKeys = 128;
+        cfg.numOps = 128;
+        PmemkvWorkload w(cfg);
+        auto r = runWorkload(sys, w);
+        return std::make_tuple(r.ticks, r.nvmReads, r.nvmWrites);
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(WorkloadRuns, PmemkvSuiteHasTenConfigs)
+{
+    auto suite = pmemkvSuite();
+    EXPECT_EQ(suite.size(), 10u);
+    unsigned small = 0, large = 0;
+    for (auto &c : suite)
+        (c.valueBytes >= 4096 ? large : small)++;
+    EXPECT_EQ(small, 5u);
+    EXPECT_EQ(large, 5u);
+}

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * fsencr_sim — the command-line front-end to the simulator (the
+ * moral equivalent of gem5's se.py for this repository).
+ *
+ * Examples:
+ *   fsencr_sim --scheme fsencr --workload fillrandom-S
+ *   fsencr_sim --scheme baseline --workload ycsb --ops 8192 --stats
+ *   fsencr_sim --scheme fsencr --workload dax-2 --json
+ *   fsencr_sim --list-workloads
+ *   fsencr_sim --workload hashmap --trace-out /tmp/hashmap.trace
+ *   fsencr_sim --replay /tmp/hashmap.trace --metadata-cache-kb 128
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cpu/mem_trace.hh"
+#include "workloads/dax_micro.hh"
+#include "workloads/extra_workloads.hh"
+#include "workloads/pmemkv_bench.hh"
+#include "workloads/whisper_bench.hh"
+#include "workloads/workload.hh"
+
+using namespace fsencr;
+using namespace fsencr::workloads;
+
+namespace {
+
+struct Options
+{
+    Scheme scheme = Scheme::FsEncr;
+    std::string workload = "fillrandom-S";
+    std::uint64_t ops = 0;  // 0 = workload default
+    std::uint64_t keys = 0; // 0 = workload default
+    std::size_t metadataCacheKb = 0;
+    unsigned stopLoss = 0xffffffff;
+    std::uint64_t seed = 42;
+    bool stats = false;
+    bool json = false;
+    bool listWorkloads = false;
+    std::string traceOut;
+    std::string replayIn;
+};
+
+using Factory =
+    std::function<std::unique_ptr<Workload>(const Options &)>;
+
+/** All named workloads. */
+std::map<std::string, Factory>
+workloadRegistry()
+{
+    std::map<std::string, Factory> reg;
+
+    auto add_pmemkv = [&reg](const std::string &name, PmemkvOp op,
+                             std::size_t vbytes) {
+        reg[name] = [op, vbytes](const Options &o) {
+            PmemkvConfig c;
+            c.op = op;
+            c.valueBytes = vbytes;
+            c.numKeys = o.keys ? o.keys
+                               : (vbytes >= 4096 ? 2048 : 32768);
+            c.numOps = o.ops ? o.ops : c.numKeys;
+            c.seed = o.seed;
+            return std::make_unique<PmemkvWorkload>(c);
+        };
+    };
+    add_pmemkv("fillseq-S", PmemkvOp::FillSeq, 64);
+    add_pmemkv("fillseq-L", PmemkvOp::FillSeq, 4096);
+    add_pmemkv("fillrandom-S", PmemkvOp::FillRandom, 64);
+    add_pmemkv("fillrandom-L", PmemkvOp::FillRandom, 4096);
+    add_pmemkv("overwrite-S", PmemkvOp::Overwrite, 64);
+    add_pmemkv("overwrite-L", PmemkvOp::Overwrite, 4096);
+    add_pmemkv("readrandom-S", PmemkvOp::ReadRandom, 64);
+    add_pmemkv("readrandom-L", PmemkvOp::ReadRandom, 4096);
+    add_pmemkv("readseq-S", PmemkvOp::ReadSeq, 64);
+    add_pmemkv("readseq-L", PmemkvOp::ReadSeq, 4096);
+
+    auto add_whisper = [&reg](const std::string &name, WhisperKind k,
+                              std::size_t vbytes, double rr) {
+        reg[name] = [k, vbytes, rr](const Options &o) {
+            WhisperConfig c;
+            c.kind = k;
+            c.valueBytes = vbytes;
+            c.readRatio = rr;
+            c.numKeys = o.keys ? o.keys : 32768;
+            c.numOps = o.ops ? o.ops : c.numKeys;
+            c.seed = o.seed;
+            return std::make_unique<WhisperWorkload>(c);
+        };
+    };
+    add_whisper("ycsb", WhisperKind::Ycsb, 1024, 0.5);
+    add_whisper("hashmap", WhisperKind::Hashmap, 128, 0.3);
+    add_whisper("ctree", WhisperKind::CTree, 128, 0.3);
+
+    auto add_micro = [&reg](const std::string &name, DaxMicroKind k) {
+        reg[name] = [k](const Options &o) {
+            DaxMicroConfig c;
+            c.kind = k;
+            c.spanBytes = 32 << 20;
+            c.swapOps = o.ops ? o.ops : 100000;
+            c.seed = o.seed;
+            return std::make_unique<DaxMicroWorkload>(c);
+        };
+    };
+    add_micro("dax-1", DaxMicroKind::Dax1);
+    add_micro("dax-2", DaxMicroKind::Dax2);
+    add_micro("dax-3", DaxMicroKind::Dax3);
+    add_micro("dax-4", DaxMicroKind::Dax4);
+
+    reg["logappend"] = [](const Options &o) {
+        LogAppendConfig c;
+        c.numRecords = o.ops ? o.ops : 20000;
+        c.seed = o.seed;
+        return std::make_unique<LogAppendWorkload>(c);
+    };
+    reg["fileserver"] = [](const Options &o) {
+        FileServerConfig c;
+        c.numOps = o.ops ? o.ops : 8000;
+        c.seed = o.seed;
+        return std::make_unique<FileServerWorkload>(c);
+    };
+    return reg;
+}
+
+bool
+parseScheme(const std::string &s, Scheme &out)
+{
+    if (s == "none" || s == "ext4-dax") {
+        out = Scheme::NoEncryption;
+    } else if (s == "baseline") {
+        out = Scheme::BaselineSecurity;
+    } else if (s == "fsencr") {
+        out = Scheme::FsEncr;
+    } else if (s == "swenc" || s == "software") {
+        out = Scheme::SoftwareEncryption;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --scheme {none|baseline|fsencr|swenc}   protection scheme\n"
+        "  --workload NAME                         (see --list-workloads)\n"
+        "  --ops N / --keys N                      workload size\n"
+        "  --metadata-cache-kb N                   Table III sweep knob\n"
+        "  --stop-loss N                           Osiris persistence bound\n"
+        "  --seed N                                determinism\n"
+        "  --stats / --json                        dump the stat tree\n"
+        "  --trace-out FILE                        capture MC trace\n"
+        "  --replay FILE                           replay MC trace\n"
+        "  --list-workloads\n",
+        argv0);
+}
+
+int
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", a.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--scheme") {
+            if (!parseScheme(next(), opt.scheme)) {
+                std::fprintf(stderr, "unknown scheme\n");
+                return 2;
+            }
+        } else if (a == "--workload") {
+            opt.workload = next();
+        } else if (a == "--ops") {
+            opt.ops = std::strtoull(next(), nullptr, 0);
+        } else if (a == "--keys") {
+            opt.keys = std::strtoull(next(), nullptr, 0);
+        } else if (a == "--metadata-cache-kb") {
+            opt.metadataCacheKb =
+                std::strtoull(next(), nullptr, 0);
+        } else if (a == "--stop-loss") {
+            opt.stopLoss = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 0));
+        } else if (a == "--seed") {
+            opt.seed = std::strtoull(next(), nullptr, 0);
+        } else if (a == "--stats") {
+            opt.stats = true;
+        } else if (a == "--json") {
+            opt.json = true;
+        } else if (a == "--trace-out") {
+            opt.traceOut = next();
+        } else if (a == "--replay") {
+            opt.replayIn = next();
+        } else if (a == "--list-workloads") {
+            opt.listWorkloads = true;
+        } else if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    return 0;
+}
+
+SimConfig
+configFrom(const Options &opt)
+{
+    SimConfig cfg;
+    cfg.scheme = opt.scheme;
+    cfg.seed = opt.seed;
+    if (opt.metadataCacheKb)
+        cfg.sec.metadataCacheBytes = opt.metadataCacheKb << 10;
+    if (opt.stopLoss != 0xffffffff)
+        cfg.sec.osirisStopLoss = opt.stopLoss;
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (int rc = parseArgs(argc, argv, opt))
+        return rc;
+
+    auto registry = workloadRegistry();
+    if (opt.listWorkloads) {
+        for (const auto &[name, factory] : registry) {
+            (void)factory;
+            std::printf("%s\n", name.c_str());
+        }
+        return 0;
+    }
+
+    SimConfig cfg = configFrom(opt);
+
+    // Trace replay mode: no OS/workload, just the memory system.
+    if (!opt.replayIn.empty()) {
+        MemTrace trace;
+        if (!trace.load(opt.replayIn)) {
+            std::fprintf(stderr, "cannot load trace '%s'\n",
+                         opt.replayIn.c_str());
+            return 1;
+        }
+        ReplayResult r = replayTrace(trace, cfg);
+        std::printf("replay: %zu records, %llu requests\n",
+                    trace.size(),
+                    static_cast<unsigned long long>(r.requests));
+        std::printf("ticks      : %llu (%.3f ms simulated)\n",
+                    static_cast<unsigned long long>(r.totalTicks),
+                    r.totalTicks / 1e9);
+        std::printf("NVM reads  : %llu\n",
+                    static_cast<unsigned long long>(r.nvmReads));
+        std::printf("NVM writes : %llu\n",
+                    static_cast<unsigned long long>(r.nvmWrites));
+        return 0;
+    }
+
+    auto it = registry.find(opt.workload);
+    if (it == registry.end()) {
+        std::fprintf(stderr,
+                     "unknown workload '%s' (--list-workloads)\n",
+                     opt.workload.c_str());
+        return 1;
+    }
+
+    System sys(cfg);
+    MemTrace trace;
+    if (!opt.traceOut.empty())
+        sys.mc().setTraceCapture(&trace);
+
+    auto workload = it->second(opt);
+    WorkloadResult r = runWorkload(sys, *workload);
+
+    std::printf("workload   : %s\n", workload->name().c_str());
+    std::printf("scheme     : %s\n", schemeName(cfg.scheme));
+    std::printf("operations : %llu\n",
+                static_cast<unsigned long long>(r.operations));
+    std::printf("ticks      : %llu (%.3f ms simulated, %.1f ns/op)\n",
+                static_cast<unsigned long long>(r.ticks),
+                r.ticks / 1e9,
+                r.operations
+                    ? static_cast<double>(r.ticks) / 1000.0 /
+                          static_cast<double>(r.operations)
+                    : 0.0);
+    std::printf("NVM reads  : %llu\n",
+                static_cast<unsigned long long>(r.nvmReads));
+    std::printf("NVM writes : %llu\n",
+                static_cast<unsigned long long>(r.nvmWrites));
+
+    if (!opt.traceOut.empty()) {
+        sys.mc().setTraceCapture(nullptr);
+        if (!trace.save(opt.traceOut)) {
+            std::fprintf(stderr, "cannot write trace '%s'\n",
+                         opt.traceOut.c_str());
+            return 1;
+        }
+        std::printf("trace      : %zu records -> %s\n", trace.size(),
+                    opt.traceOut.c_str());
+    }
+
+    if (opt.json)
+        sys.statGroup().dumpJson(std::cout);
+    else if (opt.stats)
+        sys.dumpStats(std::cout);
+    return 0;
+}
