@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_osiris.dir/bench_ablation_osiris.cc.o"
+  "CMakeFiles/bench_ablation_osiris.dir/bench_ablation_osiris.cc.o.d"
+  "bench_ablation_osiris"
+  "bench_ablation_osiris.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_osiris.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

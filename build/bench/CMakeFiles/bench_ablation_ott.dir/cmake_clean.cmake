@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ott.dir/bench_ablation_ott.cc.o"
+  "CMakeFiles/bench_ablation_ott.dir/bench_ablation_ott.cc.o.d"
+  "bench_ablation_ott"
+  "bench_ablation_ott.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ott.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rekey.dir/bench_ablation_rekey.cc.o"
+  "CMakeFiles/bench_ablation_rekey.dir/bench_ablation_rekey.cc.o.d"
+  "bench_ablation_rekey"
+  "bench_ablation_rekey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rekey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_pmemkv_reads.dir/bench_fig10_pmemkv_reads.cc.o"
+  "CMakeFiles/bench_fig10_pmemkv_reads.dir/bench_fig10_pmemkv_reads.cc.o.d"
+  "bench_fig10_pmemkv_reads"
+  "bench_fig10_pmemkv_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_pmemkv_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

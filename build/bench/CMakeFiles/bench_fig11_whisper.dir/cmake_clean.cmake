@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_whisper.dir/bench_fig11_whisper.cc.o"
+  "CMakeFiles/bench_fig11_whisper.dir/bench_fig11_whisper.cc.o.d"
+  "bench_fig11_whisper"
+  "bench_fig11_whisper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_whisper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_micro_reads.dir/bench_fig14_micro_reads.cc.o"
+  "CMakeFiles/bench_fig14_micro_reads.dir/bench_fig14_micro_reads.cc.o.d"
+  "bench_fig14_micro_reads"
+  "bench_fig14_micro_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_micro_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_pmemkv_slowdown.dir/bench_fig8_pmemkv_slowdown.cc.o"
+  "CMakeFiles/bench_fig8_pmemkv_slowdown.dir/bench_fig8_pmemkv_slowdown.cc.o.d"
+  "bench_fig8_pmemkv_slowdown"
+  "bench_fig8_pmemkv_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_pmemkv_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

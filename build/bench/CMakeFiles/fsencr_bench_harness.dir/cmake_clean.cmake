@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsencr_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/fsencr_bench_harness.dir/harness.cc.o.d"
+  "libfsencr_bench_harness.a"
+  "libfsencr_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsencr_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfsencr_bench_harness.a"
+)

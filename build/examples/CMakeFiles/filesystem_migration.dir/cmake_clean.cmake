@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filesystem_migration.dir/filesystem_migration.cpp.o"
+  "CMakeFiles/filesystem_migration.dir/filesystem_migration.cpp.o.d"
+  "filesystem_migration"
+  "filesystem_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filesystem_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

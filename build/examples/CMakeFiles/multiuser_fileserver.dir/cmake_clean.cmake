@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiuser_fileserver.dir/multiuser_fileserver.cpp.o"
+  "CMakeFiles/multiuser_fileserver.dir/multiuser_fileserver.cpp.o.d"
+  "multiuser_fileserver"
+  "multiuser_fileserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiuser_fileserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for multiuser_fileserver.
+# This may be replaced when dependencies are built.

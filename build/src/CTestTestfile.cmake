@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("mem")
+subdirs("cache")
+subdirs("cpu")
+subdirs("secmem")
+subdirs("fsenc")
+subdirs("swenc")
+subdirs("os")
+subdirs("fs")
+subdirs("pmdk")
+subdirs("sim")
+subdirs("workloads")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsencr_cache.dir/cache.cc.o"
+  "CMakeFiles/fsencr_cache.dir/cache.cc.o.d"
+  "CMakeFiles/fsencr_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/fsencr_cache.dir/hierarchy.cc.o.d"
+  "libfsencr_cache.a"
+  "libfsencr_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsencr_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsencr_common.dir/logging.cc.o"
+  "CMakeFiles/fsencr_common.dir/logging.cc.o.d"
+  "CMakeFiles/fsencr_common.dir/stats.cc.o"
+  "CMakeFiles/fsencr_common.dir/stats.cc.o.d"
+  "libfsencr_common.a"
+  "libfsencr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsencr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsencr_cpu.dir/mem_trace.cc.o"
+  "CMakeFiles/fsencr_cpu.dir/mem_trace.cc.o.d"
+  "libfsencr_cpu.a"
+  "libfsencr_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsencr_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsencr_crypto.dir/aes.cc.o"
+  "CMakeFiles/fsencr_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/fsencr_crypto.dir/ctr_mode.cc.o"
+  "CMakeFiles/fsencr_crypto.dir/ctr_mode.cc.o.d"
+  "CMakeFiles/fsencr_crypto.dir/sha256.cc.o"
+  "CMakeFiles/fsencr_crypto.dir/sha256.cc.o.d"
+  "libfsencr_crypto.a"
+  "libfsencr_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsencr_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsencr_fs.dir/nvmfs.cc.o"
+  "CMakeFiles/fsencr_fs.dir/nvmfs.cc.o.d"
+  "libfsencr_fs.a"
+  "libfsencr_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsencr_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

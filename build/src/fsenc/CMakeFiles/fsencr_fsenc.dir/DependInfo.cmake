@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsenc/ott.cc" "src/fsenc/CMakeFiles/fsencr_fsenc.dir/ott.cc.o" "gcc" "src/fsenc/CMakeFiles/fsencr_fsenc.dir/ott.cc.o.d"
+  "/root/repo/src/fsenc/secure_memory_controller.cc" "src/fsenc/CMakeFiles/fsencr_fsenc.dir/secure_memory_controller.cc.o" "gcc" "src/fsenc/CMakeFiles/fsencr_fsenc.dir/secure_memory_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fsencr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fsencr_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fsencr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/fsencr_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/secmem/CMakeFiles/fsencr_secmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

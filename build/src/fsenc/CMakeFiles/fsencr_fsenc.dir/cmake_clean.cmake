@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsencr_fsenc.dir/ott.cc.o"
+  "CMakeFiles/fsencr_fsenc.dir/ott.cc.o.d"
+  "CMakeFiles/fsencr_fsenc.dir/secure_memory_controller.cc.o"
+  "CMakeFiles/fsencr_fsenc.dir/secure_memory_controller.cc.o.d"
+  "libfsencr_fsenc.a"
+  "libfsencr_fsenc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsencr_fsenc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsencr_mem.dir/nvm_device.cc.o"
+  "CMakeFiles/fsencr_mem.dir/nvm_device.cc.o.d"
+  "libfsencr_mem.a"
+  "libfsencr_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsencr_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsencr_os.dir/kernel.cc.o"
+  "CMakeFiles/fsencr_os.dir/kernel.cc.o.d"
+  "libfsencr_os.a"
+  "libfsencr_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsencr_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsencr_secmem.dir/merkle_tree.cc.o"
+  "CMakeFiles/fsencr_secmem.dir/merkle_tree.cc.o.d"
+  "CMakeFiles/fsencr_secmem.dir/metadata_cache.cc.o"
+  "CMakeFiles/fsencr_secmem.dir/metadata_cache.cc.o.d"
+  "libfsencr_secmem.a"
+  "libfsencr_secmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsencr_secmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fsencr_secmem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsencr_sim.dir/system.cc.o"
+  "CMakeFiles/fsencr_sim.dir/system.cc.o.d"
+  "libfsencr_sim.a"
+  "libfsencr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsencr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

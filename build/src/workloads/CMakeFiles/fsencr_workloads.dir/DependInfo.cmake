@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/btree_kv.cc" "src/workloads/CMakeFiles/fsencr_workloads.dir/btree_kv.cc.o" "gcc" "src/workloads/CMakeFiles/fsencr_workloads.dir/btree_kv.cc.o.d"
+  "/root/repo/src/workloads/ctree_kv.cc" "src/workloads/CMakeFiles/fsencr_workloads.dir/ctree_kv.cc.o" "gcc" "src/workloads/CMakeFiles/fsencr_workloads.dir/ctree_kv.cc.o.d"
+  "/root/repo/src/workloads/dax_micro.cc" "src/workloads/CMakeFiles/fsencr_workloads.dir/dax_micro.cc.o" "gcc" "src/workloads/CMakeFiles/fsencr_workloads.dir/dax_micro.cc.o.d"
+  "/root/repo/src/workloads/extra_workloads.cc" "src/workloads/CMakeFiles/fsencr_workloads.dir/extra_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/fsencr_workloads.dir/extra_workloads.cc.o.d"
+  "/root/repo/src/workloads/hashmap_kv.cc" "src/workloads/CMakeFiles/fsencr_workloads.dir/hashmap_kv.cc.o" "gcc" "src/workloads/CMakeFiles/fsencr_workloads.dir/hashmap_kv.cc.o.d"
+  "/root/repo/src/workloads/pmemkv_bench.cc" "src/workloads/CMakeFiles/fsencr_workloads.dir/pmemkv_bench.cc.o" "gcc" "src/workloads/CMakeFiles/fsencr_workloads.dir/pmemkv_bench.cc.o.d"
+  "/root/repo/src/workloads/whisper_bench.cc" "src/workloads/CMakeFiles/fsencr_workloads.dir/whisper_bench.cc.o" "gcc" "src/workloads/CMakeFiles/fsencr_workloads.dir/whisper_bench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fsencr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/fsencr_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/fsencr_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsenc/CMakeFiles/fsencr_fsenc.dir/DependInfo.cmake"
+  "/root/repo/build/src/secmem/CMakeFiles/fsencr_secmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/fsencr_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/fsencr_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fsencr_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fsencr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fsencr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsencr_workloads.dir/btree_kv.cc.o"
+  "CMakeFiles/fsencr_workloads.dir/btree_kv.cc.o.d"
+  "CMakeFiles/fsencr_workloads.dir/ctree_kv.cc.o"
+  "CMakeFiles/fsencr_workloads.dir/ctree_kv.cc.o.d"
+  "CMakeFiles/fsencr_workloads.dir/dax_micro.cc.o"
+  "CMakeFiles/fsencr_workloads.dir/dax_micro.cc.o.d"
+  "CMakeFiles/fsencr_workloads.dir/extra_workloads.cc.o"
+  "CMakeFiles/fsencr_workloads.dir/extra_workloads.cc.o.d"
+  "CMakeFiles/fsencr_workloads.dir/hashmap_kv.cc.o"
+  "CMakeFiles/fsencr_workloads.dir/hashmap_kv.cc.o.d"
+  "CMakeFiles/fsencr_workloads.dir/pmemkv_bench.cc.o"
+  "CMakeFiles/fsencr_workloads.dir/pmemkv_bench.cc.o.d"
+  "CMakeFiles/fsencr_workloads.dir/whisper_bench.cc.o"
+  "CMakeFiles/fsencr_workloads.dir/whisper_bench.cc.o.d"
+  "libfsencr_workloads.a"
+  "libfsencr_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsencr_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfsencr_workloads.a"
+)

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_anubis.cc" "tests/CMakeFiles/fsencr_tests.dir/test_anubis.cc.o" "gcc" "tests/CMakeFiles/fsencr_tests.dir/test_anubis.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/fsencr_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/fsencr_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/fsencr_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/fsencr_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_crypto.cc" "tests/CMakeFiles/fsencr_tests.dir/test_crypto.cc.o" "gcc" "tests/CMakeFiles/fsencr_tests.dir/test_crypto.cc.o.d"
+  "/root/repo/tests/test_extra.cc" "tests/CMakeFiles/fsencr_tests.dir/test_extra.cc.o" "gcc" "tests/CMakeFiles/fsencr_tests.dir/test_extra.cc.o.d"
+  "/root/repo/tests/test_fsenc.cc" "tests/CMakeFiles/fsencr_tests.dir/test_fsenc.cc.o" "gcc" "tests/CMakeFiles/fsencr_tests.dir/test_fsenc.cc.o.d"
+  "/root/repo/tests/test_kernel_edge.cc" "tests/CMakeFiles/fsencr_tests.dir/test_kernel_edge.cc.o" "gcc" "tests/CMakeFiles/fsencr_tests.dir/test_kernel_edge.cc.o.d"
+  "/root/repo/tests/test_lazy_rekey.cc" "tests/CMakeFiles/fsencr_tests.dir/test_lazy_rekey.cc.o" "gcc" "tests/CMakeFiles/fsencr_tests.dir/test_lazy_rekey.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/fsencr_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/fsencr_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_migration.cc" "tests/CMakeFiles/fsencr_tests.dir/test_migration.cc.o" "gcc" "tests/CMakeFiles/fsencr_tests.dir/test_migration.cc.o.d"
+  "/root/repo/tests/test_os_fs.cc" "tests/CMakeFiles/fsencr_tests.dir/test_os_fs.cc.o" "gcc" "tests/CMakeFiles/fsencr_tests.dir/test_os_fs.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/fsencr_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/fsencr_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_secmem.cc" "tests/CMakeFiles/fsencr_tests.dir/test_secmem.cc.o" "gcc" "tests/CMakeFiles/fsencr_tests.dir/test_secmem.cc.o.d"
+  "/root/repo/tests/test_security_scenarios.cc" "tests/CMakeFiles/fsencr_tests.dir/test_security_scenarios.cc.o" "gcc" "tests/CMakeFiles/fsencr_tests.dir/test_security_scenarios.cc.o.d"
+  "/root/repo/tests/test_stress.cc" "tests/CMakeFiles/fsencr_tests.dir/test_stress.cc.o" "gcc" "tests/CMakeFiles/fsencr_tests.dir/test_stress.cc.o.d"
+  "/root/repo/tests/test_swenc.cc" "tests/CMakeFiles/fsencr_tests.dir/test_swenc.cc.o" "gcc" "tests/CMakeFiles/fsencr_tests.dir/test_swenc.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/fsencr_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/fsencr_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/fsencr_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/fsencr_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/fsencr_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/fsencr_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/fsencr_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fsencr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/fsencr_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/fsencr_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsenc/CMakeFiles/fsencr_fsenc.dir/DependInfo.cmake"
+  "/root/repo/build/src/secmem/CMakeFiles/fsencr_secmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/fsencr_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/fsencr_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fsencr_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fsencr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fsencr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsencr_sim_cli.dir/fsencr_sim.cc.o"
+  "CMakeFiles/fsencr_sim_cli.dir/fsencr_sim.cc.o.d"
+  "fsencr-sim"
+  "fsencr-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsencr_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
