@@ -12,7 +12,8 @@ using namespace fsencr::bench;
 int
 main(int argc, char **argv)
 {
-    auto rows = runPmemkvRows(quickMode(argc, argv));
+    auto rows = runPmemkvRows(quickMode(argc, argv),
+                              benchJobs(argc, argv));
     printFigure("Figure 10: Number of reads (normalized to baseline): "
                 "PMEMKV benchmarks",
                 rows, Metric::Reads, Scheme::BaselineSecurity,

@@ -20,7 +20,7 @@ main(int argc, char **argv)
     std::vector<Scheme> schemes = {
         Scheme::NoEncryption, Scheme::BaselineSecurity, Scheme::FsEncr,
         Scheme::SoftwareEncryption};
-    auto rows = runWhisperRows(quick, schemes);
+    auto rows = runWhisperRows(quick, schemes, benchJobs(argc, argv));
 
     std::vector<Scheme> bars = {Scheme::NoEncryption, Scheme::FsEncr};
     printFigure("Figure 11(a): Normalized slowdown: Whisper", rows,

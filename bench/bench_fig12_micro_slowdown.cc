@@ -16,7 +16,8 @@ using namespace fsencr::bench;
 int
 main(int argc, char **argv)
 {
-    auto rows = runMicroRows(quickMode(argc, argv));
+    auto rows = runMicroRows(quickMode(argc, argv),
+                             benchJobs(argc, argv));
     printFigure("Figure 12: Slowdown (normalized to baseline): "
                 "synthetic micro-benchmarks",
                 rows, Metric::Slowdown, Scheme::BaselineSecurity,

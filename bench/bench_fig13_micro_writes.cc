@@ -12,7 +12,8 @@ using namespace fsencr::bench;
 int
 main(int argc, char **argv)
 {
-    auto rows = runMicroRows(quickMode(argc, argv));
+    auto rows = runMicroRows(quickMode(argc, argv),
+                             benchJobs(argc, argv));
     printFigure("Figure 13: Number of writes (normalized to "
                 "baseline): synthetic micro-benchmarks",
                 rows, Metric::Writes, Scheme::BaselineSecurity,

@@ -12,7 +12,8 @@ using namespace fsencr::bench;
 int
 main(int argc, char **argv)
 {
-    auto rows = runMicroRows(quickMode(argc, argv));
+    auto rows = runMicroRows(quickMode(argc, argv),
+                             benchJobs(argc, argv));
     printFigure("Figure 14: Number of reads (normalized to baseline): "
                 "synthetic micro-benchmarks",
                 rows, Metric::Reads, Scheme::BaselineSecurity,

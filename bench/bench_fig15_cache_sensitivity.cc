@@ -17,13 +17,14 @@ using namespace fsencr::bench;
 namespace {
 
 double
-slowdownAt(const WorkloadFactory &factory, std::size_t cache_bytes)
+slowdownAt(const WorkloadFactory &factory, std::size_t cache_bytes,
+           unsigned jobs)
 {
     SimConfig cfg;
     cfg.sec.metadataCacheBytes = cache_bytes;
     BenchRow row = runRow("sweep", factory,
                           {Scheme::BaselineSecurity, Scheme::FsEncr},
-                          cfg);
+                          cfg, jobs);
     double base = static_cast<double>(
         row.cells.at(Scheme::BaselineSecurity).ticks);
     double fsenc =
@@ -37,6 +38,7 @@ int
 main(int argc, char **argv)
 {
     bool quick = quickMode(argc, argv);
+    unsigned jobs = benchJobs(argc, argv);
 
     workloads::PmemkvConfig fill;
     fill.op = workloads::PmemkvOp::FillRandom;
@@ -91,7 +93,8 @@ main(int argc, char **argv)
         std::printf("%-14s",
                     (std::to_string(size >> 10) + "KB").c_str());
         for (const Line &l : lines)
-            std::printf(" %13.2f%%", slowdownAt(l.factory, size));
+            std::printf(" %13.2f%%",
+                        slowdownAt(l.factory, size, jobs));
         std::printf("\n");
     }
     return 0;

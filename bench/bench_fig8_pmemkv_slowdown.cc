@@ -15,7 +15,8 @@ using namespace fsencr::bench;
 int
 main(int argc, char **argv)
 {
-    auto rows = runPmemkvRows(quickMode(argc, argv));
+    auto rows = runPmemkvRows(quickMode(argc, argv),
+                              benchJobs(argc, argv));
     printFigure("Figure 8: Slowdown (normalized to baseline): "
                 "PMEMKV benchmarks",
                 rows, Metric::Slowdown, Scheme::BaselineSecurity,

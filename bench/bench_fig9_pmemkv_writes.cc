@@ -12,7 +12,8 @@ using namespace fsencr::bench;
 int
 main(int argc, char **argv)
 {
-    auto rows = runPmemkvRows(quickMode(argc, argv));
+    auto rows = runPmemkvRows(quickMode(argc, argv),
+                              benchJobs(argc, argv));
     printFigure("Figure 9: Number of writes (normalized to baseline): "
                 "PMEMKV benchmarks",
                 rows, Metric::Writes, Scheme::BaselineSecurity,

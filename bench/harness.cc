@@ -1,8 +1,13 @@
 #include "bench/harness.hh"
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
 
 namespace fsencr {
 namespace bench {
@@ -29,32 +34,122 @@ metricValue(const Cell &c, Metric m)
     return 0.0;
 }
 
-BenchRow
-runRow(const std::string &name, const WorkloadFactory &factory,
-       const std::vector<Scheme> &schemes, const SimConfig &base_cfg)
+namespace {
+
+unsigned
+parseJobs(const char *s)
 {
-    BenchRow row;
-    row.name = name;
-    for (Scheme scheme : schemes) {
+    char *end = nullptr;
+    unsigned long v = std::strtoul(s, &end, 10);
+    if (end == s || *end != '\0')
+        return 1;
+    if (v == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw ? hw : 1;
+    }
+    return static_cast<unsigned>(v);
+}
+
+} // namespace
+
+unsigned
+benchJobs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            return parseJobs(argv[i + 1]);
+        if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+            return parseJobs(argv[i] + 7);
+    }
+    if (const char *env = std::getenv("FSENCR_BENCH_JOBS"))
+        return parseJobs(env);
+    return 1;
+}
+
+std::vector<BenchRow>
+runRows(const std::vector<RowSpec> &specs,
+        const std::vector<Scheme> &schemes, const SimConfig &base_cfg,
+        unsigned jobs)
+{
+    struct Task
+    {
+        std::size_t row;
+        std::size_t scheme;
+    };
+    std::vector<Task> tasks;
+    tasks.reserve(specs.size() * schemes.size());
+    for (std::size_t r = 0; r < specs.size(); ++r)
+        for (std::size_t s = 0; s < schemes.size(); ++s)
+            tasks.push_back({r, s});
+
+    // Results land in fixed (row, scheme) slots, so assembly below is
+    // independent of which worker finished first.
+    std::vector<std::vector<Cell>> cells(
+        specs.size(), std::vector<Cell>(schemes.size()));
+
+    std::mutex log_mutex;
+    auto run_cell = [&](const Task &t) {
         SimConfig cfg = base_cfg;
-        cfg.scheme = scheme;
+        cfg.scheme = schemes[t.scheme];
         System sys(cfg);
-        auto w = factory();
+        auto w = specs[t.row].factory();
         auto t0 = std::chrono::steady_clock::now();
         workloads::WorkloadResult r = workloads::runWorkload(sys, *w);
         double host = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - t0)
                           .count();
-        std::fprintf(stderr, "  [%s / %s] %.2fs host\n", name.c_str(),
-                     schemeName(scheme), host);
+        {
+            std::lock_guard<std::mutex> lock(log_mutex);
+            std::fprintf(stderr, "  [%s / %s] %.2fs host\n",
+                         specs[t.row].name.c_str(),
+                         schemeName(cfg.scheme), host);
+        }
         Cell cell;
         cell.ticks = r.ticks;
         cell.nvmReads = r.nvmReads;
         cell.nvmWrites = r.nvmWrites;
         cell.operations = r.operations;
-        row.cells[scheme] = cell;
+        cells[t.row][t.scheme] = cell;
+    };
+
+    if (jobs <= 1 || tasks.size() <= 1) {
+        for (const Task &t : tasks)
+            run_cell(t);
+    } else {
+        std::atomic<std::size_t> next{0};
+        auto worker = [&]() {
+            for (;;) {
+                std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= tasks.size())
+                    return;
+                run_cell(tasks[i]);
+            }
+        };
+        unsigned n = std::min<std::size_t>(jobs, tasks.size());
+        std::vector<std::thread> pool;
+        pool.reserve(n);
+        for (unsigned i = 0; i < n; ++i)
+            pool.emplace_back(worker);
+        for (std::thread &th : pool)
+            th.join();
     }
-    return row;
+
+    std::vector<BenchRow> rows(specs.size());
+    for (std::size_t r = 0; r < specs.size(); ++r) {
+        rows[r].name = specs[r].name;
+        for (std::size_t s = 0; s < schemes.size(); ++s)
+            rows[r].cells[schemes[s]] = cells[r][s];
+    }
+    return rows;
+}
+
+BenchRow
+runRow(const std::string &name, const WorkloadFactory &factory,
+       const std::vector<Scheme> &schemes, const SimConfig &base_cfg,
+       unsigned jobs)
+{
+    return runRows({{name, factory}}, schemes, base_cfg, jobs).front();
 }
 
 double

@@ -3,6 +3,13 @@
  * Shared benchmark harness: runs a workload factory across protection
  * schemes on fresh Systems and prints paper-style normalized tables
  * (slowdown / NVM writes / NVM reads, Figures 3 and 8-15).
+ *
+ * Every (workload, scheme) cell is an independent simulation on a
+ * fresh System, so the harness can fan cells across a host thread
+ * pool. Parallelism is host-side only: cells are deterministic, and
+ * results are assembled in a fixed (row, scheme) order, so the
+ * reported ticks / NVM reads / NVM writes are bit-identical to a
+ * serial run at any job count.
  */
 
 #ifndef FSENCR_BENCH_HARNESS_HH
@@ -39,6 +46,13 @@ struct BenchRow
     std::map<Scheme, Cell> cells;
 };
 
+/** A named workload awaiting its scheme runs (input to runRows). */
+struct RowSpec
+{
+    std::string name;
+    WorkloadFactory factory;
+};
+
 /** Which quantity a figure plots. */
 enum class Metric { Slowdown, Writes, Reads };
 
@@ -48,13 +62,34 @@ const char *metricName(Metric m);
 double metricValue(const Cell &c, Metric m);
 
 /**
+ * Worker threads for a bench run: `--jobs N` / `--jobs=N` on the
+ * command line, else the FSENCR_BENCH_JOBS environment variable, else
+ * 1 (serial). N = 0 means "one per hardware thread".
+ */
+unsigned benchJobs(int argc, char **argv);
+
+/**
+ * Run every (row, scheme) cell, fanning cells across `jobs` worker
+ * threads (1 = serial). Each cell gets a fresh System and workload;
+ * output order and all measured values are independent of the job
+ * count.
+ *
+ * @param base_cfg configuration template; scheme is overridden
+ */
+std::vector<BenchRow> runRows(const std::vector<RowSpec> &specs,
+                              const std::vector<Scheme> &schemes,
+                              const SimConfig &base_cfg = SimConfig{},
+                              unsigned jobs = 1);
+
+/**
  * Run one workload under each scheme (fresh System per scheme).
  *
  * @param base_cfg configuration template; scheme is overridden
  */
 BenchRow runRow(const std::string &name, const WorkloadFactory &factory,
                 const std::vector<Scheme> &schemes,
-                const SimConfig &base_cfg = SimConfig{});
+                const SimConfig &base_cfg = SimConfig{},
+                unsigned jobs = 1);
 
 /**
  * Print a normalized figure: one line per row, one column per shown

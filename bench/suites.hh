@@ -1,8 +1,9 @@
 /**
  * @file
  * Shared suite builders for the figure benches. Every bench accepts
- * `--quick` to shrink workload sizes for smoke runs; full sizes
- * reproduce the paper's figures.
+ * `--quick` to shrink workload sizes for smoke runs (full sizes
+ * reproduce the paper's figures) and `--jobs N` (or FSENCR_BENCH_JOBS)
+ * to fan the independent (workload, scheme) cells across host threads.
  */
 
 #ifndef FSENCR_BENCH_SUITES_HH
@@ -39,49 +40,44 @@ paperSchemes()
 
 /** Run the PMEMKV suite (Figures 8-10 share these rows). */
 inline std::vector<BenchRow>
-runPmemkvRows(bool quick)
+runPmemkvRows(bool quick, unsigned jobs = 1)
 {
     std::uint64_t small_keys = quick ? 4096 : 32768;
     std::uint64_t large_keys = quick ? 256 : 2048;
-    std::vector<BenchRow> rows;
+    std::vector<RowSpec> specs;
     for (const auto &cfg :
          workloads::pmemkvSuite(small_keys, large_keys)) {
         workloads::PmemkvWorkload probe(cfg);
-        rows.push_back(runRow(
-            probe.name(),
-            [cfg]() {
-                return std::make_unique<workloads::PmemkvWorkload>(
-                    cfg);
-            },
-            paperSchemes()));
+        specs.push_back({probe.name(), [cfg]() {
+                             return std::make_unique<
+                                 workloads::PmemkvWorkload>(cfg);
+                         }});
     }
-    return rows;
+    return runRows(specs, paperSchemes(), SimConfig{}, jobs);
 }
 
 /** Run the Whisper suite (Figure 11 and Figure 3 share these). */
 inline std::vector<BenchRow>
-runWhisperRows(bool quick, const std::vector<Scheme> &schemes)
+runWhisperRows(bool quick, const std::vector<Scheme> &schemes,
+               unsigned jobs = 1)
 {
     std::uint64_t keys = quick ? 4096 : 32768;
-    std::vector<BenchRow> rows;
+    std::vector<RowSpec> specs;
     for (const auto &cfg : workloads::whisperSuite(keys)) {
         workloads::WhisperWorkload probe(cfg);
-        rows.push_back(runRow(
-            probe.name(),
-            [cfg]() {
-                return std::make_unique<workloads::WhisperWorkload>(
-                    cfg);
-            },
-            schemes));
+        specs.push_back({probe.name(), [cfg]() {
+                             return std::make_unique<
+                                 workloads::WhisperWorkload>(cfg);
+                         }});
     }
-    return rows;
+    return runRows(specs, schemes, SimConfig{}, jobs);
 }
 
 /** Run the DAX micro suite (Figures 12-14 share these rows). */
 inline std::vector<BenchRow>
-runMicroRows(bool quick)
+runMicroRows(bool quick, unsigned jobs = 1)
 {
-    std::vector<BenchRow> rows;
+    std::vector<RowSpec> specs;
     for (auto cfg : workloads::daxMicroSuite()) {
         if (quick) {
             // Still larger than the LLC so that writeback traffic
@@ -90,15 +86,12 @@ runMicroRows(bool quick)
             cfg.swapOps = 20000;
         }
         workloads::DaxMicroWorkload probe(cfg);
-        rows.push_back(runRow(
-            probe.name(),
-            [cfg]() {
-                return std::make_unique<workloads::DaxMicroWorkload>(
-                    cfg);
-            },
-            paperSchemes()));
+        specs.push_back({probe.name(), [cfg]() {
+                             return std::make_unique<
+                                 workloads::DaxMicroWorkload>(cfg);
+                         }});
     }
-    return rows;
+    return runRows(specs, paperSchemes(), SimConfig{}, jobs);
 }
 
 } // namespace bench

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Run the primitive micro-benchmarks (AES backends, pad generation,
+# cache/device/OTT/Merkle models) and save machine-readable JSON next
+# to the console table, for before/after throughput comparisons.
+#
+# Usage: scripts/bench_primitives_json.sh [output.json]
+#   BUILD_DIR    build tree holding bench/bench_primitives (default: build)
+#   BENCH_FILTER --benchmark_filter regex (default: everything)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_primitives.json}"
+BIN="${BUILD_DIR}/bench/bench_primitives"
+
+if [ ! -x "${BIN}" ]; then
+    echo "error: ${BIN} not built (cmake --build ${BUILD_DIR})" >&2
+    exit 1
+fi
+
+"${BIN}" \
+    --benchmark_filter="${BENCH_FILTER:-.}" \
+    --benchmark_out="${OUT}" \
+    --benchmark_out_format=json
+
+echo "wrote ${OUT}"

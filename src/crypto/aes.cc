@@ -2,6 +2,10 @@
 
 #include <cstring>
 
+#ifdef FSENCR_HAVE_AESNI
+#include "crypto/aes_backend.hh"
+#endif
+
 namespace fsencr {
 namespace crypto {
 
@@ -85,7 +89,7 @@ constexpr std::uint8_t rcon[11] = {
 };
 
 /** GF(2^8) multiply by x (i.e., {02}). */
-inline std::uint8_t
+constexpr std::uint8_t
 xtime(std::uint8_t a)
 {
     return static_cast<std::uint8_t>((a << 1) ^ ((a >> 7) * 0x1b));
@@ -105,11 +109,114 @@ gmul(std::uint8_t a, std::uint8_t b)
     return p;
 }
 
+/**
+ * Encryption T-tables. Te0[x] packs one MixColumns column of the
+ * substituted byte x as a big-endian word [02*S, S, S, 03*S]; Te1..Te3
+ * are byte rotations of Te0, so each round column is four table reads,
+ * four XORs and the round key.
+ */
+struct TTables
+{
+    std::uint32_t te0[256];
+    std::uint32_t te1[256];
+    std::uint32_t te2[256];
+    std::uint32_t te3[256];
+};
+
+constexpr TTables
+makeTTables()
+{
+    TTables t{};
+    for (unsigned i = 0; i < 256; ++i) {
+        std::uint8_t s = sbox[i];
+        std::uint8_t s2 = xtime(s);
+        std::uint8_t s3 = static_cast<std::uint8_t>(s2 ^ s);
+        std::uint32_t w = (static_cast<std::uint32_t>(s2) << 24) |
+                          (static_cast<std::uint32_t>(s) << 16) |
+                          (static_cast<std::uint32_t>(s) << 8) | s3;
+        t.te0[i] = w;
+        t.te1[i] = (w >> 8) | (w << 24);
+        t.te2[i] = (w >> 16) | (w << 16);
+        t.te3[i] = (w >> 24) | (w << 8);
+    }
+    return t;
+}
+
+constexpr TTables T = makeTTables();
+
+inline std::uint32_t
+loadBe32(const std::uint8_t *p)
+{
+    return (static_cast<std::uint32_t>(p[0]) << 24) |
+           (static_cast<std::uint32_t>(p[1]) << 16) |
+           (static_cast<std::uint32_t>(p[2]) << 8) |
+           static_cast<std::uint32_t>(p[3]);
+}
+
+inline void
+storeBe32(std::uint8_t *p, std::uint32_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v >> 24);
+    p[1] = static_cast<std::uint8_t>(v >> 16);
+    p[2] = static_cast<std::uint8_t>(v >> 8);
+    p[3] = static_cast<std::uint8_t>(v);
+}
+
 } // namespace
 
 Aes128::Aes128(const Block128 &key)
+    : backend_(bestBackend())
 {
     setKey(key);
+}
+
+Aes128::Aes128(const Block128 &key, Backend backend)
+    : backend_(bestBackend())
+{
+    setKey(key);
+    setBackend(backend);
+}
+
+Aes128::Aes128()
+    : backend_(bestBackend())
+{
+    setKey(Block128{});
+}
+
+bool
+Aes128::aesniAvailable()
+{
+#ifdef FSENCR_HAVE_AESNI
+    static const bool supported = detail::aesniCpuSupported();
+    return supported;
+#else
+    return false;
+#endif
+}
+
+Aes128::Backend
+Aes128::bestBackend()
+{
+    return aesniAvailable() ? Backend::AesNi : Backend::TTable;
+}
+
+void
+Aes128::setBackend(Backend backend)
+{
+    if (backend == Backend::AesNi && !aesniAvailable())
+        backend = Backend::TTable;
+    backend_ = backend;
+}
+
+const char *
+Aes128::backendName(Backend backend)
+{
+    switch (backend) {
+      case Backend::AesNi: return "aesni";
+      case Backend::TTable: return "ttable";
+      case Backend::Reference: return "reference";
+    }
+    return "?";
 }
 
 void
@@ -131,10 +238,101 @@ Aes128::setKey(const Block128 &key)
             roundKeys_[i * 4 + j] =
                 static_cast<std::uint8_t>(roundKeys_[(i - 4) * 4 + j] ^ t[j]);
     }
+    for (unsigned i = 0; i < roundKeyWords_.size(); ++i)
+        roundKeyWords_[i] = loadBe32(&roundKeys_[i * 4]);
 }
 
 Block128
 Aes128::encryptBlock(const Block128 &plain) const
+{
+    switch (backend_) {
+#ifdef FSENCR_HAVE_AESNI
+      case Backend::AesNi: {
+        Block128 out;
+        detail::aesniEncrypt(roundKeys_.data(), plain.data(),
+                             out.data());
+        return out;
+      }
+#else
+      case Backend::AesNi:
+#endif
+      case Backend::TTable:
+        return encryptBlockTTable(plain);
+      case Backend::Reference:
+        return encryptBlockRef(plain);
+    }
+    return encryptBlockTTable(plain);
+}
+
+void
+Aes128::encryptBlocks4(const Block128 in[4], Block128 out[4]) const
+{
+#ifdef FSENCR_HAVE_AESNI
+    if (backend_ == Backend::AesNi) {
+        // Block128 arrays are contiguous 16-byte elements.
+        detail::aesniEncrypt4(roundKeys_.data(), in[0].data(),
+                              out[0].data());
+        return;
+    }
+#endif
+    for (int i = 0; i < 4; ++i)
+        out[i] = encryptBlock(in[i]);
+}
+
+Block128
+Aes128::encryptBlockTTable(const Block128 &plain) const
+{
+    const std::uint32_t *rk = roundKeyWords_.data();
+    std::uint32_t s0 = loadBe32(plain.data() + 0) ^ rk[0];
+    std::uint32_t s1 = loadBe32(plain.data() + 4) ^ rk[1];
+    std::uint32_t s2 = loadBe32(plain.data() + 8) ^ rk[2];
+    std::uint32_t s3 = loadBe32(plain.data() + 12) ^ rk[3];
+    rk += 4;
+
+    for (unsigned round = 1; round < numRounds; ++round, rk += 4) {
+        std::uint32_t t0 = T.te0[s0 >> 24] ^ T.te1[(s1 >> 16) & 0xff] ^
+                           T.te2[(s2 >> 8) & 0xff] ^ T.te3[s3 & 0xff] ^
+                           rk[0];
+        std::uint32_t t1 = T.te0[s1 >> 24] ^ T.te1[(s2 >> 16) & 0xff] ^
+                           T.te2[(s3 >> 8) & 0xff] ^ T.te3[s0 & 0xff] ^
+                           rk[1];
+        std::uint32_t t2 = T.te0[s2 >> 24] ^ T.te1[(s3 >> 16) & 0xff] ^
+                           T.te2[(s0 >> 8) & 0xff] ^ T.te3[s1 & 0xff] ^
+                           rk[2];
+        std::uint32_t t3 = T.te0[s3 >> 24] ^ T.te1[(s0 >> 16) & 0xff] ^
+                           T.te2[(s1 >> 8) & 0xff] ^ T.te3[s2 & 0xff] ^
+                           rk[3];
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
+    }
+
+    // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+    auto last = [](std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                   std::uint32_t d) {
+        return (static_cast<std::uint32_t>(sbox[a >> 24]) << 24) |
+               (static_cast<std::uint32_t>(sbox[(b >> 16) & 0xff])
+                << 16) |
+               (static_cast<std::uint32_t>(sbox[(c >> 8) & 0xff])
+                << 8) |
+               static_cast<std::uint32_t>(sbox[d & 0xff]);
+    };
+    std::uint32_t o0 = last(s0, s1, s2, s3) ^ rk[0];
+    std::uint32_t o1 = last(s1, s2, s3, s0) ^ rk[1];
+    std::uint32_t o2 = last(s2, s3, s0, s1) ^ rk[2];
+    std::uint32_t o3 = last(s3, s0, s1, s2) ^ rk[3];
+
+    Block128 out;
+    storeBe32(out.data() + 0, o0);
+    storeBe32(out.data() + 4, o1);
+    storeBe32(out.data() + 8, o2);
+    storeBe32(out.data() + 12, o3);
+    return out;
+}
+
+Block128
+Aes128::encryptBlockRef(const Block128 &plain) const
 {
     std::uint8_t s[16];
     std::memcpy(s, plain.data(), 16);

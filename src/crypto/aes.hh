@@ -1,12 +1,30 @@
 /**
  * @file
- * AES-128 block cipher (FIPS-197), from scratch.
+ * AES-128 block cipher (FIPS-197), from scratch, with a tiered
+ * encryption engine.
  *
  * The simulator uses AES both functionally (real ciphertext lives in the
  * modeled NVM device, so security tests are meaningful) and as the
  * hardware engine whose latency Table III fixes at 40 ns. Only AES-128 is
  * needed: memory-encryption keys, file keys and the OTT key are all
  * 128-bit, matching the paper.
+ *
+ * Because every modeled 64B line costs 4-8 block encryptions, the host
+ * cost of simulation is dominated by this file. Three encryption
+ * backends share one key schedule:
+ *
+ *  - Reference: the byte-wise FIPS-197 textbook cipher. Slow, obviously
+ *    correct; always available and cross-checked against the fast paths
+ *    in the test suite.
+ *  - TTable: the classic four 1KB lookup tables that fold SubBytes,
+ *    ShiftRows and MixColumns into four table reads + XORs per column.
+ *  - AesNi: hardware AESENC rounds, compiled only when the toolchain
+ *    targets x86-64 (guarded by FSENCR_HAVE_AESNI) and selected only
+ *    when CPUID reports AES support at runtime.
+ *
+ * Encryption dispatches on the selected backend; decryption always uses
+ * the reference inverse cipher (it only runs on cold paths: key
+ * unwrapping and OTT spill-slot opens).
  */
 
 #ifndef FSENCR_CRYPTO_AES_HH
@@ -26,24 +44,65 @@ using Block128 = std::array<std::uint8_t, 16>;
 class Aes128
 {
   public:
-    /** Expand the given 16-byte key. */
+    /** Selectable encryption implementations (fastest-first). */
+    enum class Backend { AesNi, TTable, Reference };
+
+    /** Expand the given 16-byte key; encrypt via the best backend. */
     explicit Aes128(const Block128 &key);
+
+    /** Expand the given key with an explicit backend (tests, benches). */
+    Aes128(const Block128 &key, Backend backend);
+
+    /** Zero-key schedule (for containers); setKey() before real use. */
+    Aes128();
 
     /** Encrypt one 16-byte block (ECB primitive). */
     Block128 encryptBlock(const Block128 &plain) const;
 
-    /** Decrypt one 16-byte block (ECB primitive). */
+    /**
+     * Encrypt four independent blocks (one 64B counter-mode pad).
+     * The AES-NI path pipelines the four streams through the AES unit;
+     * the table paths simply loop. Same result as four encryptBlock
+     * calls.
+     */
+    void encryptBlocks4(const Block128 in[4], Block128 out[4]) const;
+
+    /** Decrypt one 16-byte block (ECB primitive, reference path). */
     Block128 decryptBlock(const Block128 &cipher) const;
 
     /** Re-key in place. */
     void setKey(const Block128 &key);
 
+    /** The backend this engine encrypts with. */
+    Backend backend() const { return backend_; }
+
+    /** Force a specific backend (AesNi silently degrades to TTable
+     *  when unavailable). */
+    void setBackend(Backend backend);
+
+    /** Fastest backend available on this build + host. */
+    static Backend bestBackend();
+
+    /** True iff hardware AES is compiled in and the CPU supports it. */
+    static bool aesniAvailable();
+
+    /** Human-readable backend name. */
+    static const char *backendName(Backend backend);
+
+    /** Byte-wise FIPS-197 reference encryption (cross-check anchor). */
+    Block128 encryptBlockRef(const Block128 &plain) const;
+
     /** Rounds for AES-128. */
     static constexpr unsigned numRounds = 10;
 
   private:
+    Block128 encryptBlockTTable(const Block128 &plain) const;
+
     /** 11 round keys x 16 bytes. */
     std::array<std::uint8_t, 16 * (numRounds + 1)> roundKeys_;
+    /** The same schedule as big-endian words for the T-table path. */
+    std::array<std::uint32_t, 4 * (numRounds + 1)> roundKeyWords_;
+    Backend backend_;
 };
 
 } // namespace crypto

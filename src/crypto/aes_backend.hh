@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Internal interface between the Aes128 dispatcher (aes.cc) and the
+ * hardware AES-NI translation unit (aes_ni.cc). aes_ni.cc is compiled
+ * with -maes on x86-64 hosts only; the rest of the library never needs
+ * those ISA flags, so the intrinsics stay quarantined behind this
+ * boundary. Not installed / not for use outside src/crypto.
+ */
+
+#ifndef FSENCR_CRYPTO_AES_BACKEND_HH
+#define FSENCR_CRYPTO_AES_BACKEND_HH
+
+#include <cstdint>
+
+namespace fsencr {
+namespace crypto {
+namespace detail {
+
+/** True iff this CPU executes AESENC (checked once, cached by caller). */
+bool aesniCpuSupported();
+
+/** Encrypt one block with the given 11x16B expanded schedule. */
+void aesniEncrypt(const std::uint8_t *round_keys, const std::uint8_t *in,
+                  std::uint8_t *out);
+
+/** Encrypt four independent blocks, interleaved through the AES unit. */
+void aesniEncrypt4(const std::uint8_t *round_keys, const std::uint8_t *in,
+                   std::uint8_t *out);
+
+} // namespace detail
+} // namespace crypto
+} // namespace fsencr
+
+#endif // FSENCR_CRYPTO_AES_BACKEND_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Small LRU cache of expanded AES key schedules (host-side only).
+ *
+ * Counter-mode pad generation runs for every modeled line access but
+ * the set of live keys at any instant is tiny, so re-expanding the
+ * schedule per line (10 rounds of SubWord/Rcon) wastes most of the pad
+ * cost. Entries are keyed by the 128-bit key value itself, so a stale
+ * entry can never decrypt with the wrong schedule — a re-keyed file
+ * simply misses and expands its new key. Explicit invalidation (re-key,
+ * lazy-rekey completion, shred, lock, capsule import) is hygiene: it
+ * drops dead schedules so retired key material does not linger in host
+ * memory.
+ *
+ * This cache models no hardware and charges no ticks; the modeled AES
+ * latency is unchanged wherever it is used.
+ */
+
+#ifndef FSENCR_CRYPTO_AES_CACHE_HH
+#define FSENCR_CRYPTO_AES_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/aes.hh"
+
+namespace fsencr {
+namespace crypto {
+
+/** LRU cache of keyed Aes128 engines, keyed by key value. */
+class AesContextCache
+{
+  public:
+    explicit AesContextCache(std::size_t capacity = 16)
+        : slots_(capacity)
+    {}
+
+    /**
+     * Return a keyed engine, expanding and caching it on a miss. The
+     * reference stays valid until a later get() evicts the slot; copy
+     * the engine when holding it across other lookups.
+     */
+    const Aes128 &
+    get(const Block128 &key, bool *hit = nullptr)
+    {
+        // Invalid slots carry lastUse == 0, so a plain minimum finds
+        // a free slot before evicting the least-recently-used one.
+        Slot *victim = &slots_[0];
+        for (Slot &s : slots_) {
+            if (s.valid && s.key == key) {
+                s.lastUse = ++clock_;
+                if (hit)
+                    *hit = true;
+                return s.aes;
+            }
+            if (s.lastUse < victim->lastUse)
+                victim = &s;
+        }
+        if (hit)
+            *hit = false;
+        victim->valid = true;
+        victim->key = key;
+        victim->aes.setKey(key);
+        victim->lastUse = ++clock_;
+        return victim->aes;
+    }
+
+    /** Drop one key's schedule (no-op if absent). */
+    void
+    invalidate(const Block128 &key)
+    {
+        for (Slot &s : slots_) {
+            if (s.valid && s.key == key) {
+                s.valid = false;
+                s.lastUse = 0;
+            }
+        }
+    }
+
+    /** Drop every cached schedule. */
+    void
+    invalidateAll()
+    {
+        for (Slot &s : slots_) {
+            s.valid = false;
+            s.lastUse = 0;
+        }
+    }
+
+    /** Number of cached schedules (tests). */
+    std::size_t
+    size() const
+    {
+        std::size_t n = 0;
+        for (const Slot &s : slots_)
+            n += s.valid;
+        return n;
+    }
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+        Block128 key{};
+        Aes128 aes;
+    };
+    std::vector<Slot> slots_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace crypto
+} // namespace fsencr
+
+#endif // FSENCR_CRYPTO_AES_CACHE_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Hardware AES-128 encryption via AES-NI. This translation unit is the
+ * only one compiled with -maes (see src/crypto/CMakeLists.txt); callers
+ * must gate on aesniCpuSupported() before using the encrypt entry
+ * points, so the intrinsics never execute on hosts without the ISA.
+ */
+
+#include "crypto/aes_backend.hh"
+
+#include <wmmintrin.h>
+
+namespace fsencr {
+namespace crypto {
+namespace detail {
+
+bool
+aesniCpuSupported()
+{
+    return __builtin_cpu_supports("aes") &&
+           __builtin_cpu_supports("sse2");
+}
+
+namespace {
+
+inline void
+loadSchedule(const std::uint8_t *round_keys, __m128i k[11])
+{
+    for (int r = 0; r < 11; ++r)
+        k[r] = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(round_keys + 16 * r));
+}
+
+} // namespace
+
+void
+aesniEncrypt(const std::uint8_t *round_keys, const std::uint8_t *in,
+             std::uint8_t *out)
+{
+    __m128i k[11];
+    loadSchedule(round_keys, k);
+    __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i *>(in));
+    b = _mm_xor_si128(b, k[0]);
+    for (int r = 1; r < 10; ++r)
+        b = _mm_aesenc_si128(b, k[r]);
+    b = _mm_aesenclast_si128(b, k[10]);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(out), b);
+}
+
+void
+aesniEncrypt4(const std::uint8_t *round_keys, const std::uint8_t *in,
+              std::uint8_t *out)
+{
+    __m128i k[11];
+    loadSchedule(round_keys, k);
+    const __m128i *src = reinterpret_cast<const __m128i *>(in);
+    __m128i b0 = _mm_xor_si128(_mm_loadu_si128(src + 0), k[0]);
+    __m128i b1 = _mm_xor_si128(_mm_loadu_si128(src + 1), k[0]);
+    __m128i b2 = _mm_xor_si128(_mm_loadu_si128(src + 2), k[0]);
+    __m128i b3 = _mm_xor_si128(_mm_loadu_si128(src + 3), k[0]);
+    // Four independent streams keep the AES unit's pipeline full: the
+    // per-round latency of AESENC hides behind the other three lanes.
+    for (int r = 1; r < 10; ++r) {
+        b0 = _mm_aesenc_si128(b0, k[r]);
+        b1 = _mm_aesenc_si128(b1, k[r]);
+        b2 = _mm_aesenc_si128(b2, k[r]);
+        b3 = _mm_aesenc_si128(b3, k[r]);
+    }
+    b0 = _mm_aesenclast_si128(b0, k[10]);
+    b1 = _mm_aesenclast_si128(b1, k[10]);
+    b2 = _mm_aesenclast_si128(b2, k[10]);
+    b3 = _mm_aesenclast_si128(b3, k[10]);
+    __m128i *dst = reinterpret_cast<__m128i *>(out);
+    _mm_storeu_si128(dst + 0, b0);
+    _mm_storeu_si128(dst + 1, b1);
+    _mm_storeu_si128(dst + 2, b2);
+    _mm_storeu_si128(dst + 3, b3);
+}
+
+} // namespace detail
+} // namespace crypto
+} // namespace fsencr

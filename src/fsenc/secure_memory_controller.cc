@@ -49,6 +49,8 @@ SecureMemoryController::SecureMemoryController(const SimConfig &cfg,
     statGroup_.addScalar("lazyRekeyedPages", lazyRekeyedPages_);
     statGroup_.addScalar("missingKeyAccesses", missingKeyAccesses_);
     statGroup_.addScalar("integrityViolations", integrityViolations_);
+    statGroup_.addScalar("fileAesCacheHits", fileAesCacheHits_);
+    statGroup_.addScalar("fileAesCacheMisses", fileAesCacheMisses_);
     statGroup_.addHistogram("readLatency", readLatency_);
     statGroup_.addHistogram("writeLatency", writeLatency_);
 }
@@ -65,18 +67,36 @@ SecureMemoryController::memPad(Addr line_addr, const Mecb &mecb,
     return crypto::makeOtp(memAes_, iv);
 }
 
-crypto::Line
-SecureMemoryController::filePad(Addr line_addr, const Fecb &fecb,
-                                unsigned blk,
-                                const crypto::Key128 &key) const
+crypto::CtrIv
+SecureMemoryController::fileIv(Addr line_addr, const Fecb &fecb,
+                               unsigned blk) const
 {
-    crypto::Aes128 aes(key);
     crypto::CtrIv iv;
     iv.pageId = pageNumber(line_addr);
     iv.pageOffset = blk;
     iv.major = fecb.major;
     iv.minor = fecb.minors.minor[blk];
-    return crypto::makeOtp(aes, iv);
+    return iv;
+}
+
+const crypto::Aes128 &
+SecureMemoryController::fileAes(const crypto::Key128 &key) const
+{
+    bool hit = false;
+    const crypto::Aes128 &aes = fileAesCache_.get(key, &hit);
+    if (hit)
+        ++fileAesCacheHits_;
+    else
+        ++fileAesCacheMisses_;
+    return aes;
+}
+
+crypto::Line
+SecureMemoryController::filePad(Addr line_addr, const Fecb &fecb,
+                                unsigned blk,
+                                const crypto::Key128 &key) const
+{
+    return crypto::makeOtp(fileAes(key), fileIv(line_addr, fecb, blk));
 }
 
 void
@@ -508,13 +528,16 @@ SecureMemoryController::reencryptPage(Addr page_addr,
     ++pageReencryptions_;
 
     bool dax = old_fecb != nullptr;
-    crypto::Key128 file_key{};
     bool have_file_key = false;
+    // One schedule expansion for the whole 64-line page, not one per
+    // filePad call (a local copy: the cache slot may be evicted by
+    // unrelated lookups while the loop runs).
+    crypto::Aes128 file_engine;
     if (dax && !fsencLocked_) {
         OttLookupResult key = lookupFileKey(*old_fecb, now);
         if (key.found) {
             have_file_key = true;
-            file_key = key.key;
+            file_engine = fileAes(key.key);
         }
     }
 
@@ -534,7 +557,8 @@ SecureMemoryController::reencryptPage(Addr page_addr,
         crypto::Line pad = memPad(line, old_mecb, blk);
         crypto::xorLine(buf, pad);
         if (have_file_key) {
-            crypto::Line fpad = filePad(line, *old_fecb, blk, file_key);
+            crypto::Line fpad = crypto::makeOtp(
+                file_engine, fileIv(line, *old_fecb, blk));
             crypto::xorLine(buf, fpad);
         }
 
@@ -542,7 +566,8 @@ SecureMemoryController::reencryptPage(Addr page_addr,
         pad = memPad(line, new_mecb, blk);
         crypto::xorLine(buf, pad);
         if (have_file_key && new_fecb) {
-            crypto::Line fpad = filePad(line, *new_fecb, blk, file_key);
+            crypto::Line fpad = crypto::makeOtp(
+                file_engine, fileIv(line, *new_fecb, blk));
             crypto::xorLine(buf, fpad);
         }
         device_.writeLine(line, buf);
@@ -580,6 +605,9 @@ SecureMemoryController::mmioRemoveFileKey(std::uint32_t gid,
 {
     if (!cfg_.hasFsEncr())
         return 0;
+    // Deleted file: its key may still sit in the context cache keyed
+    // by value; shedding every schedule is cheap and deletion is rare.
+    fileAesCache_.invalidateAll();
     return ott_->remove(gid & Fecb::groupIdMask,
                         fid & Fecb::fileIdMask, now);
 }
@@ -623,8 +651,12 @@ SecureMemoryController::mmioAdminLogin(const crypto::Key128 &credential)
         return;
     }
     fsencLocked_ = credential != *adminCredential_;
-    if (fsencLocked_)
+    if (fsencLocked_) {
         warn("admin credential mismatch: FsEncr decryption locked");
+        // Locked: no file pads may be produced, so no expanded file
+        // schedule should survive in host memory either.
+        fileAesCache_.invalidateAll();
+    }
 }
 
 Tick
@@ -635,6 +667,9 @@ SecureMemoryController::mmioReplaceFileKey(std::uint32_t gid,
 {
     if (!cfg_.hasFsEncr())
         return 0;
+    // Eager re-key: the replaced key is dead once rekeyPage sweeps
+    // the file, so drop stale schedules wholesale.
+    fileAesCache_.invalidateAll();
     return ott_->insert(gid & Fecb::groupIdMask,
                         fid & Fecb::fileIdMask, new_key, now,
                         cfg_.sec.ottLogImmediately);
@@ -668,14 +703,17 @@ SecureMemoryController::lazyRekeyOnWrite(const Fecb &fecb,
     // Re-encrypt the page in place: counters are untouched, only the
     // file-layer pad flips from the old key to the new one.
     ++lazyRekeyedPages_;
+    crypto::Aes128 old_engine = fileAes(it->second.oldKey);
+    crypto::Aes128 new_engine = fileAes(new_key);
     Tick lat = 0;
     for (unsigned blk = 0; blk < blocksPerPage; ++blk) {
         Addr l = page + blk * blockSize;
         std::uint8_t buf[blockSize];
         device_.readLine(l, buf);
         crypto::Line old_pad =
-            filePad(l, fecb, blk, it->second.oldKey);
-        crypto::Line new_pad = filePad(l, fecb, blk, new_key);
+            crypto::makeOtp(old_engine, fileIv(l, fecb, blk));
+        crypto::Line new_pad =
+            crypto::makeOtp(new_engine, fileIv(l, fecb, blk));
         crypto::xorLine(buf, old_pad);
         crypto::xorLine(buf, new_pad);
         device_.writeLine(l, buf);
@@ -693,8 +731,12 @@ SecureMemoryController::lazyRekeyOnWrite(const Fecb &fecb,
     }
 
     it->second.pendingPages.erase(page);
-    if (it->second.pendingPages.empty())
+    if (it->second.pendingPages.empty()) {
+        // Lazy re-key complete: the old key is dead, drop its
+        // schedule from the context cache.
+        fileAesCache_.invalidate(it->second.oldKey);
         lazyRekeys_.erase(it);
+    }
     return lat;
 }
 
@@ -752,14 +794,18 @@ SecureMemoryController::rekeyPage(Addr page_addr,
         fatal("rekeyPage: no current key for (%u, %u)", fecb.groupId,
               fecb.fileId);
 
+    crypto::Aes128 old_engine = fileAes(old_key);
+    crypto::Aes128 new_engine = fileAes(key.key);
     Tick total = lat;
     for (unsigned blk = 0; blk < blocksPerPage; ++blk) {
         Addr l = pageAlign(line) + blk * blockSize;
         std::uint8_t buf[blockSize];
         device_.readLine(l, buf);
         crypto::Line mpad = memPad(l, mecb, blk);
-        crypto::Line old_fpad = filePad(l, fecb, blk, old_key);
-        crypto::Line new_fpad = filePad(l, fecb, blk, key.key);
+        crypto::Line old_fpad =
+            crypto::makeOtp(old_engine, fileIv(l, fecb, blk));
+        crypto::Line new_fpad =
+            crypto::makeOtp(new_engine, fileIv(l, fecb, blk));
         crypto::xorLine(buf, old_fpad);
         crypto::xorLine(buf, new_fpad);
         (void)mpad; // memory layer unchanged: old^new file pads suffice
@@ -776,6 +822,8 @@ SecureMemoryController::rekeyPage(Addr page_addr,
         wreq.cls = TrafficClass::Data;
         total += device_.access(wreq, now + total);
     }
+    // The old key no longer decrypts anything on this page.
+    fileAesCache_.invalidate(old_key);
     return total;
 }
 
@@ -808,6 +856,10 @@ SecureMemoryController::shredPage(Addr page_addr, Tick now)
     // architecturally, so post-crash recovery must not resurrect it.
     for (unsigned blk = 0; blk < blocksPerPage; ++blk)
         device_.clearEcc(line + blk * blockSize);
+
+    // Secure deletion also sheds any cached schedule whose key covered
+    // the shredded page (coarse: shred is rare, expansion is cheap).
+    fileAesCache_.invalidateAll();
 
     persistPageCounters(line, cfg_.hasFsEncr() && pmem, now + lat);
     return lat;
@@ -1020,6 +1072,7 @@ SecureMemoryController::importCapsule(const SecurityCapsule &capsule)
     memKey_ = capsule.memKey;
     memAes_.setKey(memKey_);
     ottKeyValue_ = capsule.ottKey;
+    fileAesCache_.invalidateAll();
     if (cfg_.hasFsEncr() && ott_) {
         // The transported spill region becomes readable under the
         // imported OTT key; the new machine's on-chip array is empty.

@@ -30,6 +30,7 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "crypto/aes_cache.hh"
 #include "crypto/ctr_mode.hh"
 #include "crypto/key.hh"
 #include "fsenc/ott.hh"
@@ -50,6 +51,7 @@ class IntegrityError : public std::runtime_error
         : std::runtime_error(msg)
     {}
 };
+
 
 /** The memory controller with layered encryption support. */
 class SecureMemoryController
@@ -242,6 +244,18 @@ class SecureMemoryController
     MetadataCache &metadataCache() { return *metaCache_; }
     NvmDevice &device() { return device_; }
     const PhysLayout &layout() const { return layout_; }
+    const crypto::AesContextCache &fileKeyCache() const
+    {
+        return fileAesCache_;
+    }
+    std::uint64_t fileAesCacheHits() const
+    {
+        return fileAesCacheHits_.value();
+    }
+    std::uint64_t fileAesCacheMisses() const
+    {
+        return fileAesCacheMisses_.value();
+    }
     /// @}
 
     stats::StatGroup &statGroup() { return statGroup_; }
@@ -280,6 +294,19 @@ class SecureMemoryController
     crypto::Line filePad(Addr line_addr, const Fecb &fecb, unsigned blk,
                          const crypto::Key128 &key) const;
 
+    /** The file-layer IV for a line version (shared by the per-line
+     *  path and the hoisted page loops). */
+    crypto::CtrIv fileIv(Addr line_addr, const Fecb &fecb,
+                         unsigned blk) const;
+
+    /**
+     * Keyed engine for a file key, served from the AES-context cache
+     * (schedule expanded at most once per key between invalidations).
+     * The reference is only guaranteed until the next fileAes() call;
+     * page-granular loops copy the engine into a local.
+     */
+    const crypto::Aes128 &fileAes(const crypto::Key128 &key) const;
+
     /** Persist both counter blocks of a DAX page together (keeps the
      *  Osiris probe one-dimensional; see DESIGN.md). */
     void persistPageCounters(Addr line_addr, bool dax, Tick now);
@@ -307,6 +334,8 @@ class SecureMemoryController
     crypto::Key128 memKey_;
     crypto::Key128 ottKeyValue_;
     crypto::Aes128 memAes_;
+    /** Expanded file-key schedules; const paths (readLine) hit it. */
+    mutable crypto::AesContextCache fileAesCache_;
     std::optional<crypto::Key128> adminCredential_;
     bool fsencLocked_ = false;
 
@@ -362,6 +391,8 @@ class SecureMemoryController
     stats::Scalar lazyRekeyedPages_;
     stats::Scalar missingKeyAccesses_;
     stats::Scalar integrityViolations_;
+    mutable stats::Scalar fileAesCacheHits_;
+    mutable stats::Scalar fileAesCacheMisses_;
     stats::Histogram readLatency_;
     stats::Histogram writeLatency_;
 };

@@ -50,7 +50,7 @@ System::applySwencSeal(Addr line_addr, std::uint8_t *buf)
     // CTR pad keyed by the FEK over (page, block) with no freshness
     // counter — rewriting a page reuses its pad, one of the scheme's
     // documented weaknesses relative to FsEncr.
-    crypto::Aes128 aes(*fek);
+    const crypto::Aes128 &aes = swencAesCache_.get(*fek);
     Addr line = blockAlign(stripDfBit(line_addr));
     crypto::Line pad = crypto::makeOtp(
         aes, {pageNumber(line), blockInPage(line), 0, 0});

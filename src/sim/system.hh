@@ -221,6 +221,9 @@ class System : public WritebackSink
     std::unique_ptr<Kernel> kernel_;
     std::unique_ptr<CacheHierarchy> caches_;
     std::unique_ptr<SwEncLayer> swenc_;
+    /** Expanded FEK schedules for the software-encryption seal path
+     *  (host-side only; charges no modeled ticks). */
+    crypto::AesContextCache swencAesCache_;
     std::vector<std::unique_ptr<Core>> cores_;
 
     /** Plaintext architectural image (what the CPU sees). */

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Bench-harness tests: the thread-pool fan-out must report results
+ * bit-identical to a serial run (parallelism is host-side only and
+ * must never leak into modeled numbers), and the --jobs knob must
+ * parse its documented forms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "bench/harness.hh"
+#include "workloads/dax_micro.hh"
+#include "workloads/pmemkv_bench.hh"
+
+using namespace fsencr;
+using namespace fsencr::bench;
+
+namespace {
+
+/** Two tiny workloads — enough cells to exercise the pool. */
+std::vector<RowSpec>
+tinySpecs()
+{
+    workloads::PmemkvConfig kv;
+    kv.op = workloads::PmemkvOp::FillSeq;
+    kv.numKeys = 128;
+    kv.numOps = 128;
+    kv.valueBytes = 64;
+
+    workloads::DaxMicroConfig dax;
+    dax.kind = workloads::DaxMicroKind::Dax1;
+    dax.spanBytes = 256 << 10;
+
+    return {
+        {"kv-fillseq", [kv]() {
+             return std::make_unique<workloads::PmemkvWorkload>(kv);
+         }},
+        {"dax1", [dax]() {
+             return std::make_unique<workloads::DaxMicroWorkload>(dax);
+         }},
+    };
+}
+
+std::vector<Scheme>
+allSchemes()
+{
+    return {Scheme::NoEncryption, Scheme::BaselineSecurity,
+            Scheme::FsEncr};
+}
+
+} // namespace
+
+TEST(BenchHarness, ParallelRunIsBitIdenticalToSerial)
+{
+    auto specs = tinySpecs();
+    auto schemes = allSchemes();
+
+    std::vector<BenchRow> serial = runRows(specs, schemes, SimConfig{},
+                                           /*jobs=*/1);
+    std::vector<BenchRow> threaded = runRows(specs, schemes,
+                                             SimConfig{}, /*jobs=*/4);
+
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (std::size_t r = 0; r < serial.size(); ++r) {
+        EXPECT_EQ(serial[r].name, threaded[r].name);
+        ASSERT_EQ(serial[r].cells.size(), threaded[r].cells.size());
+        for (Scheme s : schemes) {
+            const Cell &a = serial[r].cells.at(s);
+            const Cell &b = threaded[r].cells.at(s);
+            EXPECT_EQ(a.ticks, b.ticks)
+                << serial[r].name << " / " << schemeName(s);
+            EXPECT_EQ(a.nvmReads, b.nvmReads)
+                << serial[r].name << " / " << schemeName(s);
+            EXPECT_EQ(a.nvmWrites, b.nvmWrites)
+                << serial[r].name << " / " << schemeName(s);
+            EXPECT_EQ(a.operations, b.operations)
+                << serial[r].name << " / " << schemeName(s);
+        }
+    }
+}
+
+TEST(BenchHarness, RepeatedSerialRunsAgree)
+{
+    // The determinism the parallel test relies on: two fresh serial
+    // runs of the same cell report identical numbers.
+    auto specs = tinySpecs();
+    std::vector<Scheme> one{Scheme::FsEncr};
+
+    BenchRow a = runRows(specs, one)[0];
+    BenchRow b = runRows(specs, one)[0];
+    EXPECT_EQ(a.cells.at(Scheme::FsEncr).ticks,
+              b.cells.at(Scheme::FsEncr).ticks);
+    EXPECT_EQ(a.cells.at(Scheme::FsEncr).nvmWrites,
+              b.cells.at(Scheme::FsEncr).nvmWrites);
+}
+
+TEST(BenchHarness, JobsFlagParsing)
+{
+    // Keep the environment out of the flag tests.
+    unsetenv("FSENCR_BENCH_JOBS");
+
+    {
+        char a0[] = "bench", a1[] = "--jobs", a2[] = "3";
+        char *argv[] = {a0, a1, a2};
+        EXPECT_EQ(benchJobs(3, argv), 3u);
+    }
+    {
+        char a0[] = "bench", a1[] = "--jobs=5";
+        char *argv[] = {a0, a1};
+        EXPECT_EQ(benchJobs(2, argv), 5u);
+    }
+    {
+        // 0 means "one thread per hardware thread" — at least one.
+        char a0[] = "bench", a1[] = "--jobs=0";
+        char *argv[] = {a0, a1};
+        EXPECT_GE(benchJobs(2, argv), 1u);
+    }
+    {
+        char a0[] = "bench", a1[] = "--jobs=junk";
+        char *argv[] = {a0, a1};
+        EXPECT_EQ(benchJobs(2, argv), 1u);
+    }
+    {
+        char a0[] = "bench";
+        char *argv[] = {a0};
+        EXPECT_EQ(benchJobs(1, argv), 1u);
+    }
+}
+
+TEST(BenchHarness, JobsEnvFallback)
+{
+    setenv("FSENCR_BENCH_JOBS", "6", 1);
+    char a0[] = "bench";
+    char *argv[] = {a0};
+    EXPECT_EQ(benchJobs(1, argv), 6u);
+
+    // Command line wins over the environment.
+    char b1[] = "--jobs=2";
+    char *argv2[] = {a0, b1};
+    EXPECT_EQ(benchJobs(2, argv2), 2u);
+    unsetenv("FSENCR_BENCH_JOBS");
+}

@@ -10,6 +10,7 @@
 
 #include "common/rng.hh"
 #include "crypto/aes.hh"
+#include "crypto/aes_cache.hh"
 #include "crypto/ctr_mode.hh"
 #include "crypto/key.hh"
 #include "crypto/sha256.hh"
@@ -87,6 +88,199 @@ TEST(Aes128, RekeyChangesCiphertext)
     aes.setKey(randomKey(rng));
     Block128 c2 = aes.encryptBlock(p);
     EXPECT_NE(c1, c2);
+}
+
+namespace {
+
+/** Backends to cross-check; AES-NI is included only when the host
+ *  supports it (setBackend would silently degrade it to TTable). */
+std::vector<Aes128::Backend>
+availableBackends()
+{
+    std::vector<Aes128::Backend> b{Aes128::Backend::Reference,
+                                   Aes128::Backend::TTable};
+    if (Aes128::aesniAvailable())
+        b.push_back(Aes128::Backend::AesNi);
+    return b;
+}
+
+} // namespace
+
+TEST(Aes128Backends, Fips197KnownAnswerEveryBackend)
+{
+    // FIPS-197 Appendix C.1, checked against every compiled-in
+    // backend, not just the dispatch default.
+    Block128 key = blockFromHex("000102030405060708090a0b0c0d0e0f");
+    Block128 plain = blockFromHex("00112233445566778899aabbccddeeff");
+    Block128 expect = blockFromHex("69c4e0d86a7b0430d8cdb78070b4c55a");
+
+    for (Aes128::Backend b : availableBackends()) {
+        Aes128 aes(key, b);
+        ASSERT_EQ(aes.backend(), b);
+        EXPECT_EQ(aes.encryptBlock(plain), expect)
+            << Aes128::backendName(b);
+        EXPECT_EQ(aes.decryptBlock(expect), plain)
+            << Aes128::backendName(b);
+    }
+}
+
+TEST(Aes128Backends, AppendixBVectorEveryBackend)
+{
+    Block128 key = blockFromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    Block128 plain = blockFromHex("3243f6a8885a308d313198a2e0370734");
+    Block128 expect = blockFromHex("3925841d02dc09fbdc118597196a0b32");
+
+    for (Aes128::Backend b : availableBackends()) {
+        Aes128 aes(key, b);
+        EXPECT_EQ(aes.encryptBlock(plain), expect)
+            << Aes128::backendName(b);
+    }
+}
+
+TEST(Aes128Backends, RandomizedCrossCheck)
+{
+    // T-table (and AES-NI when present) must agree with the byte-wise
+    // reference on random key/plaintext pairs.
+    Rng rng(1234);
+    for (int trial = 0; trial < 200; ++trial) {
+        Key128 key = randomKey(rng);
+        Block128 p;
+        rng.fill(p.data(), p.size());
+
+        Aes128 ref(key, Aes128::Backend::Reference);
+        Block128 expect = ref.encryptBlock(p);
+        EXPECT_EQ(ref.encryptBlockRef(p), expect);
+
+        Aes128 tt(key, Aes128::Backend::TTable);
+        EXPECT_EQ(tt.encryptBlock(p), expect) << "trial " << trial;
+
+        if (Aes128::aesniAvailable()) {
+            Aes128 ni(key, Aes128::Backend::AesNi);
+            EXPECT_EQ(ni.encryptBlock(p), expect)
+                << "trial " << trial;
+        }
+    }
+}
+
+TEST(Aes128Backends, Batch4MatchesSingleBlock)
+{
+    Rng rng(4321);
+    for (int trial = 0; trial < 50; ++trial) {
+        Key128 key = randomKey(rng);
+        Block128 in[4], expect[4];
+        for (auto &b : in)
+            rng.fill(b.data(), b.size());
+
+        Aes128 ref(key, Aes128::Backend::Reference);
+        for (int i = 0; i < 4; ++i)
+            expect[i] = ref.encryptBlock(in[i]);
+
+        for (Aes128::Backend b : availableBackends()) {
+            Aes128 aes(key, b);
+            Block128 out[4];
+            aes.encryptBlocks4(in, out);
+            for (int i = 0; i < 4; ++i)
+                EXPECT_EQ(out[i], expect[i])
+                    << Aes128::backendName(b) << " lane " << i;
+        }
+    }
+}
+
+TEST(Aes128Backends, DefaultDispatchMatchesReference)
+{
+    // The default constructor picks bestBackend(); whatever it chose
+    // must still produce reference ciphertext.
+    Rng rng(77);
+    Key128 key = randomKey(rng);
+    Block128 p;
+    rng.fill(p.data(), p.size());
+
+    Aes128 best(key);
+    EXPECT_EQ(best.backend(), Aes128::bestBackend());
+    EXPECT_EQ(best.encryptBlock(p), best.encryptBlockRef(p));
+}
+
+TEST(Aes128Backends, AesNiDegradesWhenUnsupported)
+{
+    Rng rng(78);
+    Aes128 aes(randomKey(rng), Aes128::Backend::AesNi);
+    if (Aes128::aesniAvailable())
+        EXPECT_EQ(aes.backend(), Aes128::Backend::AesNi);
+    else
+        EXPECT_EQ(aes.backend(), Aes128::Backend::TTable);
+}
+
+TEST(AesContextCache, HitReturnsEquivalentEngine)
+{
+    Rng rng(90);
+    AesContextCache cache;
+    Key128 key = randomKey(rng);
+    Block128 p;
+    rng.fill(p.data(), p.size());
+
+    bool hit = true;
+    Block128 c1 = cache.get(key, &hit).encryptBlock(p);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(cache.size(), 1u);
+
+    Block128 c2 = cache.get(key, &hit).encryptBlock(p);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(c1, c2);
+    EXPECT_EQ(c1, Aes128(key).encryptBlock(p));
+}
+
+TEST(AesContextCache, InvalidateForcesMiss)
+{
+    Rng rng(91);
+    AesContextCache cache;
+    Key128 key = randomKey(rng);
+
+    cache.get(key);
+    cache.invalidate(key);
+    bool hit = true;
+    cache.get(key, &hit);
+    EXPECT_FALSE(hit);
+
+    cache.invalidateAll();
+    EXPECT_EQ(cache.size(), 0u);
+    hit = true;
+    cache.get(key, &hit);
+    EXPECT_FALSE(hit);
+}
+
+TEST(AesContextCache, EvictionKeepsCiphertextCorrect)
+{
+    // Overfill the cache; every engine handed out must still encrypt
+    // with the key it was looked up under (correctness never depends
+    // on the eviction policy, only the hit rate does).
+    Rng rng(92);
+    AesContextCache cache(4);
+    Block128 p;
+    rng.fill(p.data(), p.size());
+
+    std::vector<Key128> keys;
+    for (int i = 0; i < 12; ++i)
+        keys.push_back(randomKey(rng));
+
+    for (int round = 0; round < 3; ++round)
+        for (const Key128 &k : keys)
+            EXPECT_EQ(cache.get(k).encryptBlock(p),
+                      Aes128(k).encryptBlock(p));
+    EXPECT_LE(cache.size(), 4u);
+}
+
+TEST(AesContextCache, RepeatedKeyHitsAfterWarmup)
+{
+    Rng rng(93);
+    AesContextCache cache(4);
+    Key128 hot = randomKey(rng);
+
+    cache.get(hot);
+    for (int i = 0; i < 100; ++i) {
+        bool hit = false;
+        cache.get(hot, &hit);
+        EXPECT_TRUE(hit) << "iteration " << i;
+    }
 }
 
 TEST(Sha256, EmptyString)
@@ -182,6 +376,31 @@ TEST(CtrMode, XorRoundTrip)
     EXPECT_NE(0, std::memcmp(data, orig, blockSize));
     xorLine(data, pad);
     EXPECT_EQ(0, std::memcmp(data, orig, blockSize));
+}
+
+TEST(CtrMode, PadIdenticalAcrossBackends)
+{
+    // The batched pad path must produce the same OTP regardless of
+    // which AES backend generated it — otherwise ciphertext on the
+    // modeled NVM would depend on the host CPU.
+    Rng rng(12);
+    for (int trial = 0; trial < 20; ++trial) {
+        Key128 k = randomKey(rng);
+        CtrIv iv{rng.next(), static_cast<unsigned>(rng.nextBounded(64)),
+                 static_cast<std::uint32_t>(rng.next()),
+                 static_cast<std::uint32_t>(rng.nextBounded(1 << 14))};
+
+        Aes128 ref(k, Aes128::Backend::Reference);
+        Line expect = makeOtp(ref, iv);
+
+        Aes128 tt(k, Aes128::Backend::TTable);
+        EXPECT_EQ(makeOtp(tt, iv), expect) << "trial " << trial;
+
+        if (Aes128::aesniAvailable()) {
+            Aes128 ni(k, Aes128::Backend::AesNi);
+            EXPECT_EQ(makeOtp(ni, iv), expect) << "trial " << trial;
+        }
+    }
 }
 
 TEST(CtrMode, FourAesBlocksAreDistinct)
