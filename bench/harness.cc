@@ -6,8 +6,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <mutex>
 #include <thread>
+
+#include "common/logging.hh"
+#include "common/report.hh"
 
 namespace fsencr {
 namespace bench {
@@ -35,6 +39,45 @@ metricValue(const Cell &c, Metric m)
 }
 
 namespace {
+
+/** Rows accumulated for the end-of-process bench report. */
+struct ReportState
+{
+    std::mutex mutex;
+    std::vector<BenchRow> rows;
+    bool atexitRegistered = false;
+};
+
+ReportState &
+reportState()
+{
+    static ReportState s;
+    return s;
+}
+
+void
+writeBenchReportAtExit()
+{
+    const char *path = std::getenv("FSENCR_BENCH_REPORT");
+    if (path && *path)
+        writeBenchReport(path);
+}
+
+/** Queue rows for the exit-time report if FSENCR_BENCH_REPORT is set. */
+void
+collectForReport(const std::vector<BenchRow> &rows)
+{
+    const char *path = std::getenv("FSENCR_BENCH_REPORT");
+    if (!path || !*path)
+        return;
+    ReportState &st = reportState();
+    std::lock_guard<std::mutex> lock(st.mutex);
+    st.rows.insert(st.rows.end(), rows.begin(), rows.end());
+    if (!st.atexitRegistered) {
+        std::atexit(writeBenchReportAtExit);
+        st.atexitRegistered = true;
+    }
+}
 
 unsigned
 parseJobs(const char *s)
@@ -109,6 +152,15 @@ runRows(const std::vector<RowSpec> &specs,
         cell.nvmReads = r.nvmReads;
         cell.nvmWrites = r.nvmWrites;
         cell.operations = r.operations;
+        cell.attribution = sys.measuredAttribution();
+        const stats::Histogram &rh = sys.mc().readLatencyHistogram();
+        const stats::Histogram &wh = sys.mc().writeLatencyHistogram();
+        cell.readP50 = rh.percentile(50.0);
+        cell.readP95 = rh.percentile(95.0);
+        cell.readP99 = rh.percentile(99.0);
+        cell.writeP50 = wh.percentile(50.0);
+        cell.writeP95 = wh.percentile(95.0);
+        cell.writeP99 = wh.percentile(99.0);
         cells[t.row][t.scheme] = cell;
     };
 
@@ -141,7 +193,60 @@ runRows(const std::vector<RowSpec> &specs,
         for (std::size_t s = 0; s < schemes.size(); ++s)
             rows[r].cells[schemes[s]] = cells[r][s];
     }
+    collectForReport(rows);
     return rows;
+}
+
+bool
+writeBenchReport(const std::string &path)
+{
+    ReportState &st = reportState();
+    std::lock_guard<std::mutex> lock(st.mutex);
+    if (st.rows.empty())
+        return false;
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot write bench report '%s'", path.c_str());
+        return false;
+    }
+    report::JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", report::benchReportSchema);
+    w.field("version", report::benchReportVersion);
+    w.beginArray("rows");
+    for (const BenchRow &row : st.rows) {
+        w.beginObject();
+        w.field("name", row.name);
+        w.beginArray("cells");
+        for (const auto &[scheme, cell] : row.cells) {
+            w.beginObject();
+            w.field("scheme", schemeName(scheme));
+            w.field("operations", cell.operations);
+            w.field("ticks", cell.ticks);
+            w.field("nvm_reads", cell.nvmReads);
+            w.field("nvm_writes", cell.nvmWrites);
+            w.field("read_p50", cell.readP50);
+            w.field("read_p95", cell.readP95);
+            w.field("read_p99", cell.readP99);
+            w.field("write_p50", cell.writeP50);
+            w.field("write_p95", cell.writeP95);
+            w.field("write_p99", cell.writeP99);
+            w.beginObject("attribution");
+            w.field("total", cell.attribution.total());
+            w.beginObject("components");
+            for (unsigned c = 0; c < trace::NumComponents; ++c)
+                w.field(trace::componentName(c),
+                        cell.attribution.ticks[c]);
+            w.endObject();
+            w.endObject();
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return os.good();
 }
 
 BenchRow

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.hh"
 #include "workloads/workload.hh"
 
 namespace fsencr {
@@ -37,6 +38,14 @@ struct Cell
     std::uint64_t nvmReads = 0;
     std::uint64_t nvmWrites = 0;
     std::uint64_t operations = 0;
+
+    /** Per-component cycle attribution of the measured interval;
+     *  total() == ticks. Deterministic like every other field. */
+    trace::Breakdown attribution;
+
+    /** Memory-request latency percentiles (ticks). */
+    double readP50 = 0, readP95 = 0, readP99 = 0;
+    double writeP50 = 0, writeP95 = 0, writeP99 = 0;
 };
 
 /** One row of a figure: a workload across schemes. */
@@ -104,6 +113,16 @@ void printFigure(const std::string &title,
 /** Geometric mean of (metric of scheme / metric of base) over rows. */
 double normalizedGeomean(const std::vector<BenchRow> &rows,
                          Metric metric, Scheme scheme, Scheme base);
+
+/**
+ * Write every row runRows() has produced in this process as a
+ * versioned bench report (schema fsencr-bench-report). Called
+ * automatically at exit when the FSENCR_BENCH_REPORT environment
+ * variable names an output file; exposed for tests.
+ *
+ * @return true on success (false: no rows or I/O failure)
+ */
+bool writeBenchReport(const std::string &path);
 
 } // namespace bench
 } // namespace fsencr

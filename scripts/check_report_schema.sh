@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Smoke-check the machine-readable observability pipeline:
+#
+#  1. run a small workload with --report and --trace-events,
+#  2. validate the run report against schema fsencr-run-report v1,
+#  3. check the per-component cycle attribution sums to total ticks,
+#  4. check the Chrome trace_event JSON is well-formed.
+#
+# Usage: scripts/check_report_schema.sh [build-dir]
+# Exit 0 on success; registered as a ctest test.
+set -eu
+
+build_dir="${1:-$(dirname "$0")/../build}"
+sim="$build_dir/tools/fsencr-sim"
+[ -x "$sim" ] || { echo "missing $sim (build first)"; exit 1; }
+
+python3_bin="$(command -v python3 || true)"
+[ -n "$python3_bin" ] || { echo "python3 not found; skipping"; exit 0; }
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+"$sim" --scheme fsencr --workload fillrandom-S --ops 2000 --keys 2000 \
+       --report "$tmp/report.json" --trace-events "$tmp/trace.json" \
+       > "$tmp/stdout.txt"
+
+"$python3_bin" - "$tmp/report.json" "$tmp/trace.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+# Envelope.
+assert doc["schema"] == "fsencr-run-report", doc.get("schema")
+assert doc["version"] == 1, doc["version"]
+assert doc["mode"] in ("workload", "replay"), doc["mode"]
+
+# Config and result sections.
+cfg = doc["config"]
+for key in ("scheme", "workload", "seed", "metadata_cache_bytes"):
+    assert key in cfg, key
+res = doc["result"]
+for key in ("operations", "ticks", "nvm_reads", "nvm_writes",
+            "ns_per_op"):
+    assert key in res, key
+
+# Attribution: components sum to the reported total, which matches
+# the measured ticks exactly (the simulator guarantees tick-exact
+# attribution; no rounding slack needed).
+attr = doc["attribution"]
+comp_sum = sum(attr["components"].values())
+assert comp_sum == attr["total"], (comp_sum, attr["total"])
+assert attr["total"] == res["ticks"], (attr["total"], res["ticks"])
+
+# Latency histograms with percentiles.
+lat = doc["latency"]
+for h in (lat["read"], lat["write"]):
+    for key in ("samples", "mean", "min", "max", "p50", "p95", "p99"):
+        assert key in h, key
+assert "components" in lat
+
+# The full stat tree rides along.
+assert isinstance(doc["stats"], dict)
+
+# Chrome trace_event export.
+with open(sys.argv[2]) as f:
+    tr = json.load(f)
+assert isinstance(tr["traceEvents"], list) and tr["traceEvents"]
+ev = tr["traceEvents"][0]
+for key in ("name", "ph", "pid", "tid", "ts"):
+    assert key in ev, key
+
+print("report schema OK: %d events, %d ticks attributed"
+      % (len(tr["traceEvents"]), attr["total"]))
+EOF

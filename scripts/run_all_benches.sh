@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Run every figure/table/ablation bench and collect the outputs.
 #
+# Each harness-based bench also writes a machine-readable report
+# (schema fsencr-bench-report) next to the text output; reports are
+# JSON-validated with python3 when available.
+#
 # Usage: scripts/run_all_benches.sh [--quick] [output-file]
 set -u
 
@@ -14,7 +18,11 @@ for arg in "$@"; do
 done
 
 build_dir="$(dirname "$0")/../build"
+report_dir="$(dirname "$out")"
+[ "$report_dir" = "" ] && report_dir="."
 : > "$out"
+
+python3_bin="$(command -v python3 || true)"
 
 benches=(
     bench_table1_vulnerability
@@ -36,7 +44,19 @@ benches=(
 
 for b in "${benches[@]}"; do
     echo "=== $b ===" | tee -a "$out"
-    "$build_dir/bench/$b" $quick 2>/dev/null | tee -a "$out"
+    report="$report_dir/REPORT_${b}.json"
+    FSENCR_BENCH_REPORT="$report" \
+        "$build_dir/bench/$b" $quick 2>/dev/null | tee -a "$out"
+    if [ -s "$report" ] && [ -n "$python3_bin" ]; then
+        "$python3_bin" - "$report" <<'EOF' || echo "WARNING: bad report for $b"
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "fsencr-bench-report", doc.get("schema")
+assert isinstance(doc["version"], int)
+assert isinstance(doc["rows"], list)
+EOF
+    fi
     echo | tee -a "$out"
 done
 

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Minimal header-only JSON parser (objects, arrays, strings, numbers,
+ * booleans, null). Just enough to validate the simulator's own JSON
+ * emissions (stat dumps, run reports, trace-event exports) in tests
+ * and to re-import trace files — not a general-purpose library.
+ *
+ * Numbers keep their raw text so 64-bit tick counts survive exactly
+ * (doubles would round above 2^53).
+ */
+
+#ifndef FSENCR_COMMON_JSON_HH
+#define FSENCR_COMMON_JSON_HH
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fsencr {
+namespace json {
+
+/** A parsed JSON value. */
+class Value
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string literal; //!< raw number text (exact integers)
+    std::string str;
+    std::vector<Value> array;
+    /** Insertion-ordered members. */
+    std::vector<std::pair<std::string, Value>> object;
+
+    bool isNull() const { return type == Type::Null; }
+    bool isBool() const { return type == Type::Bool; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isArray() const { return type == Type::Array; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** Member lookup (objects only). @return nullptr if absent */
+    const Value *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : object)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+
+    std::uint64_t
+    asU64() const
+    {
+        if (!literal.empty())
+            return std::strtoull(literal.c_str(), nullptr, 10);
+        return static_cast<std::uint64_t>(number);
+    }
+
+    std::int64_t
+    asI64() const
+    {
+        if (!literal.empty())
+            return std::strtoll(literal.c_str(), nullptr, 10);
+        return static_cast<std::int64_t>(number);
+    }
+};
+
+namespace detail {
+
+class Parser
+{
+  public:
+    Parser(const char *p, const char *end) : p_(p), end_(end) {}
+
+    bool
+    parse(Value &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        return p_ == end_; // no trailing garbage
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (p_ != end_ &&
+               (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r'))
+            ++p_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const char *q = p_;
+        for (; *word; ++word, ++q)
+            if (q == end_ || *q != *word)
+                return false;
+        p_ = q;
+        return true;
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        if (p_ == end_)
+            return false;
+        switch (*p_) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"':
+            out.type = Value::Type::String;
+            return parseString(out.str);
+          case 't':
+            out.type = Value::Type::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.type = Value::Type::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.type = Value::Type::Null;
+            return literal("null");
+          default: return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(Value &out)
+    {
+        out.type = Value::Type::Object;
+        ++p_; // '{'
+        skipWs();
+        if (p_ != end_ && *p_ == '}') { ++p_; return true; }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (p_ == end_ || *p_ != '"' || !parseString(key))
+                return false;
+            skipWs();
+            if (p_ == end_ || *p_ != ':')
+                return false;
+            ++p_;
+            skipWs();
+            Value v;
+            if (!parseValue(v))
+                return false;
+            out.object.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (p_ == end_)
+                return false;
+            if (*p_ == ',') { ++p_; continue; }
+            if (*p_ == '}') { ++p_; return true; }
+            return false;
+        }
+    }
+
+    bool
+    parseArray(Value &out)
+    {
+        out.type = Value::Type::Array;
+        ++p_; // '['
+        skipWs();
+        if (p_ != end_ && *p_ == ']') { ++p_; return true; }
+        for (;;) {
+            skipWs();
+            Value v;
+            if (!parseValue(v))
+                return false;
+            out.array.push_back(std::move(v));
+            skipWs();
+            if (p_ == end_)
+                return false;
+            if (*p_ == ',') { ++p_; continue; }
+            if (*p_ == ']') { ++p_; return true; }
+            return false;
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++p_; // opening quote
+        out.clear();
+        while (p_ != end_ && *p_ != '"') {
+            char c = *p_++;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (p_ == end_)
+                return false;
+            char e = *p_++;
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                  // \uXXXX: decode the BMP code point as UTF-8.
+                  if (end_ - p_ < 4)
+                      return false;
+                  unsigned cp = 0;
+                  for (int i = 0; i < 4; ++i) {
+                      char h = *p_++;
+                      cp <<= 4;
+                      if (h >= '0' && h <= '9') cp |= h - '0';
+                      else if (h >= 'a' && h <= 'f') cp |= h - 'a' + 10;
+                      else if (h >= 'A' && h <= 'F') cp |= h - 'A' + 10;
+                      else return false;
+                  }
+                  if (cp < 0x80) {
+                      out.push_back(static_cast<char>(cp));
+                  } else if (cp < 0x800) {
+                      out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+                      out.push_back(
+                          static_cast<char>(0x80 | (cp & 0x3f)));
+                  } else {
+                      out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+                      out.push_back(static_cast<char>(
+                          0x80 | ((cp >> 6) & 0x3f)));
+                      out.push_back(
+                          static_cast<char>(0x80 | (cp & 0x3f)));
+                  }
+                  break;
+              }
+              default: return false;
+            }
+        }
+        if (p_ == end_)
+            return false;
+        ++p_; // closing quote
+        return true;
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        const char *start = p_;
+        if (p_ != end_ && (*p_ == '-' || *p_ == '+'))
+            ++p_;
+        bool digits = false;
+        while (p_ != end_ &&
+               (std::isdigit(static_cast<unsigned char>(*p_)) ||
+                *p_ == '.' || *p_ == 'e' || *p_ == 'E' || *p_ == '-' ||
+                *p_ == '+')) {
+            if (std::isdigit(static_cast<unsigned char>(*p_)))
+                digits = true;
+            ++p_;
+        }
+        if (!digits)
+            return false;
+        out.type = Value::Type::Number;
+        out.literal.assign(start, p_);
+        out.number = std::strtod(out.literal.c_str(), nullptr);
+        return true;
+    }
+
+    const char *p_;
+    const char *end_;
+};
+
+} // namespace detail
+
+/** Parse a complete JSON document. @return true on success */
+inline bool
+parse(const std::string &text, Value &out)
+{
+    detail::Parser p(text.data(), text.data() + text.size());
+    out = Value{};
+    return p.parse(out);
+}
+
+} // namespace json
+} // namespace fsencr
+
+#endif // FSENCR_COMMON_JSON_HH

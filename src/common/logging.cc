@@ -1,10 +1,44 @@
 #include "common/logging.hh"
 
 #include <cstdarg>
+#include <map>
+#include <mutex>
 #include <vector>
 
 namespace fsencr {
 namespace detail {
+
+namespace {
+
+// The bench harness runs simulations on several host threads, so the
+// suppression table must be its own lock domain.
+std::mutex warnMutex;
+std::map<std::string, std::uint64_t> &
+warnCounts()
+{
+    static std::map<std::string, std::uint64_t> counts;
+    return counts;
+}
+
+} // namespace
+
+bool
+noteWarning(const char *key, std::uint64_t limit, bool *last)
+{
+    std::lock_guard<std::mutex> lock(warnMutex);
+    std::uint64_t &count = warnCounts()[key];
+    ++count;
+    if (last)
+        *last = (count == limit);
+    return count <= limit;
+}
+
+void
+resetWarningCounts()
+{
+    std::lock_guard<std::mutex> lock(warnMutex);
+    warnCounts().clear();
+}
 
 std::string
 formatMessage(const char *fmt, ...)

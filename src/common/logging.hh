@@ -6,11 +6,16 @@
  * fatal()  — the simulation cannot continue due to a user/config error.
  * warn()   — something is suspicious but the simulation continues.
  * inform() — plain status output.
+ *
+ * warnOnce() and warnLimited() are warn() with per-call-site
+ * suppression (keyed by format string) so a warning fired on a hot
+ * per-access path cannot flood stderr in million-op runs.
  */
 
 #ifndef FSENCR_COMMON_LOGGING_HH
 #define FSENCR_COMMON_LOGGING_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -41,6 +46,18 @@ namespace detail {
 std::string formatMessage(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/**
+ * Count an occurrence of the warning keyed by @p key.
+ *
+ * @param last set to true when this occurrence is exactly the
+ *             limit-th one (caller should note the suppression)
+ * @return true while the warning should still be printed
+ */
+bool noteWarning(const char *key, std::uint64_t limit, bool *last);
+
+/** Forget all suppression counts (tests only). */
+void resetWarningCounts();
+
 } // namespace detail
 
 /** Report an internal simulator bug and abort via exception. */
@@ -70,6 +87,32 @@ warn(const char *fmt, Args... args)
 {
     std::string msg = detail::formatMessage(fmt, args...);
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/**
+ * warn(), but at most @p limit times per call site (keyed by the
+ * format string). The final printed occurrence carries a note that
+ * further repeats are suppressed.
+ */
+template <typename... Args>
+void
+warnLimited(std::uint64_t limit, const char *fmt, Args... args)
+{
+    bool last = false;
+    if (!detail::noteWarning(fmt, limit, &last))
+        return;
+    std::string msg = detail::formatMessage(fmt, args...);
+    std::fprintf(stderr, "warn: %s%s\n", msg.c_str(),
+                 last ? " (further warnings of this kind suppressed)"
+                      : "");
+}
+
+/** warn(), but only the first time this call site fires. */
+template <typename... Args>
+void
+warnOnce(const char *fmt, Args... args)
+{
+    warnLimited(1, fmt, args...);
 }
 
 /** Report normal operating status. */

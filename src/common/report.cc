@@ -1,0 +1,218 @@
+#include "common/report.hh"
+
+#include <cstdio>
+
+#include "common/stats.hh"
+
+namespace fsencr {
+namespace report {
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::comma()
+{
+    if (!any_.empty()) {
+        if (any_.back())
+            os_ << ',';
+        any_.back() = true;
+    }
+    if (!any_.empty())
+        indent();
+}
+
+void
+JsonWriter::indent()
+{
+    os_ << '\n';
+    for (std::size_t i = 0; i < any_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    comma();
+    os_ << '"' << escape(k) << "\": ";
+}
+
+void
+JsonWriter::beginObject()
+{
+    if (!any_.empty())
+        comma();
+    os_ << '{';
+    any_.push_back(false);
+}
+
+void
+JsonWriter::beginObject(const std::string &k)
+{
+    key(k);
+    os_ << '{';
+    any_.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    bool had = !any_.empty() && any_.back();
+    if (!any_.empty())
+        any_.pop_back();
+    if (had)
+        indent();
+    os_ << '}';
+    if (any_.empty())
+        os_ << '\n';
+}
+
+void
+JsonWriter::beginArray(const std::string &k)
+{
+    key(k);
+    os_ << '[';
+    any_.push_back(false);
+}
+
+void
+JsonWriter::beginArray()
+{
+    if (!any_.empty())
+        comma();
+    os_ << '[';
+    any_.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    bool had = !any_.empty() && any_.back();
+    if (!any_.empty())
+        any_.pop_back();
+    if (had)
+        indent();
+    os_ << ']';
+    if (any_.empty())
+        os_ << '\n';
+}
+
+void
+JsonWriter::field(const std::string &k, const std::string &v)
+{
+    key(k);
+    os_ << '"' << escape(v) << '"';
+}
+
+void
+JsonWriter::field(const std::string &k, const char *v)
+{
+    field(k, std::string(v));
+}
+
+void
+JsonWriter::field(const std::string &k, std::uint64_t v)
+{
+    key(k);
+    os_ << v;
+}
+
+void
+JsonWriter::field(const std::string &k, std::int64_t v)
+{
+    key(k);
+    os_ << v;
+}
+
+void
+JsonWriter::field(const std::string &k, int v)
+{
+    key(k);
+    os_ << v;
+}
+
+void
+JsonWriter::field(const std::string &k, double v)
+{
+    key(k);
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    os_ << buf;
+}
+
+void
+JsonWriter::field(const std::string &k, bool v)
+{
+    key(k);
+    os_ << (v ? "true" : "false");
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    comma();
+    os_ << '"' << escape(v) << '"';
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    comma();
+    os_ << v;
+}
+
+void
+JsonWriter::value(double v)
+{
+    comma();
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    os_ << buf;
+}
+
+void
+JsonWriter::rawField(const std::string &k, const std::string &jsonText)
+{
+    key(k);
+    os_ << jsonText;
+}
+
+void
+writeHistogram(JsonWriter &w, const std::string &key,
+               const stats::Histogram &h)
+{
+    w.beginObject(key);
+    w.field("samples", h.samples());
+    w.field("mean", h.mean());
+    w.field("min", h.minValue());
+    w.field("max", h.maxValue());
+    w.field("p50", h.percentile(50.0));
+    w.field("p95", h.percentile(95.0));
+    w.field("p99", h.percentile(99.0));
+    w.endObject();
+}
+
+} // namespace report
+} // namespace fsencr

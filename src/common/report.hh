@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Machine-readable run reports.
+ *
+ * A small streaming JSON writer plus the schema constants shared by
+ * `fsencr_sim --report` and the bench harness. Reports are versioned
+ * so downstream tooling (scripts/run_all_benches.sh, plot scripts)
+ * can detect incompatible changes instead of mis-parsing them:
+ *
+ *   { "schema": "fsencr-run-report",  "version": 1, ... }
+ *   { "schema": "fsencr-bench-report", "version": 1, ... }
+ *
+ * See docs/ARCHITECTURE.md ("Observability") for the field-by-field
+ * layout; scripts/check_report_schema.sh validates it in CI.
+ */
+
+#ifndef FSENCR_COMMON_REPORT_HH
+#define FSENCR_COMMON_REPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fsencr {
+
+namespace stats { class Histogram; }
+
+namespace report {
+
+/** Schema identifiers + current versions. Bump on breaking change. */
+constexpr const char *runReportSchema = "fsencr-run-report";
+constexpr int runReportVersion = 1;
+constexpr const char *benchReportSchema = "fsencr-bench-report";
+constexpr int benchReportVersion = 1;
+
+/**
+ * Streaming JSON writer with automatic comma placement and
+ * indentation. Keeps report-emitting code shaped like the document it
+ * produces; emits nothing clever — just valid JSON.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    /** Open the root object (or a keyed/anonymous nested one). */
+    void beginObject();
+    void beginObject(const std::string &key);
+    void endObject();
+
+    void beginArray(const std::string &key);
+    void beginArray();
+    void endArray();
+
+    void field(const std::string &key, const std::string &value);
+    void field(const std::string &key, const char *value);
+    void field(const std::string &key, std::uint64_t value);
+    void field(const std::string &key, std::int64_t value);
+    void field(const std::string &key, int value);
+    void field(const std::string &key, double value);
+    void field(const std::string &key, bool value);
+
+    /** Array element forms. */
+    void value(const std::string &v);
+    void value(std::uint64_t v);
+    void value(double v);
+
+    /** Emit a pre-rendered JSON fragment as a member value. */
+    void rawField(const std::string &key, const std::string &json);
+
+    static std::string escape(const std::string &s);
+
+  private:
+    void comma();
+    void indent();
+    void key(const std::string &k);
+
+    std::ostream &os_;
+    /** One entry per open scope: has it emitted a member yet? */
+    std::vector<bool> any_{};
+};
+
+/**
+ * Emit the standard histogram summary object:
+ * samples/mean/min/max/p50/p95/p99.
+ */
+void writeHistogram(JsonWriter &w, const std::string &key,
+                    const stats::Histogram &h);
+
+} // namespace report
+} // namespace fsencr
+
+#endif // FSENCR_COMMON_REPORT_HH

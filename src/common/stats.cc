@@ -5,6 +5,51 @@
 namespace fsencr {
 namespace stats {
 
+double
+Histogram::percentile(double p) const
+{
+    if (_samples == 0)
+        return 0.0;
+    if (p <= 0.0)
+        return static_cast<double>(_min);
+    if (p >= 100.0)
+        return static_cast<double>(_max);
+
+    double target = p / 100.0 * static_cast<double>(_samples);
+    std::uint64_t cum = 0;
+    double result = static_cast<double>(_max);
+    bool found = false;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        if (!_buckets[i])
+            continue;
+        double prev = static_cast<double>(cum);
+        cum += _buckets[i];
+        if (static_cast<double>(cum) >= target) {
+            double frac =
+                (target - prev) / static_cast<double>(_buckets[i]);
+            result = (static_cast<double>(i) + frac) *
+                     static_cast<double>(_width);
+            found = true;
+            break;
+        }
+    }
+    if (!found && _overflow) {
+        // Percentile falls in the overflow bucket: interpolate from
+        // the last linear boundary toward the observed maximum.
+        double prev = static_cast<double>(cum);
+        double frac = (target - prev) / static_cast<double>(_overflow);
+        double lo = static_cast<double>(_buckets.size()) *
+                    static_cast<double>(_width);
+        double hi = static_cast<double>(_max);
+        result = hi > lo ? lo + frac * (hi - lo) : hi;
+    }
+    if (result < static_cast<double>(_min))
+        result = static_cast<double>(_min);
+    if (result > static_cast<double>(_max))
+        result = static_cast<double>(_max);
+    return result;
+}
+
 std::uint64_t
 StatGroup::scalarValue(const std::string &path) const
 {
@@ -36,7 +81,11 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
     for (const auto &[name, h] : _histograms) {
         os << base << "." << name << ".samples = " << h->samples() << "\n";
         os << base << "." << name << ".mean = " << h->mean() << "\n";
+        os << base << "." << name << ".min = " << h->minValue() << "\n";
         os << base << "." << name << ".max = " << h->maxValue() << "\n";
+        os << base << "." << name << ".p50 = " << h->percentile(50) << "\n";
+        os << base << "." << name << ".p95 = " << h->percentile(95) << "\n";
+        os << base << "." << name << ".p99 = " << h->percentile(99) << "\n";
     }
     for (const StatGroup *child : _children)
         child->dump(os, base);
@@ -66,7 +115,11 @@ StatGroup::dumpJson(std::ostream &os, unsigned indent) const
         sep();
         os << inner << "\"" << name << "\": {\"samples\": "
            << h->samples() << ", \"mean\": " << h->mean()
-           << ", \"max\": " << h->maxValue() << "}";
+           << ", \"min\": " << h->minValue()
+           << ", \"max\": " << h->maxValue()
+           << ", \"p50\": " << h->percentile(50)
+           << ", \"p95\": " << h->percentile(95)
+           << ", \"p99\": " << h->percentile(99) << "}";
     }
     for (const StatGroup *child : _children) {
         sep();

@@ -92,6 +92,17 @@ class Histogram
     }
     const std::vector<std::uint64_t> &buckets() const { return _buckets; }
     std::uint64_t overflow() const { return _overflow; }
+    std::uint64_t bucketWidth() const { return _width; }
+
+    /**
+     * Estimated p-th percentile (p in [0, 100]) by linear
+     * interpolation inside the matching bucket; samples in the
+     * overflow bucket interpolate between the last bucket boundary
+     * and the observed maximum. The result is clamped to
+     * [minValue(), maxValue()], so a single-sample histogram reports
+     * that sample exactly. An empty histogram reports 0.
+     */
+    double percentile(double p) const;
 
     void
     reset()

@@ -1,0 +1,255 @@
+#include "common/trace.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "common/json.hh"
+
+namespace fsencr {
+namespace trace {
+
+const char *
+componentName(unsigned c)
+{
+    static const char *names[NumComponents] = {
+        "ott_lookup",   "counter_fetch", "merkle_verify", "pad_gen",
+        "nvm_access",   "writeback",     "cache_access",  "translation",
+        "mmio",         "cpu_compute",   "sw_enc",
+    };
+    return c < NumComponents ? names[c] : "unknown";
+}
+
+Tracer::Tracer(std::size_t capacity)
+    : ring_(capacity ? capacity : 1)
+{
+}
+
+void
+Tracer::push(const Event &e)
+{
+    ring_[head_] = e;
+    if (++head_ == ring_.size()) {
+        head_ = 0;
+        wrapped_ = true;
+    }
+    ++emitted_;
+}
+
+void
+Tracer::complete(const char *name, const char *cat, Tick ts, Tick dur,
+                 std::uint32_t tid, std::uint64_t arg)
+{
+    Event e;
+    e.name = name;
+    e.cat = cat;
+    e.ph = 'X';
+    e.tid = tid;
+    e.ts = ts;
+    e.dur = dur;
+    e.arg = arg;
+    push(e);
+}
+
+void
+Tracer::instant(const char *name, const char *cat, Tick ts,
+                std::uint64_t arg)
+{
+    Event e;
+    e.name = name;
+    e.cat = cat;
+    e.ph = 'i';
+    e.ts = ts;
+    e.arg = arg;
+    push(e);
+}
+
+void
+Tracer::counter(const char *name, const char *cat, Tick ts,
+                std::uint64_t value)
+{
+    Event e;
+    e.name = name;
+    e.cat = cat;
+    e.ph = 'C';
+    e.ts = ts;
+    e.arg = value;
+    push(e);
+}
+
+std::vector<Event>
+Tracer::events() const
+{
+    std::vector<Event> out;
+    out.reserve(size());
+    if (wrapped_)
+        for (std::size_t i = head_; i < ring_.size(); ++i)
+            out.push_back(ring_[i]);
+    for (std::size_t i = 0; i < head_; ++i)
+        out.push_back(ring_[i]);
+    return out;
+}
+
+std::size_t
+Tracer::size() const
+{
+    return wrapped_ ? ring_.size() : head_;
+}
+
+std::uint64_t
+Tracer::dropped() const
+{
+    return emitted_ - size();
+}
+
+void
+Tracer::clear()
+{
+    head_ = 0;
+    wrapped_ = false;
+    emitted_ = 0;
+    imported_.clear();
+}
+
+namespace {
+
+void
+escapeTo(std::ostream &os, const char *s)
+{
+    for (; *s; ++s) {
+        char c = *s;
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+}
+
+/** Ticks (ps) to trace_event microseconds, with full precision. */
+std::string
+ticksToUs(Tick t)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%06u",
+                  static_cast<std::uint64_t>(t / 1000000),
+                  static_cast<unsigned>(t % 1000000));
+    return buf;
+}
+
+} // namespace
+
+void
+Tracer::exportJson(std::ostream &os) const
+{
+    os << "{\n  \"displayTimeUnit\": \"ns\",\n"
+       << "  \"otherData\": {\"emitted\": " << emitted_
+       << ", \"dropped\": " << dropped() << "},\n"
+       << "  \"traceEvents\": [";
+    bool first = true;
+    for (const Event &e : events()) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "\n    {\"name\": \"";
+        escapeTo(os, e.name);
+        os << "\", \"cat\": \"";
+        escapeTo(os, e.cat);
+        os << "\", \"ph\": \"" << e.ph
+           << "\", \"pid\": 0, \"tid\": " << e.tid
+           << ", \"ts\": " << ticksToUs(e.ts);
+        if (e.ph == 'X')
+            os << ", \"dur\": " << ticksToUs(e.dur);
+        if (e.ph == 'i')
+            os << ", \"s\": \"g\"";
+        if (e.ph == 'C')
+            os << ", \"args\": {\"value\": " << e.arg << "}";
+        else
+            os << ", \"args\": {\"v\": " << e.arg << "}";
+        os << "}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+namespace {
+
+/** Parse a trace_event "ts"/"dur" microsecond value back to ticks. */
+Tick
+usToTicks(const json::Value &v)
+{
+    // Split the raw literal at the decimal point so the integer part
+    // never round-trips through a double.
+    const std::string &lit = v.literal;
+    auto dot = lit.find('.');
+    std::uint64_t whole =
+        std::strtoull(lit.substr(0, dot).c_str(), nullptr, 10);
+    std::uint64_t frac = 0;
+    if (dot != std::string::npos) {
+        std::string f = lit.substr(dot + 1);
+        f.resize(6, '0'); // pad/truncate to microsecond precision
+        frac = std::strtoull(f.c_str(), nullptr, 10);
+    }
+    return whole * 1000000 + frac;
+}
+
+} // namespace
+
+bool
+Tracer::importJson(std::istream &is)
+{
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    json::Value doc;
+    if (!json::parse(buf.str(), doc) || !doc.isObject())
+        return false;
+    const json::Value *evs = doc.find("traceEvents");
+    if (!evs || !evs->isArray())
+        return false;
+
+    clear();
+    for (const json::Value &ev : evs->array) {
+        if (!ev.isObject())
+            return false;
+        const json::Value *name = ev.find("name");
+        const json::Value *cat = ev.find("cat");
+        const json::Value *ph = ev.find("ph");
+        const json::Value *ts = ev.find("ts");
+        if (!name || !name->isString() || !cat || !cat->isString() ||
+            !ph || !ph->isString() || ph->str.size() != 1 ||
+            !ts || !ts->isNumber())
+            return false;
+
+        Event e;
+        imported_.push_back(name->str);
+        e.name = imported_.back().c_str();
+        imported_.push_back(cat->str);
+        e.cat = imported_.back().c_str();
+        e.ph = ph->str[0];
+        e.ts = usToTicks(*ts);
+        if (const json::Value *tid = ev.find("tid"))
+            e.tid = static_cast<std::uint32_t>(tid->asU64());
+        if (const json::Value *dur = ev.find("dur"))
+            e.dur = usToTicks(*dur);
+        if (const json::Value *args = ev.find("args")) {
+            if (const json::Value *a = args->find("v"))
+                e.arg = a->asU64();
+            else if (const json::Value *val = args->find("value"))
+                e.arg = val->asU64();
+        }
+        push(e);
+    }
+    return true;
+}
+
+} // namespace trace
+} // namespace fsencr

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Lightweight cycle-attribution tracing.
+ *
+ * Two cooperating pieces:
+ *
+ *  - trace::Breakdown — a per-request latency decomposition into named
+ *    components (ott_lookup, counter_fetch, merkle_verify, pad_gen,
+ *    nvm_access, writeback, ...). Every tick the System adds to its
+ *    clock is attributed to exactly one component, so the component
+ *    sums reproduce total ticks and the paper's latency budget
+ *    (Figs. 8-15) can be decomposed honestly.
+ *
+ *  - trace::Tracer — a fixed-capacity event ring buffer fed by scoped
+ *    probes. Components hold a `Tracer *` that is nullptr when tracing
+ *    is disabled, so a disabled probe is a single pointer test and
+ *    emits nothing (timing is never affected either way: the tracer
+ *    only observes latencies that were already computed). The buffer
+ *    exports Chrome `trace_event` JSON loadable in about://tracing /
+ *    Perfetto, and can re-import its own export for round-trip tests.
+ *
+ * The simulator has a single accumulated clock, so events carry
+ * explicit (start, duration) ticks rather than host timestamps.
+ * Components that have no `now` parameter of their own (metadata
+ * cache, Merkle tree) stamp events with Tracer::time(), which the
+ * controller sets on request entry.
+ */
+
+#ifndef FSENCR_COMMON_TRACE_HH
+#define FSENCR_COMMON_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fsencr {
+namespace trace {
+
+/**
+ * Attribution components. The first six are the memory-controller
+ * decomposition the paper's figures hinge on; the rest cover every
+ * other source of simulated time so that the per-component sums equal
+ * total ticks.
+ */
+enum Component : unsigned {
+    OttLookup = 0,   //!< OTT search / spill recall exposed on the path
+    CounterFetch,    //!< MECB/FECB metadata-cache access + NVM fetch
+    MerkleVerify,    //!< Bonsai-walk ancestor fetches
+    PadGen,          //!< OTP AES latency + pad-XOR on the return path
+    NvmAccess,       //!< data-array reads/writes, page re-encryption
+    Writeback,       //!< WPQ accept + full-queue stalls
+    CacheAccess,     //!< L1/L2/L3 lookup cycles
+    Translation,     //!< TLB-miss page walks and fault handling
+    Mmio,            //!< kernel-MMIO metadata work (stamps, keys)
+    CpuCompute,      //!< modeled compute, syscall entry, fences
+    SwEnc,           //!< software-encryption page faults and msync
+    NumComponents
+};
+
+/** Stable snake_case component name (stat/report/schema key). */
+const char *componentName(unsigned c);
+
+/** Per-request (or cumulative) latency decomposition. */
+struct Breakdown
+{
+    std::array<Tick, NumComponents> ticks{};
+
+    Tick
+    total() const
+    {
+        Tick t = 0;
+        for (Tick v : ticks)
+            t += v;
+        return t;
+    }
+
+    void clear() { ticks.fill(0); }
+
+    Breakdown &
+    operator+=(const Breakdown &o)
+    {
+        for (unsigned c = 0; c < NumComponents; ++c)
+            ticks[c] += o.ticks[c];
+        return *this;
+    }
+};
+
+/** One trace event (Chrome trace_event model). */
+struct Event
+{
+    const char *name = "";
+    const char *cat = "";
+    char ph = 'X';           //!< 'X' complete, 'i' instant, 'C' counter
+    std::uint32_t tid = 0;   //!< lane: 0 = requests, 1+N = component N
+    Tick ts = 0;             //!< start, in ticks (ps)
+    Tick dur = 0;            //!< duration, in ticks ('X' only)
+    std::uint64_t arg = 0;   //!< free payload (hit flag, probe count...)
+};
+
+/**
+ * Fixed-capacity event ring buffer. When full, the oldest events are
+ * overwritten (the tail of a run is usually the interesting part) and
+ * `dropped()` counts the overwritten ones.
+ */
+class Tracer
+{
+  public:
+    explicit Tracer(std::size_t capacity = 1u << 20);
+
+    /** Current simulated time for probes without a `now` of their own. */
+    void setTime(Tick t) { now_ = t; }
+    Tick time() const { return now_; }
+
+    void complete(const char *name, const char *cat, Tick ts, Tick dur,
+                  std::uint32_t tid = 0, std::uint64_t arg = 0);
+    void instant(const char *name, const char *cat, Tick ts,
+                 std::uint64_t arg = 0);
+    void counter(const char *name, const char *cat, Tick ts,
+                 std::uint64_t value);
+
+    /** Events currently resident, oldest first. */
+    std::vector<Event> events() const;
+
+    std::size_t size() const;
+    std::size_t capacity() const { return ring_.size(); }
+    std::uint64_t emitted() const { return emitted_; }
+    std::uint64_t dropped() const;
+
+    void clear();
+
+    /** Chrome trace_event JSON: {"traceEvents": [...], ...}. */
+    void exportJson(std::ostream &os) const;
+
+    /**
+     * Parse a previous exportJson() back into this tracer (replacing
+     * its contents). Accepts only the subset this class emits.
+     * @return true on success
+     */
+    bool importJson(std::istream &is);
+
+  private:
+    void push(const Event &e);
+
+    std::vector<Event> ring_;
+    std::size_t head_ = 0; //!< next slot to write
+    bool wrapped_ = false;
+    std::uint64_t emitted_ = 0;
+    Tick now_ = 0;
+    /** Owned storage for names of imported events. */
+    std::deque<std::string> imported_;
+};
+
+/**
+ * RAII span probe: records a complete event over [start, end]. With a
+ * null tracer the whole object is inert. If end() is never called the
+ * span closes at the tracer's current time.
+ */
+class Span
+{
+  public:
+    Span(Tracer *t, const char *name, const char *cat, Tick start)
+        : t_(t), name_(name), cat_(cat), start_(start)
+    {}
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    void
+    end(Tick end_ts)
+    {
+        if (t_ && !ended_) {
+            t_->complete(name_, cat_, start_,
+                         end_ts > start_ ? end_ts - start_ : 0);
+            ended_ = true;
+        }
+    }
+
+    ~Span() { if (t_) end(t_->time()); }
+
+  private:
+    Tracer *t_;
+    const char *name_;
+    const char *cat_;
+    Tick start_;
+    bool ended_ = false;
+};
+
+} // namespace trace
+} // namespace fsencr
+
+#endif // FSENCR_COMMON_TRACE_HH

@@ -86,12 +86,16 @@ MemTrace::load(const std::string &path)
 }
 
 ReplayResult
-replayTrace(const MemTrace &trace, const SimConfig &cfg)
+replayTrace(const MemTrace &mt, const SimConfig &cfg,
+            trace::Tracer *tracer,
+            const std::function<void(SecureMemoryController &)> &inspect)
 {
     PhysLayout layout(cfg.layout);
     NvmDevice device(cfg.pcm);
     Rng rng(cfg.seed);
     SecureMemoryController mc(cfg, layout, device, rng);
+    if (tracer)
+        mc.setTracer(tracer);
 
     // Replay keys are derived deterministically from the trace ids so
     // that functional decryption stays consistent within the replay.
@@ -101,27 +105,41 @@ replayTrace(const MemTrace &trace, const SimConfig &cfg)
     Tick now = 0;
     std::uint8_t zero_line[blockSize] = {};
 
-    for (const TraceRecord &r : trace.records()) {
+    // Fold the controller's per-request breakdown into the replay's
+    // attribution; the breakdown sums exactly to the request latency.
+    auto advance_mc = [&](Tick lat) {
+        res.attribution += mc.lastAccess();
+        now += lat;
+    };
+
+    for (const TraceRecord &r : mt.records()) {
         switch (r.kind) {
           case TraceRecord::Kind::Read:
-            now += mc.readLine(r.paddr, now);
+            advance_mc(mc.readLine(r.paddr, now));
             ++res.requests;
             break;
           case TraceRecord::Kind::Write:
-            now += mc.writeLine(r.paddr, zero_line, now, false);
+            advance_mc(mc.writeLine(r.paddr, zero_line, now, false));
             ++res.requests;
             break;
           case TraceRecord::Kind::PersistWrite:
-            now += mc.writeLine(r.paddr, zero_line, now, true);
+            advance_mc(mc.writeLine(r.paddr, zero_line, now, true));
             ++res.requests;
             break;
           case TraceRecord::Kind::MmioStamp:
-            now += mc.mmioStampPage(r.paddr, r.gid, r.fid, now);
+            {
+                Tick lat = mc.mmioStampPage(r.paddr, r.gid, r.fid, now);
+                res.attribution.ticks[trace::Mmio] += lat;
+                now += lat;
+            }
             break;
           case TraceRecord::Kind::MmioKey:
-            now += mc.mmioRegisterFileKey(r.gid, r.fid,
-                                          crypto::randomKey(key_rng),
-                                          now);
+            {
+                Tick lat = mc.mmioRegisterFileKey(
+                    r.gid, r.fid, crypto::randomKey(key_rng), now);
+                res.attribution.ticks[trace::Mmio] += lat;
+                now += lat;
+            }
             break;
         }
     }
@@ -129,6 +147,8 @@ replayTrace(const MemTrace &trace, const SimConfig &cfg)
     res.totalTicks = now;
     res.nvmReads = device.numReads();
     res.nvmWrites = device.numWrites();
+    if (inspect)
+        inspect(mc);
     return res;
 }
 

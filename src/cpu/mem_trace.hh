@@ -17,9 +17,11 @@
 #define FSENCR_CPU_MEM_TRACE_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "common/trace.hh"
 #include "common/types.hh"
 
 namespace fsencr {
@@ -75,6 +77,8 @@ struct ReplayResult
     std::uint64_t nvmReads = 0;
     std::uint64_t nvmWrites = 0;
     std::uint64_t requests = 0;
+    /** Per-component cycle attribution; total() == totalTicks. */
+    trace::Breakdown attribution;
 };
 
 class SecureMemoryController;
@@ -82,9 +86,16 @@ class SecureMemoryController;
 /**
  * Replay a trace against a controller built from the given config
  * (fresh device + controller per call).
+ *
+ * @param tracer optional event tracer attached to the controller for
+ *        the duration of the replay
+ * @param inspect optional callback invoked with the controller after
+ *        the last record, before it is destroyed (stats dumping)
  */
-ReplayResult replayTrace(const MemTrace &trace,
-                         const struct SimConfig &cfg);
+ReplayResult replayTrace(
+    const MemTrace &mt, const struct SimConfig &cfg,
+    trace::Tracer *tracer = nullptr,
+    const std::function<void(SecureMemoryController &)> &inspect = {});
 
 } // namespace fsencr
 

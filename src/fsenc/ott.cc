@@ -306,6 +306,9 @@ OpenTunnelTable::lookup(std::uint32_t gid, std::uint32_t fid, Tick now)
         res.found = true;
         res.ottHit = true;
         res.key = e->key;
+        if (tracer_)
+            tracer_->complete("ott_lookup", "ott", now, res.latency,
+                              /*tid=*/0, /*arg=*/1);
         return res;
     }
 
@@ -321,6 +324,9 @@ OpenTunnelTable::lookup(std::uint32_t gid, std::uint32_t fid, Tick now)
     } else {
         ++missingKeys_;
     }
+    if (tracer_)
+        tracer_->complete("ott_lookup", "ott", now, res.latency,
+                          /*tid=*/0, /*arg=*/res.found ? 1 : 0);
     return res;
 }
 
@@ -368,6 +374,8 @@ OpenTunnelTable::insert(std::uint32_t gid, std::uint32_t fid,
     }
     if (log_immediately)
         latency += spillWrite(e, now + latency);
+    if (tracer_)
+        tracer_->complete("ott_insert", "ott", now, latency);
     return latency;
 }
 

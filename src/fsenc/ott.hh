@@ -23,6 +23,7 @@
 
 #include "common/config.hh"
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "crypto/key.hh"
 #include "mem/nvm_device.hh"
@@ -94,6 +95,9 @@ class OpenTunnelTable
 
     stats::StatGroup &statGroup() { return statGroup_; }
 
+    /** Attach an event tracer (nullptr disables; observation only). */
+    void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
+
   private:
     struct Entry
     {
@@ -139,6 +143,7 @@ class OpenTunnelTable
 
     std::vector<Entry> entries_;
     std::uint64_t lruClock_ = 0;
+    trace::Tracer *tracer_ = nullptr;
 
     static constexpr unsigned spillProbeDepth = 8;
 

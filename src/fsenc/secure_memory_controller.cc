@@ -53,6 +53,55 @@ SecureMemoryController::SecureMemoryController(const SimConfig &cfg,
     statGroup_.addScalar("fileAesCacheMisses", fileAesCacheMisses_);
     statGroup_.addHistogram("readLatency", readLatency_);
     statGroup_.addHistogram("writeLatency", writeLatency_);
+
+    // Per-component cycle attribution: cumulative ticks plus the
+    // per-access distribution (suffix keeps JSON keys unique).
+    for (unsigned c = 0; c < numMcComponents; ++c) {
+        attrHists_[c] = stats::Histogram(32, 10 * tickPerNs);
+        attrGroup_.addScalar(trace::componentName(c), attrTicks_[c]);
+        attrGroup_.addHistogram(
+            std::string(trace::componentName(c)) + "_hist",
+            attrHists_[c]);
+    }
+    statGroup_.addChild(&attrGroup_);
+}
+
+void
+SecureMemoryController::setTracer(trace::Tracer *tracer)
+{
+    tracer_ = tracer;
+    if (metaCache_)
+        metaCache_->setTracer(tracer);
+    if (merkle_)
+        merkle_->setTracer(tracer);
+    if (ott_)
+        ott_->setTracer(tracer);
+    osiris_.setTracer(tracer);
+}
+
+void
+SecureMemoryController::recordAccess(bool is_read,
+                                     const trace::Breakdown &bd,
+                                     Tick total, Tick now, bool dax)
+{
+    lastAccess_ = bd;
+    for (unsigned c = 0; c < numMcComponents; ++c) {
+        attrTicks_[c] += bd.ticks[c];
+        attrHists_[c].sample(bd.ticks[c]);
+    }
+    if (is_read)
+        readLatency_.sample(total);
+    else
+        writeLatency_.sample(total);
+
+    if (tracer_) {
+        tracer_->complete(is_read ? "read" : "write", "mc", now, total,
+                          /*tid=*/0, /*arg=*/dax ? 1 : 0);
+        for (unsigned c = 0; c < numMcComponents; ++c)
+            if (bd.ticks[c])
+                tracer_->complete(trace::componentName(c), "mc.attr",
+                                  now, bd.ticks[c], /*tid=*/c + 1);
+    }
 }
 
 crypto::Line
@@ -135,14 +184,26 @@ SecureMemoryController::handleMetaEviction(Addr victim_addr, bool dirty,
 
 Tick
 SecureMemoryController::fetchMetadata(Addr meta_addr, Tick now,
-                                      bool *missed)
+                                      bool *missed,
+                                      trace::Breakdown *bd)
 {
+    // Leaf (counter-block) work is counter_fetch; the Bonsai ancestor
+    // walk below is merkle_verify. A Merkle-node fetch requested
+    // directly is all merkle_verify.
+    unsigned leaf_comp = layout_.classifyMeta(meta_addr) ==
+                                 PhysLayout::MetaKind::MerkleNode
+                             ? trace::MerkleVerify
+                             : trace::CounterFetch;
+
     Tick lat = cfg_.sec.metadataCacheLatency * cfg_.cyclePeriod();
     CacheAccessResult res = metaCache_->access(meta_addr, false);
     if (res.evicted)
         handleMetaEviction(res.victimAddr, res.writeback, now);
-    if (res.hit)
+    if (res.hit) {
+        if (bd)
+            bd->ticks[leaf_comp] += lat;
         return lat;
+    }
 
     if (missed)
         *missed = true;
@@ -180,6 +241,8 @@ SecureMemoryController::fetchMetadata(Addr meta_addr, Tick now,
                              std::to_string(meta_addr));
     }
 
+    Tick leaf_lat = lat; // everything so far: the leaf itself
+
     // Bonsai walk: fetch ancestors until a cached (trusted) node.
     if (layout_.classifyMeta(meta_addr) !=
         PhysLayout::MetaKind::MerkleNode) {
@@ -198,6 +261,10 @@ SecureMemoryController::fetchMetadata(Addr meta_addr, Tick now,
             mreq.cls = TrafficClass::Merkle;
             lat += device_.access(mreq, now + lat);
         }
+    }
+    if (bd) {
+        bd->ticks[leaf_comp] += leaf_lat;
+        bd->ticks[trace::MerkleVerify] += lat - leaf_lat;
     }
     return lat;
 }
@@ -243,8 +310,14 @@ OttLookupResult
 SecureMemoryController::lookupFileKey(const Fecb &fecb, Tick now)
 {
     OttLookupResult res = ott_->lookup(fecb.groupId, fecb.fileId, now);
-    if (!res.found)
+    if (!res.found) {
         ++missingKeyAccesses_;
+        // Per-access path: must not flood stderr in million-op runs.
+        warnLimited(8,
+                    "DAX access to file (group %u, file %u) without a "
+                    "registered key: memory-layer decryption only",
+                    fecb.groupId, fecb.fileId);
+    }
     return res;
 }
 
@@ -274,6 +347,8 @@ SecureMemoryController::readLine(Addr full_addr, Tick now,
 
     if (trace_)
         trace_->append({TraceRecord::Kind::Read, full_addr, 0, 0});
+    if (tracer_)
+        tracer_->setTime(now);
 
     MemRequest dreq;
     dreq.paddr = full_addr;
@@ -284,8 +359,10 @@ SecureMemoryController::readLine(Addr full_addr, Tick now,
         Tick lat = device_.access(dreq, now);
         if (plain_out)
             device_.readLine(line, plain_out);
-        readLatency_.sample(lat);
         ++dataReads_;
+        trace::Breakdown bd;
+        bd.ticks[trace::NvmAccess] = lat;
+        recordAccess(true, bd, lat, now, false);
         return lat;
     }
 
@@ -298,7 +375,8 @@ SecureMemoryController::readLine(Addr full_addr, Tick now,
 
     // Counter fetch (and FECB for DAX lines) through the metadata
     // cache; the data-array read proceeds in parallel.
-    Tick meta_lat = fetchMetadata(mecb_addr, now);
+    trace::Breakdown mbd;
+    Tick meta_lat = fetchMetadata(mecb_addr, now, nullptr, &mbd);
     Tick pad_lat = cfg_.sec.aesLatency;
 
     Mecb mecb = counters_->mecb(mecb_addr);
@@ -310,7 +388,7 @@ SecureMemoryController::readLine(Addr full_addr, Tick now,
         Addr fecb_addr = layout_.fecbAddr(line);
         bool fecb_missed = false;
         meta_lat += fetchMetadata(fecb_addr, now + meta_lat,
-                                  &fecb_missed);
+                                  &fecb_missed, &mbd);
         fecb = counters_->fecb(fecb_addr);
         if (!fsencLocked_) {
             OttLookupResult key = lookupFileKey(fecb, now + meta_lat);
@@ -349,9 +427,25 @@ SecureMemoryController::readLine(Addr full_addr, Tick now,
     if (plain_out)
         std::memcpy(plain_out, buf, blockSize);
 
-    Tick total = std::max(data_lat, meta_lat + pad_lat) +
-                 cfg_.sec.xorLatency * cfg_.cyclePeriod();
-    readLatency_.sample(total);
+    Tick xor_lat = cfg_.sec.xorLatency * cfg_.cyclePeriod();
+    Tick total = std::max(data_lat, meta_lat + pad_lat) + xor_lat;
+
+    // Critical-path attribution of the max(): when the data-array
+    // read dominates, the metadata/pad work is fully hidden behind it
+    // and the request is all nvm_access; otherwise the decomposition
+    // is the metadata breakdown plus the serialized OTT share of the
+    // pad latency and the AES itself. Either way the components sum
+    // exactly to the returned latency.
+    trace::Breakdown bd;
+    if (data_lat >= meta_lat + pad_lat) {
+        bd.ticks[trace::NvmAccess] = data_lat;
+    } else {
+        bd = mbd; // counter_fetch + merkle_verify == meta_lat
+        bd.ticks[trace::OttLookup] += pad_lat - cfg_.sec.aesLatency;
+        bd.ticks[trace::PadGen] += cfg_.sec.aesLatency;
+    }
+    bd.ticks[trace::PadGen] += xor_lat;
+    recordAccess(true, bd, total, now, dax);
     return total;
 }
 
@@ -367,6 +461,8 @@ SecureMemoryController::writeLine(Addr full_addr,
         trace_->append({blocking ? TraceRecord::Kind::PersistWrite
                                  : TraceRecord::Kind::Write,
                         full_addr, 0, 0});
+    if (tracer_)
+        tracer_->setTime(now);
 
     MemRequest dreq;
     dreq.paddr = full_addr;
@@ -380,8 +476,10 @@ SecureMemoryController::writeLine(Addr full_addr,
         // a full queue backpressures at the device drain rate.
         Tick lat = cfg_.pcm.writeAcceptLatency +
                    wpqAccept(now, now + dev_lat);
-        writeLatency_.sample(lat);
         ++dataWrites_;
+        trace::Breakdown bd;
+        bd.ticks[trace::Writeback] = lat;
+        recordAccess(false, bd, lat, now, false);
         return lat;
     }
 
@@ -394,10 +492,11 @@ SecureMemoryController::writeLine(Addr full_addr,
     Addr fecb_addr = dax ? layout_.fecbAddr(line) : 0;
 
     bool meta_missed = false;
-    Tick meta_lat = fetchMetadata(mecb_addr, now, &meta_missed);
+    trace::Breakdown mbd;
+    Tick meta_lat = fetchMetadata(mecb_addr, now, &meta_missed, &mbd);
     if (dax)
         meta_lat += fetchMetadata(fecb_addr, now + meta_lat,
-                                  &meta_missed);
+                                  &meta_missed, &mbd);
 
     // Copy-mutate-install: references into the CounterStore can be
     // invalidated by nested metadata-cache evictions.
@@ -505,16 +604,22 @@ SecureMemoryController::writeLine(Addr full_addr,
     // The write occupies a WPQ slot until the pad is ready and the
     // cell write drains; a full queue stalls the accept.
     Tick completion = now + meta_lat + pad_lat + dev_lat;
-    Tick lat = cfg_.pcm.writeAcceptLatency + reencrypt_lat +
-               wpqAccept(now, completion);
+    Tick accept_lat =
+        cfg_.pcm.writeAcceptLatency + wpqAccept(now, completion);
+    Tick lat = accept_lat + reencrypt_lat;
+    trace::Breakdown bd;
+    bd.ticks[trace::Writeback] = accept_lat;
+    // Page re-encryption is a burst of data-array reads and writes.
+    bd.ticks[trace::NvmAccess] = reencrypt_lat;
     if (blocking && meta_missed) {
         // Persist-ordered (clwb+fence) under ADR: the store is durable
         // at WPQ accept; pad generation and the cell write drain in
         // the background. Only a counter fetch from NVM backpressures
         // the accept itself.
         lat += meta_lat;
+        bd += mbd; // counter_fetch + merkle_verify == meta_lat
     }
-    writeLatency_.sample(lat);
+    recordAccess(false, bd, lat, now, dax);
     return lat;
 }
 
@@ -595,6 +700,11 @@ SecureMemoryController::mmioRegisterFileKey(std::uint32_t gid,
     fid &= Fecb::fileIdMask;
     if (trace_)
         trace_->append({TraceRecord::Kind::MmioKey, 0, gid, fid});
+    if (tracer_) {
+        tracer_->setTime(now);
+        tracer_->instant("mmio_register_file_key", "mmio", now,
+                         (static_cast<std::uint64_t>(gid) << 14) | fid);
+    }
     return ott_->insert(gid, fid, fek, now,
                         cfg_.sec.ottLogImmediately);
 }
@@ -608,6 +718,14 @@ SecureMemoryController::mmioRemoveFileKey(std::uint32_t gid,
     // Deleted file: its key may still sit in the context cache keyed
     // by value; shedding every schedule is cheap and deletion is rare.
     fileAesCache_.invalidateAll();
+    if (tracer_) {
+        tracer_->setTime(now);
+        tracer_->instant("mmio_remove_file_key", "mmio", now,
+                         (static_cast<std::uint64_t>(
+                              gid & Fecb::groupIdMask)
+                          << 14) |
+                             (fid & Fecb::fileIdMask));
+    }
     return ott_->remove(gid & Fecb::groupIdMask,
                         fid & Fecb::fileIdMask, now);
 }
@@ -620,6 +738,11 @@ SecureMemoryController::mmioStampPage(Addr paddr, std::uint32_t gid,
         return 0;
     if (trace_)
         trace_->append({TraceRecord::Kind::MmioStamp, paddr, gid, fid});
+    if (tracer_) {
+        tracer_->setTime(now);
+        tracer_->instant("mmio_stamp_page", "mmio", now,
+                         stripDfBit(paddr));
+    }
     Addr line = blockAlign(stripDfBit(paddr));
     Addr fecb_addr = layout_.fecbAddr(line);
     Tick lat = fetchMetadata(fecb_addr, now);
@@ -651,6 +774,9 @@ SecureMemoryController::mmioAdminLogin(const crypto::Key128 &credential)
         return;
     }
     fsencLocked_ = credential != *adminCredential_;
+    if (tracer_)
+        tracer_->instant("mmio_admin_login", "mmio", tracer_->time(),
+                         fsencLocked_ ? 0 : 1);
     if (fsencLocked_) {
         warn("admin credential mismatch: FsEncr decryption locked");
         // Locked: no file pads may be produced, so no expanded file
@@ -751,6 +877,11 @@ SecureMemoryController::mmioBeginLazyRekey(std::uint32_t gid,
         return 0;
     gid &= Fecb::groupIdMask;
     fid &= Fecb::fileIdMask;
+    if (tracer_) {
+        tracer_->setTime(now);
+        tracer_->instant("mmio_begin_lazy_rekey", "mmio", now,
+                         pages.size());
+    }
     auto current = ott_->lookup(gid, fid, now);
     if (!current.found)
         fatal("lazy rekey of (%u, %u) without a current key", gid,

@@ -29,6 +29,7 @@
 #include "common/config.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "crypto/aes_cache.hh"
 #include "crypto/ctr_mode.hh"
@@ -269,16 +270,63 @@ class SecureMemoryController
      *  (nullptr disables). See cpu/mem_trace.hh. */
     void setTraceCapture(class MemTrace *trace) { trace_ = trace; }
 
+    /// @name Observability (see docs/ARCHITECTURE.md, "Observability")
+    /// @{
+
+    /** MC attribution components: the first trace::Writeback+1. */
+    static constexpr unsigned numMcComponents = trace::Writeback + 1;
+
+    /**
+     * Attach an event tracer (nullptr disables). Forwarded to the
+     * metadata cache, Merkle tree, OTT and Osiris so their probes land
+     * in the same ring. Pure observation: never affects timing.
+     */
+    void setTracer(trace::Tracer *tracer);
+    trace::Tracer *tracer() const { return tracer_; }
+
+    /** Cycle attribution of the most recent read/write request. The
+     *  component ticks sum exactly to the latency that request
+     *  returned. */
+    const trace::Breakdown &lastAccess() const { return lastAccess_; }
+
+    const stats::Histogram &readLatencyHistogram() const
+    {
+        return readLatency_;
+    }
+    const stats::Histogram &writeLatencyHistogram() const
+    {
+        return writeLatency_;
+    }
+    /** Per-access distribution of one attribution component. */
+    const stats::Histogram &
+    componentHistogram(unsigned c) const
+    {
+        return attrHists_.at(c);
+    }
+
+    /// @}
+
   private:
     /**
      * Bring a metadata line on-chip: metadata-cache access, device
      * fetch + Merkle walk on a miss, eviction handling.
      *
      * @param missed set to true if the line had to come from NVM
+     * @param bd if non-null, the latency is attributed into it
+     *        (counter_fetch for the leaf, merkle_verify for the
+     *        Bonsai ancestor walk); the attributed ticks sum to the
+     *        returned latency
      * @return latency
      */
     Tick fetchMetadata(Addr meta_addr, Tick now,
-                       bool *missed = nullptr);
+                       bool *missed = nullptr,
+                       trace::Breakdown *bd = nullptr);
+
+    /** Book one finished read/write: lastAccess_, cumulative
+     *  attribution stats, latency histograms and trace events. The
+     *  breakdown must sum exactly to @p total. */
+    void recordAccess(bool is_read, const trace::Breakdown &bd,
+                      Tick total, Tick now, bool dax);
 
     /** Handle a metadata-cache eviction (persist dirty counters). */
     void handleMetaEviction(Addr victim_addr, bool dirty, Tick now);
@@ -345,6 +393,12 @@ class SecureMemoryController
     /** Optional request-stream capture. */
     class MemTrace *trace_ = nullptr;
 
+    /** Optional event tracer (nullptr = probes disabled). */
+    trace::Tracer *tracer_ = nullptr;
+
+    /** Attribution of the most recent read/write. */
+    trace::Breakdown lastAccess_;
+
     /** Anubis shadow table: counter blocks whose on-chip copy may be
      *  ahead of NVM. Lives in a persistent metadata region, so it
      *  survives crashes; maintained on metadata-cache fill/eviction. */
@@ -395,6 +449,12 @@ class SecureMemoryController
     mutable stats::Scalar fileAesCacheMisses_;
     stats::Histogram readLatency_;
     stats::Histogram writeLatency_;
+
+    /** Cumulative + per-access attribution, one slot per MC
+     *  component (ott_lookup .. writeback). */
+    stats::StatGroup attrGroup_{"attribution"};
+    std::array<stats::Scalar, numMcComponents> attrTicks_;
+    std::array<stats::Histogram, numMcComponents> attrHists_;
 };
 
 } // namespace fsencr

@@ -84,7 +84,8 @@ Kernel::creat(std::uint32_t pid, const std::string &path,
         // files could share an OTT slot. Warn — a production design
         // would recycle inode numbers within the field width.
         if (ino > Fecb::fileIdMask)
-            warn("inode %u exceeds the 14-bit File ID field", ino);
+            warnLimited(4, "inode %u exceeds the 14-bit File ID field",
+                        ino);
         // FEK is random; the FEKEK derives from the creator's
         // passphrase (keyed to the *owner*), as in eCryptfs.
         crypto::Key128 fek = crypto::randomKey(rng_);
@@ -93,6 +94,8 @@ Kernel::creat(std::uint32_t pid, const std::string &path,
         node.fekCheck =
             crypto::digestTo64(crypto::Sha256::digest(fek.data(),
                                                       fek.size()));
+        if (trace::Tracer *t = mc_.tracer())
+            t->instant("kernel_creat", "kernel", now, ino);
         if (cfg_.hasFsEncr())
             mc_.mmioRegisterFileKey(node.gid, ino, fek, now);
         keyring_[ino] = fek;
@@ -183,6 +186,8 @@ Kernel::unlinkFile(std::uint32_t pid, const std::string &path, Tick now)
     std::vector<Addr> freed = fs_.unlink(path);
 
     Tick lat = 0;
+    if (trace::Tracer *t = mc_.tracer())
+        t->instant("kernel_unlink", "kernel", now, *ino);
     if (encrypted && cfg_.hasFsEncr())
         lat += mc_.mmioRemoveFileKey(gid, *ino, now);
     // Secure deletion: shred every freed page by IV repurposing; a

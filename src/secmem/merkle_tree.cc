@@ -141,6 +141,9 @@ void
 MerkleTree::updateLeaf(Addr leaf_addr)
 {
     ++updates_;
+    if (tracer_)
+        tracer_->instant("merkle_update", "merkle", tracer_->time(),
+                         leaf_addr);
     std::uint64_t idx = leafIndex(leaf_addr);
     macs_[0][idx] = leafMacFromDevice(leaf_addr);
     propagate(idx);
@@ -165,6 +168,9 @@ MerkleTree::verifyLeaf(Addr leaf_addr) const
     }
     if (!ok)
         ++failures_;
+    if (tracer_)
+        tracer_->instant("merkle_verify", "merkle", tracer_->time(),
+                         ok ? 1 : 0);
     return ok;
 }
 
@@ -201,6 +207,9 @@ MerkleTree::rebuildAndVerify()
     bool ok = root_ == saved_root;
     if (!ok)
         ++failures_;
+    if (tracer_)
+        tracer_->instant("merkle_rebuild", "merkle", tracer_->time(),
+                         ok ? 1 : 0);
     return ok;
 }
 

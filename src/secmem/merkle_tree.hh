@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "mem/nvm_device.hh"
 #include "mem/phys_layout.hh"
@@ -103,6 +104,10 @@ class MerkleTree
 
     stats::StatGroup &statGroup() { return statGroup_; }
 
+    /** Attach an event tracer (nullptr disables). Verifications and
+     *  updates become instants stamped with Tracer::time(). */
+    void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
+
   private:
     /** MAC of a 64-byte buffer. */
     std::uint64_t macOf(const std::uint8_t *line, Addr addr) const;
@@ -141,6 +146,7 @@ class MerkleTree
     stats::Scalar updates_;
     mutable stats::Scalar verifies_;
     mutable stats::Scalar failures_;
+    trace::Tracer *tracer_ = nullptr;
 };
 
 } // namespace fsencr

@@ -85,7 +85,17 @@ MetadataCache::cacheFor(Addr meta_addr) const
 CacheAccessResult
 MetadataCache::access(Addr meta_addr, bool is_write)
 {
-    return cacheFor(meta_addr).access(meta_addr, is_write);
+    CacheAccessResult res = cacheFor(meta_addr).access(meta_addr,
+                                                       is_write);
+    if (tracer_) {
+        if (!res.hit)
+            tracer_->instant("meta_cache_miss", "metaCache",
+                             tracer_->time(), meta_addr);
+        if (res.evicted && res.writeback)
+            tracer_->instant("meta_cache_writeback", "metaCache",
+                             tracer_->time(), res.victimAddr);
+    }
+    return res;
 }
 
 bool

@@ -17,6 +17,7 @@
 #include "cache/cache.hh"
 #include "common/config.hh"
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "mem/phys_layout.hh"
 
 namespace fsencr {
@@ -41,6 +42,11 @@ class MetadataCache
 
     stats::StatGroup &statGroup() { return statGroup_; }
 
+    /** Attach an event tracer (nullptr disables). Misses and
+     *  evictions become instants stamped with Tracer::time() (this
+     *  cache has no clock of its own). */
+    void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
+
   private:
     /** Partition index for an address: 0 MECB, 1 FECB, 2 Merkle. */
     unsigned partitionOf(Addr meta_addr) const;
@@ -55,6 +61,7 @@ class MetadataCache
     std::unique_ptr<SetAssocCache> parts_[3];
 
     stats::StatGroup statGroup_;
+    trace::Tracer *tracer_ = nullptr;
 };
 
 } // namespace fsencr

@@ -22,6 +22,7 @@
 #include <utility>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "crypto/sha256.hh"
 
@@ -84,18 +85,27 @@ class OsirisRecovery
                      std::uint32_t stored_ecc,
                      TrialDecrypt2 &&trial_decrypt, Addr line_addr)
     {
+        std::uint64_t probes = 0;
         for (unsigned dm = 0; dm <= mem_span; ++dm) {
             for (unsigned df = 0; df <= file_span; ++df) {
                 ++probes_;
+                ++probes;
                 std::uint8_t plain[blockSize];
                 trial_decrypt(dm, df, plain);
                 if (eccOf(plain, line_addr) == stored_ecc) {
                     ++recovered_;
+                    if (tracer_)
+                        tracer_->instant("osiris_recover_pair",
+                                         "osiris", tracer_->time(),
+                                         probes);
                     return std::make_pair(dm, df);
                 }
             }
         }
         ++failed_;
+        if (tracer_)
+            tracer_->instant("osiris_fail_pair", "osiris",
+                             tracer_->time(), probes);
         return std::nullopt;
     }
 
@@ -115,24 +125,37 @@ class OsirisRecovery
     recoverMinor(std::uint32_t persisted_minor, std::uint32_t stored_ecc,
                  TrialDecrypt &&trial_decrypt, Addr line_addr)
     {
+        std::uint64_t probes = 0;
         for (unsigned d = 0; d <= stopLoss_; ++d) {
             ++probes_;
+            ++probes;
             std::uint32_t cand = persisted_minor + d;
             std::uint8_t plain[blockSize];
             trial_decrypt(cand, plain);
             if (eccOf(plain, line_addr) == stored_ecc) {
                 ++recovered_;
+                if (tracer_)
+                    tracer_->instant("osiris_recover", "osiris",
+                                     tracer_->time(), probes);
                 return cand;
             }
         }
         ++failed_;
+        if (tracer_)
+            tracer_->instant("osiris_fail", "osiris", tracer_->time(),
+                             probes);
         return std::nullopt;
     }
 
     stats::StatGroup &statGroup() { return statGroup_; }
 
+    /** Attach an event tracer (nullptr disables). Recovery outcomes
+     *  become instants carrying the probe count. */
+    void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
+
   private:
     unsigned stopLoss_;
+    trace::Tracer *tracer_ = nullptr;
 
     stats::StatGroup statGroup_;
     stats::Scalar probes_;

@@ -27,6 +27,9 @@ System::System(const SimConfig &cfg)
     statGroup_.addScalar("stores", totalStores_);
     statGroup_.addScalar("crashes", crashes_);
     statGroup_.addScalar("recoveries", recoveries_);
+    for (unsigned c = 0; c < trace::NumComponents; ++c)
+        attrGroup_.addScalar(trace::componentName(c), attrTicks_[c]);
+    statGroup_.addChild(&attrGroup_);
     statGroup_.addChild(&device_->statGroup());
     statGroup_.addChild(&mc_->statGroup());
     statGroup_.addChild(&caches_->statGroup());
@@ -36,6 +39,44 @@ System::System(const SimConfig &cfg)
         statGroup_.addChild(&swenc_->statGroup());
     for (auto &c : cores_)
         statGroup_.addChild(&c->statGroup());
+}
+
+void
+System::setTracer(trace::Tracer *tracer)
+{
+    tracer_ = tracer;
+    mc_->setTracer(tracer);
+    if (tracer_)
+        tracer_->setTime(now_);
+}
+
+void
+System::advanceMc(Tick latency)
+{
+    // The controller's per-request breakdown sums exactly to the
+    // latency it returned; fold it into the system-level attribution.
+    const trace::Breakdown &bd = mc_->lastAccess();
+    for (unsigned c = 0; c < trace::NumComponents; ++c)
+        attrTicks_[c] += bd.ticks[c];
+    now_ += latency;
+}
+
+trace::Breakdown
+System::attribution() const
+{
+    trace::Breakdown bd;
+    for (unsigned c = 0; c < trace::NumComponents; ++c)
+        bd.ticks[c] = attrTicks_[c].value();
+    return bd;
+}
+
+trace::Breakdown
+System::measuredAttribution() const
+{
+    trace::Breakdown bd;
+    for (unsigned c = 0; c < trace::NumComponents; ++c)
+        bd.ticks[c] = attrTicks_[c].value() - measureStartAttr_[c];
+    return bd;
 }
 
 void
@@ -77,8 +118,8 @@ System::accessOnce(unsigned core_id, Addr vaddr, bool is_write,
     if (!core.tlb().lookup(vaddr, pframe)) {
         Translation t = kernel_->translate(core.currentPid(), vaddr,
                                            is_write, now_);
-        now_ += t.cycles * cfg_.cyclePeriod();
-        now_ += t.mcLatency;
+        advance(trace::Translation, t.cycles * cfg_.cyclePeriod());
+        advance(trace::Mmio, t.mcLatency);
         if (t.faulted)
             ++core.pageFaults_;
         core.tlb().insert(vaddr, t.pframe);
@@ -88,14 +129,15 @@ System::accessOnce(unsigned core_id, Addr vaddr, bool is_write,
 
     // Software-encryption baseline intercepts encrypted-file pages.
     if (swenc_ && kernel_->isSwencFrame(paddr))
-        now_ += swenc_->onAccess(stripDfBit(paddr), is_write, now_);
+        advance(trace::SwEnc,
+                swenc_->onAccess(stripDfBit(paddr), is_write, now_));
 
     // Cache hierarchy; a miss at every level goes to the controller.
     HierarchyResult hr = caches_->access(core_id, paddr, is_write,
                                          *this);
-    now_ += hr.cycles * cfg_.cyclePeriod();
+    advance(trace::CacheAccess, hr.cycles * cfg_.cyclePeriod());
     if (hr.level == HitLevel::Memory)
-        now_ += mc_->readLine(paddr, now_);
+        advanceMc(mc_->readLine(paddr, now_));
 
     // Functional data movement against the architectural image.
     Addr daddr = stripDfBit(paddr);
@@ -149,8 +191,8 @@ class BlockingSink : public WritebackSink
 {
   public:
     BlockingSink(System &sys, SecureMemoryController &mc,
-                 BackingStore &arch, Tick &now)
-        : sys_(sys), mc_(mc), arch_(arch), now_(now)
+                 BackingStore &arch)
+        : sys_(sys), mc_(mc), arch_(arch)
     {}
 
     void
@@ -158,15 +200,14 @@ class BlockingSink : public WritebackSink
     {
         std::uint8_t buf[blockSize];
         arch_.read(blockAlign(stripDfBit(paddr)), buf, blockSize);
-        now_ += mc_.writeLine(paddr, buf, now_, /*blocking=*/true);
-        (void)sys_;
+        sys_.advanceMc(
+            mc_.writeLine(paddr, buf, sys_.now(), /*blocking=*/true));
     }
 
   private:
     System &sys_;
     SecureMemoryController &mc_;
     BackingStore &arch_;
-    Tick &now_;
 };
 
 } // namespace
@@ -181,8 +222,8 @@ System::clwb(unsigned core_id, Addr vaddr)
     if (!core.tlb().lookup(vaddr, pframe)) {
         Translation t = kernel_->translate(core.currentPid(), vaddr,
                                            false, now_);
-        now_ += t.cycles * cfg_.cyclePeriod();
-        now_ += t.mcLatency;
+        advance(trace::Translation, t.cycles * cfg_.cyclePeriod());
+        advance(trace::Mmio, t.mcLatency);
         core.tlb().insert(vaddr, t.pframe);
         pframe = pageAlign(t.pframe);
     }
@@ -197,13 +238,13 @@ System::clwbPhys(unsigned core_id, Addr paddr)
     // the page to the next fence (Figure 3's fundamental handicap).
     if (swenc_ && kernel_->isSwencFrame(paddr)) {
         swencPendingSync_.push_back(pageAlign(stripDfBit(paddr)));
-        now_ += 2 * cfg_.cyclePeriod();
+        advance(trace::CpuCompute, 2 * cfg_.cyclePeriod());
         return;
     }
 
     // The clwb instruction itself.
-    now_ += 2 * cfg_.cyclePeriod();
-    BlockingSink sink(*this, *mc_, archMem_, now_);
+    advance(trace::CpuCompute, 2 * cfg_.cyclePeriod());
+    BlockingSink sink(*this, *mc_, archMem_);
     caches_->clwb(core_id, paddr, sink);
 }
 
@@ -233,7 +274,7 @@ System::fence(unsigned core_id)
     ++core.fences_;
     // Persist writes already landed synchronously (in-order model);
     // the fence costs its pipeline drain only.
-    now_ += 10 * cfg_.cyclePeriod();
+    advance(trace::CpuCompute, 10 * cfg_.cyclePeriod());
 
     if (swenc_ && !swencPendingSync_.empty()) {
         // Deduplicate pages dirtied since the last fence, then msync.
@@ -242,7 +283,7 @@ System::fence(unsigned core_id)
                                             swencPendingSync_.end()),
                                 swencPendingSync_.end());
         for (Addr page : swencPendingSync_)
-            now_ += swenc_->msync(page, now_);
+            advance(trace::SwEnc, swenc_->msync(page, now_));
         swencPendingSync_.clear();
     }
 }
@@ -261,7 +302,7 @@ void
 System::tick(unsigned core, Cycles cycles)
 {
     (void)core;
-    now_ += cycles * cfg_.cyclePeriod();
+    advance(trace::CpuCompute, cycles * cfg_.cyclePeriod());
 }
 
 std::uint32_t
@@ -335,8 +376,9 @@ void
 System::unlink(unsigned core, const std::string &path)
 {
     tick(core, 600);
-    now_ += kernel_->unlinkFile(cores_.at(core)->currentPid(), path,
-                                now_);
+    advance(trace::Mmio,
+            kernel_->unlinkFile(cores_.at(core)->currentPid(), path,
+                                now_));
 }
 
 void
@@ -352,13 +394,14 @@ System::accessPhys(unsigned core_id, Addr paddr, bool is_write,
                    void *buf, std::size_t size)
 {
     if (swenc_ && kernel_->isSwencFrame(paddr))
-        now_ += swenc_->onAccess(stripDfBit(paddr), is_write, now_);
+        advance(trace::SwEnc,
+                swenc_->onAccess(stripDfBit(paddr), is_write, now_));
 
     HierarchyResult hr = caches_->access(core_id, paddr, is_write,
                                          *this);
-    now_ += hr.cycles * cfg_.cyclePeriod();
+    advance(trace::CacheAccess, hr.cycles * cfg_.cyclePeriod());
     if (hr.level == HitLevel::Memory)
-        now_ += mc_->readLine(paddr, now_);
+        advanceMc(mc_->readLine(paddr, now_));
 
     Addr daddr = stripDfBit(paddr);
     if (is_write)
@@ -383,7 +426,8 @@ System::fileRead(unsigned core, int fd, std::uint64_t offset, void *buf,
         Addr paddr = fs_->blockPaddr(node.ino, offset);
         if (kernel_->daxEncrypted(node))
             paddr = setDfBit(paddr);
-        now_ += kernel_->touchFileFrame(node.ino, paddr, now_);
+        advance(trace::Mmio,
+                kernel_->touchFileFrame(node.ino, paddr, now_));
         std::size_t chunk = std::min<std::size_t>(
             len, blockSize - blockOffset(paddr));
         chunk = std::min<std::size_t>(chunk,
@@ -414,7 +458,8 @@ System::fileWrite(unsigned core, int fd, std::uint64_t offset,
         Addr paddr = fs_->blockPaddr(node.ino, offset);
         if (kernel_->daxEncrypted(node))
             paddr = setDfBit(paddr);
-        now_ += kernel_->touchFileFrame(node.ino, paddr, now_);
+        advance(trace::Mmio,
+                kernel_->touchFileFrame(node.ino, paddr, now_));
         std::size_t chunk = std::min<std::size_t>(
             len, blockSize - blockOffset(paddr));
         chunk = std::min<std::size_t>(chunk,
@@ -502,7 +547,7 @@ System::resyncArchFromDevice()
     for (Addr line : lines) {
         Addr paddr = lineIsDax(line) ? setDfBit(line) : line;
         std::uint8_t buf[blockSize];
-        now_ += mc_->readLine(paddr, now_, buf);
+        advanceMc(mc_->readLine(paddr, now_, buf));
         archMem_.write(line, buf, blockSize);
     }
 }
@@ -517,7 +562,7 @@ System::recover()
         ok = mc_->recoverMetadata();
         // Remount: re-stamp every encrypted file page from filesystem
         // metadata so recovery can identify DAX lines and keys.
-        now_ += kernel_->restampAllFiles(now_);
+        advance(trace::Mmio, kernel_->restampAllFiles(now_));
         failures = mc_->recoverAll();
     } catch (const IntegrityError &) {
         // Tampered persisted metadata discovered mid-recovery.
@@ -555,7 +600,7 @@ System::shutdown()
     caches_->flushAll(*this);
     mc_->shutdown(now_);
     if (swenc_)
-        now_ += swenc_->flush(now_);
+        advance(trace::SwEnc, swenc_->flush(now_));
 }
 
 bool
@@ -576,7 +621,7 @@ System::migrateFrom(System &donor)
 
     // 4. Remount: re-stamp the adopted filesystem's pages, then the
     //    new machine decrypts its view of the module.
-    now_ += kernel_->restampAllFiles(now_);
+    advance(trace::Mmio, kernel_->restampAllFiles(now_));
     resyncArchFromDevice();
     return true;
 }
@@ -593,6 +638,8 @@ System::beginMeasurement()
     measureStart_ = now_;
     measureStartReads_ = device_->numReads();
     measureStartWrites_ = device_->numWrites();
+    for (unsigned c = 0; c < trace::NumComponents; ++c)
+        measureStartAttr_[c] = attrTicks_[c].value();
 }
 
 std::uint64_t

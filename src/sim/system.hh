@@ -25,6 +25,7 @@
 #include "common/config.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "cpu/core.hh"
 #include "fs/nvmfs.hh"
@@ -185,6 +186,41 @@ class System : public WritebackSink
     std::uint64_t measuredWrites() const;
     /// @}
 
+    /// @name Observability (see docs/ARCHITECTURE.md, "Observability")
+    /// @{
+
+    /** Attach an event tracer (nullptr disables); forwarded to the
+     *  memory controller and its sub-components. Observation only:
+     *  the clock is never affected. */
+    void setTracer(trace::Tracer *tracer);
+    trace::Tracer *tracer() const { return tracer_; }
+
+    /**
+     * Advance the clock, attributing the ticks to one component.
+     * Every clock advance in the system goes through here (or through
+     * advanceMc()), so the per-component sums reproduce total ticks
+     * exactly.
+     */
+    void
+    advance(unsigned component, Tick ticks)
+    {
+        now_ += ticks;
+        attrTicks_[component] += ticks;
+    }
+
+    /** Advance by a memory-controller request latency, splitting it
+     *  per the controller's own attribution of that request. */
+    void advanceMc(Tick latency);
+
+    /** Cumulative per-component attribution since construction. */
+    trace::Breakdown attribution() const;
+
+    /** Attribution within the measurement window; its total() equals
+     *  measuredTicks() exactly. */
+    trace::Breakdown measuredAttribution() const;
+
+    /// @}
+
     /** WritebackSink: dirty L3 victims reach the controller. */
     void writebackLine(Addr paddr) override;
 
@@ -242,11 +278,19 @@ class System : public WritebackSink
     std::uint64_t measureStartReads_ = 0;
     std::uint64_t measureStartWrites_ = 0;
 
+    trace::Tracer *tracer_ = nullptr;
+
     stats::StatGroup statGroup_;
     stats::Scalar totalLoads_;
     stats::Scalar totalStores_;
     stats::Scalar crashes_;
     stats::Scalar recoveries_;
+
+    /** System-level cycle attribution (every clock advance lands in
+     *  exactly one slot). */
+    stats::StatGroup attrGroup_{"attribution"};
+    std::array<stats::Scalar, trace::NumComponents> attrTicks_;
+    std::array<std::uint64_t, trace::NumComponents> measureStartAttr_{};
 };
 
 } // namespace fsencr

@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Observability-layer tests: percentile estimation, JSON stat dumps
+ * that actually parse, the trace-event ring buffer and its Chrome
+ * JSON round-trip, cycle attribution summing exactly to the clock,
+ * rate-limited warnings, and the streaming report writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bench/harness.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/report.hh"
+#include "common/stats.hh"
+#include "common/trace.hh"
+#include "cpu/mem_trace.hh"
+#include "sim/system.hh"
+#include "workloads/pmemkv_bench.hh"
+#include "workloads/workload.hh"
+
+using namespace fsencr;
+
+namespace {
+
+workloads::PmemkvConfig
+tinyKv()
+{
+    workloads::PmemkvConfig kv;
+    kv.op = workloads::PmemkvOp::FillRandom;
+    kv.numKeys = 256;
+    kv.numOps = 256;
+    kv.valueBytes = 64;
+    return kv;
+}
+
+SimConfig
+cfgFor(Scheme s)
+{
+    SimConfig cfg;
+    cfg.scheme = s;
+    return cfg;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Histogram::percentile
+// ---------------------------------------------------------------------
+
+TEST(Percentile, EmptyHistogramReportsZero)
+{
+    stats::Histogram h(8, 10);
+    EXPECT_EQ(h.percentile(50.0), 0.0);
+    EXPECT_EQ(h.percentile(99.0), 0.0);
+}
+
+TEST(Percentile, SingleSampleIsExact)
+{
+    stats::Histogram h(8, 10);
+    h.sample(37);
+    EXPECT_EQ(h.percentile(0.0), 37.0);
+    EXPECT_EQ(h.percentile(50.0), 37.0);
+    EXPECT_EQ(h.percentile(100.0), 37.0);
+}
+
+TEST(Percentile, UniformSamplesInterpolate)
+{
+    stats::Histogram h(10, 10);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.sample(v);
+    double p50 = h.percentile(50.0);
+    double p95 = h.percentile(95.0);
+    double p99 = h.percentile(99.0);
+    EXPECT_NEAR(p50, 50.0, 10.0);
+    EXPECT_NEAR(p95, 95.0, 10.0);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_LE(p99, 99.0);
+    EXPECT_GE(h.percentile(0.0), 0.0);
+}
+
+TEST(Percentile, OverflowBucketInterpolatesTowardMax)
+{
+    stats::Histogram h(4, 10); // linear coverage ends at 40
+    h.sample(5);
+    h.sample(500);
+    double p99 = h.percentile(99.0);
+    EXPECT_GE(p99, 40.0);   // inside the overflow region
+    EXPECT_LE(p99, 500.0);  // clamped to the observed max
+    EXPECT_EQ(h.percentile(100.0), 500.0);
+}
+
+TEST(Percentile, AllSamplesInOverflow)
+{
+    stats::Histogram h(2, 10);
+    h.sample(1000);
+    h.sample(2000);
+    h.sample(3000);
+    EXPECT_GE(h.percentile(50.0), 20.0);
+    EXPECT_LE(h.percentile(50.0), 3000.0);
+    EXPECT_EQ(h.percentile(100.0), 3000.0);
+}
+
+// ---------------------------------------------------------------------
+// StatGroup JSON dump + dotted-path lookup
+// ---------------------------------------------------------------------
+
+TEST(StatsJson, NestedDumpParsesAndPreservesU64)
+{
+    stats::StatGroup root("root");
+    stats::StatGroup child("child");
+    stats::Scalar big, small;
+    stats::Histogram h(4, 10);
+    big = (1ull << 60) + 7; // would round through a double
+    small = 3;
+    h.sample(12);
+    root.addScalar("big", big);
+    child.addScalar("small", small);
+    child.addHistogram("lat", h);
+    root.addChild(&child);
+
+    std::ostringstream os;
+    root.dumpJson(os);
+
+    json::Value doc;
+    ASSERT_TRUE(json::parse(os.str(), doc)) << os.str();
+    ASSERT_TRUE(doc.isObject());
+    const json::Value *b = doc.find("big");
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->asU64(), (1ull << 60) + 7);
+    const json::Value *c = doc.find("child");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->find("small")->asU64(), 3u);
+    const json::Value *lat = c->find("lat");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->find("samples")->asU64(), 1u);
+    ASSERT_NE(lat->find("p50"), nullptr);
+    ASSERT_NE(lat->find("p95"), nullptr);
+    ASSERT_NE(lat->find("p99"), nullptr);
+    EXPECT_EQ(lat->find("min")->asU64(), 12u);
+}
+
+TEST(StatsJson, ScalarValueDottedPath)
+{
+    stats::StatGroup root("root");
+    stats::StatGroup mid("mid");
+    stats::StatGroup leaf("leaf");
+    stats::Scalar v;
+    v = 42;
+    leaf.addScalar("value", v);
+    mid.addChild(&leaf);
+    root.addChild(&mid);
+    EXPECT_EQ(root.scalarValue("mid.leaf.value"), 42u);
+}
+
+// ---------------------------------------------------------------------
+// Tracer ring buffer + Chrome trace_event round-trip
+// ---------------------------------------------------------------------
+
+TEST(Tracer, RingOverwritesOldestAndCountsDrops)
+{
+    trace::Tracer t(4);
+    for (std::uint64_t i = 0; i < 6; ++i)
+        t.instant("ev", "test", i * 100, i);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.emitted(), 6u);
+    EXPECT_EQ(t.dropped(), 2u);
+    auto evs = t.events();
+    ASSERT_EQ(evs.size(), 4u);
+    EXPECT_EQ(evs.front().arg, 2u); // oldest surviving
+    EXPECT_EQ(evs.back().arg, 5u);
+}
+
+TEST(Tracer, ExportIsValidJson)
+{
+    trace::Tracer t(16);
+    t.complete("read", "mc", 1000, 250, 0, 1);
+    t.instant("meta_cache_miss", "metaCache", 1100, 0xdeadbeef);
+    t.counter("wpq", "mc", 1200, 3);
+
+    std::ostringstream os;
+    t.exportJson(os);
+
+    json::Value doc;
+    ASSERT_TRUE(json::parse(os.str(), doc)) << os.str();
+    const json::Value *evs = doc.find("traceEvents");
+    ASSERT_NE(evs, nullptr);
+    ASSERT_TRUE(evs->isArray());
+    ASSERT_EQ(evs->array.size(), 3u);
+    const json::Value &first = evs->array[0];
+    EXPECT_EQ(first.find("name")->str, "read");
+    EXPECT_EQ(first.find("ph")->str, "X");
+    const json::Value *other = doc.find("otherData");
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(other->find("emitted")->asU64(), 3u);
+}
+
+TEST(Tracer, ExportImportRoundTrip)
+{
+    trace::Tracer t(32);
+    // Sub-microsecond tick values exercise the fixed-point formatting.
+    t.complete("read", "mc", 1234567, 890123, 2, 77);
+    t.complete("write", "mc", 2000000, 1, 0, 0);
+    t.instant("osiris_recover", "osiris", 3, 9);
+    t.counter("depth", "ott", 4000001, 12);
+
+    std::ostringstream os;
+    t.exportJson(os);
+
+    trace::Tracer back(32);
+    std::istringstream is(os.str());
+    ASSERT_TRUE(back.importJson(is));
+
+    auto a = t.events();
+    auto b = back.events();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_STREQ(a[i].name, b[i].name) << i;
+        EXPECT_STREQ(a[i].cat, b[i].cat) << i;
+        EXPECT_EQ(a[i].ph, b[i].ph) << i;
+        EXPECT_EQ(a[i].tid, b[i].tid) << i;
+        EXPECT_EQ(a[i].ts, b[i].ts) << i;
+        EXPECT_EQ(a[i].dur, b[i].dur) << i;
+        EXPECT_EQ(a[i].arg, b[i].arg) << i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cycle attribution
+// ---------------------------------------------------------------------
+
+TEST(Attribution, ComponentNamesAreStableSnakeCase)
+{
+    EXPECT_STREQ(trace::componentName(trace::OttLookup), "ott_lookup");
+    EXPECT_STREQ(trace::componentName(trace::CounterFetch),
+                 "counter_fetch");
+    EXPECT_STREQ(trace::componentName(trace::MerkleVerify),
+                 "merkle_verify");
+    EXPECT_STREQ(trace::componentName(trace::NvmAccess), "nvm_access");
+}
+
+TEST(Attribution, MeasuredAttributionSumsToMeasuredTicks)
+{
+    for (Scheme s : {Scheme::NoEncryption, Scheme::BaselineSecurity,
+                     Scheme::FsEncr, Scheme::SoftwareEncryption}) {
+        System sys(cfgFor(s));
+        workloads::PmemkvWorkload w(tinyKv());
+        workloads::WorkloadResult r = workloads::runWorkload(sys, w);
+        trace::Breakdown bd = sys.measuredAttribution();
+        EXPECT_EQ(bd.total(), r.ticks) << schemeName(s);
+        EXPECT_EQ(sys.attribution().total(), sys.now()) << schemeName(s);
+    }
+}
+
+TEST(Attribution, FsEncrMetadataCostsShowUp)
+{
+    // The paper's story: FsEncr's added latency over no-encryption is
+    // dominated by counter fetches and Merkle verification on
+    // metadata-cache misses. The attribution must make those costs
+    // visible (nonzero) under fsencr and absent without encryption.
+    System plain(cfgFor(Scheme::NoEncryption));
+    System fsencr_sys(cfgFor(Scheme::FsEncr));
+    workloads::PmemkvWorkload w1(tinyKv()), w2(tinyKv());
+    workloads::runWorkload(plain, w1);
+    workloads::runWorkload(fsencr_sys, w2);
+
+    trace::Breakdown p = plain.measuredAttribution();
+    trace::Breakdown f = fsencr_sys.measuredAttribution();
+    EXPECT_EQ(p.ticks[trace::CounterFetch], 0u);
+    EXPECT_EQ(p.ticks[trace::MerkleVerify], 0u);
+    EXPECT_GT(f.ticks[trace::CounterFetch], 0u);
+    EXPECT_GT(f.ticks[trace::PadGen], 0u);
+    EXPECT_GT(f.ticks[trace::NvmAccess], 0u);
+}
+
+TEST(Attribution, ReplayAttributionSumsToReplayTicks)
+{
+    // Capture a request trace, then replay it: the replay's breakdown
+    // is assembled per request and must reproduce total ticks exactly.
+    System sys(cfgFor(Scheme::FsEncr));
+    MemTrace mt;
+    sys.mc().setTraceCapture(&mt);
+    workloads::PmemkvWorkload w(tinyKv());
+    workloads::runWorkload(sys, w);
+    sys.mc().setTraceCapture(nullptr);
+    ASSERT_GT(mt.size(), 0u);
+
+    ReplayResult r = replayTrace(mt, cfgFor(Scheme::FsEncr));
+    EXPECT_EQ(r.attribution.total(), r.totalTicks);
+    EXPECT_GT(r.attribution.ticks[trace::NvmAccess], 0u);
+}
+
+TEST(Attribution, TracingDoesNotPerturbTiming)
+{
+    System off(cfgFor(Scheme::FsEncr));
+    workloads::PmemkvWorkload w1(tinyKv());
+    workloads::WorkloadResult base = workloads::runWorkload(off, w1);
+
+    System on(cfgFor(Scheme::FsEncr));
+    trace::Tracer tracer(1u << 16);
+    on.setTracer(&tracer);
+    workloads::PmemkvWorkload w2(tinyKv());
+    workloads::WorkloadResult traced = workloads::runWorkload(on, w2);
+
+    EXPECT_EQ(base.ticks, traced.ticks);
+    EXPECT_EQ(base.nvmReads, traced.nvmReads);
+    EXPECT_EQ(base.nvmWrites, traced.nvmWrites);
+    EXPECT_GT(tracer.emitted(), 0u);
+}
+
+TEST(Attribution, ReplayInspectSeesControllerStats)
+{
+    System sys(cfgFor(Scheme::BaselineSecurity));
+    MemTrace mt;
+    sys.mc().setTraceCapture(&mt);
+    workloads::PmemkvWorkload w(tinyKv());
+    workloads::runWorkload(sys, w);
+    sys.mc().setTraceCapture(nullptr);
+
+    std::string stats_json;
+    replayTrace(mt, cfgFor(Scheme::BaselineSecurity), nullptr,
+                [&](SecureMemoryController &mc) {
+                    std::ostringstream os;
+                    mc.statGroup().dumpJson(os);
+                    stats_json = os.str();
+                });
+    json::Value doc;
+    ASSERT_TRUE(json::parse(stats_json, doc));
+    EXPECT_TRUE(doc.isObject());
+    EXPECT_NE(doc.find("attribution"), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Rate-limited warnings
+// ---------------------------------------------------------------------
+
+TEST(Logging, NoteWarningHonoursLimitAndReset)
+{
+    detail::resetWarningCounts();
+    bool last = false;
+    EXPECT_TRUE(detail::noteWarning("obs-test-key", 2, &last));
+    EXPECT_FALSE(last);
+    EXPECT_TRUE(detail::noteWarning("obs-test-key", 2, &last));
+    EXPECT_TRUE(last); // final printed occurrence
+    EXPECT_FALSE(detail::noteWarning("obs-test-key", 2, &last));
+    // Independent keys do not interfere.
+    EXPECT_TRUE(detail::noteWarning("obs-other-key", 1, &last));
+    EXPECT_TRUE(last);
+    detail::resetWarningCounts();
+    EXPECT_TRUE(detail::noteWarning("obs-test-key", 2, &last));
+    detail::resetWarningCounts();
+}
+
+// ---------------------------------------------------------------------
+// Streaming report writer
+// ---------------------------------------------------------------------
+
+TEST(ReportWriter, ProducesValidNestedJson)
+{
+    std::ostringstream os;
+    report::JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", report::runReportSchema);
+    w.field("version", report::runReportVersion);
+    w.field("escaped", std::string("a\"b\\c\nd\te"));
+    w.beginObject("nested");
+    w.field("ticks", std::uint64_t(1) << 61);
+    w.field("ratio", 0.25);
+    w.field("flag", true);
+    w.endObject();
+    w.beginArray("list");
+    w.value(std::uint64_t(1));
+    w.value(std::uint64_t(2));
+    w.value(std::string("three"));
+    w.endArray();
+    w.rawField("raw", "{\"inner\": 7}");
+    w.endObject();
+
+    json::Value doc;
+    ASSERT_TRUE(json::parse(os.str(), doc)) << os.str();
+    EXPECT_EQ(doc.find("schema")->str, report::runReportSchema);
+    EXPECT_EQ(doc.find("escaped")->str, "a\"b\\c\nd\te");
+    EXPECT_EQ(doc.find("nested")->find("ticks")->asU64(),
+              std::uint64_t(1) << 61);
+    EXPECT_TRUE(doc.find("nested")->find("flag")->boolean);
+    ASSERT_EQ(doc.find("list")->array.size(), 3u);
+    EXPECT_EQ(doc.find("list")->array[2].str, "three");
+    EXPECT_EQ(doc.find("raw")->find("inner")->asU64(), 7u);
+}
+
+TEST(ReportWriter, HistogramSummaryFields)
+{
+    stats::Histogram h(8, 10);
+    h.sample(5);
+    h.sample(25);
+    h.sample(70);
+
+    std::ostringstream os;
+    report::JsonWriter w(os);
+    w.beginObject();
+    report::writeHistogram(w, "lat", h);
+    w.endObject();
+
+    json::Value doc;
+    ASSERT_TRUE(json::parse(os.str(), doc)) << os.str();
+    const json::Value *lat = doc.find("lat");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->find("samples")->asU64(), 3u);
+    EXPECT_EQ(lat->find("min")->asU64(), 5u);
+    EXPECT_EQ(lat->find("max")->asU64(), 70u);
+    EXPECT_LE(lat->find("p50")->number, lat->find("p99")->number);
+}
+
+// ---------------------------------------------------------------------
+// Bench harness report
+// ---------------------------------------------------------------------
+
+TEST(BenchReport, CellsCarryAttributionAndPercentiles)
+{
+    workloads::PmemkvConfig kv = tinyKv();
+    bench::BenchRow row = bench::runRow(
+        "tiny",
+        [kv]() { return std::make_unique<workloads::PmemkvWorkload>(kv); },
+        {Scheme::NoEncryption, Scheme::FsEncr});
+
+    const bench::Cell &plain = row.cells.at(Scheme::NoEncryption);
+    const bench::Cell &fsn = row.cells.at(Scheme::FsEncr);
+    EXPECT_EQ(plain.attribution.total(), plain.ticks);
+    EXPECT_EQ(fsn.attribution.total(), fsn.ticks);
+    EXPECT_GT(fsn.attribution.ticks[trace::CounterFetch], 0u);
+    EXPECT_GT(fsn.readP50, 0.0);
+    EXPECT_LE(fsn.readP50, fsn.readP99);
+    EXPECT_LE(fsn.writeP50, fsn.writeP99);
+}

@@ -14,13 +14,18 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 
+#include "common/report.hh"
+#include "common/trace.hh"
 #include "cpu/mem_trace.hh"
+#include "fsenc/secure_memory_controller.hh"
 #include "workloads/dax_micro.hh"
 #include "workloads/extra_workloads.hh"
 #include "workloads/pmemkv_bench.hh"
@@ -46,6 +51,8 @@ struct Options
     bool listWorkloads = false;
     std::string traceOut;
     std::string replayIn;
+    std::string reportOut;      //!< --report FILE (run report JSON)
+    std::string traceEventsOut; //!< --trace-events FILE (Chrome JSON)
 };
 
 using Factory =
@@ -159,6 +166,8 @@ usage(const char *argv0)
         "  --stats / --json                        dump the stat tree\n"
         "  --trace-out FILE                        capture MC trace\n"
         "  --replay FILE                           replay MC trace\n"
+        "  --report FILE                           machine-readable run report\n"
+        "  --trace-events FILE                     Chrome trace_event JSON\n"
         "  --list-workloads\n",
         argv0);
 }
@@ -202,6 +211,10 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.traceOut = next();
         } else if (a == "--replay") {
             opt.replayIn = next();
+        } else if (a == "--report") {
+            opt.reportOut = next();
+        } else if (a == "--trace-events") {
+            opt.traceEventsOut = next();
         } else if (a == "--list-workloads") {
             opt.listWorkloads = true;
         } else if (a == "--help" || a == "-h") {
@@ -229,6 +242,119 @@ configFrom(const Options &opt)
     return cfg;
 }
 
+/** Strip trailing whitespace so fragments embed cleanly via rawField. */
+std::string
+trimmed(std::string s)
+{
+    while (!s.empty() && (s.back() == '\n' || s.back() == ' '))
+        s.pop_back();
+    return s;
+}
+
+/** Render the stat tree to a JSON fragment. */
+std::string
+statsJsonOf(const stats::StatGroup &g)
+{
+    std::ostringstream os;
+    g.dumpJson(os);
+    return trimmed(os.str());
+}
+
+/** Per-component latency histograms of the memory controller. */
+std::string
+latencyJsonOf(const SecureMemoryController &mc)
+{
+    std::ostringstream os;
+    report::JsonWriter w(os);
+    w.beginObject();
+    report::writeHistogram(w, "read", mc.readLatencyHistogram());
+    report::writeHistogram(w, "write", mc.writeLatencyHistogram());
+    w.beginObject("components");
+    for (unsigned c = 0; c < SecureMemoryController::numMcComponents;
+         ++c)
+        report::writeHistogram(w, trace::componentName(c),
+                               mc.componentHistogram(c));
+    w.endObject();
+    w.endObject();
+    return trimmed(os.str());
+}
+
+void
+writeAttribution(report::JsonWriter &w, const trace::Breakdown &attr)
+{
+    w.beginObject("attribution");
+    w.field("total", attr.total());
+    w.beginObject("components");
+    for (unsigned c = 0; c < trace::NumComponents; ++c)
+        w.field(trace::componentName(c), attr.ticks[c]);
+    w.endObject();
+    w.endObject();
+}
+
+void
+writeConfig(report::JsonWriter &w, const Options &opt,
+            const SimConfig &cfg)
+{
+    w.beginObject("config");
+    w.field("scheme", schemeName(cfg.scheme));
+    w.field("workload", opt.workload);
+    w.field("ops", opt.ops);
+    w.field("keys", opt.keys);
+    w.field("seed", opt.seed);
+    w.field("metadata_cache_bytes",
+            static_cast<std::uint64_t>(cfg.sec.metadataCacheBytes));
+    w.field("osiris_stop_loss",
+            static_cast<std::uint64_t>(cfg.sec.osirisStopLoss));
+    w.endObject();
+}
+
+/**
+ * The versioned run report: config + result + cycle attribution +
+ * latency percentiles + full stat tree, one self-describing document.
+ */
+bool
+writeRunReport(const std::string &path, const char *mode,
+               const Options &opt, const SimConfig &cfg,
+               const WorkloadResult &r, const trace::Breakdown &attr,
+               const std::string &latency_json,
+               const std::string &stats_json)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    report::JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", report::runReportSchema);
+    w.field("version", report::runReportVersion);
+    w.field("mode", mode);
+    writeConfig(w, opt, cfg);
+    w.beginObject("result");
+    w.field("operations", r.operations);
+    w.field("ticks", r.ticks);
+    w.field("nvm_reads", r.nvmReads);
+    w.field("nvm_writes", r.nvmWrites);
+    w.field("ns_per_op",
+            r.operations ? static_cast<double>(r.ticks) / 1000.0 /
+                               static_cast<double>(r.operations)
+                         : 0.0);
+    w.endObject();
+    writeAttribution(w, attr);
+    w.rawField("latency", latency_json);
+    w.rawField("stats", stats_json);
+    w.endObject();
+    return os.good();
+}
+
+bool
+writeTraceEvents(const std::string &path, const trace::Tracer &tracer)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    tracer.exportJson(os);
+    return os.good();
+}
+
 } // namespace
 
 int
@@ -251,23 +377,77 @@ main(int argc, char **argv)
 
     // Trace replay mode: no OS/workload, just the memory system.
     if (!opt.replayIn.empty()) {
-        MemTrace trace;
-        if (!trace.load(opt.replayIn)) {
+        MemTrace mt;
+        if (!mt.load(opt.replayIn)) {
             std::fprintf(stderr, "cannot load trace '%s'\n",
                          opt.replayIn.c_str());
             return 1;
         }
-        ReplayResult r = replayTrace(trace, cfg);
-        std::printf("replay: %zu records, %llu requests\n",
-                    trace.size(),
-                    static_cast<unsigned long long>(r.requests));
-        std::printf("ticks      : %llu (%.3f ms simulated)\n",
-                    static_cast<unsigned long long>(r.totalTicks),
-                    r.totalTicks / 1e9);
-        std::printf("NVM reads  : %llu\n",
-                    static_cast<unsigned long long>(r.nvmReads));
-        std::printf("NVM writes : %llu\n",
-                    static_cast<unsigned long long>(r.nvmWrites));
+        std::unique_ptr<trace::Tracer> tracer;
+        if (!opt.traceEventsOut.empty())
+            tracer = std::make_unique<trace::Tracer>();
+
+        // The replayed controller lives inside replayTrace; snapshot
+        // what the output paths need before it is destroyed.
+        std::string stats_json, stats_text, latency_json;
+        ReplayResult r = replayTrace(
+            mt, cfg, tracer.get(),
+            [&](SecureMemoryController &mc) {
+                stats_json = statsJsonOf(mc.statGroup());
+                latency_json = latencyJsonOf(mc);
+                std::ostringstream os;
+                mc.statGroup().dump(os);
+                stats_text = os.str();
+            });
+        // --json owns stdout: the summary is part of the document.
+        if (!opt.json) {
+            std::printf("replay: %zu records, %llu requests\n",
+                        mt.size(),
+                        static_cast<unsigned long long>(r.requests));
+            std::printf("ticks      : %llu (%.3f ms simulated)\n",
+                        static_cast<unsigned long long>(r.totalTicks),
+                        r.totalTicks / 1e9);
+            std::printf("NVM reads  : %llu\n",
+                        static_cast<unsigned long long>(r.nvmReads));
+            std::printf("NVM writes : %llu\n",
+                        static_cast<unsigned long long>(r.nvmWrites));
+        }
+
+        if (!opt.reportOut.empty()) {
+            WorkloadResult wr;
+            wr.operations = r.requests;
+            wr.ticks = r.totalTicks;
+            wr.nvmReads = r.nvmReads;
+            wr.nvmWrites = r.nvmWrites;
+            if (!writeRunReport(opt.reportOut, "replay", opt, cfg, wr,
+                                r.attribution, latency_json,
+                                stats_json)) {
+                std::fprintf(stderr, "cannot write report '%s'\n",
+                             opt.reportOut.c_str());
+                return 1;
+            }
+        }
+        if (tracer && !writeTraceEvents(opt.traceEventsOut, *tracer)) {
+            std::fprintf(stderr, "cannot write trace events '%s'\n",
+                         opt.traceEventsOut.c_str());
+            return 1;
+        }
+
+        if (opt.json) {
+            report::JsonWriter w(std::cout);
+            w.beginObject();
+            w.beginObject("replay");
+            w.field("records", static_cast<std::uint64_t>(mt.size()));
+            w.field("requests", r.requests);
+            w.field("ticks", r.totalTicks);
+            w.field("nvm_reads", r.nvmReads);
+            w.field("nvm_writes", r.nvmWrites);
+            w.endObject();
+            w.rawField("stats", stats_json);
+            w.endObject();
+        } else if (opt.stats) {
+            std::cout << stats_text;
+        }
         return 0;
     }
 
@@ -280,43 +460,79 @@ main(int argc, char **argv)
     }
 
     System sys(cfg);
-    MemTrace trace;
+    MemTrace mt;
     if (!opt.traceOut.empty())
-        sys.mc().setTraceCapture(&trace);
+        sys.mc().setTraceCapture(&mt);
+    std::unique_ptr<trace::Tracer> tracer;
+    if (!opt.traceEventsOut.empty()) {
+        tracer = std::make_unique<trace::Tracer>();
+        sys.setTracer(tracer.get());
+    }
 
     auto workload = it->second(opt);
     WorkloadResult r = runWorkload(sys, *workload);
 
-    std::printf("workload   : %s\n", workload->name().c_str());
-    std::printf("scheme     : %s\n", schemeName(cfg.scheme));
-    std::printf("operations : %llu\n",
-                static_cast<unsigned long long>(r.operations));
-    std::printf("ticks      : %llu (%.3f ms simulated, %.1f ns/op)\n",
-                static_cast<unsigned long long>(r.ticks),
-                r.ticks / 1e9,
-                r.operations
-                    ? static_cast<double>(r.ticks) / 1000.0 /
-                          static_cast<double>(r.operations)
-                    : 0.0);
-    std::printf("NVM reads  : %llu\n",
-                static_cast<unsigned long long>(r.nvmReads));
-    std::printf("NVM writes : %llu\n",
-                static_cast<unsigned long long>(r.nvmWrites));
+    // --json owns stdout: the summary is part of the document.
+    if (!opt.json) {
+        std::printf("workload   : %s\n", workload->name().c_str());
+        std::printf("scheme     : %s\n", schemeName(cfg.scheme));
+        std::printf("operations : %llu\n",
+                    static_cast<unsigned long long>(r.operations));
+        std::printf(
+            "ticks      : %llu (%.3f ms simulated, %.1f ns/op)\n",
+            static_cast<unsigned long long>(r.ticks), r.ticks / 1e9,
+            r.operations ? static_cast<double>(r.ticks) / 1000.0 /
+                               static_cast<double>(r.operations)
+                         : 0.0);
+        std::printf("NVM reads  : %llu\n",
+                    static_cast<unsigned long long>(r.nvmReads));
+        std::printf("NVM writes : %llu\n",
+                    static_cast<unsigned long long>(r.nvmWrites));
+    }
 
     if (!opt.traceOut.empty()) {
         sys.mc().setTraceCapture(nullptr);
-        if (!trace.save(opt.traceOut)) {
+        if (!mt.save(opt.traceOut)) {
             std::fprintf(stderr, "cannot write trace '%s'\n",
                          opt.traceOut.c_str());
             return 1;
         }
-        std::printf("trace      : %zu records -> %s\n", trace.size(),
-                    opt.traceOut.c_str());
+        if (!opt.json)
+            std::printf("trace      : %zu records -> %s\n", mt.size(),
+                        opt.traceOut.c_str());
     }
 
-    if (opt.json)
-        sys.statGroup().dumpJson(std::cout);
-    else if (opt.stats)
+    if (!opt.reportOut.empty()) {
+        if (!writeRunReport(opt.reportOut, "workload", opt, cfg, r,
+                            sys.measuredAttribution(),
+                            latencyJsonOf(sys.mc()),
+                            statsJsonOf(sys.statGroup()))) {
+            std::fprintf(stderr, "cannot write report '%s'\n",
+                         opt.reportOut.c_str());
+            return 1;
+        }
+    }
+    if (tracer && !writeTraceEvents(opt.traceEventsOut, *tracer)) {
+        std::fprintf(stderr, "cannot write trace events '%s'\n",
+                     opt.traceEventsOut.c_str());
+        return 1;
+    }
+
+    if (opt.json) {
+        report::JsonWriter w(std::cout);
+        w.beginObject();
+        w.beginObject("workload");
+        w.field("name", workload->name());
+        w.field("scheme", schemeName(cfg.scheme));
+        w.field("operations", r.operations);
+        w.field("ticks", r.ticks);
+        w.field("nvm_reads", r.nvmReads);
+        w.field("nvm_writes", r.nvmWrites);
+        w.endObject();
+        w.rawField("stats", statsJsonOf(sys.statGroup()));
+        w.endObject();
+    } else if (opt.stats) {
         sys.dumpStats(std::cout);
+    }
     return 0;
 }
