@@ -56,7 +56,8 @@ main()
 
     // --- Scenario 2: eve boots her own OS on the stolen box. ---
     sys.crash();        // pull the plug
-    sys.recover();
+    if (!sys.recover())
+        std::printf("[sys  ] recovery found non-localizable damage\n");
     sys.bootLogin("eves-evil-os"); // wrong admin credential
     std::printf("[eve  ] boots her own OS: controller %s\n",
                 sys.mc().fsencLocked()

@@ -4,7 +4,9 @@
 #  1. run a small workload with --report and --trace-events,
 #  2. validate the run report against schema fsencr-run-report v1,
 #  3. check the per-component cycle attribution sums to total ticks,
-#  4. check the Chrome trace_event JSON is well-formed.
+#  4. check the Chrome trace_event JSON is well-formed,
+#  5. run a seeded fsencr-crashtest sweep (one run per fault class)
+#     and validate it against schema fsencr-crashtest-report v1.
 #
 # Usage: scripts/check_report_schema.sh [build-dir]
 # Exit 0 on success; registered as a ctest test.
@@ -72,4 +74,51 @@ for key in ("name", "ph", "pid", "tid", "ts"):
 
 print("report schema OK: %d events, %d ticks attributed"
       % (len(tr["traceEvents"]), attr["total"]))
+EOF
+
+# Crash-consistency stress sweep: --fault all cycles through every
+# fault class, so 5 runs cover mid-op power loss, torn write, dropped
+# persist, and both bit-flip classes. Every run must pass its
+# invariants (non-zero exit otherwise).
+crashtest="$build_dir/tools/fsencr-crashtest"
+[ -x "$crashtest" ] || { echo "missing $crashtest (build first)"; exit 1; }
+
+"$crashtest" --seed 7 --crashes 5 --fault all \
+             --report "$tmp/crash.json" > "$tmp/crash-stdout.txt"
+
+"$python3_bin" - "$tmp/crash.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+assert doc["schema"] == "fsencr-crashtest-report", doc.get("schema")
+assert doc["version"] == 1, doc["version"]
+
+cfg = doc["config"]
+for key in ("scheme", "seed", "crashes", "fault", "ops", "files"):
+    assert key in cfg, key
+assert doc["op_phase_writes"] > 0
+
+runs = doc["runs"]
+assert len(runs) == cfg["crashes"], (len(runs), cfg["crashes"])
+classes = set()
+for run in runs:
+    classes.add(run["fault_class"])
+    for key in ("crash", "injections", "recovery", "invariants"):
+        assert key in run, key
+    inv = run["invariants"]
+    for key in ("recovered", "synced_durable", "version_consistent",
+                "isolation", "metadata_consistent"):
+        assert inv[key] is True, (run["run"], key)
+    assert run["pass"] is True, run["run"]
+# One seeded run per fault class.
+assert classes == {"midop", "torn", "dropped", "databitflip",
+                   "metabitflip"}, classes
+
+summ = doc["summary"]
+assert summ["runs"] == len(runs) and summ["failed"] == 0, summ
+
+print("crashtest schema OK: %d runs, classes %s"
+      % (summ["runs"], ",".join(sorted(classes))))
 EOF

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Build with AddressSanitizer + UndefinedBehaviorSanitizer
+# (FSENCR_SANITIZE=ON) and run the seeded crash-consistency stress
+# harness under it. Fault injection exercises the rarely-taken
+# recovery and quarantine paths, which is exactly where latent
+# lifetime and aliasing bugs hide — so the sweep runs one seeded
+# crash per fault class, plus the fault-focused unit tests.
+#
+# Usage: scripts/crashtest_asan.sh [build-dir]
+#   build-dir defaults to build-asan next to the source tree.
+# Exit 0 iff the sanitized build is clean and every run passes.
+set -eu
+
+src_dir="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$src_dir/build-asan}"
+
+cmake -B "$build_dir" -S "$src_dir" -DFSENCR_SANITIZE=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j "$(nproc)"
+
+export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+# One seeded crash per fault class, across both schemes that reach
+# the secure-memory recovery path.
+for scheme in fsencr baseline; do
+    "$build_dir/tools/fsencr-crashtest" \
+        --scheme "$scheme" --seed 7 --crashes 5 --fault all
+done
+
+# Fault-injection unit tests under the same sanitizers.
+"$build_dir/tests/fsencr_tests" --gtest_filter='Fault*'
+
+echo "crashtest_asan: all sanitized runs passed"

@@ -35,6 +35,8 @@ constexpr const char *runReportSchema = "fsencr-run-report";
 constexpr int runReportVersion = 1;
 constexpr const char *benchReportSchema = "fsencr-bench-report";
 constexpr int benchReportVersion = 1;
+constexpr const char *crashtestReportSchema = "fsencr-crashtest-report";
+constexpr int crashtestReportVersion = 1;
 
 /**
  * Streaming JSON writer with automatic comma placement and

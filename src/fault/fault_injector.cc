@@ -1,0 +1,180 @@
+#include "fault/fault_injector.hh"
+
+#include "common/logging.hh"
+
+namespace fsencr {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::PowerLossAtWrite: return "power-loss-at-write";
+      case FaultKind::PowerLossAtTick:  return "power-loss-at-tick";
+      case FaultKind::TornWrite:        return "torn-write";
+      case FaultKind::DroppedWrite:     return "dropped-write";
+      case FaultKind::BitFlipOnWrite:   return "bit-flip-on-write";
+      case FaultKind::BitFlipOnEcc:     return "bit-flip-on-ecc";
+      case FaultKind::BitFlipAtRest:    return "bit-flip-at-rest";
+    }
+    return "unknown";
+}
+
+void
+FaultInjector::schedule(const FaultSpec &spec)
+{
+    specs_.push_back(spec);
+    state_.emplace_back();
+}
+
+void
+FaultInjector::reset()
+{
+    specs_.clear();
+    state_.clear();
+    log_.clear();
+    writes_ = 0;
+    eccStores_ = 0;
+    now_ = 0;
+    tripped_ = false;
+    pendingLoss_ = false;
+    suppressEccFor_.reset();
+}
+
+void
+FaultInjector::trip(FaultKind kind, Addr addr)
+{
+    tripped_ = true;
+    pendingLoss_ = false;
+    log_.push_back({kind, addr, writes_, now_});
+    throw PowerLossEvent(writes_, now_);
+}
+
+FaultInjector::WriteOutcome
+FaultInjector::onWriteLine(Addr line_addr, std::uint8_t *buf,
+                           unsigned &keep_bytes)
+{
+    if (tripped_)
+        return WriteOutcome::Store;
+    // A loss armed by an earlier torn/dropped persist fires before the
+    // next write can reach the array.
+    if (pendingLoss_)
+        trip(FaultKind::PowerLossAtWrite, line_addr);
+
+    ++writes_;
+    WriteOutcome outcome = WriteOutcome::Store;
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        const FaultSpec &s = specs_[i];
+        SpecState &st = state_[i];
+        if (st.fired)
+            continue;
+        if (line_addr < s.addrLo || line_addr >= s.addrHi)
+            continue;
+        switch (s.kind) {
+          case FaultKind::PowerLossAtWrite:
+            if (++st.seen == s.atWrite) {
+                st.fired = true;
+                trip(FaultKind::PowerLossAtWrite, line_addr);
+            }
+            break;
+          case FaultKind::TornWrite:
+            if (++st.seen == s.atWrite) {
+                st.fired = true;
+                outcome = WriteOutcome::Torn;
+                keep_bytes = s.keepBytes;
+                suppressEccFor_ = line_addr;
+                if (s.thenPowerLoss)
+                    pendingLoss_ = true;
+                log_.push_back({s.kind, line_addr, writes_, now_});
+            }
+            break;
+          case FaultKind::DroppedWrite:
+            if (++st.seen == s.atWrite) {
+                st.fired = true;
+                outcome = WriteOutcome::Drop;
+                suppressEccFor_ = line_addr;
+                if (s.thenPowerLoss)
+                    pendingLoss_ = true;
+                log_.push_back({s.kind, line_addr, writes_, now_});
+            }
+            break;
+          case FaultKind::BitFlipOnWrite:
+            if (++st.seen == s.atWrite) {
+                st.fired = true;
+                buf[(s.bit / 8) % blockSize] ^=
+                    static_cast<std::uint8_t>(1u << (s.bit % 8));
+                log_.push_back({s.kind, line_addr, writes_, now_});
+            }
+            break;
+          default:
+            break; // tick losses / ECC flips don't count line writes
+        }
+    }
+    return outcome;
+}
+
+FaultInjector::EccAction
+FaultInjector::onSetEcc(Addr line_addr, std::uint32_t &ecc)
+{
+    if (tripped_)
+        return EccAction::Store;
+
+    ++eccStores_;
+    EccAction action = EccAction::Store;
+
+    // The ECC store paired with a torn/dropped data write rides with
+    // it: the whole (line, ECC) persist fails as a unit.
+    if (suppressEccFor_ && *suppressEccFor_ == line_addr) {
+        suppressEccFor_.reset();
+        action = EccAction::Drop;
+    }
+
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        const FaultSpec &s = specs_[i];
+        SpecState &st = state_[i];
+        if (st.fired || s.kind != FaultKind::BitFlipOnEcc)
+            continue;
+        if (line_addr < s.addrLo || line_addr >= s.addrHi)
+            continue;
+        if (++st.seen == s.atWrite) {
+            st.fired = true;
+            ecc ^= (1u << (s.bit % 32));
+            log_.push_back({s.kind, line_addr, writes_, now_});
+        }
+    }
+
+    // Check the armed loss *after* the pairing decision so a torn
+    // persist and its ECC fail atomically before power dies.
+    if (pendingLoss_)
+        trip(FaultKind::PowerLossAtWrite, line_addr);
+    return action;
+}
+
+void
+FaultInjector::onTick(Tick now)
+{
+    now_ = now;
+    if (tripped_)
+        return;
+    if (pendingLoss_)
+        trip(FaultKind::PowerLossAtTick, 0);
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        const FaultSpec &s = specs_[i];
+        SpecState &st = state_[i];
+        if (st.fired || s.kind != FaultKind::PowerLossAtTick)
+            continue;
+        if (now >= s.atTick) {
+            st.fired = true;
+            trip(FaultKind::PowerLossAtTick, 0);
+        }
+    }
+}
+
+void
+FaultInjector::noteTamper(Addr line_addr, unsigned bit)
+{
+    log_.push_back({FaultKind::BitFlipAtRest, line_addr,
+                    writes_, now_});
+    (void)bit;
+}
+
+} // namespace fsencr

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Deterministic fault injection for crash-consistency stress testing.
+ *
+ * The injector models the failure modes the paper's recovery story has
+ * to survive (Sections V and VII): power loss at an arbitrary point in
+ * the write stream or at an arbitrary tick (including mid-`fileWrite`,
+ * mid-`copyFile` and mid-`fsync`), torn 64-byte line writes where only
+ * a prefix of the line reaches the cell array, persists dropped
+ * entirely, and bit flips in data lines, ECC words or the persisted
+ * metadata image.
+ *
+ * Faults are *scheduled*, not sampled: every fault names the exact
+ * write ordinal or tick at which it fires, so a run is exactly
+ * reproducible from its fault list. Harnesses derive those ordinals
+ * from a seeded Rng plus a fault-free dry run. With no injector
+ * attached (the default), the device hooks are null-guarded and the
+ * simulation is bit-identical to a build without this subsystem.
+ *
+ * A power loss is delivered as a C++ exception (PowerLossEvent) thrown
+ * from inside the device/system hooks, so it unwinds out of whatever
+ * operation is in flight exactly like real power failure interrupts a
+ * store stream. The harness catches it, calls System::crash() and
+ * System::recover(), and checks invariants. After tripping, the
+ * injector goes inert (recovery-time writes are never faulted) until
+ * reset().
+ */
+
+#ifndef FSENCR_FAULT_FAULT_INJECTOR_HH
+#define FSENCR_FAULT_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fsencr {
+
+/** Thrown from an injector hook when an armed power loss trips. */
+class PowerLossEvent : public std::runtime_error
+{
+  public:
+    PowerLossEvent(std::uint64_t write_index, Tick tick)
+        : std::runtime_error("injected power loss"),
+          writeIndex(write_index), tick(tick)
+    {}
+
+    /** Device line writes seen when power died. */
+    std::uint64_t writeIndex;
+    /** Simulated time of the loss. */
+    Tick tick;
+};
+
+/** The fault taxonomy (docs/ARCHITECTURE.md, "Fault model"). */
+enum class FaultKind {
+    /** Power dies as the Nth matching line write is in flight: the
+     *  write (and everything after it) never reaches the array. */
+    PowerLossAtWrite,
+    /** Power dies at (or after) an absolute simulated tick. */
+    PowerLossAtTick,
+    /** The Nth matching line write tears: only the first keepBytes
+     *  persist, and the paired ECC store is dropped with it. */
+    TornWrite,
+    /** The Nth matching line write is silently dropped (with its
+     *  paired ECC store): the line keeps its previous contents. */
+    DroppedWrite,
+    /** One bit of the Nth matching line write flips in flight. */
+    BitFlipOnWrite,
+    /** One bit of the Nth matching ECC store flips in flight. */
+    BitFlipOnEcc,
+    /** At-rest corruption applied directly to the device image by the
+     *  harness (data, counter/FECB or OTT-spill bytes); recorded via
+     *  noteTamper() so the injection log stays complete. */
+    BitFlipAtRest,
+};
+
+const char *faultKindName(FaultKind kind);
+
+/** One scheduled fault. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::PowerLossAtWrite;
+
+    /** 1-based ordinal of the matching write (write-indexed kinds
+     *  count line writes, BitFlipOnEcc counts ECC stores) *within the
+     *  address window*, so "the 3rd metadata write" is expressible. */
+    std::uint64_t atWrite = 1;
+
+    /** Absolute trip time for PowerLossAtTick. */
+    Tick atTick = 0;
+
+    /** TornWrite: bytes of the line that persist (0..63). */
+    unsigned keepBytes = 32;
+
+    /** BitFlip*: bit to flip (0..511 within a line, 0..31 in ECC). */
+    unsigned bit = 0;
+
+    /** Address window [addrLo, addrHi) the fault applies to; defaults
+     *  to the whole address space. */
+    Addr addrLo = 0;
+    Addr addrHi = ~static_cast<Addr>(0);
+
+    /** Torn/dropped writes: arm a power loss that trips at the next
+     *  hook after the paired ECC store resolves (power died during
+     *  this very persist). */
+    bool thenPowerLoss = false;
+};
+
+/** One fault that actually fired, for the harness's oracle. */
+struct InjectionRecord
+{
+    FaultKind kind;
+    /** Device line address the fault landed on (0 for tick losses). */
+    Addr addr = 0;
+    /** Line writes seen when it fired. */
+    std::uint64_t writeIndex = 0;
+    /** Simulated time when it fired (as last reported via onTick). */
+    Tick tick = 0;
+};
+
+/** Seeded, deterministic fault injector (see file header). */
+class FaultInjector
+{
+  public:
+    FaultInjector() = default;
+
+    /** Arm a fault. Faults are one-shot: each spec fires at most
+     *  once; schedule() may be called while armed. */
+    void schedule(const FaultSpec &spec);
+
+    /** Disarm everything and clear counters and the log. */
+    void reset();
+
+    /** What the device should do with an intercepted line write. */
+    enum class WriteOutcome { Store, Torn, Drop };
+
+    /**
+     * NvmDevice::writeLine hook. Counts the write, may mutate the
+     * staged bytes (bit flips), may return Torn (persist keep_bytes
+     * only) or Drop, and may throw PowerLossEvent.
+     */
+    WriteOutcome onWriteLine(Addr line_addr, std::uint8_t *buf,
+                             unsigned &keep_bytes);
+
+    /** What the device should do with an intercepted ECC store. */
+    enum class EccAction { Store, Drop };
+
+    /**
+     * NvmDevice::setEcc hook. May mutate the word (BitFlipOnEcc),
+     * returns Drop for the ECC store paired with a torn/dropped data
+     * write, and may throw PowerLossEvent (after the pairing decision,
+     * so a torn persist and its ECC fail atomically).
+     */
+    EccAction onSetEcc(Addr line_addr, std::uint32_t &ecc);
+
+    /**
+     * System clock hook (System::advance / advanceMc). Trips
+     * tick-scheduled and pending power losses.
+     */
+    void onTick(Tick now);
+
+    /** Record an at-rest tamper the harness applied to the device
+     *  image directly (the injector does not touch the device). */
+    void noteTamper(Addr line_addr, unsigned bit);
+
+    /** Line writes observed since construction/reset (the dry-run
+     *  counter harnesses draw crash ordinals from). */
+    std::uint64_t writesSeen() const { return writes_; }
+    std::uint64_t eccStoresSeen() const { return eccStores_; }
+
+    /** A power loss has fired; all hooks are inert until reset(). */
+    bool tripped() const { return tripped_; }
+
+    /** A torn/dropped write armed a loss that has not tripped yet
+     *  (e.g. the run ended first); the harness should crash(). */
+    bool powerLossPending() const { return pendingLoss_; }
+
+    /** Every fault that fired, in firing order. */
+    const std::vector<InjectionRecord> &log() const { return log_; }
+
+  private:
+    [[noreturn]] void trip(FaultKind kind, Addr addr);
+
+    std::vector<FaultSpec> specs_;
+    /** Per-spec state, parallel to specs_. */
+    struct SpecState
+    {
+        std::uint64_t seen = 0; //!< matching writes observed so far
+        bool fired = false;
+    };
+    std::vector<SpecState> state_;
+
+    std::vector<InjectionRecord> log_;
+    std::uint64_t writes_ = 0;
+    std::uint64_t eccStores_ = 0;
+    Tick now_ = 0;
+    bool tripped_ = false;
+    bool pendingLoss_ = false;
+    /** Line whose next ECC store rides with a torn/dropped write. */
+    std::optional<Addr> suppressEccFor_;
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_FAULT_FAULT_INJECTOR_HH

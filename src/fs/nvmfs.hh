@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,24 @@ struct Inode
     std::uint64_t fekCheck = 0;
     /** Physical page address of each 4KB file block. */
     std::vector<Addr> blocks;
+    /** Post-recovery quarantine: one or more of the file's lines is
+     *  unrecoverable; reads/writes fail with FileDamagedError until
+     *  the file is unlinked and recreated. */
+    bool damaged = false;
+};
+
+/** Structured error for IO against a quarantined (damaged) file. */
+class FileDamagedError : public std::runtime_error
+{
+  public:
+    FileDamagedError(std::uint32_t ino_num, const std::string &what_op)
+        : std::runtime_error("file damaged by unrecoverable NVM "
+                             "corruption (" + what_op + ", inode " +
+                             std::to_string(ino_num) + ")"),
+          ino(ino_num)
+    {}
+
+    std::uint32_t ino;
 };
 
 /** The filesystem. */

@@ -1016,15 +1016,126 @@ SecureMemoryController::recoverMetadata()
     return merkle_->rebuildAndVerify();
 }
 
+const char *
+SecureMemoryController::quarantineReasonName(QuarantineReason reason)
+{
+    switch (reason) {
+      case QuarantineReason::MetadataTampered:
+        return "metadata-tampered";
+      case QuarantineReason::ProbeExhausted:
+        return "probe-exhausted";
+      case QuarantineReason::MissingKey:
+        return "missing-key";
+    }
+    return "unknown";
+}
+
+SecureMemoryController::MetadataVerdict
+SecureMemoryController::recoverMetadataGraceful()
+{
+    MetadataVerdict verdict;
+    quarantined_.clear();
+    if (!merkle_)
+        return verdict;
+
+    std::vector<Addr> tampered;
+    verdict.rootOk = merkle_->rebuildAndVerify(&tampered);
+
+    // Virgin sweep: counter leaves the tree never tracked must still
+    // be all-zero on the device — the root comparison cannot see
+    // tampering there. A dirtied virgin leaf is adopted (updateLeaf,
+    // so recovery-time fetches verify against what is actually
+    // stored) and classified below like any other tampered leaf.
+    std::vector<Addr> virgin;
+    virgin.reserve(2 * device_.eccMap().size());
+    for (const auto &[line, ecc] : device_.eccMap()) {
+        (void)ecc;
+        virgin.push_back(layout_.mecbAddr(line));
+        if (layout_.isPmem(line))
+            virgin.push_back(layout_.fecbAddr(line));
+    }
+    std::sort(virgin.begin(), virgin.end());
+    virgin.erase(std::unique(virgin.begin(), virgin.end()),
+                 virgin.end());
+    for (Addr leaf : virgin) {
+        if (merkle_->leafTracked(leaf))
+            continue; // the rebuild above already compared it
+        std::uint8_t raw[blockSize];
+        device_.readLine(leaf, raw);
+        bool zero = true;
+        for (unsigned b = 0; b < blockSize; ++b)
+            zero &= raw[b] == 0;
+        if (zero)
+            continue;
+        verdict.rootOk = false;
+        tampered.push_back(leaf);
+        merkle_->updateLeaf(leaf);
+    }
+
+    if (verdict.rootOk)
+        return verdict;
+
+    std::sort(tampered.begin(), tampered.end());
+    verdict.tamperedLeaves = tampered;
+
+    if (tampered.empty()) {
+        // Root mismatch with every touched leaf intact: a virgin leaf
+        // was dirtied or interior state diverged — no bounded blast
+        // radius to quarantine.
+        verdict.localizable = false;
+        warnLimited(16, "recovery: merkle root mismatch with no "
+                        "tampered touched leaf; damage is not "
+                        "localizable");
+        return verdict;
+    }
+
+    for (Addr leaf : tampered) {
+        switch (layout_.classifyMeta(leaf)) {
+          case PhysLayout::MetaKind::Mecb:
+          case PhysLayout::MetaKind::Fecb: {
+            // A corrupt counter block poisons exactly the data page it
+            // covers: wall off those 64 lines.
+            Addr page = layout_.dataPageOfMeta(leaf);
+            for (unsigned blk = 0; blk < blocksPerPage; ++blk)
+                quarantined_.insert(page + blk * blockSize);
+            warnLimited(16,
+                        "recovery: tampered counter line %#lx "
+                        "quarantines data page %#lx",
+                        static_cast<unsigned long>(leaf),
+                        static_cast<unsigned long>(page));
+            break;
+          }
+          default:
+            // OTT spill or out-of-range: corrupt key material has no
+            // per-file blast radius we can bound here.
+            verdict.localizable = false;
+            warnLimited(16,
+                        "recovery: tampered metadata line %#lx is not "
+                        "a counter block; damage is not localizable",
+                        static_cast<unsigned long>(leaf));
+            break;
+        }
+    }
+    return verdict;
+}
+
 bool
 SecureMemoryController::recoverLine(Addr full_addr)
 {
+    return recoverLineDetail(full_addr) == LineRecovery::Ok;
+}
+
+SecureMemoryController::LineRecovery
+SecureMemoryController::recoverLineDetail(Addr full_addr,
+                                          std::uint32_t *gid_out,
+                                          std::uint32_t *fid_out)
+{
     if (!cfg_.hasMemoryEncryption())
-        return true;
+        return LineRecovery::Ok;
 
     Addr line = blockAlign(stripDfBit(full_addr));
     if (!device_.hasEcc(line))
-        return true; // never written through the encrypted path
+        return LineRecovery::Ok; // never written via encrypted path
 
     unsigned blk = blockInPage(line);
     Addr mecb_addr = layout_.mecbAddr(line);
@@ -1045,13 +1156,27 @@ SecureMemoryController::recoverLine(Addr full_addr)
             fecb.fileId = working.fileId;
         }
         dax = (fecb.groupId | fecb.fileId) != 0;
+        if (dax) {
+            if (gid_out)
+                *gid_out = fecb.groupId;
+            if (fid_out)
+                *fid_out = fecb.fileId;
+        }
     }
 
     crypto::Key128 file_key{};
     if (dax) {
         OttLookupResult key = ott_->lookup(fecb.groupId, fecb.fileId, 0);
-        if (!key.found)
-            return false; // key unrecoverable: line is lost
+        if (!key.found) {
+            // Dead end: nothing left to probe against — the key never
+            // made it back into the OTT after the crash.
+            warnLimited(16,
+                        "recovery: line %#lx stamped (gid=%u, fid=%u) "
+                        "but no such key in the OTT; line is lost",
+                        static_cast<unsigned long>(line),
+                        fecb.groupId, fecb.fileId);
+            return LineRecovery::MissingKey;
+        }
         file_key = key.key;
         if (const crypto::Key128 *old_key = lazyOldKey(fecb, line))
             file_key = *old_key;
@@ -1076,12 +1201,12 @@ SecureMemoryController::recoverLine(Addr full_addr)
         auto recovered = osiris_.recoverMinor(persisted_mem_minor,
                                               stored_ecc, trial, line);
         if (!recovered)
-            return false;
+            return LineRecovery::ProbeExhausted;
         mecb.minors.minor[blk] =
             static_cast<std::uint8_t>(*recovered & minorCounterMax);
         counters_->installMecb(mecb_addr, mecb);
         counters_->persistMecb(mecb_addr);
-        return true;
+        return LineRecovery::Ok;
     }
 
     // DAX line: the memory and file counters lag independently (the
@@ -1104,7 +1229,7 @@ SecureMemoryController::recoverLine(Addr full_addr)
                                          file_span, stored_ecc, trial2,
                                          line);
     if (!pair)
-        return false;
+        return LineRecovery::ProbeExhausted;
 
     mecb.minors.minor[blk] = static_cast<std::uint8_t>(
         (persisted_mem_minor + pair->first) & minorCounterMax);
@@ -1114,7 +1239,7 @@ SecureMemoryController::recoverLine(Addr full_addr)
         (persisted_file_minor + pair->second) & minorCounterMax);
     counters_->installFecb(fecb_addr, fecb);
     counters_->persistFecb(fecb_addr);
-    return true;
+    return LineRecovery::Ok;
 }
 
 std::uint64_t
@@ -1158,10 +1283,38 @@ SecureMemoryController::recoverAllReport()
 
     for (Addr a : lines) {
         ++report.linesExamined;
+        // Lines already quarantined by the metadata pass have no
+        // trustworthy counters to probe against; skip them (they are
+        // casualties, not additional failures).
+        if (quarantined_.count(a)) {
+            report.quarantined.push_back(
+                {a, QuarantineReason::MetadataTampered, 0, 0});
+            continue;
+        }
         // Replays the DF-bit decision from the persisted FECB stamp.
-        if (!recoverLine(a))
+        std::uint32_t gid = 0, fid = 0;
+        switch (recoverLineDetail(a, &gid, &fid)) {
+          case LineRecovery::Ok:
+            break;
+          case LineRecovery::ProbeExhausted:
             ++report.failures;
+            quarantined_.insert(a);
+            report.quarantined.push_back(
+                {a, QuarantineReason::ProbeExhausted, gid, fid});
+            break;
+          case LineRecovery::MissingKey:
+            ++report.failures;
+            quarantined_.insert(a);
+            report.quarantined.push_back(
+                {a, QuarantineReason::MissingKey, gid, fid});
+            break;
+        }
     }
+    // Deterministic report order regardless of map iteration order.
+    std::sort(report.quarantined.begin(), report.quarantined.end(),
+              [](const QuarantinedLine &x, const QuarantinedLine &y) {
+                  return x.addr < y.addr;
+              });
 
     if (cfg_.hasMemoryEncryption())
         report.probes = osiris_.statGroup().scalarValue("probes") -

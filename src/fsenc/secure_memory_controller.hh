@@ -173,6 +173,50 @@ class SecureMemoryController
      */
     bool recoverMetadata();
 
+    /** Why a line sits in the quarantine set. */
+    enum class QuarantineReason {
+        /** Its counter/FECB metadata line failed the Merkle check. */
+        MetadataTampered,
+        /** Osiris trial decryption exhausted every candidate. */
+        ProbeExhausted,
+        /** The FECB names a file key no longer in the OTT. */
+        MissingKey,
+    };
+
+    static const char *quarantineReasonName(QuarantineReason reason);
+
+    /** One quarantined data line. */
+    struct QuarantinedLine
+    {
+        Addr addr = 0;
+        QuarantineReason reason = QuarantineReason::ProbeExhausted;
+        /** FECB identity stamp, when one exists (0/0 otherwise) —
+         *  the per-file blast radius. */
+        std::uint32_t groupId = 0;
+        std::uint32_t fileId = 0;
+    };
+
+    /** What the graceful Merkle re-verification concluded. */
+    struct MetadataVerdict
+    {
+        /** Regenerated root matched the on-chip root. */
+        bool rootOk = true;
+        /** Every mismatch was a counter leaf we could map to a data
+         *  page and quarantine; false means tampering hit state with
+         *  no bounded blast radius (OTT spill, virgin leaves). */
+        bool localizable = true;
+        /** Metadata-region leaf addresses that failed the check. */
+        std::vector<Addr> tamperedLeaves;
+    };
+
+    /**
+     * Graceful recoverMetadata: instead of a single verdict bool, a
+     * root mismatch is localized to the tampered leaves, and every
+     * MECB/FECB leaf's data page is quarantined (reads of those lines
+     * must not reach software). Clears the previous quarantine set.
+     */
+    MetadataVerdict recoverMetadataGraceful();
+
     /**
      * Osiris recovery of one data line: probe counter candidates
      * against the line's ECC, reinstall and persist the recovered
@@ -195,6 +239,10 @@ class SecureMemoryController
         std::uint64_t failures = 0;
         /** Modeled recovery latency: line reads + trial decrypts. */
         Tick modelTime = 0;
+        /** Lines walled off instead of aborting the mount, sorted by
+         *  address (includes pre-quarantined metadata casualties,
+         *  which do not count as failures). */
+        std::vector<QuarantinedLine> quarantined;
     };
 
     /**
@@ -203,6 +251,15 @@ class SecureMemoryController
      * blocks are probed; the full Osiris sweep probes everything.
      */
     RecoveryReport recoverAllReport();
+
+    /** The line is walled off: its plaintext must never reach
+     *  software until the covering file is recreated/shredded. */
+    bool isQuarantined(Addr line_addr) const
+    {
+        return quarantined_.count(blockAlign(stripDfBit(line_addr)))
+               != 0;
+    }
+    std::size_t quarantinedCount() const { return quarantined_.size(); }
 
     /// @}
 
@@ -403,6 +460,16 @@ class SecureMemoryController
      *  ahead of NVM. Lives in a persistent metadata region, so it
      *  survives crashes; maintained on metadata-cache fill/eviction. */
     std::unordered_set<Addr> anubisShadow_;
+
+    /** Data lines walled off by graceful recovery (block-aligned,
+     *  DF-stripped). Cleared at the start of each recovery pass. */
+    std::unordered_set<Addr> quarantined_;
+
+    /** recoverLine with a reason for the failure. */
+    enum class LineRecovery { Ok, ProbeExhausted, MissingKey };
+    LineRecovery recoverLineDetail(Addr full_addr,
+                                   std::uint32_t *gid_out = nullptr,
+                                   std::uint32_t *fid_out = nullptr);
 
     /** In-flight lazy re-keys: (gid<<14|fid) -> old key + pending
      *  pages (a per-file bitmap riding in the OTT spill region). */

@@ -1,7 +1,10 @@
 #include "mem/nvm_device.hh"
 
+#include <cstring>
+
 #include "common/bitfield.hh"
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 
 namespace fsencr {
 
@@ -120,7 +123,30 @@ NvmDevice::readLine(Addr addr, std::uint8_t *buf) const
 void
 NvmDevice::writeLine(Addr addr, const std::uint8_t *buf)
 {
-    store_.write(blockAlign(addr), buf, blockSize);
+    Addr line = blockAlign(addr);
+    if (!injector_) {
+        store_.write(line, buf, blockSize);
+        return;
+    }
+
+    // Stage a copy so in-flight bit flips never touch the caller's
+    // buffer, then let the injector decide the persist outcome.
+    std::uint8_t staged[blockSize];
+    std::memcpy(staged, buf, blockSize);
+    unsigned keep = blockSize;
+    switch (injector_->onWriteLine(line, staged, keep)) {
+      case FaultInjector::WriteOutcome::Store:
+        store_.write(line, staged, blockSize);
+        break;
+      case FaultInjector::WriteOutcome::Torn:
+        if (keep > blockSize)
+            keep = blockSize;
+        if (keep > 0)
+            store_.write(line, staged, keep);
+        break;
+      case FaultInjector::WriteOutcome::Drop:
+        break;
+    }
 }
 
 void
@@ -138,7 +164,24 @@ NvmDevice::write(Addr addr, const void *buf, std::size_t len)
 void
 NvmDevice::setEcc(Addr line_addr, std::uint32_t ecc)
 {
-    ecc_[blockAlign(line_addr)] = ecc;
+    Addr line = blockAlign(line_addr);
+    if (injector_) {
+        switch (injector_->onSetEcc(line, ecc)) {
+          case FaultInjector::EccAction::Store:
+            break;
+          case FaultInjector::EccAction::Drop:
+            // The persist this ECC rode with failed. If the line had
+            // been persisted before, keep the stale word (the torn or
+            // stale data now mismatches it, which is what recovery
+            // probes for). A first-ever persist has no stale word to
+            // fall back on; store the new one so the line is known to
+            // recovery at all instead of silently absent.
+            if (ecc_.count(line))
+                return;
+            break;
+        }
+    }
+    ecc_[line] = ecc;
 }
 
 std::uint32_t

@@ -26,6 +26,8 @@
 
 namespace fsencr {
 
+class FaultInjector;
+
 /** PCM main memory: timing model + functional store. */
 class NvmDevice
 {
@@ -63,6 +65,16 @@ class NvmDevice
     const std::unordered_map<Addr, std::uint32_t> &eccMap() const
     {
         return ecc_;
+    }
+
+    /**
+     * Attach a fault injector that intercepts writeLine/setEcc
+     * (nullptr detaches). With no injector the persist path is
+     * exactly the original store, bit for bit.
+     */
+    void setFaultInjector(FaultInjector *injector)
+    {
+        injector_ = injector;
     }
 
     /** Drop all volatile device state (row buffers) — crash model. */
@@ -111,6 +123,7 @@ class NvmDevice
     std::vector<Bank> banks_;
     BackingStore store_;
     std::unordered_map<Addr, std::uint32_t> ecc_;
+    FaultInjector *injector_ = nullptr;
 
     stats::StatGroup statGroup_;
     stats::Scalar reads_;

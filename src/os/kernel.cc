@@ -15,6 +15,7 @@ Kernel::Kernel(const SimConfig &cfg, const PhysLayout &layout,
     statGroup_.addScalar("anonFaults", anonFaults_);
     statGroup_.addScalar("opens", opens_);
     statGroup_.addScalar("openDenied", openDenied_);
+    statGroup_.addScalar("openDamaged", openDamaged_);
     statGroup_.addScalar("creates", creates_);
     statGroup_.addScalar("unlinks", unlinks_);
 }
@@ -121,6 +122,15 @@ Kernel::open(std::uint32_t pid, const std::string &path, bool writable,
         return -1;
     }
     const Inode &node = fs_.inode(*ino);
+
+    if (node.damaged) {
+        // Quarantined by recovery: its data lines are unrecoverable
+        // and must not be served (graceful degradation keeps every
+        // other file accessible).
+        ++openDenied_;
+        ++openDamaged_;
+        return -1;
+    }
 
     if (!NvmFilesystem::permits(node, p.uid, p.gid, writable)) {
         ++openDenied_;

@@ -252,6 +252,7 @@ class Kernel
     stats::Scalar anonFaults_;
     stats::Scalar opens_;
     stats::Scalar openDenied_;
+    stats::Scalar openDamaged_;
     stats::Scalar creates_;
     stats::Scalar unlinks_;
 };

@@ -175,7 +175,7 @@ MerkleTree::verifyLeaf(Addr leaf_addr) const
 }
 
 bool
-MerkleTree::rebuildAndVerify()
+MerkleTree::rebuildAndVerify(std::vector<Addr> *tampered_leaves)
 {
     // Recompute every touched leaf MAC from the device image, rebuild
     // the interior levels, and compare the regenerated root with the
@@ -186,8 +186,9 @@ MerkleTree::rebuildAndVerify()
     rebuilt.reserve(macs_[0].size());
     for (const auto &[idx, mac] : macs_[0]) {
         Addr leaf_addr = layout_.merkleLeavesBase() + idx * blockSize;
-        (void)mac;
         rebuilt[idx] = leafMacFromDevice(leaf_addr);
+        if (tampered_leaves && rebuilt[idx] != mac)
+            tampered_leaves->push_back(leaf_addr);
     }
     macs_[0] = std::move(rebuilt);
 

@@ -71,11 +71,27 @@ class MerkleTree
      * Rebuild every touched leaf MAC from device bytes and check the
      * resulting root against the on-chip root (post-crash
      * "regenerate and verify through the root" step).
+     *
+     * @param tampered_leaves when non-null, receives the addresses of
+     *        touched leaves whose device bytes no longer match the MAC
+     *        held before the rebuild — the localized blast radius a
+     *        graceful recovery quarantines instead of aborting.
+     * @return true iff the regenerated root matches the on-chip root
      */
-    bool rebuildAndVerify();
+    bool rebuildAndVerify(std::vector<Addr> *tampered_leaves = nullptr);
 
     /** The on-chip root MAC. */
     std::uint64_t root() const { return root_; }
+
+    /** Whether a leaf has ever been persisted (tracked by the tree).
+     *  Untracked (virgin) leaves are expected all-zero on the device,
+     *  so recovery must zero-check them separately — the root
+     *  comparison cannot see tampering there. */
+    bool
+    leafTracked(Addr leaf_addr) const
+    {
+        return macs_[0].count(leafIndex(leaf_addr)) != 0;
+    }
 
     /**
      * Serializable tree state (Section VI, moving a filesystem to a

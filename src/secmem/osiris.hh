@@ -21,6 +21,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
@@ -103,6 +104,13 @@ class OsirisRecovery
             }
         }
         ++failed_;
+        warnLimited(16,
+                    "osiris: 2-D counter recovery exhausted for line "
+                    "%#lx after %lu probes (mem span 0..%u, file span "
+                    "0..%u)",
+                    static_cast<unsigned long>(line_addr),
+                    static_cast<unsigned long>(probes), mem_span,
+                    file_span);
         if (tracer_)
             tracer_->instant("osiris_fail_pair", "osiris",
                              tracer_->time(), probes);
@@ -141,6 +149,12 @@ class OsirisRecovery
             }
         }
         ++failed_;
+        warnLimited(16,
+                    "osiris: counter recovery exhausted for line %#lx "
+                    "after %lu probes (candidates %u..%u)",
+                    static_cast<unsigned long>(line_addr),
+                    static_cast<unsigned long>(probes),
+                    persisted_minor, persisted_minor + stopLoss_);
         if (tracer_)
             tracer_->instant("osiris_fail", "osiris", tracer_->time(),
                              probes);

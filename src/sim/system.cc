@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 
 namespace fsencr {
 
@@ -59,6 +60,21 @@ System::advanceMc(Tick latency)
     for (unsigned c = 0; c < trace::NumComponents; ++c)
         attrTicks_[c] += bd.ticks[c];
     now_ += latency;
+    if (injector_)
+        faultTick();
+}
+
+void
+System::setFaultInjector(FaultInjector *injector)
+{
+    injector_ = injector;
+    device_->setFaultInjector(injector);
+}
+
+void
+System::faultTick()
+{
+    injector_->onTick(now_);
 }
 
 trace::Breakdown
@@ -257,6 +273,8 @@ System::fsync(unsigned core, int fd)
     if (it == p.fds.end())
         fatal("fsync: bad fd %d", fd);
     const Inode &node = fs_->inode(it->second.ino);
+    if (node.damaged)
+        throw FileDamagedError(node.ino, "fsync");
 
     bool df = kernel_->daxEncrypted(node);
     for (Addr page : node.blocks) {
@@ -420,6 +438,8 @@ System::fileRead(unsigned core, int fd, std::uint64_t offset, void *buf,
     if (it == p.fds.end())
         fatal("fileRead: bad fd %d", fd);
     const Inode &node = fs_->inode(it->second.ino);
+    if (node.damaged)
+        throw FileDamagedError(node.ino, "read");
 
     auto *out = static_cast<std::uint8_t *>(buf);
     while (len > 0) {
@@ -451,6 +471,8 @@ System::fileWrite(unsigned core, int fd, std::uint64_t offset,
     if (!it->second.writable)
         fatal("fileWrite: fd %d is read-only", fd);
     Inode &node = fs_->inode(it->second.ino);
+    if (node.damaged)
+        throw FileDamagedError(node.ino, "write");
     fs_->extendTo(node.ino, offset + len);
 
     const auto *in = static_cast<const std::uint8_t *>(buf);
@@ -545,29 +567,84 @@ System::resyncArchFromDevice()
         lines.push_back(addr);
     }
     for (Addr line : lines) {
-        Addr paddr = lineIsDax(line) ? setDfBit(line) : line;
         std::uint8_t buf[blockSize];
+        if (mc_->isQuarantined(line)) {
+            // No trustworthy counters: decrypting would hand software
+            // garbage (or, worse, cross-file plaintext under a wrong
+            // pad). The architectural view of a quarantined line is
+            // zeros until its file is recreated.
+            std::memset(buf, 0, blockSize);
+            archMem_.write(line, buf, blockSize);
+            continue;
+        }
+        Addr paddr = lineIsDax(line) ? setDfBit(line) : line;
         advanceMc(mc_->readLine(paddr, now_, buf));
         archMem_.write(line, buf, blockSize);
     }
+}
+
+void
+System::markDamagedFiles(RecoveryOutcome &out)
+{
+    // Deterministic: directory iteration is a sorted map, so damaged
+    // paths come out in path order. Quarantined lines not covered by
+    // any file block (freed pages, anonymous memory) are orphans.
+    std::uint64_t covered = 0;
+    for (const auto &[path, ino] : fs_->entries()) {
+        Inode &node = fs_->inode(ino);
+        node.damaged = false;
+        std::uint64_t hit = 0;
+        for (Addr page : node.blocks)
+            for (unsigned blk = 0; blk < blocksPerPage; ++blk)
+                if (mc_->isQuarantined(page + blk * blockSize))
+                    ++hit;
+        if (hit > 0) {
+            node.damaged = true;
+            out.damagedFiles.push_back(path);
+            covered += hit;
+        }
+    }
+    std::uint64_t total = mc_->quarantinedCount();
+    out.orphanLines = total > covered ? total - covered : 0;
 }
 
 bool
 System::recover()
 {
     ++recoveries_;
-    bool ok;
-    std::uint64_t failures;
-    try {
-        ok = mc_->recoverMetadata();
-        // Remount: re-stamp every encrypted file page from filesystem
-        // metadata so recovery can identify DAX lines and keys.
-        advance(trace::Mmio, kernel_->restampAllFiles(now_));
-        failures = mc_->recoverAll();
-    } catch (const IntegrityError &) {
-        // Tampered persisted metadata discovered mid-recovery.
+    lastRecovery_ = RecoveryOutcome{};
+    RecoveryOutcome &out = lastRecovery_;
+
+    // 1. Metadata pass: regenerate the Merkle tree; tampered counter
+    //    leaves quarantine the data pages they cover instead of
+    //    aborting the mount.
+    auto verdict = mc_->recoverMetadataGraceful();
+    out.metadataClean = verdict.rootOk;
+    out.tamperedLeaves = verdict.tamperedLeaves.size();
+    if (!verdict.localizable) {
+        // Tampering hit state with no bounded blast radius (OTT
+        // spill, interior divergence): nothing can be trusted.
         return false;
     }
+
+    std::uint64_t failures;
+    try {
+        // 2. Remount: re-stamp every encrypted file page from
+        //    filesystem metadata so recovery can identify DAX lines
+        //    and keys.
+        advance(trace::Mmio, kernel_->restampAllFiles(now_));
+        // 3. Counter recovery; probe/key dead-ends quarantine lines.
+        auto report = mc_->recoverAllReport();
+        out.linesExamined = report.linesExamined;
+        out.probes = report.probes;
+        failures = report.failures;
+    } catch (const IntegrityError &) {
+        // Tampering discovered mid-recovery outside the quarantined
+        // range: not localizable after all.
+        return false;
+    }
+    out.probeFailures = failures;
+    out.quarantinedLines = mc_->quarantinedCount();
 
     // Resynchronize the architectural image with the decrypted device
     // contents: whatever was persisted is what the rebooted machine
@@ -591,7 +668,14 @@ System::recover()
         archMem_.write(line, buf, blockSize);
     }
     lostDirtyLines_.clear();
-    return ok && failures == 0;
+
+    // 4. Blast radius: map the quarantine set onto files; only the
+    //    covered files become unreadable, everything else stays
+    //    accessible.
+    markDamagedFiles(out);
+
+    out.usable = true;
+    return true;
 }
 
 void

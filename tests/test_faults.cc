@@ -1,0 +1,576 @@
+/**
+ * @file
+ * Deterministic fault injection and graceful-degradation recovery
+ * (docs/ARCHITECTURE.md, "Fault model & recovery semantics"): crash
+ * mid-fileWrite / mid-copyFile / mid-fsync and recover consistently,
+ * torn and dropped persists, at-rest bit flips that must quarantine
+ * exactly the file they hit, and the no-injector bit-identity
+ * guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "fault/fault_injector.hh"
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+using namespace fsencr;
+
+namespace {
+
+SimConfig
+cfgFor(Scheme scheme)
+{
+    SimConfig cfg;
+    cfg.scheme = scheme;
+    cfg.seed = 4242;
+    return cfg;
+}
+
+/** Create /pmem/<name>, fill its first page with @p fill, fsync.
+ *  @return the (writable) fd */
+int
+makeFile(System &sys, const std::string &path, std::uint8_t fill)
+{
+    int fd = sys.creat(0, path, 0600, true, "pw");
+    sys.ftruncate(0, fd, pageSize);
+    std::vector<std::uint8_t> buf(pageSize, fill);
+    sys.fileWrite(0, fd, 0, buf.data(), buf.size());
+    sys.fsync(0, fd);
+    return fd;
+}
+
+/** Every line of the file's first page is uniformly one of the
+ *  candidate bytes (no torn/mixed line reaches software). */
+void
+expectLinesAreVersions(System &sys, int fd,
+                       const std::vector<std::uint8_t> &candidates)
+{
+    std::uint8_t line[blockSize];
+    for (unsigned l = 0; l < pageSize / blockSize; ++l) {
+        sys.fileRead(0, fd, static_cast<std::uint64_t>(l) * blockSize,
+                     line, blockSize);
+        bool matched = false;
+        for (std::uint8_t c : candidates) {
+            bool all = true;
+            for (unsigned b = 0; b < blockSize; ++b)
+                all &= line[b] == c;
+            matched |= all;
+        }
+        EXPECT_TRUE(matched) << "line " << l << " byte0="
+                             << int(line[0]);
+    }
+}
+
+void
+expectFileBytes(System &sys, const std::string &path, std::uint8_t fill)
+{
+    int fd = sys.open(0, path, false, "pw");
+    ASSERT_GE(fd, 0) << path;
+    expectLinesAreVersions(sys, fd, {fill});
+    sys.closeFd(0, fd);
+}
+
+} // namespace
+
+/* ---- Injector unit behavior ------------------------------------- */
+
+TEST(FaultInjector, WindowedOrdinalsAndBitFlips)
+{
+    FaultInjector inj;
+
+    FaultSpec flip;
+    flip.kind = FaultKind::BitFlipOnWrite;
+    flip.atWrite = 2;
+    flip.bit = 9; // byte 1, bit 1
+    inj.schedule(flip);
+
+    FaultSpec drop;
+    drop.kind = FaultKind::DroppedWrite;
+    drop.atWrite = 1;
+    drop.addrLo = 0x2000;
+    drop.addrHi = 0x2040;
+    inj.schedule(drop);
+
+    std::uint8_t buf[blockSize] = {};
+    unsigned keep = blockSize;
+
+    EXPECT_EQ(inj.onWriteLine(0x1000, buf, keep),
+              FaultInjector::WriteOutcome::Store);
+    EXPECT_EQ(buf[1], 0);
+
+    // Second write overall: the unwindowed flip fires; the windowed
+    // drop does not (0x1040 is outside its window).
+    EXPECT_EQ(inj.onWriteLine(0x1040, buf, keep),
+              FaultInjector::WriteOutcome::Store);
+    EXPECT_EQ(buf[1], 1u << 1);
+
+    // First write *within the window*: the drop fires and its paired
+    // ECC store is suppressed with it.
+    EXPECT_EQ(inj.onWriteLine(0x2000, buf, keep),
+              FaultInjector::WriteOutcome::Drop);
+    std::uint32_t ecc = 0xdead;
+    EXPECT_EQ(inj.onSetEcc(0x2000, ecc),
+              FaultInjector::EccAction::Drop);
+    EXPECT_EQ(inj.onSetEcc(0x2000, ecc),
+              FaultInjector::EccAction::Store);
+
+    EXPECT_EQ(inj.writesSeen(), 3u);
+    EXPECT_EQ(inj.eccStoresSeen(), 2u);
+    ASSERT_EQ(inj.log().size(), 2u);
+    EXPECT_EQ(inj.log()[0].kind, FaultKind::BitFlipOnWrite);
+    EXPECT_EQ(inj.log()[1].kind, FaultKind::DroppedWrite);
+    EXPECT_FALSE(inj.tripped());
+}
+
+TEST(FaultInjector, TornWriteArmsAtomicLoss)
+{
+    FaultInjector inj;
+    FaultSpec torn;
+    torn.kind = FaultKind::TornWrite;
+    torn.keepBytes = 24;
+    torn.thenPowerLoss = true;
+    inj.schedule(torn);
+
+    std::uint8_t buf[blockSize] = {};
+    unsigned keep = blockSize;
+    EXPECT_EQ(inj.onWriteLine(0x40, buf, keep),
+              FaultInjector::WriteOutcome::Torn);
+    EXPECT_EQ(keep, 24u);
+    EXPECT_TRUE(inj.powerLossPending());
+
+    // The paired ECC store still rides with the torn line...
+    std::uint32_t ecc = 1;
+    EXPECT_THROW(
+        {
+            // ...and only then does the armed loss trip.
+            auto a = inj.onSetEcc(0x40, ecc);
+            (void)a;
+        },
+        PowerLossEvent);
+    EXPECT_TRUE(inj.tripped());
+    EXPECT_FALSE(inj.powerLossPending());
+
+    // Inert after the trip: recovery-time writes are never faulted.
+    EXPECT_EQ(inj.onWriteLine(0x80, buf, keep),
+              FaultInjector::WriteOutcome::Store);
+    EXPECT_EQ(inj.writesSeen(), 1u);
+}
+
+/* ---- No-injector bit-identity ----------------------------------- */
+
+TEST(FaultSystem, AttachedIdleInjectorIsBitIdentical)
+{
+    // The acceptance bar is "no injector == identical simulation";
+    // an attached injector with nothing scheduled must also change
+    // neither the clock nor the traffic nor the bytes.
+    auto drive = [](System &sys) {
+        workloads::standardEnvironment(sys, "pw");
+        int fd = makeFile(sys, "/pmem/f", 0x5a);
+        std::uint8_t buf[blockSize];
+        sys.fileRead(0, fd, 3 * blockSize, buf, blockSize);
+        sys.fsync(0, fd);
+        return buf[0];
+    };
+
+    System plain(cfgFor(Scheme::FsEncr));
+    drive(plain);
+
+    System hooked(cfgFor(Scheme::FsEncr));
+    FaultInjector idle;
+    hooked.setFaultInjector(&idle);
+    drive(hooked);
+
+    EXPECT_EQ(plain.now(), hooked.now());
+    EXPECT_EQ(plain.device().numReads(), hooked.device().numReads());
+    EXPECT_EQ(plain.device().numWrites(), hooked.device().numWrites());
+    EXPECT_GT(idle.writesSeen(), 0u);
+
+    // Stored device image is byte-identical too.
+    Addr page = plain.fs().inode(*plain.fs().lookup("/pmem/f"))
+                    .blocks[0];
+    std::vector<std::uint8_t> a(pageSize), b(pageSize);
+    plain.device().read(page, a.data(), a.size());
+    hooked.device().read(page, b.data(), b.size());
+    EXPECT_EQ(a, b);
+}
+
+/* ---- Crash mid-operation, recover consistently ------------------ */
+
+TEST(FaultSystem, PowerLossMidFileWriteRecoversConsistently)
+{
+    // Dry run to find the [t0, t1] window of the overwrite+fsync.
+    Tick t0 = 0, t1 = 0;
+    {
+        System dry(cfgFor(Scheme::FsEncr));
+        workloads::standardEnvironment(dry, "pw");
+        int fd = makeFile(dry, "/pmem/f", 'A');
+        std::vector<std::uint8_t> buf(pageSize, 'B');
+        t0 = dry.now();
+        dry.fileWrite(0, fd, 0, buf.data(), buf.size());
+        dry.fsync(0, fd);
+        t1 = dry.now();
+    }
+    ASSERT_LT(t0, t1);
+
+    System sys(cfgFor(Scheme::FsEncr));
+    workloads::standardEnvironment(sys, "pw");
+    int fd = makeFile(sys, "/pmem/f", 'A');
+
+    FaultInjector inj;
+    sys.setFaultInjector(&inj);
+    FaultSpec loss;
+    loss.kind = FaultKind::PowerLossAtTick;
+    loss.atTick = (t0 + t1) / 2;
+    inj.schedule(loss);
+
+    bool lost = false;
+    try {
+        std::vector<std::uint8_t> buf(pageSize, 'B');
+        sys.fileWrite(0, fd, 0, buf.data(), buf.size());
+        sys.fsync(0, fd);
+    } catch (const PowerLossEvent &) {
+        lost = true;
+    }
+    ASSERT_TRUE(lost);
+
+    sys.crash();
+    ASSERT_TRUE(sys.recover());
+    EXPECT_TRUE(sys.lastRecovery().damagedFiles.empty());
+
+    // Every line is wholly old or wholly new; the fsync'd 'A' image
+    // can never have vanished below a line.
+    int rfd = sys.open(0, "/pmem/f", false, "pw");
+    ASSERT_GE(rfd, 0);
+    expectLinesAreVersions(sys, rfd, {'A', 'B'});
+}
+
+TEST(FaultSystem, PowerLossMidCopyFileRecoversConsistently)
+{
+    Tick t0 = 0, t1 = 0;
+    {
+        System dry(cfgFor(Scheme::FsEncr));
+        workloads::standardEnvironment(dry, "pw");
+        makeFile(dry, "/pmem/src", 'S');
+        t0 = dry.now();
+        dry.copyFile(0, "/pmem/src", "/pmem/dst", "pw");
+        t1 = dry.now();
+    }
+    ASSERT_LT(t0, t1);
+
+    System sys(cfgFor(Scheme::FsEncr));
+    workloads::standardEnvironment(sys, "pw");
+    makeFile(sys, "/pmem/src", 'S');
+
+    FaultInjector inj;
+    sys.setFaultInjector(&inj);
+    FaultSpec loss;
+    loss.kind = FaultKind::PowerLossAtTick;
+    loss.atTick = (t0 + t1) / 2;
+    inj.schedule(loss);
+
+    bool lost = false;
+    try {
+        sys.copyFile(0, "/pmem/src", "/pmem/dst", "pw");
+    } catch (const PowerLossEvent &) {
+        lost = true;
+    }
+    ASSERT_TRUE(lost);
+
+    sys.crash();
+    ASSERT_TRUE(sys.recover());
+    EXPECT_TRUE(sys.lastRecovery().damagedFiles.empty());
+
+    // The durable source survives byte-exact ...
+    expectFileBytes(sys, "/pmem/src", 'S');
+
+    // ... and the half-copied destination, if it exists yet, holds
+    // only whole lines of source data or still-zero lines.
+    if (sys.fs().lookup("/pmem/dst")) {
+        int dfd = sys.open(0, "/pmem/dst", false, "pw");
+        ASSERT_GE(dfd, 0);
+        expectLinesAreVersions(sys, dfd, {'S', 0x00});
+    }
+}
+
+TEST(FaultSystem, PowerLossMidFsyncRecoversConsistently)
+{
+    System sys(cfgFor(Scheme::FsEncr));
+    workloads::standardEnvironment(sys, "pw");
+    int fd = makeFile(sys, "/pmem/f", 'A');
+
+    // Dirty the whole page, then die on the 2nd line persist of the
+    // fsync itself (the injector attaches after the writes, so fsync
+    // traffic is all it sees).
+    std::vector<std::uint8_t> buf(pageSize, 'B');
+    sys.fileWrite(0, fd, 0, buf.data(), buf.size());
+
+    FaultInjector inj;
+    sys.setFaultInjector(&inj);
+    FaultSpec loss;
+    loss.kind = FaultKind::PowerLossAtWrite;
+    loss.atWrite = 2;
+    inj.schedule(loss);
+
+    bool lost = false;
+    try {
+        sys.fsync(0, fd);
+    } catch (const PowerLossEvent &) {
+        lost = true;
+    }
+    ASSERT_TRUE(lost);
+
+    sys.crash();
+    ASSERT_TRUE(sys.recover());
+    EXPECT_TRUE(sys.lastRecovery().damagedFiles.empty());
+
+    int rfd = sys.open(0, "/pmem/f", false, "pw");
+    ASSERT_GE(rfd, 0);
+    expectLinesAreVersions(sys, rfd, {'A', 'B'});
+}
+
+/* ---- Torn / dropped persists ------------------------------------ */
+
+TEST(FaultSystem, TornLinePersistQuarantinesOnlyThatFile)
+{
+    System sys(cfgFor(Scheme::FsEncr));
+    workloads::standardEnvironment(sys, "pw");
+    int fa = makeFile(sys, "/pmem/a", 'A');
+    makeFile(sys, "/pmem/b", 'B');
+
+    Addr lineA = sys.fs().inode(*sys.fs().lookup("/pmem/a")).blocks[0];
+
+    FaultInjector inj;
+    sys.setFaultInjector(&inj);
+    FaultSpec torn;
+    torn.kind = FaultKind::TornWrite;
+    torn.keepBytes = 24;
+    torn.addrLo = lineA;
+    torn.addrHi = lineA + blockSize;
+    torn.thenPowerLoss = true;
+    inj.schedule(torn);
+
+    bool lost = false;
+    try {
+        std::uint8_t line[blockSize];
+        std::memset(line, 'C', blockSize);
+        sys.fileWrite(0, fa, 0, line, blockSize);
+        sys.fsync(0, fa);
+    } catch (const PowerLossEvent &) {
+        lost = true;
+    }
+    if (!lost && inj.powerLossPending()) {
+        try {
+            inj.onTick(sys.now());
+        } catch (const PowerLossEvent &) {
+            lost = true;
+        }
+    }
+    ASSERT_TRUE(lost);
+
+    sys.crash();
+    // Graceful degradation: the torn line's trial decryption
+    // exhausts, the covering file quarantines, the mount survives.
+    ASSERT_TRUE(sys.recover());
+    const auto &out = sys.lastRecovery();
+    ASSERT_EQ(out.damagedFiles.size(), 1u);
+    EXPECT_EQ(out.damagedFiles[0], "/pmem/a");
+    EXPECT_GT(out.quarantinedLines, 0u);
+
+    // Damaged-file IO fails structurally, old fd included.
+    EXPECT_LT(sys.open(0, "/pmem/a", false, "pw"), 0);
+    std::uint8_t tmp[blockSize];
+    EXPECT_THROW(sys.fileRead(0, fa, 0, tmp, blockSize),
+                 FileDamagedError);
+
+    // The bystander file is untouched, byte-exact.
+    expectFileBytes(sys, "/pmem/b", 'B');
+}
+
+TEST(FaultSystem, DroppedLinePersistDegradesGracefully)
+{
+    System sys(cfgFor(Scheme::FsEncr));
+    workloads::standardEnvironment(sys, "pw");
+    int fa = makeFile(sys, "/pmem/a", 'A');
+    makeFile(sys, "/pmem/b", 'B');
+
+    Addr lineA = sys.fs().inode(*sys.fs().lookup("/pmem/a")).blocks[0];
+
+    FaultInjector inj;
+    sys.setFaultInjector(&inj);
+    FaultSpec drop;
+    drop.kind = FaultKind::DroppedWrite;
+    drop.addrLo = lineA;
+    drop.addrHi = lineA + blockSize;
+    inj.schedule(drop);
+
+    // The overwrite's persist is silently dropped; the run continues
+    // and only a later crash exposes it.
+    std::uint8_t line[blockSize];
+    std::memset(line, 'C', blockSize);
+    sys.fileWrite(0, fa, 0, line, blockSize);
+    sys.fsync(0, fa);
+    ASSERT_EQ(inj.log().size(), 1u);
+
+    sys.crash();
+    ASSERT_TRUE(sys.recover());
+    const auto &out = sys.lastRecovery();
+
+    if (out.damagedFiles.empty()) {
+        // Counters recovered around the stale line: it legally reads
+        // as the *old* fsync'd version — the documented durability
+        // hole on exactly the fault-hit line, never torn garbage.
+        int rfd = sys.open(0, "/pmem/a", false, "pw");
+        ASSERT_GE(rfd, 0);
+        std::uint8_t got[blockSize];
+        sys.fileRead(0, rfd, 0, got, blockSize);
+        for (unsigned b = 0; b < blockSize; ++b)
+            ASSERT_EQ(got[b], 'A');
+    } else {
+        // Or the stale image probe-exhausted: quarantined, structured.
+        ASSERT_EQ(out.damagedFiles.size(), 1u);
+        EXPECT_EQ(out.damagedFiles[0], "/pmem/a");
+        EXPECT_LT(sys.open(0, "/pmem/a", false, "pw"), 0);
+    }
+
+    // Either way the bystander file is byte-exact.
+    expectFileBytes(sys, "/pmem/b", 'B');
+}
+
+/* ---- At-rest bit flips: per-file blast radius ------------------- */
+
+TEST(FaultSystem, DataBitFlipQuarantinesOnlyThatFile)
+{
+    System sys(cfgFor(Scheme::FsEncr));
+    workloads::standardEnvironment(sys, "pw");
+    int fa = makeFile(sys, "/pmem/a", 'A');
+    makeFile(sys, "/pmem/b", 'B');
+    sys.crash();
+
+    Addr lineA = sys.fs().inode(*sys.fs().lookup("/pmem/a")).blocks[0];
+    FaultInjector inj;
+    sys.setFaultInjector(&inj);
+    std::uint8_t raw[blockSize];
+    sys.device().readLine(lineA, raw);
+    raw[5] ^= 0x10;
+    sys.device().writeLine(lineA, raw);
+    inj.noteTamper(lineA, 5 * 8 + 4);
+
+    ASSERT_TRUE(sys.recover());
+    const auto &out = sys.lastRecovery();
+    ASSERT_EQ(out.damagedFiles.size(), 1u);
+    EXPECT_EQ(out.damagedFiles[0], "/pmem/a");
+    EXPECT_GT(out.probeFailures, 0u);
+    EXPECT_TRUE(sys.mc().isQuarantined(lineA));
+
+    // No plaintext leaks through the quarantined line.
+    std::uint8_t arch[blockSize];
+    sys.archMem().read(lineA, arch, blockSize);
+    for (unsigned b = 0; b < blockSize; ++b)
+        EXPECT_EQ(arch[b], 0);
+
+    EXPECT_LT(sys.open(0, "/pmem/a", false, "pw"), 0);
+    std::uint8_t tmp[blockSize];
+    EXPECT_THROW(sys.fileRead(0, fa, 0, tmp, blockSize),
+                 FileDamagedError);
+    expectFileBytes(sys, "/pmem/b", 'B');
+}
+
+TEST(FaultSystem, FecbBitFlipQuarantinesOnlyThatFile)
+{
+    // The acceptance scenario: a metadata flip on one file's FECB
+    // quarantines exactly that file; every other file stays readable
+    // byte-exact and the mount recovers.
+    System sys(cfgFor(Scheme::FsEncr));
+    workloads::standardEnvironment(sys, "pw");
+    int fa = makeFile(sys, "/pmem/a", 'A');
+    makeFile(sys, "/pmem/b", 'B');
+
+    // Hammer a's first line so its FECB is persisted (and thus
+    // Merkle-covered) before the crash.
+    std::uint8_t line[blockSize];
+    for (int i = 0; i < 20; ++i) {
+        std::memset(line, 'A', blockSize);
+        sys.fileWrite(0, fa, 0, line, blockSize);
+        sys.fsync(0, fa);
+    }
+    sys.crash();
+
+    Addr pageA = sys.fs().inode(*sys.fs().lookup("/pmem/a")).blocks[0];
+    Addr fecb = sys.layout().fecbAddr(pageA);
+    std::uint8_t blk[blockSize];
+    sys.device().readLine(fecb, blk);
+    blk[9] ^= 0x04;
+    sys.device().writeLine(fecb, blk);
+
+    ASSERT_TRUE(sys.recover());
+    const auto &out = sys.lastRecovery();
+    EXPECT_FALSE(out.metadataClean);
+    EXPECT_EQ(out.tamperedLeaves, 1u);
+    ASSERT_EQ(out.damagedFiles.size(), 1u);
+    EXPECT_EQ(out.damagedFiles[0], "/pmem/a");
+    EXPECT_GT(out.quarantinedLines, 0u);
+
+    EXPECT_LT(sys.open(0, "/pmem/a", false, "pw"), 0);
+    std::uint8_t tmp[blockSize];
+    EXPECT_THROW(sys.fileRead(0, fa, 0, tmp, blockSize),
+                 FileDamagedError);
+
+    // All other files verify byte-exact.
+    expectFileBytes(sys, "/pmem/b", 'B');
+
+    // The adopted post-recovery tree state re-verifies.
+    EXPECT_TRUE(sys.mc().recoverMetadata());
+}
+
+/* ---- Determinism ------------------------------------------------ */
+
+TEST(FaultSystem, SameSeedSameFaultSameOutcome)
+{
+    auto run = [](std::vector<InjectionRecord> &log, Tick &end,
+                  std::uint64_t &loss_write) {
+        System sys(cfgFor(Scheme::FsEncr));
+        workloads::standardEnvironment(sys, "pw");
+        int fd = makeFile(sys, "/pmem/f", 'A');
+
+        FaultInjector inj;
+        sys.setFaultInjector(&inj);
+        FaultSpec torn;
+        torn.kind = FaultKind::TornWrite;
+        torn.atWrite = 3;
+        torn.keepBytes = 16;
+        torn.thenPowerLoss = true;
+        inj.schedule(torn);
+
+        try {
+            std::vector<std::uint8_t> buf(pageSize, 'B');
+            sys.fileWrite(0, fd, 0, buf.data(), buf.size());
+            sys.fsync(0, fd);
+        } catch (const PowerLossEvent &e) {
+            loss_write = e.writeIndex;
+        }
+        sys.crash();
+        ASSERT_TRUE(sys.recover());
+        log = inj.log();
+        end = sys.now();
+    };
+
+    std::vector<InjectionRecord> log1, log2;
+    Tick end1 = 0, end2 = 0;
+    std::uint64_t lw1 = 0, lw2 = 0;
+    run(log1, end1, lw1);
+    run(log2, end2, lw2);
+
+    EXPECT_EQ(end1, end2);
+    EXPECT_EQ(lw1, lw2);
+    ASSERT_EQ(log1.size(), log2.size());
+    for (std::size_t i = 0; i < log1.size(); ++i) {
+        EXPECT_EQ(log1[i].kind, log2[i].kind);
+        EXPECT_EQ(log1[i].addr, log2[i].addr);
+        EXPECT_EQ(log1[i].writeIndex, log2[i].writeIndex);
+        EXPECT_EQ(log1[i].tick, log2[i].tick);
+    }
+}

@@ -250,7 +250,7 @@ TEST(SecurityScenario, DeletedFileUnrecoverableByForensics)
     EXPECT_GT(mecb_after.major, mecb.major);
 }
 
-TEST(SecurityScenario, IntegrityViolationSurfacesAtSystemLevel)
+TEST(SecurityScenario, IntegrityViolationQuarantinesTamperedFile)
 {
     System sys(cfgFor(Scheme::FsEncr));
     workloads::standardEnvironment(sys, "pw");
@@ -271,5 +271,15 @@ TEST(SecurityScenario, IntegrityViolationSurfacesAtSystemLevel)
     blk[9] ^= 4;
     sys.device().writeLine(fecb, blk);
 
-    EXPECT_FALSE(sys.recover());
+    // Graceful degradation: the mount recovers, but the tampered FECB
+    // quarantines exactly the file it covers, and that file's IO fails
+    // with a structured error.
+    ASSERT_TRUE(sys.recover());
+    const auto &out = sys.lastRecovery();
+    EXPECT_FALSE(out.metadataClean);
+    EXPECT_EQ(out.tamperedLeaves, 1u);
+    ASSERT_EQ(out.damagedFiles.size(), 1u);
+    EXPECT_EQ(out.damagedFiles[0], "/pmem/f");
+    EXPECT_GT(out.quarantinedLines, 0u);
+    EXPECT_LT(sys.open(0, "/pmem/f", false, "pw"), 0);
 }

@@ -1,0 +1,845 @@
+/**
+ * @file
+ * fsencr-crashtest — CrashMonkey-style crash-consistency stress
+ * harness (see docs/ARCHITECTURE.md, "Fault model & recovery
+ * semantics").
+ *
+ * The harness runs a seeded multi-file workload against a fresh
+ * System, schedules one fault per run (power loss at the Nth NVM
+ * write, a torn or dropped line persist, or an at-rest bit flip in
+ * data or counter metadata), crashes, recovers, and checks four
+ * invariant families:
+ *
+ *   durability   every fsync'd version is still readable, except on
+ *                lines the injected fault itself hit;
+ *   consistency  every line of every clean file matches exactly one
+ *                version the workload ever wrote (no torn/mixed state
+ *                reaches software);
+ *   isolation    only fault-affected files are quarantined, their IO
+ *                fails with structured errors, and their walled-off
+ *                lines expose no plaintext (they read back zeroed);
+ *   metadata     the recovered Merkle state re-verifies.
+ *
+ * Everything — op list, crash ordinals, torn lengths, flipped bits —
+ * derives from --seed, so a run is exactly reproducible: same seed,
+ * same crash points, same verdicts, same JSON report
+ * (fsencr-crashtest-report v1, no wall-clock timestamps).
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/report.hh"
+#include "common/rng.hh"
+#include "fault/fault_injector.hh"
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+using namespace fsencr;
+
+namespace {
+
+constexpr const char *kPass = "crash-pw";
+constexpr unsigned pagesPerFile = 2;
+constexpr unsigned linesPerPage =
+    static_cast<unsigned>(pageSize / blockSize);
+constexpr unsigned linesPerFile = pagesPerFile * linesPerPage;
+
+/** The five fault classes one run can exercise. */
+enum class FaultClass {
+    MidOpPowerLoss,
+    TornWrite,
+    DroppedWrite,
+    DataBitFlip,
+    MetaBitFlip,
+};
+
+constexpr FaultClass allClasses[] = {
+    FaultClass::MidOpPowerLoss, FaultClass::TornWrite,
+    FaultClass::DroppedWrite,   FaultClass::DataBitFlip,
+    FaultClass::MetaBitFlip,
+};
+
+const char *
+faultClassName(FaultClass c)
+{
+    switch (c) {
+      case FaultClass::MidOpPowerLoss: return "midop";
+      case FaultClass::TornWrite: return "torn";
+      case FaultClass::DroppedWrite: return "dropped";
+      case FaultClass::DataBitFlip: return "databitflip";
+      case FaultClass::MetaBitFlip: return "metabitflip";
+    }
+    return "unknown";
+}
+
+struct Options
+{
+    std::uint64_t seed = 1;
+    unsigned crashes = 5;
+    std::string fault = "all";
+    unsigned ops = 160;
+    unsigned files = 4;
+    Scheme scheme = Scheme::FsEncr;
+    std::string reportOut;
+    bool json = false;
+};
+
+bool
+parseScheme(const std::string &s, Scheme &out)
+{
+    if (s == "none" || s == "ext4-dax") {
+        out = Scheme::NoEncryption;
+    } else if (s == "baseline") {
+        out = Scheme::BaselineSecurity;
+    } else if (s == "fsencr") {
+        out = Scheme::FsEncr;
+    } else if (s == "swenc" || s == "software") {
+        out = Scheme::SoftwareEncryption;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --seed N        master seed (crash points, torn lengths, "
+        "bits)\n"
+        "  --crashes K     number of crash-recover runs (default 5)\n"
+        "  --fault CLASS   "
+        "{midop|torn|dropped|databitflip|metabitflip|all}\n"
+        "  --ops N         workload operations per run (default 160)\n"
+        "  --files F       files in the working set (default 4)\n"
+        "  --scheme S      {none|baseline|fsencr|swenc} (default "
+        "fsencr)\n"
+        "  --report FILE   write the fsencr-crashtest-report v1 JSON\n"
+        "  --json          print the report to stdout\n",
+        argv0);
+}
+
+int
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", a.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--seed") {
+            opt.seed = std::strtoull(next(), nullptr, 0);
+        } else if (a == "--crashes") {
+            opt.crashes = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 0));
+        } else if (a == "--fault") {
+            opt.fault = next();
+        } else if (a == "--ops") {
+            opt.ops = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 0));
+        } else if (a == "--files") {
+            opt.files = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 0));
+        } else if (a == "--scheme") {
+            if (!parseScheme(next(), opt.scheme)) {
+                std::fprintf(stderr, "unknown scheme\n");
+                return 2;
+            }
+        } else if (a == "--report") {
+            opt.reportOut = next();
+        } else if (a == "--json") {
+            opt.json = true;
+        } else if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (opt.crashes == 0 || opt.files == 0 || opt.ops < 2) {
+        std::fprintf(stderr, "need --crashes>=1 --files>=1 --ops>=2\n");
+        return 2;
+    }
+    bool known = opt.fault == "all";
+    for (auto c : allClasses)
+        known |= opt.fault == faultClassName(c);
+    if (!known) {
+        std::fprintf(stderr, "unknown fault class '%s'\n",
+                     opt.fault.c_str());
+        return 2;
+    }
+    return 0;
+}
+
+FaultClass
+classForRun(const Options &o, unsigned run)
+{
+    if (o.fault == "all")
+        return allClasses[run % 5];
+    for (auto c : allClasses)
+        if (o.fault == faultClassName(c))
+            return c;
+    return FaultClass::MidOpPowerLoss;
+}
+
+bool
+isBitFlipClass(FaultClass c)
+{
+    return c == FaultClass::DataBitFlip || c == FaultClass::MetaBitFlip;
+}
+
+/** ---- The seeded workload -------------------------------------- */
+
+enum class OpKind { Write, Fsync, Read };
+
+struct Op
+{
+    OpKind kind;
+    unsigned file;
+    unsigned line;
+};
+
+std::string
+filePath(unsigned f)
+{
+    return "/pmem/ct-" + std::to_string(f) + ".dat";
+}
+
+/** The op list is a pure function of (seed, ops, files): identical in
+ *  the dry run and in every crash run, so write ordinals line up. */
+std::vector<Op>
+makeOps(const Options &o)
+{
+    Rng g(o.seed ^ 0xC3A5C85C97CB3127ull);
+    std::vector<Op> ops;
+    ops.reserve(o.ops);
+    // The first op always dirties file 0 line 0 so even tiny --ops
+    // runs have something to lose.
+    ops.push_back({OpKind::Write, 0, 0});
+    for (unsigned i = 1; i < o.ops; ++i) {
+        unsigned f = static_cast<unsigned>(g.nextBounded(o.files));
+        std::uint64_t roll = g.nextBounded(100);
+        if (roll < 55) {
+            ops.push_back({OpKind::Write, f,
+                           static_cast<unsigned>(
+                               g.nextBounded(linesPerFile))});
+        } else if (roll < 75) {
+            ops.push_back({OpKind::Fsync, f, 0});
+        } else {
+            ops.push_back({OpKind::Read, f,
+                           static_cast<unsigned>(
+                               g.nextBounded(linesPerFile))});
+        }
+    }
+    return ops;
+}
+
+/** Version-v content of line (f, l). Version 0 is the never-written
+ *  all-zero state; every later version is a distinct seeded pattern. */
+void
+patternFill(std::uint64_t seed, unsigned f, unsigned l, std::uint64_t v,
+            std::uint8_t *buf)
+{
+    if (v == 0) {
+        std::memset(buf, 0, blockSize);
+        return;
+    }
+    Rng g(seed ^ (0x9E3779B97F4A7C15ull * (f + 1)) ^
+          (static_cast<std::uint64_t>(l) << 32) ^ v);
+    g.fill(buf, blockSize);
+}
+
+/** What the workload believes about each line: the version it last
+ *  wrote and the newest version an fsync has made durable. */
+struct Oracle
+{
+    explicit Oracle(const Options &o)
+        : cur(o.files, std::vector<std::uint64_t>(linesPerFile, 0)),
+          synced(o.files, std::vector<std::uint64_t>(linesPerFile, 0))
+    {}
+
+    std::vector<std::vector<std::uint64_t>> cur;
+    std::vector<std::vector<std::uint64_t>> synced;
+};
+
+/** One booted machine with the working set created and open. */
+struct Machine
+{
+    explicit Machine(const Options &o) : sys(configFor(o))
+    {
+        workloads::standardEnvironment(sys, kPass);
+        for (unsigned f = 0; f < o.files; ++f) {
+            int fd = sys.creat(0, filePath(f), 0600, true, kPass);
+            sys.ftruncate(0, fd, pagesPerFile * pageSize);
+            fds.push_back(fd);
+        }
+    }
+
+    static SimConfig
+    configFor(const Options &o)
+    {
+        SimConfig cfg;
+        cfg.scheme = o.scheme;
+        cfg.seed = o.seed;
+        return cfg;
+    }
+
+    System sys;
+    std::vector<int> fds;
+};
+
+struct CrashInfo
+{
+    bool fired = false;       //!< a PowerLossEvent was thrown
+    std::uint64_t atWrite = 0;
+    std::uint64_t atOp = 0;
+    Tick tick = 0;
+};
+
+/** Apply one op, updating the oracle. The oracle moves *before* the
+ *  simulator call for writes (a crash mid-write may or may not land
+ *  the new version, and the verifier scans down from cur) and *after*
+ *  it for fsync (a crash mid-fsync must not raise expectations). */
+void
+applyOp(Machine &m, const Options &o, const Op &op, Oracle &oracle)
+{
+    std::uint8_t buf[blockSize];
+    switch (op.kind) {
+      case OpKind::Write:
+        ++oracle.cur[op.file][op.line];
+        patternFill(o.seed, op.file, op.line,
+                    oracle.cur[op.file][op.line], buf);
+        m.sys.fileWrite(0, m.fds[op.file],
+                        static_cast<std::uint64_t>(op.line) * blockSize,
+                        buf, blockSize);
+        break;
+      case OpKind::Fsync:
+        m.sys.fsync(0, m.fds[op.file]);
+        oracle.synced[op.file] = oracle.cur[op.file];
+        break;
+      case OpKind::Read:
+        m.sys.fileRead(0, m.fds[op.file],
+                       static_cast<std::uint64_t>(op.line) * blockSize,
+                       buf, blockSize);
+        break;
+    }
+}
+
+/** Run the op list until completion or power loss. */
+void
+runOps(Machine &m, const Options &o, const std::vector<Op> &ops,
+       Oracle &oracle, CrashInfo &crash)
+{
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        try {
+            applyOp(m, o, ops[i], oracle);
+        } catch (const PowerLossEvent &e) {
+            crash.fired = true;
+            crash.atOp = i;
+            crash.atWrite = e.writeIndex;
+            crash.tick = e.tick;
+            return;
+        }
+    }
+    crash.atOp = ops.size();
+}
+
+/** Drive file 0 / line 0 hard enough that its counter block is
+ *  guaranteed persisted (and Merkle-covered) before an at-rest
+ *  metadata flip, then make everything durable. */
+void
+runHammerAndSync(Machine &m, const Options &o, Oracle &oracle)
+{
+    Op w{OpKind::Write, 0, 0};
+    Op s{OpKind::Fsync, 0, 0};
+    for (int i = 0; i < 20; ++i) {
+        applyOp(m, o, w, oracle);
+        applyOp(m, o, s, oracle);
+    }
+    for (unsigned f = 0; f < o.files; ++f)
+        applyOp(m, o, Op{OpKind::Fsync, f, 0}, oracle);
+}
+
+/** ---- Per-run result + invariant checking ----------------------- */
+
+struct RunResult
+{
+    unsigned run = 0;
+    FaultClass cls = FaultClass::MidOpPowerLoss;
+    std::uint64_t ordinal = 0;  //!< crash ordinal (0 for bit flips)
+    unsigned keepBytes = 0;     //!< torn runs only
+    CrashInfo crash;
+    std::vector<InjectionRecord> injections;
+    System::RecoveryOutcome recovery;
+
+    bool invRecovered = false;
+    bool invSyncedDurable = true;
+    bool invVersionConsistent = true;
+    bool invIsolation = true;
+    bool invMetadataConsistent = true;
+
+    bool
+    pass() const
+    {
+        return invRecovered && invSyncedDurable &&
+               invVersionConsistent && invIsolation &&
+               invMetadataConsistent;
+    }
+};
+
+/** Map every injection onto the (file, line) set it may legitimately
+ *  have damaged; OTT-spill / Merkle-node / unknown hits make the
+ *  blast radius unmappable (isolation is then not checkable). */
+void
+mapAffected(Machine &m, const Options &o,
+            const std::vector<InjectionRecord> &log,
+            std::set<std::pair<unsigned, unsigned>> &affected,
+            bool &unmappable)
+{
+    // Device line address -> (file, line-in-file).
+    std::map<Addr, std::pair<unsigned, unsigned>> lineToFile;
+    for (unsigned f = 0; f < o.files; ++f) {
+        auto ino = m.sys.fs().lookup(filePath(f));
+        if (!ino)
+            continue;
+        const Inode &node = m.sys.fs().inode(*ino);
+        for (unsigned b = 0; b < node.blocks.size(); ++b)
+            for (unsigned i = 0; i < linesPerPage; ++i)
+                lineToFile[node.blocks[b] + i * blockSize] = {
+                    f, b * linesPerPage + i};
+    }
+
+    const PhysLayout &layout = m.sys.layout();
+    for (const auto &rec : log) {
+        if (rec.kind == FaultKind::PowerLossAtWrite ||
+            rec.kind == FaultKind::PowerLossAtTick)
+            continue; // a pure loss damages nothing by itself
+        Addr a = blockAlign(stripDfBit(rec.addr));
+        if (layout.isMetadata(a)) {
+            auto kind = layout.classifyMeta(a);
+            if (kind != PhysLayout::MetaKind::Mecb &&
+                kind != PhysLayout::MetaKind::Fecb) {
+                unmappable = true;
+                continue;
+            }
+            Addr page = layout.dataPageOfMeta(a);
+            auto it = lineToFile.find(page);
+            if (it == lineToFile.end())
+                continue; // covers general memory / free pages
+            unsigned f = it->second.first;
+            unsigned base = it->second.second;
+            for (unsigned i = 0; i < linesPerPage; ++i)
+                affected.insert({f, base + i});
+        } else {
+            auto it = lineToFile.find(a);
+            if (it != lineToFile.end())
+                affected.insert(it->second);
+        }
+    }
+}
+
+void
+checkInvariants(Machine &m, const Options &o, const Oracle &oracle,
+                RunResult &r)
+{
+    if (!r.invRecovered) {
+        // Non-localizable damage: nothing further is checkable.
+        r.invSyncedDurable = r.invVersionConsistent = false;
+        r.invIsolation = r.invMetadataConsistent = false;
+        return;
+    }
+
+    std::set<std::pair<unsigned, unsigned>> affected;
+    bool unmappable = false;
+    mapAffected(m, o, r.injections, affected, unmappable);
+
+    std::set<unsigned> damaged;
+    for (const auto &path : r.recovery.damagedFiles) {
+        bool ours = false;
+        for (unsigned f = 0; f < o.files; ++f) {
+            if (path == filePath(f)) {
+                damaged.insert(f);
+                ours = true;
+            }
+        }
+        if (!ours)
+            r.invIsolation = false; // damage outside the working set
+    }
+
+    // Isolation: only fault-affected files may be damaged, and their
+    // IO must fail with structured errors, not garbage data.
+    for (unsigned f : damaged) {
+        bool fault_hit = unmappable;
+        for (unsigned l = 0; l < linesPerFile && !fault_hit; ++l)
+            fault_hit = affected.count({f, l}) != 0;
+        if (!fault_hit)
+            r.invIsolation = false;
+
+        if (m.sys.open(0, filePath(f), false, kPass) >= 0)
+            r.invIsolation = false;
+        bool threw = false;
+        std::uint8_t buf[blockSize];
+        try {
+            m.sys.fileRead(0, m.fds[f], 0, buf, blockSize);
+        } catch (const FileDamagedError &) {
+            threw = true;
+        }
+        if (!threw)
+            r.invIsolation = false;
+
+        // Quarantined lines must expose no plaintext: the resynced
+        // architectural image reads back zeroed.
+        auto ino = m.sys.fs().lookup(filePath(f));
+        const Inode &node = m.sys.fs().inode(*ino);
+        for (Addr page : node.blocks) {
+            for (unsigned i = 0; i < linesPerPage; ++i) {
+                Addr a = page + i * blockSize;
+                if (!m.sys.mc().isQuarantined(a))
+                    continue;
+                std::uint8_t arch[blockSize];
+                m.sys.archMem().read(a, arch, blockSize);
+                for (unsigned b = 0; b < blockSize; ++b)
+                    if (arch[b] != 0)
+                        r.invIsolation = false;
+            }
+        }
+    }
+
+    // Durability + consistency over every clean file.
+    for (unsigned f = 0; f < o.files; ++f) {
+        if (damaged.count(f))
+            continue;
+        int fd = m.sys.open(0, filePath(f), false, kPass);
+        if (fd < 0) {
+            r.invVersionConsistent = false;
+            continue;
+        }
+        std::uint8_t got[blockSize], want[blockSize];
+        for (unsigned l = 0; l < linesPerFile; ++l) {
+            m.sys.fileRead(0, fd,
+                           static_cast<std::uint64_t>(l) * blockSize,
+                           got, blockSize);
+            bool found = false;
+            std::uint64_t v = oracle.cur[f][l];
+            for (;; --v) {
+                patternFill(o.seed, f, l, v, want);
+                if (std::memcmp(got, want, blockSize) == 0) {
+                    found = true;
+                    break;
+                }
+                if (v == 0)
+                    break;
+            }
+            if (!found) {
+                r.invVersionConsistent = false;
+            } else if (v < oracle.synced[f][l] &&
+                       affected.count({f, l}) == 0) {
+                // An fsync'd version vanished without the fault ever
+                // touching this line: a durability hole.
+                r.invSyncedDurable = false;
+            }
+        }
+        m.sys.closeFd(0, fd);
+    }
+
+    // The adopted post-recovery Merkle state must re-verify.
+    r.invMetadataConsistent = m.sys.mc().recoverMetadata();
+}
+
+/** ---- One crash-recover run ------------------------------------- */
+
+/** Writes seen during the op phase of a fault-free run; crash
+ *  ordinals are drawn from [1, W]. */
+std::uint64_t
+dryRunWrites(const Options &o, const std::vector<Op> &ops)
+{
+    Machine m(o);
+    FaultInjector inj;
+    m.sys.setFaultInjector(&inj); // after setup: count op writes only
+    Oracle oracle(o);
+    CrashInfo crash;
+    runOps(m, o, ops, oracle, crash);
+    if (crash.fired)
+        fatal("crashtest: dry run tripped a fault");
+    return inj.writesSeen();
+}
+
+RunResult
+oneRun(const Options &o, const std::vector<Op> &ops, std::uint64_t W,
+       unsigned run)
+{
+    RunResult r;
+    r.run = run;
+    r.cls = classForRun(o, run);
+
+    Rng runRng(o.seed * 1000003ull + run);
+    Machine m(o);
+    FaultInjector inj;
+    m.sys.setFaultInjector(&inj);
+
+    if (!isBitFlipClass(r.cls)) {
+        r.ordinal = 1 + runRng.nextBounded(W);
+        FaultSpec spec;
+        spec.atWrite = r.ordinal;
+        switch (r.cls) {
+          case FaultClass::MidOpPowerLoss:
+            spec.kind = FaultKind::PowerLossAtWrite;
+            break;
+          case FaultClass::TornWrite:
+            spec.kind = FaultKind::TornWrite;
+            r.keepBytes = 8 * (1 + static_cast<unsigned>(
+                                       runRng.nextBounded(7)));
+            spec.keepBytes = r.keepBytes;
+            spec.thenPowerLoss = true;
+            break;
+          case FaultClass::DroppedWrite:
+            spec.kind = FaultKind::DroppedWrite;
+            spec.thenPowerLoss = true;
+            break;
+          default:
+            break;
+        }
+        inj.schedule(spec);
+    }
+
+    Oracle oracle(o);
+    runOps(m, o, ops, oracle, r.crash);
+
+    if (isBitFlipClass(r.cls)) {
+        // Bit-flip runs complete the workload (plus a hammer that
+        // forces the target counter block to persist), crash cleanly,
+        // and then corrupt the at-rest device image.
+        runHammerAndSync(m, o, oracle);
+        m.sys.crash();
+
+        NvmDevice &dev = m.sys.device();
+        std::uint8_t line[blockSize];
+        if (r.cls == FaultClass::DataBitFlip) {
+            std::vector<Addr> candidates;
+            for (unsigned f = 0; f < o.files; ++f) {
+                auto ino = m.sys.fs().lookup(filePath(f));
+                for (Addr page : m.sys.fs().inode(*ino).blocks)
+                    for (unsigned i = 0; i < linesPerPage; ++i)
+                        if (dev.hasEcc(page + i * blockSize))
+                            candidates.push_back(page + i * blockSize);
+            }
+            if (candidates.empty())
+                fatal("crashtest: no persisted file lines to flip");
+            Addr a = candidates[runRng.nextBounded(candidates.size())];
+            unsigned bit = static_cast<unsigned>(
+                runRng.nextBounded(8 * blockSize));
+            dev.readLine(a, line);
+            line[bit / 8] ^= 1u << (bit % 8);
+            dev.writeLine(a, line);
+            inj.noteTamper(a, bit);
+        } else {
+            // Flip a counter bit in file 0's first page: the
+            // acceptance case — exactly that file must quarantine.
+            auto ino = m.sys.fs().lookup(filePath(0));
+            Addr page = m.sys.fs().inode(*ino).blocks[0];
+            Addr meta = o.scheme == Scheme::FsEncr
+                            ? m.sys.layout().fecbAddr(page)
+                            : m.sys.layout().mecbAddr(page);
+            dev.readLine(meta, line);
+            line[9] ^= 0x04;
+            dev.writeLine(meta, line);
+            inj.noteTamper(meta, 9 * 8 + 2);
+        }
+    } else {
+        if (!r.crash.fired && inj.powerLossPending()) {
+            // The armed loss outlived the op stream (the faulted
+            // persist was the run's last hook): deliver it now.
+            try {
+                inj.onTick(m.sys.now());
+            } catch (const PowerLossEvent &e) {
+                r.crash.fired = true;
+                r.crash.atOp = ops.size();
+                r.crash.atWrite = e.writeIndex;
+                r.crash.tick = e.tick;
+            }
+        }
+        m.sys.crash();
+    }
+
+    r.invRecovered = m.sys.recover();
+    r.recovery = m.sys.lastRecovery();
+    r.injections = inj.log();
+    checkInvariants(m, o, oracle, r);
+    return r;
+}
+
+/** ---- Reporting -------------------------------------------------- */
+
+void
+writeReport(std::ostream &os, const Options &o, std::uint64_t W,
+            const std::vector<RunResult> &runs)
+{
+    report::JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", report::crashtestReportSchema);
+    w.field("version", report::crashtestReportVersion);
+
+    w.beginObject("config");
+    w.field("seed", o.seed);
+    w.field("crashes", static_cast<std::uint64_t>(o.crashes));
+    w.field("fault", o.fault);
+    w.field("ops", static_cast<std::uint64_t>(o.ops));
+    w.field("files", static_cast<std::uint64_t>(o.files));
+    w.field("scheme", schemeName(o.scheme));
+    w.endObject();
+
+    w.field("op_phase_writes", W);
+
+    unsigned passed = 0;
+    w.beginArray("runs");
+    for (const auto &r : runs) {
+        w.beginObject();
+        w.field("run", static_cast<std::uint64_t>(r.run));
+        w.field("fault_class", faultClassName(r.cls));
+        w.field("ordinal", r.ordinal);
+        if (r.cls == FaultClass::TornWrite)
+            w.field("keep_bytes",
+                    static_cast<std::uint64_t>(r.keepBytes));
+
+        w.beginObject("crash");
+        w.field("fired", r.crash.fired);
+        w.field("at_write", r.crash.atWrite);
+        w.field("at_op", r.crash.atOp);
+        w.field("tick", static_cast<std::uint64_t>(r.crash.tick));
+        w.endObject();
+
+        w.beginArray("injections");
+        for (const auto &rec : r.injections) {
+            w.beginObject();
+            w.field("kind", faultKindName(rec.kind));
+            w.field("addr", static_cast<std::uint64_t>(rec.addr));
+            w.field("write_index", rec.writeIndex);
+            w.field("tick", static_cast<std::uint64_t>(rec.tick));
+            w.endObject();
+        }
+        w.endArray();
+
+        w.beginObject("recovery");
+        w.field("usable", r.recovery.usable);
+        w.field("metadata_clean", r.recovery.metadataClean);
+        w.field("tampered_leaves", r.recovery.tamperedLeaves);
+        w.field("lines_examined", r.recovery.linesExamined);
+        w.field("probes", r.recovery.probes);
+        w.field("probe_failures", r.recovery.probeFailures);
+        w.field("quarantined_lines", r.recovery.quarantinedLines);
+        w.field("orphan_lines", r.recovery.orphanLines);
+        w.beginArray("damaged_files");
+        for (const auto &p : r.recovery.damagedFiles)
+            w.value(p);
+        w.endArray();
+        w.endObject();
+
+        w.beginObject("invariants");
+        w.field("recovered", r.invRecovered);
+        w.field("synced_durable", r.invSyncedDurable);
+        w.field("version_consistent", r.invVersionConsistent);
+        w.field("isolation", r.invIsolation);
+        w.field("metadata_consistent", r.invMetadataConsistent);
+        w.endObject();
+
+        w.field("pass", r.pass());
+        w.endObject();
+        if (r.pass())
+            ++passed;
+    }
+    w.endArray();
+
+    w.beginObject("summary");
+    w.field("runs", static_cast<std::uint64_t>(runs.size()));
+    w.field("passed", static_cast<std::uint64_t>(passed));
+    w.field("failed",
+            static_cast<std::uint64_t>(runs.size() - passed));
+    w.endObject();
+    w.endObject();
+    os << "\n";
+}
+
+int
+crashtestMain(int argc, char **argv)
+{
+    Options opt;
+    if (int rc = parseArgs(argc, argv, opt))
+        return rc;
+
+    std::vector<Op> ops = makeOps(opt);
+    std::uint64_t W = dryRunWrites(opt, ops);
+    if (W == 0)
+        fatal("crashtest: workload persisted nothing; raise --ops");
+
+    std::vector<RunResult> runs;
+    runs.reserve(opt.crashes);
+    for (unsigned r = 0; r < opt.crashes; ++r)
+        runs.push_back(oneRun(opt, ops, W, r));
+
+    unsigned failed = 0;
+    for (const auto &r : runs) {
+        if (!opt.json) {
+            std::printf(
+                "run %u [%s] crash at op %llu (write %llu): "
+                "%s, %zu damaged, quarantined %llu -> %s\n",
+                r.run, faultClassName(r.cls),
+                static_cast<unsigned long long>(r.crash.atOp),
+                static_cast<unsigned long long>(r.crash.atWrite),
+                r.invRecovered ? "recovered" : "UNRECOVERABLE",
+                r.recovery.damagedFiles.size(),
+                static_cast<unsigned long long>(
+                    r.recovery.quarantinedLines),
+                r.pass() ? "PASS" : "FAIL");
+        }
+        if (!r.pass())
+            ++failed;
+    }
+
+    if (opt.json)
+        writeReport(std::cout, opt, W, runs);
+    if (!opt.reportOut.empty()) {
+        std::ofstream f(opt.reportOut);
+        if (!f)
+            fatal("cannot open %s", opt.reportOut.c_str());
+        writeReport(f, opt, W, runs);
+    }
+    if (!opt.json)
+        std::printf("%u/%zu runs passed\n",
+                    static_cast<unsigned>(runs.size() - failed),
+                    runs.size());
+    return failed == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return crashtestMain(argc, argv);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 4;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 4;
+    }
+}

@@ -355,10 +355,9 @@ writeTraceEvents(const std::string &path, const trace::Tracer &tracer)
     return os.good();
 }
 
-} // namespace
-
+/** The real front-end, free to let model errors propagate. */
 int
-main(int argc, char **argv)
+simMain(int argc, char **argv)
 {
     Options opt;
     if (int rc = parseArgs(argc, argv, opt))
@@ -535,4 +534,40 @@ main(int argc, char **argv)
         sys.dumpStats(std::cout);
     }
     return 0;
+}
+
+/** JSON error record on stderr: machine-consumable failures. */
+void
+emitErrorRecord(const char *kind, const char *what)
+{
+    report::JsonWriter w(std::cerr);
+    w.beginObject();
+    w.field("schema", "fsencr-error");
+    w.field("version", 1);
+    w.field("error", kind);
+    w.field("message", what);
+    w.endObject();
+    std::cerr << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Model errors (tampered metadata, unrecoverable state, usage
+    // errors surfaced as fatal()) exit cleanly with a structured
+    // record instead of an uncaught-exception abort.
+    try {
+        return simMain(argc, argv);
+    } catch (const IntegrityError &e) {
+        emitErrorRecord("integrity", e.what());
+        return 2;
+    } catch (const FileDamagedError &e) {
+        emitErrorRecord("file-damaged", e.what());
+        return 3;
+    } catch (const FatalError &e) {
+        emitErrorRecord("fatal", e.what());
+        return 4;
+    }
 }
