@@ -17,12 +17,12 @@ using namespace fsencr::bench;
 namespace {
 
 double
-slowdownAt(const WorkloadFactory &factory, std::size_t cache_bytes,
-           unsigned jobs)
+slowdownAt(const std::string &name, const WorkloadFactory &factory,
+           std::size_t cache_bytes, unsigned jobs)
 {
     SimConfig cfg;
     cfg.sec.metadataCacheBytes = cache_bytes;
-    BenchRow row = runRow("sweep", factory,
+    BenchRow row = runRow(name, factory,
                           {Scheme::BaselineSecurity, Scheme::FsEncr},
                           cfg, jobs);
     double base = static_cast<double>(
@@ -90,11 +90,12 @@ main(int argc, char **argv)
     std::printf("\n");
 
     for (std::size_t size : sizes) {
-        std::printf("%-14s",
-                    (std::to_string(size >> 10) + "KB").c_str());
+        std::string kb = std::to_string(size >> 10) + "KB";
+        std::printf("%-14s", kb.c_str());
         for (const Line &l : lines)
             std::printf(" %13.2f%%",
-                        slowdownAt(l.factory, size, jobs));
+                        slowdownAt(std::string(l.name) + "@" + kb,
+                                   l.factory, size, jobs));
         std::printf("\n");
     }
     return 0;

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Smoke-test the bench regression gate end to end:
+#
+#  1. run one harness-based bench twice in quick mode; the simulator
+#     is deterministic, so fsencr-compare on the two reports must exit
+#     0 even at a zero threshold,
+#  2. doctor the baseline (scale ticks down 20%) so the rerun looks
+#     like a seeded slowdown; fsencr-compare must exit 1,
+#  3. same two checks through the fsencr-sim run-report path,
+#  4. if a committed quick baseline exists under bench/baselines/quick,
+#     gate the fresh report against it (catches real regressions in CI).
+#
+# Usage: scripts/bench_regression_smoke.sh [build-dir]
+# Exit 0 on success; registered as a ctest test.
+set -eu
+
+build_dir="${1:-$(dirname "$0")/../build}"
+src_dir="$(cd "$(dirname "$0")/.." && pwd)"
+bench="$build_dir/bench/bench_fig12_micro_slowdown"
+sim="$build_dir/tools/fsencr-sim"
+compare="$build_dir/tools/fsencr-compare"
+for bin in "$bench" "$sim" "$compare"; do
+    [ -x "$bin" ] || { echo "missing $bin (build first)"; exit 1; }
+done
+
+python3_bin="$(command -v python3 || true)"
+[ -n "$python3_bin" ] || { echo "python3 not found; skipping"; exit 0; }
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+expect() { # expect <code> <label> <cmd...>
+    local want="$1" label="$2"
+    shift 2
+    local got=0
+    "$@" > "$tmp/last.txt" 2>&1 || got=$?
+    if [ "$got" != "$want" ]; then
+        echo "FAIL: $label: expected exit $want, got $got"
+        cat "$tmp/last.txt"
+        exit 1
+    fi
+    echo "ok: $label (exit $got)"
+}
+
+# --- bench-report path -------------------------------------------------
+FSENCR_BENCH_REPORT="$tmp/bench1.json" "$bench" --quick \
+    > /dev/null 2>&1
+FSENCR_BENCH_REPORT="$tmp/bench2.json" "$bench" --quick \
+    > /dev/null 2>&1
+
+expect 0 "identical bench rerun gates clean" \
+    "$compare" --rel 0 --abs 0 "$tmp/bench1.json" "$tmp/bench2.json"
+
+"$python3_bin" - "$tmp/bench1.json" "$tmp/fast_bench.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for row in doc["rows"]:
+    for cell in row["cells"]:
+        cell["ticks"] = int(cell["ticks"] * 0.8)
+with open(sys.argv[2], "w") as f:
+    json.dump(doc, f)
+EOF
+
+expect 1 "seeded slowdown vs doctored bench baseline regresses" \
+    "$compare" --quiet "$tmp/fast_bench.json" "$tmp/bench2.json"
+
+# --- run-report path ---------------------------------------------------
+"$sim" --scheme fsencr --workload fillrandom-S --ops 1000 --keys 1000 \
+       --sample-interval 1000000 --report "$tmp/run1.json" > /dev/null
+"$sim" --scheme fsencr --workload fillrandom-S --ops 1000 --keys 1000 \
+       --sample-interval 1000000 --report "$tmp/run2.json" > /dev/null
+
+expect 0 "identical run-report rerun gates clean" \
+    "$compare" --rel 0 --abs 0 "$tmp/run1.json" "$tmp/run2.json"
+
+"$python3_bin" - "$tmp/run1.json" "$tmp/fast_run.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+doc["result"]["ticks"] = int(doc["result"]["ticks"] * 0.8)
+doc["attribution"]["total"] = int(doc["attribution"]["total"] * 0.8)
+with open(sys.argv[2], "w") as f:
+    json.dump(doc, f)
+EOF
+
+expect 1 "seeded slowdown vs doctored run baseline regresses" \
+    "$compare" --quiet "$tmp/fast_run.json" "$tmp/run2.json"
+
+# Mixing schemas is a structural error, not a silent pass.
+expect 2 "run report vs bench report is a structural error" \
+    "$compare" --quiet "$tmp/run2.json" "$tmp/bench2.json"
+
+# --- committed baseline ------------------------------------------------
+baseline="$src_dir/bench/baselines/quick/REPORT_bench_fig12_micro_slowdown.json"
+if [ -s "$baseline" ]; then
+    expect 0 "fresh quick report matches committed baseline" \
+        "$compare" --quiet "$baseline" "$tmp/bench2.json"
+else
+    echo "note: no committed baseline at $baseline"
+fi
+
+echo "bench regression smoke OK"

@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
 # Smoke-check the machine-readable observability pipeline:
 #
-#  1. run a small workload with --report and --trace-events,
-#  2. validate the run report against schema fsencr-run-report v1,
+#  1. run a small workload with --report, --trace-events and
+#     --sample-interval,
+#  2. validate the run report against schema fsencr-run-report v2,
 #  3. check the per-component cycle attribution sums to total ticks,
-#  4. check the Chrome trace_event JSON is well-formed,
-#  5. run a seeded fsencr-crashtest sweep (one run per fault class)
+#     and the per-interval timeseries deltas sum exactly to the
+#     cumulative attribution (the sampler's exactness contract),
+#  4. check the Chrome trace_event JSON and the metrics CSV /
+#     Prometheus dumps are well-formed,
+#  5. diff the report against itself with fsencr-compare (must exit 0)
+#     and validate the fsencr-compare-report v1 it writes,
+#  6. run a seeded fsencr-crashtest sweep (one run per fault class)
 #     and validate it against schema fsencr-crashtest-report v1.
 #
 # Usage: scripts/check_report_schema.sh [build-dir]
@@ -14,7 +20,9 @@ set -eu
 
 build_dir="${1:-$(dirname "$0")/../build}"
 sim="$build_dir/tools/fsencr-sim"
+compare="$build_dir/tools/fsencr-compare"
 [ -x "$sim" ] || { echo "missing $sim (build first)"; exit 1; }
+[ -x "$compare" ] || { echo "missing $compare (build first)"; exit 1; }
 
 python3_bin="$(command -v python3 || true)"
 [ -n "$python3_bin" ] || { echo "python3 not found; skipping"; exit 0; }
@@ -24,17 +32,21 @@ trap 'rm -rf "$tmp"' EXIT
 
 "$sim" --scheme fsencr --workload fillrandom-S --ops 2000 --keys 2000 \
        --report "$tmp/report.json" --trace-events "$tmp/trace.json" \
+       --sample-interval 1000000 --metrics-csv "$tmp/metrics.csv" \
+       --metrics-prom "$tmp/metrics.prom" \
        > "$tmp/stdout.txt"
 
-"$python3_bin" - "$tmp/report.json" "$tmp/trace.json" <<'EOF'
+"$python3_bin" - "$tmp/report.json" "$tmp/trace.json" \
+               "$tmp/metrics.csv" "$tmp/metrics.prom" <<'EOF'
 import json, sys
 
 with open(sys.argv[1]) as f:
     doc = json.load(f)
 
-# Envelope.
+# Envelope. v2 is additive over v1: every v1 assertion below still
+# holds unchanged.
 assert doc["schema"] == "fsencr-run-report", doc.get("schema")
-assert doc["version"] == 1, doc["version"]
+assert doc["version"] == 2, doc["version"]
 assert doc["mode"] in ("workload", "replay"), doc["mode"]
 
 # Config and result sections.
@@ -64,6 +76,45 @@ assert "components" in lat
 # The full stat tree rides along.
 assert isinstance(doc["stats"], dict)
 
+# v2 timeseries: intervals tile the run contiguously and the
+# per-interval deltas of every attribution component sum exactly to
+# the cumulative stat tree value (ticks-exact, like the attribution).
+ts = doc["timeseries"]
+assert ts["interval"] > 0
+ivs = ts["intervals"]
+assert ts["samples"] == len(ivs) and ivs
+for prev, cur in zip(ivs, ivs[1:]):
+    assert cur["t0"] == prev["t1"], (prev, cur)
+sums = {}
+for iv in ivs:
+    for name, delta in iv["deltas"].items():
+        sums[name] = sums.get(name, 0) + delta
+for comp, total in doc["stats"]["attribution"].items():
+    key = "system.attribution." + comp
+    assert sums.get(key, 0) == total, (key, sums.get(key, 0), total)
+
+# v2 labeled metrics families: totals are exact (labels + __other__).
+for name, fam in doc["metrics"].items():
+    assert "label" in fam and "total" in fam, name
+    assert sum(fam["values"].values()) == fam["total"], name
+
+# Metrics CSV: header plus long-format rows.
+with open(sys.argv[3]) as f:
+    lines = f.read().splitlines()
+assert lines[0] == "t0,t1,metric,delta", lines[0]
+assert len(lines) > 1
+
+# Prometheus text exposition: every line is `name value`,
+# `name{key="label"} value` or a comment.
+with open(sys.argv[4]) as f:
+    for line in f:
+        line = line.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        assert name.startswith("fsencr_"), line
+        float(value)
+
 # Chrome trace_event export.
 with open(sys.argv[2]) as f:
     tr = json.load(f)
@@ -72,8 +123,38 @@ ev = tr["traceEvents"][0]
 for key in ("name", "ph", "pid", "tid", "ts"):
     assert key in ev, key
 
-print("report schema OK: %d events, %d ticks attributed"
-      % (len(tr["traceEvents"]), attr["total"]))
+print("report schema OK: %d events, %d ticks attributed, %d intervals"
+      % (len(tr["traceEvents"]), attr["total"], len(ivs)))
+EOF
+
+# A report diffed against itself must gate clean and the compare
+# report must match its schema.
+"$compare" --quiet --report "$tmp/compare.json" \
+           "$tmp/report.json" "$tmp/report.json" \
+           > "$tmp/compare-stdout.txt"
+
+"$python3_bin" - "$tmp/compare.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+assert doc["schema"] == "fsencr-compare-report", doc.get("schema")
+assert doc["version"] == 1, doc["version"]
+assert doc["compared_schema"] == "fsencr-run-report"
+for key in ("rel", "abs"):
+    assert key in doc["thresholds"], key
+summ = doc["summary"]
+assert summ["ok"] is True and summ["regressed"] == 0, summ
+assert isinstance(doc["comparisons"], list) and doc["comparisons"]
+for cmp in doc["comparisons"]:
+    for key in ("metric", "baseline", "current", "ratio", "status"):
+        assert key in cmp, key
+    assert cmp["status"] in ("improved", "unchanged", "regressed",
+                             "info"), cmp
+
+print("compare schema OK: %d metrics gated clean"
+      % len(doc["comparisons"]))
 EOF
 
 # Crash-consistency stress sweep: --fault all cycles through every

@@ -3,26 +3,43 @@
 #
 # Each harness-based bench also writes a machine-readable report
 # (schema fsencr-bench-report) next to the text output; reports are
-# JSON-validated with python3 when available.
+# JSON-validated with python3 when available, and diffed against the
+# committed baseline under bench/baselines/{quick,full}/ with
+# fsencr-compare when one exists. Any regression beyond the default
+# thresholds makes this script exit non-zero.
 #
-# Usage: scripts/run_all_benches.sh [--quick] [output-file]
+# Usage: scripts/run_all_benches.sh [--quick] [--no-baseline] [output-file]
 set -u
+set -o pipefail
 
 quick=""
+check_baselines=1
 out="bench_output.txt"
 for arg in "$@"; do
     case "$arg" in
       --quick) quick="--quick" ;;
+      --no-baseline) check_baselines=0 ;;
       *) out="$arg" ;;
     esac
 done
 
-build_dir="$(dirname "$0")/../build"
+src_dir="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$src_dir/build"
 report_dir="$(dirname "$out")"
 [ "$report_dir" = "" ] && report_dir="."
 : > "$out"
 
+# Baselines are mode-specific: quick and full runs differ in op count,
+# so their reports are only comparable to reruns of the same mode.
+if [ -n "$quick" ]; then
+    baseline_dir="$src_dir/bench/baselines/quick"
+else
+    baseline_dir="$src_dir/bench/baselines/full"
+fi
+compare="$build_dir/tools/fsencr-compare"
+
 python3_bin="$(command -v python3 || true)"
+regressions=0
 
 benches=(
     bench_table1_vulnerability
@@ -57,9 +74,24 @@ assert isinstance(doc["version"], int)
 assert isinstance(doc["rows"], list)
 EOF
     fi
+    baseline="$baseline_dir/REPORT_${b}.json"
+    if [ "$check_baselines" = 1 ] && [ -s "$report" ] &&
+       [ -s "$baseline" ] && [ -x "$compare" ]; then
+        if ! "$compare" --quiet "$baseline" "$report" | tee -a "$out"
+        then
+            echo "REGRESSION: $b vs $baseline" | tee -a "$out"
+            regressions=$((regressions + 1))
+        fi
+    fi
     echo | tee -a "$out"
 done
 
 echo "=== bench_primitives ===" | tee -a "$out"
 "$build_dir/bench/bench_primitives" \
     --benchmark_min_time=0.05s 2>/dev/null | tee -a "$out"
+
+if [ "$regressions" != 0 ]; then
+    echo "$regressions bench(es) regressed against $baseline_dir" \
+        | tee -a "$out"
+    exit 1
+fi

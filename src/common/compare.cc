@@ -1,0 +1,359 @@
+#include "common/compare.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+
+namespace fsencr {
+namespace compare {
+
+const char *
+statusName(Status s)
+{
+    switch (s) {
+      case Status::Improved: return "improved";
+      case Status::Unchanged: return "unchanged";
+      case Status::Regressed: return "regressed";
+      case Status::Info: return "info";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Numeric member lookup by dotted path; NaN when absent. */
+double
+numberAt(const json::Value &doc, const std::string &path)
+{
+    const json::Value *v = &doc;
+    std::size_t pos = 0;
+    while (pos != std::string::npos) {
+        std::size_t dot = path.find('.', pos);
+        std::string key = dot == std::string::npos
+                              ? path.substr(pos)
+                              : path.substr(pos, dot - pos);
+        if (!v->isObject())
+            return std::nan("");
+        v = v->find(key);
+        if (!v)
+            return std::nan("");
+        pos = dot == std::string::npos ? dot : dot + 1;
+    }
+    return v->isNumber() ? v->number : std::nan("");
+}
+
+struct Comparer
+{
+    const Options &opt;
+    Result &res;
+
+    void
+    classify(const std::string &metric, double base, double cur,
+             bool gate = true)
+    {
+        Delta d;
+        d.metric = metric;
+        d.baseline = base;
+        d.current = cur;
+        d.ratio = base != 0.0 ? cur / base
+                              : (cur == 0.0 ? 1.0
+                                            : std::numeric_limits<
+                                                  double>::infinity());
+        if (!gate) {
+            d.status = Status::Info;
+        } else {
+            double thr = std::max(opt.absTolerance,
+                                  std::abs(base) * opt.relTolerance);
+            if (cur > base + thr) {
+                d.status = Status::Regressed;
+                ++res.regressed;
+            } else if (cur < base - thr) {
+                d.status = Status::Improved;
+                ++res.improved;
+            } else {
+                d.status = Status::Unchanged;
+                ++res.unchanged;
+            }
+        }
+        res.deltas.push_back(std::move(d));
+    }
+
+    /** Compare a numeric member both docs should have; silently skip
+     *  if the baseline lacks it (older schema). */
+    void
+    member(const json::Value &base, const json::Value &cur,
+           const std::string &path, const std::string &metric,
+           bool gate = true)
+    {
+        double b = numberAt(base, path);
+        if (std::isnan(b))
+            return;
+        double c = numberAt(cur, path);
+        if (std::isnan(c)) {
+            res.error = "current report lacks metric " + metric;
+            return;
+        }
+        classify(metric, b, c, gate);
+    }
+};
+
+void
+compareAttribution(Comparer &cmp, const json::Value &base,
+                   const json::Value &cur, const std::string &prefix)
+{
+    const json::Value *bc = base.find("attribution");
+    const json::Value *cc = cur.find("attribution");
+    if (!bc || !cc)
+        return;
+    cmp.member(*bc, *cc, "total", prefix + "attribution.total");
+    const json::Value *bcomp = bc->find("components");
+    const json::Value *ccomp = cc->find("components");
+    if (!bcomp || !ccomp || !bcomp->isObject())
+        return;
+    for (const auto &[name, v] : bcomp->object) {
+        if (!v.isNumber())
+            continue;
+        const json::Value *c = ccomp->find(name);
+        cmp.classify(prefix + "attribution." + name, v.number,
+                     c && c->isNumber() ? c->number : 0.0);
+    }
+}
+
+void
+compareLatency(Comparer &cmp, const json::Value &base,
+               const json::Value &cur, const std::string &prefix)
+{
+    const json::Value *bl = base.find("latency");
+    const json::Value *cl = cur.find("latency");
+    if (!bl || !cl)
+        return;
+    for (const char *dir : {"read", "write"})
+        for (const char *p : {"p50", "p95", "p99"})
+            cmp.member(*bl, *cl, std::string(dir) + "." + p,
+                       prefix + "latency." + dir + "." + p);
+}
+
+void
+compareTimeseries(Comparer &cmp, const json::Value &base,
+                  const json::Value &cur)
+{
+    const json::Value *bt = base.find("timeseries");
+    const json::Value *ct = cur.find("timeseries");
+    if (!bt || !ct)
+        return;
+    // Interval boundaries legitimately shift with total ticks, so the
+    // series shape is context, not a gate: the aggregates above
+    // already gate the same ticks exactly.
+    cmp.member(*bt, *ct, "samples", "timeseries.samples",
+               /*gate=*/false);
+    auto peak = [](const json::Value &ts) {
+        double best = 0.0;
+        const json::Value *ivs = ts.find("intervals");
+        if (!ivs || !ivs->isArray())
+            return best;
+        for (const json::Value &iv : ivs->array) {
+            const json::Value *t0 = iv.find("t0");
+            const json::Value *t1 = iv.find("t1");
+            if (t0 && t1 && t0->isNumber() && t1->isNumber())
+                best = std::max(best, t1->number - t0->number);
+        }
+        return best;
+    };
+    cmp.classify("timeseries.peak_interval_ticks", peak(*bt),
+                 peak(*ct), /*gate=*/false);
+}
+
+void
+compareRunReports(Comparer &cmp, const json::Value &base,
+                  const json::Value &cur)
+{
+    // Refuse to gate apples against oranges.
+    const json::Value *bcfg = base.find("config");
+    const json::Value *ccfg = cur.find("config");
+    if (bcfg && ccfg) {
+        for (const char *key : {"scheme", "workload"}) {
+            const json::Value *b = bcfg->find(key);
+            const json::Value *c = ccfg->find(key);
+            if (b && c && b->isString() && c->isString() &&
+                b->str != c->str) {
+                cmp.res.error = std::string("config mismatch: ") + key +
+                                " '" + b->str + "' vs '" + c->str + "'";
+                return;
+            }
+        }
+    }
+    for (const char *key : {"ticks", "nvm_reads", "nvm_writes"})
+        cmp.member(base, cur, std::string("result.") + key,
+                   std::string("result.") + key);
+    compareAttribution(cmp, base, cur, "");
+    compareLatency(cmp, base, cur, "");
+    compareTimeseries(cmp, base, cur);
+}
+
+const json::Value *
+findCell(const json::Value &row, const std::string &scheme)
+{
+    const json::Value *cells = row.find("cells");
+    if (!cells || !cells->isArray())
+        return nullptr;
+    for (const json::Value &cell : cells->array) {
+        const json::Value *s = cell.find("scheme");
+        if (s && s->isString() && s->str == scheme)
+            return &cell;
+    }
+    return nullptr;
+}
+
+void
+compareBenchReports(Comparer &cmp, const json::Value &base,
+                    const json::Value &cur)
+{
+    const json::Value *brows = base.find("rows");
+    const json::Value *crows = cur.find("rows");
+    if (!brows || !crows || !brows->isArray() || !crows->isArray()) {
+        cmp.res.error = "bench report without rows";
+        return;
+    }
+    // Rows match by (name, occurrence): sweep-style benches may emit
+    // several rows with one name, and the k-th must gate against the
+    // k-th, not the first.
+    std::map<std::string, std::size_t> seen;
+    for (const json::Value &brow : brows->array) {
+        const json::Value *name = brow.find("name");
+        if (!name || !name->isString())
+            continue;
+        std::size_t occurrence = seen[name->str]++;
+        const json::Value *crow = nullptr;
+        std::size_t matched = 0;
+        for (const json::Value &r : crows->array) {
+            const json::Value *n = r.find("name");
+            if (n && n->isString() && n->str == name->str &&
+                matched++ == occurrence) {
+                crow = &r;
+                break;
+            }
+        }
+        if (!crow) {
+            cmp.res.error = "current report lacks row '" + name->str +
+                            "'";
+            return;
+        }
+        const json::Value *bcells = brow.find("cells");
+        if (!bcells || !bcells->isArray())
+            continue;
+        for (const json::Value &bcell : bcells->array) {
+            const json::Value *scheme = bcell.find("scheme");
+            if (!scheme || !scheme->isString())
+                continue;
+            const json::Value *ccell = findCell(*crow, scheme->str);
+            if (!ccell) {
+                cmp.res.error = "current report lacks cell '" +
+                                name->str + "/" + scheme->str + "'";
+                return;
+            }
+            std::string prefix =
+                "bench." + name->str + "." + scheme->str + ".";
+            for (const char *key :
+                 {"ticks", "nvm_reads", "nvm_writes", "read_p50",
+                  "read_p95", "read_p99", "write_p50", "write_p95",
+                  "write_p99"})
+                cmp.member(bcell, *ccell, key, prefix + key);
+        }
+    }
+}
+
+} // namespace
+
+Result
+compareReports(const json::Value &baseline, const json::Value &current,
+               const Options &opt)
+{
+    Result res;
+    Comparer cmp{opt, res};
+
+    const json::Value *bs = baseline.find("schema");
+    const json::Value *cs = current.find("schema");
+    if (!bs || !cs || !bs->isString() || !cs->isString()) {
+        res.error = "missing schema field";
+        return res;
+    }
+    if (bs->str != cs->str) {
+        res.error = "schema mismatch: '" + bs->str + "' vs '" +
+                    cs->str + "'";
+        return res;
+    }
+    res.schema = bs->str;
+
+    if (res.schema == report::runReportSchema)
+        compareRunReports(cmp, baseline, current);
+    else if (res.schema == report::benchReportSchema)
+        compareBenchReports(cmp, baseline, current);
+    else
+        res.error = "unsupported schema '" + res.schema + "'";
+    return res;
+}
+
+int
+exitCodeFor(const Result &r)
+{
+    if (!r.error.empty())
+        return 2;
+    return r.regressed ? 1 : 0;
+}
+
+namespace {
+
+/** Emit exact integers as integers, everything else as double. */
+void
+numberField(report::JsonWriter &w, const std::string &key, double v)
+{
+    if (v >= 0.0 && v < 9.2e18 && v == std::floor(v))
+        w.field(key, static_cast<std::uint64_t>(v));
+    else
+        w.field(key, v);
+}
+
+} // namespace
+
+void
+writeCompareReport(report::JsonWriter &w,
+                   const std::string &baseline_path,
+                   const std::string &current_path, const Options &opt,
+                   const Result &r)
+{
+    w.beginObject();
+    w.field("schema", report::compareReportSchema);
+    w.field("version", report::compareReportVersion);
+    w.field("baseline", baseline_path);
+    w.field("current", current_path);
+    w.field("compared_schema", r.schema);
+    w.beginObject("thresholds");
+    w.field("rel", opt.relTolerance);
+    w.field("abs", opt.absTolerance);
+    w.endObject();
+    w.beginObject("summary");
+    w.field("ok", r.ok());
+    w.field("regressed", static_cast<std::uint64_t>(r.regressed));
+    w.field("improved", static_cast<std::uint64_t>(r.improved));
+    w.field("unchanged", static_cast<std::uint64_t>(r.unchanged));
+    if (!r.error.empty())
+        w.field("error", r.error);
+    w.endObject();
+    w.beginArray("comparisons");
+    for (const Delta &d : r.deltas) {
+        w.beginObject();
+        w.field("metric", d.metric);
+        numberField(w, "baseline", d.baseline);
+        numberField(w, "current", d.current);
+        w.field("ratio", std::isfinite(d.ratio) ? d.ratio : -1.0);
+        w.field("status", statusName(d.status));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace compare
+} // namespace fsencr

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Report comparison: the engine behind `fsencr-compare`.
+ *
+ * Diffs two machine-readable reports (schema fsencr-run-report or
+ * fsencr-bench-report, v1 or v2) metric by metric with configurable
+ * relative/absolute thresholds, classifies each as improved /
+ * unchanged / regressed, and renders a versioned
+ * `fsencr-compare-report` JSON. The simulator is deterministic, so an
+ * identical-seed rerun compares clean at any threshold; the gate
+ * exists to catch modeling regressions, not noise.
+ *
+ * Lives in the common library (not the tool) so tests can drive the
+ * classification and exit-code logic directly.
+ */
+
+#ifndef FSENCR_COMMON_COMPARE_HH
+#define FSENCR_COMMON_COMPARE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/report.hh"
+
+namespace fsencr {
+namespace compare {
+
+/** Regression thresholds. A metric regresses when
+ *  current > baseline + max(absTolerance, baseline * relTolerance);
+ *  the mirror-image bound classifies an improvement. All compared
+ *  metrics are lower-is-better (ticks, NVM traffic, latency). */
+struct Options
+{
+    double relTolerance = 0.05;
+    double absTolerance = 0.0;
+};
+
+enum class Status {
+    Improved,
+    Unchanged,
+    Regressed,
+    /** Reported for context, never gates (e.g. per-interval series
+     *  whose boundaries legitimately shift with total ticks). */
+    Info,
+};
+
+const char *statusName(Status s);
+
+/** One compared metric. */
+struct Delta
+{
+    std::string metric;
+    double baseline = 0.0;
+    double current = 0.0;
+    /** current / baseline; 1.0 when both are zero. */
+    double ratio = 1.0;
+    Status status = Status::Unchanged;
+};
+
+/** Outcome of one comparison. */
+struct Result
+{
+    /** Schema of the compared documents. */
+    std::string schema;
+    /** Non-empty on structural mismatch (different schemas, missing
+     *  rows, different workload/scheme configs...). */
+    std::string error;
+    unsigned regressed = 0;
+    unsigned improved = 0;
+    unsigned unchanged = 0;
+    std::vector<Delta> deltas;
+
+    bool ok() const { return error.empty() && regressed == 0; }
+};
+
+/**
+ * Compare two parsed reports. Both must carry the same `schema`
+ * field; run reports gate on result ticks/NVM traffic, attribution
+ * components and latency percentiles, bench reports on every
+ * (row, scheme) cell. v2 `timeseries` sections are compared as Info
+ * entries when both sides have them.
+ */
+Result compareReports(const json::Value &baseline,
+                      const json::Value &current, const Options &opt);
+
+/** CLI exit code: 0 clean, 1 regression, 2 structural error. */
+int exitCodeFor(const Result &r);
+
+/** Render a versioned fsencr-compare-report document. */
+void writeCompareReport(report::JsonWriter &w,
+                        const std::string &baseline_path,
+                        const std::string &current_path,
+                        const Options &opt, const Result &r);
+
+} // namespace compare
+} // namespace fsencr
+
+#endif // FSENCR_COMMON_COMPARE_HH

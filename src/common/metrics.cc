@@ -1,0 +1,179 @@
+#include "common/metrics.hh"
+
+#include <algorithm>
+
+namespace fsencr {
+namespace metrics {
+
+void
+LabeledCounter::add(const std::string &label, std::uint64_t delta)
+{
+    total_ += delta;
+    auto it = values_.find(label);
+    if (it != values_.end()) {
+        it->second.value += delta;
+        lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+        return;
+    }
+    if (values_.size() >= maxLabels_) {
+        // Fold the least-recently-updated label into __other__.
+        const std::string &victim = lru_.back();
+        auto vit = values_.find(victim);
+        other_ += vit->second.value;
+        ++evictions_;
+        values_.erase(vit);
+        lru_.pop_back();
+    }
+    lru_.push_front(label);
+    values_.emplace(label, Slot{delta, lru_.begin()});
+}
+
+void
+LabeledCounter::add(std::uint64_t label, std::uint64_t delta)
+{
+    add(std::to_string(label), delta);
+}
+
+std::uint64_t
+LabeledCounter::value(const std::string &label) const
+{
+    auto it = values_.find(label);
+    return it == values_.end() ? 0 : it->second.value;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+LabeledCounter::sorted() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(values_.size() + 1);
+    for (const auto &[label, slot] : values_)
+        out.emplace_back(label, slot.value);
+    std::sort(out.begin(), out.end());
+    if (other_)
+        out.emplace_back(otherLabel, other_);
+    return out;
+}
+
+LabeledCounter &
+Registry::counter(const std::string &name, const std::string &label_key,
+                  std::size_t max_labels)
+{
+    auto it = families_.find(name);
+    if (it != families_.end())
+        return *it->second;
+    auto fam = std::make_unique<LabeledCounter>(name, label_key,
+                                                max_labels);
+    LabeledCounter &ref = *fam;
+    families_.emplace(name, std::move(fam));
+    return ref;
+}
+
+void
+Registry::snapshot(std::map<std::string, std::uint64_t> &out) const
+{
+    out.clear();
+    if (root_)
+        root_->visitScalars(
+            [&out](const std::string &path, std::uint64_t v) {
+                out[path] = v;
+            });
+    for (const auto &[name, fam] : families_) {
+        for (const auto &[label, v] : fam->sorted())
+            out[name + "{" + fam->labelKey() + "=" + label + "}"] = v;
+    }
+}
+
+Sampler::Sampler(const Registry &reg, Tick interval, Tick start)
+    : reg_(reg), interval_(interval ? interval : 1),
+      next_(start + (interval ? interval : 1)), lastT_(start)
+{
+    reg_.snapshot(last_);
+}
+
+void
+Sampler::takeSample(Tick now)
+{
+    std::map<std::string, std::uint64_t> cur;
+    reg_.snapshot(cur);
+
+    Interval iv;
+    iv.t0 = lastT_;
+    iv.t1 = now;
+    for (const auto &[name, v] : cur) {
+        auto it = last_.find(name);
+        std::uint64_t prev = it == last_.end() ? 0 : it->second;
+        if (v != prev)
+            iv.deltas[name] = static_cast<std::int64_t>(v) -
+                              static_cast<std::int64_t>(prev);
+    }
+    // A metric present before but absent now (can't happen for
+    // scalars; a family never drops labels without re-adding them to
+    // __other__, which snapshot() includes) would otherwise leak its
+    // last value — cover it anyway for exactness.
+    for (const auto &[name, prev] : last_) {
+        if (prev && !cur.count(name))
+            iv.deltas[name] = -static_cast<std::int64_t>(prev);
+    }
+
+    intervals_.push_back(std::move(iv));
+    last_ = std::move(cur);
+    lastT_ = now;
+    next_ = now + interval_;
+}
+
+void
+Sampler::finish(Tick now)
+{
+    takeSample(now);
+    if (intervals_.back().deltas.empty() &&
+        intervals_.back().t0 == intervals_.back().t1)
+        intervals_.pop_back();
+}
+
+void
+writeCsv(std::ostream &os, const Sampler &sampler)
+{
+    os << "t0,t1,metric,delta\n";
+    for (const Interval &iv : sampler.intervals())
+        for (const auto &[name, delta] : iv.deltas)
+            os << iv.t0 << ',' << iv.t1 << ',' << name << ',' << delta
+               << '\n';
+}
+
+namespace {
+
+/** Prometheus metric names allow [a-zA-Z0-9_:] only. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "fsencr_";
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9');
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writePrometheus(std::ostream &os, const Registry &reg)
+{
+    if (const stats::StatGroup *root = reg.statRoot()) {
+        root->visitScalars(
+            [&os](const std::string &path, std::uint64_t v) {
+                os << promName(path) << ' ' << v << '\n';
+            });
+    }
+    for (const auto &[name, fam] : reg.families()) {
+        std::string base = promName(name);
+        os << "# TYPE " << base << " counter\n";
+        for (const auto &[label, v] : fam->sorted())
+            os << base << '{' << fam->labelKey() << "=\"" << label
+               << "\"} " << v << '\n';
+    }
+}
+
+} // namespace metrics
+} // namespace fsencr

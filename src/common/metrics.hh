@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Metrics: labeled hot-spot counters and interval time-series
+ * sampling, layered on the stats::StatGroup tree.
+ *
+ * Three cooperating pieces:
+ *
+ *  - metrics::LabeledCounter — one counter *family* whose value is
+ *    split by a label (`ott.lookup{set=12}`, `merkle.verify{level=2}`,
+ *    `file.bytes{file=4:7}`). Label cardinality is bounded: when a new
+ *    label would exceed the cap, the least-recently-updated label is
+ *    folded into an `__other__` bucket, so a pathological workload
+ *    (millions of files) cannot blow up host memory or report size.
+ *    The family total (labels + other) is always exact.
+ *
+ *  - metrics::Registry — owns the labeled families and points at a
+ *    StatGroup root; snapshot() flattens both into one deterministic
+ *    `name -> value` map (`system.attribution.ott_lookup`,
+ *    `ott.lookup{set=12}`, ...).
+ *
+ *  - metrics::Sampler — snapshots the registry whenever the simulated
+ *    clock crosses the next interval boundary (System::advance calls
+ *    onAdvance), producing per-interval *deltas*. All arithmetic is
+ *    integral, so the interval deltas of any counter sum exactly to
+ *    its final aggregate — the same tick-exactness contract as the
+ *    cycle attribution (PR 2).
+ *
+ * Like the tracer, the whole layer is observation-only: components
+ * hold a `Registry *` that is nullptr when metrics are disabled, and
+ * no probe ever charges simulated time. With sampling disabled,
+ * modeled ticks and NVM traffic are bit-identical to a build without
+ * this file.
+ */
+
+#ifndef FSENCR_COMMON_METRICS_HH
+#define FSENCR_COMMON_METRICS_HH
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace fsencr {
+namespace metrics {
+
+/** Label value every evicted label folds into. */
+constexpr const char *otherLabel = "__other__";
+
+/** A counter family split by one label, with bounded cardinality. */
+class LabeledCounter
+{
+  public:
+    /**
+     * @param name family name, e.g. "ott.lookup"
+     * @param label_key label name, e.g. "set"
+     * @param max_labels cardinality cap (evict-to-other beyond it)
+     */
+    LabeledCounter(std::string name, std::string label_key,
+                   std::size_t max_labels)
+        : name_(std::move(name)), labelKey_(std::move(label_key)),
+          maxLabels_(max_labels ? max_labels : 1)
+    {}
+
+    /** Count @p delta against a label value. */
+    void add(const std::string &label, std::uint64_t delta = 1);
+    void add(std::uint64_t label, std::uint64_t delta = 1);
+
+    const std::string &name() const { return name_; }
+    const std::string &labelKey() const { return labelKey_; }
+    std::size_t maxLabels() const { return maxLabels_; }
+
+    /** Current value of one label (0 if absent/evicted). */
+    std::uint64_t value(const std::string &label) const;
+    /** Sum folded into the __other__ bucket by evictions. */
+    std::uint64_t otherValue() const { return other_; }
+    /** Number of labels evicted into __other__ so far. */
+    std::uint64_t evictions() const { return evictions_; }
+    /** Distinct live labels (excluding __other__). */
+    std::size_t cardinality() const { return values_.size(); }
+    /** Family total: every add() ever made, labels + other. */
+    std::uint64_t total() const { return total_; }
+
+    /** (label, value) pairs sorted by label, for deterministic
+     *  export; __other__ is appended last when non-zero. */
+    std::vector<std::pair<std::string, std::uint64_t>> sorted() const;
+
+  private:
+    struct Slot
+    {
+        std::uint64_t value = 0;
+        std::list<std::string>::iterator lruIt;
+    };
+
+    std::string name_;
+    std::string labelKey_;
+    std::size_t maxLabels_;
+    std::unordered_map<std::string, Slot> values_;
+    /** Front = most recently updated. */
+    std::list<std::string> lru_;
+    std::uint64_t other_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/** The metrics registry: labeled families + the stat tree root. */
+class Registry
+{
+  public:
+    /** Attach the stat tree snapshots flatten (may be nullptr). */
+    void setStatRoot(const stats::StatGroup *root) { root_ = root; }
+    const stats::StatGroup *statRoot() const { return root_; }
+
+    /**
+     * Get-or-create a family. Pointers remain stable for the life of
+     * the registry, so components cache them at setMetrics() time and
+     * a probe is one pointer test plus a hash update.
+     */
+    LabeledCounter &counter(const std::string &name,
+                            const std::string &label_key,
+                            std::size_t max_labels = 64);
+
+    /** Families in name order. */
+    const std::map<std::string, std::unique_ptr<LabeledCounter>> &
+    families() const
+    {
+        return families_;
+    }
+
+    /**
+     * Flatten the stat tree (every scalar, dotted path) and every
+     * labeled family (`name{key=value}`) into one deterministic map.
+     */
+    void snapshot(std::map<std::string, std::uint64_t> &out) const;
+
+  private:
+    const stats::StatGroup *root_ = nullptr;
+    std::map<std::string, std::unique_ptr<LabeledCounter>> families_;
+};
+
+/** One sampling interval: counter deltas over (t0, t1]. */
+struct Interval
+{
+    Tick t0 = 0;
+    Tick t1 = 0;
+    /** Only metrics whose value changed within the interval; deltas
+     *  are signed because an LRU eviction can rebalance a labeled
+     *  value into __other__ (the family total stays exact). */
+    std::map<std::string, std::int64_t> deltas;
+};
+
+/**
+ * Interval sampler. System::advance() feeds it the clock; whenever
+ * the clock reaches the next boundary the whole registry is
+ * snapshotted and the delta against the previous snapshot recorded.
+ * Boundaries are "first advance at or past lastT + interval", so
+ * intervals are at least `interval` ticks long and exactly tile the
+ * run: sum(deltas) over all intervals == final aggregate - initial.
+ */
+class Sampler
+{
+  public:
+    /**
+     * @param reg registry to snapshot (must outlive the sampler)
+     * @param interval sampling interval in ticks (>= 1)
+     * @param start current simulated time (snapshot baseline)
+     */
+    Sampler(const Registry &reg, Tick interval, Tick start = 0);
+
+    /** Clock hook: cheap boundary test, sample on crossing. */
+    void
+    onAdvance(Tick now)
+    {
+        if (now >= next_)
+            takeSample(now);
+    }
+
+    /**
+     * Close the trailing partial interval at end of run. Idempotent:
+     * an empty residual produces no interval.
+     */
+    void finish(Tick now);
+
+    Tick interval() const { return interval_; }
+    const std::vector<Interval> &intervals() const { return intervals_; }
+
+  private:
+    void takeSample(Tick now);
+
+    const Registry &reg_;
+    Tick interval_;
+    Tick next_;
+    Tick lastT_;
+    std::map<std::string, std::uint64_t> last_;
+    std::vector<Interval> intervals_;
+};
+
+/**
+ * Long-format CSV of the sampled time series (`t0,t1,metric,delta`
+ * with a header row) for ad-hoc plotting.
+ */
+void writeCsv(std::ostream &os, const Sampler &sampler);
+
+/**
+ * Prometheus-style text exposition of the registry's current state:
+ * flattened stat scalars plus labeled families, names sanitized to
+ * [a-zA-Z0-9_] and prefixed `fsencr_`.
+ */
+void writePrometheus(std::ostream &os, const Registry &reg);
+
+} // namespace metrics
+} // namespace fsencr
+
+#endif // FSENCR_COMMON_METRICS_HH

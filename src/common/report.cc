@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/metrics.hh"
 #include "common/stats.hh"
 
 namespace fsencr {
@@ -211,6 +212,48 @@ writeHistogram(JsonWriter &w, const std::string &key,
     w.field("p50", h.percentile(50.0));
     w.field("p95", h.percentile(95.0));
     w.field("p99", h.percentile(99.0));
+    w.endObject();
+}
+
+void
+writeTimeseries(JsonWriter &w, const metrics::Sampler &sampler)
+{
+    w.beginObject("timeseries");
+    w.field("interval", static_cast<std::uint64_t>(sampler.interval()));
+    w.field("samples",
+            static_cast<std::uint64_t>(sampler.intervals().size()));
+    w.beginArray("intervals");
+    for (const metrics::Interval &iv : sampler.intervals()) {
+        w.beginObject();
+        w.field("t0", static_cast<std::uint64_t>(iv.t0));
+        w.field("t1", static_cast<std::uint64_t>(iv.t1));
+        w.beginObject("deltas");
+        for (const auto &[name, delta] : iv.deltas)
+            w.field(name, static_cast<std::int64_t>(delta));
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
+writeMetricsSection(JsonWriter &w, const metrics::Registry &reg)
+{
+    w.beginObject("metrics");
+    for (const auto &[name, fam] : reg.families()) {
+        w.beginObject(name);
+        w.field("label", fam->labelKey());
+        w.field("max_labels",
+                static_cast<std::uint64_t>(fam->maxLabels()));
+        w.field("evictions", fam->evictions());
+        w.field("total", fam->total());
+        w.beginObject("values");
+        for (const auto &[label, v] : fam->sorted())
+            w.field(label, v);
+        w.endObject();
+        w.endObject();
+    }
     w.endObject();
 }
 

@@ -27,16 +27,27 @@
 namespace fsencr {
 
 namespace stats { class Histogram; }
+namespace metrics { class Registry; class Sampler; }
 
 namespace report {
 
-/** Schema identifiers + current versions. Bump on breaking change. */
+/**
+ * Schema identifiers + current versions. Bump on breaking change.
+ *
+ * v2 (run/bench): adds the optional `timeseries` section (interval
+ * counter deltas from metrics::Sampler) and the optional `metrics`
+ * section (labeled hot-spot families). Both are additive — every v1
+ * field is still emitted with the same meaning, so v1 consumers that
+ * ignore unknown keys keep working; `fsencr-compare` reads either.
+ */
 constexpr const char *runReportSchema = "fsencr-run-report";
-constexpr int runReportVersion = 1;
+constexpr int runReportVersion = 2;
 constexpr const char *benchReportSchema = "fsencr-bench-report";
-constexpr int benchReportVersion = 1;
+constexpr int benchReportVersion = 2;
 constexpr const char *crashtestReportSchema = "fsencr-crashtest-report";
 constexpr int crashtestReportVersion = 1;
+constexpr const char *compareReportSchema = "fsencr-compare-report";
+constexpr int compareReportVersion = 1;
 
 /**
  * Streaming JSON writer with automatic comma placement and
@@ -91,6 +102,20 @@ class JsonWriter
  */
 void writeHistogram(JsonWriter &w, const std::string &key,
                     const stats::Histogram &h);
+
+/**
+ * Emit the v2 `timeseries` section: sampling interval plus one
+ * object per interval with its (t0, t1] bounds and the non-zero
+ * counter deltas. Interval deltas of any counter sum exactly to its
+ * final aggregate (ticks-exact, like the attribution itself).
+ */
+void writeTimeseries(JsonWriter &w, const metrics::Sampler &sampler);
+
+/**
+ * Emit the v2 `metrics` section: one object per labeled family with
+ * its label key, sorted label values, eviction count and total.
+ */
+void writeMetricsSection(JsonWriter &w, const metrics::Registry &reg);
 
 } // namespace report
 } // namespace fsencr

@@ -1,9 +1,37 @@
 #include "common/stats.hh"
 
+#include <bit>
+
 #include "common/logging.hh"
 
 namespace fsencr {
 namespace stats {
+
+std::size_t
+Histogram::bucketIndex(std::uint64_t v) const
+{
+    if (_scale == Scale::Linear)
+        return static_cast<std::size_t>(v / _width);
+    // Log2: bucket 0 = {0}, bucket i >= 1 = [2^(i-1), 2^i).
+    return v == 0 ? 0 : static_cast<std::size_t>(std::bit_width(v));
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    if (_scale == Scale::Linear)
+        return static_cast<double>(i) * static_cast<double>(_width);
+    return i == 0 ? 0.0
+                  : static_cast<double>(std::uint64_t{1} << (i - 1));
+}
+
+double
+Histogram::bucketHi(std::size_t i) const
+{
+    if (_scale == Scale::Linear)
+        return static_cast<double>(i + 1) * static_cast<double>(_width);
+    return i == 0 ? 1.0 : static_cast<double>(std::uint64_t{1} << i);
+}
 
 double
 Histogram::percentile(double p) const
@@ -27,19 +55,17 @@ Histogram::percentile(double p) const
         if (static_cast<double>(cum) >= target) {
             double frac =
                 (target - prev) / static_cast<double>(_buckets[i]);
-            result = (static_cast<double>(i) + frac) *
-                     static_cast<double>(_width);
+            result = bucketLo(i) + frac * (bucketHi(i) - bucketLo(i));
             found = true;
             break;
         }
     }
     if (!found && _overflow) {
         // Percentile falls in the overflow bucket: interpolate from
-        // the last linear boundary toward the observed maximum.
+        // the last bucket boundary toward the observed maximum.
         double prev = static_cast<double>(cum);
         double frac = (target - prev) / static_cast<double>(_overflow);
-        double lo = static_cast<double>(_buckets.size()) *
-                    static_cast<double>(_width);
+        double lo = bucketLo(_buckets.size());
         double hi = static_cast<double>(_max);
         result = hi > lo ? lo + frac * (hi - lo) : hi;
     }
@@ -89,6 +115,18 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
     }
     for (const StatGroup *child : _children)
         child->dump(os, base);
+}
+
+void
+StatGroup::visitScalars(
+    const std::function<void(const std::string &, std::uint64_t)> &fn,
+    const std::string &prefix) const
+{
+    std::string base = prefix.empty() ? _name : prefix + "." + _name;
+    for (const auto &[name, s] : _scalars)
+        fn(base + "." + name, s->value());
+    for (const StatGroup *child : _children)
+        child->visitScalars(fn, base);
 }
 
 void

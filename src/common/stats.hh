@@ -54,19 +54,47 @@ class Formula
     Fn _fn;
 };
 
-/** A fixed-bucket histogram (linear buckets plus overflow). */
+/**
+ * A fixed-bucket histogram: linear buckets (the default) or log2
+ * buckets, plus an overflow bucket either way.
+ *
+ * Linear buckets are right for tight, known-range distributions
+ * (per-component ticks of one access). Long-tail distributions
+ * (end-to-end latencies with p99 far above the mean) overflow the
+ * linear range and percentile() degenerates into overflow-bucket
+ * interpolation; log2 buckets keep resolution proportional to the
+ * value instead, so the tail stays inside real buckets.
+ */
 class Histogram
 {
   public:
+    enum class Scale { Linear, Log2 };
+
     Histogram() : Histogram(16, 64) {}
 
     /**
+     * Linear buckets.
      * @param num_buckets number of linear buckets
      * @param bucket_width width of each bucket
      */
     Histogram(unsigned num_buckets, std::uint64_t bucket_width)
         : _width(bucket_width), _buckets(num_buckets, 0)
     {}
+
+    /**
+     * Log2 buckets: bucket 0 holds v == 0, bucket i >= 1 holds
+     * [2^(i-1), 2^i). 48 buckets span to ~2^47 (140 s in ticks), so
+     * every realistic latency lands in a real bucket.
+     */
+    static Histogram
+    log2Buckets(unsigned num_buckets = 48)
+    {
+        Histogram h(num_buckets, 1);
+        h._scale = Scale::Log2;
+        return h;
+    }
+
+    Scale scale() const { return _scale; }
 
     void
     sample(std::uint64_t v)
@@ -75,7 +103,7 @@ class Histogram
         _sum += v;
         if (v > _max) _max = v;
         if (_samples == 1 || v < _min) _min = v;
-        std::size_t idx = static_cast<std::size_t>(v / _width);
+        std::size_t idx = bucketIndex(v);
         if (idx >= _buckets.size())
             ++_overflow;
         else
@@ -112,6 +140,13 @@ class Histogram
     }
 
   private:
+    std::size_t bucketIndex(std::uint64_t v) const;
+    /** Inclusive-exclusive value range [lo, hi) of bucket i; i ==
+     *  buckets().size() gives the lower edge of the overflow bucket. */
+    double bucketLo(std::size_t i) const;
+    double bucketHi(std::size_t i) const;
+
+    Scale _scale = Scale::Linear;
     std::uint64_t _width;
     std::vector<std::uint64_t> _buckets;
     std::uint64_t _samples = 0;
@@ -161,6 +196,16 @@ class StatGroup
 
     /** Dump `prefix.name = value` lines for the whole subtree. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /**
+     * Call fn("group.sub.stat", value) for every scalar in the
+     * subtree, in the same deterministic order dump() uses. This is
+     * what the metrics sampler snapshots (see common/metrics.hh).
+     */
+    void visitScalars(
+        const std::function<void(const std::string &, std::uint64_t)>
+            &fn,
+        const std::string &prefix = "") const;
 
     /** Dump the subtree as a JSON object. */
     void dumpJson(std::ostream &os, unsigned indent = 0) const;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "crypto/sha256.hh"
 
 namespace fsencr {
@@ -292,11 +293,21 @@ OpenTunnelTable::spillErase(std::uint32_t gid, std::uint32_t fid,
     return latency;
 }
 
+void
+OpenTunnelTable::setMetrics(metrics::Registry *metrics)
+{
+    lookupCtr_ =
+        metrics ? &metrics->counter("ott.lookup", "set", 64) : nullptr;
+}
+
 OttLookupResult
 OpenTunnelTable::lookup(std::uint32_t gid, std::uint32_t fid, Tick now)
 {
     ++lookups_;
     ++lruClock_;
+    if (lookupCtr_)
+        lookupCtr_->add(
+            static_cast<std::uint64_t>(spillHomeSlot(gid, fid)));
     OttLookupResult res;
     res.latency = params_.ottLatency * cyclePeriod_;
 

@@ -32,6 +32,11 @@
 
 namespace fsencr {
 
+namespace metrics {
+class Registry;
+class LabeledCounter;
+} // namespace metrics
+
 /** Result of an OTT key lookup. */
 struct OttLookupResult
 {
@@ -98,6 +103,10 @@ class OpenTunnelTable
     /** Attach an event tracer (nullptr disables; observation only). */
     void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
 
+    /** Attach a metrics registry: lookups become ott.lookup{set},
+     *  labeled by the key's spill home slot (nullptr disables). */
+    void setMetrics(metrics::Registry *metrics);
+
   private:
     struct Entry
     {
@@ -144,6 +153,7 @@ class OpenTunnelTable
     std::vector<Entry> entries_;
     std::uint64_t lruClock_ = 0;
     trace::Tracer *tracer_ = nullptr;
+    metrics::LabeledCounter *lookupCtr_ = nullptr;
 
     static constexpr unsigned spillProbeDepth = 8;
 

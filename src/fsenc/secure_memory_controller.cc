@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "cpu/mem_trace.hh"
 
 namespace fsencr {
@@ -18,8 +19,8 @@ SecureMemoryController::SecureMemoryController(const SimConfig &cfg,
       memAes_(memKey_),
       osiris_(cfg.sec.osirisStopLoss),
       statGroup_("mc"),
-      readLatency_(32, 10 * tickPerNs),
-      writeLatency_(32, 10 * tickPerNs)
+      readLatency_(stats::Histogram::log2Buckets()),
+      writeLatency_(stats::Histogram::log2Buckets())
 {
     if (cfg_.hasMemoryEncryption()) {
         merkle_ = std::make_unique<MerkleTree>(layout_, device_,
@@ -57,7 +58,7 @@ SecureMemoryController::SecureMemoryController(const SimConfig &cfg,
     // Per-component cycle attribution: cumulative ticks plus the
     // per-access distribution (suffix keeps JSON keys unique).
     for (unsigned c = 0; c < numMcComponents; ++c) {
-        attrHists_[c] = stats::Histogram(32, 10 * tickPerNs);
+        attrHists_[c] = stats::Histogram::log2Buckets();
         attrGroup_.addScalar(trace::componentName(c), attrTicks_[c]);
         attrGroup_.addHistogram(
             std::string(trace::componentName(c)) + "_hist",
@@ -80,6 +81,25 @@ SecureMemoryController::setTracer(trace::Tracer *tracer)
 }
 
 void
+SecureMemoryController::setMetrics(metrics::Registry *metrics)
+{
+    if (metaCache_)
+        metaCache_->setMetrics(metrics);
+    if (merkle_)
+        merkle_->setMetrics(metrics);
+    if (ott_)
+        ott_->setMetrics(metrics);
+    if (!metrics) {
+        readCtr_ = writeCtr_ = fileBytesCtr_ = merkleLevelCtr_ = nullptr;
+        return;
+    }
+    readCtr_ = &metrics->counter("mc.read", "dax", 2);
+    writeCtr_ = &metrics->counter("mc.write", "dax", 2);
+    fileBytesCtr_ = &metrics->counter("file.bytes", "file", 64);
+    merkleLevelCtr_ = &metrics->counter("merkle.verify", "level", 16);
+}
+
+void
 SecureMemoryController::recordAccess(bool is_read,
                                      const trace::Breakdown &bd,
                                      Tick total, Tick now, bool dax)
@@ -93,6 +113,9 @@ SecureMemoryController::recordAccess(bool is_read,
         readLatency_.sample(total);
     else
         writeLatency_.sample(total);
+
+    if (metrics::LabeledCounter *ctr = is_read ? readCtr_ : writeCtr_)
+        ctr->add(dax ? "1" : "0");
 
     if (tracer_) {
         tracer_->complete(is_read ? "read" : "write", "mc", now, total,
@@ -255,6 +278,8 @@ SecureMemoryController::fetchMetadata(Addr meta_addr, Tick now,
             if (nr.hit)
                 break;
             ++merkleFetches_;
+            if (merkleLevelCtr_)
+                merkleLevelCtr_->add(static_cast<std::uint64_t>(level));
             MemRequest mreq;
             mreq.paddr = node;
             mreq.isWrite = false;
@@ -390,6 +415,10 @@ SecureMemoryController::readLine(Addr full_addr, Tick now,
         meta_lat += fetchMetadata(fecb_addr, now + meta_lat,
                                   &fecb_missed, &mbd);
         fecb = counters_->fecb(fecb_addr);
+        if (fileBytesCtr_ && (fecb.groupId | fecb.fileId))
+            fileBytesCtr_->add(std::to_string(fecb.groupId) + ":" +
+                                   std::to_string(fecb.fileId),
+                               blockSize);
         if (!fsencLocked_) {
             OttLookupResult key = lookupFileKey(fecb, now + meta_lat);
             if (key.found) {
@@ -502,8 +531,13 @@ SecureMemoryController::writeLine(Addr full_addr,
     // invalidated by nested metadata-cache evictions.
     Mecb mecb = counters_->mecb(mecb_addr);
     Fecb fecb;
-    if (dax)
+    if (dax) {
         fecb = counters_->fecb(fecb_addr);
+        if (fileBytesCtr_ && (fecb.groupId | fecb.fileId))
+            fileBytesCtr_->add(std::to_string(fecb.groupId) + ":" +
+                                   std::to_string(fecb.fileId),
+                               blockSize);
+    }
 
     bool have_file_key = false;
     crypto::Key128 file_key{};

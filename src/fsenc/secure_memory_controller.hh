@@ -44,6 +44,11 @@
 
 namespace fsencr {
 
+namespace metrics {
+class Registry;
+class LabeledCounter;
+} // namespace metrics
+
 /** Raised when the Merkle tree detects metadata tampering/replay. */
 class IntegrityError : public std::runtime_error
 {
@@ -341,6 +346,14 @@ class SecureMemoryController
     void setTracer(trace::Tracer *tracer);
     trace::Tracer *tracer() const { return tracer_; }
 
+    /**
+     * Attach a metrics registry (nullptr disables), forwarded to the
+     * metadata cache, Merkle tree and OTT. The controller caches its
+     * family pointers here so a probe on the access path is a single
+     * pointer test. Pure observation: never affects timing.
+     */
+    void setMetrics(metrics::Registry *metrics);
+
     /** Cycle attribution of the most recent read/write request. The
      *  component ticks sum exactly to the latency that request
      *  returned. */
@@ -452,6 +465,14 @@ class SecureMemoryController
 
     /** Optional event tracer (nullptr = probes disabled). */
     trace::Tracer *tracer_ = nullptr;
+
+    /** Labeled hot-spot counters (nullptr = metrics disabled):
+     *  mc.read{dax}, mc.write{dax}, file.bytes{file=gid:fid},
+     *  merkle.verify{level} for the Bonsai ancestor walk. */
+    metrics::LabeledCounter *readCtr_ = nullptr;
+    metrics::LabeledCounter *writeCtr_ = nullptr;
+    metrics::LabeledCounter *fileBytesCtr_ = nullptr;
+    metrics::LabeledCounter *merkleLevelCtr_ = nullptr;
 
     /** Attribution of the most recent read/write. */
     trace::Breakdown lastAccess_;

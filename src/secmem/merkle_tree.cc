@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "crypto/sha256.hh"
 
 namespace fsencr {
@@ -149,10 +150,20 @@ MerkleTree::updateLeaf(Addr leaf_addr)
     propagate(idx);
 }
 
+void
+MerkleTree::setMetrics(metrics::Registry *metrics)
+{
+    verifyCtr_ =
+        metrics ? &metrics->counter("merkle.verify", "level", 16)
+                : nullptr;
+}
+
 bool
 MerkleTree::verifyLeaf(Addr leaf_addr) const
 {
     ++verifies_;
+    if (verifyCtr_)
+        verifyCtr_->add(static_cast<std::uint64_t>(0));
     std::uint64_t idx = leafIndex(leaf_addr);
     bool ok;
     if (macs_[0].count(idx)) {

@@ -27,6 +27,11 @@
 
 namespace fsencr {
 
+namespace metrics {
+class Registry;
+class LabeledCounter;
+} // namespace metrics
+
 /** Sparse 8-ary Merkle tree with the root held on-chip. */
 class MerkleTree
 {
@@ -124,6 +129,11 @@ class MerkleTree
      *  updates become instants stamped with Tracer::time(). */
     void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
 
+    /** Attach a metrics registry: leaf verifications count as
+     *  merkle.verify{level=0}; the controller's Bonsai ancestor walk
+     *  contributes levels 1+ to the same family (nullptr disables). */
+    void setMetrics(metrics::Registry *metrics);
+
   private:
     /** MAC of a 64-byte buffer. */
     std::uint64_t macOf(const std::uint8_t *line, Addr addr) const;
@@ -163,6 +173,7 @@ class MerkleTree
     mutable stats::Scalar verifies_;
     mutable stats::Scalar failures_;
     trace::Tracer *tracer_ = nullptr;
+    metrics::LabeledCounter *verifyCtr_ = nullptr;
 };
 
 } // namespace fsencr

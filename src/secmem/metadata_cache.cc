@@ -2,6 +2,7 @@
 
 #include "common/bitfield.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
 
 namespace fsencr {
 
@@ -82,11 +83,29 @@ MetadataCache::cacheFor(Addr meta_addr) const
     return const_cast<MetadataCache *>(this)->cacheFor(meta_addr);
 }
 
+void
+MetadataCache::setMetrics(metrics::Registry *metrics)
+{
+    if (!metrics) {
+        accessCtr_ = missCtr_ = nullptr;
+        return;
+    }
+    accessCtr_ = &metrics->counter("metacache.access", "kind", 4);
+    missCtr_ = &metrics->counter("metacache.miss", "kind", 4);
+}
+
 CacheAccessResult
 MetadataCache::access(Addr meta_addr, bool is_write)
 {
     CacheAccessResult res = cacheFor(meta_addr).access(meta_addr,
                                                        is_write);
+    if (accessCtr_) {
+        static const char *const kinds[3] = {"mecb", "fecb", "merkle"};
+        const char *kind = kinds[partitionOf(meta_addr)];
+        accessCtr_->add(kind);
+        if (!res.hit)
+            missCtr_->add(kind);
+    }
     if (tracer_) {
         if (!res.hit)
             tracer_->instant("meta_cache_miss", "metaCache",

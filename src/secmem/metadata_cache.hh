@@ -22,6 +22,11 @@
 
 namespace fsencr {
 
+namespace metrics {
+class Registry;
+class LabeledCounter;
+} // namespace metrics
+
 /** Unified or partitioned metadata cache. */
 class MetadataCache
 {
@@ -47,6 +52,11 @@ class MetadataCache
      *  cache has no clock of its own). */
     void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
 
+    /** Attach a metrics registry: accesses and misses become
+     *  metacache.access{kind} / metacache.miss{kind}, labeled
+     *  mecb/fecb/merkle (nullptr disables). */
+    void setMetrics(metrics::Registry *metrics);
+
   private:
     /** Partition index for an address: 0 MECB, 1 FECB, 2 Merkle. */
     unsigned partitionOf(Addr meta_addr) const;
@@ -62,6 +72,8 @@ class MetadataCache
 
     stats::StatGroup statGroup_;
     trace::Tracer *tracer_ = nullptr;
+    metrics::LabeledCounter *accessCtr_ = nullptr;
+    metrics::LabeledCounter *missCtr_ = nullptr;
 };
 
 } // namespace fsencr

@@ -62,6 +62,17 @@ System::advanceMc(Tick latency)
     now_ += latency;
     if (injector_)
         faultTick();
+    if (sampler_)
+        sampler_->onAdvance(now_);
+}
+
+void
+System::setMetrics(metrics::Registry *metrics)
+{
+    metrics_ = metrics;
+    if (metrics_)
+        metrics_->setStatRoot(&statGroup_);
+    mc_->setMetrics(metrics);
 }
 
 void

@@ -23,6 +23,7 @@
 
 #include "cache/hierarchy.hh"
 #include "common/config.hh"
+#include "common/metrics.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
@@ -238,6 +239,21 @@ class System : public WritebackSink
     trace::Tracer *tracer() const { return tracer_; }
 
     /**
+     * Attach a metrics registry (nullptr disables): the system stat
+     * tree becomes its snapshot root and the controller's labeled
+     * hot-spot probes (ott.lookup{set}, merkle.verify{level},
+     * metacache.access{kind}, mc.read/write{dax}, file.bytes{file})
+     * light up. Observation only: the clock is never affected.
+     */
+    void setMetrics(metrics::Registry *metrics);
+    metrics::Registry *metrics() const { return metrics_; }
+
+    /** Attach an interval sampler fed from every clock advance
+     *  (nullptr detaches). The sampler must snapshot the same
+     *  registry passed to setMetrics(). */
+    void setSampler(metrics::Sampler *sampler) { sampler_ = sampler; }
+
+    /**
      * Advance the clock, attributing the ticks to one component.
      * Every clock advance in the system goes through here (or through
      * advanceMc()), so the per-component sums reproduce total ticks
@@ -250,6 +266,8 @@ class System : public WritebackSink
         attrTicks_[component] += ticks;
         if (injector_)
             faultTick();
+        if (sampler_)
+            sampler_->onAdvance(now_);
     }
 
     /** Advance by a memory-controller request latency, splitting it
@@ -337,6 +355,8 @@ class System : public WritebackSink
     std::uint64_t measureStartWrites_ = 0;
 
     trace::Tracer *tracer_ = nullptr;
+    metrics::Registry *metrics_ = nullptr;
+    metrics::Sampler *sampler_ = nullptr;
 
     stats::StatGroup statGroup_;
     stats::Scalar totalLoads_;

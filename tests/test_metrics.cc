@@ -1,0 +1,566 @@
+/**
+ * @file
+ * Metrics-subsystem tests: labeled-counter cardinality capping,
+ * sampler interval-delta exactness, the v2 report sections
+ * round-tripping through the JSON parser, log2 histogram percentiles,
+ * and the fsencr-compare classification/exit-code logic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/compare.hh"
+#include "common/json.hh"
+#include "common/metrics.hh"
+#include "common/report.hh"
+#include "common/stats.hh"
+#include "sim/system.hh"
+#include "workloads/pmemkv_bench.hh"
+#include "workloads/workload.hh"
+
+using namespace fsencr;
+
+// ---------------------------------------------------------------------
+// LabeledCounter
+// ---------------------------------------------------------------------
+
+TEST(LabeledCounter, CountsPerLabelAndInTotal)
+{
+    metrics::LabeledCounter c("ott.lookup", "set", 8);
+    c.add("3", 2);
+    c.add(static_cast<std::uint64_t>(3));
+    c.add("7", 5);
+    EXPECT_EQ(c.value("3"), 3u);
+    EXPECT_EQ(c.value("7"), 5u);
+    EXPECT_EQ(c.value("9"), 0u);
+    EXPECT_EQ(c.total(), 8u);
+    EXPECT_EQ(c.cardinality(), 2u);
+    EXPECT_EQ(c.evictions(), 0u);
+    EXPECT_EQ(c.otherValue(), 0u);
+}
+
+TEST(LabeledCounter, CapsCardinalityByFoldingLruIntoOther)
+{
+    metrics::LabeledCounter c("file.bytes", "file", 2);
+    c.add("a", 1);
+    c.add("b", 2);
+    c.add("c", 3); // "a" is least-recently-updated -> folded
+    EXPECT_EQ(c.cardinality(), 2u);
+    EXPECT_EQ(c.value("a"), 0u);
+    EXPECT_EQ(c.otherValue(), 1u);
+    EXPECT_EQ(c.evictions(), 1u);
+
+    c.add("b", 1); // refresh "b"; "c" becomes the LRU victim
+    c.add("d", 4);
+    EXPECT_EQ(c.value("b"), 3u);
+    EXPECT_EQ(c.value("c"), 0u);
+    EXPECT_EQ(c.value("d"), 4u);
+    EXPECT_EQ(c.otherValue(), 4u);
+    EXPECT_EQ(c.evictions(), 2u);
+
+    // The family total never loses a count to eviction.
+    EXPECT_EQ(c.total(), 11u);
+    EXPECT_EQ(c.value("b") + c.value("d") + c.otherValue(), c.total());
+}
+
+TEST(LabeledCounter, SortedIsDeterministicWithOtherLast)
+{
+    metrics::LabeledCounter c("m", "k", 2);
+    c.add("z", 1);
+    c.add("a", 2);
+    auto s = c.sorted();
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_EQ(s[0].first, "a");
+    EXPECT_EQ(s[1].first, "z");
+
+    c.add("q", 3); // evicts "z"
+    s = c.sorted();
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_EQ(s.back().first, metrics::otherLabel);
+    EXPECT_EQ(s.back().second, 1u);
+}
+
+TEST(Registry, CounterPointersAreStableAndShared)
+{
+    metrics::Registry reg;
+    metrics::LabeledCounter &a = reg.counter("merkle.verify", "level");
+    metrics::LabeledCounter &b = reg.counter("merkle.verify", "level");
+    EXPECT_EQ(&a, &b); // two components share one family
+    a.add(static_cast<std::uint64_t>(1));
+    EXPECT_EQ(b.total(), 1u);
+}
+
+TEST(Registry, SnapshotFlattensStatTreeAndFamilies)
+{
+    stats::StatGroup root("system");
+    stats::Scalar loads;
+    root.addScalar("loads", loads);
+    loads += 42;
+
+    metrics::Registry reg;
+    reg.setStatRoot(&root);
+    reg.counter("ott.lookup", "set").add("5", 7);
+
+    std::map<std::string, std::uint64_t> snap;
+    reg.snapshot(snap);
+    EXPECT_EQ(snap.at("system.loads"), 42u);
+    EXPECT_EQ(snap.at("ott.lookup{set=5}"), 7u);
+}
+
+// ---------------------------------------------------------------------
+// Sampler
+// ---------------------------------------------------------------------
+
+TEST(Sampler, IntervalDeltasTileTheRunExactly)
+{
+    stats::StatGroup root("sys");
+    stats::Scalar ctr;
+    root.addScalar("ctr", ctr);
+
+    metrics::Registry reg;
+    reg.setStatRoot(&root);
+    metrics::LabeledCounter &fam = reg.counter("fam", "k", 4);
+
+    metrics::Sampler s(reg, 100, 0);
+    ctr += 5;
+    s.onAdvance(50); // below the first boundary: no sample
+    EXPECT_TRUE(s.intervals().empty());
+
+    fam.add("a", 3);
+    s.onAdvance(120); // crosses 100 -> interval (0, 120]
+    ctr += 2;
+    s.onAdvance(180); // below 220: no sample
+    s.onAdvance(240); // interval (120, 240]
+    ctr += 1;
+    s.finish(250); // residual (240, 250]
+
+    const auto &ivs = s.intervals();
+    ASSERT_EQ(ivs.size(), 3u);
+
+    // Intervals tile the run with no gaps or overlap.
+    EXPECT_EQ(ivs[0].t0, 0u);
+    EXPECT_EQ(ivs[0].t1, 120u);
+    EXPECT_EQ(ivs[1].t0, 120u);
+    EXPECT_EQ(ivs[1].t1, 240u);
+    EXPECT_EQ(ivs[2].t0, 240u);
+    EXPECT_EQ(ivs[2].t1, 250u);
+
+    // Per-interval deltas reflect exactly what changed inside.
+    EXPECT_EQ(ivs[0].deltas.at("sys.ctr"), 5);
+    EXPECT_EQ(ivs[0].deltas.at("fam{k=a}"), 3);
+    EXPECT_EQ(ivs[1].deltas.at("sys.ctr"), 2);
+    EXPECT_EQ(ivs[1].deltas.count("fam{k=a}"), 0u);
+    EXPECT_EQ(ivs[2].deltas.at("sys.ctr"), 1);
+
+    // Sum of deltas == final aggregate (the exactness contract).
+    std::int64_t sum = 0;
+    for (const metrics::Interval &iv : ivs) {
+        auto it = iv.deltas.find("sys.ctr");
+        if (it != iv.deltas.end())
+            sum += it->second;
+    }
+    EXPECT_EQ(sum, static_cast<std::int64_t>(ctr.value()));
+}
+
+TEST(Sampler, FinishIsIdempotentAndDropsEmptyResidual)
+{
+    metrics::Registry reg;
+    reg.counter("fam", "k").add("x", 1);
+    metrics::Sampler s(reg, 10, 0);
+    s.finish(25);
+    ASSERT_EQ(s.intervals().size(), 1u);
+    s.finish(25); // zero-width, no change: must not add an interval
+    EXPECT_EQ(s.intervals().size(), 1u);
+}
+
+TEST(Sampler, EvictionRebalancePreservesFamilyTotal)
+{
+    metrics::Registry reg;
+    metrics::LabeledCounter &fam = reg.counter("f", "k", 2);
+    fam.add("a", 10);
+    fam.add("b", 20);
+
+    metrics::Sampler s(reg, 1, 0);
+    fam.add("c", 5); // folds "a" into __other__
+    s.finish(10);
+
+    const auto &ivs = s.intervals();
+    ASSERT_EQ(ivs.size(), 1u);
+    // "a" disappears (negative delta) and reappears under __other__;
+    // summing every delta in the family still gives exactly +5.
+    EXPECT_EQ(ivs[0].deltas.at("f{k=a}"), -10);
+    EXPECT_EQ(ivs[0].deltas.at("f{k=__other__}"), 10);
+    EXPECT_EQ(ivs[0].deltas.at("f{k=c}"), 5);
+    std::int64_t family_delta = 0;
+    for (const auto &[name, d] : ivs[0].deltas)
+        family_delta += d;
+    EXPECT_EQ(family_delta, 5);
+    EXPECT_EQ(fam.total(), 35u);
+}
+
+// ---------------------------------------------------------------------
+// Log2 histograms
+// ---------------------------------------------------------------------
+
+TEST(Log2Histogram, TailPercentileStaysNearTheRealTail)
+{
+    // Long-tail distribution: 99 fast samples, 1 slow one. A 16x64
+    // linear histogram tops out at 1024, so the slow sample lands in
+    // overflow and p99 gets interpolated toward max; log2 buckets keep
+    // it in a real bucket.
+    stats::Histogram h = stats::Histogram::log2Buckets();
+    for (int i = 0; i < 99; ++i)
+        h.sample(100);
+    h.sample(1000000);
+    EXPECT_EQ(h.overflow(), 0u);
+    double p50 = h.percentile(50.0);
+    EXPECT_GE(p50, 64.0);
+    EXPECT_LE(p50, 128.0); // 100 lives in [64, 128)
+    double p99 = h.percentile(99.0);
+    EXPECT_LE(p99, 2048.0); // far below the 1e6 outlier
+}
+
+TEST(Log2Histogram, ZeroHasItsOwnBucket)
+{
+    stats::Histogram h = stats::Histogram::log2Buckets(8);
+    h.sample(0);
+    h.sample(1);
+    h.sample(2);
+    h.sample(3);
+    const auto &b = h.buckets();
+    EXPECT_EQ(b[0], 1u); // {0}
+    EXPECT_EQ(b[1], 1u); // [1, 2)
+    EXPECT_EQ(b[2], 2u); // [2, 4)
+}
+
+// ---------------------------------------------------------------------
+// v2 report sections round-trip through the JSON parser
+// ---------------------------------------------------------------------
+
+TEST(ReportV2, TimeseriesAndMetricsSectionsParse)
+{
+    stats::StatGroup root("sys");
+    stats::Scalar ctr;
+    root.addScalar("ctr", ctr);
+
+    metrics::Registry reg;
+    reg.setStatRoot(&root);
+    metrics::LabeledCounter &fam = reg.counter("f", "k", 2);
+
+    metrics::Sampler s(reg, 100, 0);
+    ctr += 7;
+    fam.add("x", 3);
+    s.onAdvance(150);
+    ctr += 1;
+    s.finish(200);
+
+    std::ostringstream os;
+    report::JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", report::runReportSchema);
+    w.field("version", report::runReportVersion);
+    report::writeTimeseries(w, s);
+    report::writeMetricsSection(w, reg);
+    w.endObject();
+
+    json::Value doc;
+    ASSERT_TRUE(json::parse(os.str(), doc)) << os.str();
+    EXPECT_EQ(doc.find("version")->asU64(), 2u);
+
+    const json::Value *ts = doc.find("timeseries");
+    ASSERT_NE(ts, nullptr);
+    EXPECT_EQ(ts->find("interval")->asU64(), 100u);
+    EXPECT_EQ(ts->find("samples")->asU64(), 2u);
+    const json::Value &ivs = *ts->find("intervals");
+    ASSERT_TRUE(ivs.isArray());
+    ASSERT_EQ(ivs.array.size(), 2u);
+    EXPECT_EQ(ivs.array[0].find("t1")->asU64(), 150u);
+    EXPECT_EQ(
+        ivs.array[0].find("deltas")->find("sys.ctr")->asI64(), 7);
+    EXPECT_EQ(
+        ivs.array[1].find("deltas")->find("sys.ctr")->asI64(), 1);
+
+    const json::Value *m = doc.find("metrics");
+    ASSERT_NE(m, nullptr);
+    const json::Value *f = m->find("f");
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->find("label")->str, "k");
+    EXPECT_EQ(f->find("total")->asU64(), 3u);
+    EXPECT_EQ(f->find("values")->find("x")->asU64(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// System integration: sampling is observation-only and ticks-exact
+// ---------------------------------------------------------------------
+
+namespace {
+
+workloads::PmemkvConfig
+tinyKv()
+{
+    workloads::PmemkvConfig kv;
+    kv.op = workloads::PmemkvOp::FillRandom;
+    kv.numKeys = 256;
+    kv.numOps = 256;
+    kv.valueBytes = 64;
+    return kv;
+}
+
+} // namespace
+
+TEST(SystemMetrics, SamplingDoesNotPerturbTimingAndSumsExactly)
+{
+    SimConfig cfg;
+    cfg.scheme = Scheme::FsEncr;
+
+    workloads::WorkloadResult plain;
+    {
+        System sys(cfg);
+        workloads::PmemkvWorkload w(tinyKv());
+        plain = workloads::runWorkload(sys, w);
+    }
+
+    System sys(cfg);
+    metrics::Registry reg;
+    sys.setMetrics(&reg);
+    metrics::Sampler sampler(reg, 50000, sys.now());
+    sys.setSampler(&sampler);
+    workloads::PmemkvWorkload w(tinyKv());
+    workloads::WorkloadResult sampled = workloads::runWorkload(sys, w);
+    sampler.finish(sys.now());
+    sys.setSampler(nullptr);
+
+    // Observation-only: identical modeled results with sampling on.
+    EXPECT_EQ(sampled.ticks, plain.ticks);
+    EXPECT_EQ(sampled.nvmReads, plain.nvmReads);
+    EXPECT_EQ(sampled.nvmWrites, plain.nvmWrites);
+
+    // The probes fired.
+    EXPECT_GT(reg.counter("ott.lookup", "set").total(), 0u);
+    EXPECT_GT(reg.counter("metacache.access", "kind").total(), 0u);
+
+    // Interval deltas of every metric sum exactly to the final
+    // aggregate (initial snapshot was taken at t = 0 with all zeros).
+    std::map<std::string, std::int64_t> sums;
+    for (const metrics::Interval &iv : sampler.intervals())
+        for (const auto &[name, d] : iv.deltas)
+            sums[name] += d;
+    std::map<std::string, std::uint64_t> final_snap;
+    reg.snapshot(final_snap);
+    for (const auto &[name, v] : final_snap) {
+        auto it = sums.find(name);
+        std::int64_t summed = it == sums.end() ? 0 : it->second;
+        EXPECT_EQ(summed, static_cast<std::int64_t>(v)) << name;
+    }
+
+    // Intervals tile [0, end] contiguously.
+    const auto &ivs = sampler.intervals();
+    ASSERT_FALSE(ivs.empty());
+    for (std::size_t i = 1; i < ivs.size(); ++i)
+        EXPECT_EQ(ivs[i].t0, ivs[i - 1].t1);
+}
+
+// ---------------------------------------------------------------------
+// fsencr-compare classification and exit codes
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string
+runReportJson(std::uint64_t ticks, std::uint64_t reads,
+              std::uint64_t writes)
+{
+    std::ostringstream os;
+    os << "{\"schema\": \"fsencr-run-report\", \"version\": 2, "
+       << "\"config\": {\"scheme\": \"fsencr\", "
+       << "\"workload\": \"fillrandom\"}, "
+       << "\"result\": {\"ticks\": " << ticks << ", \"nvm_reads\": "
+       << reads << ", \"nvm_writes\": " << writes << "}}";
+    return os.str();
+}
+
+compare::Result
+compareStrings(const std::string &base, const std::string &cur,
+               const compare::Options &opt = {})
+{
+    json::Value b, c;
+    EXPECT_TRUE(json::parse(base, b));
+    EXPECT_TRUE(json::parse(cur, c));
+    return compare::compareReports(b, c, opt);
+}
+
+} // namespace
+
+TEST(Compare, IdenticalReportsAreCleanAtAnyThreshold)
+{
+    compare::Options strict;
+    strict.relTolerance = 0.0;
+    compare::Result r = compareStrings(runReportJson(1000, 10, 20),
+                                       runReportJson(1000, 10, 20),
+                                       strict);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.regressed, 0u);
+    EXPECT_EQ(r.unchanged, 3u);
+    EXPECT_EQ(compare::exitCodeFor(r), 0);
+}
+
+TEST(Compare, SlowdownBeyondThresholdRegresses)
+{
+    compare::Result r = compareStrings(runReportJson(1000, 10, 20),
+                                       runReportJson(1100, 10, 20));
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.regressed, 1u);
+    EXPECT_EQ(compare::exitCodeFor(r), 1);
+    ASSERT_FALSE(r.deltas.empty());
+    EXPECT_EQ(r.deltas[0].metric, "result.ticks");
+    EXPECT_EQ(r.deltas[0].status, compare::Status::Regressed);
+    EXPECT_DOUBLE_EQ(r.deltas[0].ratio, 1.1);
+}
+
+TEST(Compare, SpeedupClassifiesAsImprovedAndStillExitsClean)
+{
+    compare::Result r = compareStrings(runReportJson(1000, 10, 20),
+                                       runReportJson(800, 10, 20));
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.improved, 1u);
+    EXPECT_EQ(compare::exitCodeFor(r), 0);
+}
+
+TEST(Compare, WithinThresholdIsUnchanged)
+{
+    compare::Result r = compareStrings(runReportJson(1000, 10, 20),
+                                       runReportJson(1040, 10, 20));
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.regressed, 0u);
+    EXPECT_EQ(r.improved, 0u);
+    EXPECT_EQ(r.unchanged, 3u);
+}
+
+TEST(Compare, AbsoluteToleranceForgivesSmallCounts)
+{
+    // 10 -> 12 reads is +20% relative but only +2 absolute.
+    compare::Options opt;
+    opt.relTolerance = 0.05;
+    opt.absTolerance = 5.0;
+    compare::Result r = compareStrings(runReportJson(1000, 10, 20),
+                                       runReportJson(1000, 12, 20),
+                                       opt);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.regressed, 0u);
+}
+
+TEST(Compare, SchemaAndConfigMismatchesAreStructuralErrors)
+{
+    compare::Result r = compareStrings(
+        "{\"schema\": \"fsencr-run-report\", \"version\": 2}",
+        "{\"schema\": \"fsencr-bench-report\", \"version\": 2}");
+    EXPECT_FALSE(r.error.empty());
+    EXPECT_EQ(compare::exitCodeFor(r), 2);
+
+    // Same schema but different workloads: refuse to gate.
+    std::string other = runReportJson(1000, 10, 20);
+    std::string::size_type pos = other.find("fillrandom");
+    other.replace(pos, 10, "readrandom");
+    r = compareStrings(runReportJson(1000, 10, 20), other);
+    EXPECT_FALSE(r.error.empty());
+    EXPECT_EQ(compare::exitCodeFor(r), 2);
+}
+
+TEST(Compare, MetricMissingFromCurrentIsAnError)
+{
+    compare::Result r = compareStrings(
+        runReportJson(1000, 10, 20),
+        "{\"schema\": \"fsencr-run-report\", \"version\": 2, "
+        "\"config\": {\"scheme\": \"fsencr\", "
+        "\"workload\": \"fillrandom\"}, "
+        "\"result\": {\"ticks\": 1000}}");
+    EXPECT_FALSE(r.error.empty());
+    EXPECT_EQ(compare::exitCodeFor(r), 2);
+}
+
+TEST(Compare, OlderBaselineWithoutV2SectionsStillCompares)
+{
+    // A v1 baseline has no timeseries/latency sections; comparing
+    // against a v2 current must skip them, not error.
+    compare::Result r = compareStrings(
+        "{\"schema\": \"fsencr-run-report\", \"version\": 1, "
+        "\"result\": {\"ticks\": 1000, \"nvm_reads\": 10, "
+        "\"nvm_writes\": 20}}",
+        runReportJson(1000, 10, 20));
+    EXPECT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.unchanged, 3u);
+}
+
+TEST(Compare, BenchReportsGatePerCell)
+{
+    auto bench = [](std::uint64_t ticks) {
+        std::ostringstream os;
+        os << "{\"schema\": \"fsencr-bench-report\", \"version\": 2, "
+           << "\"rows\": [{\"name\": \"fillseq\", \"cells\": ["
+           << "{\"scheme\": \"fsencr\", \"ticks\": " << ticks
+           << ", \"nvm_reads\": 5, \"nvm_writes\": 6}]}]}";
+        return os.str();
+    };
+    compare::Result r = compareStrings(bench(1000), bench(1000));
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.unchanged, 3u);
+
+    r = compareStrings(bench(1000), bench(2000));
+    EXPECT_EQ(r.regressed, 1u);
+    EXPECT_EQ(r.deltas[0].metric, "bench.fillseq.fsencr.ticks");
+    EXPECT_EQ(compare::exitCodeFor(r), 1);
+}
+
+TEST(Compare, DuplicateRowNamesMatchByOccurrence)
+{
+    // Sweep-style benches emit several rows with one name; the k-th
+    // baseline row must gate against the k-th current row.
+    auto bench = [](std::uint64_t t1, std::uint64_t t2) {
+        std::ostringstream os;
+        os << "{\"schema\": \"fsencr-bench-report\", \"version\": 2, "
+           << "\"rows\": ["
+           << "{\"name\": \"sweep\", \"cells\": [{\"scheme\": "
+           << "\"fsencr\", \"ticks\": " << t1 << "}]}, "
+           << "{\"name\": \"sweep\", \"cells\": [{\"scheme\": "
+           << "\"fsencr\", \"ticks\": " << t2 << "}]}]}";
+        return os.str();
+    };
+    // Identical reports with distinct per-occurrence values: matching
+    // everything against the first row would flag a false regression.
+    compare::Result r = compareStrings(bench(100, 9000),
+                                       bench(100, 9000));
+    EXPECT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.unchanged, 2u);
+
+    // A slowdown in the second occurrence only is still caught.
+    r = compareStrings(bench(100, 9000), bench(100, 90000));
+    EXPECT_EQ(r.regressed, 1u);
+}
+
+TEST(Compare, CompareReportJsonIsVersionedAndParses)
+{
+    compare::Options opt;
+    compare::Result r = compareStrings(runReportJson(1000, 10, 20),
+                                       runReportJson(1100, 10, 20),
+                                       opt);
+    std::ostringstream os;
+    report::JsonWriter w(os);
+    compare::writeCompareReport(w, "base.json", "cur.json", opt, r);
+
+    json::Value doc;
+    ASSERT_TRUE(json::parse(os.str(), doc)) << os.str();
+    EXPECT_EQ(doc.find("schema")->str, report::compareReportSchema);
+    EXPECT_EQ(doc.find("version")->asU64(),
+              static_cast<std::uint64_t>(report::compareReportVersion));
+    EXPECT_EQ(doc.find("compared_schema")->str, "fsencr-run-report");
+    const json::Value *summary = doc.find("summary");
+    ASSERT_NE(summary, nullptr);
+    EXPECT_EQ(summary->find("ok")->boolean, false);
+    EXPECT_EQ(summary->find("regressed")->asU64(), 1u);
+    const json::Value *cmps = doc.find("comparisons");
+    ASSERT_TRUE(cmps && cmps->isArray());
+    EXPECT_EQ(cmps->array.size(), r.deltas.size());
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * fsencr-compare — regression gate over two machine-readable reports.
+ *
+ * Diffs a baseline fsencr-run-report or fsencr-bench-report against a
+ * current one, metric by metric, with configurable relative/absolute
+ * thresholds. The simulator is deterministic, so an identical-seed
+ * rerun compares exactly equal at any threshold; a non-zero exit means
+ * the model got slower (or the reports don't match structurally).
+ *
+ * Exit codes: 0 clean (no regressions), 1 at least one regression,
+ * 2 structural error (unreadable file, schema mismatch, missing rows).
+ *
+ * Examples:
+ *   fsencr-compare bench/baselines/REPORT_fillrandom-S.json now.json
+ *   fsencr-compare --rel 0.02 --report cmp.json base.json cur.json
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/compare.hh"
+#include "common/json.hh"
+#include "common/report.hh"
+
+using namespace fsencr;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options] BASELINE.json CURRENT.json\n"
+        "  --rel F        relative regression threshold (default 0.05)\n"
+        "  --abs F        absolute threshold in metric units (default 0)\n"
+        "  --report FILE  write a fsencr-compare-report JSON\n"
+        "  --quiet        summary line only, no per-metric listing\n"
+        "exit: 0 clean, 1 regression, 2 structural error\n",
+        argv0);
+}
+
+bool
+loadJson(const std::string &path, json::Value &out, std::string &err)
+{
+    std::ifstream is(path);
+    if (!is) {
+        err = "cannot open '" + path + "'";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    if (!json::parse(buf.str(), out)) {
+        err = "cannot parse '" + path + "' as JSON";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    compare::Options opt;
+    std::string report_out;
+    bool quiet = false;
+    std::string baseline_path, current_path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", a.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--rel") {
+            opt.relTolerance = std::strtod(next(), nullptr);
+        } else if (a == "--abs") {
+            opt.absTolerance = std::strtod(next(), nullptr);
+        } else if (a == "--report") {
+            report_out = next();
+        } else if (a == "--quiet") {
+            quiet = true;
+        } else if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!a.empty() && a[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            usage(argv[0]);
+            return 2;
+        } else if (baseline_path.empty()) {
+            baseline_path = a;
+        } else if (current_path.empty()) {
+            current_path = a;
+        } else {
+            std::fprintf(stderr, "too many positional arguments\n");
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (current_path.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    json::Value baseline, current;
+    std::string err;
+    compare::Result result;
+    if (!loadJson(baseline_path, baseline, err) ||
+        !loadJson(current_path, current, err)) {
+        std::fprintf(stderr, "fsencr-compare: %s\n", err.c_str());
+        result.error = err;
+    } else {
+        result = compare::compareReports(baseline, current, opt);
+    }
+
+    if (!quiet) {
+        for (const compare::Delta &d : result.deltas) {
+            if (d.status == compare::Status::Unchanged &&
+                d.baseline == d.current)
+                continue; // identical metrics are noise on a terminal
+            std::printf("%-10s %-40s %.6g -> %.6g (%+.2f%%)\n",
+                        compare::statusName(d.status), d.metric.c_str(),
+                        d.baseline, d.current,
+                        (d.ratio - 1.0) * 100.0);
+        }
+    }
+    std::printf("fsencr-compare: %u regressed, %u improved, "
+                "%u unchanged%s%s\n",
+                result.regressed, result.improved, result.unchanged,
+                result.error.empty() ? "" : " -- error: ",
+                result.error.c_str());
+
+    if (!report_out.empty()) {
+        std::ofstream os(report_out);
+        if (!os) {
+            std::fprintf(stderr, "cannot write report '%s'\n",
+                         report_out.c_str());
+            return 2;
+        }
+        report::JsonWriter w(os);
+        compare::writeCompareReport(w, baseline_path, current_path, opt,
+                                    result);
+    }
+    return compare::exitCodeFor(result);
+}

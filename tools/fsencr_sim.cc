@@ -22,6 +22,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/metrics.hh"
 #include "common/report.hh"
 #include "common/trace.hh"
 #include "cpu/mem_trace.hh"
@@ -53,6 +54,9 @@ struct Options
     std::string replayIn;
     std::string reportOut;      //!< --report FILE (run report JSON)
     std::string traceEventsOut; //!< --trace-events FILE (Chrome JSON)
+    Tick sampleInterval = 0;    //!< --sample-interval TICKS (0 = off)
+    std::string metricsCsv;     //!< --metrics-csv FILE (interval deltas)
+    std::string metricsProm;    //!< --metrics-prom FILE (text exposition)
 };
 
 using Factory =
@@ -168,6 +172,9 @@ usage(const char *argv0)
         "  --replay FILE                           replay MC trace\n"
         "  --report FILE                           machine-readable run report\n"
         "  --trace-events FILE                     Chrome trace_event JSON\n"
+        "  --sample-interval TICKS                 metrics time-series sampling\n"
+        "  --metrics-csv FILE                      interval deltas as CSV\n"
+        "  --metrics-prom FILE                     Prometheus text exposition\n"
         "  --list-workloads\n",
         argv0);
 }
@@ -215,6 +222,12 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.reportOut = next();
         } else if (a == "--trace-events") {
             opt.traceEventsOut = next();
+        } else if (a == "--sample-interval") {
+            opt.sampleInterval = std::strtoull(next(), nullptr, 0);
+        } else if (a == "--metrics-csv") {
+            opt.metricsCsv = next();
+        } else if (a == "--metrics-prom") {
+            opt.metricsProm = next();
         } else if (a == "--list-workloads") {
             opt.listWorkloads = true;
         } else if (a == "--help" || a == "-h") {
@@ -317,7 +330,9 @@ writeRunReport(const std::string &path, const char *mode,
                const Options &opt, const SimConfig &cfg,
                const WorkloadResult &r, const trace::Breakdown &attr,
                const std::string &latency_json,
-               const std::string &stats_json)
+               const std::string &stats_json,
+               const metrics::Sampler *sampler = nullptr,
+               const metrics::Registry *metrics = nullptr)
 {
     std::ofstream os(path);
     if (!os)
@@ -340,6 +355,11 @@ writeRunReport(const std::string &path, const char *mode,
     w.endObject();
     writeAttribution(w, attr);
     w.rawField("latency", latency_json);
+    // v2: optional timeseries + labeled-family sections (additive).
+    if (sampler)
+        report::writeTimeseries(w, *sampler);
+    if (metrics)
+        report::writeMetricsSection(w, *metrics);
     w.rawField("stats", stats_json);
     w.endObject();
     return os.good();
@@ -458,6 +478,12 @@ simMain(int argc, char **argv)
         return 1;
     }
 
+    if (!opt.metricsCsv.empty() && !opt.sampleInterval) {
+        std::fprintf(stderr,
+                     "--metrics-csv needs --sample-interval\n");
+        return 2;
+    }
+
     System sys(cfg);
     MemTrace mt;
     if (!opt.traceOut.empty())
@@ -468,8 +494,27 @@ simMain(int argc, char **argv)
         sys.setTracer(tracer.get());
     }
 
+    // Metrics: observation only — with all of these off, modeled time
+    // and NVM traffic are bit-identical to a build without metrics.
+    std::unique_ptr<metrics::Registry> metricsReg;
+    std::unique_ptr<metrics::Sampler> sampler;
+    if (opt.sampleInterval || !opt.metricsProm.empty()) {
+        metricsReg = std::make_unique<metrics::Registry>();
+        sys.setMetrics(metricsReg.get());
+        if (opt.sampleInterval) {
+            sampler = std::make_unique<metrics::Sampler>(
+                *metricsReg, opt.sampleInterval, sys.now());
+            sys.setSampler(sampler.get());
+        }
+    }
+
     auto workload = it->second(opt);
     WorkloadResult r = runWorkload(sys, *workload);
+
+    if (sampler) {
+        sampler->finish(sys.now());
+        sys.setSampler(nullptr);
+    }
 
     // --json owns stdout: the summary is part of the document.
     if (!opt.json) {
@@ -505,9 +550,30 @@ simMain(int argc, char **argv)
         if (!writeRunReport(opt.reportOut, "workload", opt, cfg, r,
                             sys.measuredAttribution(),
                             latencyJsonOf(sys.mc()),
-                            statsJsonOf(sys.statGroup()))) {
+                            statsJsonOf(sys.statGroup()),
+                            sampler.get(), metricsReg.get())) {
             std::fprintf(stderr, "cannot write report '%s'\n",
                          opt.reportOut.c_str());
+            return 1;
+        }
+    }
+    if (!opt.metricsCsv.empty()) {
+        std::ofstream os(opt.metricsCsv);
+        if (os)
+            metrics::writeCsv(os, *sampler);
+        if (!os.good()) {
+            std::fprintf(stderr, "cannot write metrics CSV '%s'\n",
+                         opt.metricsCsv.c_str());
+            return 1;
+        }
+    }
+    if (!opt.metricsProm.empty()) {
+        std::ofstream os(opt.metricsProm);
+        if (os)
+            metrics::writePrometheus(os, *metricsReg);
+        if (!os.good()) {
+            std::fprintf(stderr, "cannot write metrics dump '%s'\n",
+                         opt.metricsProm.c_str());
             return 1;
         }
     }
