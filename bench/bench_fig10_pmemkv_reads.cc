@@ -13,7 +13,8 @@ int
 main(int argc, char **argv)
 {
     auto rows = runPmemkvRows(quickMode(argc, argv),
-                              benchJobs(argc, argv));
+                              benchJobs(argc, argv),
+                              benchConfig(argc, argv));
     printFigure("Figure 10: Number of reads (normalized to baseline): "
                 "PMEMKV benchmarks",
                 rows, Metric::Reads, Scheme::BaselineSecurity,

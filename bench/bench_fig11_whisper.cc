@@ -20,7 +20,8 @@ main(int argc, char **argv)
     std::vector<Scheme> schemes = {
         Scheme::NoEncryption, Scheme::BaselineSecurity, Scheme::FsEncr,
         Scheme::SoftwareEncryption};
-    auto rows = runWhisperRows(quick, schemes, benchJobs(argc, argv));
+    auto rows = runWhisperRows(quick, schemes, benchJobs(argc, argv),
+                               benchConfig(argc, argv));
 
     std::vector<Scheme> bars = {Scheme::NoEncryption, Scheme::FsEncr};
     printFigure("Figure 11(a): Normalized slowdown: Whisper", rows,

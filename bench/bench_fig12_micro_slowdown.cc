@@ -17,7 +17,8 @@ int
 main(int argc, char **argv)
 {
     auto rows = runMicroRows(quickMode(argc, argv),
-                             benchJobs(argc, argv));
+                             benchJobs(argc, argv),
+                             benchConfig(argc, argv));
     printFigure("Figure 12: Slowdown (normalized to baseline): "
                 "synthetic micro-benchmarks",
                 rows, Metric::Slowdown, Scheme::BaselineSecurity,

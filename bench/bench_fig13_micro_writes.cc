@@ -13,7 +13,8 @@ int
 main(int argc, char **argv)
 {
     auto rows = runMicroRows(quickMode(argc, argv),
-                             benchJobs(argc, argv));
+                             benchJobs(argc, argv),
+                             benchConfig(argc, argv));
     printFigure("Figure 13: Number of writes (normalized to "
                 "baseline): synthetic micro-benchmarks",
                 rows, Metric::Writes, Scheme::BaselineSecurity,

@@ -13,7 +13,8 @@ int
 main(int argc, char **argv)
 {
     auto rows = runMicroRows(quickMode(argc, argv),
-                             benchJobs(argc, argv));
+                             benchJobs(argc, argv),
+                             benchConfig(argc, argv));
     printFigure("Figure 14: Number of reads (normalized to baseline): "
                 "synthetic micro-benchmarks",
                 rows, Metric::Reads, Scheme::BaselineSecurity,

@@ -18,7 +18,8 @@ main(int argc, char **argv)
     bool quick = quickMode(argc, argv);
     std::vector<Scheme> schemes = {Scheme::NoEncryption,
                                    Scheme::SoftwareEncryption};
-    auto rows = runWhisperRows(quick, schemes, benchJobs(argc, argv));
+    auto rows = runWhisperRows(quick, schemes, benchJobs(argc, argv),
+                               benchConfig(argc, argv));
 
     printFigure("Figure 3: Overheads of software encryption "
                 "(eCryptfs over ext4-dax)",

@@ -16,7 +16,8 @@ int
 main(int argc, char **argv)
 {
     auto rows = runPmemkvRows(quickMode(argc, argv),
-                              benchJobs(argc, argv));
+                              benchJobs(argc, argv),
+                              benchConfig(argc, argv));
     printFigure("Figure 8: Slowdown (normalized to baseline): "
                 "PMEMKV benchmarks",
                 rows, Metric::Slowdown, Scheme::BaselineSecurity,

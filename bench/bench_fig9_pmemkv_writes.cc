@@ -13,7 +13,8 @@ int
 main(int argc, char **argv)
 {
     auto rows = runPmemkvRows(quickMode(argc, argv),
-                              benchJobs(argc, argv));
+                              benchJobs(argc, argv),
+                              benchConfig(argc, argv));
     printFigure("Figure 9: Number of writes (normalized to baseline): "
                 "PMEMKV benchmarks",
                 rows, Metric::Writes, Scheme::BaselineSecurity,

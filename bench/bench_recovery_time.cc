@@ -35,7 +35,7 @@ crashAndRecover(SecParams::Recovery recovery, unsigned records)
     // One record per page: the metadata footprint (128B per page)
     // overflows the 512KB metadata cache beyond ~4K pages, which is
     // where the two recovery schemes diverge.
-    int fd = sys.creat(0, "/pmem/r", 0600, true, "pw");
+    int fd = sys.creat(0, "/pmem/r", 0600, OpenFlags::Encrypted, "pw");
     std::uint64_t bytes = (records + 1) * std::uint64_t(pageSize);
     sys.ftruncate(0, fd, bytes);
     Addr va = sys.mmapFile(0, fd, bytes);

@@ -10,6 +10,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/report.hh"
 
@@ -98,15 +99,39 @@ parseJobs(const char *s)
 unsigned
 benchJobs(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
-            return parseJobs(argv[i + 1]);
-        if (std::strncmp(argv[i], "--jobs=", 7) == 0)
-            return parseJobs(argv[i] + 7);
-    }
+    bool seen = false;
+    unsigned jobs = 1;
+    cli::Parser p;
+    p.custom("--jobs", "N",
+             "worker threads (0 = one per hardware thread)",
+             [&](const std::string &v) {
+                 seen = true;
+                 jobs = parseJobs(v.c_str());
+                 return true;
+             })
+        .ignoreUnknown();
+    p.parse(argc, argv);
+    if (seen)
+        return jobs;
     if (const char *env = std::getenv("FSENCR_BENCH_JOBS"))
         return parseJobs(env);
     return 1;
+}
+
+SimConfig
+benchConfig(int argc, char **argv)
+{
+    SimConfig cfg;
+    cli::Parser p;
+    p.optUnsigned("--mc-banks", "N",
+                  "controller issue width (1 = legacy serial model)",
+                  &cfg.pcm.mcBanks)
+        .optUnsigned("--mc-mshrs", "N",
+                     "outstanding-request registers (caps overlap)",
+                     &cfg.pcm.mcMshrs)
+        .ignoreUnknown();
+    p.parse(argc, argv);
+    return cfg;
 }
 
 std::vector<BenchRow>
@@ -161,6 +186,7 @@ runRows(const std::vector<RowSpec> &specs,
         cell.writeP50 = wh.percentile(50.0);
         cell.writeP95 = wh.percentile(95.0);
         cell.writeP99 = wh.percentile(99.0);
+        cell.mcOverlapTicks = sys.mc().overlapTicks();
         cells[t.row][t.scheme] = cell;
     };
 
@@ -210,9 +236,8 @@ writeBenchReport(const std::string &path)
         return false;
     }
     report::JsonWriter w(os);
-    w.beginObject();
-    w.field("schema", report::benchReportSchema);
-    w.field("version", report::benchReportVersion);
+    report::beginReport(w, report::benchReportSchema,
+                        report::benchReportVersion);
     w.beginArray("rows");
     for (const BenchRow &row : st.rows) {
         w.beginObject();
@@ -231,14 +256,9 @@ writeBenchReport(const std::string &path)
             w.field("write_p50", cell.writeP50);
             w.field("write_p95", cell.writeP95);
             w.field("write_p99", cell.writeP99);
-            w.beginObject("attribution");
-            w.field("total", cell.attribution.total());
-            w.beginObject("components");
-            for (unsigned c = 0; c < trace::NumComponents; ++c)
-                w.field(trace::componentName(c),
-                        cell.attribution.ticks[c]);
-            w.endObject();
-            w.endObject();
+            w.field("mc_overlap_ticks", cell.mcOverlapTicks);
+            report::writeBreakdown(w, "attribution",
+                                   cell.attribution);
             w.endObject();
         }
         w.endArray();

@@ -46,6 +46,10 @@ struct Cell
     /** Memory-request latency percentiles (ticks). */
     double readP50 = 0, readP95 = 0, readP99 = 0;
     double writeP50 = 0, writeP95 = 0, writeP99 = 0;
+
+    /** Serial-model ticks hidden by metadata-chain overlap; 0 in the
+     *  default single-issue (--mc-banks 1) configuration. */
+    std::uint64_t mcOverlapTicks = 0;
 };
 
 /** One row of a figure: a workload across schemes. */
@@ -76,6 +80,14 @@ double metricValue(const Cell &c, Metric m);
  * 1 (serial). N = 0 means "one per hardware thread".
  */
 unsigned benchJobs(int argc, char **argv);
+
+/**
+ * Configuration template for a bench run: `--mc-banks N` and
+ * `--mc-mshrs N` on the command line select the banked-timing issue
+ * width (defaults leave the legacy serial model in place, so every
+ * committed baseline is reproduced bit-identically without flags).
+ */
+SimConfig benchConfig(int argc, char **argv);
 
 /**
  * Run every (row, scheme) cell, fanning cells across `jobs` worker

@@ -9,10 +9,10 @@
 #ifndef FSENCR_BENCH_SUITES_HH
 #define FSENCR_BENCH_SUITES_HH
 
-#include <cstring>
 #include <vector>
 
 #include "bench/harness.hh"
+#include "common/cli.hh"
 #include "workloads/dax_micro.hh"
 #include "workloads/pmemkv_bench.hh"
 #include "workloads/whisper_bench.hh"
@@ -24,10 +24,12 @@ namespace bench {
 inline bool
 quickMode(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i)
-        if (std::strcmp(argv[i], "--quick") == 0)
-            return true;
-    return false;
+    bool quick = false;
+    cli::Parser p;
+    p.flag("--quick", "shrink workload sizes for smoke runs", &quick)
+        .ignoreUnknown();
+    p.parse(argc, argv);
+    return quick;
 }
 
 /** The three schemes Figures 8-14 compare. */
@@ -40,7 +42,8 @@ paperSchemes()
 
 /** Run the PMEMKV suite (Figures 8-10 share these rows). */
 inline std::vector<BenchRow>
-runPmemkvRows(bool quick, unsigned jobs = 1)
+runPmemkvRows(bool quick, unsigned jobs = 1,
+              const SimConfig &base_cfg = SimConfig{})
 {
     std::uint64_t small_keys = quick ? 4096 : 32768;
     std::uint64_t large_keys = quick ? 256 : 2048;
@@ -53,13 +56,14 @@ runPmemkvRows(bool quick, unsigned jobs = 1)
                                  workloads::PmemkvWorkload>(cfg);
                          }});
     }
-    return runRows(specs, paperSchemes(), SimConfig{}, jobs);
+    return runRows(specs, paperSchemes(), base_cfg, jobs);
 }
 
 /** Run the Whisper suite (Figure 11 and Figure 3 share these). */
 inline std::vector<BenchRow>
 runWhisperRows(bool quick, const std::vector<Scheme> &schemes,
-               unsigned jobs = 1)
+               unsigned jobs = 1,
+               const SimConfig &base_cfg = SimConfig{})
 {
     std::uint64_t keys = quick ? 4096 : 32768;
     std::vector<RowSpec> specs;
@@ -70,12 +74,13 @@ runWhisperRows(bool quick, const std::vector<Scheme> &schemes,
                                  workloads::WhisperWorkload>(cfg);
                          }});
     }
-    return runRows(specs, schemes, SimConfig{}, jobs);
+    return runRows(specs, schemes, base_cfg, jobs);
 }
 
 /** Run the DAX micro suite (Figures 12-14 share these rows). */
 inline std::vector<BenchRow>
-runMicroRows(bool quick, unsigned jobs = 1)
+runMicroRows(bool quick, unsigned jobs = 1,
+             const SimConfig &base_cfg = SimConfig{})
 {
     std::vector<RowSpec> specs;
     for (auto cfg : workloads::daxMicroSuite()) {
@@ -91,7 +96,7 @@ runMicroRows(bool quick, unsigned jobs = 1)
                                  workloads::DaxMicroWorkload>(cfg);
                          }});
     }
-    return runRows(specs, paperSchemes(), SimConfig{}, jobs);
+    return runRows(specs, paperSchemes(), base_cfg, jobs);
 }
 
 } // namespace bench

@@ -40,7 +40,7 @@ main()
     std::uint32_t pid = sys.createProcess(1000);
     sys.runOnCore(0, pid);
 
-    int fd = sys.creat(0, "/pmem/audit.log", 0600, true, "logger-pw");
+    int fd = sys.creat(0, "/pmem/audit.log", 0600, OpenFlags::Encrypted, "logger-pw");
     sys.ftruncate(0, fd, 1 << 20);
     Addr base = sys.mmapFile(0, fd, 1 << 20);
 

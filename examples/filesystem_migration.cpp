@@ -31,7 +31,7 @@ main()
     std::uint32_t pid = old_machine.createProcess(1000);
     old_machine.runOnCore(0, pid);
 
-    int fd = old_machine.creat(0, "/pmem/research.db", 0600, true,
+    int fd = old_machine.creat(0, "/pmem/research.db", 0600, OpenFlags::Encrypted,
                                "alice-pw");
     const char data[] = "five years of experiments";
     old_machine.fileWrite(0, fd, 0, data, sizeof(data));
@@ -58,7 +58,7 @@ main()
     std::uint32_t npid = new_machine.createProcess(1000);
     new_machine.runOnCore(0, npid);
 
-    int nfd = new_machine.open(0, "/pmem/research.db", false,
+    int nfd = new_machine.open(0, "/pmem/research.db", OpenFlags::None,
                                "alice-pw");
     char back[sizeof(data)] = {};
     new_machine.fileRead(0, nfd, 0, back, sizeof(back));
@@ -69,7 +69,7 @@ main()
     new_machine.addUser("carol", 2000, 200, "carol-pw");
     std::uint32_t cpid = new_machine.createProcess(2000);
     new_machine.runOnCore(1, cpid);
-    int cfd = new_machine.open(1, "/pmem/research.db", false,
+    int cfd = new_machine.open(1, "/pmem/research.db", OpenFlags::None,
                                "carol-pw");
     std::printf("[new] carol without the passphrase: %s\n",
                 cfd < 0 ? "denied" : "let in!?");

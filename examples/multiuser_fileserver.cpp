@@ -38,7 +38,7 @@ main()
 
     // --- Alice stores payroll data in an encrypted file. ---
     sys.runOnCore(0, alice);
-    int fd = sys.creat(0, "/pmem/payroll.dat", 0600, true, "alice-pw");
+    int fd = sys.creat(0, "/pmem/payroll.dat", 0600, OpenFlags::Encrypted, "alice-pw");
     const char payroll[] = "alice:250000;bob:120000";
     sys.fileWrite(0, fd, 0, payroll, sizeof(payroll));
     sys.fsync(0, fd); // durable before the lights go out
@@ -50,7 +50,7 @@ main()
     std::printf("[oops ] a misconfigured script ran chmod 777\n");
 
     sys.runOnCore(1, eve);
-    int efd = sys.open(1, "/pmem/payroll.dat", false, "eve-pw");
+    int efd = sys.open(1, "/pmem/payroll.dat", OpenFlags::None, "eve-pw");
     std::printf("[eve  ] open with own passphrase: %s\n",
                 efd < 0 ? "DENIED (FEK check failed)" : "GRANTED!?");
 
@@ -77,7 +77,7 @@ main()
     // --- Legitimate reboot: alice's data is intact. ---
     sys.bootLogin("server-admin-pw");
     sys.runOnCore(0, alice);
-    int afd = sys.open(0, "/pmem/payroll.dat", false, "alice-pw");
+    int afd = sys.open(0, "/pmem/payroll.dat", OpenFlags::None, "alice-pw");
     char back[sizeof(payroll)] = {};
     sys.fileRead(0, afd, 0, back, sizeof(back));
     std::printf("[alice] after honest reboot reads: \"%s\"\n", back);

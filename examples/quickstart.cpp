@@ -37,7 +37,7 @@ main()
 
     // 4. Create an encrypted file on the DAX filesystem, size it, and
     //    map it straight into the address space — no page cache.
-    int fd = sys.creat(0, "/pmem/notes.db", 0600, /*encrypted=*/true,
+    int fd = sys.creat(0, "/pmem/notes.db", 0600, OpenFlags::Encrypted,
                        "alices-passphrase");
     sys.ftruncate(0, fd, 1 << 20);
     Addr va = sys.mmapFile(0, fd, 1 << 20);

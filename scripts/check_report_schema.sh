@@ -12,7 +12,11 @@
 #  5. diff the report against itself with fsencr-compare (must exit 0)
 #     and validate the fsencr-compare-report v1 it writes,
 #  6. run a seeded fsencr-crashtest sweep (one run per fault class)
-#     and validate it against schema fsencr-crashtest-report v1.
+#     and validate it against schema fsencr-crashtest-report v1,
+#  7. rerun the workload with --mc-banks 4 and validate the banked
+#     metrics families: mc.overlap with read/write labels, the
+#     per-bank mc.bank_busy occupancy family, and a nonzero
+#     overlapTicks stat.
 #
 # Usage: scripts/check_report_schema.sh [build-dir]
 # Exit 0 on success; registered as a ctest test.
@@ -202,4 +206,46 @@ assert summ["runs"] == len(runs) and summ["failed"] == 0, summ
 
 print("crashtest schema OK: %d runs, classes %s"
       % (summ["runs"], ",".join(sorted(classes))))
+EOF
+
+# Banked timing: the same workload with --mc-banks 4 must report the
+# overlap and per-bank occupancy metric families, and its config must
+# record the banked knobs.
+"$sim" --scheme fsencr --workload fillrandom-S --ops 2000 --keys 2000 \
+       --mc-banks 4 --mc-mshrs 8 --report "$tmp/banked.json" \
+       --sample-interval 1000000 --metrics-prom "$tmp/banked.prom" \
+       > "$tmp/banked-stdout.txt"
+
+"$python3_bin" - "$tmp/banked.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+cfg = doc["config"]
+assert cfg["mc_banks"] == 4 and cfg["mc_mshrs"] == 8, cfg
+
+# Attribution stays tick-exact with overlapping chains.
+attr = doc["attribution"]
+assert sum(attr["components"].values()) == attr["total"]
+assert attr["total"] == doc["result"]["ticks"]
+
+# The overlap family: serial ticks hidden per op kind, total == the
+# controller's overlapTicks stat, and something actually overlapped.
+fams = doc["metrics"]
+overlap = fams["mc.overlap"]
+assert overlap["label"] == "op", overlap
+assert set(overlap["values"]) <= {"read", "write", "__other__"}
+stats_overlap = doc["stats"]["mc"]["overlapTicks"]
+assert overlap["total"] == stats_overlap > 0, (overlap, stats_overlap)
+
+# The per-bank occupancy family: one label per device bank, busy
+# ticks summing to the device's bankBusyTicks stat.
+busy = fams["mc.bank_busy"]
+assert busy["label"] == "bank", busy
+assert busy["total"] == doc["stats"]["nvm"]["bankBusyTicks"]
+assert busy["total"] > 0 and len(busy["values"]) > 1, busy
+
+print("banked schema OK: %d overlap ticks over %d banks"
+      % (overlap["total"], len(busy["values"])))
 EOF

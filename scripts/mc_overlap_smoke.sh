@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Smoke-test the banked timing model end to end:
+#
+#  1. run the Figure 14 DAX-read bench with --mc-banks 4: every FsEncr
+#     cell must report mc_overlap_ticks > 0 (metadata chains actually
+#     overlapped) and every no-encryption cell 0 (nothing to overlap),
+#  2. rerun with a different --jobs count: the banked model is
+#     deterministic, so the bench report must be byte-identical,
+#  3. rerun without banked flags and diff against a --mc-banks 1 run:
+#     the explicit single-bank model is the default model, byte for
+#     byte.
+#
+# Usage: scripts/mc_overlap_smoke.sh [build-dir]
+# Exit 0 on success; registered as a ctest test.
+set -eu
+
+build_dir="${1:-$(dirname "$0")/../build}"
+bench="$build_dir/bench/bench_fig14_micro_reads"
+[ -x "$bench" ] || { echo "missing $bench (build first)"; exit 1; }
+
+python3_bin="$(command -v python3 || true)"
+[ -n "$python3_bin" ] || { echo "python3 not found; skipping"; exit 0; }
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+FSENCR_BENCH_REPORT="$tmp/banked_j2.json" \
+    "$bench" --quick --mc-banks 4 --jobs 2 > /dev/null 2>&1
+FSENCR_BENCH_REPORT="$tmp/banked_j1.json" \
+    "$bench" --quick --mc-banks 4 --jobs 1 > /dev/null 2>&1
+FSENCR_BENCH_REPORT="$tmp/default.json" \
+    "$bench" --quick > /dev/null 2>&1
+FSENCR_BENCH_REPORT="$tmp/banks1.json" \
+    "$bench" --quick --mc-banks 1 > /dev/null 2>&1
+
+"$python3_bin" - "$tmp/banked_j2.json" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "fsencr-bench-report", doc["schema"]
+
+checked = 0
+for row in doc["rows"]:
+    for cell in row["cells"]:
+        overlap = cell["mc_overlap_ticks"]
+        if cell["scheme"] == "fsencr":
+            assert overlap > 0, \
+                f'{row["name"]}/fsencr: expected overlap, got 0'
+        elif cell["scheme"] == "none":
+            assert overlap == 0, \
+                f'{row["name"]}/none: unexpected overlap {overlap}'
+        checked += 1
+assert checked, "empty bench report"
+print(f"ok: overlap reported across {checked} banked cells")
+EOF
+
+cmp "$tmp/banked_j2.json" "$tmp/banked_j1.json" || {
+    echo "FAIL: banked report differs across --jobs counts"
+    exit 1
+}
+echo "ok: banked report byte-identical at --jobs 1 and --jobs 2"
+
+cmp "$tmp/default.json" "$tmp/banks1.json" || {
+    echo "FAIL: --mc-banks 1 is not the default model"
+    exit 1
+}
+echo "ok: --mc-banks 1 report byte-identical to the default"
+
+echo "mc_overlap_smoke: all checks passed"

@@ -86,6 +86,36 @@ EOF
     echo | tee -a "$out"
 done
 
+# Banked-timing configurations: the pmemkv and DAX-micro suites again
+# with a 4-way issue width. Gated against their own committed
+# baselines (REPORT_<bench>_banks4.json) — the default runs above stay
+# on the legacy serial model and its baselines, bit-identical.
+banked_benches=(
+    bench_fig8_pmemkv_slowdown
+    bench_fig9_pmemkv_writes
+    bench_fig10_pmemkv_reads
+    bench_fig12_micro_slowdown
+    bench_fig14_micro_reads
+)
+
+for b in "${banked_benches[@]}"; do
+    echo "=== $b (--mc-banks 4) ===" | tee -a "$out"
+    report="$report_dir/REPORT_${b}_banks4.json"
+    FSENCR_BENCH_REPORT="$report" \
+        "$build_dir/bench/$b" $quick --mc-banks 4 2>/dev/null \
+        | tee -a "$out"
+    baseline="$baseline_dir/REPORT_${b}_banks4.json"
+    if [ "$check_baselines" = 1 ] && [ -s "$report" ] &&
+       [ -s "$baseline" ] && [ -x "$compare" ]; then
+        if ! "$compare" --quiet "$baseline" "$report" | tee -a "$out"
+        then
+            echo "REGRESSION: $b (banked) vs $baseline" | tee -a "$out"
+            regressions=$((regressions + 1))
+        fi
+    fi
+    echo | tee -a "$out"
+done
+
 echo "=== bench_primitives ===" | tee -a "$out"
 "$build_dir/bench/bench_primitives" \
     --benchmark_min_time=0.05s 2>/dev/null | tee -a "$out"

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Shared command-line options parser for the tools and benches.
+ *
+ * One flag-spec table per program replaces the hand-rolled argv loops:
+ * register typed flags (string / integer / double / boolean / custom),
+ * optionally positionals, then parse(). Both `--flag value` and
+ * `--flag=value` forms are accepted, `--help`/`-h` prints the
+ * auto-generated usage and exits 0, and errors follow the historical
+ * tool conventions: "unknown option '%s'" / "%s needs a value" on
+ * stderr and exit code 2.
+ *
+ * Benches run in tolerant mode (ignoreUnknown()): several independent
+ * scanners (jobs, quick, banked-timing knobs) share one argv, so a
+ * flag unknown to this parser is somebody else's.
+ */
+
+#ifndef FSENCR_COMMON_CLI_HH
+#define FSENCR_COMMON_CLI_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fsencr {
+namespace cli {
+
+/** A spec-table options parser; see the file comment. */
+class Parser
+{
+  public:
+    /** @param summary one-line description appended to "usage:". */
+    explicit Parser(std::string summary = "[options]")
+        : summary_(std::move(summary))
+    {}
+
+    /// @name Flag registration (the spec table)
+    /// @{
+
+    /** Boolean switch: presence sets *out to true. */
+    Parser &
+    flag(const std::string &name, const std::string &help, bool *out)
+    {
+        specs_.push_back({name, "", help, [out](const std::string &) {
+                              *out = true;
+                              return true;
+                          }});
+        return *this;
+    }
+
+    /** String-valued option. */
+    Parser &
+    opt(const std::string &name, const std::string &value_name,
+        const std::string &help, std::string *out)
+    {
+        specs_.push_back({name, value_name, help,
+                          [out](const std::string &v) {
+                              *out = v;
+                              return true;
+                          }});
+        return *this;
+    }
+
+    /** Unsigned 64-bit option (base auto-detected, like strtoull). */
+    Parser &
+    optU64(const std::string &name, const std::string &value_name,
+           const std::string &help, std::uint64_t *out)
+    {
+        specs_.push_back({name, value_name, help,
+                          [out](const std::string &v) {
+                              *out = std::strtoull(v.c_str(), nullptr,
+                                                   0);
+                              return true;
+                          }});
+        return *this;
+    }
+
+    /** Unsigned option (base auto-detected, like strtoul). */
+    Parser &
+    optUnsigned(const std::string &name, const std::string &value_name,
+                const std::string &help, unsigned *out)
+    {
+        specs_.push_back({name, value_name, help,
+                          [out](const std::string &v) {
+                              *out = static_cast<unsigned>(
+                                  std::strtoul(v.c_str(), nullptr, 0));
+                              return true;
+                          }});
+        return *this;
+    }
+
+    /** size_t option (base auto-detected). */
+    Parser &
+    optSize(const std::string &name, const std::string &value_name,
+            const std::string &help, std::size_t *out)
+    {
+        specs_.push_back({name, value_name, help,
+                          [out](const std::string &v) {
+                              *out = static_cast<std::size_t>(
+                                  std::strtoull(v.c_str(), nullptr,
+                                                0));
+                              return true;
+                          }});
+        return *this;
+    }
+
+    /** Floating-point option (strtod). */
+    Parser &
+    optDouble(const std::string &name, const std::string &value_name,
+              const std::string &help, double *out)
+    {
+        specs_.push_back({name, value_name, help,
+                          [out](const std::string &v) {
+                              *out = std::strtod(v.c_str(), nullptr);
+                              return true;
+                          }});
+        return *this;
+    }
+
+    /**
+     * Custom-parsed option. The setter returns false to reject the
+     * value; parse() then fails with exit code 2 after the setter has
+     * printed its own diagnostic.
+     */
+    Parser &
+    custom(const std::string &name, const std::string &value_name,
+           const std::string &help,
+           std::function<bool(const std::string &)> set)
+    {
+        specs_.push_back({name, value_name, help, std::move(set)});
+        return *this;
+    }
+
+    /** Positional argument, filled in registration order. */
+    Parser &
+    positional(const std::string &value_name, std::string *out)
+    {
+        positionals_.push_back({value_name, out});
+        return *this;
+    }
+
+    /** Extra lines printed after the flag list in usage(). */
+    Parser &
+    epilogue(const std::string &text)
+    {
+        epilogue_ = text;
+        return *this;
+    }
+
+    /** Tolerant mode: unknown flags are silently skipped and a flag
+     *  missing its value is ignored rather than fatal (bench argv is
+     *  shared between independent scanners). */
+    Parser &
+    ignoreUnknown()
+    {
+        ignoreUnknown_ = true;
+        return *this;
+    }
+
+    /// @}
+
+    /** Auto-generated usage text. */
+    void
+    usage(std::FILE *os, const char *argv0) const
+    {
+        std::string synopsis = summary_;
+        for (const Positional &p : positionals_)
+            synopsis += " " + p.valueName;
+        std::fprintf(os, "usage: %s %s\n", argv0, synopsis.c_str());
+        std::size_t width = 0;
+        for (const Spec &s : specs_) {
+            std::size_t w = s.name.size() +
+                            (s.valueName.empty()
+                                 ? 0
+                                 : s.valueName.size() + 1);
+            width = std::max(width, w);
+        }
+        for (const Spec &s : specs_) {
+            std::string left = s.name;
+            if (!s.valueName.empty())
+                left += " " + s.valueName;
+            std::fprintf(os, "  %-*s  %s\n",
+                         static_cast<int>(width), left.c_str(),
+                         s.help.c_str());
+        }
+        if (!epilogue_.empty())
+            std::fprintf(os, "%s\n", epilogue_.c_str());
+    }
+
+    /**
+     * Parse argv against the spec table.
+     *
+     * @return 0 on success, 2 on a usage error (diagnostic already
+     *         printed); --help prints usage and exits 0
+     */
+    int
+    parse(int argc, char **argv)
+    {
+        std::size_t pos = 0;
+        for (int i = 1; i < argc; ++i) {
+            std::string a = argv[i];
+            if (a == "--help" || a == "-h") {
+                usage(stdout, argv[0]);
+                std::exit(0);
+            }
+
+            std::string name = a, inline_value;
+            bool have_inline = false;
+            auto eq = a.find('=');
+            if (a.size() > 2 && a[0] == '-' &&
+                eq != std::string::npos) {
+                name = a.substr(0, eq);
+                inline_value = a.substr(eq + 1);
+                have_inline = true;
+            }
+
+            const Spec *spec = nullptr;
+            for (const Spec &s : specs_)
+                if (s.name == name) {
+                    spec = &s;
+                    break;
+                }
+
+            if (spec) {
+                std::string value;
+                if (spec->valueName.empty()) {
+                    // Boolean switch; an inline value is nonsense.
+                    if (have_inline) {
+                        if (ignoreUnknown_)
+                            continue;
+                        std::fprintf(stderr,
+                                     "%s takes no value\n",
+                                     name.c_str());
+                        return 2;
+                    }
+                } else if (have_inline) {
+                    value = inline_value;
+                } else if (i + 1 < argc) {
+                    value = argv[++i];
+                } else {
+                    if (ignoreUnknown_)
+                        continue;
+                    std::fprintf(stderr, "%s needs a value\n",
+                                 a.c_str());
+                    std::exit(2);
+                }
+                if (!spec->set(value))
+                    return 2;
+            } else if (!positionals_.empty() &&
+                       (a.empty() || a[0] != '-')) {
+                if (pos >= positionals_.size()) {
+                    std::fprintf(stderr,
+                                 "too many positional arguments\n");
+                    usage(stdout, argv[0]);
+                    return 2;
+                }
+                *positionals_[pos++].out = a;
+            } else {
+                if (ignoreUnknown_)
+                    continue;
+                std::fprintf(stderr, "unknown option '%s'\n",
+                             a.c_str());
+                usage(stdout, argv[0]);
+                return 2;
+            }
+        }
+        return 0;
+    }
+
+  private:
+    struct Spec
+    {
+        std::string name;
+        std::string valueName; //!< empty = boolean switch
+        std::string help;
+        std::function<bool(const std::string &)> set;
+    };
+
+    struct Positional
+    {
+        std::string valueName;
+        std::string *out;
+    };
+
+    std::string summary_;
+    std::string epilogue_;
+    std::vector<Spec> specs_;
+    std::vector<Positional> positionals_;
+    bool ignoreUnknown_ = false;
+};
+
+} // namespace cli
+} // namespace fsencr
+
+#endif // FSENCR_COMMON_CLI_HH

@@ -323,9 +323,8 @@ writeCompareReport(report::JsonWriter &w,
                    const std::string &current_path, const Options &opt,
                    const Result &r)
 {
-    w.beginObject();
-    w.field("schema", report::compareReportSchema);
-    w.field("version", report::compareReportVersion);
+    report::beginReport(w, report::compareReportSchema,
+                        report::compareReportVersion);
     w.field("baseline", baseline_path);
     w.field("current", current_path);
     w.field("compared_schema", r.schema);

@@ -70,6 +70,18 @@ struct PcmParams
     /** Write-pending-queue depth: accepts stall when this many writes
      *  are outstanding (ADR durability = WPQ accept). */
     unsigned writeQueueDepth = 64;
+    /**
+     * Controller issue width over the banked device: how many
+     * independent request chains the secure memory controller may
+     * have in flight at once. 1 (the default) is the legacy strictly
+     * serial model and is bit-identical to the pre-banked simulator;
+     * >1 lets independent metadata chains (MECB vs. FECB walks)
+     * overlap across device banks.
+     */
+    unsigned mcBanks = 1;
+    /** MSHR count: outstanding-request registers backing the issue
+     *  width. The effective overlap width is min(mcBanks, mcMshrs). */
+    unsigned mcMshrs = 8;
 };
 
 /** Encryption-related parameters (Table III, Section III). */

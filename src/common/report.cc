@@ -4,6 +4,7 @@
 
 #include "common/metrics.hh"
 #include "common/stats.hh"
+#include "common/trace.hh"
 
 namespace fsencr {
 namespace report {
@@ -198,6 +199,27 @@ JsonWriter::rawField(const std::string &k, const std::string &jsonText)
 {
     key(k);
     os_ << jsonText;
+}
+
+void
+beginReport(JsonWriter &w, const char *schema, int version)
+{
+    w.beginObject();
+    w.field("schema", schema);
+    w.field("version", version);
+}
+
+void
+writeBreakdown(JsonWriter &w, const std::string &key,
+               const trace::Breakdown &bd)
+{
+    w.beginObject(key);
+    w.field("total", bd.total());
+    w.beginObject("components");
+    for (unsigned c = 0; c < trace::NumComponents; ++c)
+        w.field(trace::componentName(c), bd.ticks[c]);
+    w.endObject();
+    w.endObject();
 }
 
 void

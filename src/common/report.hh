@@ -28,6 +28,7 @@ namespace fsencr {
 
 namespace stats { class Histogram; }
 namespace metrics { class Registry; class Sampler; }
+namespace trace { struct Breakdown; }
 
 namespace report {
 
@@ -95,6 +96,23 @@ class JsonWriter
     /** One entry per open scope: has it emitted a member yet? */
     std::vector<bool> any_{};
 };
+
+/**
+ * Open the root object of a versioned report and emit its envelope
+ * (`schema` + `version`). Every report kind — run, bench, crashtest,
+ * compare — starts through here, so the envelope layout and the
+ * version constants above stay in one place. The caller still owns
+ * the matching endObject().
+ */
+void beginReport(JsonWriter &w, const char *schema, int version);
+
+/**
+ * Emit a cycle-attribution object under @p key: the exact total plus
+ * one member per trace component (zeros included — consumers diff
+ * component-wise). Shared by the run report and each bench cell.
+ */
+void writeBreakdown(JsonWriter &w, const std::string &key,
+                    const trace::Breakdown &bd);
 
 /**
  * Emit the standard histogram summary object:

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Completion record of one submitted memory request.
+ *
+ * The submit/complete surface replaces "return a latency scalar":
+ * NvmDevice::submit() and SecureMemoryController::submit() hand back
+ * a Completion carrying the request id, start/finish ticks and the
+ * per-hop cycle breakdown, so callers (System, the bench harness,
+ * Osiris recovery, tracers) can introspect where the time went
+ * without poking controller internals after the fact.
+ */
+
+#ifndef FSENCR_MEM_COMPLETION_HH
+#define FSENCR_MEM_COMPLETION_HH
+
+#include <cstdint>
+
+#include "common/trace.hh"
+#include "common/types.hh"
+
+namespace fsencr {
+
+/** What came back for one submitted MemRequest. */
+struct Completion
+{
+    /** Monotonic per-submitter request id (1-based; 0 = invalid). */
+    std::uint64_t id = 0;
+    /** When the request was submitted. */
+    Tick start = 0;
+    /** When it finished (start + latency). */
+    Tick finish = 0;
+    /** Device bank the line mapped to (device completions only). */
+    unsigned bank = 0;
+    /** Row-buffer hit in that bank (device completions only). */
+    bool rowHit = false;
+    /** Per-component attribution; sums exactly to latency(). */
+    trace::Breakdown breakdown;
+
+    Tick latency() const { return finish - start; }
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_MEM_COMPLETION_HH

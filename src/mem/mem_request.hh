@@ -26,6 +26,15 @@ struct MemRequest
     bool isWrite = false; //!< store/writeback vs load/fill
     TrafficClass cls = TrafficClass::Data;
 
+    /** Controller-level submit payloads (ignored by the raw device
+     *  timing path, which is functional-free). */
+    /// 64B plaintext to store (writes; may be null for timing-only).
+    const std::uint8_t *writeData = nullptr;
+    /// If non-null, receives the decrypted 64B line (reads).
+    std::uint8_t *readData = nullptr;
+    /// Persist-ordered write (clwb+fence) vs. background writeback.
+    bool blocking = false;
+
     /** Device address (DF-bit stripped, line aligned). */
     Addr
     lineAddr() const

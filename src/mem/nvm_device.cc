@@ -4,6 +4,7 @@
 
 #include "common/bitfield.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "fault/fault_injector.hh"
 
 namespace fsencr {
@@ -26,6 +27,8 @@ NvmDevice::NvmDevice(const PcmParams &params)
     statGroup_.addScalar("writes", writes_);
     statGroup_.addScalar("rowHits", rowHits_);
     statGroup_.addScalar("rowMisses", rowMisses_);
+    statGroup_.addScalar("bankBusyTicks", bankBusyTicks_);
+    statGroup_.addScalar("bankWaitTicks", bankWaitTicks_);
     statGroup_.addScalar("dataReads", classReads_[0]);
     statGroup_.addScalar("metaReads", classReads_[1]);
     statGroup_.addScalar("merkleReads", classReads_[2]);
@@ -60,8 +63,8 @@ NvmDevice::decode(Addr addr, unsigned &bank, std::uint64_t &row) const
            bank_in_rank;
 }
 
-Tick
-NvmDevice::access(const MemRequest &req, Tick now)
+Completion
+NvmDevice::submit(const MemRequest &req, Tick now)
 {
     Addr line = req.lineAddr();
     unsigned bank_idx;
@@ -102,6 +105,15 @@ NvmDevice::access(const MemRequest &req, Tick now)
         bank.busyUntil = done;
     }
 
+    // Occupancy accounting: how long the bank is held by this request
+    // (write recovery included) and how long the request queued on a
+    // busy bank.
+    bankBusyTicks_ += bank.busyUntil - start;
+    bankWaitTicks_ += start - now;
+    if (bankBusyCtr_)
+        bankBusyCtr_->add(static_cast<std::uint64_t>(bank_idx),
+                          bank.busyUntil - start);
+
     // Open-adaptive: after a streak of misses, close the row so the
     // next access pays activation but avoids the precharge-on-demand.
     if (bank.missStreak >= 4) {
@@ -111,7 +123,26 @@ NvmDevice::access(const MemRequest &req, Tick now)
 
     Tick latency = done - now;
     latency_.sample(latency);
-    return latency;
+
+    Completion c;
+    c.id = ++nextRequestId_;
+    c.start = now;
+    c.finish = done;
+    c.bank = bank_idx;
+    c.rowHit = row_hit;
+    c.breakdown.ticks[trace::NvmAccess] = latency;
+    return c;
+}
+
+void
+NvmDevice::setMetrics(metrics::Registry *metrics)
+{
+    if (!metrics) {
+        bankBusyCtr_ = nullptr;
+        return;
+    }
+    bankBusyCtr_ = &metrics->counter("mc.bank_busy", "bank",
+                                     banks_.size() + 1);
 }
 
 void

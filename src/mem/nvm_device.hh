@@ -22,11 +22,17 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/backing_store.hh"
+#include "mem/completion.hh"
 #include "mem/mem_request.hh"
 
 namespace fsencr {
 
 class FaultInjector;
+
+namespace metrics {
+class Registry;
+class LabeledCounter;
+} // namespace metrics
 
 /** PCM main memory: timing model + functional store. */
 class NvmDevice
@@ -35,13 +41,28 @@ class NvmDevice
     explicit NvmDevice(const PcmParams &params);
 
     /**
-     * Perform one line-granular timing access.
+     * Submit one line-granular timing access.
+     *
+     * The device resolves the request against its per-bank busy-until
+     * clocks (queueing when the bank is occupied) and returns the
+     * Completion: request id, start/finish ticks, the bank the line
+     * decoded to and whether the open row was hit. Deterministic:
+     * completions depend only on the submission order.
      *
      * @param req the request (line address is derived internally)
      * @param now current simulated time
+     */
+    Completion submit(const MemRequest &req, Tick now);
+
+    /**
+     * Scalar-latency convenience wrapper around submit().
+     *
      * @return latency in ticks until the access completes
      */
-    Tick access(const MemRequest &req, Tick now);
+    Tick access(const MemRequest &req, Tick now)
+    {
+        return submit(req, now).latency();
+    }
 
     /** Functional read of one 64B line into buf. */
     void readLine(Addr addr, std::uint8_t *buf) const;
@@ -92,8 +113,26 @@ class NvmDevice
 
     stats::StatGroup &statGroup() { return statGroup_; }
 
+    /**
+     * Attach a metrics registry (nullptr disables): lights up the
+     * per-bank occupancy family mc.bank_busy{bank} (busy ticks per
+     * bank). Pure observation: never affects timing.
+     */
+    void setMetrics(metrics::Registry *metrics);
+
     std::uint64_t numReads() const { return reads_.value(); }
     std::uint64_t numWrites() const { return writes_.value(); }
+
+    /** Number of timing banks (channels * ranks * banks). */
+    unsigned numBanks() const
+    {
+        return static_cast<unsigned>(banks_.size());
+    }
+
+    /** Aggregate ticks banks spent busy servicing requests. */
+    std::uint64_t bankBusyTicks() const { return bankBusyTicks_.value(); }
+    /** Aggregate ticks requests waited on an occupied bank. */
+    std::uint64_t bankWaitTicks() const { return bankWaitTicks_.value(); }
 
     /** Per-traffic-class write counts (indexed by TrafficClass). */
     std::uint64_t writesByClass(TrafficClass c) const
@@ -125,11 +164,19 @@ class NvmDevice
     std::unordered_map<Addr, std::uint32_t> ecc_;
     FaultInjector *injector_ = nullptr;
 
+    /** Monotonic request id handed out by submit(). */
+    std::uint64_t nextRequestId_ = 0;
+
+    /** Per-bank busy-tick family (nullptr = metrics disabled). */
+    metrics::LabeledCounter *bankBusyCtr_ = nullptr;
+
     stats::StatGroup statGroup_;
     stats::Scalar reads_;
     stats::Scalar writes_;
     stats::Scalar rowHits_;
     stats::Scalar rowMisses_;
+    stats::Scalar bankBusyTicks_;
+    stats::Scalar bankWaitTicks_;
     stats::Scalar classReads_[4];
     stats::Scalar classWrites_[4];
     stats::Histogram latency_;

@@ -71,9 +71,10 @@ Kernel::daxEncrypted(const Inode &node) const
 
 int
 Kernel::creat(std::uint32_t pid, const std::string &path,
-              std::uint16_t mode, bool encrypted,
+              std::uint16_t mode, OpenFlags flags,
               const std::string &passphrase, Tick now)
 {
+    bool encrypted = hasFlag(flags, OpenFlags::Encrypted);
     Process &p = process(pid);
     ++creates_;
     std::uint32_t ino =
@@ -111,9 +112,10 @@ Kernel::creat(std::uint32_t pid, const std::string &path,
 }
 
 int
-Kernel::open(std::uint32_t pid, const std::string &path, bool writable,
-             const std::string &passphrase)
+Kernel::open(std::uint32_t pid, const std::string &path,
+             OpenFlags flags, const std::string &passphrase)
 {
+    bool writable = hasFlag(flags, OpenFlags::Write);
     Process &p = process(pid);
     ++opens_;
     auto ino = fs_.lookup(path);

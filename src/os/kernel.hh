@@ -34,6 +34,7 @@
 #include "crypto/key.hh"
 #include "fs/nvmfs.hh"
 #include "fsenc/secure_memory_controller.hh"
+#include "os/open_flags.hh"
 
 namespace fsencr {
 
@@ -107,23 +108,47 @@ class Kernel
     /// @{
 
     /**
-     * Create a file. For encrypted files a fresh FEK is generated,
-     * wrapped under the creator's passphrase-derived FEKEK, and
-     * registered with the memory controller's OTT.
+     * Create a file. With OpenFlags::Encrypted a fresh FEK is
+     * generated, wrapped under the creator's passphrase-derived FEKEK,
+     * and registered with the memory controller's OTT.
      * @return a file descriptor
      */
     int creat(std::uint32_t pid, const std::string &path,
-              std::uint16_t mode, bool encrypted,
+              std::uint16_t mode, OpenFlags flags,
               const std::string &passphrase, Tick now);
 
+    /** @deprecated bool-flag shim; use the OpenFlags overload. */
+    [[deprecated("use the OpenFlags overload")]]
+    int
+    creat(std::uint32_t pid, const std::string &path,
+          std::uint16_t mode, bool encrypted,
+          const std::string &passphrase, Tick now)
+    {
+        return creat(pid, path, mode,
+                     encrypted ? OpenFlags::Encrypted : OpenFlags::None,
+                     passphrase, now);
+    }
+
     /**
-     * Open an existing file. Enforces Unix permissions and, for
-     * encrypted files, verifies that the supplied passphrase unwraps
-     * the file's FEK (Section VI, chmod-777 defence).
+     * Open an existing file; the descriptor is writable only with
+     * OpenFlags::Write. Enforces Unix permissions and, for encrypted
+     * files, verifies that the supplied passphrase unwraps the file's
+     * FEK (Section VI, chmod-777 defence).
      * @return a file descriptor, or -1 on permission/passphrase failure
      */
-    int open(std::uint32_t pid, const std::string &path, bool writable,
-             const std::string &passphrase);
+    int open(std::uint32_t pid, const std::string &path,
+             OpenFlags flags, const std::string &passphrase);
+
+    /** @deprecated bool-flag shim; use the OpenFlags overload. */
+    [[deprecated("use the OpenFlags overload")]]
+    int
+    open(std::uint32_t pid, const std::string &path, bool writable,
+         const std::string &passphrase)
+    {
+        return open(pid, path,
+                    writable ? OpenFlags::Write : OpenFlags::None,
+                    passphrase);
+    }
 
     void close(std::uint32_t pid, int fd);
 

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * OpenFlags — typed disposition bits for the open()/creat() syscall
+ * surface.
+ *
+ * Replaces the bool-parameter soup (`creat(..., bool encrypted, ...)`,
+ * `open(..., bool writable, ...)`): call sites name the behaviour they
+ * want (`OpenFlags::Write`, `OpenFlags::Encrypted`) instead of passing
+ * positional booleans that read as line noise and silently transpose.
+ * The bool overloads survive one release as deprecated shims.
+ */
+
+#ifndef FSENCR_OS_OPEN_FLAGS_HH
+#define FSENCR_OS_OPEN_FLAGS_HH
+
+namespace fsencr {
+
+/**
+ * Open/creat disposition bitmask.
+ *
+ * `Write` requests a writable descriptor from open(); descriptors are
+ * read-only without it. `Encrypted` asks creat() for an encrypted DAX
+ * file (fresh FEK, wrapped under the creator's FEKEK, registered with
+ * the OTT); plain files are created without it. Unknown bits are
+ * reserved and ignored.
+ */
+enum class OpenFlags : unsigned
+{
+    None = 0,
+    Write = 1u << 0,
+    Encrypted = 1u << 1,
+};
+
+constexpr OpenFlags
+operator|(OpenFlags a, OpenFlags b)
+{
+    return static_cast<OpenFlags>(static_cast<unsigned>(a) |
+                                  static_cast<unsigned>(b));
+}
+
+constexpr OpenFlags
+operator&(OpenFlags a, OpenFlags b)
+{
+    return static_cast<OpenFlags>(static_cast<unsigned>(a) &
+                                  static_cast<unsigned>(b));
+}
+
+/** True if @p f contains every bit of @p bits. */
+constexpr bool
+hasFlag(OpenFlags f, OpenFlags bits)
+{
+    return (f & bits) == bits;
+}
+
+} // namespace fsencr
+
+#endif // FSENCR_OS_OPEN_FLAGS_HH

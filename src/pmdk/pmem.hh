@@ -46,11 +46,14 @@ class PmemPool
     {
         int fd;
         if (sys.fs().lookup(path)) {
-            fd = sys.open(core, path, true, passphrase);
+            fd = sys.open(core, path, OpenFlags::Write, passphrase);
             if (fd < 0)
                 fatal("PmemPool: cannot open '%s'", path.c_str());
         } else {
-            fd = sys.creat(core, path, 0600, encrypted, passphrase);
+            fd = sys.creat(core, path, 0600,
+                           encrypted ? OpenFlags::Encrypted
+                                     : OpenFlags::None,
+                           passphrase);
             sys.ftruncate(core, fd, size_);
         }
         base_ = sys.mmapFile(core, fd, size_);

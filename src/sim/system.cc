@@ -131,7 +131,13 @@ System::writebackLine(Addr paddr)
     std::uint8_t buf[blockSize];
     archMem_.read(blockAlign(stripDfBit(paddr)), buf, blockSize);
     applySwencSeal(paddr, buf);
-    mc_->writeLine(paddr, buf, now_, /*blocking=*/false);
+    // Background writeback: bank occupancy is modeled, but the
+    // completion never lands on the system clock.
+    MemRequest req;
+    req.paddr = paddr;
+    req.isWrite = true;
+    req.writeData = buf;
+    mc_->submit(req, now_);
 }
 
 void
@@ -163,8 +169,11 @@ System::accessOnce(unsigned core_id, Addr vaddr, bool is_write,
     HierarchyResult hr = caches_->access(core_id, paddr, is_write,
                                          *this);
     advance(trace::CacheAccess, hr.cycles * cfg_.cyclePeriod());
-    if (hr.level == HitLevel::Memory)
-        advanceMc(mc_->readLine(paddr, now_));
+    if (hr.level == HitLevel::Memory) {
+        MemRequest req;
+        req.paddr = paddr;
+        advanceMc(mc_->submit(req, now_));
+    }
 
     // Functional data movement against the architectural image.
     Addr daddr = stripDfBit(paddr);
@@ -227,8 +236,12 @@ class BlockingSink : public WritebackSink
     {
         std::uint8_t buf[blockSize];
         arch_.read(blockAlign(stripDfBit(paddr)), buf, blockSize);
-        sys_.advanceMc(
-            mc_.writeLine(paddr, buf, sys_.now(), /*blocking=*/true));
+        MemRequest req;
+        req.paddr = paddr;
+        req.isWrite = true;
+        req.writeData = buf;
+        req.blocking = true;
+        sys_.advanceMc(mc_.submit(req, sys_.now()));
     }
 
   private:
@@ -356,20 +369,20 @@ System::runOnCore(unsigned core, std::uint32_t pid)
 
 int
 System::creat(unsigned core, const std::string &path,
-              std::uint16_t mode, bool encrypted,
+              std::uint16_t mode, OpenFlags flags,
               const std::string &passphrase)
 {
     tick(core, 800); // syscall + inode setup
     return kernel_->creat(cores_.at(core)->currentPid(), path, mode,
-                          encrypted, passphrase, now_);
+                          flags, passphrase, now_);
 }
 
 int
-System::open(unsigned core, const std::string &path, bool writable,
+System::open(unsigned core, const std::string &path, OpenFlags flags,
              const std::string &passphrase)
 {
     tick(core, 600);
-    return kernel_->open(cores_.at(core)->currentPid(), path, writable,
+    return kernel_->open(cores_.at(core)->currentPid(), path, flags,
                          passphrase);
 }
 
@@ -429,8 +442,11 @@ System::accessPhys(unsigned core_id, Addr paddr, bool is_write,
     HierarchyResult hr = caches_->access(core_id, paddr, is_write,
                                          *this);
     advance(trace::CacheAccess, hr.cycles * cfg_.cyclePeriod());
-    if (hr.level == HitLevel::Memory)
-        advanceMc(mc_->readLine(paddr, now_));
+    if (hr.level == HitLevel::Memory) {
+        MemRequest req;
+        req.paddr = paddr;
+        advanceMc(mc_->submit(req, now_));
+    }
 
     Addr daddr = stripDfBit(paddr);
     if (is_write)
@@ -510,13 +526,16 @@ System::copyFile(unsigned core, const std::string &src,
                  const std::string &dst,
                  const std::string &passphrase)
 {
-    int sfd = open(core, src, false, passphrase);
+    int sfd = open(core, src, OpenFlags::None, passphrase);
     if (sfd < 0)
         fatal("copyFile: cannot open source '%s'", src.c_str());
     auto src_ino = fs_->lookup(src);
     const Inode &snode = fs_->inode(*src_ino);
 
-    int dfd = creat(core, dst, snode.mode, snode.encrypted, passphrase);
+    int dfd = creat(core, dst, snode.mode,
+                    snode.encrypted ? OpenFlags::Encrypted
+                                    : OpenFlags::None,
+                    passphrase);
     std::uint64_t size = snode.size;
     std::vector<std::uint8_t> chunk(pageSize);
     for (std::uint64_t off = 0; off < size; off += pageSize) {
@@ -588,8 +607,12 @@ System::resyncArchFromDevice()
             archMem_.write(line, buf, blockSize);
             continue;
         }
-        Addr paddr = lineIsDax(line) ? setDfBit(line) : line;
-        advanceMc(mc_->readLine(paddr, now_, buf));
+        // Osiris recovery resync goes through the same
+        // submit/complete surface as demand traffic.
+        MemRequest req;
+        req.paddr = lineIsDax(line) ? setDfBit(line) : line;
+        req.readData = buf;
+        advanceMc(mc_->submit(req, now_));
         archMem_.write(line, buf, blockSize);
     }
 }

@@ -99,10 +99,32 @@ class System : public WritebackSink
     void runOnCore(unsigned core, std::uint32_t pid);
 
     int creat(unsigned core, const std::string &path,
-              std::uint16_t mode, bool encrypted,
+              std::uint16_t mode, OpenFlags flags,
               const std::string &passphrase);
-    int open(unsigned core, const std::string &path, bool writable,
+    int open(unsigned core, const std::string &path, OpenFlags flags,
              const std::string &passphrase);
+
+    /** @deprecated bool-flag shims; use the OpenFlags overloads. */
+    /// @{
+    [[deprecated("use the OpenFlags overload")]]
+    int
+    creat(unsigned core, const std::string &path, std::uint16_t mode,
+          bool encrypted, const std::string &passphrase)
+    {
+        return creat(core, path, mode,
+                     encrypted ? OpenFlags::Encrypted : OpenFlags::None,
+                     passphrase);
+    }
+    [[deprecated("use the OpenFlags overload")]]
+    int
+    open(unsigned core, const std::string &path, bool writable,
+         const std::string &passphrase)
+    {
+        return open(core, path,
+                    writable ? OpenFlags::Write : OpenFlags::None,
+                    passphrase);
+    }
+    /// @}
     void closeFd(unsigned core, int fd);
     void ftruncate(unsigned core, int fd, std::uint64_t size);
     Addr mmapFile(unsigned core, int fd, std::uint64_t length);
@@ -273,6 +295,21 @@ class System : public WritebackSink
     /** Advance by a memory-controller request latency, splitting it
      *  per the controller's own attribution of that request. */
     void advanceMc(Tick latency);
+
+    /** Advance by a completed memory request: the clock moves by
+     *  completion.latency() and its per-hop breakdown (which sums
+     *  exactly to that latency) folds into the attribution. */
+    void
+    advanceMc(const Completion &completion)
+    {
+        for (unsigned c = 0; c < trace::NumComponents; ++c)
+            attrTicks_[c] += completion.breakdown.ticks[c];
+        now_ += completion.latency();
+        if (injector_)
+            faultTick();
+        if (sampler_)
+            sampler_->onAdvance(now_);
+    }
 
     /** Cumulative per-component attribution since construction. */
     trace::Breakdown attribution() const;

@@ -32,7 +32,7 @@ DaxMicroWorkload::setup(System &sys)
 
     fileBytes_ = cfg_.spanBytes;
     int fd = sys.creat(0, "/pmem/daxmicro.dat", 0600,
-                       /*encrypted=*/true, "alice-pass");
+                       OpenFlags::Encrypted, "alice-pass");
     sys.ftruncate(0, fd, fileBytes_);
     base_ = sys.mmapFile(0, fd, fileBytes_);
 }

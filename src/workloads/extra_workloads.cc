@@ -9,7 +9,7 @@ LogAppendWorkload::setup(System &sys)
     standardEnvironment(sys, "logger-pw");
     std::uint64_t bytes =
         roundUp(64 + cfg_.numRecords * cfg_.recordBytes, pageSize);
-    int fd = sys.creat(0, "/pmem/wal.log", 0600, true, "logger-pw");
+    int fd = sys.creat(0, "/pmem/wal.log", 0600, OpenFlags::Encrypted, "logger-pw");
     sys.ftruncate(0, fd, bytes);
     base_ = sys.mmapFile(0, fd, bytes);
 
@@ -48,7 +48,7 @@ FileServerWorkload::setup(System &sys)
 
     for (unsigned f = 0; f < cfg_.numFiles; ++f) {
         int fd = sys.creat(0, "/pmem/srv" + std::to_string(f), 0600,
-                           /*encrypted=*/true, "server-pw");
+                           OpenFlags::Encrypted, "server-pw");
         // Prefill each file.
         for (std::uint64_t off = 0; off < cfg_.fileBytes;
              off += cfg_.ioBytes) {

@@ -28,7 +28,7 @@ Addr
 runAndCrash(System &sys, unsigned records)
 {
     workloads::standardEnvironment(sys, "pw");
-    int fd = sys.creat(0, "/pmem/a", 0600, true, "pw");
+    int fd = sys.creat(0, "/pmem/a", 0600, OpenFlags::Encrypted, "pw");
     sys.ftruncate(0, fd, 1 << 20);
     Addr va = sys.mmapFile(0, fd, 1 << 20);
     for (unsigned i = 0; i < records; ++i) {
@@ -80,7 +80,7 @@ TEST(Anubis, ShadowTrackingCostsExtraWrites)
     auto writes = [](SecParams::Recovery r) {
         System sys(cfgFor(r));
         workloads::standardEnvironment(sys, "pw");
-        int fd = sys.creat(0, "/pmem/w", 0600, true, "pw");
+        int fd = sys.creat(0, "/pmem/w", 0600, OpenFlags::Encrypted, "pw");
         std::uint64_t span = 8 << 20; // thrash the metadata cache
         sys.ftruncate(0, fd, span);
         Addr va = sys.mmapFile(0, fd, span);
@@ -100,7 +100,7 @@ TEST(Anubis, CleanShutdownEmptiesShadow)
 {
     System sys(cfgFor(SecParams::Recovery::AnubisShadow));
     workloads::standardEnvironment(sys, "pw");
-    int fd = sys.creat(0, "/pmem/s", 0600, true, "pw");
+    int fd = sys.creat(0, "/pmem/s", 0600, OpenFlags::Encrypted, "pw");
     sys.ftruncate(0, fd, pageSize);
     Addr va = sys.mmapFile(0, fd, pageSize);
     sys.write<std::uint64_t>(0, va, 5);

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Banked-timing tests: the default single-issue configuration
+ * (--mc-banks 1) must reproduce the pre-banked serial model
+ * tick-for-tick (golden values captured from the legacy advanceMc
+ * path), and banked configurations must be deterministic, hide a
+ * nonzero number of serial ticks behind metadata-chain overlap, and
+ * leave the functional NVM traffic untouched.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench/harness.hh"
+#include "sim/system.hh"
+#include "workloads/dax_micro.hh"
+#include "workloads/pmemkv_bench.hh"
+#include "workloads/workload.hh"
+
+using namespace fsencr;
+using namespace fsencr::bench;
+
+namespace {
+
+/** One measured run of the Dax1 read micro over a 256 KiB span. */
+struct DaxRun
+{
+    Tick ticks = 0;
+    std::uint64_t nvmReads = 0;
+    std::uint64_t nvmWrites = 0;
+    std::uint64_t overlapTicks = 0;
+    std::uint64_t overlappedRequests = 0;
+};
+
+DaxRun
+runDax1(Scheme scheme, unsigned banks, unsigned mshrs = 8)
+{
+    SimConfig cfg;
+    cfg.scheme = scheme;
+    cfg.pcm.mcBanks = banks;
+    cfg.pcm.mcMshrs = mshrs;
+    System sys(cfg);
+    workloads::DaxMicroConfig c;
+    c.kind = workloads::DaxMicroKind::Dax1;
+    c.spanBytes = 256 << 10;
+    workloads::DaxMicroWorkload w(c);
+    workloads::WorkloadResult r = workloads::runWorkload(sys, w);
+    DaxRun out;
+    out.ticks = r.ticks;
+    out.nvmReads = r.nvmReads;
+    out.nvmWrites = r.nvmWrites;
+    out.overlapTicks = sys.mc().overlapTicks();
+    out.overlappedRequests = sys.mc().overlappedRequests();
+    return out;
+}
+
+/** The two golden workloads: a small pmemkv fill plus the DAX read
+ *  micro, across the three paper schemes. */
+std::vector<RowSpec>
+goldenSpecs()
+{
+    workloads::PmemkvConfig kv;
+    kv.op = workloads::PmemkvOp::FillRandom;
+    kv.numKeys = 256;
+    kv.numOps = 256;
+    kv.valueBytes = 64;
+
+    workloads::DaxMicroConfig dax;
+    dax.kind = workloads::DaxMicroKind::Dax1;
+    dax.spanBytes = 256 << 10;
+
+    return {
+        {"kv-fillrandom", [kv]() {
+             return std::make_unique<workloads::PmemkvWorkload>(kv);
+         }},
+        {"dax1", [dax]() {
+             return std::make_unique<workloads::DaxMicroWorkload>(dax);
+         }},
+    };
+}
+
+} // namespace
+
+/**
+ * The default configuration is the legacy strictly serial model:
+ * these golden ticks were captured from the pre-banked simulator, so
+ * any drift here means --mc-banks 1 is no longer bit-identical to the
+ * historical timing model (every committed baseline would shift).
+ */
+TEST(BankedTiming, SerialModelGoldenTicks)
+{
+    const std::vector<Scheme> schemes{Scheme::NoEncryption,
+                                      Scheme::BaselineSecurity,
+                                      Scheme::FsEncr};
+    auto rows = runRows(goldenSpecs(), schemes, SimConfig{}, 1);
+    ASSERT_EQ(rows.size(), 2u);
+
+    struct Golden
+    {
+        Tick ticks;
+        std::uint64_t reads, writes;
+    };
+    // row -> scheme -> {ticks, nvm reads, nvm writes}
+    const Golden golden[2][3] = {
+        {{171249500, 557, 1788},
+         {211834000, 695, 2197},
+         {248489000, 831, 2367}},
+        {{428800000, 4096, 0},
+         {534078000, 4184, 0},
+         {547121500, 4248, 0}},
+    };
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            const Cell &c = rows[r].cells.at(schemes[s]);
+            EXPECT_EQ(c.ticks, golden[r][s].ticks)
+                << rows[r].name << "/" << schemeName(schemes[s]);
+            EXPECT_EQ(c.nvmReads, golden[r][s].reads)
+                << rows[r].name << "/" << schemeName(schemes[s]);
+            EXPECT_EQ(c.nvmWrites, golden[r][s].writes)
+                << rows[r].name << "/" << schemeName(schemes[s]);
+            // Single-issue: nothing overlaps, by construction.
+            EXPECT_EQ(c.mcOverlapTicks, 0u);
+        }
+    }
+}
+
+/** An explicit --mc-banks 1 is the same model as the default. */
+TEST(BankedTiming, SingleBankMatchesDefault)
+{
+    DaxRun dflt = runDax1(Scheme::FsEncr, 1);
+    EXPECT_EQ(dflt.ticks, 547121500u);
+    EXPECT_EQ(dflt.nvmReads, 4248u);
+    EXPECT_EQ(dflt.overlapTicks, 0u);
+    EXPECT_EQ(dflt.overlappedRequests, 0u);
+
+    // mcMshrs alone must not enable overlap either.
+    DaxRun wide_mshrs = runDax1(Scheme::FsEncr, 1, 32);
+    EXPECT_EQ(wide_mshrs.ticks, dflt.ticks);
+    EXPECT_EQ(wide_mshrs.overlapTicks, 0u);
+}
+
+/**
+ * Banked mode: independent metadata chains overlap, so FsEncr's DAX
+ * reads get faster, the hidden ticks are reported, and the functional
+ * NVM traffic (reads/writes) is exactly the serial model's.
+ */
+TEST(BankedTiming, BankedOverlapIsDeterministic)
+{
+    DaxRun serial = runDax1(Scheme::FsEncr, 1);
+    DaxRun banked = runDax1(Scheme::FsEncr, 4);
+    DaxRun again = runDax1(Scheme::FsEncr, 4);
+
+    // Same seed, same config => bit-identical modeled numbers.
+    EXPECT_EQ(banked.ticks, again.ticks);
+    EXPECT_EQ(banked.overlapTicks, again.overlapTicks);
+    EXPECT_EQ(banked.overlappedRequests, again.overlappedRequests);
+
+    // Overlap exists and only ever hides time. (The end-to-end delta
+    // need not equal the per-request overlap sum exactly: issuing the
+    // FECB chain earlier also shifts row-buffer state.)
+    EXPECT_GT(banked.overlapTicks, 0u);
+    EXPECT_GT(banked.overlappedRequests, 0u);
+    EXPECT_LT(banked.ticks, serial.ticks);
+
+    // Timing-only: the request streams are unchanged.
+    EXPECT_EQ(banked.nvmReads, serial.nvmReads);
+    EXPECT_EQ(banked.nvmWrites, serial.nvmWrites);
+}
+
+/** A single MSHR serializes even a many-banked device. */
+TEST(BankedTiming, MshrsGateOverlap)
+{
+    DaxRun gated = runDax1(Scheme::FsEncr, 4, /*mshrs=*/1);
+    EXPECT_EQ(gated.ticks, 547121500u);
+    EXPECT_EQ(gated.overlapTicks, 0u);
+}
+
+/** Overlap shows up in bench cells (the mc_overlap_ticks report
+ *  field) when a banked config is passed through runRows. */
+TEST(BankedTiming, BenchCellsCarryOverlap)
+{
+    workloads::DaxMicroConfig dax;
+    dax.kind = workloads::DaxMicroKind::Dax1;
+    dax.spanBytes = 256 << 10;
+    std::vector<RowSpec> specs = {
+        {"dax1", [dax]() {
+             return std::make_unique<workloads::DaxMicroWorkload>(dax);
+         }},
+    };
+    SimConfig banked;
+    banked.pcm.mcBanks = 4;
+    auto rows =
+        runRows(specs, {Scheme::FsEncr, Scheme::NoEncryption}, banked, 2);
+    const Cell &fsencr = rows[0].cells.at(Scheme::FsEncr);
+    EXPECT_GT(fsencr.mcOverlapTicks, 0u);
+    // No metadata chains to overlap without encryption.
+    const Cell &plain = rows[0].cells.at(Scheme::NoEncryption);
+    EXPECT_EQ(plain.mcOverlapTicks, 0u);
+}

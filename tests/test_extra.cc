@@ -92,7 +92,7 @@ TEST(MetadataCachePartition, FullSystemRunsPartitioned)
     cfg.sec.metadataCachePartitioned = true;
     System sys(cfg);
     standardEnvironment(sys, "pw");
-    int fd = sys.creat(0, "/pmem/p", 0600, true, "pw");
+    int fd = sys.creat(0, "/pmem/p", 0600, OpenFlags::Encrypted, "pw");
     sys.ftruncate(0, fd, 64 * pageSize);
     Addr va = sys.mmapFile(0, fd, 64 * pageSize);
     for (Addr off = 0; off < 64 * pageSize; off += 256)
@@ -178,7 +178,7 @@ TEST(JsonStats, WellFormedAndContainsGroups)
 {
     System sys(cfgFor(Scheme::FsEncr));
     standardEnvironment(sys, "pw");
-    int fd = sys.creat(0, "/pmem/j", 0600, true, "pw");
+    int fd = sys.creat(0, "/pmem/j", 0600, OpenFlags::Encrypted, "pw");
     sys.ftruncate(0, fd, pageSize);
     Addr va = sys.mmapFile(0, fd, pageSize);
     sys.write<std::uint64_t>(0, va, 1);

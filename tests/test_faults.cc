@@ -35,7 +35,7 @@ cfgFor(Scheme scheme)
 int
 makeFile(System &sys, const std::string &path, std::uint8_t fill)
 {
-    int fd = sys.creat(0, path, 0600, true, "pw");
+    int fd = sys.creat(0, path, 0600, OpenFlags::Encrypted, "pw");
     sys.ftruncate(0, fd, pageSize);
     std::vector<std::uint8_t> buf(pageSize, fill);
     sys.fileWrite(0, fd, 0, buf.data(), buf.size());
@@ -68,7 +68,7 @@ expectLinesAreVersions(System &sys, int fd,
 void
 expectFileBytes(System &sys, const std::string &path, std::uint8_t fill)
 {
-    int fd = sys.open(0, path, false, "pw");
+    int fd = sys.open(0, path, OpenFlags::None, "pw");
     ASSERT_GE(fd, 0) << path;
     expectLinesAreVersions(sys, fd, {fill});
     sys.closeFd(0, fd);
@@ -243,7 +243,7 @@ TEST(FaultSystem, PowerLossMidFileWriteRecoversConsistently)
 
     // Every line is wholly old or wholly new; the fsync'd 'A' image
     // can never have vanished below a line.
-    int rfd = sys.open(0, "/pmem/f", false, "pw");
+    int rfd = sys.open(0, "/pmem/f", OpenFlags::None, "pw");
     ASSERT_GE(rfd, 0);
     expectLinesAreVersions(sys, rfd, {'A', 'B'});
 }
@@ -290,7 +290,7 @@ TEST(FaultSystem, PowerLossMidCopyFileRecoversConsistently)
     // ... and the half-copied destination, if it exists yet, holds
     // only whole lines of source data or still-zero lines.
     if (sys.fs().lookup("/pmem/dst")) {
-        int dfd = sys.open(0, "/pmem/dst", false, "pw");
+        int dfd = sys.open(0, "/pmem/dst", OpenFlags::None, "pw");
         ASSERT_GE(dfd, 0);
         expectLinesAreVersions(sys, dfd, {'S', 0x00});
     }
@@ -327,7 +327,7 @@ TEST(FaultSystem, PowerLossMidFsyncRecoversConsistently)
     ASSERT_TRUE(sys.recover());
     EXPECT_TRUE(sys.lastRecovery().damagedFiles.empty());
 
-    int rfd = sys.open(0, "/pmem/f", false, "pw");
+    int rfd = sys.open(0, "/pmem/f", OpenFlags::None, "pw");
     ASSERT_GE(rfd, 0);
     expectLinesAreVersions(sys, rfd, {'A', 'B'});
 }
@@ -381,7 +381,7 @@ TEST(FaultSystem, TornLinePersistQuarantinesOnlyThatFile)
     EXPECT_GT(out.quarantinedLines, 0u);
 
     // Damaged-file IO fails structurally, old fd included.
-    EXPECT_LT(sys.open(0, "/pmem/a", false, "pw"), 0);
+    EXPECT_LT(sys.open(0, "/pmem/a", OpenFlags::None, "pw"), 0);
     std::uint8_t tmp[blockSize];
     EXPECT_THROW(sys.fileRead(0, fa, 0, tmp, blockSize),
                  FileDamagedError);
@@ -423,7 +423,7 @@ TEST(FaultSystem, DroppedLinePersistDegradesGracefully)
         // Counters recovered around the stale line: it legally reads
         // as the *old* fsync'd version — the documented durability
         // hole on exactly the fault-hit line, never torn garbage.
-        int rfd = sys.open(0, "/pmem/a", false, "pw");
+        int rfd = sys.open(0, "/pmem/a", OpenFlags::None, "pw");
         ASSERT_GE(rfd, 0);
         std::uint8_t got[blockSize];
         sys.fileRead(0, rfd, 0, got, blockSize);
@@ -433,7 +433,7 @@ TEST(FaultSystem, DroppedLinePersistDegradesGracefully)
         // Or the stale image probe-exhausted: quarantined, structured.
         ASSERT_EQ(out.damagedFiles.size(), 1u);
         EXPECT_EQ(out.damagedFiles[0], "/pmem/a");
-        EXPECT_LT(sys.open(0, "/pmem/a", false, "pw"), 0);
+        EXPECT_LT(sys.open(0, "/pmem/a", OpenFlags::None, "pw"), 0);
     }
 
     // Either way the bystander file is byte-exact.
@@ -472,7 +472,7 @@ TEST(FaultSystem, DataBitFlipQuarantinesOnlyThatFile)
     for (unsigned b = 0; b < blockSize; ++b)
         EXPECT_EQ(arch[b], 0);
 
-    EXPECT_LT(sys.open(0, "/pmem/a", false, "pw"), 0);
+    EXPECT_LT(sys.open(0, "/pmem/a", OpenFlags::None, "pw"), 0);
     std::uint8_t tmp[blockSize];
     EXPECT_THROW(sys.fileRead(0, fa, 0, tmp, blockSize),
                  FileDamagedError);
@@ -514,7 +514,7 @@ TEST(FaultSystem, FecbBitFlipQuarantinesOnlyThatFile)
     EXPECT_EQ(out.damagedFiles[0], "/pmem/a");
     EXPECT_GT(out.quarantinedLines, 0u);
 
-    EXPECT_LT(sys.open(0, "/pmem/a", false, "pw"), 0);
+    EXPECT_LT(sys.open(0, "/pmem/a", OpenFlags::None, "pw"), 0);
     std::uint8_t tmp[blockSize];
     EXPECT_THROW(sys.fileRead(0, fa, 0, tmp, blockSize),
                  FileDamagedError);

@@ -54,7 +54,7 @@ TEST_F(KernelEdge, BadFdIsFatal)
 
 TEST_F(KernelEdge, ClosedFdBecomesInvalid)
 {
-    int fd = sys.creat(0, "/pmem/c", 0600, true, "p1");
+    int fd = sys.creat(0, "/pmem/c", 0600, OpenFlags::Encrypted, "p1");
     sys.closeFd(0, fd);
     char buf[4];
     EXPECT_THROW(sys.fileRead(0, fd, 0, buf, 4), FatalError);
@@ -62,10 +62,10 @@ TEST_F(KernelEdge, ClosedFdBecomesInvalid)
 
 TEST_F(KernelEdge, ReadOnlyFdCannotWrite)
 {
-    int wfd = sys.creat(0, "/pmem/ro", 0644, false, "");
+    int wfd = sys.creat(0, "/pmem/ro", 0644, OpenFlags::None, "");
     sys.fileWrite(0, wfd, 0, "abc", 3);
     sys.closeFd(0, wfd);
-    int rfd = sys.open(0, "/pmem/ro", false, "");
+    int rfd = sys.open(0, "/pmem/ro", OpenFlags::None, "");
     ASSERT_GE(rfd, 0);
     EXPECT_THROW(sys.fileWrite(0, rfd, 0, "x", 1), FatalError);
     EXPECT_THROW(sys.ftruncate(0, rfd, pageSize), FatalError);
@@ -75,11 +75,11 @@ TEST_F(KernelEdge, AddressSpacesAreIsolated)
 {
     // Two processes map different files at (potentially) the same VA
     // range; each sees its own data.
-    int f1 = sys.creat(0, "/pmem/a1", 0600, true, "p1");
+    int f1 = sys.creat(0, "/pmem/a1", 0600, OpenFlags::Encrypted, "p1");
     sys.ftruncate(0, f1, pageSize);
     Addr va1 = sys.mmapFile(0, f1, pageSize);
 
-    int f2 = sys.creat(1, "/pmem/a2", 0600, true, "p2");
+    int f2 = sys.creat(1, "/pmem/a2", 0600, OpenFlags::Encrypted, "p2");
     sys.ftruncate(1, f2, pageSize);
     Addr va2 = sys.mmapFile(1, f2, pageSize);
     EXPECT_EQ(va1, va2); // same mmap cursor in fresh address spaces
@@ -92,7 +92,7 @@ TEST_F(KernelEdge, AddressSpacesAreIsolated)
 
 TEST_F(KernelEdge, OthersCannotUnlinkOrChmod)
 {
-    sys.creat(0, "/pmem/mine", 0600, true, "p1");
+    sys.creat(0, "/pmem/mine", 0600, OpenFlags::Encrypted, "p1");
     EXPECT_THROW(sys.unlink(1, "/pmem/mine"), FatalError);
     EXPECT_THROW(sys.chmod(1, "/pmem/mine", 0777), FatalError);
 }
@@ -102,8 +102,8 @@ TEST_F(KernelEdge, RootOverridesEverything)
     sys.addUser("root", 0, 0, "rootpw");
     std::uint32_t rpid = sys.createProcess(0);
     sys.runOnCore(1, rpid);
-    sys.creat(0, "/pmem/owned", 0600, false, "");
-    int fd = sys.open(1, "/pmem/owned", true, "");
+    sys.creat(0, "/pmem/owned", 0600, OpenFlags::None, "");
+    int fd = sys.open(1, "/pmem/owned", OpenFlags::Write, "");
     EXPECT_GE(fd, 0);
     sys.chmod(1, "/pmem/owned", 0644);
     sys.unlink(1, "/pmem/owned");
@@ -112,12 +112,12 @@ TEST_F(KernelEdge, RootOverridesEverything)
 
 TEST_F(KernelEdge, OpenMissingFileFails)
 {
-    EXPECT_EQ(sys.open(0, "/pmem/ghost", false, "p1"), -1);
+    EXPECT_EQ(sys.open(0, "/pmem/ghost", OpenFlags::None, "p1"), -1);
 }
 
 TEST_F(KernelEdge, MmapBeyondEofFaultsFatally)
 {
-    int fd = sys.creat(0, "/pmem/small", 0600, true, "p1");
+    int fd = sys.creat(0, "/pmem/small", 0600, OpenFlags::Encrypted, "p1");
     sys.ftruncate(0, fd, pageSize);
     Addr va = sys.mmapFile(0, fd, 4 * pageSize); // mapping > file
     sys.read<std::uint8_t>(0, va);               // in file: fine
@@ -171,7 +171,7 @@ TEST(MultiChannel, FullSystemRunsWithTwoChannels)
     cfg.pcm.channels = 2;
     System sys(cfg);
     workloads::standardEnvironment(sys, "pw");
-    int fd = sys.creat(0, "/pmem/mc2", 0600, true, "pw");
+    int fd = sys.creat(0, "/pmem/mc2", 0600, OpenFlags::Encrypted, "pw");
     sys.ftruncate(0, fd, 16 * pageSize);
     Addr va = sys.mmapFile(0, fd, 16 * pageSize);
     for (Addr off = 0; off < 16 * pageSize; off += 64)

@@ -32,7 +32,7 @@ void
 populateDonor(System &sys, const char *content, std::size_t len)
 {
     workloads::standardEnvironment(sys, "alice-pw");
-    int fd = sys.creat(0, "/pmem/take-me-along", 0600, true,
+    int fd = sys.creat(0, "/pmem/take-me-along", 0600, OpenFlags::Encrypted,
                        "alice-pw");
     sys.fileWrite(0, fd, 0, content, len);
     sys.closeFd(0, fd);
@@ -56,7 +56,7 @@ TEST(Migration, FileReadableOnNewMachineWithPassphrase)
     std::uint32_t pid = target.createProcess(1000);
     target.runOnCore(0, pid);
 
-    int fd = target.open(0, "/pmem/take-me-along", false, "alice-pw");
+    int fd = target.open(0, "/pmem/take-me-along", OpenFlags::None, "alice-pw");
     ASSERT_GE(fd, 0);
     char out[sizeof(msg)] = {};
     target.fileRead(0, fd, 0, out, sizeof(out));
@@ -76,7 +76,7 @@ TEST(Migration, WrongPassphraseStillDeniedOnNewMachine)
     target.addUser("mallory", 1000, 100, "not-alices-pw");
     std::uint32_t pid = target.createProcess(1000);
     target.runOnCore(0, pid);
-    EXPECT_EQ(target.open(0, "/pmem/take-me-along", false,
+    EXPECT_EQ(target.open(0, "/pmem/take-me-along", OpenFlags::None,
                           "not-alices-pw"),
               -1);
 }
@@ -120,7 +120,7 @@ TEST(Migration, MmapWorksAfterMigration)
 {
     System donor(cfgFor(15));
     workloads::standardEnvironment(donor, "alice-pw");
-    int fd = donor.creat(0, "/pmem/mapped", 0600, true, "alice-pw");
+    int fd = donor.creat(0, "/pmem/mapped", 0600, OpenFlags::Encrypted, "alice-pw");
     donor.ftruncate(0, fd, pageSize);
     Addr va = donor.mmapFile(0, fd, pageSize);
     donor.write<std::uint64_t>(0, va, 0x5eed);
@@ -134,7 +134,7 @@ TEST(Migration, MmapWorksAfterMigration)
     std::uint32_t pid = target.createProcess(1000);
     target.runOnCore(0, pid);
 
-    int nfd = target.open(0, "/pmem/mapped", true, "alice-pw");
+    int nfd = target.open(0, "/pmem/mapped", OpenFlags::Write, "alice-pw");
     ASSERT_GE(nfd, 0);
     Addr nva = target.mmapFile(0, nfd, pageSize);
     EXPECT_EQ(target.read<std::uint64_t>(0, nva), 0x5eedu);
@@ -162,7 +162,7 @@ TEST(Migration, PostMigrationCrashRecoveryWorks)
     target.addUser("alice", 1000, 100, "alice-pw");
     std::uint32_t pid = target.createProcess(1000);
     target.runOnCore(0, pid);
-    int fd = target.open(0, "/pmem/take-me-along", false, "alice-pw");
+    int fd = target.open(0, "/pmem/take-me-along", OpenFlags::None, "alice-pw");
     ASSERT_GE(fd, 0);
     char out[sizeof(msg)] = {};
     target.fileRead(0, fd, 0, out, sizeof(out));

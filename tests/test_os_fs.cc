@@ -46,7 +46,7 @@ struct OsFixture : ::testing::Test
 
 TEST_F(OsFixture, CreateLookupUnlink)
 {
-    int fd = sys.creat(0, "/pmem/a.txt", 0600, true, "alice-pw");
+    int fd = sys.creat(0, "/pmem/a.txt", 0600, OpenFlags::Encrypted, "alice-pw");
     EXPECT_GE(fd, 0);
     EXPECT_TRUE(sys.fs().lookup("/pmem/a.txt").has_value());
     sys.unlink(0, "/pmem/a.txt");
@@ -55,14 +55,14 @@ TEST_F(OsFixture, CreateLookupUnlink)
 
 TEST_F(OsFixture, DuplicateCreateIsFatal)
 {
-    sys.creat(0, "/pmem/dup", 0600, true, "alice-pw");
-    EXPECT_THROW(sys.creat(0, "/pmem/dup", 0600, true, "alice-pw"),
+    sys.creat(0, "/pmem/dup", 0600, OpenFlags::Encrypted, "alice-pw");
+    EXPECT_THROW(sys.creat(0, "/pmem/dup", 0600, OpenFlags::Encrypted, "alice-pw"),
                  FatalError);
 }
 
 TEST_F(OsFixture, FileReadWriteRoundTrip)
 {
-    int fd = sys.creat(0, "/pmem/data", 0600, true, "alice-pw");
+    int fd = sys.creat(0, "/pmem/data", 0600, OpenFlags::Encrypted, "alice-pw");
     const char msg[] = "persistent secret";
     sys.fileWrite(0, fd, 0, msg, sizeof(msg));
     char out[sizeof(msg)] = {};
@@ -72,7 +72,7 @@ TEST_F(OsFixture, FileReadWriteRoundTrip)
 
 TEST_F(OsFixture, CrossPageFileIo)
 {
-    int fd = sys.creat(0, "/pmem/big", 0600, true, "alice-pw");
+    int fd = sys.creat(0, "/pmem/big", 0600, OpenFlags::Encrypted, "alice-pw");
     std::vector<std::uint8_t> data(3 * pageSize + 100);
     for (std::size_t i = 0; i < data.size(); ++i)
         data[i] = static_cast<std::uint8_t>(i * 13);
@@ -84,7 +84,7 @@ TEST_F(OsFixture, CrossPageFileIo)
 
 TEST_F(OsFixture, MmapLoadStore)
 {
-    int fd = sys.creat(0, "/pmem/m", 0600, true, "alice-pw");
+    int fd = sys.creat(0, "/pmem/m", 0600, OpenFlags::Encrypted, "alice-pw");
     sys.ftruncate(0, fd, 4 * pageSize);
     Addr va = sys.mmapFile(0, fd, 4 * pageSize);
 
@@ -95,7 +95,7 @@ TEST_F(OsFixture, MmapLoadStore)
 
 TEST_F(OsFixture, DaxFaultSetsDfBit)
 {
-    int fd = sys.creat(0, "/pmem/df", 0600, true, "alice-pw");
+    int fd = sys.creat(0, "/pmem/df", 0600, OpenFlags::Encrypted, "alice-pw");
     sys.ftruncate(0, fd, pageSize);
     Addr va = sys.mmapFile(0, fd, pageSize);
     sys.read<std::uint8_t>(0, va); // fault
@@ -109,7 +109,7 @@ TEST_F(OsFixture, DaxFaultSetsDfBit)
 
 TEST_F(OsFixture, UnencryptedFileHasNoDfBit)
 {
-    int fd = sys.creat(0, "/pmem/plain", 0600, false, "");
+    int fd = sys.creat(0, "/pmem/plain", 0600, OpenFlags::None, "");
     sys.ftruncate(0, fd, pageSize);
     Addr va = sys.mmapFile(0, fd, pageSize);
     sys.read<std::uint8_t>(0, va);
@@ -129,7 +129,7 @@ TEST_F(OsFixture, AnonymousMapUsesGeneralMemory)
 
 TEST_F(OsFixture, PageFaultOnlyOnFirstTouch)
 {
-    int fd = sys.creat(0, "/pmem/fault", 0600, true, "alice-pw");
+    int fd = sys.creat(0, "/pmem/fault", 0600, OpenFlags::Encrypted, "alice-pw");
     sys.ftruncate(0, fd, pageSize);
     Addr va = sys.mmapFile(0, fd, pageSize);
     std::uint64_t faults0 = sys.kernel().pageFaults();
@@ -146,19 +146,19 @@ TEST_F(OsFixture, SegfaultOnUnmappedAccess)
 
 TEST_F(OsFixture, PermissionDeniedForOtherUser)
 {
-    sys.creat(0, "/pmem/secret", 0600, true, "alice-pw");
+    sys.creat(0, "/pmem/secret", 0600, OpenFlags::Encrypted, "alice-pw");
     std::uint32_t eve_pid = sys.createProcess(eve);
     sys.runOnCore(1, eve_pid);
-    EXPECT_EQ(sys.open(1, "/pmem/secret", false, "eve-pw"), -1);
+    EXPECT_EQ(sys.open(1, "/pmem/secret", OpenFlags::None, "eve-pw"), -1);
 }
 
 TEST_F(OsFixture, GroupMemberReadsGroupReadableFile)
 {
-    sys.creat(0, "/pmem/shared", 0640, true, "alice-pw");
+    sys.creat(0, "/pmem/shared", 0640, OpenFlags::Encrypted, "alice-pw");
     std::uint32_t bob_pid = sys.createProcess(bob);
     sys.runOnCore(1, bob_pid);
     // Bob is in alice's group and knows the file passphrase.
-    EXPECT_GE(sys.open(1, "/pmem/shared", false, "alice-pw"), 0);
+    EXPECT_GE(sys.open(1, "/pmem/shared", OpenFlags::None, "alice-pw"), 0);
 }
 
 TEST_F(OsFixture, Chmod777DefenceViaPassphrase)
@@ -166,36 +166,36 @@ TEST_F(OsFixture, Chmod777DefenceViaPassphrase)
     // The paper's Section VI scenario: accidental chmod 777 would
     // expose the file under plain DAC, but the open-time passphrase
     // check still blocks the curious user.
-    sys.creat(0, "/pmem/oops", 0600, true, "alice-pw");
+    sys.creat(0, "/pmem/oops", 0600, OpenFlags::Encrypted, "alice-pw");
     sys.chmod(0, "/pmem/oops", 0666);
 
     std::uint32_t eve_pid = sys.createProcess(eve);
     sys.runOnCore(1, eve_pid);
-    EXPECT_EQ(sys.open(1, "/pmem/oops", false, "eve-pw"), -1);
-    EXPECT_EQ(sys.open(1, "/pmem/oops", false, "guessed-pw"), -1);
+    EXPECT_EQ(sys.open(1, "/pmem/oops", OpenFlags::None, "eve-pw"), -1);
+    EXPECT_EQ(sys.open(1, "/pmem/oops", OpenFlags::None, "guessed-pw"), -1);
     // The rightful passphrase (however obtained) does open it — the
     // defence is the passphrase, not the identity.
-    EXPECT_GE(sys.open(1, "/pmem/oops", false, "alice-pw"), 0);
+    EXPECT_GE(sys.open(1, "/pmem/oops", OpenFlags::None, "alice-pw"), 0);
 }
 
 TEST_F(OsFixture, UnencryptedFileOpensWithoutPassphrase)
 {
-    sys.creat(0, "/pmem/pub", 0644, false, "");
+    sys.creat(0, "/pmem/pub", 0644, OpenFlags::None, "");
     std::uint32_t eve_pid = sys.createProcess(eve);
     sys.runOnCore(1, eve_pid);
-    EXPECT_GE(sys.open(1, "/pmem/pub", false, ""), 0);
+    EXPECT_GE(sys.open(1, "/pmem/pub", OpenFlags::None, ""), 0);
 }
 
 TEST_F(OsFixture, WrongPassphraseDeniedForOwnerToo)
 {
-    sys.creat(0, "/pmem/own", 0600, true, "alice-pw");
-    EXPECT_EQ(sys.open(0, "/pmem/own", false, "wrong"), -1);
-    EXPECT_GE(sys.open(0, "/pmem/own", false, "alice-pw"), 0);
+    sys.creat(0, "/pmem/own", 0600, OpenFlags::Encrypted, "alice-pw");
+    EXPECT_EQ(sys.open(0, "/pmem/own", OpenFlags::None, "wrong"), -1);
+    EXPECT_GE(sys.open(0, "/pmem/own", OpenFlags::None, "alice-pw"), 0);
 }
 
 TEST_F(OsFixture, UnlinkRemovesOttKey)
 {
-    sys.creat(0, "/pmem/gone", 0600, true, "alice-pw");
+    sys.creat(0, "/pmem/gone", 0600, OpenFlags::Encrypted, "alice-pw");
     auto ino = sys.fs().lookup("/pmem/gone");
     ASSERT_TRUE(ino.has_value());
     EXPECT_TRUE(sys.mc().ott().lookup(100, *ino, 0).found);
@@ -205,7 +205,7 @@ TEST_F(OsFixture, UnlinkRemovesOttKey)
 
 TEST_F(OsFixture, UnlinkShredsData)
 {
-    int fd = sys.creat(0, "/pmem/shred", 0600, true, "alice-pw");
+    int fd = sys.creat(0, "/pmem/shred", 0600, OpenFlags::Encrypted, "alice-pw");
     const char msg[] = "top secret";
     sys.fileWrite(0, fd, 0, msg, sizeof(msg));
     sys.shutdown(); // push everything to NVM
@@ -220,7 +220,7 @@ TEST_F(OsFixture, UnlinkShredsData)
 
 TEST_F(OsFixture, FsyncMakesSyscallWritesDurable)
 {
-    int fd = sys.creat(0, "/pmem/dur", 0600, true, "alice-pw");
+    int fd = sys.creat(0, "/pmem/dur", 0600, OpenFlags::Encrypted, "alice-pw");
     const char msg[] = "must survive the crash";
     sys.fileWrite(0, fd, 0, msg, sizeof(msg));
     sys.fsync(0, fd);
@@ -233,7 +233,7 @@ TEST_F(OsFixture, FsyncMakesSyscallWritesDurable)
 
 TEST_F(OsFixture, UnsyncedSyscallWritesCanBeLost)
 {
-    int fd = sys.creat(0, "/pmem/vol", 0600, true, "alice-pw");
+    int fd = sys.creat(0, "/pmem/vol", 0600, OpenFlags::Encrypted, "alice-pw");
     const char msg[] = "never flushed";
     sys.fileWrite(0, fd, 0, msg, sizeof(msg));
     sys.crash();
@@ -250,7 +250,7 @@ TEST_F(OsFixture, FsyncBadFdIsFatal)
 
 TEST_F(OsFixture, MunmapInvalidatesTranslation)
 {
-    int fd = sys.creat(0, "/pmem/mm", 0600, true, "alice-pw");
+    int fd = sys.creat(0, "/pmem/mm", 0600, OpenFlags::Encrypted, "alice-pw");
     sys.ftruncate(0, fd, pageSize);
     Addr va = sys.mmapFile(0, fd, pageSize);
     sys.read<std::uint8_t>(0, va);
@@ -261,7 +261,7 @@ TEST_F(OsFixture, MunmapInvalidatesTranslation)
 
 TEST_F(OsFixture, CopyFilePreservesContentsAcrossKeys)
 {
-    int fd = sys.creat(0, "/pmem/orig", 0600, true, "alice-pw");
+    int fd = sys.creat(0, "/pmem/orig", 0600, OpenFlags::Encrypted, "alice-pw");
     std::vector<std::uint8_t> data(2 * pageSize);
     for (std::size_t i = 0; i < data.size(); ++i)
         data[i] = static_cast<std::uint8_t>(i);
@@ -269,7 +269,7 @@ TEST_F(OsFixture, CopyFilePreservesContentsAcrossKeys)
 
     sys.copyFile(0, "/pmem/orig", "/pmem/copy", "alice-pw");
 
-    int cfd = sys.open(0, "/pmem/copy", false, "alice-pw");
+    int cfd = sys.open(0, "/pmem/copy", OpenFlags::None, "alice-pw");
     ASSERT_GE(cfd, 0);
     std::vector<std::uint8_t> out(data.size());
     sys.fileRead(0, cfd, 0, out.data(), out.size());

@@ -123,7 +123,7 @@ TEST_P(CrashAnywhere, PersistedRecordsAlwaysRecoverable)
     System sys(cfg);
     workloads::standardEnvironment(sys, "pw");
 
-    int fd = sys.creat(0, "/pmem/f", 0600, true, "pw");
+    int fd = sys.creat(0, "/pmem/f", 0600, OpenFlags::Encrypted, "pw");
     sys.ftruncate(0, fd, 1 << 20);
     Addr va = sys.mmapFile(0, fd, 1 << 20);
 
@@ -165,7 +165,7 @@ TEST_P(RewriteRecovery, LastPersistedVersionSurvives)
     cfg.scheme = Scheme::FsEncr;
     System sys(cfg);
     workloads::standardEnvironment(sys, "pw");
-    int fd = sys.creat(0, "/pmem/f", 0600, true, "pw");
+    int fd = sys.creat(0, "/pmem/f", 0600, OpenFlags::Encrypted, "pw");
     sys.ftruncate(0, fd, pageSize);
     Addr va = sys.mmapFile(0, fd, pageSize);
 
@@ -197,7 +197,7 @@ TEST_P(TamperDetection, AnyFlippedByteIsCaught)
     cfg.scheme = Scheme::BaselineSecurity;
     System sys(cfg);
     workloads::standardEnvironment(sys, "pw");
-    int fd = sys.creat(0, "/pmem/f", 0600, true, "pw");
+    int fd = sys.creat(0, "/pmem/f", 0600, OpenFlags::Encrypted, "pw");
     sys.ftruncate(0, fd, pageSize);
     Addr va = sys.mmapFile(0, fd, pageSize);
     for (int i = 0; i < 8; ++i) {
@@ -242,7 +242,7 @@ TEST_P(SchemeOrdering, EncryptionNeverSpeedsThingsUp)
         cfg.scheme = scheme;
         System sys(cfg);
         workloads::standardEnvironment(sys, "pw");
-        int fd = sys.creat(0, "/pmem/w", 0600, true, "pw");
+        int fd = sys.creat(0, "/pmem/w", 0600, OpenFlags::Encrypted, "pw");
         std::uint64_t span = 2 << 20;
         sys.ftruncate(0, fd, span);
         Addr va = sys.mmapFile(0, fd, span);
@@ -293,7 +293,7 @@ TEST_P(StopLossSweep, RecoveryHoldsAtAnyStopLoss)
     cfg.sec.osirisStopLoss = GetParam();
     System sys(cfg);
     workloads::standardEnvironment(sys, "pw");
-    int fd = sys.creat(0, "/pmem/f", 0600, true, "pw");
+    int fd = sys.creat(0, "/pmem/f", 0600, OpenFlags::Encrypted, "pw");
     sys.ftruncate(0, fd, pageSize);
     Addr va = sys.mmapFile(0, fd, pageSize);
 
@@ -325,7 +325,7 @@ TEST_P(SizesRoundTrip, StoreLoadAnySize)
     cfg.scheme = Scheme::FsEncr;
     System sys(cfg);
     workloads::standardEnvironment(sys, "pw");
-    int fd = sys.creat(0, "/pmem/f", 0600, true, "pw");
+    int fd = sys.creat(0, "/pmem/f", 0600, OpenFlags::Encrypted, "pw");
     sys.ftruncate(0, fd, roundUp(n + 200, pageSize));
     Addr va = sys.mmapFile(0, fd, roundUp(n + 200, pageSize));
 

@@ -53,7 +53,7 @@ TEST(SecurityScenario, StolenDimmRevealsNothing)
     // Attacker X (Figure 4): physical access to the module.
     System sys(cfgFor(Scheme::FsEncr));
     workloads::standardEnvironment(sys, "pw");
-    int fd = sys.creat(0, "/pmem/f", 0600, true, "pw");
+    int fd = sys.creat(0, "/pmem/f", 0600, OpenFlags::Encrypted, "pw");
     const char secret[] = "PIN:4921;SSN:078051120";
     sys.fileWrite(0, fd, 0, secret, sizeof(secret));
     sys.shutdown();
@@ -64,7 +64,7 @@ TEST(SecurityScenario, BaselineMemoryEncryptionAlsoHidesAtRest)
 {
     System sys(cfgFor(Scheme::BaselineSecurity));
     workloads::standardEnvironment(sys, "pw");
-    int fd = sys.creat(0, "/pmem/f", 0600, true, "pw");
+    int fd = sys.creat(0, "/pmem/f", 0600, OpenFlags::Encrypted, "pw");
     const char secret[] = "memory-layer-protects-at-rest";
     sys.fileWrite(0, fd, 0, secret, sizeof(secret));
     sys.shutdown();
@@ -78,7 +78,7 @@ TEST(SecurityScenario, SoftwareEncryptionLeaksUntilWriteback)
     // nothing leaks — same at-rest guarantee, very different price.
     System sys(cfgFor(Scheme::SoftwareEncryption));
     workloads::standardEnvironment(sys, "pw");
-    int fd = sys.creat(0, "/pmem/f", 0600, true, "pw");
+    int fd = sys.creat(0, "/pmem/f", 0600, OpenFlags::Encrypted, "pw");
     const char secret[] = "sw-enc-at-rest-check";
     sys.fileWrite(0, fd, 0, secret, sizeof(secret));
     sys.shutdown();
@@ -89,7 +89,7 @@ TEST(SecurityScenario, NoEncryptionLeaksEverything)
 {
     System sys(cfgFor(Scheme::NoEncryption));
     workloads::standardEnvironment(sys, "pw");
-    int fd = sys.creat(0, "/pmem/f", 0600, true, "pw");
+    int fd = sys.creat(0, "/pmem/f", 0600, OpenFlags::Encrypted, "pw");
     const char secret[] = "plainly-stored-bytes";
     sys.fileWrite(0, fd, 0, secret, sizeof(secret));
     sys.shutdown();
@@ -102,7 +102,7 @@ TEST(SecurityScenario, FileKeysNeverStoredRawInNvm)
     // in the device image (they are sealed under the OTT key).
     System sys(cfgFor(Scheme::FsEncr));
     workloads::standardEnvironment(sys, "pw");
-    int fd = sys.creat(0, "/pmem/k", 0600, true, "pw");
+    int fd = sys.creat(0, "/pmem/k", 0600, OpenFlags::Encrypted, "pw");
     (void)fd;
     auto ino = sys.fs().lookup("/pmem/k");
     auto key = sys.mc().ott().lookup(100, *ino, 0);
@@ -126,7 +126,7 @@ TEST(SecurityScenario, ReplayedDataLineDecryptsToGarbage)
     // themselves from being rolled back to match).
     System sys(cfgFor(Scheme::FsEncr));
     workloads::standardEnvironment(sys, "pw");
-    int fd = sys.creat(0, "/pmem/f", 0600, true, "pw");
+    int fd = sys.creat(0, "/pmem/f", 0600, OpenFlags::Encrypted, "pw");
     sys.ftruncate(0, fd, pageSize);
     Addr va = sys.mmapFile(0, fd, pageSize);
 
@@ -168,8 +168,8 @@ TEST(SecurityScenario, TwoUsersCiphertextsIndependent)
     sys.runOnCore(1, pb);
 
     std::vector<std::uint8_t> same(blockSize, 0x77);
-    int fa = sys.creat(0, "/pmem/ua", 0600, true, "pa");
-    int fb = sys.creat(1, "/pmem/ub", 0600, true, "pb");
+    int fa = sys.creat(0, "/pmem/ua", 0600, OpenFlags::Encrypted, "pa");
+    int fb = sys.creat(1, "/pmem/ub", 0600, OpenFlags::Encrypted, "pb");
     sys.fileWrite(0, fa, 0, same.data(), same.size());
     sys.fileWrite(1, fb, 0, same.data(), same.size());
     sys.shutdown();
@@ -189,8 +189,8 @@ TEST(SecurityScenario, GroupMembersShareAccessNotKeys)
     // file safe.
     System sys(cfgFor(Scheme::FsEncr));
     workloads::standardEnvironment(sys, "pw");
-    sys.creat(0, "/pmem/g1", 0640, true, "pw");
-    sys.creat(0, "/pmem/g2", 0640, true, "pw");
+    sys.creat(0, "/pmem/g1", 0640, OpenFlags::Encrypted, "pw");
+    sys.creat(0, "/pmem/g2", 0640, OpenFlags::Encrypted, "pw");
     auto i1 = sys.fs().lookup("/pmem/g1");
     auto i2 = sys.fs().lookup("/pmem/g2");
     auto k1 = sys.mc().ott().lookup(100, *i1, 0);
@@ -203,7 +203,7 @@ TEST(SecurityScenario, DeletedFileUnrecoverableByForensics)
 {
     System sys(cfgFor(Scheme::FsEncr));
     workloads::standardEnvironment(sys, "pw");
-    int fd = sys.creat(0, "/pmem/del", 0600, true, "pw");
+    int fd = sys.creat(0, "/pmem/del", 0600, OpenFlags::Encrypted, "pw");
     const char secret[] = "to-be-shredded";
     sys.fileWrite(0, fd, 0, secret, sizeof(secret));
     sys.shutdown();
@@ -254,7 +254,7 @@ TEST(SecurityScenario, IntegrityViolationQuarantinesTamperedFile)
 {
     System sys(cfgFor(Scheme::FsEncr));
     workloads::standardEnvironment(sys, "pw");
-    int fd = sys.creat(0, "/pmem/f", 0600, true, "pw");
+    int fd = sys.creat(0, "/pmem/f", 0600, OpenFlags::Encrypted, "pw");
     sys.ftruncate(0, fd, pageSize);
     Addr va = sys.mmapFile(0, fd, pageSize);
     for (int i = 0; i < 8; ++i) {
@@ -281,5 +281,5 @@ TEST(SecurityScenario, IntegrityViolationQuarantinesTamperedFile)
     ASSERT_EQ(out.damagedFiles.size(), 1u);
     EXPECT_EQ(out.damagedFiles[0], "/pmem/f");
     EXPECT_GT(out.quarantinedLines, 0u);
-    EXPECT_LT(sys.open(0, "/pmem/f", false, "pw"), 0);
+    EXPECT_LT(sys.open(0, "/pmem/f", OpenFlags::None, "pw"), 0);
 }

@@ -221,7 +221,7 @@ TEST_P(FecbFactorSweep, WritesMonotoneAndRecoverable)
     cfg.sec.fecbStopLossFactor = GetParam();
     System sys(cfg);
     workloads::standardEnvironment(sys, "pw");
-    int fd = sys.creat(0, "/pmem/f", 0600, true, "pw");
+    int fd = sys.creat(0, "/pmem/f", 0600, OpenFlags::Encrypted, "pw");
     sys.ftruncate(0, fd, 4 * pageSize);
     Addr va = sys.mmapFile(0, fd, 4 * pageSize);
 

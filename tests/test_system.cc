@@ -42,7 +42,7 @@ Addr
 mapEncryptedFile(System &sys, const std::string &path,
                  std::uint64_t bytes)
 {
-    int fd = sys.creat(0, path, 0600, true, "alice-pw");
+    int fd = sys.creat(0, path, 0600, OpenFlags::Encrypted, "alice-pw");
     sys.ftruncate(0, fd, bytes);
     return sys.mmapFile(0, fd, bytes);
 }

@@ -35,7 +35,7 @@ captureWorkload()
     sys.mc().setTraceCapture(&trace);
 
     workloads::standardEnvironment(sys, "pw");
-    int fd = sys.creat(0, "/pmem/t", 0600, true, "pw");
+    int fd = sys.creat(0, "/pmem/t", 0600, OpenFlags::Encrypted, "pw");
     sys.ftruncate(0, fd, 1 << 20);
     Addr va = sys.mmapFile(0, fd, 1 << 20);
     for (Addr off = 0; off < (1u << 20); off += 256) {

@@ -23,6 +23,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/cli.hh"
 #include "common/compare.hh"
 #include "common/json.hh"
 #include "common/report.hh"
@@ -30,19 +31,6 @@
 using namespace fsencr;
 
 namespace {
-
-void
-usage(const char *argv0)
-{
-    std::printf(
-        "usage: %s [options] BASELINE.json CURRENT.json\n"
-        "  --rel F        relative regression threshold (default 0.05)\n"
-        "  --abs F        absolute threshold in metric units (default 0)\n"
-        "  --report FILE  write a fsencr-compare-report JSON\n"
-        "  --quiet        summary line only, no per-metric listing\n"
-        "exit: 0 clean, 1 regression, 2 structural error\n",
-        argv0);
-}
 
 bool
 loadJson(const std::string &path, json::Value &out, std::string &err)
@@ -71,42 +59,24 @@ main(int argc, char **argv)
     bool quiet = false;
     std::string baseline_path, current_path;
 
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s needs a value\n", a.c_str());
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (a == "--rel") {
-            opt.relTolerance = std::strtod(next(), nullptr);
-        } else if (a == "--abs") {
-            opt.absTolerance = std::strtod(next(), nullptr);
-        } else if (a == "--report") {
-            report_out = next();
-        } else if (a == "--quiet") {
-            quiet = true;
-        } else if (a == "--help" || a == "-h") {
-            usage(argv[0]);
-            return 0;
-        } else if (!a.empty() && a[0] == '-') {
-            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
-            usage(argv[0]);
-            return 2;
-        } else if (baseline_path.empty()) {
-            baseline_path = a;
-        } else if (current_path.empty()) {
-            current_path = a;
-        } else {
-            std::fprintf(stderr, "too many positional arguments\n");
-            usage(argv[0]);
-            return 2;
-        }
-    }
+    cli::Parser p("[options]");
+    p.optDouble("--rel", "F",
+                "relative regression threshold (default 0.05)",
+                &opt.relTolerance)
+        .optDouble("--abs", "F",
+                   "absolute threshold in metric units (default 0)",
+                   &opt.absTolerance)
+        .opt("--report", "FILE", "write a fsencr-compare-report JSON",
+             &report_out)
+        .flag("--quiet", "summary line only, no per-metric listing",
+              &quiet)
+        .positional("BASELINE.json", &baseline_path)
+        .positional("CURRENT.json", &current_path)
+        .epilogue("exit: 0 clean, 1 regression, 2 structural error");
+    if (int rc = p.parse(argc, argv))
+        return rc;
     if (current_path.empty()) {
-        usage(argv[0]);
+        p.usage(stdout, argv[0]);
         return 2;
     }
 

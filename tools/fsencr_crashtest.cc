@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/report.hh"
 #include "common/rng.hh"
@@ -112,68 +113,40 @@ parseScheme(const std::string &s, Scheme &out)
     return true;
 }
 
-void
-usage(const char *argv0)
-{
-    std::printf(
-        "usage: %s [options]\n"
-        "  --seed N        master seed (crash points, torn lengths, "
-        "bits)\n"
-        "  --crashes K     number of crash-recover runs (default 5)\n"
-        "  --fault CLASS   "
-        "{midop|torn|dropped|databitflip|metabitflip|all}\n"
-        "  --ops N         workload operations per run (default 160)\n"
-        "  --files F       files in the working set (default 4)\n"
-        "  --scheme S      {none|baseline|fsencr|swenc} (default "
-        "fsencr)\n"
-        "  --report FILE   write the fsencr-crashtest-report v1 JSON\n"
-        "  --json          print the report to stdout\n",
-        argv0);
-}
-
 int
 parseArgs(int argc, char **argv, Options &opt)
 {
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s needs a value\n", a.c_str());
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (a == "--seed") {
-            opt.seed = std::strtoull(next(), nullptr, 0);
-        } else if (a == "--crashes") {
-            opt.crashes = static_cast<unsigned>(
-                std::strtoul(next(), nullptr, 0));
-        } else if (a == "--fault") {
-            opt.fault = next();
-        } else if (a == "--ops") {
-            opt.ops = static_cast<unsigned>(
-                std::strtoul(next(), nullptr, 0));
-        } else if (a == "--files") {
-            opt.files = static_cast<unsigned>(
-                std::strtoul(next(), nullptr, 0));
-        } else if (a == "--scheme") {
-            if (!parseScheme(next(), opt.scheme)) {
-                std::fprintf(stderr, "unknown scheme\n");
-                return 2;
-            }
-        } else if (a == "--report") {
-            opt.reportOut = next();
-        } else if (a == "--json") {
-            opt.json = true;
-        } else if (a == "--help" || a == "-h") {
-            usage(argv[0]);
-            std::exit(0);
-        } else {
-            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
-            usage(argv[0]);
-            return 2;
-        }
-    }
+    cli::Parser p;
+    p.optU64("--seed", "N",
+             "master seed (crash points, torn lengths, bits)",
+             &opt.seed)
+        .optUnsigned("--crashes", "K",
+                     "number of crash-recover runs (default 5)",
+                     &opt.crashes)
+        .opt("--fault", "CLASS",
+             "{midop|torn|dropped|databitflip|metabitflip|all}",
+             &opt.fault)
+        .optUnsigned("--ops", "N",
+                     "workload operations per run (default 160)",
+                     &opt.ops)
+        .optUnsigned("--files", "F",
+                     "files in the working set (default 4)",
+                     &opt.files)
+        .custom("--scheme", "S",
+                "{none|baseline|fsencr|swenc} (default fsencr)",
+                [&opt](const std::string &v) {
+                    if (!parseScheme(v, opt.scheme)) {
+                        std::fprintf(stderr, "unknown scheme\n");
+                        return false;
+                    }
+                    return true;
+                })
+        .opt("--report", "FILE",
+             "write the fsencr-crashtest-report v1 JSON",
+             &opt.reportOut)
+        .flag("--json", "print the report to stdout", &opt.json);
+    if (int rc = p.parse(argc, argv))
+        return rc;
     if (opt.crashes == 0 || opt.files == 0 || opt.ops < 2) {
         std::fprintf(stderr, "need --crashes>=1 --files>=1 --ops>=2\n");
         return 2;
@@ -287,7 +260,7 @@ struct Machine
     {
         workloads::standardEnvironment(sys, kPass);
         for (unsigned f = 0; f < o.files; ++f) {
-            int fd = sys.creat(0, filePath(f), 0600, true, kPass);
+            int fd = sys.creat(0, filePath(f), 0600, OpenFlags::Encrypted, kPass);
             sys.ftruncate(0, fd, pagesPerFile * pageSize);
             fds.push_back(fd);
         }
@@ -493,7 +466,7 @@ checkInvariants(Machine &m, const Options &o, const Oracle &oracle,
         if (!fault_hit)
             r.invIsolation = false;
 
-        if (m.sys.open(0, filePath(f), false, kPass) >= 0)
+        if (m.sys.open(0, filePath(f), OpenFlags::None, kPass) >= 0)
             r.invIsolation = false;
         bool threw = false;
         std::uint8_t buf[blockSize];
@@ -527,7 +500,7 @@ checkInvariants(Machine &m, const Options &o, const Oracle &oracle,
     for (unsigned f = 0; f < o.files; ++f) {
         if (damaged.count(f))
             continue;
-        int fd = m.sys.open(0, filePath(f), false, kPass);
+        int fd = m.sys.open(0, filePath(f), OpenFlags::None, kPass);
         if (fd < 0) {
             r.invVersionConsistent = false;
             continue;
@@ -693,9 +666,8 @@ writeReport(std::ostream &os, const Options &o, std::uint64_t W,
             const std::vector<RunResult> &runs)
 {
     report::JsonWriter w(os);
-    w.beginObject();
-    w.field("schema", report::crashtestReportSchema);
-    w.field("version", report::crashtestReportVersion);
+    report::beginReport(w, report::crashtestReportSchema,
+                        report::crashtestReportVersion);
 
     w.beginObject("config");
     w.field("seed", o.seed);

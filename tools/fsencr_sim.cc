@@ -22,6 +22,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/cli.hh"
 #include "common/metrics.hh"
 #include "common/report.hh"
 #include "common/trace.hh"
@@ -57,6 +58,8 @@ struct Options
     Tick sampleInterval = 0;    //!< --sample-interval TICKS (0 = off)
     std::string metricsCsv;     //!< --metrics-csv FILE (interval deltas)
     std::string metricsProm;    //!< --metrics-prom FILE (text exposition)
+    unsigned mcBanks = 0;       //!< --mc-banks N (0 = config default)
+    unsigned mcMshrs = 0;       //!< --mc-mshrs N (0 = config default)
 };
 
 using Factory =
@@ -156,90 +159,54 @@ parseScheme(const std::string &s, Scheme &out)
     return true;
 }
 
-void
-usage(const char *argv0)
-{
-    std::printf(
-        "usage: %s [options]\n"
-        "  --scheme {none|baseline|fsencr|swenc}   protection scheme\n"
-        "  --workload NAME                         (see --list-workloads)\n"
-        "  --ops N / --keys N                      workload size\n"
-        "  --metadata-cache-kb N                   Table III sweep knob\n"
-        "  --stop-loss N                           Osiris persistence bound\n"
-        "  --seed N                                determinism\n"
-        "  --stats / --json                        dump the stat tree\n"
-        "  --trace-out FILE                        capture MC trace\n"
-        "  --replay FILE                           replay MC trace\n"
-        "  --report FILE                           machine-readable run report\n"
-        "  --trace-events FILE                     Chrome trace_event JSON\n"
-        "  --sample-interval TICKS                 metrics time-series sampling\n"
-        "  --metrics-csv FILE                      interval deltas as CSV\n"
-        "  --metrics-prom FILE                     Prometheus text exposition\n"
-        "  --list-workloads\n",
-        argv0);
-}
-
 int
 parseArgs(int argc, char **argv, Options &opt)
 {
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s needs a value\n", a.c_str());
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (a == "--scheme") {
-            if (!parseScheme(next(), opt.scheme)) {
-                std::fprintf(stderr, "unknown scheme\n");
-                return 2;
-            }
-        } else if (a == "--workload") {
-            opt.workload = next();
-        } else if (a == "--ops") {
-            opt.ops = std::strtoull(next(), nullptr, 0);
-        } else if (a == "--keys") {
-            opt.keys = std::strtoull(next(), nullptr, 0);
-        } else if (a == "--metadata-cache-kb") {
-            opt.metadataCacheKb =
-                std::strtoull(next(), nullptr, 0);
-        } else if (a == "--stop-loss") {
-            opt.stopLoss = static_cast<unsigned>(
-                std::strtoul(next(), nullptr, 0));
-        } else if (a == "--seed") {
-            opt.seed = std::strtoull(next(), nullptr, 0);
-        } else if (a == "--stats") {
-            opt.stats = true;
-        } else if (a == "--json") {
-            opt.json = true;
-        } else if (a == "--trace-out") {
-            opt.traceOut = next();
-        } else if (a == "--replay") {
-            opt.replayIn = next();
-        } else if (a == "--report") {
-            opt.reportOut = next();
-        } else if (a == "--trace-events") {
-            opt.traceEventsOut = next();
-        } else if (a == "--sample-interval") {
-            opt.sampleInterval = std::strtoull(next(), nullptr, 0);
-        } else if (a == "--metrics-csv") {
-            opt.metricsCsv = next();
-        } else if (a == "--metrics-prom") {
-            opt.metricsProm = next();
-        } else if (a == "--list-workloads") {
-            opt.listWorkloads = true;
-        } else if (a == "--help" || a == "-h") {
-            usage(argv[0]);
-            std::exit(0);
-        } else {
-            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
-            usage(argv[0]);
-            return 2;
-        }
-    }
-    return 0;
+    cli::Parser p;
+    p.custom("--scheme", "{none|baseline|fsencr|swenc}",
+             "protection scheme",
+             [&opt](const std::string &v) {
+                 if (!parseScheme(v, opt.scheme)) {
+                     std::fprintf(stderr, "unknown scheme\n");
+                     return false;
+                 }
+                 return true;
+             })
+        .opt("--workload", "NAME", "(see --list-workloads)",
+             &opt.workload)
+        .optU64("--ops", "N", "operation count (0 = workload default)",
+                &opt.ops)
+        .optU64("--keys", "N", "key count (0 = workload default)",
+                &opt.keys)
+        .optSize("--metadata-cache-kb", "N", "Table III sweep knob",
+                 &opt.metadataCacheKb)
+        .optUnsigned("--stop-loss", "N", "Osiris persistence bound",
+                     &opt.stopLoss)
+        .optU64("--seed", "N", "determinism", &opt.seed)
+        .optUnsigned("--mc-banks", "N",
+                     "controller issue width over the banked device "
+                     "(1 = legacy serial)",
+                     &opt.mcBanks)
+        .optUnsigned("--mc-mshrs", "N",
+                     "outstanding-request registers (caps overlap)",
+                     &opt.mcMshrs)
+        .flag("--stats", "dump the stat tree", &opt.stats)
+        .flag("--json", "dump the stat tree as JSON", &opt.json)
+        .opt("--trace-out", "FILE", "capture MC trace", &opt.traceOut)
+        .opt("--replay", "FILE", "replay MC trace", &opt.replayIn)
+        .opt("--report", "FILE", "machine-readable run report",
+             &opt.reportOut)
+        .opt("--trace-events", "FILE", "Chrome trace_event JSON",
+             &opt.traceEventsOut)
+        .optU64("--sample-interval", "TICKS",
+                "metrics time-series sampling", &opt.sampleInterval)
+        .opt("--metrics-csv", "FILE", "interval deltas as CSV",
+             &opt.metricsCsv)
+        .opt("--metrics-prom", "FILE", "Prometheus text exposition",
+             &opt.metricsProm)
+        .flag("--list-workloads", "print workload names and exit",
+              &opt.listWorkloads);
+    return p.parse(argc, argv);
 }
 
 SimConfig
@@ -252,6 +219,10 @@ configFrom(const Options &opt)
         cfg.sec.metadataCacheBytes = opt.metadataCacheKb << 10;
     if (opt.stopLoss != 0xffffffff)
         cfg.sec.osirisStopLoss = opt.stopLoss;
+    if (opt.mcBanks)
+        cfg.pcm.mcBanks = opt.mcBanks;
+    if (opt.mcMshrs)
+        cfg.pcm.mcMshrs = opt.mcMshrs;
     return cfg;
 }
 
@@ -293,18 +264,6 @@ latencyJsonOf(const SecureMemoryController &mc)
 }
 
 void
-writeAttribution(report::JsonWriter &w, const trace::Breakdown &attr)
-{
-    w.beginObject("attribution");
-    w.field("total", attr.total());
-    w.beginObject("components");
-    for (unsigned c = 0; c < trace::NumComponents; ++c)
-        w.field(trace::componentName(c), attr.ticks[c]);
-    w.endObject();
-    w.endObject();
-}
-
-void
 writeConfig(report::JsonWriter &w, const Options &opt,
             const SimConfig &cfg)
 {
@@ -318,6 +277,8 @@ writeConfig(report::JsonWriter &w, const Options &opt,
             static_cast<std::uint64_t>(cfg.sec.metadataCacheBytes));
     w.field("osiris_stop_loss",
             static_cast<std::uint64_t>(cfg.sec.osirisStopLoss));
+    w.field("mc_banks", static_cast<std::uint64_t>(cfg.pcm.mcBanks));
+    w.field("mc_mshrs", static_cast<std::uint64_t>(cfg.pcm.mcMshrs));
     w.endObject();
 }
 
@@ -338,9 +299,8 @@ writeRunReport(const std::string &path, const char *mode,
     if (!os)
         return false;
     report::JsonWriter w(os);
-    w.beginObject();
-    w.field("schema", report::runReportSchema);
-    w.field("version", report::runReportVersion);
+    report::beginReport(w, report::runReportSchema,
+                        report::runReportVersion);
     w.field("mode", mode);
     writeConfig(w, opt, cfg);
     w.beginObject("result");
@@ -353,7 +313,7 @@ writeRunReport(const std::string &path, const char *mode,
                                static_cast<double>(r.operations)
                          : 0.0);
     w.endObject();
-    writeAttribution(w, attr);
+    report::writeBreakdown(w, "attribution", attr);
     w.rawField("latency", latency_json);
     // v2: optional timeseries + labeled-family sections (additive).
     if (sampler)
