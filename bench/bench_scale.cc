@@ -1,0 +1,208 @@
+/**
+ * @file
+ * bench_scale: throughput suite for the fast-forward execution mode.
+ *
+ * Four phases:
+ *  1. Golden cross-check — every scale cell runs once exact and once
+ *     with --fast-forward at a matched op count; any divergence in
+ *     ticks, NVM traffic or cycle attribution fails the bench (exit
+ *     nonzero). This is the same invariant tests/test_fast_forward.cc
+ *     proves on the figure benches, re-checked at bench scale.
+ *  2. Throughput — the exact model runs a sized-down cell, fast-forward
+ *     runs the full cell (>= 100M ops without --quick), and the bench
+ *     reports host-side ops/sec and the speedup ratio (target >= 20x).
+ *  3. Report rows — the fast-forward cells run across the three paper
+ *     schemes through runRows(), so they land in the standard
+ *     fsencr-bench-report and are gated against committed baselines
+ *     like every other suite.
+ *  4. Trace capture/replay — an out-of-cache variant is captured once
+ *     at the controller and replayed against all three schemes, twice
+ *     each: replay must be byte-identical run to run.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "bench/suites.hh"
+#include "cpu/mem_trace.hh"
+#include "workloads/scale_micro.hh"
+
+using namespace fsencr;
+using namespace fsencr::bench;
+
+namespace {
+
+struct CellRun
+{
+    workloads::WorkloadResult r;
+    trace::Breakdown attr;
+    double hostSeconds = 0.0;
+};
+
+CellRun
+runCell(const SimConfig &cfg, const workloads::ScaleMicroConfig &wc)
+{
+    System sys(cfg);
+    workloads::ScaleMicroWorkload w(wc);
+    // Host timing brackets only the measured phase, mirroring the
+    // simulated measurement window (setup is identical either way).
+    w.setup(sys);
+    sys.beginMeasurement();
+    auto t0 = std::chrono::steady_clock::now();
+    w.execute(sys);
+    CellRun out;
+    out.hostSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    out.r.ticks = sys.measuredTicks();
+    out.r.nvmReads = sys.measuredReads();
+    out.r.nvmWrites = sys.measuredWrites();
+    out.r.operations = w.operations();
+    out.attr = sys.measuredAttribution();
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = quickMode(argc, argv);
+    SimConfig base = benchConfig(argc, argv);
+    base.scheme = Scheme::FsEncr;
+    unsigned jobs = benchJobs(argc, argv);
+
+    // Phase 1: tick-exactness at matched op counts.
+    std::uint64_t check_ops = quick ? 200000 : 1000000;
+    std::printf("bench_scale: cross-checking fast-forward vs exact "
+                "(%llu ops/cell)\n",
+                static_cast<unsigned long long>(check_ops));
+    for (const auto &wc : workloads::scaleMicroSuite(check_ops)) {
+        SimConfig exact = base;
+        exact.fastForward = false;
+        SimConfig ff = base;
+        ff.fastForward = true;
+        CellRun a = runCell(exact, wc);
+        CellRun b = runCell(ff, wc);
+        bool same = a.r.ticks == b.r.ticks &&
+                    a.r.nvmReads == b.r.nvmReads &&
+                    a.r.nvmWrites == b.r.nvmWrites;
+        for (unsigned c = 0; c < trace::NumComponents; ++c)
+            same = same && a.attr.ticks[c] == b.attr.ticks[c];
+        if (!same) {
+            std::fprintf(stderr,
+                         "bench_scale: DIVERGENCE on %s: exact "
+                         "{ticks=%llu r=%llu w=%llu} ff {ticks=%llu "
+                         "r=%llu w=%llu}\n",
+                         workloads::scalePatternName(wc.pattern),
+                         static_cast<unsigned long long>(a.r.ticks),
+                         static_cast<unsigned long long>(a.r.nvmReads),
+                         static_cast<unsigned long long>(a.r.nvmWrites),
+                         static_cast<unsigned long long>(b.r.ticks),
+                         static_cast<unsigned long long>(b.r.nvmReads),
+                         static_cast<unsigned long long>(
+                             b.r.nvmWrites));
+            return 1;
+        }
+        std::printf("  %s: tick-exact at %llu ops (ticks=%llu)\n",
+                    workloads::scalePatternName(wc.pattern),
+                    static_cast<unsigned long long>(check_ops),
+                    static_cast<unsigned long long>(a.r.ticks));
+    }
+
+    // Phase 2: throughput. The exact model runs fewer ops (it would
+    // take ~an hour at 100M); rates are host ops/sec, best of three
+    // runs per cell (the simulation is deterministic, so repetition
+    // only filters host-side noise).
+    std::uint64_t exact_ops = quick ? 1000000 : 5000000;
+    std::uint64_t ff_ops = quick ? 20000000 : 100000000;
+    std::printf("\nbench_scale: throughput (exact %llu ops, "
+                "fast-forward %llu ops)\n",
+                static_cast<unsigned long long>(exact_ops),
+                static_cast<unsigned long long>(ff_ops));
+    std::printf("%-14s %16s %16s %10s\n", "pattern", "exact ops/s",
+                "ff ops/s", "speedup");
+    const unsigned reps = 7;
+    for (auto wc : workloads::scaleMicroSuite(exact_ops)) {
+        SimConfig exact = base;
+        exact.fastForward = false;
+        SimConfig ff = base;
+        ff.fastForward = true;
+
+        double ra = 0.0;
+        double rb = 0.0;
+        for (unsigned rep = 0; rep < reps; ++rep) {
+            wc.ops = exact_ops;
+            CellRun a = runCell(exact, wc);
+            if (a.hostSeconds > 0.0)
+                ra = std::max(ra, static_cast<double>(exact_ops) /
+                                      a.hostSeconds);
+            wc.ops = ff_ops;
+            CellRun b = runCell(ff, wc);
+            if (b.hostSeconds > 0.0)
+                rb = std::max(rb, static_cast<double>(ff_ops) /
+                                      b.hostSeconds);
+        }
+        double speedup = ra > 0.0 ? rb / ra : 0.0;
+        std::printf("%-14s %16.0f %16.0f %9.1fx%s\n",
+                    workloads::scalePatternName(wc.pattern), ra, rb,
+                    speedup, speedup >= 20.0 ? "" : "  (< 20x target)");
+    }
+
+    // Phase 3: report rows across the paper schemes, through the
+    // standard report/baseline pipeline.
+    SimConfig ff = base;
+    ff.fastForward = true;
+    std::vector<RowSpec> specs;
+    for (const auto &wc : workloads::scaleMicroSuite(ff_ops)) {
+        workloads::ScaleMicroWorkload probe(wc);
+        specs.push_back({probe.name(), [wc]() {
+                             return std::make_unique<
+                                 workloads::ScaleMicroWorkload>(wc);
+                         }});
+    }
+    auto rows = runRows(specs, paperSchemes(), ff, jobs);
+    printFigure("bench_scale: cache-resident slowdown (fast-forward)",
+                rows, Metric::Slowdown, Scheme::NoEncryption,
+                paperSchemes());
+
+    // Phase 4: capture once (out-of-cache variant so the controller
+    // sees traffic), replay across all three schemes, twice each.
+    workloads::ScaleMicroConfig cap;
+    cap.pattern = workloads::ScalePattern::Mixed;
+    cap.ops = quick ? 100000 : 1000000;
+    cap.spanBytes = 8 << 20; // larger than the LLC: real MC traffic
+    MemTrace mt;
+    {
+        System sys(ff);
+        sys.mc().setTraceCapture(&mt);
+        workloads::ScaleMicroWorkload w(cap);
+        workloads::runWorkload(sys, w);
+    }
+    std::printf("\nbench_scale: captured %llu controller records; "
+                "replaying per scheme\n",
+                static_cast<unsigned long long>(mt.size()));
+    for (Scheme s : paperSchemes()) {
+        SimConfig rcfg = base;
+        rcfg.scheme = s;
+        ReplayResult r1 = replayTrace(mt, rcfg);
+        ReplayResult r2 = replayTrace(mt, rcfg);
+        if (r1.totalTicks != r2.totalTicks ||
+            r1.nvmReads != r2.nvmReads ||
+            r1.nvmWrites != r2.nvmWrites) {
+            std::fprintf(stderr,
+                         "bench_scale: replay of %s not "
+                         "deterministic\n",
+                         schemeName(s));
+            return 1;
+        }
+        std::printf("  %-18s ticks=%llu nvm_reads=%llu "
+                    "nvm_writes=%llu\n",
+                    schemeName(s),
+                    static_cast<unsigned long long>(r1.totalTicks),
+                    static_cast<unsigned long long>(r1.nvmReads),
+                    static_cast<unsigned long long>(r1.nvmWrites));
+    }
+    return 0;
+}

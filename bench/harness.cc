@@ -129,6 +129,10 @@ benchConfig(int argc, char **argv)
         .optUnsigned("--mc-mshrs", "N",
                      "outstanding-request registers (caps overlap)",
                      &cfg.pcm.mcMshrs)
+        .flag("--fast-forward",
+              "collapse L1-hit runs into bulk clock updates "
+              "(tick-exact; see docs/ARCHITECTURE.md)",
+              &cfg.fastForward)
         .ignoreUnknown();
     p.parse(argc, argv);
     return cfg;

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Smoke-test the bench_scale fast-forward suite end to end:
+#
+#  1. run bench_scale --quick; its own exit code already gates the
+#     golden cross-check (fast-forward vs exact at matched op counts)
+#     and the per-scheme trace-replay determinism check,
+#  2. assert the stdout shows a tick-exact line per scale cell and no
+#     divergence,
+#  3. validate the fsencr-bench-report it writes: both scale cells
+#     present, one cell per paper scheme, nonzero ticks everywhere,
+#  4. rerun and diff the two reports with fsencr-compare at a zero
+#     threshold (the simulated side of the suite is deterministic;
+#     host-side throughput lives only in stdout, not the report),
+#  5. if a committed quick baseline exists under bench/baselines/quick,
+#     gate the fresh report against it.
+#
+# The throughput phase's speedup ratio is intentionally NOT gated
+# here: ctest hosts share cores, so wall-clock ratios are too noisy
+# for a pass/fail line. The ">= 20x" target is checked on quiet hosts
+# via the bench's own output (see docs/ARCHITECTURE.md).
+#
+# Usage: scripts/bench_scale_smoke.sh [build-dir]
+# Exit 0 on success; registered as a ctest test.
+set -eu
+
+build_dir="${1:-$(dirname "$0")/../build}"
+src_dir="$(cd "$(dirname "$0")/.." && pwd)"
+bench="$build_dir/bench/bench_scale"
+compare="$build_dir/tools/fsencr-compare"
+for bin in "$bench" "$compare"; do
+    [ -x "$bin" ] || { echo "missing $bin (build first)"; exit 1; }
+done
+
+python3_bin="$(command -v python3 || true)"
+[ -n "$python3_bin" ] || { echo "python3 not found; skipping"; exit 0; }
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+FSENCR_BENCH_REPORT="$tmp/scale1.json" "$bench" --quick \
+    > "$tmp/stdout.txt" 2>&1 || {
+    echo "FAIL: bench_scale --quick exited nonzero"
+    cat "$tmp/stdout.txt"
+    exit 1
+}
+
+for cell in scale-seq scale-mixed; do
+    grep -q "$cell: tick-exact" "$tmp/stdout.txt" || {
+        echo "FAIL: no tick-exact line for $cell"
+        cat "$tmp/stdout.txt"
+        exit 1
+    }
+done
+if grep -q "DIVERGENCE" "$tmp/stdout.txt"; then
+    echo "FAIL: fast-forward diverged from the exact model"
+    cat "$tmp/stdout.txt"
+    exit 1
+fi
+echo "ok: golden cross-check and replay determinism (bench exit 0)"
+
+"$python3_bin" - "$tmp/scale1.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+assert doc["schema"] == "fsencr-bench-report", doc.get("schema")
+assert isinstance(doc["version"], int)
+
+rows = {row["name"]: row for row in doc["rows"]}
+assert set(rows) == {"scale-seq", "scale-mixed"}, set(rows)
+for name, row in rows.items():
+    schemes = {c["scheme"] for c in row["cells"]}
+    assert schemes == {"ext4-dax-no-encryption", "baseline-security",
+                       "fsencr"}, (name, schemes)
+    for cell in row["cells"]:
+        assert cell["ticks"] > 0, (name, cell["scheme"])
+        assert cell["operations"] > 0, (name, cell["scheme"])
+
+print("bench_scale report OK: %d rows x %d schemes"
+      % (len(rows), 3))
+EOF
+
+FSENCR_BENCH_REPORT="$tmp/scale2.json" "$bench" --quick \
+    > /dev/null 2>&1
+"$compare" --quiet --rel 0 --abs 0 "$tmp/scale1.json" \
+           "$tmp/scale2.json" > /dev/null || {
+    echo "FAIL: bench_scale report not deterministic across reruns"
+    exit 1
+}
+echo "ok: identical rerun gates clean at zero threshold"
+
+baseline="$src_dir/bench/baselines/quick/REPORT_bench_scale.json"
+if [ -s "$baseline" ]; then
+    "$compare" --quiet "$baseline" "$tmp/scale1.json" > /dev/null || {
+        echo "FAIL: regression vs committed baseline $baseline"
+        exit 1
+    }
+    echo "ok: fresh quick report matches committed baseline"
+else
+    echo "note: no committed baseline at $baseline"
+fi
+
+echo "bench_scale smoke OK"

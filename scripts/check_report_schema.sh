@@ -16,7 +16,12 @@
 #  7. rerun the workload with --mc-banks 4 and validate the banked
 #     metrics families: mc.overlap with read/write labels, the
 #     per-bank mc.bank_busy occupancy family, and a nonzero
-#     overlapTicks stat.
+#     overlapTicks stat,
+#  8. rerun the workload with --fast-forward: the run report must
+#     record the mode, gate clean against the exact report at a zero
+#     threshold (the tick-exact contract, end to end through the CLI),
+#     and a --trace-out capture taken under fast-forward must replay
+#     byte-identically twice through --trace-in.
 #
 # Usage: scripts/check_report_schema.sh [build-dir]
 # Exit 0 on success; registered as a ctest test.
@@ -249,3 +254,62 @@ assert busy["total"] > 0 and len(busy["values"]) > 1, busy
 print("banked schema OK: %d overlap ticks over %d banks"
       % (overlap["total"], len(busy["values"])))
 EOF
+
+# Fast-forward: same workload and seed as the exact run above, plus a
+# controller-trace capture. Tick-exactness is gated at zero threshold
+# by fsencr-compare, not just eyeballed in python.
+"$sim" --scheme fsencr --workload fillrandom-S --ops 2000 --keys 2000 \
+       --fast-forward --trace-out "$tmp/ff.trace" \
+       --report "$tmp/ff.json" --sample-interval 1000000 \
+       > "$tmp/ff-stdout.txt"
+
+"$python3_bin" - "$tmp/report.json" "$tmp/ff.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    exact = json.load(f)
+with open(sys.argv[2]) as f:
+    ff = json.load(f)
+
+assert exact["config"]["fast_forward"] is False
+assert ff["config"]["fast_forward"] is True
+
+# Zero divergence in every measured quantity.
+for key in ("operations", "ticks", "nvm_reads", "nvm_writes"):
+    assert exact["result"][key] == ff["result"][key], \
+        (key, exact["result"][key], ff["result"][key])
+for comp, ticks in exact["attribution"]["components"].items():
+    assert ff["attribution"]["components"][comp] == ticks, comp
+
+print("fast-forward schema OK: tick-exact at %d ticks"
+      % ff["result"]["ticks"])
+EOF
+
+"$compare" --quiet --rel 0 --abs 0 "$tmp/report.json" "$tmp/ff.json" \
+    > /dev/null || {
+    echo "FAIL: fast-forward run diverged from the exact model"
+    exit 1
+}
+
+# Replay the fast-forward capture twice: replay mode must be recorded
+# and the two reports must gate clean at zero threshold.
+[ -s "$tmp/ff.trace" ] || { echo "FAIL: --trace-out wrote nothing"; exit 1; }
+"$sim" --scheme fsencr --trace-in "$tmp/ff.trace" \
+       --report "$tmp/replay1.json" > /dev/null
+"$sim" --scheme fsencr --trace-in "$tmp/ff.trace" \
+       --report "$tmp/replay2.json" > /dev/null
+
+"$python3_bin" - "$tmp/replay1.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["mode"] == "replay", doc["mode"]
+assert doc["result"]["ticks"] > 0
+print("replay schema OK: %d ticks" % doc["result"]["ticks"])
+EOF
+
+"$compare" --quiet --rel 0 --abs 0 "$tmp/replay1.json" \
+           "$tmp/replay2.json" > /dev/null || {
+    echo "FAIL: replay of the fast-forward capture not deterministic"
+    exit 1
+}

@@ -57,6 +57,7 @@ benches=(
     bench_ablation_metacache
     bench_ablation_rekey
     bench_recovery_time
+    bench_scale
 )
 
 for b in "${benches[@]}"; do

@@ -31,41 +31,10 @@ SetAssocCache::SetAssocCache(const std::string &name,
     statGroup_.addScalar("writebacks", writebacks_);
 }
 
-std::size_t
-SetAssocCache::setIndex(Addr addr) const
-{
-    return (addr >> lineShift_) & (numSets_ - 1);
-}
-
-Addr
-SetAssocCache::tagOf(Addr addr) const
-{
-    return addr >> lineShift_;
-}
-
 Addr
 SetAssocCache::reconstruct(const Line &l) const
 {
     return l.tag << lineShift_;
-}
-
-SetAssocCache::Line *
-SetAssocCache::findLine(Addr addr)
-{
-    std::size_t set = setIndex(addr);
-    Addr tag = tagOf(addr);
-    for (unsigned w = 0; w < assoc_; ++w) {
-        Line &l = lines_[set * assoc_ + w];
-        if (l.valid && l.tag == tag)
-            return &l;
-    }
-    return nullptr;
-}
-
-const SetAssocCache::Line *
-SetAssocCache::findLine(Addr addr) const
-{
-    return const_cast<SetAssocCache *>(this)->findLine(addr);
 }
 
 CacheAccessResult

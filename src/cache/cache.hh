@@ -45,6 +45,16 @@ class SetAssocCache
     SetAssocCache(const std::string &name, std::size_t size_bytes,
                   unsigned assoc, std::size_t line_bytes = blockSize);
 
+    /** One tag-array entry. Public so the fast-forward path can hold a
+     *  direct reference to a resident line (see ffProbe()). */
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        std::uint64_t lru = 0;
+    };
+
     /**
      * Look up and, on a miss, allocate the line.
      *
@@ -85,6 +95,30 @@ class SetAssocCache
     /** Drop everything without writeback (power loss). */
     void loseAll();
 
+    /// @name Fast-forward support (see docs/ARCHITECTURE.md).
+    ///
+    /// ffProbe() locates a resident line without touching LRU state or
+    /// stats; ffCredit() then applies a batch of N hits against it in
+    /// one step. `lruClock_ += n; l->lru = lruClock_; hits_ += n`
+    /// (plus a single dirty mark when any access in the run was a
+    /// store) leaves byte-identical final state to N consecutive
+    /// access() hits on the same line. Line pointers are stable (the
+    /// tag array never resizes) but only valid until the next
+    /// access()/invalidate()/loseAll() on this cache.
+    /// @{
+    Line *ffProbe(Addr addr) { return findLine(addr); }
+
+    void
+    ffCredit(Line *l, std::uint64_t n, bool mark_dirty)
+    {
+        lruClock_ += n;
+        l->lru = lruClock_;
+        hits_ += n;
+        if (mark_dirty)
+            l->dirty = true;
+    }
+    /// @}
+
     std::size_t numSets() const { return numSets_; }
     unsigned assoc() const { return assoc_; }
     std::size_t capacityBytes() const { return numSets_ * assoc_ * lineBytes_; }
@@ -94,19 +128,36 @@ class SetAssocCache
     std::uint64_t misses() const { return misses_.value(); }
 
   private:
-    struct Line
+    std::size_t
+    setIndex(Addr addr) const
     {
-        bool valid = false;
-        bool dirty = false;
-        Addr tag = 0;
-        std::uint64_t lru = 0;
-    };
+        return (addr >> lineShift_) & (numSets_ - 1);
+    }
 
-    std::size_t setIndex(Addr addr) const;
-    Addr tagOf(Addr addr) const;
+    Addr tagOf(Addr addr) const { return addr >> lineShift_; }
+
     Addr reconstruct(const Line &l) const;
-    Line *findLine(Addr addr);
-    const Line *findLine(Addr addr) const;
+
+    // Inline so ffProbe() compiles down to one set scan with no call
+    // overhead; it runs once per fast-forward line segment.
+    Line *
+    findLine(Addr addr)
+    {
+        std::size_t set = setIndex(addr);
+        Addr tag = tagOf(addr);
+        for (unsigned w = 0; w < assoc_; ++w) {
+            Line &l = lines_[set * assoc_ + w];
+            if (l.valid && l.tag == tag)
+                return &l;
+        }
+        return nullptr;
+    }
+
+    const Line *
+    findLine(Addr addr) const
+    {
+        return const_cast<SetAssocCache *>(this)->findLine(addr);
+    }
 
     std::size_t lineBytes_;
     unsigned lineShift_;

@@ -77,6 +77,11 @@ class CacheHierarchy
 
     SetAssocCache &l3() { return *l3_; }
 
+    /** A core's private L1, for the fast-forward L1-hit run detector
+     *  (sim/system.hh). An L1 hit touches no other level, so batching
+     *  hits against the L1 alone reproduces access() exactly. */
+    SetAssocCache &l1(unsigned core) { return *l1_.at(core); }
+
   private:
     CpuParams params_;
     std::vector<std::unique_ptr<SetAssocCache>> l1_;

@@ -180,6 +180,14 @@ struct SimConfig
     LayoutParams layout;
     std::uint64_t seed = 42;
 
+    /**
+     * Fast-forward execution: collapse L1-hit runs into single bulk
+     * clock updates (tick-exact against the precise model; see
+     * docs/ARCHITECTURE.md, "Fast-forward & trace replay"). Off by
+     * default — the exact model remains the reference.
+     */
+    bool fastForward = false;
+
     /** Ticks per CPU cycle. */
     Tick cyclePeriod() const { return cpu.cyclePeriod; }
 

@@ -1,6 +1,7 @@
 #include "common/metrics.hh"
 
 #include <algorithm>
+#include <array>
 
 namespace fsencr {
 namespace metrics {
@@ -31,7 +32,19 @@ LabeledCounter::add(const std::string &label, std::uint64_t delta)
 void
 LabeledCounter::add(std::uint64_t label, std::uint64_t delta)
 {
-    add(std::to_string(label), delta);
+    // Small integer labels (cache sets, Merkle levels, dax flags)
+    // dominate the hot paths; a static table avoids re-formatting the
+    // same handful of strings on every probe.
+    static const std::array<std::string, 64> small = [] {
+        std::array<std::string, 64> t;
+        for (std::size_t i = 0; i < t.size(); ++i)
+            t[i] = std::to_string(i);
+        return t;
+    }();
+    if (label < small.size())
+        add(small[label], delta);
+    else
+        add(std::to_string(label), delta);
 }
 
 std::uint64_t

@@ -88,6 +88,35 @@ class Tlb
         victim->lru = ++lruClock_;
     }
 
+    /// @name Fast-forward support (see docs/ARCHITECTURE.md).
+    ///
+    /// ffFind() locates an entry without touching LRU state or stats;
+    /// ffCredit() then applies a batch of N hits against that entry in
+    /// one step. `lruClock_ += n; e->lru = lruClock_; hits_ += n` is
+    /// byte-identical to N consecutive lookup() hits on the same entry,
+    /// because only the final lru stamp of the run is observable.
+    /// Entry pointers are stable (the entry vector never resizes) but
+    /// are only valid until the next insert()/invalidate()/flush().
+    /// @{
+    TlbEntry *
+    ffFind(Addr vaddr)
+    {
+        Addr vpn = pageNumber(vaddr);
+        for (TlbEntry &e : entries_)
+            if (e.valid && e.vpn == vpn)
+                return &e;
+        return nullptr;
+    }
+
+    void
+    ffCredit(TlbEntry *e, std::uint64_t n)
+    {
+        lruClock_ += n;
+        e->lru = lruClock_;
+        hits_ += n;
+    }
+    /// @}
+
     /** Drop a translation (munmap / unlink shootdown). */
     void
     invalidate(Addr vaddr)

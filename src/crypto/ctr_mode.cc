@@ -1,5 +1,7 @@
 #include "crypto/ctr_mode.hh"
 
+#include <algorithm>
+#include <cassert>
 #include <cstring>
 
 namespace fsencr {
@@ -34,6 +36,57 @@ makeOtp(const Aes128 &aes, const CtrIv &iv)
     for (unsigned word = 0; word < blockSize / 16; ++word)
         std::memcpy(pad.data() + word * 16, out[word].data(), 16);
     return pad;
+}
+
+PadStream::PadStream(const Aes128 &aes, std::uint64_t page_id,
+                     std::uint64_t major, const std::uint8_t *minors,
+                     unsigned num_blocks)
+    : aes_(aes), hi_(page_id), majorBase_(major << 22),
+      minors_(minors), numBlocks_(num_blocks)
+{}
+
+const Line &
+PadStream::next()
+{
+    assert(emitted_ < numBlocks_ && "pad stream exhausted");
+    if (emitted_ == filled_)
+        refill();
+    return pads_[emitted_++ % window];
+}
+
+void
+PadStream::refill()
+{
+    unsigned count = std::min(window, numBlocks_ - filled_);
+
+    // Phase 1: pack every IV of the window — pure integer code, the
+    // invariant pageId/major halves were folded at construction. The
+    // packing matches makeOtp() exactly: lo = (major << 22) ^
+    // (minor << 8) ^ (blk << 2) ^ word.
+    Block128 in[window * blockSize / 16];
+    for (unsigned i = 0; i < count; ++i) {
+        unsigned blk = filled_ + i;
+        std::uint64_t lo_base =
+            majorBase_ ^
+            (static_cast<std::uint64_t>(minors_[blk]) << 8) ^
+            (static_cast<std::uint64_t>(blk) << 2);
+        for (std::uint64_t word = 0; word < blockSize / 16; ++word) {
+            std::uint64_t lo = lo_base ^ word;
+            Block128 &b = in[i * 4 + word];
+            std::memcpy(b.data(), &hi_, 8);
+            std::memcpy(b.data() + 8, &lo, 8);
+        }
+    }
+
+    // Phase 2: run the cipher over the packed batch back-to-back.
+    for (unsigned i = 0; i < count; ++i) {
+        Block128 out[4];
+        aes_.encryptBlocks4(&in[i * 4], out);
+        Line &pad = pads_[(filled_ + i) % window];
+        for (unsigned word = 0; word < blockSize / 16; ++word)
+            std::memcpy(pad.data() + word * 16, out[word].data(), 16);
+    }
+    filled_ += count;
 }
 
 void

@@ -43,6 +43,56 @@ struct CtrIv
  */
 Line makeOtp(const Aes128 &aes, const CtrIv &iv);
 
+/**
+ * Precomputed pad stream for a sequential extent of one page.
+ *
+ * Page-granular sweeps (re-encryption after a major-counter bump,
+ * eager/lazy re-keys) build 64 pads whose IVs differ only in the
+ * block index and per-line minor counter — pageId and major are
+ * loop-invariant. PadStream packs the invariant IV half once and
+ * materializes pads a sliding window of lines at a time: all IVs of
+ * the window are packed in one pure-integer pass, then the cipher
+ * runs over the whole batch back-to-back, so the 4-wide AES pipeline
+ * never drains between lines.
+ *
+ * The blk-th next() call returns a pad byte-identical to
+ * makeOtp(aes, {page_id, blk, major, minors[blk]}) — golden-tested
+ * in tests/test_fast_forward.cc.
+ */
+class PadStream
+{
+  public:
+    /** Lines materialized per refill. */
+    static constexpr unsigned window = 8;
+
+    /**
+     * @param aes keyed engine (must outlive the stream)
+     * @param page_id IV page identifier, shared by the extent
+     * @param major shared per-page major counter
+     * @param minors per-line minor counters, indexed by block
+     *        (must outlive the stream)
+     * @param num_blocks extent length in lines
+     */
+    PadStream(const Aes128 &aes, std::uint64_t page_id,
+              std::uint64_t major, const std::uint8_t *minors,
+              unsigned num_blocks);
+
+    /** The next block's pad, in extent order. */
+    const Line &next();
+
+  private:
+    void refill();
+
+    const Aes128 &aes_;
+    std::uint64_t hi_;
+    std::uint64_t majorBase_;
+    const std::uint8_t *minors_;
+    unsigned numBlocks_;
+    unsigned emitted_ = 0;
+    unsigned filled_ = 0;
+    std::array<Line, window> pads_;
+};
+
 /** XOR two 64-byte lines (dst ^= src). */
 void xorLine(Line &dst, const Line &src);
 

@@ -17,6 +17,7 @@ SecureMemoryController::SecureMemoryController(const SimConfig &cfg,
       memKey_(crypto::randomKey(rng)),
       ottKeyValue_(crypto::randomKey(rng)),
       memAes_(memKey_),
+      wpqInFlight_(cfg.pcm.writeQueueDepth),
       osiris_(cfg.sec.osirisStopLoss),
       statGroup_("mc"),
       readLatency_(stats::Histogram::log2Buckets()),
@@ -482,8 +483,7 @@ SecureMemoryController::readLine(Addr full_addr, Tick now,
                                    &fecb_missed, /*is_read=*/true);
         fecb = counters_->fecb(fecb_addr);
         if (fileBytesCtr_ && (fecb.groupId | fecb.fileId))
-            fileBytesCtr_->add(std::to_string(fecb.groupId) + ":" +
-                                   std::to_string(fecb.fileId),
+            fileBytesCtr_->add(fileLabel(fecb.groupId, fecb.fileId),
                                blockSize);
         if (!fsencLocked_) {
             OttLookupResult key = lookupFileKey(fecb, now + meta_lat);
@@ -600,8 +600,7 @@ SecureMemoryController::writeLine(Addr full_addr,
     if (dax) {
         fecb = counters_->fecb(fecb_addr);
         if (fileBytesCtr_ && (fecb.groupId | fecb.fileId))
-            fileBytesCtr_->add(std::to_string(fecb.groupId) + ":" +
-                                   std::to_string(fecb.fileId),
+            fileBytesCtr_->add(fileLabel(fecb.groupId, fecb.fileId),
                                blockSize);
     }
 
@@ -746,6 +745,23 @@ SecureMemoryController::reencryptPage(Addr page_addr,
         }
     }
 
+    // Sequential extent: precompute the four pad streams over the
+    // page (pageId/major are loop-invariant; see crypto::PadStream).
+    std::uint64_t page_id = pageNumber(page_addr);
+    crypto::PadStream old_mem(memAes_, page_id, old_mecb.major,
+                              old_mecb.minors.minor.data(),
+                              blocksPerPage);
+    crypto::PadStream new_mem(memAes_, page_id, new_mecb.major,
+                              new_mecb.minors.minor.data(),
+                              blocksPerPage);
+    std::optional<crypto::PadStream> old_file, new_file;
+    if (have_file_key)
+        old_file.emplace(file_engine, page_id, old_fecb->major,
+                         old_fecb->minors.minor.data(), blocksPerPage);
+    if (have_file_key && new_fecb)
+        new_file.emplace(file_engine, page_id, new_fecb->major,
+                         new_fecb->minors.minor.data(), blocksPerPage);
+
     Tick lat = 0;
     for (unsigned blk = 0; blk < blocksPerPage; ++blk) {
         Addr line = page_addr + blk * blockSize;
@@ -759,22 +775,14 @@ SecureMemoryController::reencryptPage(Addr page_addr,
         std::uint8_t buf[blockSize];
         device_.readLine(line, buf);
 
-        crypto::Line pad = memPad(line, old_mecb, blk);
-        crypto::xorLine(buf, pad);
-        if (have_file_key) {
-            crypto::Line fpad = crypto::makeOtp(
-                file_engine, fileIv(line, *old_fecb, blk));
-            crypto::xorLine(buf, fpad);
-        }
+        crypto::xorLine(buf, old_mem.next());
+        if (old_file)
+            crypto::xorLine(buf, old_file->next());
 
         // buf now holds plaintext; re-encrypt under the new counters.
-        pad = memPad(line, new_mecb, blk);
-        crypto::xorLine(buf, pad);
-        if (have_file_key && new_fecb) {
-            crypto::Line fpad = crypto::makeOtp(
-                file_engine, fileIv(line, *new_fecb, blk));
-            crypto::xorLine(buf, fpad);
-        }
+        crypto::xorLine(buf, new_mem.next());
+        if (new_file)
+            crypto::xorLine(buf, new_file->next());
         device_.writeLine(line, buf);
 
         MemRequest wreq;
@@ -931,17 +939,20 @@ SecureMemoryController::lazyRekeyOnWrite(const Fecb &fecb,
     ++lazyRekeyedPages_;
     crypto::Aes128 old_engine = fileAes(it->second.oldKey);
     crypto::Aes128 new_engine = fileAes(new_key);
+    // Both streams walk the same FECB minors; only the key differs.
+    crypto::PadStream old_pads(old_engine, pageNumber(page),
+                               fecb.major, fecb.minors.minor.data(),
+                               blocksPerPage);
+    crypto::PadStream new_pads(new_engine, pageNumber(page),
+                               fecb.major, fecb.minors.minor.data(),
+                               blocksPerPage);
     Tick lat = 0;
     for (unsigned blk = 0; blk < blocksPerPage; ++blk) {
         Addr l = page + blk * blockSize;
         std::uint8_t buf[blockSize];
         device_.readLine(l, buf);
-        crypto::Line old_pad =
-            crypto::makeOtp(old_engine, fileIv(l, fecb, blk));
-        crypto::Line new_pad =
-            crypto::makeOtp(new_engine, fileIv(l, fecb, blk));
-        crypto::xorLine(buf, old_pad);
-        crypto::xorLine(buf, new_pad);
+        crypto::xorLine(buf, old_pads.next());
+        crypto::xorLine(buf, new_pads.next());
         device_.writeLine(l, buf);
 
         MemRequest rreq;
@@ -1017,7 +1028,6 @@ SecureMemoryController::rekeyPage(Addr page_addr,
     Addr mecb_addr = layout_.mecbAddr(line);
     Tick lat = fetchMetadata(mecb_addr, now);
     lat += fetchMetadata(fecb_addr, now + lat);
-    Mecb mecb = counters_->mecb(mecb_addr);
     Fecb fecb = counters_->fecb(fecb_addr);
 
     OttLookupResult key = lookupFileKey(fecb, now + lat);
@@ -1027,19 +1037,20 @@ SecureMemoryController::rekeyPage(Addr page_addr,
 
     crypto::Aes128 old_engine = fileAes(old_key);
     crypto::Aes128 new_engine = fileAes(key.key);
+    // Memory layer unchanged: XOR-ing old^new file pads suffices.
+    crypto::PadStream old_fpads(old_engine, pageNumber(line),
+                                fecb.major, fecb.minors.minor.data(),
+                                blocksPerPage);
+    crypto::PadStream new_fpads(new_engine, pageNumber(line),
+                                fecb.major, fecb.minors.minor.data(),
+                                blocksPerPage);
     Tick total = lat;
     for (unsigned blk = 0; blk < blocksPerPage; ++blk) {
         Addr l = pageAlign(line) + blk * blockSize;
         std::uint8_t buf[blockSize];
         device_.readLine(l, buf);
-        crypto::Line mpad = memPad(l, mecb, blk);
-        crypto::Line old_fpad =
-            crypto::makeOtp(old_engine, fileIv(l, fecb, blk));
-        crypto::Line new_fpad =
-            crypto::makeOtp(new_engine, fileIv(l, fecb, blk));
-        crypto::xorLine(buf, old_fpad);
-        crypto::xorLine(buf, new_fpad);
-        (void)mpad; // memory layer unchanged: old^new file pads suffice
+        crypto::xorLine(buf, old_fpads.next());
+        crypto::xorLine(buf, new_fpads.next());
         device_.writeLine(l, buf);
 
         MemRequest rreq;

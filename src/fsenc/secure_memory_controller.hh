@@ -19,7 +19,6 @@
 #define FSENCR_FSENC_SECURE_MEMORY_CONTROLLER_HH
 
 #include <algorithm>
-#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -36,6 +35,7 @@
 #include "crypto/ctr_mode.hh"
 #include "crypto/key.hh"
 #include "fsenc/ott.hh"
+#include "mem/arena.hh"
 #include "mem/nvm_device.hh"
 #include "mem/phys_layout.hh"
 #include "secmem/counter_store.hh"
@@ -518,8 +518,11 @@ class SecureMemoryController
     std::optional<crypto::Key128> adminCredential_;
     bool fsencLocked_ = false;
 
-    /** Completion times of in-flight WPQ writes (FIFO). */
-    std::deque<Tick> wpqInFlight_;
+    /** Completion times of in-flight WPQ writes (FIFO). Fixed ring
+     *  sized to writeQueueDepth: wpqAccept() drains before pushing
+     *  whenever the queue is full, so occupancy never exceeds the
+     *  depth and the steady state does zero heap allocations. */
+    Ring<Tick> wpqInFlight_;
 
     /** Optional request-stream capture. */
     class MemTrace *trace_ = nullptr;
@@ -539,6 +542,27 @@ class SecureMemoryController
 
     /** Monotonic request id handed out by submit(). */
     std::uint64_t nextRequestId_ = 0;
+
+    /**
+     * Cached "gid:fid" metrics label for the last FECB stamp seen.
+     * DAX traffic is heavily run-structured (a burst of accesses hits
+     * one file), so memoizing a single label removes the per-access
+     * std::to_string allocations from the hot path.
+     */
+    const std::string &
+    fileLabel(std::uint32_t gid, std::uint32_t fid)
+    {
+        std::uint64_t key =
+            (static_cast<std::uint64_t>(gid) << 32) | fid;
+        if (key != fileLabelKey_) {
+            fileLabelKey_ = key;
+            fileLabel_ =
+                std::to_string(gid) + ":" + std::to_string(fid);
+        }
+        return fileLabel_;
+    }
+    std::uint64_t fileLabelKey_ = ~std::uint64_t(0);
+    std::string fileLabel_;
 
     /** Attribution of the most recent read/write. */
     trace::Breakdown lastAccess_;

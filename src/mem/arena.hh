@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Allocation-free building blocks for the steady-state hot path.
+ *
+ * The simulator's per-access structures (MemRequest, Completion,
+ * trace::Breakdown) are plain stack values, but a few pieces of
+ * bookkeeping used node-based containers that allocate in steady
+ * state: the write-pending-queue FIFO and transient metadata-chain
+ * records. These helpers remove that traffic:
+ *
+ *  - BumpArena: chunked bump allocator. allocate() is a pointer bump;
+ *    reset() recycles every chunk without returning memory to the
+ *    heap, so a steady-state loop that resets between requests never
+ *    calls malloc after warm-up.
+ *  - Pool<T>: free-list object pool over a BumpArena for records with
+ *    non-FIFO lifetimes (acquire/release).
+ *  - Ring<T>: fixed-capacity FIFO with deque surface (push_back /
+ *    pop_front / front). Backing storage is allocated once at
+ *    construction; push/pop never touch the heap.
+ */
+
+#ifndef FSENCR_MEM_ARENA_HH
+#define FSENCR_MEM_ARENA_HH
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace fsencr {
+
+/** Chunked bump allocator; memory is recycled by reset(), never
+ *  freed piecemeal. Not for types with non-trivial destructors —
+ *  reset() does not run them. */
+class BumpArena
+{
+  public:
+    explicit BumpArena(std::size_t chunk_bytes = 64 * 1024)
+        : chunkBytes_(chunk_bytes)
+    {}
+
+    /** Raw storage, aligned to @p align (power of two). */
+    void *
+    allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t))
+    {
+        assert((align & (align - 1)) == 0 && "alignment must be 2^k");
+        std::uintptr_t p = (cur_ + align - 1) & ~(align - 1);
+        if (p + bytes > end_) {
+            grow(bytes + align);
+            p = (cur_ + align - 1) & ~(align - 1);
+        }
+        cur_ = p + bytes;
+        return reinterpret_cast<void *>(p);
+    }
+
+    /** Construct a T in arena storage. */
+    template <typename T, typename... Args>
+    T *
+    alloc(Args &&...args)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena never runs destructors");
+        return new (allocate(sizeof(T), alignof(T)))
+            T(std::forward<Args>(args)...);
+    }
+
+    /** Recycle every chunk; capacity is retained for reuse. */
+    void
+    reset()
+    {
+        live_ = 0;
+        if (!chunks_.empty()) {
+            cur_ = reinterpret_cast<std::uintptr_t>(chunks_[0].get());
+            end_ = cur_ + chunkSizes_[0];
+        } else {
+            cur_ = end_ = 0;
+        }
+    }
+
+    /** Chunks held (growth happens only until the high-water mark). */
+    std::size_t chunkCount() const { return chunks_.size(); }
+
+  private:
+    void
+    grow(std::size_t min_bytes)
+    {
+        // After reset() we walk the existing chunks before mapping a
+        // new one, so a warmed-up arena stops allocating entirely.
+        while (++live_ < chunks_.size()) {
+            if (chunkSizes_[live_] >= min_bytes) {
+                cur_ = reinterpret_cast<std::uintptr_t>(
+                    chunks_[live_].get());
+                end_ = cur_ + chunkSizes_[live_];
+                return;
+            }
+        }
+        std::size_t sz = std::max(chunkBytes_, min_bytes);
+        chunks_.push_back(std::make_unique<std::uint8_t[]>(sz));
+        chunkSizes_.push_back(sz);
+        live_ = chunks_.size() - 1;
+        cur_ = reinterpret_cast<std::uintptr_t>(chunks_.back().get());
+        end_ = cur_ + sz;
+    }
+
+    std::size_t chunkBytes_;
+    std::vector<std::unique_ptr<std::uint8_t[]>> chunks_;
+    std::vector<std::size_t> chunkSizes_;
+    std::size_t live_ = 0;
+    std::uintptr_t cur_ = 0;
+    std::uintptr_t end_ = 0;
+};
+
+/** Free-list pool for records with interleaved lifetimes. Released
+ *  objects are recycled before the arena grows. */
+template <typename T>
+class Pool
+{
+  public:
+    template <typename... Args>
+    T *
+    acquire(Args &&...args)
+    {
+        if (free_) {
+            Node *n = free_;
+            free_ = n->next;
+            return new (&n->storage) T(std::forward<Args>(args)...);
+        }
+        Node *n = static_cast<Node *>(
+            arena_.allocate(sizeof(Node), alignof(Node)));
+        return new (&n->storage) T(std::forward<Args>(args)...);
+    }
+
+    void
+    release(T *obj)
+    {
+        obj->~T();
+        Node *n = reinterpret_cast<Node *>(obj);
+        n->next = free_;
+        free_ = n;
+    }
+
+  private:
+    union Node
+    {
+        Node *next;
+        alignas(T) std::uint8_t storage[sizeof(T)];
+    };
+    BumpArena arena_;
+    Node *free_ = nullptr;
+};
+
+/**
+ * Fixed-capacity FIFO ring with the std::deque surface the
+ * write-pending queue needs. Storage is one allocation at
+ * construction (capacity rounded up to a power of two so the index
+ * wrap is a mask); push_back/pop_front are branch-plus-store.
+ */
+template <typename T>
+class Ring
+{
+  public:
+    /** @param capacity max simultaneously-live elements (>= 1). */
+    explicit Ring(std::size_t capacity = 1)
+    {
+        std::size_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        buf_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    bool empty() const { return head_ == tail_; }
+    std::size_t size() const { return tail_ - head_; }
+    std::size_t capacity() const { return mask_ + 1; }
+
+    const T &front() const
+    {
+        assert(!empty());
+        return buf_[head_ & mask_];
+    }
+
+    void
+    push_back(const T &v)
+    {
+        assert(size() <= mask_ && "Ring overflow: size the capacity "
+                                  "to the queue's hard bound");
+        buf_[tail_++ & mask_] = v;
+    }
+
+    void
+    pop_front()
+    {
+        assert(!empty());
+        ++head_;
+    }
+
+    void clear() { head_ = tail_ = 0; }
+
+  private:
+    std::vector<T> buf_;
+    std::size_t mask_ = 0;
+    /** Free-running indices; size is the difference (wrap-safe). */
+    std::uint64_t head_ = 0;
+    std::uint64_t tail_ = 0;
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_MEM_ARENA_HH

@@ -24,6 +24,19 @@ System::System(const SimConfig &cfg)
     for (unsigned c = 0; c < cfg_.cpu.numCores; ++c)
         cores_.push_back(std::make_unique<Core>(c, cfg_.cpu));
 
+    // Fast-forward needs every individual access observable by nothing
+    // but this class; the software-encryption layer hooks each access,
+    // so it forces the exact model.
+    ffL1Ticks_ = cfg_.cpu.l1.latency * cfg_.cyclePeriod();
+    ffLineCache_.resize(cfg_.cpu.numCores);
+    ffLogs_.resize(cfg_.cpu.numCores);
+    for (auto &log : ffLogs_)
+        log.buf.resize(ffLogCapacity);
+    for (unsigned c = 0; c < cfg_.cpu.numCores; ++c)
+        ffResetRun(c);
+    ffEnabled_ = cfg_.fastForward && !swenc_ &&
+                 cfg_.cpu.numCores <= ffMaxCores;
+
     statGroup_.addScalar("loads", totalLoads_);
     statGroup_.addScalar("stores", totalStores_);
     statGroup_.addScalar("crashes", crashes_);
@@ -45,6 +58,7 @@ System::System(const SimConfig &cfg)
 void
 System::setTracer(trace::Tracer *tracer)
 {
+    ffFlush();
     tracer_ = tracer;
     mc_->setTracer(tracer);
     if (tracer_)
@@ -60,15 +74,14 @@ System::advanceMc(Tick latency)
     for (unsigned c = 0; c < trace::NumComponents; ++c)
         attrTicks_[c] += bd.ticks[c];
     now_ += latency;
-    if (injector_)
-        faultTick();
-    if (sampler_)
-        sampler_->onAdvance(now_);
+    if (advanceHooks_)
+        advanceHooks();
 }
 
 void
 System::setMetrics(metrics::Registry *metrics)
 {
+    ffFlush();
     metrics_ = metrics;
     if (metrics_)
         metrics_->setStatRoot(&statGroup_);
@@ -78,8 +91,15 @@ System::setMetrics(metrics::Registry *metrics)
 void
 System::setFaultInjector(FaultInjector *injector)
 {
+    ffFlush();
     injector_ = injector;
     device_->setFaultInjector(injector);
+    advanceHooks_ = injector_ != nullptr || sampler_ != nullptr;
+    // The injector watches every clock advance for its trigger tick;
+    // batching advances would move its observation points, so an
+    // attached injector forces the exact model.
+    ffEnabled_ = cfg_.fastForward && !swenc_ && !injector_ &&
+                 cfg_.cpu.numCores <= ffMaxCores;
 }
 
 void
@@ -88,12 +108,223 @@ System::faultTick()
     injector_->onTick(now_);
 }
 
+void
+System::advanceHooks()
+{
+    if (injector_)
+        faultTick();
+    if (sampler_)
+        sampler_->onAdvance(now_);
+}
+
+void
+System::ffSwitchTo(unsigned core_id, FfRun &run, const FfLineEntry &e)
+{
+    std::uint64_t acc = run.accesses();
+    // Close the finished segment as a log record instead of touching
+    // cache and TLB state here: the switch path then issues three
+    // plain stores where the eager close needed four read-modify-
+    // writes of shared counters. The drain applies records in program
+    // order, so final state is unchanged. The record covers the TLB
+    // batch too — closing it per line segment rather than per page
+    // segment leaves identical final state (ffCredit is associative
+    // over consecutive segments) and lets one pair of marks serve
+    // both, replacing a page-change branch that random access
+    // patterns would keep mispredicting.
+    if (run.line && acc > run.lineStartAcc)
+        ffAppend(core_id, run, acc);
+    run.lineStartAcc = acc;
+    run.segDirty = false;
+    run.tlbEntry = e.tlbEntry;
+    // Adopting the entry's TLB pointer desyncs it from the
+    // vpn/pframe/hostPage trio, so poison vpn rather than re-derive
+    // all three: the next line-cache miss then re-resolves through
+    // the translation cache (a way probe) instead of the same-page
+    // shortcut. Steady state never gets there — a span that fits the
+    // line cache stops missing it after the first sweep.
+    run.vpn = ~Addr(0);
+    run.line = e.line;
+    run.vline = e.vline;
+    run.hostBias = e.hostBias;
+}
+
+bool
+System::ffSwitch(FfRun &run, unsigned core_id, Addr vaddr, Addr vline)
+{
+    FfLineEntry &e =
+        run.lcache[(vline / blockSize) & (ffLineCacheSize - 1)];
+    if (e.vline == vline && e.epoch == run.epoch) {
+        ffSwitchTo(core_id, run, e);
+        return true;
+    }
+    return ffOpenRun(run, core_id, vaddr, vline);
+}
+
+bool
+System::ffOpenRun(FfRun &run, unsigned core_id, Addr vaddr, Addr vline)
+{
+    // Close the finished line batch (same rules as ffFlush: only the
+    // run's final LRU stamp is observable, so one credit of N hits is
+    // byte-identical to N individual ones). The segment size is the
+    // access count since the segment's mark — the hot path maintains
+    // no per-segment counters.
+    std::uint64_t acc = run.accesses();
+    if (run.line) {
+        if (acc > run.lineStartAcc)
+            ffAppend(core_id, run, acc);
+        run.line = nullptr;
+    }
+    run.lineStartAcc = acc;
+    run.segDirty = false;
+
+    Addr vpn = pageNumber(vaddr);
+    if (vpn != run.vpn || !run.tlbEntry) {
+        // The previous page's TLB batch was closed with the line
+        // segment above (shared marks); only resolution remains.
+        unsigned way =
+            static_cast<unsigned>(vpn) & (FfRun::tcacheWays - 1);
+        if (run.tcVpn[way] == vpn) {
+            // Recently-seen page: the batched-credit discipline is
+            // identical whether the entry came from the scan or the
+            // cache, so this is pure host-time savings.
+            run.tlbEntry = run.tcEntry[way];
+            run.vpn = vpn;
+            run.pframe = run.tcPframe[way];
+            run.hostPage = run.tcHostPage[way];
+        } else {
+            TlbEntry *e = run.tlb->ffFind(vaddr);
+            if (!e) {
+                // TLB miss: the access must take the exact path (page
+                // walk, insert, possibly a fault) in program order,
+                // after everything batched so far.
+                ffFlush();
+                return false;
+            }
+            run.tlbEntry = e;
+            run.vpn = vpn;
+            run.pframe = e->pframe;
+            // One page-table lookup per page segment; line changes
+            // inside the page only re-derive hostLine from this base.
+            run.hostPage = archMem_.hostPtr(
+                pageAlign(stripDfBit(run.pframe | pageOffset(vaddr))));
+            run.tcVpn[way] = vpn;
+            run.tcEntry[way] = e;
+            run.tcPframe[way] = run.pframe;
+            run.tcHostPage[way] = run.hostPage;
+        }
+        ffActive_ = true; // cached pointers need a future ffFlush
+    }
+
+    Addr paddr = run.pframe | pageOffset(vaddr);
+    SetAssocCache::Line *l = run.l1->ffProbe(blockAlign(paddr));
+    if (!l) {
+        // L1 miss: lower levels, evictions and possibly the memory
+        // controller get involved — exact path only.
+        ffFlush();
+        return false;
+    }
+    run.line = l;
+    run.vline = vline;
+    run.hostBias = reinterpret_cast<std::intptr_t>(
+                       run.hostPage + pageOffset(vline)) -
+                   static_cast<std::intptr_t>(vline);
+    ffActive_ = true;
+
+    // Record the fully-resolved state so a later re-open on this line
+    // within the same flush epoch is a single table hit (ffSwitchTo).
+    FfLineEntry &e =
+        run.lcache[(vline / blockSize) & (ffLineCacheSize - 1)];
+    e.vline = vline;
+    e.epoch = run.epoch;
+    e.line = l;
+    e.hostBias = run.hostBias;
+    e.tlbEntry = run.tlbEntry;
+    return true;
+}
+
+void
+System::ffFlush()
+{
+    if (!ffActive_)
+        return;
+    ffActive_ = false;
+    // A successful run open implies ffActive_, so epoch-current line
+    // cache entries only exist while active: one bump here
+    // invalidates them all before the exact path can run.
+    ++ffEpoch_;
+    std::uint64_t total = 0;
+    for (unsigned c = 0; c < cfg_.cpu.numCores; ++c) {
+        // Older segments first (the log is in program order), then
+        // the still-open segment.
+        ffDrainLog(c);
+        FfRun &run = ffRuns_[c];
+        std::uint64_t acc = run.accesses();
+        std::uint64_t stores = run.stores();
+        std::uint64_t loads = acc - stores;
+        if (acc > run.lineStartAcc) {
+            std::uint64_t n = acc - run.lineStartAcc;
+            if (run.line)
+                caches_->l1(c).ffCredit(run.line, n, run.segDirty);
+            if (run.tlbEntry)
+                cores_[c]->tlb().ffCredit(run.tlbEntry, n);
+        }
+        if (loads) {
+            cores_[c]->loads_ += loads;
+            totalLoads_ += loads;
+        }
+        if (stores) {
+            cores_[c]->stores_ += stores;
+            totalStores_ += stores;
+        }
+        total += acc;
+        ffResetRun(c);
+    }
+    if (total) {
+        // One bulk advance for the whole batch; every tick lands in
+        // the CacheAccess slot, exactly as the per-access advances
+        // would have.
+        advance(trace::CacheAccess, total * ffL1Ticks_);
+    }
+}
+
+void
+System::ffResetRun(unsigned core_id)
+{
+    FfRun &run = ffRuns_[core_id];
+    run = FfRun{};
+    run.l1 = &caches_->l1(core_id);
+    run.tlb = &cores_[core_id]->tlb();
+    run.lcache = ffLineCache_[core_id].data();
+    run.log = &ffLogs_[core_id];
+    run.epoch = ffEpoch_;
+}
+
+void
+System::ffDrainLog(unsigned core_id)
+{
+    FfLog &log = ffLogs_[core_id];
+    if (!log.size)
+        return;
+    SetAssocCache &l1 = caches_->l1(core_id);
+    Tlb &tlb = cores_[core_id]->tlb();
+    for (std::size_t i = 0; i < log.size; ++i) {
+        const FfCredit &r = log.buf[i];
+        l1.ffCredit(r.line, r.n, r.dirty);
+        if (r.tlbEntry)
+            tlb.ffCredit(r.tlbEntry, r.n);
+    }
+    log.size = 0;
+}
+
 trace::Breakdown
 System::attribution() const
 {
     trace::Breakdown bd;
     for (unsigned c = 0; c < trace::NumComponents; ++c)
         bd.ticks[c] = attrTicks_[c].value();
+    // Ticks of an open fast-forward run all belong to the L1 lookup
+    // slot; fold them in so total() matches now() without a flush.
+    bd.ticks[trace::CacheAccess] += ffPendingTicks();
     return bd;
 }
 
@@ -103,6 +334,7 @@ System::measuredAttribution() const
     trace::Breakdown bd;
     for (unsigned c = 0; c < trace::NumComponents; ++c)
         bd.ticks[c] = attrTicks_[c].value() - measureStartAttr_[c];
+    bd.ticks[trace::CacheAccess] += ffPendingTicks();
     return bd;
 }
 
@@ -196,7 +428,8 @@ System::load(unsigned core, Addr vaddr, void *buf, std::size_t size)
         std::size_t in_line =
             std::min<std::size_t>(size,
                                   blockSize - blockOffset(vaddr));
-        accessOnce(core, vaddr, false, p, in_line);
+        if (!ffEnabled_ || !ffTry(core, vaddr, false, p, in_line))
+            accessOnce(core, vaddr, false, p, in_line);
         vaddr += in_line;
         p += in_line;
         size -= in_line;
@@ -212,8 +445,11 @@ System::store(unsigned core, Addr vaddr, const void *buf,
         std::size_t in_line =
             std::min<std::size_t>(size,
                                   blockSize - blockOffset(vaddr));
-        accessOnce(core, vaddr, true,
-                   const_cast<std::uint8_t *>(p), in_line);
+        if (!ffEnabled_ ||
+            !ffTry(core, vaddr, true, const_cast<std::uint8_t *>(p),
+                   in_line))
+            accessOnce(core, vaddr, true,
+                       const_cast<std::uint8_t *>(p), in_line);
         vaddr += in_line;
         p += in_line;
         size -= in_line;
@@ -255,6 +491,7 @@ class BlockingSink : public WritebackSink
 void
 System::clwb(unsigned core_id, Addr vaddr)
 {
+    ffFlush();
     Core &core = *cores_.at(core_id);
     ++core.clwbs_;
 
@@ -312,6 +549,7 @@ System::fsync(unsigned core, int fd)
 void
 System::fence(unsigned core_id)
 {
+    ffFlush();
     Core &core = *cores_.at(core_id);
     ++core.fences_;
     // Persist writes already landed synchronously (in-order model);
@@ -344,6 +582,7 @@ void
 System::tick(unsigned core, Cycles cycles)
 {
     (void)core;
+    ffFlush();
     advance(trace::CpuCompute, cycles * cfg_.cyclePeriod());
 }
 
@@ -363,6 +602,7 @@ System::createProcess(std::uint32_t uid)
 void
 System::runOnCore(unsigned core, std::uint32_t pid)
 {
+    ffFlush(); // open runs hold TLB entry pointers
     cores_.at(core)->setCurrentPid(pid);
     cores_.at(core)->tlb().flush(); // context switch
 }
@@ -563,6 +803,7 @@ System::bootLogin(const std::string &passphrase)
 void
 System::crash()
 {
+    ffFlush(); // credit batched hits before the caches vanish
     ++crashes_;
     lostDirtyLines_ = caches_->crash();
     for (auto &c : cores_)
@@ -645,6 +886,7 @@ System::markDamagedFiles(RecoveryOutcome &out)
 bool
 System::recover()
 {
+    ffFlush();
     ++recoveries_;
     lastRecovery_ = RecoveryOutcome{};
     RecoveryOutcome &out = lastRecovery_;
@@ -715,6 +957,7 @@ System::recover()
 void
 System::shutdown()
 {
+    ffFlush();
     caches_->flushAll(*this);
     mc_->shutdown(now_);
     if (swenc_)
@@ -724,6 +967,7 @@ System::shutdown()
 bool
 System::migrateFrom(System &donor)
 {
+    ffFlush();
     // 1. Orderly power-down of the donor; the capsule leaves through
     //    the authorized user interface.
     donor.shutdown();
@@ -745,14 +989,16 @@ System::migrateFrom(System &donor)
 }
 
 void
-System::dumpStats(std::ostream &os) const
+System::dumpStats(std::ostream &os)
 {
+    ffFlush();
     statGroup_.dump(os);
 }
 
 void
 System::beginMeasurement()
 {
+    ffFlush();
     measureStart_ = now_;
     measureStartReads_ = device_->numReads();
     measureStartWrites_ = device_->numWrites();

@@ -17,6 +17,7 @@
 #ifndef FSENCR_SIM_SYSTEM_HH
 #define FSENCR_SIM_SYSTEM_HH
 
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -59,12 +60,19 @@ class System : public WritebackSink
     void store(unsigned core, Addr vaddr, const void *buf,
                std::size_t size);
 
-    /** Typed helpers. */
+    /** Typed helpers. The fast-forward probe sits here so a
+     *  line-contained typed access in an L1-hit run compiles down to a
+     *  handful of instructions at the call site. */
     template <typename T>
     T
     read(unsigned core, Addr vaddr)
     {
+        static_assert(sizeof(T) <= blockSize,
+                      "typed accesses are at most one line");
         T v;
+        if (ffEnabled_ &&
+            ffTry(core, vaddr, false, &v, sizeof(T))) [[likely]]
+            return v;
         load(core, vaddr, &v, sizeof(T));
         return v;
     }
@@ -73,6 +81,12 @@ class System : public WritebackSink
     void
     write(unsigned core, Addr vaddr, const T &v)
     {
+        static_assert(sizeof(T) <= blockSize,
+                      "typed accesses are at most one line");
+        if (ffEnabled_ &&
+            ffTry(core, vaddr, true, const_cast<T *>(&v),
+                  sizeof(T))) [[likely]]
+            return;
         store(core, vaddr, &v, sizeof(T));
     }
 
@@ -103,28 +117,6 @@ class System : public WritebackSink
               const std::string &passphrase);
     int open(unsigned core, const std::string &path, OpenFlags flags,
              const std::string &passphrase);
-
-    /** @deprecated bool-flag shims; use the OpenFlags overloads. */
-    /// @{
-    [[deprecated("use the OpenFlags overload")]]
-    int
-    creat(unsigned core, const std::string &path, std::uint16_t mode,
-          bool encrypted, const std::string &passphrase)
-    {
-        return creat(core, path, mode,
-                     encrypted ? OpenFlags::Encrypted : OpenFlags::None,
-                     passphrase);
-    }
-    [[deprecated("use the OpenFlags overload")]]
-    int
-    open(unsigned core, const std::string &path, bool writable,
-         const std::string &passphrase)
-    {
-        return open(core, path,
-                    writable ? OpenFlags::Write : OpenFlags::None,
-                    passphrase);
-    }
-    /// @}
     void closeFd(unsigned core, int fd);
     void ftruncate(unsigned core, int fd, std::uint64_t size);
     Addr mmapFile(unsigned core, int fd, std::uint64_t length);
@@ -229,7 +221,10 @@ class System : public WritebackSink
 
     /// @name Introspection
     /// @{
-    Tick now() const { return now_; }
+
+    /** Current time. Ticks of an open fast-forward run are folded in
+     *  arithmetically, so the value is exact without a flush. */
+    Tick now() const { return now_ + ffPendingTicks(); }
     const SimConfig &config() const { return cfg_; }
     const PhysLayout &layout() const { return layout_; }
     NvmDevice &device() { return *device_; }
@@ -241,12 +236,24 @@ class System : public WritebackSink
     Core &core(unsigned i) { return *cores_.at(i); }
     BackingStore &archMem() { return archMem_; }
 
-    stats::StatGroup &statGroup() { return statGroup_; }
-    void dumpStats(std::ostream &os) const;
+    /** Stat tree root. Closes any open fast-forward run first (a
+     *  cached-flag no-op in the exact model) so scalars read through
+     *  the tree — loads, stores, cache hits — are exact at any time,
+     *  matching now()'s always-exact semantics. */
+    stats::StatGroup &
+    statGroup()
+    {
+        ffFlush();
+        return statGroup_;
+    }
+
+    /** Dump the stat tree. Closes any open fast-forward run first so
+     *  every scalar (hits, loads, attribution) is up to date. */
+    void dumpStats(std::ostream &os);
 
     /** Start a measurement interval (after warmup/setup). */
     void beginMeasurement();
-    Tick measuredTicks() const { return now_ - measureStart_; }
+    Tick measuredTicks() const { return now() - measureStart_; }
     std::uint64_t measuredReads() const;
     std::uint64_t measuredWrites() const;
     /// @}
@@ -273,23 +280,29 @@ class System : public WritebackSink
     /** Attach an interval sampler fed from every clock advance
      *  (nullptr detaches). The sampler must snapshot the same
      *  registry passed to setMetrics(). */
-    void setSampler(metrics::Sampler *sampler) { sampler_ = sampler; }
+    void
+    setSampler(metrics::Sampler *sampler)
+    {
+        ffFlush();
+        sampler_ = sampler;
+        advanceHooks_ = injector_ != nullptr || sampler_ != nullptr;
+    }
 
     /**
      * Advance the clock, attributing the ticks to one component.
      * Every clock advance in the system goes through here (or through
      * advanceMc()), so the per-component sums reproduce total ticks
-     * exactly.
+     * exactly. With neither a sampler nor a fault injector attached
+     * the hook tail is a single cached-flag test, so disabled
+     * observability costs zero work here.
      */
     void
     advance(unsigned component, Tick ticks)
     {
         now_ += ticks;
         attrTicks_[component] += ticks;
-        if (injector_)
-            faultTick();
-        if (sampler_)
-            sampler_->onAdvance(now_);
+        if (advanceHooks_)
+            advanceHooks();
     }
 
     /** Advance by a memory-controller request latency, splitting it
@@ -305,10 +318,8 @@ class System : public WritebackSink
         for (unsigned c = 0; c < trace::NumComponents; ++c)
             attrTicks_[c] += completion.breakdown.ticks[c];
         now_ += completion.latency();
-        if (injector_)
-            faultTick();
-        if (sampler_)
-            sampler_->onAdvance(now_);
+        if (advanceHooks_)
+            advanceHooks();
     }
 
     /** Cumulative per-component attribution since construction. */
@@ -350,6 +361,266 @@ class System : public WritebackSink
     /** Give the attached injector a look at the clock (out of line so
      *  the header needs no FaultInjector definition). */
     void faultTick();
+
+    /** Out-of-line hook tail of advance()/advanceMc(): fault injector
+     *  and sampler, reached only when advanceHooks_ is set. */
+    void advanceHooks();
+
+    /// @name Fast-forward mode (opt-in via SimConfig::fastForward; see
+    /// docs/ARCHITECTURE.md, "Fast-forward & trace replay").
+    ///
+    /// A *run* is a stretch of consecutive load/store accesses by one
+    /// core that hit the TLB and its private L1. Inside a run nothing
+    /// observable happens between accesses (an L1 hit touches no other
+    /// cache level and moves no NVM traffic), so the per-access LRU
+    /// touches, hit counters, load/store counters and CacheAccess
+    /// ticks are accumulated in per-core FfRun state and applied in
+    /// one batch, byte-identical to the exact model. Any access that
+    /// leaves the fast path — TLB or L1 miss, clwb, fence, syscall,
+    /// crash, attach/detach of observers — first flushes every open
+    /// run (ffFlush) and then takes the exact path, so ordering
+    /// against misses, evictions, back-invalidations and device timing
+    /// is preserved.
+    /// @{
+
+    struct FfLineEntry;
+    struct FfLog;
+
+    /** Open-run state of one core. The hot path maintains only the
+     *  loads/stores counters; the per-line and per-page batch sizes
+     *  are derived at segment close from the *StartAcc marks, so one
+     *  fast access is a compare, an increment and a memcpy. */
+    struct FfRun
+    {
+        /** Virtual line of the last fast access (~0: no open line). */
+        Addr vline = ~Addr(0);
+        /** Virtual page of the cached translation (~0: none). */
+        Addr vpn = ~Addr(0);
+        /** Cached physical frame (page-aligned, DF-bit included). */
+        Addr pframe = 0;
+        /** Host pointer of the line's architectural-image bytes,
+         *  biased by −vline so the hot path turns a vaddr into its
+         *  host pointer with a single add. */
+        std::intptr_t hostBias = 0;
+        /** Host pointer to the page's architectural image: line
+         *  changes inside the page re-derive hostLine without
+         *  another backing-store page lookup. */
+        std::uint8_t *hostPage = nullptr;
+        /** Per-core structures, seeded by ffResetRun() so segment
+         *  changes skip the indexed accessors. The pointees live as
+         *  long as the System (crash/recovery resets their contents
+         *  in place), so the pointers never dangle. */
+        SetAssocCache *l1 = nullptr;
+        Tlb *tlb = nullptr;
+        FfLineEntry *lcache = nullptr;
+        FfLog *log = nullptr;
+        /** Copy of ffEpoch_ at reset (the epoch this run's line-cache
+         *  entries are stamped with). */
+        std::uint64_t epoch = 0;
+        /** TLB entry backing the run. */
+        TlbEntry *tlbEntry = nullptr;
+        /** L1 line backing the run. */
+        SetAssocCache::Line *line = nullptr;
+        /** Batched accesses since the last flush (also the pending
+         *  per-core load/store counter increments). Striped by low
+         *  address bits: a memory increment forwards its store to the
+         *  next same-address load at ~5 cycle latency, so a single
+         *  counter would serialize the whole fast path — striping
+         *  lets sequential accesses rotate across independent RMW
+         *  chains. The stripes are disjoint by kind — acc counts
+         *  loads, st counts stores — so each access is exactly one
+         *  increment; totals are sums over both. */
+        std::array<std::uint64_t, 4> acc{};
+        std::array<std::uint64_t, 2> st{};
+
+        std::uint64_t accesses() const
+        {
+            return acc[0] + acc[1] + acc[2] + acc[3] + st[0] + st[1];
+        }
+        std::uint64_t stores() const { return st[0] + st[1]; }
+        /** Segment mark: value of accesses() when the current line
+         *  segment opened. TLB batches close per line segment as
+         *  well, so the one mark serves both. */
+        std::uint64_t lineStartAcc = 0;
+        /** True iff the current line segment contains a store (the
+         *  segment's dirty mark). A plain flag store per write is
+         *  cheaper than comparing store-counter deltas at segment
+         *  close. */
+        bool segDirty = false;
+
+        /** Small direct-mapped cache of recent page translations, so
+         *  a run hopping between a few hot pages skips the TLB scan.
+         *  The cached entry pointers stay valid for the whole flush
+         *  epoch: a TLB insert or invalidation only happens on the
+         *  exact path, which flushes (and so resets this) first. */
+        static constexpr unsigned tcacheWays = 8;
+        std::array<Addr, tcacheWays> tcVpn;
+        std::array<TlbEntry *, tcacheWays> tcEntry{};
+        std::array<Addr, tcacheWays> tcPframe{};
+        std::array<std::uint8_t *, tcacheWays> tcHostPage{};
+
+        FfRun() { tcVpn.fill(~Addr(0)); }
+    };
+
+    /** One fully-resolved line state in the per-core line cache: a
+     *  re-open on a recently-seen line skips translation and the L1
+     *  probe entirely. Entries are epoch-stamped — ffFlush() bumps
+     *  ffEpoch_, and every exact-path mutation flushes first, so a
+     *  hit can never be stale (see ffSwitchTo() for the argument). */
+    struct FfLineEntry
+    {
+        Addr vline = ~Addr(0);
+        std::uint64_t epoch = 0;
+        SetAssocCache::Line *line = nullptr;
+        /** Host pointer of the line, biased by −vline (see
+         *  FfRun::hostBias). */
+        std::intptr_t hostBias = 0;
+        TlbEntry *tlbEntry = nullptr;
+        // vpn, pframe and the host page base are re-resolved through
+        // the run's translation cache on a page change; keeping the
+        // entry at 40 bytes keeps the whole table host-cache-resident,
+        // which is what makes the switch path fast.
+    };
+
+    /** Line-cache geometry: direct-mapped, indexed by line number.
+     *  Matches the modeled L1's line count — contiguous L1-resident
+     *  spans map to contiguous slots with no conflicts. */
+    static constexpr std::size_t ffLineCacheSize = 512;
+
+    /** One deferred hit batch: a closed line segment's L1 and TLB
+     *  credits. Appending three plain stores here instead of running
+     *  the four read-modify-writes of two ffCredit() calls keeps the
+     *  switch path short; the log is drained in order, so the final
+     *  LRU/hit state is identical (consecutive batches against the
+     *  same entry compose associatively). */
+    struct FfCredit
+    {
+        SetAssocCache::Line *line;
+        TlbEntry *tlbEntry;
+        std::uint64_t n;
+        bool dirty;
+    };
+
+    /** Sized so the log (256 × 32 B = 8 KB) stays L1-resident on the
+     *  host: a larger log cycles its whole footprint through the
+     *  cache between drains, evicting the hot run/line-cache state
+     *  the per-access path depends on. */
+    static constexpr std::size_t ffLogCapacity = 256;
+
+    /** Per-core deferred-credit log (fixed buffer, cursor reset on
+     *  drain). */
+    struct FfLog
+    {
+        std::vector<FfCredit> buf;
+        std::size_t size = 0;
+    };
+
+    /** Append the closed line segment of @p run to core @p core_id's
+     *  log, draining first if full. Caller updates the marks. */
+    void
+    ffAppend(unsigned core_id, FfRun &run, std::uint64_t acc)
+    {
+        FfLog &log = *run.log;
+        if (log.size == ffLogCapacity)
+            ffDrainLog(core_id);
+        FfCredit &r = log.buf[log.size++];
+        r.line = run.line;
+        r.tlbEntry = run.tlbEntry;
+        r.n = acc - run.lineStartAcc;
+        r.dirty = run.segDirty;
+    }
+
+    /** Apply core @p core_id's logged credits in program order. */
+    void ffDrainLog(unsigned core_id);
+
+    /** Reset core @p core_id's run to empty and seed its per-core
+     *  pointers (L1, TLB, line cache, credit log) and epoch. */
+    void ffResetRun(unsigned core_id);
+
+    /**
+     * Switch the run to a line-cache entry: close the finished line
+     * (and, when the page changes, page) batch exactly as
+     * ffOpenRun() would, then adopt the cached pointers. Valid
+     * because an epoch-matching entry was created by a successful
+     * ffOpenRun() on this core with no intervening flush: the TLB
+     * entry, L1 line and backing-store page it references cannot
+     * have moved (every path that would — insert, eviction,
+     * invalidation, context switch — flushes first, bumping the
+     * epoch).
+     */
+    void ffSwitchTo(unsigned core_id, FfRun &run,
+                    const FfLineEntry &e);
+
+    /** Line transition: consult the line cache, falling back to a
+     *  full ffOpenRun(). Out of line so ffTry() stays small enough to
+     *  inline at every read<T>/write<T> call site — inlining the
+     *  cache probe here measurably regresses the per-access path
+     *  (the extra live values push the caller's induction variables
+     *  onto the stack). */
+    bool ffSwitch(FfRun &run, unsigned core_id, Addr vaddr,
+                  Addr vline);
+
+    /**
+     * Try to service one access on the fast path. Accesses that
+     * cross a line boundary are rejected (the caller's load()/store()
+     * loop splits them into line-contained pieces).
+     * @return true iff handled (TLB + L1 hit); false leaves zero side
+     *         effects and the caller must take the exact path
+     */
+    bool
+    ffTry(unsigned core_id, Addr vaddr, bool is_write, void *buf,
+          std::size_t size)
+    {
+        FfRun &run = ffRuns_[core_id];
+        // One unsigned compare covers both "the open line" and "fits
+        // within it": below the line start it wraps to a huge value,
+        // past the last admissible offset it exceeds the bound. The
+        // sentinel vline (~0) can never match either.
+        if (vaddr - run.vline > blockSize - size) [[unlikely]] {
+            if (blockOffset(vaddr) + size > blockSize)
+                return false; // line-crossing: caller splits
+            if (!ffSwitch(run, core_id, vaddr, blockAlign(vaddr)))
+                return false;
+        }
+        // restrict: the architectural image never aliases run/system
+        // state, so the compiler may keep run fields in registers
+        // across the copy.
+        std::uint8_t *__restrict host = reinterpret_cast<std::uint8_t *>(
+            run.hostBias + static_cast<std::intptr_t>(vaddr));
+        if (is_write) {
+            ++run.st[(vaddr >> 3) & 1];
+            run.segDirty = true;
+            std::memcpy(host, buf, size);
+        } else {
+            ++run.acc[(vaddr >> 3) & 3];
+            std::memcpy(buf, host, size);
+        }
+        return true;
+    }
+
+    /** Line/page transition: close the finished batches, revalidate
+     *  the translation and probe the L1. On a miss flushes everything
+     *  and reports false (the access must go the exact way). */
+    bool ffOpenRun(FfRun &run, unsigned core_id, Addr vaddr,
+                   Addr vline);
+
+    /** Close every open run: credit TLB/L1 batches, apply load/store
+     *  counters, bulk-advance the clock and fire the batched
+     *  sampler/injector hooks. No-op when nothing is pending. */
+    void ffFlush();
+
+    /** Clock ticks of the open runs, not yet folded into now_. */
+    Tick
+    ffPendingTicks() const
+    {
+        if (!ffActive_)
+            return 0;
+        std::uint64_t n = 0;
+        for (const FfRun &run : ffRuns_)
+            n += run.accesses();
+        return n * ffL1Ticks_;
+    }
+    /// @}
 
     /** Map the quarantine set onto files: mark covered inodes
      *  damaged, collect their paths and count orphan lines. */
@@ -394,6 +665,34 @@ class System : public WritebackSink
     trace::Tracer *tracer_ = nullptr;
     metrics::Registry *metrics_ = nullptr;
     metrics::Sampler *sampler_ = nullptr;
+
+    /** Cached (injector_ || sampler_) so a disabled observer costs
+     *  zero work per advance(). */
+    bool advanceHooks_ = false;
+
+    /** Fast-forward enabled: configured on, and no exact-mode-forcing
+     *  attachment (software-encryption layer or fault injector, both
+     *  of which observe every individual access/tick). */
+    bool ffEnabled_ = false;
+    /** Ticks one L1 hit charges (l1.latency * cyclePeriod). */
+    Tick ffL1Ticks_ = 0;
+    /** Some run state (pointers/counters) is cached and a future
+     *  ffFlush() must reset it; false makes ffFlush() a cheap no-op. */
+    bool ffActive_ = false;
+    /** Compile-time bound on cores the fast path supports; configs
+     *  beyond it fall back to the exact model. Keeping the run array
+     *  inline (not heap-allocated) saves the per-access vector
+     *  data-pointer load — one level off the hot dependency chain. */
+    static constexpr unsigned ffMaxCores = 16;
+    /** Per-core open-run state (first cfg_.cpu.numCores entries). */
+    std::array<FfRun, ffMaxCores> ffRuns_;
+    /** Line-cache epoch: bumped by every non-trivial ffFlush(), which
+     *  invalidates all FfLineEntry records at zero per-entry cost. */
+    std::uint64_t ffEpoch_ = 1;
+    /** Per-core direct-mapped line caches (see FfLineEntry). */
+    std::vector<std::array<FfLineEntry, ffLineCacheSize>> ffLineCache_;
+    /** Per-core deferred-credit logs (see FfCredit). */
+    std::vector<FfLog> ffLogs_;
 
     stats::StatGroup statGroup_;
     stats::Scalar totalLoads_;

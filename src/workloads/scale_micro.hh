@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Scale micro-benchmarks for the fast-forward execution mode
+ * (bench_scale): cache-resident access streams whose measured phase
+ * is hundreds of millions of 8-byte operations. The span fits in one
+ * core's L1, so the exact model spends all its time in per-access
+ * bookkeeping — precisely the work --fast-forward collapses — and a
+ * single cell can sustain >= 100M ops in minutes of host time.
+ */
+
+#ifndef FSENCR_WORKLOADS_SCALE_MICRO_HH
+#define FSENCR_WORKLOADS_SCALE_MICRO_HH
+
+#include "common/rng.hh"
+#include "workloads/workload.hh"
+
+namespace fsencr {
+namespace workloads {
+
+/** Access pattern of a scale cell. */
+enum class ScalePattern {
+    /** 8-byte sequential sweep, alternating load/store: maximal
+     *  L1-hit run length (8 accesses per line, 64 per page before
+     *  the run re-opens). */
+    Seq,
+    /** 90% loads / 10% stores in bursts of eight 8-byte accesses to
+     *  a random line of the span: fast-forward pays a run re-open
+     *  (L1 probe, possibly a TLB re-find) every eight accesses. */
+    Mixed,
+};
+
+const char *scalePatternName(ScalePattern p);
+
+/** Parameters of one scale cell. */
+struct ScaleMicroConfig
+{
+    ScalePattern pattern = ScalePattern::Seq;
+    /** Measured 8-byte operations. */
+    std::uint64_t ops = 100000000;
+    /** Working-set bytes; must stay L1-resident (default 16 KB
+     *  against the 32 KB modeled L1). */
+    std::uint64_t spanBytes = 16 << 10;
+    std::uint64_t seed = 9;
+};
+
+/** A scale micro-benchmark instance. */
+class ScaleMicroWorkload : public Workload
+{
+  public:
+    explicit ScaleMicroWorkload(const ScaleMicroConfig &cfg);
+
+    std::string name() const override;
+    void setup(System &sys) override;
+    void execute(System &sys) override;
+    std::uint64_t operations() const override { return cfg_.ops; }
+
+  private:
+    ScaleMicroConfig cfg_;
+    Addr base_ = 0;
+};
+
+/** The bench_scale rows, in report order. */
+std::vector<ScaleMicroConfig> scaleMicroSuite(std::uint64_t ops);
+
+} // namespace workloads
+} // namespace fsencr
+
+#endif // FSENCR_WORKLOADS_SCALE_MICRO_HH

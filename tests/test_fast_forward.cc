@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Fast-forward execution mode tests: the opt-in --fast-forward model
+ * must be tick-exact against the precise model — identical ticks, NVM
+ * traffic, per-component cycle attribution and load/store counts — on
+ * the figure-bench cells and the bench_scale cells, the controller
+ * request stream must be byte-identical, and trace capture/replay on
+ * top of fast-forward runs must be deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "cpu/mem_trace.hh"
+#include "sim/system.hh"
+#include "workloads/dax_micro.hh"
+#include "workloads/pmemkv_bench.hh"
+#include "workloads/scale_micro.hh"
+#include "workloads/whisper_bench.hh"
+#include "workloads/workload.hh"
+
+using namespace fsencr;
+using namespace fsencr::workloads;
+
+namespace {
+
+/** Everything a golden comparison checks. */
+struct GoldenRun
+{
+    WorkloadResult r;
+    trace::Breakdown attr;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+};
+
+GoldenRun
+runOnce(const SimConfig &cfg, Workload &w)
+{
+    System sys(cfg);
+    GoldenRun out;
+    out.r = runWorkload(sys, w);
+    out.attr = sys.measuredAttribution();
+    out.loads = sys.statGroup().scalarValue("loads");
+    out.stores = sys.statGroup().scalarValue("stores");
+    return out;
+}
+
+/**
+ * Run the workload produced by @p make once exact and once with
+ * fast-forward, and assert zero divergence in every externally
+ * visible measured quantity.
+ */
+template <typename MakeFn>
+void
+expectGolden(SimConfig cfg, MakeFn &&make, const char *what)
+{
+    cfg.fastForward = false;
+    auto we = make();
+    GoldenRun exact = runOnce(cfg, *we);
+
+    cfg.fastForward = true;
+    auto wf = make();
+    GoldenRun ff = runOnce(cfg, *wf);
+
+    EXPECT_EQ(exact.r.ticks, ff.r.ticks) << what;
+    EXPECT_EQ(exact.r.nvmReads, ff.r.nvmReads) << what;
+    EXPECT_EQ(exact.r.nvmWrites, ff.r.nvmWrites) << what;
+    EXPECT_EQ(exact.loads, ff.loads) << what;
+    EXPECT_EQ(exact.stores, ff.stores) << what;
+    for (unsigned c = 0; c < trace::NumComponents; ++c)
+        EXPECT_EQ(exact.attr.ticks[c], ff.attr.ticks[c])
+            << what << " component " << trace::componentName(c);
+    // The exact model must have done real work, or the comparison
+    // proves nothing.
+    EXPECT_GT(exact.r.ticks, 0u) << what;
+}
+
+SimConfig
+cfgFor(Scheme scheme)
+{
+    SimConfig cfg;
+    cfg.scheme = scheme;
+    cfg.seed = 77;
+    return cfg;
+}
+
+} // namespace
+
+TEST(FastForwardMode, DefaultIsExactModel)
+{
+    SimConfig cfg;
+    EXPECT_FALSE(cfg.fastForward);
+}
+
+// The bench_scale cells themselves (both patterns), across all three
+// paper schemes: this is the invariant bench_scale phase 1 re-checks
+// at larger op counts.
+TEST(FastForwardGolden, ScaleCellsAcrossSchemes)
+{
+    for (Scheme s : {Scheme::NoEncryption, Scheme::BaselineSecurity,
+                     Scheme::FsEncr}) {
+        for (const auto &wc : scaleMicroSuite(50000)) {
+            expectGolden(
+                cfgFor(s),
+                [&] { return std::make_unique<ScaleMicroWorkload>(wc); },
+                scalePatternName(wc.pattern));
+        }
+    }
+}
+
+// A scale cell larger than the L1 span default, so runs are re-opened
+// by conflict evictions rather than only by line advance.
+TEST(FastForwardGolden, ScaleMixedOutOfCache)
+{
+    ScaleMicroConfig wc;
+    wc.pattern = ScalePattern::Mixed;
+    wc.ops = 50000;
+    wc.spanBytes = 8 << 20; // larger than the LLC
+    expectGolden(
+        cfgFor(Scheme::FsEncr),
+        [&] { return std::make_unique<ScaleMicroWorkload>(wc); },
+        "scale-mixed-8M");
+}
+
+// The Figure 12-14 micro cells (strided sweeps and random swaps) at a
+// reduced span. DAX-3/4 exercise the random line-cache switch path.
+TEST(FastForwardGolden, DaxMicroFigureCells)
+{
+    for (DaxMicroConfig wc : daxMicroSuite()) {
+        wc.spanBytes = 1 << 20;
+        wc.swapOps = 5000;
+        expectGolden(
+            cfgFor(Scheme::FsEncr),
+            [&] { return std::make_unique<DaxMicroWorkload>(wc); },
+            daxMicroKindName(wc.kind));
+    }
+}
+
+// Figure 8/10-style PMEMKV cells: pointer-chasing KV workloads whose
+// access stream interleaves fast-forwardable hits with misses,
+// syscalls and persists.
+TEST(FastForwardGolden, PmemkvFigureCells)
+{
+    for (PmemkvOp op : {PmemkvOp::FillRandom, PmemkvOp::ReadRandom}) {
+        PmemkvConfig wc;
+        wc.op = op;
+        wc.valueBytes = 64;
+        wc.numKeys = 256;
+        wc.numOps = 512;
+        expectGolden(
+            cfgFor(Scheme::FsEncr),
+            [&] { return std::make_unique<PmemkvWorkload>(wc); },
+            op == PmemkvOp::FillRandom ? "fillrandom" : "readrandom");
+    }
+}
+
+// Figure 11-style WHISPER cell (hashmap), on the baseline scheme so a
+// second scheme's exact path is also crossed with fast-forward.
+TEST(FastForwardGolden, WhisperFigureCell)
+{
+    auto suite = whisperSuite(512);
+    ASSERT_GE(suite.size(), 2u);
+    expectGolden(
+        cfgFor(Scheme::BaselineSecurity),
+        [&] { return std::make_unique<WhisperWorkload>(suite[1]); },
+        "whisper-hashmap");
+}
+
+// Software encryption takes per-access page faults that fast-forward
+// cannot batch; the flag must be a no-op there, not a divergence.
+TEST(FastForwardGolden, SoftwareEncryptionForcesExactModel)
+{
+    ScaleMicroConfig wc;
+    wc.ops = 20000;
+    expectGolden(
+        cfgFor(Scheme::SoftwareEncryption),
+        [&] { return std::make_unique<ScaleMicroWorkload>(wc); },
+        "swenc-scale-seq");
+}
+
+// The request stream leaving the cache hierarchy — kind, address and
+// order of every controller-level record — must be identical, not just
+// the aggregate counters.
+TEST(FastForwardGolden, ControllerRequestStreamIsIdentical)
+{
+    auto capture = [](bool ff) {
+        SimConfig cfg = cfgFor(Scheme::FsEncr);
+        cfg.fastForward = ff;
+        ScaleMicroConfig wc;
+        wc.pattern = ScalePattern::Mixed;
+        wc.ops = 50000;
+        wc.spanBytes = 8 << 20; // out of cache: real MC traffic
+        System sys(cfg);
+        MemTrace mt;
+        sys.mc().setTraceCapture(&mt);
+        ScaleMicroWorkload w(wc);
+        runWorkload(sys, w);
+        sys.mc().setTraceCapture(nullptr);
+        return mt;
+    };
+    MemTrace a = capture(false);
+    MemTrace b = capture(true);
+    ASSERT_GT(a.size(), 0u);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const TraceRecord &ra = a.records()[i];
+        const TraceRecord &rb = b.records()[i];
+        ASSERT_EQ(ra.kind, rb.kind) << "record " << i;
+        ASSERT_EQ(ra.paddr, rb.paddr) << "record " << i;
+        ASSERT_EQ(ra.gid, rb.gid) << "record " << i;
+        ASSERT_EQ(ra.fid, rb.fid) << "record " << i;
+    }
+}
+
+// Functional state: every byte written through the fast path must be
+// readable back, through both the fast path and (after remapping
+// forces the exact path) the precise model.
+TEST(FastForwardMode, WritesAreVisibleToReads)
+{
+    SimConfig cfg = cfgFor(Scheme::FsEncr);
+    cfg.fastForward = true;
+    System sys(cfg);
+    standardEnvironment(sys, "pw");
+    int fd = sys.creat(0, "/pmem/ff.dat", 0600, OpenFlags::Encrypted,
+                       "pw");
+    sys.ftruncate(0, fd, 1 << 20);
+    Addr va = sys.mmapFile(0, fd, 1 << 20);
+
+    for (Addr off = 0; off < (1u << 20); off += 8)
+        sys.write<std::uint64_t>(0, va + off, off ^ 0x5aa5);
+    for (Addr off = 0; off < (1u << 20); off += 8)
+        ASSERT_EQ(sys.read<std::uint64_t>(0, va + off), off ^ 0x5aa5)
+            << off;
+    // persist() goes down the exact path (flushing any open run
+    // first); data must still be coherent afterwards.
+    sys.persist(0, va, 64);
+    EXPECT_EQ(sys.read<std::uint64_t>(0, va), 0u ^ 0x5aa5);
+}
+
+// Capture under fast-forward, then replay: replay is a pure
+// controller-level rerun and must be byte-identical run to run, for
+// every scheme the report compares.
+TEST(FastForwardTrace, ReplayOfFastForwardCaptureIsDeterministic)
+{
+    SimConfig cfg = cfgFor(Scheme::FsEncr);
+    cfg.fastForward = true;
+    ScaleMicroConfig wc;
+    wc.pattern = ScalePattern::Mixed;
+    wc.ops = 30000;
+    wc.spanBytes = 8 << 20;
+    MemTrace mt;
+    {
+        System sys(cfg);
+        sys.mc().setTraceCapture(&mt);
+        ScaleMicroWorkload w(wc);
+        runWorkload(sys, w);
+    }
+    ASSERT_GT(mt.size(), 0u);
+
+    for (Scheme s : {Scheme::NoEncryption, Scheme::BaselineSecurity,
+                     Scheme::FsEncr}) {
+        SimConfig rcfg = cfgFor(s);
+        ReplayResult r1 = replayTrace(mt, rcfg);
+        ReplayResult r2 = replayTrace(mt, rcfg);
+        EXPECT_EQ(r1.totalTicks, r2.totalTicks) << schemeName(s);
+        EXPECT_EQ(r1.nvmReads, r2.nvmReads) << schemeName(s);
+        EXPECT_EQ(r1.nvmWrites, r2.nvmWrites) << schemeName(s);
+        EXPECT_EQ(r1.requests, r2.requests) << schemeName(s);
+        for (unsigned c = 0; c < trace::NumComponents; ++c)
+            EXPECT_EQ(r1.attribution.ticks[c], r2.attribution.ticks[c])
+                << schemeName(s);
+    }
+}
+
+// Round-trip through the binary file format must preserve the
+// fast-forward capture exactly (replay of the loaded trace matches
+// replay of the in-memory one).
+TEST(FastForwardTrace, SavedCaptureReplaysIdentically)
+{
+    SimConfig cfg = cfgFor(Scheme::FsEncr);
+    cfg.fastForward = true;
+    ScaleMicroConfig wc;
+    wc.pattern = ScalePattern::Seq;
+    wc.ops = 20000;
+    wc.spanBytes = 8 << 20;
+    MemTrace mt;
+    {
+        System sys(cfg);
+        sys.mc().setTraceCapture(&mt);
+        ScaleMicroWorkload w(wc);
+        runWorkload(sys, w);
+    }
+    ASSERT_GT(mt.size(), 0u);
+
+    std::string path = ::testing::TempDir() + "/ff_capture.trace";
+    ASSERT_TRUE(mt.save(path));
+    MemTrace loaded;
+    ASSERT_TRUE(loaded.load(path));
+    std::remove(path.c_str());
+    ASSERT_EQ(loaded.size(), mt.size());
+
+    SimConfig rcfg = cfgFor(Scheme::FsEncr);
+    ReplayResult a = replayTrace(mt, rcfg);
+    ReplayResult b = replayTrace(loaded, rcfg);
+    EXPECT_EQ(a.totalTicks, b.totalTicks);
+    EXPECT_EQ(a.nvmReads, b.nvmReads);
+    EXPECT_EQ(a.nvmWrites, b.nvmWrites);
+    EXPECT_EQ(a.requests, b.requests);
+}

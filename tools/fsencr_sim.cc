@@ -60,6 +60,7 @@ struct Options
     std::string metricsProm;    //!< --metrics-prom FILE (text exposition)
     unsigned mcBanks = 0;       //!< --mc-banks N (0 = config default)
     unsigned mcMshrs = 0;       //!< --mc-mshrs N (0 = config default)
+    bool fastForward = false;   //!< --fast-forward (tick-exact batch)
 };
 
 using Factory =
@@ -194,6 +195,11 @@ parseArgs(int argc, char **argv, Options &opt)
         .flag("--json", "dump the stat tree as JSON", &opt.json)
         .opt("--trace-out", "FILE", "capture MC trace", &opt.traceOut)
         .opt("--replay", "FILE", "replay MC trace", &opt.replayIn)
+        .opt("--trace-in", "FILE", "alias of --replay", &opt.replayIn)
+        .flag("--fast-forward",
+              "collapse L1-hit runs into bulk clock updates "
+              "(tick-exact; see docs/ARCHITECTURE.md)",
+              &opt.fastForward)
         .opt("--report", "FILE", "machine-readable run report",
              &opt.reportOut)
         .opt("--trace-events", "FILE", "Chrome trace_event JSON",
@@ -223,6 +229,7 @@ configFrom(const Options &opt)
         cfg.pcm.mcBanks = opt.mcBanks;
     if (opt.mcMshrs)
         cfg.pcm.mcMshrs = opt.mcMshrs;
+    cfg.fastForward = opt.fastForward;
     return cfg;
 }
 
@@ -279,6 +286,7 @@ writeConfig(report::JsonWriter &w, const Options &opt,
             static_cast<std::uint64_t>(cfg.sec.osirisStopLoss));
     w.field("mc_banks", static_cast<std::uint64_t>(cfg.pcm.mcBanks));
     w.field("mc_mshrs", static_cast<std::uint64_t>(cfg.pcm.mcMshrs));
+    w.field("fast_forward", cfg.fastForward);
     w.endObject();
 }
 
