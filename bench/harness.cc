@@ -133,6 +133,16 @@ benchConfig(int argc, char **argv)
               "collapse L1-hit runs into bulk clock updates "
               "(tick-exact; see docs/ARCHITECTURE.md)",
               &cfg.fastForward)
+        .custom("--audit-filter", "{off|all|G1,G2,...}",
+                "audit-log ride-along predicate (per GroupID)",
+                [&cfg](const std::string &v) {
+                    if (v == "off")
+                        return true;
+                    if (!parseAuditFilter(v, cfg.sec))
+                        return false;
+                    cfg.layout.auditLogBytes = auditLogDefaultBytes;
+                    return true;
+                })
         .ignoreUnknown();
     p.parse(argc, argv);
     return cfg;

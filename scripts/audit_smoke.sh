@@ -1,0 +1,154 @@
+#!/usr/bin/env bash
+# Smoke-test the audit ride-along end to end:
+#
+#  1. --audit-filter off is a true no-op: the run report is
+#     byte-identical to a run without the flag (no audit section, no
+#     timing drift, same Merkle geometry),
+#  2. audit runs are deterministic: same seed, same report bytes, and
+#     the report carries a populated audit section plus nonzero
+#     mc.audit metrics,
+#  3. fsencr-auditq reconstructs a clean run into a versioned
+#     fsencr-audit-report with a contiguous seq stream and a matching
+#     CSV export, and filtering narrows it,
+#  4. fsencr-auditq --crash-at-write recovers exactly the acknowledged
+#     prefix (no lost acknowledged records, no forged ones),
+#  5. fsencr-crashtest --audit holds the audit invariants across all
+#     fault classes and stays deterministic.
+#
+# Usage: scripts/audit_smoke.sh [build-dir]
+# Exit 0 on success; registered as a ctest test.
+set -eu
+
+build_dir="${1:-$(dirname "$0")/../build}"
+sim="$build_dir/tools/fsencr-sim"
+auditq="$build_dir/tools/fsencr-auditq"
+crashtest="$build_dir/tools/fsencr-crashtest"
+for t in "$sim" "$auditq" "$crashtest"; do
+    [ -x "$t" ] || { echo "missing $t (build first)"; exit 1; }
+done
+
+python3_bin="$(command -v python3 || true)"
+[ -n "$python3_bin" ] || { echo "python3 not found; skipping"; exit 0; }
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+wl="fillrandom-S"
+common=(--scheme fsencr --workload "$wl" --ops 400 --seed 42)
+
+# 1. `--audit-filter off` must not perturb a single byte.
+"$sim" "${common[@]}" --report "$tmp/plain.json" > /dev/null
+"$sim" "${common[@]}" --audit-filter off \
+       --report "$tmp/off.json" > /dev/null
+cmp "$tmp/plain.json" "$tmp/off.json" || {
+    echo "FAIL: --audit-filter off perturbed the run report"
+    exit 1
+}
+echo "ok: --audit-filter off is byte-identical to no flag"
+
+# 2. Audit runs are deterministic and carry the audit section.
+"$sim" "${common[@]}" --audit-filter all \
+       --report "$tmp/audit_a.json" --metrics-prom "$tmp/audit.prom" \
+       > /dev/null
+"$sim" "${common[@]}" --audit-filter all \
+       --report "$tmp/audit_b.json" --metrics-prom "$tmp/b.prom" \
+       > /dev/null
+cmp "$tmp/audit_a.json" "$tmp/audit_b.json" || {
+    echo "FAIL: audit run report is not deterministic"
+    exit 1
+}
+"$python3_bin" - "$tmp/audit_a.json" "$tmp/plain.json" <<'EOF'
+import json, sys
+audit_doc = json.load(open(sys.argv[1]))
+plain_doc = json.load(open(sys.argv[2]))
+assert "audit" not in plain_doc, "audit-off report grew an audit section"
+assert plain_doc["config"].get("audit_filter") is None
+sec = audit_doc["audit"]
+assert audit_doc["config"]["audit_filter"] == "all"
+assert sec["appended"] > 0, sec
+assert sec["acked"] == sec["appended"], sec
+assert sec["overflow_dropped"] == 0 and sec["crash_dropped"] == 0, sec
+assert sec["capacity_records"] > 0, sec
+print(f'ok: audit section appended={sec["appended"]} all acked')
+EOF
+grep -q '^fsencr_mc_audit{op="append"} [1-9]' "$tmp/audit.prom" || {
+    echo "FAIL: mc.audit{op=append} missing from Prometheus export"
+    exit 1
+}
+echo "ok: mc.audit metrics exported"
+
+# 3. auditq: clean reconstruction, contiguous stream, CSV round-trip.
+"$auditq" "${common[@]}" --report "$tmp/q.json" --csv "$tmp/q.csv" \
+    > /dev/null
+"$python3_bin" - "$tmp/q.json" "$tmp/q.csv" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "fsencr-audit-report", doc.get("schema")
+assert doc["version"] == 1
+log = doc["log"]
+assert not log["integrity_truncated"], log
+assert log["recovered"] == log["acked"] == log["appended"] > 0, log
+recs = doc["records"]
+assert [r["seq"] for r in recs] == list(range(1, len(recs) + 1))
+csv_rows = open(sys.argv[2]).read().splitlines()
+assert csv_rows[0] == "seq,tick,addr,gid,fid,op,core,scheme"
+assert len(csv_rows) - 1 == len(recs), (len(csv_rows), len(recs))
+print(f"ok: auditq reconstructed {len(recs)} records, CSV matches")
+EOF
+
+"$auditq" "${common[@]}" --gid 9999 --report "$tmp/qnone.json" \
+    > /dev/null
+"$python3_bin" - "$tmp/qnone.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["records"] == [], "gid filter did not narrow the query"
+assert doc["log"]["recovered"] > 0
+print("ok: auditq --gid filter narrows the query")
+EOF
+
+# 4. Crash: the recovered log is the acknowledged prefix, exactly.
+"$auditq" "${common[@]}" --crash-at-write 600 \
+          --report "$tmp/qcrash.json" > /dev/null
+"$python3_bin" - "$tmp/qcrash.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["config"]["crashed"] and doc["config"]["recovered"]
+log = doc["log"]
+assert not log["integrity_truncated"], log
+assert log["recovered"] == log["acked"], log
+assert log["acked"] + log["crash_dropped"] == log["appended"], log
+recs = doc["records"]
+assert [r["seq"] for r in recs] == list(range(1, len(recs) + 1))
+print(f'ok: crash recovered {log["recovered"]}/{log["appended"]} '
+      f'(acked prefix intact)')
+EOF
+
+# 5. Crashtest audit invariants across every fault class.
+"$crashtest" --seed 7 --crashes 5 --fault all --audit --json \
+    > "$tmp/ct_a.json" || {
+    echo "FAIL: crashtest --audit reported invariant violations"
+    cat "$tmp/ct_a.json"
+    exit 1
+}
+"$crashtest" --seed 7 --crashes 5 --fault all --audit --json \
+    > "$tmp/ct_b.json"
+cmp "$tmp/ct_a.json" "$tmp/ct_b.json" || {
+    echo "FAIL: crashtest --audit report is not deterministic"
+    exit 1
+}
+"$python3_bin" - "$tmp/ct_a.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["config"]["audit"] is True
+assert doc["summary"]["failed"] == 0, doc["summary"]
+checked = 0
+for run in doc["runs"]:
+    inv = run["invariants"]
+    if "audit_prefix" in inv:
+        assert inv["audit_prefix"] and inv["audit_durable"], run
+        checked += 1
+assert checked, "no run exercised the audit invariants"
+print(f"ok: audit invariants held across {checked} crashed runs")
+EOF
+
+echo "audit_smoke: all checks passed"

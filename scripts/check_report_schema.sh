@@ -21,7 +21,13 @@
 #     record the mode, gate clean against the exact report at a zero
 #     threshold (the tick-exact contract, end to end through the CLI),
 #     and a --trace-out capture taken under fast-forward must replay
-#     byte-identically twice through --trace-in.
+#     byte-identically twice through --trace-in,
+#  9. rerun the workload with --audit-filter all: the run report must
+#     carry a populated audit section, fsencr-compare must flag an
+#     audit-enabled vs audit-off pair as a structural diff (exit 2,
+#     not a row-match miss), a banked audit run must report a nonzero
+#     mc.overlap{op=audit} share, and fsencr-auditq must emit a valid
+#     fsencr-audit-report v1.
 #
 # Usage: scripts/check_report_schema.sh [build-dir]
 # Exit 0 on success; registered as a ctest test.
@@ -313,3 +319,98 @@ EOF
     echo "FAIL: replay of the fast-forward capture not deterministic"
     exit 1
 }
+
+# Audit ride-along: report section, structural compare, banked
+# overlap share, and the fsencr-auditq export schema.
+auditq="$build_dir/tools/fsencr-auditq"
+[ -x "$auditq" ] || { echo "missing $auditq (build first)"; exit 1; }
+
+"$sim" --scheme fsencr --workload fillrandom-S --ops 2000 --keys 2000 \
+       --audit-filter all --mc-banks 4 --mc-mshrs 8 \
+       --report "$tmp/audit.json" --sample-interval 1000000 \
+       --metrics-prom "$tmp/audit.prom" > "$tmp/audit-stdout.txt"
+
+"$python3_bin" - "$tmp/audit.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+assert doc["config"]["audit_filter"] == "all"
+
+sec = doc["audit"]
+for key in ("filter", "appended", "acked", "overflow_dropped",
+            "crash_dropped", "capacity_records"):
+    assert key in sec, key
+assert sec["appended"] > 0 and sec["acked"] == sec["appended"], sec
+
+# Audit appends flow through the metrics registry...
+fams = doc["metrics"]
+audit_fam = fams["mc.audit"]
+assert audit_fam["label"] == "op", audit_fam
+assert audit_fam["values"]["append"] == sec["appended"], audit_fam
+gids = fams["audit.append"]
+assert gids["label"] == "gid" and gids["total"] == sec["appended"]
+
+# ...and the flush chains overlap metadata work at --mc-banks 4.
+overlap = fams["mc.overlap"]
+assert overlap["values"].get("audit", 0) > 0, overlap
+
+# Attribution stays tick-exact with the ride-along enabled.
+attr = doc["attribution"]
+assert sum(attr["components"].values()) == attr["total"]
+assert attr["total"] == doc["result"]["ticks"]
+
+print("audit schema OK: %d records, %d audit overlap ticks"
+      % (sec["appended"], overlap["values"]["audit"]))
+EOF
+
+# Audit-enabled vs audit-off must be a structural diff (exit 2), not
+# a row-match miss buried in the metric comparisons.
+set +e
+"$compare" --quiet "$tmp/report.json" "$tmp/audit.json" \
+    > /dev/null 2> "$tmp/audit-compare.txt"
+compare_rc=$?
+set -e
+[ "$compare_rc" -eq 2 ] || {
+    echo "FAIL: audit/non-audit compare exited $compare_rc, want 2"
+    cat "$tmp/audit-compare.txt"
+    exit 1
+}
+
+# The query tool's export is a versioned schema of its own.
+"$auditq" --scheme fsencr --workload fillrandom-S --ops 400 --seed 42 \
+          --report "$tmp/auditq.json" --csv "$tmp/auditq.csv" \
+          > /dev/null
+
+"$python3_bin" - "$tmp/auditq.json" "$tmp/auditq.csv" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+assert doc["schema"] == "fsencr-audit-report", doc.get("schema")
+assert doc["version"] == 1, doc["version"]
+for key in ("config", "log", "query", "summary", "records"):
+    assert key in doc, key
+log = doc["log"]
+for key in ("appended", "acked", "recovered", "integrity_truncated",
+            "lines_scanned", "capacity_records", "overflow_dropped",
+            "crash_dropped"):
+    assert key in log, key
+assert not log["integrity_truncated"], log
+recs = doc["records"]
+assert recs and [r["seq"] for r in recs] == list(range(1, len(recs) + 1))
+for key in ("seq", "tick", "addr", "gid", "fid", "op", "core",
+            "scheme"):
+    assert key in recs[0], key
+summ = doc["summary"]
+assert summ["reads"] + summ["writes"] + summ["persists"] == len(recs)
+
+with open(sys.argv[2]) as f:
+    rows = f.read().splitlines()
+assert rows[0] == "seq,tick,addr,gid,fid,op,core,scheme", rows[0]
+assert len(rows) - 1 == len(recs), (len(rows), len(recs))
+
+print("auditq schema OK: %d records exported" % len(recs))
+EOF

@@ -117,6 +117,32 @@ for b in "${banked_benches[@]}"; do
     echo | tee -a "$out"
 done
 
+# Audit ride-along configuration: the Figure 14 DAX-read suite with
+# every GroupID audited, gated against its own committed baseline
+# (REPORT_<bench>_audit.json). The default rows above run with
+# auditing off and must stay bit-identical to their baselines.
+audit_benches=(
+    bench_fig14_micro_reads
+)
+
+for b in "${audit_benches[@]}"; do
+    echo "=== $b (--audit-filter all) ===" | tee -a "$out"
+    report="$report_dir/REPORT_${b}_audit.json"
+    FSENCR_BENCH_REPORT="$report" \
+        "$build_dir/bench/$b" $quick --audit-filter all 2>/dev/null \
+        | tee -a "$out"
+    baseline="$baseline_dir/REPORT_${b}_audit.json"
+    if [ "$check_baselines" = 1 ] && [ -s "$report" ] &&
+       [ -s "$baseline" ] && [ -x "$compare" ]; then
+        if ! "$compare" --quiet "$baseline" "$report" | tee -a "$out"
+        then
+            echo "REGRESSION: $b (audit) vs $baseline" | tee -a "$out"
+            regressions=$((regressions + 1))
+        fi
+    fi
+    echo | tee -a "$out"
+done
+
 echo "=== bench_primitives ===" | tee -a "$out"
 "$build_dir/bench/bench_primitives" \
     --benchmark_min_time=0.05s 2>/dev/null | tee -a "$out"

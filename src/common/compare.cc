@@ -166,6 +166,29 @@ compareTimeseries(Comparer &cmp, const json::Value &base,
 }
 
 void
+compareAudit(Comparer &cmp, const json::Value &base,
+             const json::Value &cur)
+{
+    const json::Value *ba = base.find("audit");
+    const json::Value *ca = cur.find("audit");
+    if (!ba && !ca)
+        return;
+    // One-sided audit section means the runs were configured
+    // differently — a structural mismatch, not a metric regression.
+    if (!ba || !ca) {
+        cmp.res.error = std::string("audit section present only in ") +
+                        (ba ? "baseline" : "current") +
+                        " (audit-enabled vs audit-off run)";
+        return;
+    }
+    for (const char *key :
+         {"appended", "acked", "overflow_dropped", "crash_dropped"})
+        cmp.member(*ba, *ca, key, std::string("audit.") + key);
+    cmp.member(*ba, *ca, "capacity_records", "audit.capacity_records",
+               /*gate=*/false);
+}
+
+void
 compareRunReports(Comparer &cmp, const json::Value &base,
                   const json::Value &cur)
 {
@@ -190,6 +213,7 @@ compareRunReports(Comparer &cmp, const json::Value &base,
     compareAttribution(cmp, base, cur, "");
     compareLatency(cmp, base, cur, "");
     compareTimeseries(cmp, base, cur);
+    compareAudit(cmp, base, cur);
 }
 
 const json::Value *

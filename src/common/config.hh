@@ -11,7 +11,9 @@
 #define FSENCR_COMMON_CONFIG_HH
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -125,6 +127,18 @@ struct SecParams
     unsigned fecbStopLossFactor = 4;
     /** Bytes reserved for the encrypted OTT spill hash table. */
     std::size_t ottSpillBytes = 1 << 20;
+
+    /**
+     * In-controller audit-log ride-along (FOX-style): append one
+     * integrity-covered record per DAX access that matches the filter.
+     * Off by default — with auditing off, no audit region is
+     * provisioned and timing is bit-identical to the unaudited model.
+     */
+    bool auditEnabled = false;
+    /** GroupIDs to audit; empty means "all groups". */
+    std::vector<std::uint32_t> auditGroups;
+    /** Write-combining buffer depth in records (2 records per line). */
+    unsigned auditWcbRecords = 8;
 };
 
 /** Software-encryption (eCryptfs-like) baseline parameters. */
@@ -167,6 +181,14 @@ struct LayoutParams
     /** Persistent region (memmap=4G!12G): [pmemBase, pmemBase+pmemBytes). */
     std::uint64_t pmemBase = 12ull << 30;
     std::uint64_t pmemBytes = 4ull << 30;
+    /**
+     * Append-only audit-log region carved out of the metadata
+     * carve-out, behind the OTT spill region and inside the Merkle
+     * leaf range so records are integrity-covered. 0 (the default)
+     * provisions nothing and leaves the Merkle geometry — and thus
+     * every tick — bit-identical to the unaudited layout.
+     */
+    std::uint64_t auditLogBytes = 0;
 };
 
 /** Top-level simulation configuration. */
@@ -205,6 +227,64 @@ struct SimConfig
         return scheme == Scheme::SoftwareEncryption;
     }
 };
+
+/** Default audit-log region size when `--audit-filter` is given
+ *  without an explicit layout override (16K lines = 32K records). */
+constexpr std::uint64_t auditLogDefaultBytes = 1ull << 20;
+
+/**
+ * Parse an `--audit-filter` spec into @p sec: "all" audits every
+ * group; a comma-separated GroupID list audits only those groups.
+ * Shared by fsencr-sim, fsencr-auditq, fsencr-crashtest and the bench
+ * harness so the flag means the same thing everywhere.
+ *
+ * @return false on a malformed spec (sec is left unchanged)
+ */
+inline bool
+parseAuditFilter(const std::string &spec, SecParams &sec)
+{
+    std::vector<std::uint32_t> groups;
+    if (spec != "all") {
+        std::size_t pos = 0;
+        while (pos <= spec.size()) {
+            std::size_t comma = spec.find(',', pos);
+            std::string item =
+                comma == std::string::npos
+                    ? spec.substr(pos)
+                    : spec.substr(pos, comma - pos);
+            char *end = nullptr;
+            unsigned long gid = std::strtoul(item.c_str(), &end, 10);
+            if (item.empty() || !end || *end != '\0')
+                return false;
+            groups.push_back(static_cast<std::uint32_t>(gid));
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+        if (groups.empty())
+            return false;
+    }
+    sec.auditEnabled = true;
+    sec.auditGroups = std::move(groups);
+    return true;
+}
+
+/** Render the active audit filter back into its CLI spelling. */
+inline std::string
+auditFilterSpec(const SecParams &sec)
+{
+    if (!sec.auditEnabled)
+        return "off";
+    if (sec.auditGroups.empty())
+        return "all";
+    std::string out;
+    for (std::uint32_t gid : sec.auditGroups) {
+        if (!out.empty())
+            out += ',';
+        out += std::to_string(gid);
+    }
+    return out;
+}
 
 } // namespace fsencr
 

@@ -29,6 +29,8 @@ namespace fsencr {
 namespace stats { class Histogram; }
 namespace metrics { class Registry; class Sampler; }
 namespace trace { struct Breakdown; }
+class AuditLog;
+struct SecParams;
 
 namespace report {
 
@@ -49,6 +51,8 @@ constexpr const char *crashtestReportSchema = "fsencr-crashtest-report";
 constexpr int crashtestReportVersion = 1;
 constexpr const char *compareReportSchema = "fsencr-compare-report";
 constexpr int compareReportVersion = 1;
+constexpr const char *auditReportSchema = "fsencr-audit-report";
+constexpr int auditReportVersion = 1;
 
 /**
  * Streaming JSON writer with automatic comma placement and
@@ -134,6 +138,17 @@ void writeTimeseries(JsonWriter &w, const metrics::Sampler &sampler);
  * its label key, sorted label values, eviction count and total.
  */
 void writeMetricsSection(JsonWriter &w, const metrics::Registry &reg);
+
+/**
+ * Emit the `audit` section of an audit-enabled run report: the
+ * active filter plus append/ack/drop counters and region capacity.
+ * Only emitted when auditing is on — audit-off reports stay
+ * byte-identical to pre-audit builds. Defined alongside AuditLog (in
+ * the fsenc library), declared here so the schema surface stays in
+ * one header.
+ */
+void writeAuditSection(JsonWriter &w, const SecParams &sec,
+                       const AuditLog &audit);
 
 } // namespace report
 } // namespace fsencr

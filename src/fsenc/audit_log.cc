@@ -1,0 +1,259 @@
+#include "fsenc/audit_log.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/report.hh"
+
+namespace fsencr {
+
+AuditLog::AuditLog(const SecParams &params, const PhysLayout &layout,
+                   NvmDevice &device, MerkleTree &merkle, Scheme scheme)
+    : layout_(layout),
+      device_(device),
+      merkle_(merkle),
+      scheme_(static_cast<std::uint8_t>(scheme)),
+      wcbRecords_(params.auditWcbRecords ? params.auditWcbRecords : 1),
+      statGroup_("audit")
+{
+    std::uint64_t lines = layout.auditLogBytes() / blockSize;
+    capacityRecords_ = lines > 1 ? (lines - 1) * recordsPerLine : 0;
+
+    statGroup_.addScalar("appends", appends_);
+    statGroup_.addScalar("flushes", flushes_);
+    statGroup_.addScalar("flushedLines", flushedLines_);
+    statGroup_.addScalar("overflowDrops", overflowDrops_);
+    statGroup_.addScalar("crashDrops", crashDrops_);
+
+    if (capacityRecords_ == 0)
+        return;
+
+    // Region header, written functionally at power-on and covered by
+    // the Merkle tree like every record line. No timing access: the
+    // header is part of provisioning, not of the measured run.
+    std::uint8_t buf[blockSize] = {};
+    std::memcpy(buf, &headerMagic, sizeof(headerMagic));
+    std::memcpy(buf + 8, &headerVersion, sizeof(headerVersion));
+    std::uint32_t rec_bytes = sizeof(AuditRecord);
+    std::memcpy(buf + 12, &rec_bytes, sizeof(rec_bytes));
+    std::memcpy(buf + 16, &capacityRecords_, sizeof(capacityRecords_));
+    device_.writeLine(layout_.auditLogBase(), buf);
+    merkle_.updateLeaf(layout_.auditLogBase(), buf);
+}
+
+Addr
+AuditLog::lineAddr(std::uint64_t line_index) const
+{
+    // Data line 0 lives one line past the region header.
+    return layout_.auditLogBase() + (line_index + 1) * blockSize;
+}
+
+void
+AuditLog::packLine(std::uint64_t first_record, std::uint8_t *buf) const
+{
+    std::memset(buf, 0, blockSize);
+    for (unsigned k = 0; k < recordsPerLine; ++k) {
+        std::uint64_t idx = first_record + k;
+        if (idx >= records_.size())
+            break;
+        std::memcpy(buf + k * sizeof(AuditRecord), &records_[idx],
+                    sizeof(AuditRecord));
+    }
+}
+
+Tick
+AuditLog::flushPending(Tick now)
+{
+    if (crashed_ || acked_ >= records_.size())
+        return 0;
+
+    std::uint64_t count = records_.size() - acked_;
+    std::uint64_t first_line = acked_ / recordsPerLine;
+    std::uint64_t last_line = (records_.size() - 1) / recordsPerLine;
+
+    // The whole WCB bursts out at `now` as one independent request
+    // chain: consecutive lines usually share a bank, so the device
+    // serializes them itself, but nothing stops the chain from
+    // overlapping a concurrently issued MECB/FECB walk.
+    Tick done = now;
+    for (std::uint64_t line = first_line; line <= last_line; ++line) {
+        std::uint8_t buf[blockSize];
+        packLine(line * recordsPerLine, buf);
+        Addr addr = lineAddr(line);
+        // MAC the intended content *before* the device store: a torn
+        // or dropped persist then mismatches the tree at recovery
+        // instead of being silently re-hashed into it.
+        merkle_.updateLeaf(addr, buf);
+        device_.writeLine(addr, buf);
+
+        MemRequest req;
+        req.paddr = addr;
+        req.isWrite = true;
+        req.cls = TrafficClass::AuditLog;
+        Completion c = device_.submit(req, now);
+        done = std::max(done, c.finish);
+
+        ++flushedLines_;
+        if (opCtr_)
+            opCtr_->add("flush", 1);
+        // Acknowledge per stored line: a power loss between lines
+        // leaves earlier records durable and later ones in the WCB.
+        acked_ = std::min<std::uint64_t>(
+            records_.size(), (line + 1) * recordsPerLine);
+    }
+    ++flushes_;
+
+    Tick latency = done - now;
+    if (tracer_)
+        tracer_->complete("audit_flush", "audit", now, latency, 0,
+                          count);
+    return latency;
+}
+
+Tick
+AuditLog::append(AuditRecord rec, Tick now)
+{
+    if (crashed_ || capacityRecords_ == 0)
+        return 0;
+    if (records_.size() >= capacityRecords_) {
+        ++overflowDrops_;
+        if (!overflowWarned_) {
+            warn("audit log region full (%llu records); dropping",
+                 static_cast<unsigned long long>(capacityRecords_));
+            overflowWarned_ = true;
+        }
+        return 0;
+    }
+
+    rec.seq = nextSeq_++;
+    rec.scheme = scheme_;
+    records_.push_back(rec);
+    ++appends_;
+    if (opCtr_)
+        opCtr_->add("append", 1);
+    if (gidCtr_)
+        gidCtr_->add(static_cast<std::uint64_t>(rec.gid()), 1);
+    if (tracer_)
+        tracer_->instant("audit_append", "audit", now, rec.seq);
+
+    if (records_.size() - acked_ >= wcbRecords_)
+        return flushPending(now);
+    return 0;
+}
+
+Tick
+AuditLog::drain(Tick now)
+{
+    return flushPending(now);
+}
+
+void
+AuditLog::crash()
+{
+    crashDrops_ += records_.size() - acked_;
+    crashed_ = true;
+}
+
+void
+AuditLog::shutdown(Tick now)
+{
+    flushPending(now);
+}
+
+void
+AuditLog::noteTamperedLine(Addr line_addr)
+{
+    tamperedLines_.insert(blockAlign(stripDfBit(line_addr)));
+}
+
+AuditScanResult
+AuditLog::scan() const
+{
+    AuditScanResult res;
+    if (capacityRecords_ == 0)
+        return res;
+
+    // The header authenticates the region itself.
+    Addr header = layout_.auditLogBase();
+    if (!merkle_.leafTracked(header) || tamperedLines_.count(header) ||
+        !merkle_.verifyLeaf(header)) {
+        res.integrityTruncated = true;
+        return res;
+    }
+    std::uint8_t buf[blockSize];
+    device_.readLine(header, buf);
+    std::uint64_t magic;
+    std::memcpy(&magic, buf, sizeof(magic));
+    if (magic != headerMagic) {
+        res.integrityTruncated = true;
+        return res;
+    }
+
+    std::uint64_t data_lines = capacityRecords_ / recordsPerLine;
+    std::uint64_t expected = 1;
+    for (std::uint64_t line = 0; line < data_lines; ++line) {
+        Addr addr = lineAddr(line);
+        if (!merkle_.leafTracked(addr))
+            break; // virgin NVM: end of log
+        if (tamperedLines_.count(addr) || !merkle_.verifyLeaf(addr)) {
+            res.integrityTruncated = true;
+            break;
+        }
+        ++res.linesScanned;
+        device_.readLine(addr, buf);
+        bool stop = false;
+        for (unsigned k = 0; k < recordsPerLine; ++k) {
+            AuditRecord rec;
+            std::memcpy(&rec, buf + k * sizeof(AuditRecord),
+                        sizeof(AuditRecord));
+            if (rec.seq != expected) {
+                // seq 0 is the zero-padded tail of a partial line; any
+                // other discontinuity is a forged or stale record that
+                // escaped Merkle detection.
+                if (rec.seq != 0)
+                    res.integrityTruncated = true;
+                stop = true;
+                break;
+            }
+            res.records.push_back(rec);
+            ++expected;
+        }
+        if (stop)
+            break;
+    }
+    return res;
+}
+
+void
+AuditLog::setMetrics(metrics::Registry *metrics)
+{
+    if (!metrics) {
+        opCtr_ = nullptr;
+        gidCtr_ = nullptr;
+        return;
+    }
+    opCtr_ = &metrics->counter("mc.audit", "op", 3);
+    gidCtr_ = &metrics->counter("audit.append", "gid", 17);
+}
+
+namespace report {
+
+void
+writeAuditSection(JsonWriter &w, const SecParams &sec,
+                  const AuditLog &audit)
+{
+    w.beginObject("audit");
+    w.field("filter", auditFilterSpec(sec));
+    w.field("appended", audit.appendedRecords());
+    w.field("acked", audit.ackedRecords());
+    w.field("overflow_dropped", audit.overflowDropped());
+    w.field("crash_dropped", audit.crashDropped());
+    w.field("capacity_records", audit.capacityRecords());
+    w.endObject();
+}
+
+} // namespace report
+
+} // namespace fsencr

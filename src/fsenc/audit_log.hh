@@ -1,0 +1,216 @@
+/**
+ * @file
+ * In-controller audit-log ride-along (FOX-style).
+ *
+ * The DF-bit plumbing already tells the secure memory controller which
+ * file every DAX access belongs to, so auditing is a ride-along: for
+ * each access matching the configured GroupID predicate the controller
+ * appends one fixed-size record (tick, core, GroupID/FileID, op, line
+ * address, scheme). Records are batched in a small write-combining
+ * buffer and drained as 64B lines into a dedicated append-only region
+ * of the metadata carve-out. Every log line lies inside the Merkle
+ * leaf range, so records can be neither forged (a fabricated line
+ * fails verification) nor silently lost (a dropped or torn drain
+ * shows up as a tampered leaf at recovery).
+ *
+ * Durability contract: a record is *acknowledged* once its line has
+ * been stored to NVM; records still in the WCB at power loss are
+ * discarded (they were never acknowledged). After any crash the
+ * recovered log is therefore a prefix of the true access stream —
+ * fsencr-crashtest checks exactly that.
+ */
+
+#ifndef FSENCR_FSENC_AUDIT_LOG_HH
+#define FSENCR_FSENC_AUDIT_LOG_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/trace.hh"
+#include "common/types.hh"
+#include "mem/nvm_device.hh"
+#include "mem/phys_layout.hh"
+#include "secmem/merkle_tree.hh"
+
+namespace fsencr {
+
+namespace metrics {
+class Registry;
+class LabeledCounter;
+} // namespace metrics
+
+/** One fixed-size (32B, two per line) audit record. */
+struct AuditRecord
+{
+    /** 1-based append sequence number; 0 terminates a scan (virgin
+     *  NVM reads zero, so an unwritten slot can never parse as a
+     *  record). */
+    std::uint64_t seq = 0;
+    /** Simulated time the audited access completed at the controller. */
+    std::uint64_t tick = 0;
+    /** Full line address of the access, DF-bit included. */
+    std::uint64_t addr = 0;
+    /** GroupID (upper 18 bits) and FileID (lower 14 bits). */
+    std::uint32_t gidFid = 0;
+    /** 0 = read, 1 = posted write, 2 = persist-ordered write. */
+    std::uint8_t op = 0;
+    /** Issuing core (0 for background writebacks). */
+    std::uint8_t core = 0;
+    /** Protection scheme the controller ran under (Scheme value). */
+    std::uint8_t scheme = 0;
+    std::uint8_t flags = 0;
+
+    std::uint32_t gid() const { return gidFid >> 14; }
+    std::uint32_t fid() const { return gidFid & 0x3fff; }
+
+    bool
+    operator==(const AuditRecord &o) const
+    {
+        return seq == o.seq && tick == o.tick && addr == o.addr &&
+               gidFid == o.gidFid && op == o.op && core == o.core &&
+               scheme == o.scheme && flags == o.flags;
+    }
+};
+
+static_assert(sizeof(AuditRecord) == 32,
+              "audit records are packed two per 64B line");
+
+/** Result of scanning the on-NVM log region. */
+struct AuditScanResult
+{
+    /** Records recovered in append order (a prefix of the stream). */
+    std::vector<AuditRecord> records;
+    /** True iff the scan stopped at an integrity violation (tampered
+     *  or unverifiable leaf) rather than at the end of the log. */
+    bool integrityTruncated = false;
+    /** Log lines examined, header excluded. */
+    std::uint64_t linesScanned = 0;
+};
+
+/**
+ * The append-only audit log: WCB, NVM region cursor, Merkle coverage
+ * and the post-run/post-crash scanner.
+ */
+class AuditLog
+{
+  public:
+    /** Records per 64B log line. */
+    static constexpr unsigned recordsPerLine = 2;
+    /** Region header magic ("FSEAUDL1", little-endian). */
+    static constexpr std::uint64_t headerMagic = 0x314c445541455346ull;
+    static constexpr std::uint32_t headerVersion = 1;
+
+    AuditLog(const SecParams &params, const PhysLayout &layout,
+             NvmDevice &device, MerkleTree &merkle, Scheme scheme);
+
+    /**
+     * Append one record (seq is assigned internally). Returns the
+     * latency of the WCB drain this append triggered, 0 when the
+     * record merely parked in the buffer. The drain issues its line
+     * writes as an independent TrafficClass::AuditLog request chain
+     * at time @p now.
+     */
+    Tick append(AuditRecord rec, Tick now);
+
+    /** Force the WCB out (fsync-style tail flush); returns latency. */
+    Tick drain(Tick now);
+
+    /** Power loss: unacknowledged WCB records are gone. The log
+     *  freezes (no further appends or drains); the golden stream
+     *  keeps the lost records so the crashtest prefix invariant can
+     *  tell "never acknowledged" from "forged". */
+    void crash();
+
+    /** Clean shutdown: drain the WCB (a trailing half-filled line is
+     *  zero-padded, which the scanner reads as end-of-log). */
+    void shutdown(Tick now);
+
+    /**
+     * Recovery hook: a Merkle rebuild found this log line tampered
+     * (torn/dropped/flipped by a fault). The scanner truncates just
+     * before the first such line and flags the result.
+     */
+    void noteTamperedLine(Addr line_addr);
+
+    /**
+     * Walk the on-NVM region and parse the recovered log. Safe to
+     * call after a clean run, after a crash, or after recovery (the
+     * tampered-line set persists across the Merkle rebuild).
+     */
+    AuditScanResult scan() const;
+
+    /** Host-side golden stream: every record ever accepted. */
+    const std::vector<AuditRecord> &goldenRecords() const
+    {
+        return records_;
+    }
+
+    /** Records whose line has been stored to NVM (acknowledged). */
+    std::uint64_t ackedRecords() const { return acked_; }
+    /** Records accepted into the stream (acked + still in WCB). */
+    std::uint64_t appendedRecords() const { return records_.size(); }
+    /** Records refused because the region filled up. */
+    std::uint64_t overflowDropped() const
+    {
+        return overflowDrops_.value();
+    }
+    /** Records the WCB held when power was lost. */
+    std::uint64_t crashDropped() const { return crashDrops_.value(); }
+    /** Log-line capacity of the region (header excluded). */
+    std::uint64_t capacityRecords() const { return capacityRecords_; }
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+
+    /** Attach an event tracer (nullptr disables; observation only). */
+    void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
+
+    /** Attach a metrics registry: lights up mc.audit{op} (records
+     *  appended / lines flushed) and audit.append{gid}. */
+    void setMetrics(metrics::Registry *metrics);
+
+  private:
+    /** Device address of 0-based data line i (one past the header). */
+    Addr lineAddr(std::uint64_t line_index) const;
+
+    /** Rebuild the 64B line covering records [first, first+2) from
+     *  the golden stream (missing slots zero-padded). */
+    void packLine(std::uint64_t first_record, std::uint8_t *buf) const;
+
+    /** Store + cover + time every line from acked_ up to the end of
+     *  the golden stream; returns the chain latency. */
+    Tick flushPending(Tick now);
+
+    const PhysLayout &layout_;
+    NvmDevice &device_;
+    MerkleTree &merkle_;
+    std::uint8_t scheme_;
+    unsigned wcbRecords_;
+    std::uint64_t capacityRecords_;
+
+    /** Golden stream; records_[acked_..] is the WCB content. */
+    std::vector<AuditRecord> records_;
+    std::uint64_t acked_ = 0;
+    std::uint64_t nextSeq_ = 1;
+    bool crashed_ = false;
+    bool overflowWarned_ = false;
+
+    std::unordered_set<Addr> tamperedLines_;
+
+    trace::Tracer *tracer_ = nullptr;
+    metrics::LabeledCounter *opCtr_ = nullptr;
+    metrics::LabeledCounter *gidCtr_ = nullptr;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar appends_;
+    stats::Scalar flushes_;
+    stats::Scalar flushedLines_;
+    stats::Scalar overflowDrops_;
+    stats::Scalar crashDrops_;
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_FSENC_AUDIT_LOG_HH

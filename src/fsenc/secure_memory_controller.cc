@@ -40,6 +40,12 @@ SecureMemoryController::SecureMemoryController(const SimConfig &cfg,
             cfg_.cyclePeriod());
         statGroup_.addChild(&ott_->statGroup());
     }
+    if (cfg_.sec.auditEnabled && cfg_.hasFsEncr() &&
+        layout_.auditLogBytes() > 0) {
+        audit_ = std::make_unique<AuditLog>(cfg_.sec, layout_, device_,
+                                            *merkle_, cfg_.scheme);
+        statGroup_.addChild(&audit_->statGroup());
+    }
 
     statGroup_.addScalar("dataReads", dataReads_);
     statGroup_.addScalar("dataWrites", dataWrites_);
@@ -80,6 +86,8 @@ SecureMemoryController::setTracer(trace::Tracer *tracer)
         merkle_->setTracer(tracer);
     if (ott_)
         ott_->setTracer(tracer);
+    if (audit_)
+        audit_->setTracer(tracer);
     osiris_.setTracer(tracer);
 }
 
@@ -92,6 +100,8 @@ SecureMemoryController::setMetrics(metrics::Registry *metrics)
         merkle_->setMetrics(metrics);
     if (ott_)
         ott_->setMetrics(metrics);
+    if (audit_)
+        audit_->setMetrics(metrics);
     device_.setMetrics(metrics);
     if (!metrics) {
         readCtr_ = writeCtr_ = fileBytesCtr_ = merkleLevelCtr_ = nullptr;
@@ -102,7 +112,11 @@ SecureMemoryController::setMetrics(metrics::Registry *metrics)
     writeCtr_ = &metrics->counter("mc.write", "dax", 2);
     fileBytesCtr_ = &metrics->counter("file.bytes", "file", 64);
     merkleLevelCtr_ = &metrics->counter("merkle.verify", "level", 16);
-    overlapCtr_ = &metrics->counter("mc.overlap", "op", 2);
+    // The extra label slot holds the audit chain's hidden ticks; only
+    // provisioned when auditing is on so the exported max_labels field
+    // stays byte-identical for unaudited runs.
+    overlapCtr_ = &metrics->counter("mc.overlap", "op",
+                                    audit_ ? 3 : 2);
 }
 
 void
@@ -415,13 +429,72 @@ SecureMemoryController::bookOverlap(bool is_read, Tick hidden)
         overlapCtr_->add(is_read ? "read" : "write", hidden);
 }
 
+bool
+SecureMemoryController::auditMatches(const Fecb &fecb) const
+{
+    if (cfg_.sec.auditGroups.empty())
+        return true;
+    for (std::uint32_t gid : cfg_.sec.auditGroups)
+        if (gid == fecb.groupId)
+            return true;
+    return false;
+}
+
+void
+SecureMemoryController::auditRideAlong(bool is_read, bool blocking,
+                                       Addr full_addr, const Fecb &fecb,
+                                       Tick now, Tick &total,
+                                       trace::Breakdown &bd)
+{
+    if (!auditMatches(fecb))
+        return;
+
+    AuditRecord rec;
+    rec.tick = now;
+    rec.addr = full_addr;
+    rec.gidFid = (fecb.groupId << 14) | fecb.fileId;
+    rec.op = is_read ? 0 : (blocking ? 2 : 1);
+    rec.core = curCore_;
+
+    if (overlapEnabled()) {
+        // The drain is an independent chain: it issues at `now` and
+        // races the access's own MECB/FECB/data chains across banks.
+        // Only the excess over the access span is visible; the hidden
+        // part is banked overlap under the "audit" label.
+        Tick flush_lat = audit_->append(rec, now);
+        if (flush_lat == 0)
+            return;
+        Tick hidden = std::min(total, flush_lat);
+        if (flush_lat > total) {
+            bd.ticks[trace::Writeback] += flush_lat - total;
+            total = flush_lat;
+        }
+        if (hidden) {
+            overlapTicks_ += hidden;
+            ++overlappedRequests_;
+            if (overlapCtr_)
+                overlapCtr_->add("audit", hidden);
+        }
+    } else {
+        // Legacy serial model: the drain issues after the access
+        // completes and its latency lands on the critical path.
+        Tick flush_lat = audit_->append(rec, now + total);
+        if (flush_lat) {
+            bd.ticks[trace::Writeback] += flush_lat;
+            total += flush_lat;
+        }
+    }
+}
+
 Completion
 SecureMemoryController::submit(const MemRequest &req, Tick now)
 {
+    curCore_ = req.core;
     Tick lat = req.isWrite
                    ? writeLine(req.paddr, req.writeData, now,
                                req.blocking)
                    : readLine(req.paddr, now, req.readData);
+    curCore_ = 0;
     Completion c;
     c.id = ++nextRequestId_;
     c.start = now;
@@ -540,6 +613,9 @@ SecureMemoryController::readLine(Addr full_addr, Tick now,
         bd.ticks[trace::PadGen] += cfg_.sec.aesLatency;
     }
     bd.ticks[trace::PadGen] += xor_lat;
+    if (audit_ && dax)
+        auditRideAlong(/*is_read=*/true, /*blocking=*/false, full_addr,
+                       fecb, now, total, bd);
     recordAccess(true, bd, total, now, dax);
     return total;
 }
@@ -718,6 +794,9 @@ SecureMemoryController::writeLine(Addr full_addr,
         lat += meta_lat;
         bd += mbd; // counter_fetch + merkle_verify == meta_lat
     }
+    if (audit_ && dax)
+        auditRideAlong(/*is_read=*/false, blocking, full_addr, fecb,
+                       now, lat, bd);
     recordAccess(false, bd, lat, now, dax);
     return lat;
 }
@@ -1116,6 +1195,8 @@ SecureMemoryController::crash(Tick now)
         counters_->crash();
     if (ott_)
         ott_->crash(cfg_.sec.ottBackupPowerFlush, now);
+    if (audit_)
+        audit_->crash();
     device_.crash();
 }
 
@@ -1202,6 +1283,17 @@ SecureMemoryController::recoverMetadataGraceful()
 
     for (Addr leaf : tampered) {
         switch (layout_.classifyMeta(leaf)) {
+          case PhysLayout::MetaKind::AuditLog:
+            // A damaged log line costs only the log suffix behind it:
+            // the scanner truncates there and flags the result. No
+            // file data is at risk, so the verdict stays localizable.
+            if (audit_)
+                audit_->noteTamperedLine(leaf);
+            warnLimited(16,
+                        "recovery: tampered audit-log line %#lx "
+                        "truncates the recovered log",
+                        static_cast<unsigned long>(leaf));
+            break;
           case PhysLayout::MetaKind::Mecb:
           case PhysLayout::MetaKind::Fecb: {
             // A corrupt counter block poisons exactly the data page it
@@ -1446,6 +1538,8 @@ SecureMemoryController::shutdown(Tick now)
         counters_->flushAll();
     if (ott_)
         ott_->crash(/*backup_power_flush=*/true, now);
+    if (audit_)
+        audit_->shutdown(now);
     anubisShadow_.clear(); // everything persisted: no stale counters
 }
 

@@ -34,6 +34,7 @@
 #include "crypto/aes_cache.hh"
 #include "crypto/ctr_mode.hh"
 #include "crypto/key.hh"
+#include "fsenc/audit_log.hh"
 #include "fsenc/ott.hh"
 #include "mem/arena.hh"
 #include "mem/nvm_device.hh"
@@ -315,6 +316,9 @@ class SecureMemoryController
     const crypto::Key128 &memoryKey() const { return memKey_; }
     const crypto::Key128 &ottKey() const { return ottKeyValue_; }
     bool fsencLocked() const { return fsencLocked_; }
+    /** The audit ride-along, nullptr unless cfg.sec.auditEnabled. */
+    AuditLog *auditLog() { return audit_.get(); }
+    const AuditLog *auditLog() const { return audit_.get(); }
     OpenTunnelTable &ott() { return *ott_; }
     CounterStore &counters() { return *counters_; }
     MerkleTree &merkle() { return *merkle_; }
@@ -452,6 +456,26 @@ class SecureMemoryController
 
     /** Book ticks hidden by chain overlap (no-op for 0). */
     void bookOverlap(bool is_read, Tick hidden);
+
+    /** True iff this DAX access matches the audit predicate. */
+    bool auditMatches(const Fecb &fecb) const;
+
+    /**
+     * Audit ride-along for one DAX access: append the record and fold
+     * any WCB drain this append triggered into the access. Serial
+     * mode: the drain chain issues after the access completes and its
+     * latency lands on the critical path (attributed to writeback).
+     * Banked mode: the drain issues at @p now as an independent chain
+     * competing for banks; only the excess over the access's own span
+     * is visible, the hidden part is booked as overlap under the
+     * "audit" label.
+     *
+     * @param total access latency without auditing (updated in place)
+     * @param bd the access's breakdown (updated in place)
+     */
+    void auditRideAlong(bool is_read, bool blocking, Addr full_addr,
+                        const Fecb &fecb, Tick now, Tick &total,
+                        trace::Breakdown &bd);
 
     /** Book one finished read/write: lastAccess_, cumulative
      *  attribution stats, latency histograms and trace events. The
@@ -610,7 +634,11 @@ class SecureMemoryController
     std::unique_ptr<CounterStore> counters_;
     std::unique_ptr<MetadataCache> metaCache_;
     std::unique_ptr<OpenTunnelTable> ott_;
+    std::unique_ptr<AuditLog> audit_;
     OsirisRecovery osiris_;
+
+    /** Core id of the request currently in submit() (0 otherwise). */
+    std::uint8_t curCore_ = 0;
 
     stats::StatGroup statGroup_;
     stats::Scalar dataReads_;

@@ -17,6 +17,7 @@ enum class TrafficClass {
     Metadata, //!< MECB / FECB counter blocks
     Merkle,   //!< integrity-tree nodes
     OttSpill, //!< encrypted OTT spill table
+    AuditLog, //!< append-only audit-log records
 };
 
 /** One line-granular request as seen by the memory controller. */
@@ -34,6 +35,8 @@ struct MemRequest
     std::uint8_t *readData = nullptr;
     /// Persist-ordered write (clwb+fence) vs. background writeback.
     bool blocking = false;
+    /// Issuing core (0 for background traffic); audit records carry it.
+    std::uint8_t core = 0;
 
     /** Device address (DF-bit stripped, line aligned). */
     Addr

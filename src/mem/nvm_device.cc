@@ -9,7 +9,7 @@
 
 namespace fsencr {
 
-NvmDevice::NvmDevice(const PcmParams &params)
+NvmDevice::NvmDevice(const PcmParams &params, bool audit_class_stats)
     : params_(params),
       banks_(params.channels * params.ranksPerChannel *
              params.banksPerRank),
@@ -37,6 +37,10 @@ NvmDevice::NvmDevice(const PcmParams &params)
     statGroup_.addScalar("metaWrites", classWrites_[1]);
     statGroup_.addScalar("merkleWrites", classWrites_[2]);
     statGroup_.addScalar("ottWrites", classWrites_[3]);
+    if (audit_class_stats) {
+        statGroup_.addScalar("auditReads", classReads_[4]);
+        statGroup_.addScalar("auditWrites", classWrites_[4]);
+    }
     statGroup_.addHistogram("latency", latency_);
 }
 

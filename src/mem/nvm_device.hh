@@ -38,7 +38,15 @@ class LabeledCounter;
 class NvmDevice
 {
   public:
-    explicit NvmDevice(const PcmParams &params);
+    /**
+     * @param audit_class_stats register the auditReads/auditWrites
+     *        stat scalars. Off by default so the stat tree (which
+     *        rides along in run reports) stays byte-identical for
+     *        unaudited configurations; the class counters themselves
+     *        always count.
+     */
+    explicit NvmDevice(const PcmParams &params,
+                       bool audit_class_stats = false);
 
     /**
      * Submit one line-granular timing access.
@@ -177,8 +185,8 @@ class NvmDevice
     stats::Scalar rowMisses_;
     stats::Scalar bankBusyTicks_;
     stats::Scalar bankWaitTicks_;
-    stats::Scalar classReads_[4];
-    stats::Scalar classWrites_[4];
+    stats::Scalar classReads_[5];
+    stats::Scalar classWrites_[5];
     stats::Histogram latency_;
 };
 

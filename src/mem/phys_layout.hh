@@ -78,7 +78,14 @@ class PhysLayout
         ottSpillBase_ = pmemMetaBase_ + pmem_meta_bytes;
         ottSpillBytes_ = 1 << 20;
 
-        merkleLeavesEnd_ = ottSpillBase_ + ottSpillBytes_;
+        // Audit-log region (0 bytes unless auditing provisions it):
+        // placed inside the Merkle-leaf range so every record line is
+        // integrity-covered. With auditLogBytes == 0 the region is
+        // empty and the Merkle geometry is unchanged.
+        auditLogBase_ = ottSpillBase_ + ottSpillBytes_;
+        auditLogBytes_ = p.auditLogBytes;
+
+        merkleLeavesEnd_ = auditLogBase_ + auditLogBytes_;
         merkleBase_ = roundUp(merkleLeavesEnd_, pageSize);
 
         if (merkleBase_ >= p.pmemBase)
@@ -143,7 +150,9 @@ class PhysLayout
     }
 
     /** What kind of metadata a carve-out address holds. */
-    enum class MetaKind { Mecb, Fecb, OttSpill, MerkleNode, Unknown };
+    enum class MetaKind {
+        Mecb, Fecb, OttSpill, AuditLog, MerkleNode, Unknown
+    };
 
     /** Classify an address within the metadata carve-out. */
     MetaKind
@@ -160,6 +169,8 @@ class PhysLayout
         }
         if (r >= ottSpillBase_ && r < ottSpillBase_ + ottSpillBytes_)
             return MetaKind::OttSpill;
+        if (r >= auditLogBase_ && r < auditLogBase_ + auditLogBytes_)
+            return MetaKind::AuditLog;
         if (r >= merkleBase_ && r < params_.pmemBase)
             return MetaKind::MerkleNode;
         return MetaKind::Unknown;
@@ -196,6 +207,10 @@ class PhysLayout
     Addr ottSpillBase() const { return ottSpillBase_; }
     std::uint64_t ottSpillBytes() const { return ottSpillBytes_; }
 
+    /** Append-only audit-log region (empty unless provisioned). */
+    Addr auditLogBase() const { return auditLogBase_; }
+    std::uint64_t auditLogBytes() const { return auditLogBytes_; }
+
     /** Start of the persistent region. */
     Addr pmemBase() const { return params_.pmemBase; }
     std::uint64_t pmemBytes() const { return params_.pmemBytes; }
@@ -211,6 +226,8 @@ class PhysLayout
     Addr pmemMetaBase_;
     Addr ottSpillBase_;
     std::uint64_t ottSpillBytes_;
+    Addr auditLogBase_;
+    std::uint64_t auditLogBytes_;
     Addr merkleLeavesEnd_;
     Addr merkleBase_;
 };

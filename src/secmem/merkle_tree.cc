@@ -151,6 +151,18 @@ MerkleTree::updateLeaf(Addr leaf_addr)
 }
 
 void
+MerkleTree::updateLeaf(Addr leaf_addr, const std::uint8_t *line)
+{
+    ++updates_;
+    if (tracer_)
+        tracer_->instant("merkle_update", "merkle", tracer_->time(),
+                         leaf_addr);
+    std::uint64_t idx = leafIndex(leaf_addr);
+    macs_[0][idx] = macOf(line, blockAlign(stripDfBit(leaf_addr)));
+    propagate(idx);
+}
+
+void
 MerkleTree::setMetrics(metrics::Registry *metrics)
 {
     verifyCtr_ =

@@ -67,6 +67,16 @@ class MerkleTree
     void updateLeaf(Addr leaf_addr);
 
     /**
+     * Like updateLeaf(Addr), but MAC the caller's *intended* line
+     * content instead of the current device bytes. The controller
+     * computes leaf MACs over the data it writes, so a persist the
+     * fault injector tears or drops leaves the device mismatching the
+     * tree — which is exactly how the audit log's integrity coverage
+     * detects lost or mangled records at recovery.
+     */
+    void updateLeaf(Addr leaf_addr, const std::uint8_t *line);
+
+    /**
      * Verify a leaf's device bytes against the tree.
      * @return true iff the leaf MAC and its path to the root match
      */

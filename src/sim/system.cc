@@ -9,11 +9,29 @@
 
 namespace fsencr {
 
+namespace {
+
+/** An audit-enabled config without an explicit region size gets the
+ *  default carve-out; audit-off configs keep auditLogBytes == 0 so the
+ *  layout (and thus the Merkle geometry) is byte-identical to
+ *  pre-audit builds. */
+LayoutParams
+auditAdjusted(const SimConfig &cfg)
+{
+    LayoutParams p = cfg.layout;
+    if (cfg.sec.auditEnabled && p.auditLogBytes == 0)
+        p.auditLogBytes = auditLogDefaultBytes;
+    return p;
+}
+
+} // namespace
+
 System::System(const SimConfig &cfg)
-    : cfg_(cfg), layout_(cfg.layout), rng_(cfg.seed),
+    : cfg_(cfg), layout_(auditAdjusted(cfg)), rng_(cfg.seed),
       statGroup_("system")
 {
-    device_ = std::make_unique<NvmDevice>(cfg_.pcm);
+    device_ = std::make_unique<NvmDevice>(cfg_.pcm,
+                                          cfg_.sec.auditEnabled);
     mc_ = std::make_unique<SecureMemoryController>(cfg_, layout_,
                                                    *device_, rng_);
     fs_ = std::make_unique<NvmFilesystem>(layout_);
@@ -34,7 +52,11 @@ System::System(const SimConfig &cfg)
         log.buf.resize(ffLogCapacity);
     for (unsigned c = 0; c < cfg_.cpu.numCores; ++c)
         ffResetRun(c);
+    // Auditing records the exact per-access stream, so it forces the
+    // exact model too (ISSUE: "auditing forces ffFlush or falls back
+    // to exact" — we fall back).
     ffEnabled_ = cfg_.fastForward && !swenc_ &&
+                 !cfg_.sec.auditEnabled &&
                  cfg_.cpu.numCores <= ffMaxCores;
 
     statGroup_.addScalar("loads", totalLoads_);
@@ -99,6 +121,7 @@ System::setFaultInjector(FaultInjector *injector)
     // batching advances would move its observation points, so an
     // attached injector forces the exact model.
     ffEnabled_ = cfg_.fastForward && !swenc_ && !injector_ &&
+                 !cfg_.sec.auditEnabled &&
                  cfg_.cpu.numCores <= ffMaxCores;
 }
 
@@ -404,6 +427,7 @@ System::accessOnce(unsigned core_id, Addr vaddr, bool is_write,
     if (hr.level == HitLevel::Memory) {
         MemRequest req;
         req.paddr = paddr;
+        req.core = static_cast<std::uint8_t>(core_id);
         advanceMc(mc_->submit(req, now_));
     }
 
@@ -463,8 +487,9 @@ class BlockingSink : public WritebackSink
 {
   public:
     BlockingSink(System &sys, SecureMemoryController &mc,
-                 BackingStore &arch)
-        : sys_(sys), mc_(mc), arch_(arch)
+                 BackingStore &arch, unsigned core)
+        : sys_(sys), mc_(mc), arch_(arch),
+          core_(static_cast<std::uint8_t>(core))
     {}
 
     void
@@ -477,6 +502,7 @@ class BlockingSink : public WritebackSink
         req.isWrite = true;
         req.writeData = buf;
         req.blocking = true;
+        req.core = core_;
         sys_.advanceMc(mc_.submit(req, sys_.now()));
     }
 
@@ -484,6 +510,7 @@ class BlockingSink : public WritebackSink
     System &sys_;
     SecureMemoryController &mc_;
     BackingStore &arch_;
+    std::uint8_t core_;
 };
 
 } // namespace
@@ -521,7 +548,7 @@ System::clwbPhys(unsigned core_id, Addr paddr)
 
     // The clwb instruction itself.
     advance(trace::CpuCompute, 2 * cfg_.cyclePeriod());
-    BlockingSink sink(*this, *mc_, archMem_);
+    BlockingSink sink(*this, *mc_, archMem_, core_id);
     caches_->clwb(core_id, paddr, sink);
 }
 
@@ -685,6 +712,7 @@ System::accessPhys(unsigned core_id, Addr paddr, bool is_write,
     if (hr.level == HitLevel::Memory) {
         MemRequest req;
         req.paddr = paddr;
+        req.core = static_cast<std::uint8_t>(core_id);
         advanceMc(mc_->submit(req, now_));
     }
 

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Audit ride-along tests: auditing off must be bit-identical to the
+ * historical timing model (same golden ticks as the banked-timing
+ * suite), auditing on must be deterministic down to the log-region
+ * bytes, the serial path must be mshr-invariant, banked audit chains
+ * must overlap metadata work, and the predicate/overflow/crash
+ * semantics must match the documented durability contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/metrics.hh"
+#include "fsenc/audit_log.hh"
+#include "sim/system.hh"
+#include "workloads/dax_micro.hh"
+#include "workloads/workload.hh"
+
+using namespace fsencr;
+
+namespace {
+
+SimConfig
+auditedConfig(unsigned banks = 1, unsigned mshrs = 8)
+{
+    SimConfig cfg;
+    cfg.scheme = Scheme::FsEncr;
+    cfg.pcm.mcBanks = banks;
+    cfg.pcm.mcMshrs = mshrs;
+    cfg.sec.auditEnabled = true;
+    return cfg;
+}
+
+workloads::WorkloadResult
+runDax1(System &sys)
+{
+    workloads::DaxMicroConfig c;
+    c.kind = workloads::DaxMicroKind::Dax1;
+    c.spanBytes = 256 << 10;
+    workloads::DaxMicroWorkload w(c);
+    return workloads::runWorkload(sys, w);
+}
+
+/** Snapshot of the on-NVM audit region after a drained run. */
+std::vector<std::uint8_t>
+regionBytes(System &sys)
+{
+    const PhysLayout &layout = sys.layout();
+    std::vector<std::uint8_t> bytes(layout.auditLogBytes());
+    for (std::uint64_t off = 0; off < bytes.size(); off += blockSize)
+        sys.device().readLine(layout.auditLogBase() + off,
+                              bytes.data() + off);
+    return bytes;
+}
+
+} // namespace
+
+/**
+ * Auditing off is the pre-audit simulator bit-for-bit: the golden
+ * ticks from the banked-timing suite still hold, even with stray
+ * audit knobs set (they must be inert while auditEnabled is false),
+ * and the layout keeps no audit region (same Merkle geometry).
+ */
+TEST(Audit, OffIsBitIdenticalToLegacy)
+{
+    SimConfig cfg;
+    cfg.scheme = Scheme::FsEncr;
+    cfg.sec.auditEnabled = false;
+    cfg.sec.auditWcbRecords = 3;
+    cfg.sec.auditGroups = {7, 9};
+    System sys(cfg);
+    EXPECT_EQ(sys.layout().auditLogBytes(), 0u);
+    EXPECT_EQ(sys.mc().auditLog(), nullptr);
+
+    workloads::WorkloadResult r = runDax1(sys);
+    EXPECT_EQ(r.ticks, 547121500u);
+    EXPECT_EQ(r.nvmReads, 4248u);
+    EXPECT_EQ(r.nvmWrites, 0u);
+}
+
+/** Same seed, same config => byte-identical log region and scan. */
+TEST(Audit, SameSeedByteIdenticalLog)
+{
+    System a(auditedConfig()), b(auditedConfig());
+    workloads::WorkloadResult ra = runDax1(a);
+    workloads::WorkloadResult rb = runDax1(b);
+    ASSERT_NE(a.mc().auditLog(), nullptr);
+    a.mc().auditLog()->drain(a.now());
+    b.mc().auditLog()->drain(b.now());
+
+    EXPECT_EQ(ra.ticks, rb.ticks);
+    EXPECT_GT(a.mc().auditLog()->appendedRecords(), 0u);
+    EXPECT_EQ(a.mc().auditLog()->appendedRecords(),
+              b.mc().auditLog()->appendedRecords());
+    EXPECT_EQ(a.mc().auditLog()->ackedRecords(),
+              a.mc().auditLog()->appendedRecords());
+    EXPECT_EQ(regionBytes(a), regionBytes(b));
+
+    AuditScanResult sa = a.mc().auditLog()->scan();
+    AuditScanResult sb = b.mc().auditLog()->scan();
+    EXPECT_FALSE(sa.integrityTruncated);
+    ASSERT_EQ(sa.records.size(), sb.records.size());
+    for (std::size_t i = 0; i < sa.records.size(); ++i)
+        EXPECT_TRUE(sa.records[i] == sb.records[i]) << "record " << i;
+}
+
+/** banks=1 is the legacy serial model: mcMshrs must not matter. */
+TEST(Audit, SerialPathIsMshrInvariant)
+{
+    System narrow(auditedConfig(1, 1)), wide(auditedConfig(1, 32));
+    workloads::WorkloadResult rn = runDax1(narrow);
+    workloads::WorkloadResult rw = runDax1(wide);
+    EXPECT_EQ(rn.ticks, rw.ticks);
+    EXPECT_EQ(narrow.mc().overlapTicks(), 0u);
+    EXPECT_EQ(wide.mc().overlapTicks(), 0u);
+}
+
+/**
+ * Banked mode: audit appends issue as an independent request chain,
+ * so mc.overlap{op=audit} must light up at --mc-banks 4 and the
+ * modeled numbers stay deterministic.
+ */
+TEST(Audit, BankedAuditOverlapsMetadataChains)
+{
+    metrics::Registry reg;
+    System banked(auditedConfig(4, 8));
+    banked.setMetrics(&reg);
+    workloads::WorkloadResult rb = runDax1(banked);
+
+    const auto &fam = reg.families();
+    auto overlap = fam.find("mc.overlap");
+    ASSERT_NE(overlap, fam.end());
+    EXPECT_GT(overlap->second->value("audit"), 0u);
+
+    auto audit = fam.find("mc.audit");
+    ASSERT_NE(audit, fam.end());
+    EXPECT_EQ(audit->second->value("append"),
+              banked.mc().auditLog()->appendedRecords());
+
+    System again(auditedConfig(4, 8));
+    workloads::WorkloadResult ra = runDax1(again);
+    EXPECT_EQ(rb.ticks, ra.ticks);
+
+    // The ride-along only ever adds time relative to auditing off.
+    System off{[] {
+        SimConfig cfg;
+        cfg.scheme = Scheme::FsEncr;
+        cfg.pcm.mcBanks = 4;
+        return cfg;
+    }()};
+    workloads::WorkloadResult ro = runDax1(off);
+    EXPECT_GE(rb.ticks, ro.ticks);
+    EXPECT_EQ(rb.nvmReads, ro.nvmReads);
+}
+
+/** The per-GroupID predicate gates what the log accepts. */
+TEST(Audit, FilterPredicateSelectsGroups)
+{
+    // The standard environment runs everything as alice (gid 100).
+    SimConfig hit = auditedConfig();
+    hit.sec.auditGroups = {100};
+    System match(hit);
+    runDax1(match);
+    EXPECT_GT(match.mc().auditLog()->appendedRecords(), 0u);
+
+    SimConfig miss = auditedConfig();
+    miss.sec.auditGroups = {9999};
+    System none(miss);
+    runDax1(none);
+    EXPECT_EQ(none.mc().auditLog()->appendedRecords(), 0u);
+
+    match.mc().auditLog()->drain(match.now());
+    for (const AuditRecord &r : match.mc().auditLog()->scan().records)
+        EXPECT_EQ(r.gid(), 100u);
+}
+
+/** A full region drops (and counts) instead of wrapping or dying. */
+TEST(Audit, OverflowDropsAreCounted)
+{
+    SimConfig cfg = auditedConfig();
+    cfg.layout.auditLogBytes = 4 * blockSize; // header + 3 data lines
+    System sys(cfg);
+    runDax1(sys);
+    AuditLog *log = sys.mc().auditLog();
+    ASSERT_NE(log, nullptr);
+    EXPECT_EQ(log->capacityRecords(), 6u);
+    EXPECT_EQ(log->appendedRecords(), 6u);
+    EXPECT_GT(log->overflowDropped(), 0u);
+    log->drain(sys.now()); // capacity < WCB threshold: flush by hand
+    AuditScanResult scan = log->scan();
+    EXPECT_FALSE(scan.integrityTruncated);
+    EXPECT_EQ(scan.records.size(), 6u);
+}
+
+/**
+ * Power loss discards the unacknowledged WCB tail and nothing else:
+ * the recovered log is exactly the acknowledged prefix of the golden
+ * stream.
+ */
+TEST(Audit, CrashKeepsAcknowledgedPrefix)
+{
+    SimConfig cfg = auditedConfig();
+    cfg.sec.auditWcbRecords = 1000; // park a long unflushed tail
+    System sys(cfg);
+    runDax1(sys);
+    AuditLog *log = sys.mc().auditLog();
+    ASSERT_NE(log, nullptr);
+    std::uint64_t appended = log->appendedRecords();
+    std::uint64_t acked = log->ackedRecords();
+    ASSERT_LT(acked, appended); // the tail really was parked
+
+    sys.crash();
+    ASSERT_TRUE(sys.recover());
+    EXPECT_EQ(log->crashDropped(), appended - acked);
+
+    AuditScanResult scan = log->scan();
+    EXPECT_FALSE(scan.integrityTruncated);
+    ASSERT_EQ(scan.records.size(), acked);
+    const auto &golden = log->goldenRecords();
+    for (std::size_t i = 0; i < scan.records.size(); ++i)
+        EXPECT_TRUE(scan.records[i] == golden[i]) << "record " << i;
+
+    // The frozen log refuses further appends.
+    EXPECT_EQ(log->append(AuditRecord{}, sys.now()), 0u);
+    EXPECT_EQ(log->appendedRecords(), appended);
+}

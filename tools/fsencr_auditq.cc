@@ -1,0 +1,411 @@
+/**
+ * @file
+ * fsencr-auditq — query/export pipeline over the in-controller audit
+ * log (see docs/ARCHITECTURE.md, "Audit ride-along").
+ *
+ * The simulator has no persistent device images, so the tool does
+ * what fsencr-crashtest does: it reconstructs the run in-process
+ * (everything derives from --seed), then scans the on-NVM log region
+ * exactly as an offline reader would — header check, Merkle leaf
+ * verification per line, sequence-chain validation — and emits a
+ * versioned fsencr-audit-report JSON (optionally CSV). With
+ * --crash-at-write N the run is cut short by a power loss and the
+ * scan runs against the recovered image instead, which is the
+ * post-crash path the crashtest invariants lean on.
+ *
+ * Examples:
+ *   fsencr-auditq --workload fillrandom-S --ops 2000
+ *   fsencr-auditq --workload ycsb --gid 100 --op persist --csv out.csv
+ *   fsencr-auditq --workload fillrandom-S --crash-at-write 500
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/report.hh"
+#include "fault/fault_injector.hh"
+#include "fsenc/secure_memory_controller.hh"
+#include "workloads/dax_micro.hh"
+#include "workloads/extra_workloads.hh"
+#include "workloads/pmemkv_bench.hh"
+#include "workloads/whisper_bench.hh"
+#include "workloads/workload.hh"
+
+using namespace fsencr;
+using namespace fsencr::workloads;
+
+namespace {
+
+struct Options
+{
+    Scheme scheme = Scheme::FsEncr;
+    std::string workload = "fillrandom-S";
+    std::uint64_t ops = 0;
+    std::uint64_t keys = 0;
+    std::uint64_t seed = 42;
+    std::string auditFilter = "all";
+    std::uint64_t crashAtWrite = 0; //!< 0 = clean run
+
+    // Query predicate over the recovered records.
+    std::int64_t gid = -1;        //!< -1 = any
+    std::int64_t fid = -1;        //!< -1 = any
+    std::string op = "any";       //!< any|read|write|persist
+    std::uint64_t limit = 0;      //!< 0 = all matches
+
+    std::string reportOut;        //!< --report FILE (default stdout)
+    std::string csvOut;           //!< --csv FILE
+};
+
+bool
+parseScheme(const std::string &s, Scheme &out)
+{
+    if (s == "none" || s == "ext4-dax") {
+        out = Scheme::NoEncryption;
+    } else if (s == "baseline") {
+        out = Scheme::BaselineSecurity;
+    } else if (s == "fsencr") {
+        out = Scheme::FsEncr;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+int
+parseArgs(int argc, char **argv, Options &opt)
+{
+    cli::Parser p;
+    p.custom("--scheme", "{none|baseline|fsencr}",
+             "protection scheme (swenc has no DAX stream to audit)",
+             [&opt](const std::string &v) {
+                 if (!parseScheme(v, opt.scheme)) {
+                     std::fprintf(stderr, "unknown scheme\n");
+                     return false;
+                 }
+                 return true;
+             })
+        .opt("--workload", "NAME", "workload to reconstruct",
+             &opt.workload)
+        .optU64("--ops", "N", "operation count (0 = default)",
+                &opt.ops)
+        .optU64("--keys", "N", "key count (0 = default)", &opt.keys)
+        .optU64("--seed", "N", "determinism", &opt.seed)
+        .custom("--audit-filter", "{all|G1,G2,...}",
+                "GroupID predicate the run records under",
+                [&opt](const std::string &v) {
+                    SecParams probe;
+                    if (!parseAuditFilter(v, probe)) {
+                        std::fprintf(stderr,
+                                     "bad --audit-filter '%s'\n",
+                                     v.c_str());
+                        return false;
+                    }
+                    opt.auditFilter = v;
+                    return true;
+                })
+        .optU64("--crash-at-write", "N",
+                "power loss at the Nth NVM write, then recover "
+                "(0 = clean run)",
+                &opt.crashAtWrite)
+        .custom("--gid", "G", "select one GroupID",
+                [&opt](const std::string &v) {
+                    char *end = nullptr;
+                    opt.gid = std::strtoll(v.c_str(), &end, 10);
+                    return end && *end == '\0' && opt.gid >= 0;
+                })
+        .custom("--fid", "F", "select one FileID",
+                [&opt](const std::string &v) {
+                    char *end = nullptr;
+                    opt.fid = std::strtoll(v.c_str(), &end, 10);
+                    return end && *end == '\0' && opt.fid >= 0;
+                })
+        .optU64("--limit", "N", "cap emitted records (0 = all)",
+                &opt.limit)
+        .opt("--op", "{any|read|write|persist}", "select one op kind",
+             &opt.op)
+        .opt("--report", "FILE", "write the JSON report here",
+             &opt.reportOut)
+        .opt("--csv", "FILE", "also export matches as CSV",
+             &opt.csvOut);
+    return p.parse(argc, argv);
+}
+
+/** Compact factory over the sim tool's workload names. */
+std::unique_ptr<Workload>
+makeWorkload(const Options &o)
+{
+    auto dash = o.workload.rfind('-');
+    std::string base = o.workload.substr(0, dash);
+    std::string size =
+        dash == std::string::npos ? "" : o.workload.substr(dash + 1);
+
+    static const std::map<std::string, PmemkvOp> kvOps = {
+        {"fillseq", PmemkvOp::FillSeq},
+        {"fillrandom", PmemkvOp::FillRandom},
+        {"overwrite", PmemkvOp::Overwrite},
+        {"readrandom", PmemkvOp::ReadRandom},
+        {"readseq", PmemkvOp::ReadSeq},
+    };
+    auto kv = kvOps.find(base);
+    if (kv != kvOps.end() && (size == "S" || size == "L")) {
+        PmemkvConfig c;
+        c.op = kv->second;
+        c.valueBytes = size == "L" ? 4096 : 64;
+        c.numKeys =
+            o.keys ? o.keys : (c.valueBytes >= 4096 ? 2048 : 32768);
+        c.numOps = o.ops ? o.ops : c.numKeys;
+        c.seed = o.seed;
+        return std::make_unique<PmemkvWorkload>(c);
+    }
+
+    static const std::map<std::string, WhisperKind> whisper = {
+        {"ycsb", WhisperKind::Ycsb},
+        {"hashmap", WhisperKind::Hashmap},
+        {"ctree", WhisperKind::CTree},
+    };
+    auto wh = whisper.find(o.workload);
+    if (wh != whisper.end()) {
+        WhisperConfig c;
+        c.kind = wh->second;
+        c.valueBytes = wh->second == WhisperKind::Ycsb ? 1024 : 128;
+        c.readRatio = wh->second == WhisperKind::Ycsb ? 0.5 : 0.3;
+        c.numKeys = o.keys ? o.keys : 32768;
+        c.numOps = o.ops ? o.ops : c.numKeys;
+        c.seed = o.seed;
+        return std::make_unique<WhisperWorkload>(c);
+    }
+
+    if (o.workload == "logappend") {
+        LogAppendConfig c;
+        c.numRecords = o.ops ? o.ops : 20000;
+        c.seed = o.seed;
+        return std::make_unique<LogAppendWorkload>(c);
+    }
+    if (o.workload == "fileserver") {
+        FileServerConfig c;
+        c.numOps = o.ops ? o.ops : 8000;
+        c.seed = o.seed;
+        return std::make_unique<FileServerWorkload>(c);
+    }
+    return nullptr;
+}
+
+const char *
+opName(std::uint8_t op)
+{
+    switch (op) {
+      case 0: return "read";
+      case 1: return "write";
+      case 2: return "persist";
+    }
+    return "unknown";
+}
+
+bool
+matches(const Options &o, const AuditRecord &r)
+{
+    if (o.gid >= 0 && r.gid() != static_cast<std::uint32_t>(o.gid))
+        return false;
+    if (o.fid >= 0 && r.fid() != static_cast<std::uint32_t>(o.fid))
+        return false;
+    if (o.op != "any" && o.op != opName(r.op))
+        return false;
+    return true;
+}
+
+void
+writeReport(std::ostream &os, const Options &o, const SimConfig &cfg,
+            const AuditLog &log, const AuditScanResult &scan,
+            const std::vector<AuditRecord> &selected, bool crashed,
+            bool recovered)
+{
+    report::JsonWriter w(os);
+    report::beginReport(w, report::auditReportSchema,
+                        report::auditReportVersion);
+
+    w.beginObject("config");
+    w.field("scheme", schemeName(cfg.scheme));
+    w.field("workload", o.workload);
+    w.field("ops", o.ops);
+    w.field("seed", o.seed);
+    w.field("audit_filter", auditFilterSpec(cfg.sec));
+    w.field("crash_at_write", o.crashAtWrite);
+    w.field("crashed", crashed);
+    w.field("recovered", recovered);
+    w.endObject();
+
+    w.beginObject("log");
+    w.field("appended", log.appendedRecords());
+    w.field("acked", log.ackedRecords());
+    w.field("recovered", static_cast<std::uint64_t>(
+                             scan.records.size()));
+    w.field("integrity_truncated", scan.integrityTruncated);
+    w.field("lines_scanned", scan.linesScanned);
+    w.field("capacity_records", log.capacityRecords());
+    w.field("overflow_dropped", log.overflowDropped());
+    w.field("crash_dropped", log.crashDropped());
+    w.endObject();
+
+    w.beginObject("query");
+    w.field("gid", static_cast<std::int64_t>(o.gid));
+    w.field("fid", static_cast<std::int64_t>(o.fid));
+    w.field("op", o.op);
+    w.field("limit", o.limit);
+    w.field("selected", static_cast<std::uint64_t>(selected.size()));
+    w.endObject();
+
+    std::uint64_t byOp[3] = {0, 0, 0};
+    std::map<std::uint32_t, std::uint64_t> byGid;
+    for (const auto &r : selected) {
+        if (r.op < 3)
+            ++byOp[r.op];
+        ++byGid[r.gid()];
+    }
+    w.beginObject("summary");
+    w.field("reads", byOp[0]);
+    w.field("writes", byOp[1]);
+    w.field("persists", byOp[2]);
+    w.beginObject("by_gid");
+    for (const auto &[gid, n] : byGid)
+        w.field(std::to_string(gid), n);
+    w.endObject();
+    w.endObject();
+
+    w.beginArray("records");
+    for (const auto &r : selected) {
+        w.beginObject();
+        w.field("seq", r.seq);
+        w.field("tick", r.tick);
+        w.field("addr", r.addr);
+        w.field("gid", static_cast<std::uint64_t>(r.gid()));
+        w.field("fid", static_cast<std::uint64_t>(r.fid()));
+        w.field("op", opName(r.op));
+        w.field("core", static_cast<std::uint64_t>(r.core));
+        w.field("scheme", static_cast<std::uint64_t>(r.scheme));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+bool
+writeCsv(const std::string &path,
+         const std::vector<AuditRecord> &selected)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    os << "seq,tick,addr,gid,fid,op,core,scheme\n";
+    for (const auto &r : selected)
+        os << r.seq << ',' << r.tick << ',' << r.addr << ','
+           << r.gid() << ',' << r.fid() << ',' << opName(r.op) << ','
+           << unsigned(r.core) << ',' << unsigned(r.scheme) << "\n";
+    return os.good();
+}
+
+int
+auditqMain(int argc, char **argv)
+{
+    Options opt;
+    if (int rc = parseArgs(argc, argv, opt))
+        return rc;
+
+    SimConfig cfg;
+    cfg.scheme = opt.scheme;
+    cfg.seed = opt.seed;
+    if (!parseAuditFilter(opt.auditFilter, cfg.sec)) {
+        std::fprintf(stderr, "bad --audit-filter '%s'\n",
+                     opt.auditFilter.c_str());
+        return 2;
+    }
+    cfg.layout.auditLogBytes = auditLogDefaultBytes;
+
+    auto workload = makeWorkload(opt);
+    if (!workload) {
+        std::fprintf(stderr, "unknown workload '%s'\n",
+                     opt.workload.c_str());
+        return 2;
+    }
+
+    System sys(cfg);
+    FaultInjector inj;
+    if (opt.crashAtWrite) {
+        FaultSpec spec;
+        spec.kind = FaultKind::PowerLossAtWrite;
+        spec.atWrite = opt.crashAtWrite;
+        inj.schedule(spec);
+        sys.setFaultInjector(&inj);
+    }
+
+    bool crashed = false;
+    bool recovered = false;
+    try {
+        runWorkload(sys, *workload);
+    } catch (const PowerLossEvent &) {
+        crashed = true;
+    }
+    if (crashed) {
+        sys.crash();
+        recovered = sys.recover();
+    } else if (sys.mc().auditLog()) {
+        sys.mc().auditLog()->drain(sys.now());
+    }
+
+    const AuditLog *log = sys.mc().auditLog();
+    if (!log)
+        fatal("auditq: scheme '%s' has no audit log (no metadata "
+              "carve-out)", schemeName(cfg.scheme));
+
+    AuditScanResult scan = log->scan();
+    std::vector<AuditRecord> selected;
+    for (const auto &r : scan.records) {
+        if (!matches(opt, r))
+            continue;
+        selected.push_back(r);
+        if (opt.limit && selected.size() >= opt.limit)
+            break;
+    }
+
+    if (!opt.csvOut.empty() && !writeCsv(opt.csvOut, selected)) {
+        std::fprintf(stderr, "cannot write CSV '%s'\n",
+                     opt.csvOut.c_str());
+        return 1;
+    }
+
+    if (opt.reportOut.empty()) {
+        writeReport(std::cout, opt, cfg, *log, scan, selected,
+                    crashed, recovered);
+    } else {
+        std::ofstream f(opt.reportOut);
+        if (!f)
+            fatal("cannot open %s", opt.reportOut.c_str());
+        writeReport(f, opt, cfg, *log, scan, selected, crashed,
+                    recovered);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return auditqMain(argc, argv);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 4;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 4;
+    }
+}

@@ -94,6 +94,7 @@ struct Options
     Scheme scheme = Scheme::FsEncr;
     std::string reportOut;
     bool json = false;
+    bool audit = false;
 };
 
 bool
@@ -144,7 +145,11 @@ parseArgs(int argc, char **argv, Options &opt)
         .opt("--report", "FILE",
              "write the fsencr-crashtest-report v1 JSON",
              &opt.reportOut)
-        .flag("--json", "print the report to stdout", &opt.json);
+        .flag("--json", "print the report to stdout", &opt.json)
+        .flag("--audit",
+              "run with the audit ride-along on and check the "
+              "no-lost/no-forged-records invariants",
+              &opt.audit);
     if (int rc = p.parse(argc, argv))
         return rc;
     if (opt.crashes == 0 || opt.files == 0 || opt.ops < 2) {
@@ -272,6 +277,8 @@ struct Machine
         SimConfig cfg;
         cfg.scheme = o.scheme;
         cfg.seed = o.seed;
+        // --audit: log every access (System sizes the region).
+        cfg.sec.auditEnabled = o.audit;
         return cfg;
     }
 
@@ -369,12 +376,22 @@ struct RunResult
     bool invIsolation = true;
     bool invMetadataConsistent = true;
 
+    // --audit only: the recovered log vs the golden access stream.
+    bool auditChecked = false;
+    std::uint64_t auditGolden = 0;    //!< records ever accepted
+    std::uint64_t auditAcked = 0;     //!< acknowledged at the crash
+    std::uint64_t auditRecovered = 0; //!< records the scan yielded
+    bool auditTruncated = false;      //!< scan hit tampered lines
+    bool invAuditPrefix = true;       //!< no forged records
+    bool invAuditDurable = true;      //!< no silently lost acked ones
+
     bool
     pass() const
     {
         return invRecovered && invSyncedDurable &&
                invVersionConsistent && invIsolation &&
-               invMetadataConsistent;
+               invMetadataConsistent && invAuditPrefix &&
+               invAuditDurable;
     }
 };
 
@@ -408,6 +425,8 @@ mapAffected(Machine &m, const Options &o,
         Addr a = blockAlign(stripDfBit(rec.addr));
         if (layout.isMetadata(a)) {
             auto kind = layout.classifyMeta(a);
+            if (kind == PhysLayout::MetaKind::AuditLog)
+                continue; // damages the log, never file data
             if (kind != PhysLayout::MetaKind::Mecb &&
                 kind != PhysLayout::MetaKind::Fecb) {
                 unmappable = true;
@@ -537,6 +556,58 @@ checkInvariants(Machine &m, const Options &o, const Oracle &oracle,
     r.invMetadataConsistent = m.sys.mc().recoverMetadata();
 }
 
+/**
+ * The audit-log invariants (--audit only): the recovered log must be
+ * a prefix of the golden access stream (no forged records) and must
+ * not silently lose an acknowledged record — a fault that does hit
+ * the log region has to surface as an integrity-truncated scan, never
+ * as a quietly shorter log.
+ */
+void
+checkAuditInvariants(Machine &m, RunResult &r)
+{
+    const AuditLog *log = m.sys.mc().auditLog();
+    if (!log)
+        return;
+
+    AuditScanResult scan = log->scan();
+    r.auditChecked = true;
+    r.auditGolden = log->appendedRecords();
+    r.auditAcked = log->ackedRecords();
+    r.auditRecovered = scan.records.size();
+    r.auditTruncated = scan.integrityTruncated;
+
+    const auto &golden = log->goldenRecords();
+    if (scan.records.size() > golden.size())
+        r.invAuditPrefix = false;
+    for (std::size_t i = 0;
+         i < scan.records.size() && i < golden.size(); ++i)
+        if (!(scan.records[i] == golden[i]))
+            r.invAuditPrefix = false;
+
+    bool log_hit = false;
+    const PhysLayout &layout = m.sys.layout();
+    for (const auto &rec : r.injections) {
+        if (rec.kind == FaultKind::PowerLossAtWrite ||
+            rec.kind == FaultKind::PowerLossAtTick)
+            continue;
+        Addr a = blockAlign(stripDfBit(rec.addr));
+        if (layout.isMetadata(a) &&
+            layout.classifyMeta(a) == PhysLayout::MetaKind::AuditLog)
+            log_hit = true;
+    }
+    if (log_hit) {
+        // Damaged log lines may truncate the recovery, but only
+        // loudly: a full-length undamaged-looking scan would mean the
+        // fault forged its way past the Merkle coverage.
+        if (!scan.integrityTruncated &&
+            scan.records.size() < r.auditAcked)
+            r.invAuditDurable = false;
+    } else if (scan.records.size() < r.auditAcked) {
+        r.invAuditDurable = false;
+    }
+}
+
 /** ---- One crash-recover run ------------------------------------- */
 
 /** Writes seen during the op phase of a fault-free run; crash
@@ -656,6 +727,8 @@ oneRun(const Options &o, const std::vector<Op> &ops, std::uint64_t W,
     r.recovery = m.sys.lastRecovery();
     r.injections = inj.log();
     checkInvariants(m, o, oracle, r);
+    if (o.audit && r.invRecovered)
+        checkAuditInvariants(m, r);
     return r;
 }
 
@@ -676,6 +749,9 @@ writeReport(std::ostream &os, const Options &o, std::uint64_t W,
     w.field("ops", static_cast<std::uint64_t>(o.ops));
     w.field("files", static_cast<std::uint64_t>(o.files));
     w.field("scheme", schemeName(o.scheme));
+    // Additive: absent when off (audit-off reports byte-identical).
+    if (o.audit)
+        w.field("audit", true);
     w.endObject();
 
     w.field("op_phase_writes", W);
@@ -724,12 +800,25 @@ writeReport(std::ostream &os, const Options &o, std::uint64_t W,
         w.endArray();
         w.endObject();
 
+        if (r.auditChecked) {
+            w.beginObject("audit");
+            w.field("golden", r.auditGolden);
+            w.field("acked", r.auditAcked);
+            w.field("recovered", r.auditRecovered);
+            w.field("integrity_truncated", r.auditTruncated);
+            w.endObject();
+        }
+
         w.beginObject("invariants");
         w.field("recovered", r.invRecovered);
         w.field("synced_durable", r.invSyncedDurable);
         w.field("version_consistent", r.invVersionConsistent);
         w.field("isolation", r.invIsolation);
         w.field("metadata_consistent", r.invMetadataConsistent);
+        if (r.auditChecked) {
+            w.field("audit_prefix", r.invAuditPrefix);
+            w.field("audit_durable", r.invAuditDurable);
+        }
         w.endObject();
 
         w.field("pass", r.pass());

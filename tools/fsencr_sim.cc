@@ -61,6 +61,7 @@ struct Options
     unsigned mcBanks = 0;       //!< --mc-banks N (0 = config default)
     unsigned mcMshrs = 0;       //!< --mc-mshrs N (0 = config default)
     bool fastForward = false;   //!< --fast-forward (tick-exact batch)
+    std::string auditFilter;    //!< --audit-filter SPEC ("" = off)
 };
 
 using Factory =
@@ -200,6 +201,19 @@ parseArgs(int argc, char **argv, Options &opt)
               "collapse L1-hit runs into bulk clock updates "
               "(tick-exact; see docs/ARCHITECTURE.md)",
               &opt.fastForward)
+        .custom("--audit-filter", "{off|all|G1,G2,...}",
+                "audit-log ride-along predicate (per GroupID)",
+                [&opt](const std::string &v) {
+                    SecParams probe;
+                    if (v != "off" && !parseAuditFilter(v, probe)) {
+                        std::fprintf(stderr,
+                                     "bad --audit-filter '%s'\n",
+                                     v.c_str());
+                        return false;
+                    }
+                    opt.auditFilter = v;
+                    return true;
+                })
         .opt("--report", "FILE", "machine-readable run report",
              &opt.reportOut)
         .opt("--trace-events", "FILE", "Chrome trace_event JSON",
@@ -230,6 +244,10 @@ configFrom(const Options &opt)
     if (opt.mcMshrs)
         cfg.pcm.mcMshrs = opt.mcMshrs;
     cfg.fastForward = opt.fastForward;
+    if (!opt.auditFilter.empty() && opt.auditFilter != "off") {
+        parseAuditFilter(opt.auditFilter, cfg.sec);
+        cfg.layout.auditLogBytes = auditLogDefaultBytes;
+    }
     return cfg;
 }
 
@@ -287,6 +305,9 @@ writeConfig(report::JsonWriter &w, const Options &opt,
     w.field("mc_banks", static_cast<std::uint64_t>(cfg.pcm.mcBanks));
     w.field("mc_mshrs", static_cast<std::uint64_t>(cfg.pcm.mcMshrs));
     w.field("fast_forward", cfg.fastForward);
+    // Additive: absent in audit-off reports (byte-identity).
+    if (cfg.sec.auditEnabled)
+        w.field("audit_filter", auditFilterSpec(cfg.sec));
     w.endObject();
 }
 
@@ -301,7 +322,8 @@ writeRunReport(const std::string &path, const char *mode,
                const std::string &latency_json,
                const std::string &stats_json,
                const metrics::Sampler *sampler = nullptr,
-               const metrics::Registry *metrics = nullptr)
+               const metrics::Registry *metrics = nullptr,
+               const AuditLog *audit = nullptr)
 {
     std::ofstream os(path);
     if (!os)
@@ -328,6 +350,8 @@ writeRunReport(const std::string &path, const char *mode,
         report::writeTimeseries(w, *sampler);
     if (metrics)
         report::writeMetricsSection(w, *metrics);
+    if (audit)
+        report::writeAuditSection(w, cfg.sec, *audit);
     w.rawField("stats", stats_json);
     w.endObject();
     return os.good();
@@ -479,6 +503,11 @@ simMain(int argc, char **argv)
     auto workload = it->second(opt);
     WorkloadResult r = runWorkload(sys, *workload);
 
+    // Clean end-of-run: park nothing in the audit WCB (a trailing
+    // half line is zero-padded, which the scanner reads as EOF).
+    if (sys.mc().auditLog())
+        sys.mc().auditLog()->drain(sys.now());
+
     if (sampler) {
         sampler->finish(sys.now());
         sys.setSampler(nullptr);
@@ -519,7 +548,8 @@ simMain(int argc, char **argv)
                             sys.measuredAttribution(),
                             latencyJsonOf(sys.mc()),
                             statsJsonOf(sys.statGroup()),
-                            sampler.get(), metricsReg.get())) {
+                            sampler.get(), metricsReg.get(),
+                            sys.mc().auditLog())) {
             std::fprintf(stderr, "cannot write report '%s'\n",
                          opt.reportOut.c_str());
             return 1;
