@@ -143,6 +143,11 @@ benchConfig(int argc, char **argv)
                     cfg.layout.auditLogBytes = auditLogDefaultBytes;
                     return true;
                 })
+        .custom("--persist-domain", "{adr|eadr}",
+                "persistence-domain boundary (eADR covers the caches)",
+                [&cfg](const std::string &v) {
+                    return parsePersistDomain(v, cfg.sec.persistDomain);
+                })
         .ignoreUnknown();
     p.parse(argc, argv);
     return cfg;

@@ -27,7 +27,11 @@
 #     audit-enabled vs audit-off pair as a structural diff (exit 2,
 #     not a row-match miss), a banked audit run must report a nonzero
 #     mc.overlap{op=audit} share, and fsencr-auditq must emit a valid
-#     fsencr-audit-report v1.
+#     fsencr-audit-report v1,
+# 10. validate the persist section: every v2 run report carries one,
+#     the config records the active --persist-domain, an eADR run
+#     books zero stop-loss persists, and an adr-vs-eadr compare is a
+#     structural diff (exit 2), never a silent metric-row match.
 #
 # Usage: scripts/check_report_schema.sh [build-dir]
 # Exit 0 on success; registered as a ctest test.
@@ -414,3 +418,60 @@ assert len(rows) - 1 == len(recs), (len(rows), len(recs))
 
 print("auditq schema OK: %d records exported" % len(recs))
 EOF
+
+# Persistence domains: the default report already carries the persist
+# section with the adr domain; an eADR rerun must record the domain in
+# its config, zero the stop-loss persists and count the clwb/fence
+# stream, and the pair must refuse to gate against each other.
+"$sim" --scheme fsencr --workload fillrandom-S --ops 2000 --keys 2000 \
+       --persist-domain eadr --report "$tmp/eadr.json" \
+       --sample-interval 1000000 > "$tmp/eadr-stdout.txt"
+
+"$python3_bin" - "$tmp/report.json" "$tmp/eadr.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    adr = json.load(f)
+with open(sys.argv[2]) as f:
+    eadr = json.load(f)
+
+assert adr["config"]["persist_domain"] == "adr", adr["config"]
+assert eadr["config"]["persist_domain"] == "eadr", eadr["config"]
+
+for doc in (adr, eadr):
+    sec = doc["persist"]
+    for key in ("domain", "stop_loss_persists", "clwbs", "fences",
+                "backup_flush_lines", "backup_flush_dropped"):
+        assert key in sec, key
+
+assert adr["persist"]["domain"] == "adr"
+assert adr["persist"]["stop_loss_persists"] > 0, adr["persist"]
+# No crash in this run: the backup flush never fired.
+assert adr["persist"]["backup_flush_lines"] == 0, adr["persist"]
+
+sec = eadr["persist"]
+assert sec["domain"] == "eadr"
+assert sec["stop_loss_persists"] == 0, sec
+assert sec["clwbs"] == adr["persist"]["clwbs"] > 0, \
+    (sec, adr["persist"])
+assert sec["fences"] == adr["persist"]["fences"] > 0, \
+    (sec, adr["persist"])
+assert eadr["result"]["ticks"] < adr["result"]["ticks"], \
+    (eadr["result"]["ticks"], adr["result"]["ticks"])
+
+print("persist schema OK: %d stop-loss persists elided, %d ticks saved"
+      % (adr["persist"]["stop_loss_persists"],
+         adr["result"]["ticks"] - eadr["result"]["ticks"]))
+EOF
+
+# Cross-domain comparisons are apples to oranges by construction.
+set +e
+"$compare" --quiet "$tmp/report.json" "$tmp/eadr.json" \
+    > /dev/null 2> "$tmp/persist-compare.txt"
+compare_rc=$?
+set -e
+[ "$compare_rc" -eq 2 ] || {
+    echo "FAIL: adr/eadr compare exited $compare_rc, want 2"
+    cat "$tmp/persist-compare.txt"
+    exit 1
+}

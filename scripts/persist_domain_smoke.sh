@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Persistence-domain smoke, registered as a ctest test:
+#
+#  1. --persist-domain adr is the legacy model bit for bit: a run
+#     report produced with the flag must be byte-identical to one
+#     produced without it,
+#  2. the crashtest invariant matrix holds under both domains: every
+#     ADR fault class with --persist-domain adr, and the six-class
+#     eADR matrix (including partialflush) with --audit riding along,
+#  3. eADR crashtest reports are deterministic: the same seed must
+#     reproduce the same JSON byte for byte,
+#  4. partialflush without eADR is a usage error (exit 2), not a
+#     silently ignored run,
+#  5. the eADR timing effect exists and points the right way: with
+#     stop-loss persists gone and clwb/fence near-free, the same
+#     seeded workload finishes in strictly fewer ticks.
+#
+# Usage: scripts/persist_domain_smoke.sh [build-dir]
+set -eu
+
+build_dir="${1:-$(dirname "$0")/../build}"
+sim="$build_dir/tools/fsencr-sim"
+crashtest="$build_dir/tools/fsencr-crashtest"
+[ -x "$sim" ] || { echo "missing $sim (build first)"; exit 1; }
+[ -x "$crashtest" ] || { echo "missing $crashtest (build first)"; exit 1; }
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# 1. ADR identity: the flag spelled out changes nothing, not a byte.
+"$sim" --scheme fsencr --workload fillrandom-S --ops 1000 --keys 1000 \
+       --report "$tmp/legacy.json" > /dev/null
+"$sim" --scheme fsencr --workload fillrandom-S --ops 1000 --keys 1000 \
+       --persist-domain adr --report "$tmp/adr.json" > /dev/null
+cmp "$tmp/legacy.json" "$tmp/adr.json" \
+    || { echo "--persist-domain adr diverged from the legacy model"; exit 1; }
+
+# 2a. ADR matrix: one seeded run per fault class.
+for fault in midop torn dropped databitflip metabitflip; do
+    "$crashtest" --seed 11 --crashes 1 --fault "$fault" \
+                 --persist-domain adr > "$tmp/adr-$fault.txt" \
+        || { echo "adr fault class $fault failed:";
+             cat "$tmp/adr-$fault.txt"; exit 1; }
+done
+
+# 2b. eADR matrix: all six classes (partialflush included), audit
+#     ride-along on, one seeded run per class.
+for fault in midop torn dropped databitflip metabitflip partialflush; do
+    "$crashtest" --seed 11 --crashes 1 --fault "$fault" \
+                 --persist-domain eadr --audit > "$tmp/eadr-$fault.txt" \
+        || { echo "eadr fault class $fault failed:";
+             cat "$tmp/eadr-$fault.txt"; exit 1; }
+done
+
+# 3. Determinism: identical seed, identical eADR report bytes.
+"$crashtest" --seed 7 --crashes 6 --fault all --persist-domain eadr \
+             --audit --json > "$tmp/a.json"
+"$crashtest" --seed 7 --crashes 6 --fault all --persist-domain eadr \
+             --audit --json > "$tmp/b.json"
+cmp "$tmp/a.json" "$tmp/b.json" \
+    || { echo "eadr crashtest report is not deterministic"; exit 1; }
+
+# 4. partialflush needs the eADR backup flush to exist.
+set +e
+"$crashtest" --seed 11 --crashes 1 --fault partialflush \
+             > /dev/null 2> "$tmp/usage.txt"
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || {
+    echo "adr + partialflush exited $rc, want usage error 2"
+    cat "$tmp/usage.txt"
+    exit 1
+}
+
+python3_bin="$(command -v python3 || true)"
+if [ -n "$python3_bin" ]; then
+    # 5. The eADR run is strictly faster and books zero stop-loss
+    #    persists; the six-class matrix really ran all six classes.
+    "$sim" --scheme fsencr --workload fillrandom-S --ops 1000 \
+           --keys 1000 --persist-domain eadr \
+           --report "$tmp/eadr.json" > /dev/null
+    "$python3_bin" - "$tmp/adr.json" "$tmp/eadr.json" "$tmp/a.json" <<'EOF'
+import json, sys
+adr = json.load(open(sys.argv[1]))
+eadr = json.load(open(sys.argv[2]))
+crash = json.load(open(sys.argv[3]))
+assert adr["persist"]["domain"] == "adr", adr["persist"]
+assert eadr["persist"]["domain"] == "eadr", eadr["persist"]
+assert adr["persist"]["stop_loss_persists"] > 0, adr["persist"]
+assert eadr["persist"]["stop_loss_persists"] == 0, eadr["persist"]
+assert eadr["result"]["ticks"] < adr["result"]["ticks"], \
+    (eadr["result"]["ticks"], adr["result"]["ticks"])
+classes = {run["fault_class"] for run in crash["runs"]}
+assert classes == {"midop", "torn", "dropped", "databitflip",
+                   "metabitflip", "partialflush"}, classes
+assert crash["summary"]["failed"] == 0, crash["summary"]
+EOF
+fi
+
+echo "persist-domain smoke OK: adr bit-identical, 11 matrix runs pass"

@@ -143,6 +143,70 @@ for b in "${audit_benches[@]}"; do
     echo | tee -a "$out"
 done
 
+# eADR persistence-domain configuration: the write-path slowdown
+# figures again with the persistence domain extended over the caches
+# (stop-loss persists elided, clwb/fence near-free). Gated against
+# their own committed baselines (REPORT_<bench>_eadr.json); the
+# default ADR rows above are untouched and stay bit-identical to
+# theirs.
+eadr_benches=(
+    bench_fig8_pmemkv_slowdown
+    bench_fig12_micro_slowdown
+)
+
+for b in "${eadr_benches[@]}"; do
+    echo "=== $b (--persist-domain eadr) ===" | tee -a "$out"
+    report="$report_dir/REPORT_${b}_eadr.json"
+    FSENCR_BENCH_REPORT="$report" \
+        "$build_dir/bench/$b" $quick --persist-domain eadr 2>/dev/null \
+        | tee -a "$out"
+    baseline="$baseline_dir/REPORT_${b}_eadr.json"
+    if [ "$check_baselines" = 1 ] && [ -s "$report" ] &&
+       [ -s "$baseline" ] && [ -x "$compare" ]; then
+        if ! "$compare" --quiet "$baseline" "$report" | tee -a "$out"
+        then
+            echo "REGRESSION: $b (eadr) vs $baseline" | tee -a "$out"
+            regressions=$((regressions + 1))
+        fi
+    fi
+    echo | tee -a "$out"
+done
+
+# ADR-vs-eADR delta: how much of each scheme's modeled time the wider
+# persistence domain buys back, per row. Informational only — the
+# gates above already pinned both domains to their own baselines.
+if [ -n "$python3_bin" ]; then
+    echo "=== ADR vs eADR delta ===" | tee -a "$out"
+    for b in "${eadr_benches[@]}"; do
+        adr_report="$report_dir/REPORT_${b}.json"
+        eadr_report="$report_dir/REPORT_${b}_eadr.json"
+        [ -s "$adr_report" ] && [ -s "$eadr_report" ] || continue
+        "$python3_bin" - "$b" "$adr_report" "$eadr_report" <<'EOF' | tee -a "$out"
+import json, sys
+name, adr_path, eadr_path = sys.argv[1:4]
+def cells(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for row in doc["rows"]:
+        for cell in row["cells"]:
+            out[(row["name"], cell["scheme"])] = cell
+    return out
+adr, eadr = cells(adr_path), cells(eadr_path)
+print("%s:" % name)
+print("  %-24s %-10s %14s %14s %8s" %
+      ("row", "scheme", "adr ticks", "eadr ticks", "eadr/adr"))
+for key in adr:
+    if key not in eadr:
+        continue
+    a, e = adr[key]["ticks"], eadr[key]["ticks"]
+    ratio = ("%8.3f" % (e / a)) if a else "     n/a"
+    print("  %-24s %-10s %14d %14d %s" % (key[0], key[1], a, e, ratio))
+EOF
+    done
+    echo | tee -a "$out"
+fi
+
 echo "=== bench_primitives ===" | tee -a "$out"
 "$build_dir/bench/bench_primitives" \
     --benchmark_min_time=0.05s 2>/dev/null | tee -a "$out"

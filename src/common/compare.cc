@@ -189,6 +189,31 @@ compareAudit(Comparer &cmp, const json::Value &base,
 }
 
 void
+comparePersist(Comparer &cmp, const json::Value &base,
+               const json::Value &cur)
+{
+    const json::Value *bp = base.find("persist");
+    const json::Value *cp = cur.find("persist");
+    // Pre-persist-section baselines: nothing to diff (older schema).
+    if (!bp || !cp)
+        return;
+    const json::Value *bd = bp->find("domain");
+    const json::Value *cd = cp->find("domain");
+    if (bd && cd && bd->isString() && cd->isString() &&
+        bd->str != cd->str) {
+        // ADR vs eADR runs answer different questions — a structural
+        // mismatch, not a metric regression.
+        cmp.res.error = "persist domain mismatch: '" + bd->str +
+                        "' vs '" + cd->str + "'";
+        return;
+    }
+    for (const char *key :
+         {"stop_loss_persists", "clwbs", "fences", "backup_flush_lines",
+          "backup_flush_dropped"})
+        cmp.member(*bp, *cp, key, std::string("persist.") + key);
+}
+
+void
 compareRunReports(Comparer &cmp, const json::Value &base,
                   const json::Value &cur)
 {
@@ -214,6 +239,7 @@ compareRunReports(Comparer &cmp, const json::Value &base,
     compareLatency(cmp, base, cur, "");
     compareTimeseries(cmp, base, cur);
     compareAudit(cmp, base, cur);
+    comparePersist(cmp, base, cur);
 }
 
 const json::Value *

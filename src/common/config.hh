@@ -44,6 +44,47 @@ schemeName(Scheme s)
     return "unknown";
 }
 
+/**
+ * Where the persistence boundary sits (Section III-H vs. the eADR
+ * follow-on work, PAPERS.md):
+ *
+ *  - Adr: the boundary is the memory controller's write-pending
+ *    queue. Cached state is volatile; durability needs clwb+fence and
+ *    the Osiris stop-loss cadence bounds counter lag. The default,
+ *    bit-identical to the pre-eADR simulator.
+ *  - Eadr: the boundary covers the cache hierarchy and the WPQ. At
+ *    power loss a backup-power flush drains dirty CPU-cache lines,
+ *    dirty security-metadata lines and the open-tunnel table into the
+ *    NVM image; stop-loss persists are off (recovery is a verify-only
+ *    Osiris pass) and clwb/fence become near-free.
+ */
+enum class PersistDomain { Adr, Eadr };
+
+/** Human-readable persistence-domain name for reports and CLIs. */
+inline const char *
+persistDomainName(PersistDomain d)
+{
+    switch (d) {
+      case PersistDomain::Adr: return "adr";
+      case PersistDomain::Eadr: return "eadr";
+    }
+    return "unknown";
+}
+
+/** Parse a `--persist-domain` spec; false on anything but adr/eadr. */
+inline bool
+parsePersistDomain(const std::string &spec, PersistDomain &out)
+{
+    if (spec == "adr") {
+        out = PersistDomain::Adr;
+    } else if (spec == "eadr") {
+        out = PersistDomain::Eadr;
+    } else {
+        return false;
+    }
+    return true;
+}
+
 /** Parameters of one cache level. */
 struct CacheParams
 {
@@ -139,6 +180,16 @@ struct SecParams
     std::vector<std::uint32_t> auditGroups;
     /** Write-combining buffer depth in records (2 records per line). */
     unsigned auditWcbRecords = 8;
+
+    /** Persistence boundary (see PersistDomain). Adr is the default
+     *  and leaves every tick bit-identical to the pre-eADR model. */
+    PersistDomain persistDomain = PersistDomain::Adr;
+    /** eADR backup-power energy budget in 64B lines (0 = unbounded):
+     *  the crash-time flush stops after draining this many lines, the
+     *  rest of the dirty state is lost. FaultInjector's
+     *  PartialBackupFlush models the same truncation as a seeded
+     *  fault instead of a static budget. */
+    std::uint64_t backupFlushBudgetLines = 0;
 };
 
 /** Software-encryption (eCryptfs-like) baseline parameters. */
@@ -221,6 +272,13 @@ struct SimConfig
     }
 
     bool hasFsEncr() const { return scheme == Scheme::FsEncr; }
+
+    /** Extended persistence domain (cache hierarchy + WPQ)? */
+    bool
+    isEadr() const
+    {
+        return sec.persistDomain == PersistDomain::Eadr;
+    }
     bool
     hasSoftwareEncryption() const
     {

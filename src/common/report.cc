@@ -279,5 +279,18 @@ writeMetricsSection(JsonWriter &w, const metrics::Registry &reg)
     w.endObject();
 }
 
+void
+writePersistSection(JsonWriter &w, const PersistStats &p)
+{
+    w.beginObject("persist");
+    w.field("domain", p.domain);
+    w.field("stop_loss_persists", p.stopLossPersists);
+    w.field("clwbs", p.clwbs);
+    w.field("fences", p.fences);
+    w.field("backup_flush_lines", p.backupFlushLines);
+    w.field("backup_flush_dropped", p.backupFlushDropped);
+    w.endObject();
+}
+
 } // namespace report
 } // namespace fsencr

@@ -140,6 +140,33 @@ void writeTimeseries(JsonWriter &w, const metrics::Sampler &sampler);
 void writeMetricsSection(JsonWriter &w, const metrics::Registry &reg);
 
 /**
+ * Snapshot of the persistence-domain counters a run report carries in
+ * its `persist` section. Callers (fsencr_sim, the bench harness)
+ * gather these from the system — Osiris stop-loss persists, per-core
+ * clwb/fence totals, and the eADR backup-power-flush accounting — so
+ * the report module stays free of simulator dependencies.
+ */
+struct PersistStats
+{
+    /** "adr" or "eadr" (persistDomainName of the active config). */
+    std::string domain = "adr";
+    std::uint64_t stopLossPersists = 0;
+    std::uint64_t clwbs = 0;
+    std::uint64_t fences = 0;
+    /** Lines the backup-power flush drained at crash time. */
+    std::uint64_t backupFlushLines = 0;
+    /** Lines dropped by the energy budget or an injected fault. */
+    std::uint64_t backupFlushDropped = 0;
+};
+
+/**
+ * Emit the `persist` section: the active persistence domain plus the
+ * counters above. Always emitted in v2 run reports (both domains) so
+ * ADR-vs-eADR comparisons diff it symmetrically.
+ */
+void writePersistSection(JsonWriter &w, const PersistStats &p);
+
+/**
  * Emit the `audit` section of an audit-enabled run report: the
  * active filter plus append/ack/drop counters and region capacity.
  * Only emitted when auditing is on — audit-off reports stay

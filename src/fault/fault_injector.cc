@@ -15,6 +15,8 @@ faultKindName(FaultKind kind)
       case FaultKind::BitFlipOnWrite:   return "bit-flip-on-write";
       case FaultKind::BitFlipOnEcc:     return "bit-flip-on-ecc";
       case FaultKind::BitFlipAtRest:    return "bit-flip-at-rest";
+      case FaultKind::PartialBackupFlush:
+        return "partial-backup-flush";
     }
     return "unknown";
 }
@@ -34,6 +36,7 @@ FaultInjector::reset()
     log_.clear();
     writes_ = 0;
     eccStores_ = 0;
+    flushLines_ = 0;
     now_ = 0;
     tripped_ = false;
     pendingLoss_ = false;
@@ -167,6 +170,31 @@ FaultInjector::onTick(Tick now)
             trip(FaultKind::PowerLossAtTick, 0);
         }
     }
+}
+
+bool
+FaultInjector::onBackupFlushLine(Addr line_addr)
+{
+    // Deliberately ignores tripped_: the drain happens during the
+    // crash itself, after any power loss has already fired.
+    ++flushLines_;
+    bool allow = true;
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        const FaultSpec &s = specs_[i];
+        SpecState &st = state_[i];
+        if (s.kind != FaultKind::PartialBackupFlush)
+            continue;
+        if (line_addr < s.addrLo || line_addr >= s.addrHi)
+            continue;
+        // Not one-shot: once the budget is spent, every later line in
+        // the window is lost, and each loss is logged for the oracle.
+        if (st.seen++ >= s.flushLines) {
+            st.fired = true;
+            allow = false;
+            log_.push_back({s.kind, line_addr, writes_, now_});
+        }
+    }
+    return allow;
 }
 
 void

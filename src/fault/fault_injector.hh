@@ -74,6 +74,12 @@ enum class FaultKind {
      *  harness (data, counter/FECB or OTT-spill bytes); recorded via
      *  noteTamper() so the injection log stays complete. */
     BitFlipAtRest,
+    /** eADR only: the crash-time backup-power flush runs out of
+     *  energy after flushLines drained lines; every later line in the
+     *  drain (matching the address window) is dropped. One record is
+     *  logged per dropped line so the harness can map the unflushed
+     *  tail. Never throws — power is already lost when it fires. */
+    PartialBackupFlush,
 };
 
 const char *faultKindName(FaultKind kind);
@@ -106,6 +112,10 @@ struct FaultSpec
      *  hook after the paired ECC store resolves (power died during
      *  this very persist). */
     bool thenPowerLoss = false;
+
+    /** PartialBackupFlush: lines the backup-power flush drains before
+     *  the energy budget runs out (0 = the flush dies immediately). */
+    std::uint64_t flushLines = 0;
 };
 
 /** One fault that actually fired, for the harness's oracle. */
@@ -161,6 +171,19 @@ class FaultInjector
      */
     void onTick(Tick now);
 
+    /**
+     * eADR backup-power flush hook: called once per line the
+     * crash-time drain wants to make durable, in drain order. Returns
+     * false when a PartialBackupFlush fault has exhausted the energy
+     * budget (this line and every later one are lost). Unlike the
+     * write hooks it stays live after a power loss has tripped — the
+     * flush *is* the crash — and it never throws.
+     */
+    bool onBackupFlushLine(Addr line_addr);
+
+    /** Flush lines offered to onBackupFlushLine since reset(). */
+    std::uint64_t flushLinesSeen() const { return flushLines_; }
+
     /** Record an at-rest tamper the harness applied to the device
      *  image directly (the injector does not touch the device). */
     void noteTamper(Addr line_addr, unsigned bit);
@@ -195,6 +218,7 @@ class FaultInjector
     std::vector<InjectionRecord> log_;
     std::uint64_t writes_ = 0;
     std::uint64_t eccStores_ = 0;
+    std::uint64_t flushLines_ = 0;
     Tick now_ = 0;
     bool tripped_ = false;
     bool pendingLoss_ = false;

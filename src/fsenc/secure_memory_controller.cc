@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/metrics.hh"
 #include "cpu/mem_trace.hh"
+#include "fault/fault_injector.hh"
 
 namespace fsencr {
 
@@ -749,8 +750,13 @@ SecureMemoryController::writeLine(Addr full_addr,
     // boundaries (or after an overflow, whose persist the
     // re-encryption path needs anyway). FECBs persist at a longer
     // cadence; recovery probes the lag pair two-dimensionally.
+    // eADR: the dirty counter line is already inside the persistence
+    // domain, so the stop-loss cadence is off entirely — only the
+    // overflow persist (which the re-encryption depends on) remains.
     bool overflowed = reencrypt_lat > 0;
-    if (osiris_.atStopLoss(mecb.minors.minor[blk]) || overflowed) {
+    bool eadr = cfg_.isEadr();
+    if ((!eadr && osiris_.atStopLoss(mecb.minors.minor[blk])) ||
+        overflowed) {
         counters_->persistMecb(mecb_addr);
         metaCache_->clean(mecb_addr);
         MemRequest mpw;
@@ -763,7 +769,8 @@ SecureMemoryController::writeLine(Addr full_addr,
     if (dax) {
         unsigned fecb_period = std::max(
             1u, cfg_.sec.osirisStopLoss * cfg_.sec.fecbStopLossFactor);
-        if (fecb.minors.minor[blk] % fecb_period == 0 || overflowed) {
+        if ((!eadr && fecb.minors.minor[blk] % fecb_period == 0) ||
+            overflowed) {
             counters_->persistFecb(fecb_addr);
             metaCache_->clean(fecb_addr);
             MemRequest fpw;
@@ -892,8 +899,10 @@ SecureMemoryController::mmioRegisterFileKey(std::uint32_t gid,
         tracer_->instant("mmio_register_file_key", "mmio", now,
                          (static_cast<std::uint64_t>(gid) << 14) | fid);
     }
+    // eADR: flush-on-crash replaces the immediate spill logging (the
+    // OTT array is inside the persistence domain).
     return ott_->insert(gid, fid, fek, now,
-                        cfg_.sec.ottLogImmediately);
+                        cfg_.sec.ottLogImmediately && !cfg_.isEadr());
 }
 
 Tick
@@ -985,7 +994,7 @@ SecureMemoryController::mmioReplaceFileKey(std::uint32_t gid,
     fileAesCache_.invalidateAll();
     return ott_->insert(gid & Fecb::groupIdMask,
                         fid & Fecb::fileIdMask, new_key, now,
-                        cfg_.sec.ottLogImmediately);
+                        cfg_.sec.ottLogImmediately && !cfg_.isEadr());
 }
 
 const crypto::Key128 *
@@ -1084,7 +1093,8 @@ SecureMemoryController::mmioBeginLazyRekey(std::uint32_t gid,
     lazyRekeys_[lazyKeyOf(gid, fid)] = std::move(state);
 
     return ott_->insert(gid, fid, new_key, now + current.latency,
-                        cfg_.sec.ottLogImmediately) +
+                        cfg_.sec.ottLogImmediately &&
+                            !cfg_.isEadr()) +
            current.latency;
 }
 
@@ -1186,15 +1196,86 @@ SecureMemoryController::shredPage(Addr page_addr, Tick now)
     return lat;
 }
 
+bool
+SecureMemoryController::backupFlushAdmit(Addr line_addr)
+{
+    // Offer the line to the injector even once the static budget is
+    // spent: every dropped line must land in the injection log so the
+    // harness's oracle can map the unflushed tail.
+    bool allow = true;
+    if (FaultInjector *inj = device_.faultInjector())
+        allow = inj->onBackupFlushLine(line_addr);
+    std::uint64_t budget = cfg_.sec.backupFlushBudgetLines;
+    if (budget != 0 && backupFlushLines_ >= budget)
+        allow = false;
+    if (allow)
+        ++backupFlushLines_;
+    else
+        ++backupFlushDropped_;
+    return allow;
+}
+
+void
+SecureMemoryController::backupPowerFlush(Tick now)
+{
+    // Stage 2 of the eADR drain (stage 1, the CPU caches, runs in
+    // System::crash before this): dirty metadata-cache lines, in
+    // address order — set-walk order is not part of the model.
+    if (metaCache_) {
+        std::vector<Addr> dirty;
+        metaCache_->forEachLine([&](Addr addr, bool is_dirty) {
+            if (is_dirty)
+                dirty.push_back(addr);
+        });
+        std::sort(dirty.begin(), dirty.end());
+        for (Addr addr : dirty) {
+            if (!backupFlushAdmit(addr))
+                continue;
+            switch (layout_.classifyMeta(addr)) {
+              case PhysLayout::MetaKind::Mecb:
+                if (counters_ && counters_->residentMecb(addr))
+                    counters_->persistMecb(addr);
+                break;
+              case PhysLayout::MetaKind::Fecb:
+                if (counters_ && counters_->residentFecb(addr))
+                    counters_->persistFecb(addr);
+                break;
+              default:
+                // Merkle nodes: the node MACs live in the sparse
+                // host-side tree, which survives the crash; draining
+                // the cached line is energy accounting only.
+                break;
+            }
+        }
+    }
+    // The audit WCB is controller-resident SRAM like the OTT array:
+    // under eADR its tail drains at crash time (capacitor-covered,
+    // never budget-gated), so the recovered log is the full
+    // acknowledged stream instead of a WCB-truncated prefix.
+    if (audit_)
+        audit_->drain(now);
+    // The WPQ sits inside even the ADR domain, where it drains
+    // without any backup-energy accounting; its entries landed
+    // functionally at accept time, so the drain here is just
+    // emptying the in-flight ring (it is not budget-metered and does
+    // not count as flushed lines).
+    while (!wpqInFlight_.empty())
+        wpqInFlight_.pop_front();
+}
+
 void
 SecureMemoryController::crash(Tick now)
 {
+    if (cfg_.isEadr())
+        backupPowerFlush(now);
     if (metaCache_)
         metaCache_->loseAll();
     if (counters_)
         counters_->crash();
     if (ott_)
-        ott_->crash(cfg_.sec.ottBackupPowerFlush, now);
+        // eADR: the 2 KB on-controller OTT array is covered by its
+        // own capacitor, so its crash flush is never budget-gated.
+        ott_->crash(cfg_.isEadr() || cfg_.sec.ottBackupPowerFlush, now);
     if (audit_)
         audit_->crash();
     device_.crash();

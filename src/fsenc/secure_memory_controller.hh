@@ -183,8 +183,40 @@ class SecureMemoryController
     /// @name Crash and recovery
     /// @{
 
-    /** Power loss: metadata cache, counter copies and OTT vanish. */
+    /**
+     * Power loss. Under ADR (default) the metadata cache, counter
+     * copies and OTT vanish. Under eADR a backup-power flush first
+     * drains dirty metadata-cache lines and the WPQ into the NVM
+     * image (budget- and fault-gated per line, see
+     * backupFlushAdmit()); only then does the volatile state drop.
+     */
     void crash(Tick now);
+
+    /**
+     * eADR backup-power flush admission for one line, shared by the
+     * CPU-cache drain (System::crash) and the metadata drain here so
+     * one energy budget covers the whole flush. Consults the attached
+     * fault injector (PartialBackupFlush) and the static
+     * SecParams::backupFlushBudgetLines bound.
+     *
+     * @return true iff the line may be drained; false means the
+     *         budget is spent and the line is lost
+     */
+    bool backupFlushAdmit(Addr line_addr);
+
+    /** Lines the backup-power flush drained / dropped (this boot). */
+    std::uint64_t backupFlushLines() const { return backupFlushLines_; }
+    std::uint64_t backupFlushDropped() const
+    {
+        return backupFlushDropped_;
+    }
+
+    /** Osiris stop-loss persists booked (persist report section). */
+    std::uint64_t
+    stopLossPersists() const
+    {
+        return osiris_.stopLossPersists();
+    }
 
     /**
      * Post-reboot recovery: verify the regenerated Merkle tree against
@@ -530,6 +562,17 @@ class SecureMemoryController
      */
     Tick wpqAccept(Tick now, Tick completion);
 
+    /**
+     * eADR crash-time drain of the controller's share of the
+     * persistence domain: dirty metadata-cache lines (sorted, each
+     * through backupFlushAdmit()) persist their counter blocks, and
+     * the WPQ's in-flight ring is emptied (its entries landed
+     * functionally at accept time and the WPQ drains without backup
+     * energy even under ADR). Runs before the volatile state drops
+     * in crash().
+     */
+    void backupPowerFlush(Tick now);
+
     SimConfig cfg_;
     const PhysLayout &layout_;
     NvmDevice &device_;
@@ -657,6 +700,13 @@ class SecureMemoryController
     stats::Scalar overlappedRequests_;
     stats::Histogram readLatency_;
     stats::Histogram writeLatency_;
+
+    /** eADR backup-power flush accounting. Plain counters, not stat
+     *  scalars: the stat tree rides along in run reports and must
+     *  stay byte-identical for ADR configurations (the persist
+     *  report section reads these through the accessors instead). */
+    std::uint64_t backupFlushLines_ = 0;
+    std::uint64_t backupFlushDropped_ = 0;
 
     /** Cumulative + per-access attribution, one slot per MC
      *  component (ott_lookup .. writeback). */

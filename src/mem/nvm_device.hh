@@ -106,6 +106,10 @@ class NvmDevice
         injector_ = injector;
     }
 
+    /** The attached injector (nullptr when none) — the eADR
+     *  backup-power flush consults it per drained line. */
+    FaultInjector *faultInjector() const { return injector_; }
+
     /** Drop all volatile device state (row buffers) — crash model. */
     void crash();
 

@@ -43,6 +43,26 @@ class MetadataCache
     /** Power loss. */
     void loseAll();
 
+    /**
+     * Visit every valid line (addr, dirty) across the unified cache
+     * or all partitions. Used by the eADR backup-power flush to
+     * enumerate the dirty metadata it must drain; callers must sort
+     * the collected addresses before acting on them (set-walk order
+     * is not part of the model).
+     */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn) const
+    {
+        if (unified_) {
+            unified_->forEachLine(fn);
+            return;
+        }
+        for (const auto &part : parts_)
+            if (part)
+                part->forEachLine(fn);
+    }
+
     bool partitioned() const { return parts_[0] != nullptr; }
 
     stats::StatGroup &statGroup() { return statGroup_; }

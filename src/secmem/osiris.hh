@@ -44,6 +44,15 @@ class OsirisRecovery
 
     unsigned stopLoss() const { return stopLoss_; }
 
+    /** Stop-loss boundary persists booked so far (the run report's
+     *  `persist` section reads this; zero under eADR, where the
+     *  boundary check is skipped entirely). */
+    std::uint64_t
+    stopLossPersists() const
+    {
+        return stopLossPersists_.value();
+    }
+
     /** The ECC word stored alongside a data line. */
     static std::uint32_t
     eccOf(const std::uint8_t *plain, Addr line_addr)

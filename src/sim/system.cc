@@ -546,6 +546,17 @@ System::clwbPhys(unsigned core_id, Addr paddr)
         return;
     }
 
+    if (eadrActive()) {
+        // eADR: the dirty line is already inside the persistence
+        // domain, so the clwb retires in one cycle and the writeback
+        // drains posted — same functional path and device traffic as
+        // a background writeback (bank occupancy modeled), but the
+        // completion never lands on the clock.
+        advance(trace::CpuCompute, cfg_.cyclePeriod());
+        caches_->clwb(core_id, paddr, *this);
+        return;
+    }
+
     // The clwb instruction itself.
     advance(trace::CpuCompute, 2 * cfg_.cyclePeriod());
     BlockingSink sink(*this, *mc_, archMem_, core_id);
@@ -580,8 +591,11 @@ System::fence(unsigned core_id)
     Core &core = *cores_.at(core_id);
     ++core.fences_;
     // Persist writes already landed synchronously (in-order model);
-    // the fence costs its pipeline drain only.
-    advance(trace::CpuCompute, 10 * cfg_.cyclePeriod());
+    // the fence costs its pipeline drain only. Under eADR there is
+    // nothing to order against the persistence domain — the fence is
+    // a single cycle.
+    advance(trace::CpuCompute,
+            (eadrActive() ? 1 : 10) * cfg_.cyclePeriod());
 
     if (swenc_ && !swencPendingSync_.empty()) {
         // Deduplicate pages dirtied since the last fence, then msync.
@@ -834,6 +848,39 @@ System::crash()
     ffFlush(); // credit batched hits before the caches vanish
     ++crashes_;
     lostDirtyLines_ = caches_->crash();
+    if (eadrActive()) {
+        // Backup-power flush, stage 1: drain the CPU caches' dirty
+        // lines into the NVM image in address order (the cache walk
+        // order is not part of the model). Each line consumes flush
+        // energy via the controller's shared admission gate; lines
+        // the gate drops stay lost and recover() rolls them back.
+        // Stage 2 (dirty metadata, WPQ, OTT) runs in mc_->crash().
+        std::sort(lostDirtyLines_.begin(), lostDirtyLines_.end());
+        std::vector<Addr> dropped;
+        for (Addr full : lostDirtyLines_) {
+            Addr line = blockAlign(stripDfBit(full));
+            if (!mc_->backupFlushAdmit(line)) {
+                dropped.push_back(full);
+                continue;
+            }
+            std::uint8_t buf[blockSize];
+            archMem_.read(line, buf, blockSize);
+            MemRequest req;
+            req.paddr = full;
+            req.isWrite = true;
+            req.writeData = buf;
+            try {
+                mc_->submit(req, now_);
+            } catch (const IntegrityError &) {
+                // At-rest tampering under the flushed line's counter
+                // block: the drain cannot trust it, so the line is
+                // lost like a budget-dropped one and recovery's
+                // Merkle pass will localize the damage.
+                dropped.push_back(full);
+            }
+        }
+        lostDirtyLines_ = std::move(dropped);
+    }
     for (auto &c : cores_)
         c->tlb().flush();
     if (swenc_)

@@ -346,6 +346,16 @@ class System : public WritebackSink
     /** Is the line containing this device address DAX-encrypted? */
     bool lineIsDax(Addr line_addr) const;
 
+    /** eADR semantics are in effect: configured, and not the
+     *  software-encryption scheme (whose at-rest seal is applied at
+     *  writeback time — flushing raw cache lines at crash would land
+     *  plaintext on the device, so swenc keeps the ADR boundary). */
+    bool
+    eadrActive() const
+    {
+        return cfg_.isEadr() && !swenc_;
+    }
+
     /** Rebuild the architectural image by decrypting every line ever
      *  written through the controller (reboot / migration). */
     void resyncArchFromDevice();

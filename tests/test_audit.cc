@@ -227,3 +227,39 @@ TEST(Audit, CrashKeepsAcknowledgedPrefix)
     EXPECT_EQ(log->append(AuditRecord{}, sys.now()), 0u);
     EXPECT_EQ(log->appendedRecords(), appended);
 }
+
+/**
+ * Under eADR the WCB is inside the persistence domain: the crash-time
+ * backup-power flush drains the parked tail into the log region, so
+ * nothing is dropped and the recovered log is the full golden stream
+ * (contrast CrashKeepsAcknowledgedPrefix, the ADR behavior).
+ */
+TEST(Audit, EadrCrashDrainsParkedTail)
+{
+    SimConfig cfg = auditedConfig();
+    cfg.sec.persistDomain = PersistDomain::Eadr;
+    cfg.sec.auditWcbRecords = 1000; // park a long unflushed tail
+    System sys(cfg);
+    runDax1(sys);
+    AuditLog *log = sys.mc().auditLog();
+    ASSERT_NE(log, nullptr);
+    std::uint64_t run_appended = log->appendedRecords();
+    ASSERT_LT(log->ackedRecords(), run_appended); // the tail was parked
+
+    // The crash drain itself appends: dirty data lines reach the
+    // controller for the first time during the stage-1 backup flush,
+    // so the golden stream keeps growing until the log freezes.
+    sys.crash();
+    std::uint64_t appended = log->appendedRecords();
+    EXPECT_GE(appended, run_appended);
+    ASSERT_TRUE(sys.recover());
+    EXPECT_EQ(log->crashDropped(), 0u);
+    EXPECT_EQ(log->ackedRecords(), appended);
+
+    AuditScanResult scan = log->scan();
+    EXPECT_FALSE(scan.integrityTruncated);
+    ASSERT_EQ(scan.records.size(), appended);
+    const auto &golden = log->goldenRecords();
+    for (std::size_t i = 0; i < scan.records.size(); ++i)
+        EXPECT_TRUE(scan.records[i] == golden[i]) << "record " << i;
+}

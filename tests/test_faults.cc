@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "fault/fault_injector.hh"
+#include "fsenc/audit_log.hh"
 #include "sim/system.hh"
 #include "workloads/workload.hh"
 
@@ -158,6 +159,47 @@ TEST(FaultInjector, TornWriteArmsAtomicLoss)
     EXPECT_EQ(inj.onWriteLine(0x80, buf, keep),
               FaultInjector::WriteOutcome::Store);
     EXPECT_EQ(inj.writesSeen(), 1u);
+}
+
+TEST(FaultInjector, PartialBackupFlushBudgetExhausts)
+{
+    FaultInjector inj;
+    FaultSpec flush;
+    flush.kind = FaultKind::PartialBackupFlush;
+    flush.flushLines = 3;
+    flush.addrLo = 0x2000;
+    flush.addrHi = 0x3000;
+    inj.schedule(flush);
+
+    // Trip a power loss first: the flush hook must stay live after it
+    // (the backup drain happens during the crash itself).
+    FaultSpec loss;
+    loss.kind = FaultKind::PowerLossAtWrite;
+    inj.schedule(loss);
+    std::uint8_t buf[blockSize] = {};
+    unsigned keep = blockSize;
+    EXPECT_THROW(inj.onWriteLine(0x1000, buf, keep), PowerLossEvent);
+    ASSERT_TRUE(inj.tripped());
+
+    // The budget admits the first flushLines window hits...
+    for (unsigned i = 0; i < 3; ++i)
+        EXPECT_TRUE(inj.onBackupFlushLine(0x2000 + i * blockSize));
+    // ...then every later one is lost, not just the Nth (the fault is
+    // energy exhaustion, not a one-shot glitch).
+    EXPECT_FALSE(inj.onBackupFlushLine(0x20c0));
+    EXPECT_FALSE(inj.onBackupFlushLine(0x2100));
+    // Lines outside the window never consume or need budget.
+    EXPECT_TRUE(inj.onBackupFlushLine(0x9000));
+    EXPECT_EQ(inj.flushLinesSeen(), 6u);
+
+    // One log record per *dropped* line, so the harness's oracle can
+    // map the unflushed tail; admitted lines stay unlogged.
+    ASSERT_EQ(inj.log().size(), 3u);
+    EXPECT_EQ(inj.log()[0].kind, FaultKind::PowerLossAtWrite);
+    EXPECT_EQ(inj.log()[1].kind, FaultKind::PartialBackupFlush);
+    EXPECT_EQ(inj.log()[1].addr, 0x20c0u);
+    EXPECT_EQ(inj.log()[2].kind, FaultKind::PartialBackupFlush);
+    EXPECT_EQ(inj.log()[2].addr, 0x2100u);
 }
 
 /* ---- No-injector bit-identity ----------------------------------- */
@@ -524,6 +566,221 @@ TEST(FaultSystem, FecbBitFlipQuarantinesOnlyThatFile)
 
     // The adopted post-recovery tree state re-verifies.
     EXPECT_TRUE(sys.mc().recoverMetadata());
+}
+
+/* ---- eADR: cache-resident durability & backup-flush faults ------ */
+
+namespace {
+
+SimConfig
+eadrCfgFor(Scheme scheme)
+{
+    SimConfig cfg = cfgFor(scheme);
+    cfg.sec.persistDomain = PersistDomain::Eadr;
+    return cfg;
+}
+
+/** The file is quarantined, or every line reads as one whole version. */
+void
+expectDamagedOrVersions(System &sys, const std::string &path,
+                        const std::vector<std::uint8_t> &versions)
+{
+    const auto &out = sys.lastRecovery();
+    bool damaged = false;
+    for (const auto &p : out.damagedFiles)
+        damaged |= p == path;
+    if (damaged) {
+        EXPECT_LT(sys.open(0, path, OpenFlags::None, "pw"), 0) << path;
+        return;
+    }
+    int fd = sys.open(0, path, OpenFlags::None, "pw");
+    ASSERT_GE(fd, 0) << path;
+    expectLinesAreVersions(sys, fd, versions);
+    sys.closeFd(0, fd);
+}
+
+} // namespace
+
+TEST(FaultSystem, EadrBackupFlushMakesUnsyncedWritesDurable)
+{
+    System sys(eadrCfgFor(Scheme::FsEncr));
+    workloads::standardEnvironment(sys, "pw");
+    int fd = makeFile(sys, "/pmem/f", 'A');
+
+    // Overwrite the page and crash *without* an fsync: under eADR the
+    // dirty lines already sit inside the persistence domain, so the
+    // backup-power flush must land every one of them.
+    std::vector<std::uint8_t> buf(pageSize, 'B');
+    sys.fileWrite(0, fd, 0, buf.data(), buf.size());
+    sys.crash();
+    EXPECT_GT(sys.mc().backupFlushLines(), 0u);
+    EXPECT_EQ(sys.mc().backupFlushDropped(), 0u);
+    // No stop-loss boundary exists under eADR.
+    EXPECT_EQ(sys.mc().stopLossPersists(), 0u);
+
+    ASSERT_TRUE(sys.recover());
+    EXPECT_TRUE(sys.lastRecovery().damagedFiles.empty());
+    expectFileBytes(sys, "/pmem/f", 'B');
+}
+
+TEST(FaultSystem, EadrPartialBackupFlushDegradesGracefully)
+{
+    System sys(eadrCfgFor(Scheme::FsEncr));
+    workloads::standardEnvironment(sys, "pw");
+    int fd = makeFile(sys, "/pmem/f", 'A');
+    makeFile(sys, "/pmem/b", 'B');
+
+    FaultInjector inj;
+    sys.setFaultInjector(&inj);
+    FaultSpec flush;
+    flush.kind = FaultKind::PartialBackupFlush;
+    flush.flushLines = 2; // backup energy dies almost immediately
+    inj.schedule(flush);
+
+    std::vector<std::uint8_t> buf(pageSize, 'C');
+    sys.fileWrite(0, fd, 0, buf.data(), buf.size());
+    sys.crash();
+    EXPECT_GT(sys.mc().backupFlushDropped(), 0u);
+    EXPECT_FALSE(inj.log().empty());
+
+    // Graceful degradation is the whole contract: the mount survives,
+    // the unflushed tail either probe-recovers to a whole stale
+    // version or quarantines, and never surfaces torn bytes.
+    ASSERT_TRUE(sys.recover());
+    expectDamagedOrVersions(sys, "/pmem/f", {'A', 'C'});
+    expectDamagedOrVersions(sys, "/pmem/b", {'B'});
+}
+
+/* ---- eADR: torn / dropped persists in the audit-log region ------ */
+
+TEST(FaultSystem, EadrTornAuditLineTruncatesScanLoudly)
+{
+    SimConfig cfg = eadrCfgFor(Scheme::FsEncr);
+    cfg.sec.auditEnabled = true;
+    System sys(cfg);
+    workloads::standardEnvironment(sys, "pw");
+    int fd = makeFile(sys, "/pmem/f", 'A');
+    makeFile(sys, "/pmem/b", 'B');
+
+    const PhysLayout &layout = sys.layout();
+    ASSERT_GT(layout.auditLogBytes(), 0u);
+
+    FaultInjector inj;
+    sys.setFaultInjector(&inj);
+    // Tear a record line inside the log region (past the header); the
+    // paired ECC store drops with it, and power dies on the spot.
+    FaultSpec torn;
+    torn.kind = FaultKind::TornWrite;
+    torn.keepBytes = 24;
+    torn.addrLo = layout.auditLogBase() + blockSize;
+    torn.addrHi = layout.auditLogBase() + layout.auditLogBytes();
+    torn.thenPowerLoss = true;
+    inj.schedule(torn);
+
+    // Hammer audited writes until a WCB flush lands in the window.
+    bool lost = false;
+    try {
+        std::uint8_t line[blockSize];
+        std::memset(line, 'C', blockSize);
+        for (int i = 0; i < 400 && !lost; ++i) {
+            sys.fileWrite(0, fd, 0, line, blockSize);
+            sys.fsync(0, fd);
+        }
+    } catch (const PowerLossEvent &) {
+        lost = true;
+    }
+    if (!lost && inj.powerLossPending()) {
+        try {
+            inj.onTick(sys.now());
+        } catch (const PowerLossEvent &) {
+            lost = true;
+        }
+    }
+    ASSERT_TRUE(lost);
+    ASSERT_FALSE(inj.log().empty());
+    EXPECT_EQ(inj.log()[0].kind, FaultKind::TornWrite);
+
+    sys.crash();
+    ASSERT_TRUE(sys.recover());
+    // Log damage never maps onto file data.
+    EXPECT_TRUE(sys.lastRecovery().damagedFiles.empty());
+    expectFileBytes(sys, "/pmem/b", 'B');
+    int rfd = sys.open(0, "/pmem/f", OpenFlags::None, "pw");
+    ASSERT_GE(rfd, 0);
+    expectLinesAreVersions(sys, rfd, {'A', 'C'});
+
+    // The torn line may cost records, but only *loudly*: a
+    // full-length undamaged-looking scan shorter than the acked
+    // stream would mean the tear forged past the Merkle coverage.
+    const AuditLog *log = sys.mc().auditLog();
+    ASSERT_NE(log, nullptr);
+    AuditScanResult scan = log->scan();
+    if (scan.records.size() < log->ackedRecords())
+        EXPECT_TRUE(scan.integrityTruncated);
+    const auto &golden = log->goldenRecords();
+    ASSERT_LE(scan.records.size(), golden.size());
+    for (std::size_t i = 0; i < scan.records.size(); ++i)
+        EXPECT_TRUE(scan.records[i] == golden[i]) << "record " << i;
+}
+
+TEST(FaultSystem, EadrDroppedAuditLineIsNeverASilentLoss)
+{
+    SimConfig cfg = eadrCfgFor(Scheme::FsEncr);
+    cfg.sec.auditEnabled = true;
+    System sys(cfg);
+    workloads::standardEnvironment(sys, "pw");
+    int fd = makeFile(sys, "/pmem/f", 'A');
+
+    const PhysLayout &layout = sys.layout();
+    ASSERT_GT(layout.auditLogBytes(), 0u);
+
+    FaultInjector inj;
+    sys.setFaultInjector(&inj);
+    // A record-line persist silently dropped (its ECC store rides
+    // down with it), then power loss: the stale line must surface as
+    // an integrity-truncated scan, never as a quietly shorter log.
+    FaultSpec drop;
+    drop.kind = FaultKind::DroppedWrite;
+    drop.addrLo = layout.auditLogBase() + blockSize;
+    drop.addrHi = layout.auditLogBase() + layout.auditLogBytes();
+    drop.thenPowerLoss = true;
+    inj.schedule(drop);
+
+    bool lost = false;
+    try {
+        std::uint8_t line[blockSize];
+        std::memset(line, 'C', blockSize);
+        for (int i = 0; i < 400 && !lost; ++i) {
+            sys.fileWrite(0, fd, 0, line, blockSize);
+            sys.fsync(0, fd);
+        }
+    } catch (const PowerLossEvent &) {
+        lost = true;
+    }
+    if (!lost && inj.powerLossPending()) {
+        try {
+            inj.onTick(sys.now());
+        } catch (const PowerLossEvent &) {
+            lost = true;
+        }
+    }
+    ASSERT_TRUE(lost);
+    ASSERT_FALSE(inj.log().empty());
+    EXPECT_EQ(inj.log()[0].kind, FaultKind::DroppedWrite);
+
+    sys.crash();
+    ASSERT_TRUE(sys.recover());
+    EXPECT_TRUE(sys.lastRecovery().damagedFiles.empty());
+
+    const AuditLog *log = sys.mc().auditLog();
+    ASSERT_NE(log, nullptr);
+    AuditScanResult scan = log->scan();
+    if (scan.records.size() < log->ackedRecords())
+        EXPECT_TRUE(scan.integrityTruncated);
+    const auto &golden = log->goldenRecords();
+    ASSERT_LE(scan.records.size(), golden.size());
+    for (std::size_t i = 0; i < scan.records.size(); ++i)
+        EXPECT_TRUE(scan.records[i] == golden[i]) << "record " << i;
 }
 
 /* ---- Determinism ------------------------------------------------ */

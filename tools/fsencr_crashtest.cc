@@ -20,10 +20,19 @@
  *                lines expose no plaintext (they read back zeroed);
  *   metadata     the recovered Merkle state re-verifies.
  *
- * Everything — op list, crash ordinals, torn lengths, flipped bits —
- * derives from --seed, so a run is exactly reproducible: same seed,
- * same crash points, same verdicts, same JSON report
- * (fsencr-crashtest-report v1, no wall-clock timestamps).
+ * The matrix has a persistence-domain dimension: --persist-domain
+ * eadr reruns every class with cache-resident durability expectations
+ * (unaffected lines must recover to their *last written* version, not
+ * merely the last fsync'd one) and adds a sixth class, partialflush —
+ * a backup-power flush truncated after a seeded number of drained
+ * lines, which recovery must degrade from gracefully (Osiris-style
+ * probing of the unflushed tail, quarantining only what cannot be
+ * reconstructed).
+ *
+ * Everything — op list, crash ordinals, torn lengths, flipped bits,
+ * flush truncation points — derives from --seed, so a run is exactly
+ * reproducible: same seed, same crash points, same verdicts, same
+ * JSON report (fsencr-crashtest-report v1, no wall-clock timestamps).
  */
 
 #include <algorithm>
@@ -56,19 +65,29 @@ constexpr unsigned linesPerPage =
     static_cast<unsigned>(pageSize / blockSize);
 constexpr unsigned linesPerFile = pagesPerFile * linesPerPage;
 
-/** The five fault classes one run can exercise. */
+/** The fault classes one run can exercise. */
 enum class FaultClass {
     MidOpPowerLoss,
     TornWrite,
     DroppedWrite,
     DataBitFlip,
     MetaBitFlip,
+    PartialBackupFlush, //!< eADR only: truncated crash-time flush
 };
 
+/** The ADR matrix. The cycling order is part of every committed
+ *  seed's reproduction recipe — append, never reorder. */
 constexpr FaultClass allClasses[] = {
     FaultClass::MidOpPowerLoss, FaultClass::TornWrite,
     FaultClass::DroppedWrite,   FaultClass::DataBitFlip,
     FaultClass::MetaBitFlip,
+};
+
+/** The eADR matrix adds the interrupted backup-power flush. */
+constexpr FaultClass eadrClasses[] = {
+    FaultClass::MidOpPowerLoss,  FaultClass::TornWrite,
+    FaultClass::DroppedWrite,    FaultClass::DataBitFlip,
+    FaultClass::MetaBitFlip,     FaultClass::PartialBackupFlush,
 };
 
 const char *
@@ -80,6 +99,7 @@ faultClassName(FaultClass c)
       case FaultClass::DroppedWrite: return "dropped";
       case FaultClass::DataBitFlip: return "databitflip";
       case FaultClass::MetaBitFlip: return "metabitflip";
+      case FaultClass::PartialBackupFlush: return "partialflush";
     }
     return "unknown";
 }
@@ -95,6 +115,8 @@ struct Options
     std::string reportOut;
     bool json = false;
     bool audit = false;
+    PersistDomain persistDomain = PersistDomain::Adr;
+    bool failFast = false;
 };
 
 bool
@@ -125,7 +147,8 @@ parseArgs(int argc, char **argv, Options &opt)
                      "number of crash-recover runs (default 5)",
                      &opt.crashes)
         .opt("--fault", "CLASS",
-             "{midop|torn|dropped|databitflip|metabitflip|all}",
+             "{midop|torn|dropped|databitflip|metabitflip|"
+             "partialflush|all}",
              &opt.fault)
         .optUnsigned("--ops", "N",
                      "workload operations per run (default 160)",
@@ -149,7 +172,23 @@ parseArgs(int argc, char **argv, Options &opt)
         .flag("--audit",
               "run with the audit ride-along on and check the "
               "no-lost/no-forged-records invariants",
-              &opt.audit);
+              &opt.audit)
+        .custom("--persist-domain", "{adr|eadr}",
+                "persistence-domain boundary (eadr adds the "
+                "partialflush class and cache-durability checks)",
+                [&opt](const std::string &v) {
+                    if (!parsePersistDomain(v, opt.persistDomain)) {
+                        std::fprintf(stderr,
+                                     "bad --persist-domain '%s'\n",
+                                     v.c_str());
+                        return false;
+                    }
+                    return true;
+                })
+        .flag("--fail-fast",
+              "stop after the first failing run instead of finishing "
+              "the matrix",
+              &opt.failFast);
     if (int rc = p.parse(argc, argv))
         return rc;
     if (opt.crashes == 0 || opt.files == 0 || opt.ops < 2) {
@@ -157,11 +196,19 @@ parseArgs(int argc, char **argv, Options &opt)
         return 2;
     }
     bool known = opt.fault == "all";
-    for (auto c : allClasses)
+    for (auto c : eadrClasses)
         known |= opt.fault == faultClassName(c);
     if (!known) {
         std::fprintf(stderr, "unknown fault class '%s'\n",
                      opt.fault.c_str());
+        return 2;
+    }
+    if (opt.fault ==
+            faultClassName(FaultClass::PartialBackupFlush) &&
+        opt.persistDomain != PersistDomain::Eadr) {
+        std::fprintf(stderr, "--fault partialflush needs "
+                             "--persist-domain eadr (ADR has no "
+                             "backup-power flush to interrupt)\n");
         return 2;
     }
     return 0;
@@ -170,9 +217,14 @@ parseArgs(int argc, char **argv, Options &opt)
 FaultClass
 classForRun(const Options &o, unsigned run)
 {
-    if (o.fault == "all")
+    if (o.fault == "all") {
+        // ADR keeps its historical 5-class cycle byte-identically;
+        // eADR interleaves the sixth class.
+        if (o.persistDomain == PersistDomain::Eadr)
+            return eadrClasses[run % 6];
         return allClasses[run % 5];
-    for (auto c : allClasses)
+    }
+    for (auto c : eadrClasses)
         if (o.fault == faultClassName(c))
             return c;
     return FaultClass::MidOpPowerLoss;
@@ -182,6 +234,16 @@ bool
 isBitFlipClass(FaultClass c)
 {
     return c == FaultClass::DataBitFlip || c == FaultClass::MetaBitFlip;
+}
+
+/** eADR semantics actually in effect. Mirrors System::eadrActive():
+ *  the software-encryption scheme seals at writeback time, so it
+ *  keeps the ADR boundary even when eADR is configured. */
+bool
+eadrEffective(const Options &o)
+{
+    return o.persistDomain == PersistDomain::Eadr &&
+           o.scheme != Scheme::SoftwareEncryption;
 }
 
 /** ---- The seeded workload -------------------------------------- */
@@ -279,6 +341,7 @@ struct Machine
         cfg.seed = o.seed;
         // --audit: log every access (System sizes the region).
         cfg.sec.auditEnabled = o.audit;
+        cfg.sec.persistDomain = o.persistDomain;
         return cfg;
     }
 
@@ -366,6 +429,7 @@ struct RunResult
     FaultClass cls = FaultClass::MidOpPowerLoss;
     std::uint64_t ordinal = 0;  //!< crash ordinal (0 for bit flips)
     unsigned keepBytes = 0;     //!< torn runs only
+    std::uint64_t flushLines = 0; //!< partialflush: lines drained
     CrashInfo crash;
     std::vector<InjectionRecord> injections;
     System::RecoveryOutcome recovery;
@@ -375,6 +439,12 @@ struct RunResult
     bool invVersionConsistent = true;
     bool invIsolation = true;
     bool invMetadataConsistent = true;
+
+    // eADR only: unaffected lines must recover to their last *written*
+    // version (the backup flush drained the caches), not merely the
+    // last fsync'd one.
+    bool cacheDurableChecked = false;
+    bool invCacheDurable = true;
 
     // --audit only: the recovered log vs the golden access stream.
     bool auditChecked = false;
@@ -390,8 +460,8 @@ struct RunResult
     {
         return invRecovered && invSyncedDurable &&
                invVersionConsistent && invIsolation &&
-               invMetadataConsistent && invAuditPrefix &&
-               invAuditDurable;
+               invMetadataConsistent && invCacheDurable &&
+               invAuditPrefix && invAuditDurable;
     }
 };
 
@@ -417,11 +487,20 @@ mapAffected(Machine &m, const Options &o,
                     f, b * linesPerPage + i};
     }
 
+    bool eadr = eadrEffective(o);
     const PhysLayout &layout = m.sys.layout();
     for (const auto &rec : log) {
-        if (rec.kind == FaultKind::PowerLossAtWrite ||
-            rec.kind == FaultKind::PowerLossAtTick)
+        if (rec.kind == FaultKind::PowerLossAtTick)
             continue; // a pure loss damages nothing by itself
+        if (rec.kind == FaultKind::PowerLossAtWrite) {
+            // ADR: same story — the loss alone damages nothing. eADR:
+            // the interrupted write was in flight, outside both the
+            // caches and the array when power died, so the backup
+            // flush cannot cover it; its target is legitimately stale
+            // or (for an evicted counter block) unrecoverable.
+            if (!eadr)
+                continue;
+        }
         Addr a = blockAlign(stripDfBit(rec.addr));
         if (layout.isMetadata(a)) {
             auto kind = layout.classifyMeta(a);
@@ -429,7 +508,13 @@ mapAffected(Machine &m, const Options &o,
                 continue; // damages the log, never file data
             if (kind != PhysLayout::MetaKind::Mecb &&
                 kind != PhysLayout::MetaKind::Fecb) {
-                unmappable = true;
+                // Merkle/OTT lines are rebuilt host-side or re-flushed
+                // whole at crash time, so losing one in flight or to a
+                // truncated backup flush is harmless; any other fault
+                // kind hitting them stays unmappable.
+                if (rec.kind != FaultKind::PartialBackupFlush &&
+                    rec.kind != FaultKind::PowerLossAtWrite)
+                    unmappable = true;
                 continue;
             }
             Addr page = layout.dataPageOfMeta(a);
@@ -449,9 +534,12 @@ mapAffected(Machine &m, const Options &o,
 }
 
 void
-checkInvariants(Machine &m, const Options &o, const Oracle &oracle,
+checkInvariants(Machine &m, const Options &o,
+                const std::vector<Op> &ops, const Oracle &oracle,
                 RunResult &r)
 {
+    bool eadr = eadrEffective(o);
+    r.cacheDurableChecked = eadr;
     if (!r.invRecovered) {
         // Non-localizable damage: nothing further is checkable.
         r.invSyncedDurable = r.invVersionConsistent = false;
@@ -547,6 +635,20 @@ checkInvariants(Machine &m, const Options &o, const Oracle &oracle,
                 // An fsync'd version vanished without the fault ever
                 // touching this line: a durability hole.
                 r.invSyncedDurable = false;
+            }
+            if (eadr && found && v < oracle.cur[f][l] &&
+                affected.count({f, l}) == 0 && !unmappable) {
+                // Cache-resident durability: the backup-power flush
+                // must have drained this line's last write. The one
+                // op the crash aborted gets a version of slack — its
+                // store may never have reached the caches.
+                bool aborted_here =
+                    r.crash.fired && r.crash.atOp < ops.size() &&
+                    ops[r.crash.atOp].kind == OpKind::Write &&
+                    ops[r.crash.atOp].file == f &&
+                    ops[r.crash.atOp].line == l;
+                if (!(aborted_here && v + 1 == oracle.cur[f][l]))
+                    r.invCacheDurable = false;
             }
         }
         m.sys.closeFd(0, fd);
@@ -658,6 +760,19 @@ oneRun(const Options &o, const std::vector<Op> &ops, std::uint64_t W,
             spec.kind = FaultKind::DroppedWrite;
             spec.thenPowerLoss = true;
             break;
+          case FaultClass::PartialBackupFlush: {
+            // Crash mid-op like a midop run, but truncate the
+            // backup-power flush after a seeded number of drained
+            // lines; everything dirty past that point is lost and
+            // recovery must degrade gracefully.
+            spec.kind = FaultKind::PowerLossAtWrite;
+            FaultSpec flush;
+            flush.kind = FaultKind::PartialBackupFlush;
+            r.flushLines = runRng.nextBounded(16);
+            flush.flushLines = r.flushLines;
+            inj.schedule(flush);
+            break;
+          }
           default:
             break;
         }
@@ -726,7 +841,7 @@ oneRun(const Options &o, const std::vector<Op> &ops, std::uint64_t W,
     r.invRecovered = m.sys.recover();
     r.recovery = m.sys.lastRecovery();
     r.injections = inj.log();
-    checkInvariants(m, o, oracle, r);
+    checkInvariants(m, o, ops, oracle, r);
     if (o.audit && r.invRecovered)
         checkAuditInvariants(m, r);
     return r;
@@ -749,6 +864,7 @@ writeReport(std::ostream &os, const Options &o, std::uint64_t W,
     w.field("ops", static_cast<std::uint64_t>(o.ops));
     w.field("files", static_cast<std::uint64_t>(o.files));
     w.field("scheme", schemeName(o.scheme));
+    w.field("persist_domain", persistDomainName(o.persistDomain));
     // Additive: absent when off (audit-off reports byte-identical).
     if (o.audit)
         w.field("audit", true);
@@ -766,6 +882,8 @@ writeReport(std::ostream &os, const Options &o, std::uint64_t W,
         if (r.cls == FaultClass::TornWrite)
             w.field("keep_bytes",
                     static_cast<std::uint64_t>(r.keepBytes));
+        if (r.cls == FaultClass::PartialBackupFlush)
+            w.field("flush_lines", r.flushLines);
 
         w.beginObject("crash");
         w.field("fired", r.crash.fired);
@@ -815,6 +933,8 @@ writeReport(std::ostream &os, const Options &o, std::uint64_t W,
         w.field("version_consistent", r.invVersionConsistent);
         w.field("isolation", r.invIsolation);
         w.field("metadata_consistent", r.invMetadataConsistent);
+        if (r.cacheDurableChecked)
+            w.field("cache_durable", r.invCacheDurable);
         if (r.auditChecked) {
             w.field("audit_prefix", r.invAuditPrefix);
             w.field("audit_durable", r.invAuditDurable);
@@ -838,6 +958,47 @@ writeReport(std::ostream &os, const Options &o, std::uint64_t W,
     os << "\n";
 }
 
+/** One stderr line per invariant family: failed-run count over the
+ *  runs that actually checked it. */
+void
+printInvariantTable(const std::vector<RunResult> &runs)
+{
+    struct Row
+    {
+        const char *name;
+        unsigned checked = 0;
+        unsigned failed = 0;
+    };
+    Row rows[] = {
+        {"recovered"},      {"synced_durable"}, {"version_consistent"},
+        {"isolation"},      {"metadata_consistent"},
+        {"cache_durable"},  {"audit_prefix"},   {"audit_durable"},
+    };
+    for (const auto &r : runs) {
+        bool vals[] = {r.invRecovered,         r.invSyncedDurable,
+                       r.invVersionConsistent, r.invIsolation,
+                       r.invMetadataConsistent, r.invCacheDurable,
+                       r.invAuditPrefix,       r.invAuditDurable};
+        bool on[] = {true, true, true, true, true,
+                     r.cacheDurableChecked, r.auditChecked,
+                     r.auditChecked};
+        for (std::size_t i = 0; i < 8; ++i) {
+            if (!on[i])
+                continue;
+            ++rows[i].checked;
+            if (!vals[i])
+                ++rows[i].failed;
+        }
+    }
+    for (const Row &row : rows) {
+        if (!row.checked)
+            continue;
+        std::fprintf(stderr, "%-20s %4u/%-4u %s\n", row.name,
+                     row.checked - row.failed, row.checked,
+                     row.failed ? "FAIL" : "PASS");
+    }
+}
+
 int
 crashtestMain(int argc, char **argv)
 {
@@ -852,8 +1013,15 @@ crashtestMain(int argc, char **argv)
 
     std::vector<RunResult> runs;
     runs.reserve(opt.crashes);
-    for (unsigned r = 0; r < opt.crashes; ++r)
+    for (unsigned r = 0; r < opt.crashes; ++r) {
         runs.push_back(oneRun(opt, ops, W, r));
+        if (opt.failFast && !runs.back().pass()) {
+            std::fprintf(stderr,
+                         "fail-fast: stopping after run %u of %u\n",
+                         r + 1, opt.crashes);
+            break;
+        }
+    }
 
     unsigned failed = 0;
     for (const auto &r : runs) {
@@ -882,6 +1050,7 @@ crashtestMain(int argc, char **argv)
             fatal("cannot open %s", opt.reportOut.c_str());
         writeReport(f, opt, W, runs);
     }
+    printInvariantTable(runs);
     if (!opt.json)
         std::printf("%u/%zu runs passed\n",
                     static_cast<unsigned>(runs.size() - failed),

@@ -62,6 +62,8 @@ struct Options
     unsigned mcMshrs = 0;       //!< --mc-mshrs N (0 = config default)
     bool fastForward = false;   //!< --fast-forward (tick-exact batch)
     std::string auditFilter;    //!< --audit-filter SPEC ("" = off)
+    PersistDomain persistDomain = PersistDomain::Adr;
+    std::uint64_t backupFlushBudget = 0; //!< eADR lines (0 = unbounded)
 };
 
 using Factory =
@@ -214,6 +216,20 @@ parseArgs(int argc, char **argv, Options &opt)
                     opt.auditFilter = v;
                     return true;
                 })
+        .custom("--persist-domain", "{adr|eadr}",
+                "persistence-domain boundary (eADR covers the caches)",
+                [&opt](const std::string &v) {
+                    if (!parsePersistDomain(v, opt.persistDomain)) {
+                        std::fprintf(stderr,
+                                     "bad --persist-domain '%s'\n",
+                                     v.c_str());
+                        return false;
+                    }
+                    return true;
+                })
+        .optU64("--backup-flush-budget", "LINES",
+                "eADR backup-power energy budget (0 = unbounded)",
+                &opt.backupFlushBudget)
         .opt("--report", "FILE", "machine-readable run report",
              &opt.reportOut)
         .opt("--trace-events", "FILE", "Chrome trace_event JSON",
@@ -244,6 +260,8 @@ configFrom(const Options &opt)
     if (opt.mcMshrs)
         cfg.pcm.mcMshrs = opt.mcMshrs;
     cfg.fastForward = opt.fastForward;
+    cfg.sec.persistDomain = opt.persistDomain;
+    cfg.sec.backupFlushBudgetLines = opt.backupFlushBudget;
     if (!opt.auditFilter.empty() && opt.auditFilter != "off") {
         parseAuditFilter(opt.auditFilter, cfg.sec);
         cfg.layout.auditLogBytes = auditLogDefaultBytes;
@@ -305,7 +323,12 @@ writeConfig(report::JsonWriter &w, const Options &opt,
     w.field("mc_banks", static_cast<std::uint64_t>(cfg.pcm.mcBanks));
     w.field("mc_mshrs", static_cast<std::uint64_t>(cfg.pcm.mcMshrs));
     w.field("fast_forward", cfg.fastForward);
-    // Additive: absent in audit-off reports (byte-identity).
+    w.field("persist_domain", persistDomainName(cfg.sec.persistDomain));
+    // Additive: absent in ADR / audit-off reports (byte-identity of
+    // the section with older consumers that key on presence).
+    if (cfg.sec.backupFlushBudgetLines)
+        w.field("backup_flush_budget_lines",
+                cfg.sec.backupFlushBudgetLines);
     if (cfg.sec.auditEnabled)
         w.field("audit_filter", auditFilterSpec(cfg.sec));
     w.endObject();
@@ -321,6 +344,7 @@ writeRunReport(const std::string &path, const char *mode,
                const WorkloadResult &r, const trace::Breakdown &attr,
                const std::string &latency_json,
                const std::string &stats_json,
+               const report::PersistStats &persist,
                const metrics::Sampler *sampler = nullptr,
                const metrics::Registry *metrics = nullptr,
                const AuditLog *audit = nullptr)
@@ -350,6 +374,7 @@ writeRunReport(const std::string &path, const char *mode,
         report::writeTimeseries(w, *sampler);
     if (metrics)
         report::writeMetricsSection(w, *metrics);
+    report::writePersistSection(w, persist);
     if (audit)
         report::writeAuditSection(w, cfg.sec, *audit);
     w.rawField("stats", stats_json);
@@ -401,11 +426,17 @@ simMain(int argc, char **argv)
         // The replayed controller lives inside replayTrace; snapshot
         // what the output paths need before it is destroyed.
         std::string stats_json, stats_text, latency_json;
+        report::PersistStats persist;
+        persist.domain = persistDomainName(cfg.sec.persistDomain);
         ReplayResult r = replayTrace(
             mt, cfg, tracer.get(),
             [&](SecureMemoryController &mc) {
                 stats_json = statsJsonOf(mc.statGroup());
                 latency_json = latencyJsonOf(mc);
+                // Replay has no CPU model: clwb/fence counts stay 0.
+                persist.stopLossPersists = mc.stopLossPersists();
+                persist.backupFlushLines = mc.backupFlushLines();
+                persist.backupFlushDropped = mc.backupFlushDropped();
                 std::ostringstream os;
                 mc.statGroup().dump(os);
                 stats_text = os.str();
@@ -432,7 +463,7 @@ simMain(int argc, char **argv)
             wr.nvmWrites = r.nvmWrites;
             if (!writeRunReport(opt.reportOut, "replay", opt, cfg, wr,
                                 r.attribution, latency_json,
-                                stats_json)) {
+                                stats_json, persist)) {
                 std::fprintf(stderr, "cannot write report '%s'\n",
                              opt.reportOut.c_str());
                 return 1;
@@ -544,11 +575,20 @@ simMain(int argc, char **argv)
     }
 
     if (!opt.reportOut.empty()) {
+        report::PersistStats persist;
+        persist.domain = persistDomainName(cfg.sec.persistDomain);
+        persist.stopLossPersists = sys.mc().stopLossPersists();
+        for (unsigned i = 0; i < cfg.cpu.numCores; ++i) {
+            persist.clwbs += sys.core(i).clwbs_.value();
+            persist.fences += sys.core(i).fences_.value();
+        }
+        persist.backupFlushLines = sys.mc().backupFlushLines();
+        persist.backupFlushDropped = sys.mc().backupFlushDropped();
         if (!writeRunReport(opt.reportOut, "workload", opt, cfg, r,
                             sys.measuredAttribution(),
                             latencyJsonOf(sys.mc()),
                             statsJsonOf(sys.statGroup()),
-                            sampler.get(), metricsReg.get(),
+                            persist, sampler.get(), metricsReg.get(),
                             sys.mc().auditLog())) {
             std::fprintf(stderr, "cannot write report '%s'\n",
                          opt.reportOut.c_str());
