@@ -12,6 +12,7 @@
 
 #include "common/cli.hh"
 #include "common/logging.hh"
+#include "common/profile.hh"
 #include "common/report.hh"
 
 namespace fsencr {
@@ -133,6 +134,10 @@ benchConfig(int argc, char **argv)
               "collapse L1-hit runs into bulk clock updates "
               "(tick-exact; see docs/ARCHITECTURE.md)",
               &cfg.fastForward)
+        .flag("--profile",
+              "contention profiler: per-cell bottleneck section in "
+              "the bench report (observation only)",
+              &cfg.profile)
         .custom("--audit-filter", "{off|all|G1,G2,...}",
                 "audit-log ride-along predicate (per GroupID)",
                 [&cfg](const std::string &v) {
@@ -206,6 +211,8 @@ runRows(const std::vector<RowSpec> &specs,
         cell.writeP95 = wh.percentile(95.0);
         cell.writeP99 = wh.percentile(99.0);
         cell.mcOverlapTicks = sys.mc().overlapTicks();
+        if (const profile::Profiler *prof = sys.mc().profiler())
+            cell.profile = std::make_shared<profile::Profiler>(*prof);
         cells[t.row][t.scheme] = cell;
     };
 
@@ -254,9 +261,15 @@ writeBenchReport(const std::string &path)
         warn("cannot write bench report '%s'", path.c_str());
         return false;
     }
+    bool profiled = false;
+    for (const BenchRow &row : st.rows)
+        for (const auto &[scheme, cell] : row.cells)
+            if (cell.profile)
+                profiled = true;
     report::JsonWriter w(os);
     report::beginReport(w, report::benchReportSchema,
-                        report::benchReportVersion);
+                        profiled ? report::benchReportVersionProfiled
+                                 : report::benchReportVersion);
     w.beginArray("rows");
     for (const BenchRow &row : st.rows) {
         w.beginObject();
@@ -278,6 +291,9 @@ writeBenchReport(const std::string &path)
             w.field("mc_overlap_ticks", cell.mcOverlapTicks);
             report::writeBreakdown(w, "attribution",
                                    cell.attribution);
+            if (cell.profile)
+                report::writeProfileSection(w, *cell.profile,
+                                            cell.ticks);
             w.endObject();
         }
         w.endArray();

@@ -25,6 +25,11 @@
 #include "workloads/workload.hh"
 
 namespace fsencr {
+
+namespace profile {
+class Profiler;
+} // namespace profile
+
 namespace bench {
 
 /** Creates a fresh workload instance (one per scheme run). */
@@ -50,6 +55,11 @@ struct Cell
     /** Serial-model ticks hidden by metadata-chain overlap; 0 in the
      *  default single-issue (--mc-banks 1) configuration. */
     std::uint64_t mcOverlapTicks = 0;
+
+    /** Contention-profiler snapshot of the cell's run; null unless the
+     *  bench ran with --profile. Presence upgrades the bench report to
+     *  the profiled schema version. */
+    std::shared_ptr<profile::Profiler> profile;
 };
 
 /** One row of a figure: a workload across schemes. */

@@ -31,7 +31,14 @@
 # 10. validate the persist section: every v2 run report carries one,
 #     the config records the active --persist-domain, an eADR run
 #     books zero stop-loss persists, and an adr-vs-eadr compare is a
-#     structural diff (exit 2), never a silent metric-row match.
+#     structural diff (exit 2), never a silent metric-row match,
+# 11. rerun the workload with --profile --mc-banks 4 and validate the
+#     v3 profile section: per-class wait + service reconciles
+#     tick-exactly with the total latency, the bottleneck table is
+#     ranked with consistent shares, the resource rows obey the
+#     Little's-law arithmetic, the Amdahl projection matches its own
+#     serial fraction, and a profiled-vs-plain compare is a structural
+#     diff (exit 2).
 #
 # Usage: scripts/check_report_schema.sh [build-dir]
 # Exit 0 on success; registered as a ctest test.
@@ -475,3 +482,91 @@ set -e
     cat "$tmp/persist-compare.txt"
     exit 1
 }
+
+# Contention profiler: the v3 profile section must reconcile
+# tick-exactly and carry a consistent ranking, resource rows and
+# Amdahl projection.
+"$sim" --scheme fsencr --workload fillrandom-S --ops 2000 --keys 2000 \
+       --profile --mc-banks 4 --report "$tmp/profile.json" \
+       > "$tmp/profile-stdout.txt"
+
+"$python3_bin" - "$tmp/profile.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+assert doc["version"] == 3, doc["version"]
+assert doc["config"]["profile"] is True, doc["config"]
+p = doc["profile"]
+
+for key in ("span_ticks", "requests", "total_latency",
+            "identity_violations", "classes", "blockers",
+            "bottlenecks", "resources", "amdahl"):
+    assert key in p, key
+assert p["identity_violations"] == 0, p["identity_violations"]
+assert p["requests"] > 0 and p["span_ticks"] > 0
+
+kinds = ("wait_bank", "wait_mshr", "wait_merkle", "wait_wpq")
+booked = 0
+for name in ("Data", "MECB", "FECB", "AuditLog"):
+    cls = p["classes"][name]
+    for key in ("service", "wait_total") + kinds:
+        assert key in cls, (name, key)
+    assert cls["wait_total"] == sum(cls[k] for k in kinds), cls
+    for hkey in ("samples", "p50", "p95", "p99"):
+        assert hkey in cls["wait"], (name, hkey)
+    booked += cls["service"] + cls["wait_total"]
+assert booked == p["total_latency"], (booked, p["total_latency"])
+
+assert sum(p["blockers"].values()) == p["requests"], p["blockers"]
+
+ranked = p["bottlenecks"]
+assert len(ranked) == 4, ranked
+waits = [b["wait_ticks"] for b in ranked]
+assert waits == sorted(waits, reverse=True), waits
+for b in ranked:
+    want = b["wait_ticks"] / p["total_latency"] if p["total_latency"] \
+        else 0.0
+    # Doubles are serialized with ~6 significant digits.
+    assert abs(b["share"] - want) <= max(1e-9, abs(want) * 1e-5), b
+
+span = p["span_ticks"]
+for name, row in p["resources"].items():
+    for key in ("arrivals", "occupancy_ticks", "stall_ticks",
+                "capacity", "avg_queue_depth", "avg_residence_ticks",
+                "utilization"):
+        assert key in row, (name, key)
+    want_l = row["occupancy_ticks"] / span
+    assert abs(row["avg_queue_depth"] - want_l) <= \
+        max(1e-9, want_l * 1e-5), (name, row)
+    want_u = row["occupancy_ticks"] / (span * row["capacity"])
+    assert abs(row["utilization"] - want_u) <= \
+        max(1e-9, want_u * 1e-5), (name, row)
+assert p["resources"]["nvm_banks"]["arrivals"] > 0
+
+amdahl = p["amdahl"]
+s = amdahl["serial_fraction"]
+assert 0.0 <= s <= 1.0, s
+for shards in ("2", "4", "8", "16"):
+    n = int(shards)
+    want = 1.0 / (s + (1.0 - s) / n)
+    assert abs(amdahl["speedup"][shards] - want) <= want * 1e-5, \
+        (shards, amdahl)
+
+print("profile schema OK: %d requests reconciled, top blocker %s"
+      % (p["requests"], ranked[0]["resource"]))
+EOF
+
+# Profiled vs plain reports are apples to oranges by construction.
+set +e
+"$compare" --quiet "$tmp/report.json" "$tmp/profile.json" \
+    > /dev/null 2> "$tmp/profile-compare.txt"
+profile_rc=$?
+set -e
+[ "$profile_rc" -eq 2 ] || {
+    echo "FAIL: profiled/plain compare exited $profile_rc, want 2"
+    cat "$tmp/profile-compare.txt"
+    exit 1
+}
+echo "profile compare gate OK (structural diff detected)"

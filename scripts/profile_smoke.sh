@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# Smoke-test the contention profiler end to end:
+#
+#  1. --profile is observation only: the run report of an unprofiled
+#     run is byte-identical whether or not the binary carries the
+#     profiler (and a --profile run reports the same ticks and NVM
+#     traffic),
+#  2. profiled runs are deterministic (same seed, same report bytes)
+#     and the v3 profile section reconciles tick-exactly: per-class
+#     wait + service sums equal the total end-to-end latency, with
+#     zero identity violations,
+#  3. with --mc-banks 4 and the audit ride-along on, the AuditLog
+#     class shows nonzero wait-for-bank ticks (the drain chain queues
+#     behind busy banks),
+#  4. fsencr-profile reproduces the report's bottleneck ranking and
+#     emits a non-empty flamegraph folded-stack file from the trace
+#     spans.
+#
+# Usage: scripts/profile_smoke.sh [build-dir]
+# Exit 0 on success; registered as a ctest test.
+set -eu
+
+build_dir="${1:-$(dirname "$0")/../build}"
+sim="$build_dir/tools/fsencr-sim"
+profiletool="$build_dir/tools/fsencr-profile"
+for t in "$sim" "$profiletool"; do
+    [ -x "$t" ] || { echo "missing $t (build first)"; exit 1; }
+done
+
+python3_bin="$(command -v python3 || true)"
+[ -n "$python3_bin" ] || { echo "python3 not found; skipping"; exit 0; }
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+wl="fillrandom-S"
+common=(--scheme fsencr --workload "$wl" --ops 400 --seed 42
+        --mc-banks 4)
+
+# 1. Profile off must not perturb a single byte, and profile on must
+#    not perturb the modeled time or traffic.
+"$sim" "${common[@]}" --report "$tmp/plain_a.json" > /dev/null
+"$sim" "${common[@]}" --report "$tmp/plain_b.json" > /dev/null
+cmp "$tmp/plain_a.json" "$tmp/plain_b.json" || {
+    echo "FAIL: unprofiled run report is not deterministic"
+    exit 1
+}
+"$sim" "${common[@]}" --profile --report "$tmp/prof_a.json" \
+       > /dev/null
+"$python3_bin" - "$tmp/plain_a.json" "$tmp/prof_a.json" <<'EOF'
+import json, sys
+plain = json.load(open(sys.argv[1]))
+prof = json.load(open(sys.argv[2]))
+assert plain["version"] == 2 and "profile" not in plain
+assert prof["version"] == 3 and prof["config"]["profile"] is True
+for key in ("ticks", "nvm_reads", "nvm_writes", "operations"):
+    assert plain["result"][key] == prof["result"][key], key
+stripped = dict(prof)
+stripped.pop("profile")
+stripped["version"] = 2
+stripped["config"] = {k: v for k, v in prof["config"].items()
+                      if k != "profile"}
+assert stripped == plain, "profiled report drifted beyond its section"
+print("ok: --profile is observation only (ticks and bytes identical)")
+EOF
+
+# 2. Deterministic v3 section that reconciles tick-exactly.
+"$sim" "${common[@]}" --profile --report "$tmp/prof_b.json" \
+       > /dev/null
+cmp "$tmp/prof_a.json" "$tmp/prof_b.json" || {
+    echo "FAIL: profiled run report is not deterministic"
+    exit 1
+}
+"$python3_bin" - "$tmp/prof_a.json" <<'EOF'
+import json, sys
+p = json.load(open(sys.argv[1]))["profile"]
+assert p["identity_violations"] == 0, p
+total = sum(c["service"] + c["wait_total"]
+            for c in p["classes"].values())
+assert total == p["total_latency"], (total, p["total_latency"])
+assert p["requests"] > 0
+ranked = [b["wait_ticks"] for b in p["bottlenecks"]]
+assert ranked == sorted(ranked, reverse=True), ranked
+assert sum(p["blockers"].values()) == p["requests"]
+print(f'ok: profile reconciles tick-exactly over {p["requests"]} '
+      f'requests')
+EOF
+
+# 3. Banked audit drains must show wait-for-bank ticks.
+"$sim" --scheme fsencr --workload dax-2 --seed 42 --mc-banks 4 \
+       --profile --audit-filter all --report "$tmp/audit.json" \
+       > /dev/null
+"$python3_bin" - "$tmp/audit.json" <<'EOF'
+import json, sys
+p = json.load(open(sys.argv[1]))["profile"]
+audit = p["classes"]["AuditLog"]
+assert audit["wait_bank"] > 0, audit
+assert p["resources"]["audit_wcb"]["arrivals"] > 0, p["resources"]
+print(f'ok: AuditLog wait_bank={audit["wait_bank"]} with 4 banks')
+EOF
+
+# 4. fsencr-profile: matching ranking, non-empty folded stacks.
+"$sim" "${common[@]}" --profile --report "$tmp/tool.json" \
+       --trace-events "$tmp/tool_trace.json" > /dev/null
+"$profiletool" --report "$tmp/tool.json" \
+               --trace-events "$tmp/tool_trace.json" \
+               --folded "$tmp/tool.folded" > "$tmp/tool.txt" || {
+    echo "FAIL: fsencr-profile rejected its own report (ranking skew?)"
+    cat "$tmp/tool.txt"
+    exit 1
+}
+grep -q "bottleneck ranking" "$tmp/tool.txt" || {
+    echo "FAIL: fsencr-profile printed no ranking"
+    exit 1
+}
+[ -s "$tmp/tool.folded" ] || {
+    echo "FAIL: folded-stack output is empty"
+    exit 1
+}
+grep -Eq '^mc;(read|write);[a-z_]+ [0-9]+$' "$tmp/tool.folded" || {
+    echo "FAIL: folded-stack lines are not flamegraph-compatible"
+    cat "$tmp/tool.folded"
+    exit 1
+}
+echo "ok: fsencr-profile ranking matches, folded stacks non-empty"
+
+echo "profile_smoke: all checks passed"

@@ -172,6 +172,34 @@ for b in "${eadr_benches[@]}"; do
     echo | tee -a "$out"
 done
 
+# Contention-profiler configuration: the Figure 8 pmemkv suite with
+# --profile --mc-banks 4, gated against its own committed baseline
+# (REPORT_<bench>_profile.json, schema version 3 with per-cell
+# profile sections). The profiler is observation only, so the ticks
+# in this report must track the banks4 rows exactly; the gate also
+# pins the per-class service/wait decomposition.
+profile_benches=(
+    bench_fig8_pmemkv_slowdown
+)
+
+for b in "${profile_benches[@]}"; do
+    echo "=== $b (--profile --mc-banks 4) ===" | tee -a "$out"
+    report="$report_dir/REPORT_${b}_profile.json"
+    FSENCR_BENCH_REPORT="$report" \
+        "$build_dir/bench/$b" $quick --profile --mc-banks 4 \
+        2>/dev/null | tee -a "$out"
+    baseline="$baseline_dir/REPORT_${b}_profile.json"
+    if [ "$check_baselines" = 1 ] && [ -s "$report" ] &&
+       [ -s "$baseline" ] && [ -x "$compare" ]; then
+        if ! "$compare" --quiet "$baseline" "$report" | tee -a "$out"
+        then
+            echo "REGRESSION: $b (profile) vs $baseline" | tee -a "$out"
+            regressions=$((regressions + 1))
+        fi
+    fi
+    echo | tee -a "$out"
+done
+
 # ADR-vs-eADR delta: how much of each scheme's modeled time the wider
 # persistence domain buys back, per row. Informational only — the
 # gates above already pinned both domains to their own baselines.

@@ -189,6 +189,50 @@ compareAudit(Comparer &cmp, const json::Value &base,
 }
 
 void
+compareProfile(Comparer &cmp, const json::Value &base,
+               const json::Value &cur, const std::string &prefix)
+{
+    const json::Value *bp = base.find("profile");
+    const json::Value *cp = cur.find("profile");
+    if (!bp && !cp)
+        return;
+    // One-sided profile section means the runs were configured
+    // differently — a structural mismatch, not a metric regression.
+    if (!bp || !cp) {
+        cmp.res.error =
+            std::string("profile section present only in ") +
+            (bp ? "baseline" : "current") +
+            " (--profile on vs --profile off run)";
+        return;
+    }
+    cmp.member(*bp, *cp, "requests", prefix + "profile.requests");
+    cmp.member(*bp, *cp, "total_latency",
+               prefix + "profile.total_latency");
+    cmp.member(*bp, *cp, "identity_violations",
+               prefix + "profile.identity_violations");
+    const json::Value *bc = bp->find("classes");
+    const json::Value *cc = cp->find("classes");
+    if (bc && cc && bc->isObject() && cc->isObject()) {
+        for (const auto &[name, v] : bc->object) {
+            if (!v.isObject())
+                continue;
+            const json::Value *c = cc->find(name);
+            if (!c)
+                continue;
+            for (const char *key : {"service", "wait_total"})
+                cmp.member(v, *c, key,
+                           prefix + "profile." + name + "." + key);
+        }
+    }
+    // The ranking itself is derived from the gated wait totals; the
+    // serial fraction is context (tiny fractions make ratio gates
+    // noisy without adding signal).
+    cmp.member(*bp, *cp, "amdahl.serial_fraction",
+               prefix + "profile.amdahl.serial_fraction",
+               /*gate=*/false);
+}
+
+void
 comparePersist(Comparer &cmp, const json::Value &base,
                const json::Value &cur)
 {
@@ -240,6 +284,7 @@ compareRunReports(Comparer &cmp, const json::Value &base,
     compareTimeseries(cmp, base, cur);
     compareAudit(cmp, base, cur);
     comparePersist(cmp, base, cur);
+    compareProfile(cmp, base, cur, "");
 }
 
 const json::Value *
@@ -310,6 +355,9 @@ compareBenchReports(Comparer &cmp, const json::Value &base,
                   "read_p95", "read_p99", "write_p50", "write_p95",
                   "write_p99"})
                 cmp.member(bcell, *ccell, key, prefix + key);
+            compareProfile(cmp, bcell, *ccell, prefix);
+            if (!cmp.res.error.empty())
+                return;
         }
     }
 }

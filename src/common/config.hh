@@ -261,6 +261,16 @@ struct SimConfig
      */
     bool fastForward = false;
 
+    /**
+     * Contention profiling: per-request critical-path decomposition
+     * (service vs. wait-for-bank/MSHR/Merkle-root/WPQ), per-resource
+     * occupancy accounting and a ranked bottleneck report section
+     * (see docs/ARCHITECTURE.md, "Contention profiling"). Observation
+     * only — off (the default) is bit-identical in ticks, NVM traffic
+     * and report bytes to the unprofiled simulator.
+     */
+    bool profile = false;
+
     /** Ticks per CPU cycle. */
     Tick cyclePeriod() const { return cpu.cyclePeriod; }
 

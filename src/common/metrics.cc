@@ -143,14 +143,39 @@ Sampler::finish(Tick now)
         intervals_.pop_back();
 }
 
+namespace {
+
+/** RFC 4180 field quoting: labels may carry commas, quotes or
+ *  newlines (e.g. file.bytes{file="a,b.log"}), which would otherwise
+ *  silently shift every column to the right of them. */
+void
+csvField(std::ostream &os, const std::string &s)
+{
+    if (s.find_first_of(",\"\r\n") == std::string::npos) {
+        os << s;
+        return;
+    }
+    os << '"';
+    for (char c : s) {
+        if (c == '"')
+            os << '"';
+        os << c;
+    }
+    os << '"';
+}
+
+} // namespace
+
 void
 writeCsv(std::ostream &os, const Sampler &sampler)
 {
     os << "t0,t1,metric,delta\n";
     for (const Interval &iv : sampler.intervals())
-        for (const auto &[name, delta] : iv.deltas)
-            os << iv.t0 << ',' << iv.t1 << ',' << name << ',' << delta
-               << '\n';
+        for (const auto &[name, delta] : iv.deltas) {
+            os << iv.t0 << ',' << iv.t1 << ',';
+            csvField(os, name);
+            os << ',' << delta << '\n';
+        }
 }
 
 namespace {

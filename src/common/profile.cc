@@ -1,0 +1,319 @@
+#include "common/profile.hh"
+
+#include <algorithm>
+
+#include "common/metrics.hh"
+#include "common/report.hh"
+
+namespace fsencr {
+namespace profile {
+
+const char *
+className(ReqClass c)
+{
+    switch (c) {
+      case ReqClass::Data: return "Data";
+      case ReqClass::Mecb: return "MECB";
+      case ReqClass::Fecb: return "FECB";
+      case ReqClass::AuditCls: return "AuditLog";
+    }
+    return "unknown";
+}
+
+const char *
+waitKindName(WaitKind k)
+{
+    switch (k) {
+      case WaitKind::Service: return "service";
+      case WaitKind::Bank: return "wait_bank";
+      case WaitKind::Mshr: return "wait_mshr";
+      case WaitKind::Merkle: return "wait_merkle";
+      case WaitKind::Wpq: return "wait_wpq";
+    }
+    return "unknown";
+}
+
+const char *
+blockerName(WaitKind k)
+{
+    switch (k) {
+      case WaitKind::Service: return "none";
+      case WaitKind::Bank: return "bank";
+      case WaitKind::Mshr: return "mshr";
+      case WaitKind::Merkle: return "merkle";
+      case WaitKind::Wpq: return "wpq";
+    }
+    return "unknown";
+}
+
+const char *
+resourceName(Res r)
+{
+    switch (r) {
+      case Res::NvmBanks: return "nvm_banks";
+      case Res::Mshr: return "mshr";
+      case Res::Wpq: return "wpq";
+      case Res::MetaCache: return "metacache";
+      case Res::Ott: return "ott";
+      case Res::AuditWcb: return "audit_wcb";
+    }
+    return "unknown";
+}
+
+Profiler::Profiler()
+{
+    // End-to-end wait distributions are long-tailed like the request
+    // latencies themselves; log2 buckets keep the p99 in real buckets.
+    for (auto &h : waitHist_)
+        h = stats::Histogram::log2Buckets(48);
+}
+
+void
+Profiler::setMetrics(metrics::Registry *metrics)
+{
+    if (!metrics) {
+        blockerCtr_ = occCtr_ = stallCtr_ = arrivalCtr_ = nullptr;
+        return;
+    }
+    blockerCtr_ = &metrics->counter("mc.blocker", "resource", 8);
+    occCtr_ = &metrics->counter("profile.occupancy", "resource", 8);
+    stallCtr_ = &metrics->counter("profile.stall", "resource", 8);
+    arrivalCtr_ = &metrics->counter("profile.arrivals", "resource", 8);
+}
+
+void
+Profiler::bookChain(ReqClass c, const ChainProfile &cp)
+{
+    // walkTicks includes the walk's own bank waits; the leaf access
+    // and the cache lookup make up the rest of the chain. The four
+    // bookings sum to cp.total + cp.mshrWait by construction.
+    book(c, WaitKind::Bank, cp.leafBankWait + cp.walkBankWait);
+    book(c, WaitKind::Merkle, cp.walkTicks - cp.walkBankWait);
+    book(c, WaitKind::Service,
+         cp.total - cp.walkTicks - cp.leafBankWait);
+    book(c, WaitKind::Mshr, cp.mshrWait);
+}
+
+void
+Profiler::finishRequest(Tick latency)
+{
+    if (!inRequest_)
+        return;
+    inRequest_ = false;
+
+    Tick booked = 0;
+    std::array<Tick, numKinds> kind_sum{};
+    for (unsigned c = 0; c < numClasses; ++c) {
+        Tick class_wait = 0;
+        for (unsigned k = 0; k < numKinds; ++k) {
+            Tick t = scratch_[c][k];
+            booked += t;
+            agg_[c][k] += t;
+            kind_sum[k] += t;
+            if (k != unsigned(WaitKind::Service))
+                class_wait += t;
+        }
+        // Sample the wait distribution of every class that took part
+        // in this request (zero-wait participation is a real sample:
+        // "the MECB chain waited for nothing").
+        bool participated = false;
+        for (unsigned k = 0; k < numKinds; ++k)
+            participated = participated || scratch_[c][k] != 0;
+        if (participated)
+            waitHist_[c].sample(class_wait);
+    }
+
+    if (booked != latency)
+        ++identityViolations_;
+
+    // Dominant blocker: the wait kind with the most ticks across all
+    // classes; "none" when the request never waited. Ties resolve to
+    // the first kind in enum order, deterministically.
+    WaitKind blocker = WaitKind::Service;
+    Tick best = 0;
+    for (unsigned k = unsigned(WaitKind::Bank); k < numKinds; ++k) {
+        if (kind_sum[k] > best) {
+            best = kind_sum[k];
+            blocker = WaitKind(k);
+        }
+    }
+    ++blockers_[unsigned(blocker)];
+    if (blockerCtr_)
+        blockerCtr_->add(blockerName(blocker), 1);
+
+    ++requests_;
+    totalLatency_ += latency;
+}
+
+void
+Profiler::resourceArrival(Res r, Tick residence, Tick stall)
+{
+    Resource &res = resources_[unsigned(r)];
+    ++res.arrivals;
+    res.occupancy += residence;
+    res.stall += stall;
+    if (arrivalCtr_)
+        arrivalCtr_->add(resourceName(r), 1);
+    if (occCtr_ && residence)
+        occCtr_->add(resourceName(r), residence);
+    if (stallCtr_ && stall)
+        stallCtr_->add(resourceName(r), stall);
+}
+
+void
+Profiler::resourceStall(Res r, Tick stall)
+{
+    resources_[unsigned(r)].stall += stall;
+    if (stallCtr_ && stall)
+        stallCtr_->add(resourceName(r), stall);
+}
+
+void
+Profiler::setResourceTotals(Res r, Tick occupancy, Tick stall,
+                            std::uint64_t arrivals,
+                            std::uint64_t capacity)
+{
+    Resource &res = resources_[unsigned(r)];
+    res.occupancy = occupancy;
+    res.stall = stall;
+    res.arrivals = arrivals;
+    res.capacity = capacity ? capacity : 1;
+}
+
+Tick
+Profiler::classWaitTicks(ReqClass c) const
+{
+    Tick sum = 0;
+    for (unsigned k = 0; k < numKinds; ++k)
+        if (k != unsigned(WaitKind::Service))
+            sum += agg_[unsigned(c)][k];
+    return sum;
+}
+
+Tick
+Profiler::kindTicks(WaitKind k) const
+{
+    Tick sum = 0;
+    for (unsigned c = 0; c < numClasses; ++c)
+        sum += agg_[c][unsigned(k)];
+    return sum;
+}
+
+std::vector<Bottleneck>
+Profiler::bottlenecks() const
+{
+    std::vector<Bottleneck> out;
+    for (unsigned k = unsigned(WaitKind::Bank); k < numKinds; ++k) {
+        Bottleneck b;
+        b.kind = WaitKind(k);
+        b.waitTicks = kindTicks(b.kind);
+        b.share = totalLatency_
+                      ? double(b.waitTicks) / double(totalLatency_)
+                      : 0.0;
+        out.push_back(b);
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Bottleneck &a, const Bottleneck &b) {
+                         return a.waitTicks > b.waitTicks;
+                     });
+    return out;
+}
+
+double
+Profiler::serialFraction() const
+{
+    if (!totalLatency_)
+        return 0.0;
+    return double(kindTicks(WaitKind::Merkle)) / double(totalLatency_);
+}
+
+double
+Profiler::projectedSpeedup(unsigned shards) const
+{
+    if (!shards)
+        return 1.0;
+    double s = serialFraction();
+    return 1.0 / (s + (1.0 - s) / shards);
+}
+
+} // namespace profile
+
+namespace report {
+
+void
+writeProfileSection(JsonWriter &w, const profile::Profiler &prof,
+                    Tick span)
+{
+    using namespace profile;
+
+    w.beginObject("profile");
+    w.field("span_ticks", span);
+    w.field("requests", prof.requests());
+    w.field("total_latency", prof.totalLatency());
+    w.field("identity_violations", prof.identityViolations());
+
+    w.beginObject("classes");
+    for (unsigned c = 0; c < numClasses; ++c) {
+        ReqClass cls = ReqClass(c);
+        w.beginObject(className(cls));
+        for (unsigned k = 0; k < numKinds; ++k)
+            w.field(waitKindName(WaitKind(k)),
+                    prof.classTicks(cls, WaitKind(k)));
+        w.field("wait_total", prof.classWaitTicks(cls));
+        writeHistogram(w, "wait", prof.waitHistogram(cls));
+        w.endObject();
+    }
+    w.endObject();
+
+    w.beginObject("blockers");
+    for (unsigned k = 0; k < numKinds; ++k)
+        w.field(blockerName(WaitKind(k)),
+                prof.blockerCount(WaitKind(k)));
+    w.endObject();
+
+    w.beginArray("bottlenecks");
+    for (const Bottleneck &b : prof.bottlenecks()) {
+        w.beginObject();
+        w.field("resource", blockerName(b.kind));
+        w.field("wait_ticks", b.waitTicks);
+        w.field("share", b.share);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.beginObject("resources");
+    for (unsigned r = 0; r < numResources; ++r) {
+        const Resource &res = prof.resource(Res(r));
+        w.beginObject(resourceName(Res(r)));
+        w.field("arrivals", res.arrivals);
+        w.field("occupancy_ticks", res.occupancy);
+        w.field("stall_ticks", res.stall);
+        w.field("capacity", res.capacity);
+        w.field("avg_queue_depth",
+                span ? double(res.occupancy) / double(span) : 0.0);
+        w.field("avg_residence_ticks",
+                res.arrivals ? double(res.occupancy) /
+                                   double(res.arrivals)
+                             : 0.0);
+        w.field("utilization",
+                span ? double(res.occupancy) /
+                           (double(span) * double(res.capacity))
+                     : 0.0);
+        w.endObject();
+    }
+    w.endObject();
+
+    w.beginObject("amdahl");
+    w.field("serial_fraction", prof.serialFraction());
+    w.beginObject("speedup");
+    for (unsigned shards : amdahlShards)
+        w.field(std::to_string(shards),
+                prof.projectedSpeedup(shards));
+    w.endObject();
+    w.endObject();
+
+    w.endObject();
+}
+
+} // namespace report
+} // namespace fsencr

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Contention profiler: queueing attribution and critical-path
+ * decomposition for the secure datapath (opt-in via --profile).
+ *
+ * Two cooperating views of the same run:
+ *
+ *  - Per-request critical-path decomposition. The secure memory
+ *    controller books every tick of a completion's end-to-end latency
+ *    into a (traffic class, wait kind) bucket matrix: service versus
+ *    wait-for-bank, wait-for-MSHR-slot, serialized-behind-Merkle-root
+ *    and wait-for-WPQ-slot, per Data/MECB/FECB/AuditLog class. The
+ *    booking is constructed so the buckets of one request sum
+ *    tick-exactly to the latency the controller returned; any
+ *    mismatch increments identityViolations() instead of crashing,
+ *    and the test suite asserts that counter stays zero.
+ *
+ *  - Per-resource occupancy accounting. Each contended resource (NVM
+ *    banks, MSHRs, the WPQ ring, the metadata cache, the OTT, the
+ *    audit WCB) records arrivals, a residence-tick integral (the
+ *    time-integral of its queue depth) and stall ticks. Dividing by
+ *    the run span yields Little's-law figures: average queue depth
+ *    L = integral/span, average residence W = integral/arrivals, and
+ *    utilization = integral/(span * capacity).
+ *
+ * The profiler also derives a ranked bottleneck table (wait kinds
+ * ordered by aggregated ticks) and an Amdahl projection: the serial
+ * fraction of the datapath spent behind the single Merkle root gives
+ * the predicted speedup of sharding the secure datapath 2/4/8/16
+ * ways — the measurement the ROADMAP's sharding item is gated on.
+ *
+ * Observation only: components hold a `Profiler *` that is nullptr
+ * when --profile is off, and no probe charges simulated time. With
+ * profiling off, ticks, NVM traffic and report bytes are bit-identical
+ * to a build without this file.
+ */
+
+#ifndef FSENCR_COMMON_PROFILE_HH
+#define FSENCR_COMMON_PROFILE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace fsencr {
+
+namespace metrics {
+class Registry;
+class LabeledCounter;
+} // namespace metrics
+
+namespace report {
+class JsonWriter;
+} // namespace report
+
+namespace profile {
+
+/** Traffic class a decomposed latency share is charged to. */
+enum class ReqClass : unsigned {
+    Data,     ///< the demand data access itself
+    Mecb,     ///< memory-encryption counter-block chain (MECB walk)
+    Fecb,     ///< file-encryption counter-block chain (FECB walk)
+    AuditCls, ///< audit-log WCB drain visible to the request
+};
+constexpr unsigned numClasses = 4;
+const char *className(ReqClass c);
+
+/** Where one tick of a request's end-to-end latency went. */
+enum class WaitKind : unsigned {
+    Service, ///< useful work (device service, cache lookup, crypto)
+    Bank,    ///< queued behind a busy NVM bank
+    Mshr,    ///< waiting for an MSHR/issue slot to free up
+    Merkle,  ///< serialized behind the single Merkle root (tree walk
+             ///< above the leaf, minus its own bank waits)
+    Wpq,     ///< stalled on a full write-pending queue
+};
+constexpr unsigned numKinds = 5;
+/** Bucket name; WaitKind::Service maps to "none" in blocker space. */
+const char *waitKindName(WaitKind k);
+const char *blockerName(WaitKind k);
+
+/** Contended resources with occupancy accounting. */
+enum class Res : unsigned {
+    NvmBanks,
+    Mshr,
+    Wpq,
+    MetaCache,
+    Ott,
+    AuditWcb,
+};
+constexpr unsigned numResources = 6;
+const char *resourceName(Res r);
+
+/**
+ * Decomposition of one metadata chain (a fetchMetadata call): the
+ * leaf access, the Merkle walk above it, and the wait for an issue
+ * slot before the chain could start. Filled by the controller, then
+ * converted into (class, kind) buckets by Profiler::bookChain with
+ * the identity
+ *
+ *   total + mshrWait == Service + Bank + Merkle + Mshr.
+ */
+struct ChainProfile
+{
+    /** Bank wait of the leaf (MECB/FECB line) device access. */
+    Tick leafBankWait = 0;
+    /** Bank waits accumulated across the Merkle-walk accesses. */
+    Tick walkBankWait = 0;
+    /** Total ticks of the Merkle walk above the leaf. */
+    Tick walkTicks = 0;
+    /** Chain latency as returned by fetchMetadata. */
+    Tick total = 0;
+    /** Ticks the chain waited for an MSHR/issue slot (booked by the
+     *  caller on top of `total`). */
+    Tick mshrWait = 0;
+};
+
+/** One resource's occupancy aggregate. */
+struct Resource
+{
+    std::uint64_t arrivals = 0;
+    /** Time-integral of items resident in the resource (ticks). */
+    Tick occupancy = 0;
+    /** Ticks arrivals spent stalled waiting to enter. */
+    Tick stall = 0;
+    std::uint64_t capacity = 1;
+};
+
+/** One row of the ranked bottleneck table. */
+struct Bottleneck
+{
+    WaitKind kind;
+    Tick waitTicks = 0;
+    /** waitTicks / total latency over all requests. */
+    double share = 0.0;
+};
+
+class Profiler
+{
+  public:
+    Profiler();
+
+    /** Attach a metrics registry: lights up mc.blocker{resource} and
+     *  the profile.{occupancy,stall,arrivals}{resource} families the
+     *  Sampler turns into queue-depth time series. */
+    void setMetrics(metrics::Registry *metrics);
+
+    // ---- per-request critical path ------------------------------
+
+    /** Reset the per-request scratch matrix (start of a datapath
+     *  request). Bookings made outside a request are discarded. */
+    void
+    beginRequest()
+    {
+        for (auto &row : scratch_)
+            row.fill(0);
+        inRequest_ = true;
+    }
+
+    /** Charge @p t ticks of the current request to (c, k). */
+    void
+    book(ReqClass c, WaitKind k, Tick t)
+    {
+        if (inRequest_)
+            scratch_[unsigned(c)][unsigned(k)] += t;
+    }
+
+    /** Convert one metadata chain into (class, kind) buckets. */
+    void bookChain(ReqClass c, const ChainProfile &cp);
+
+    /** Close the current request: verify the buckets sum to
+     *  @p latency, aggregate them, sample per-class wait histograms
+     *  and count the dominant blocker. */
+    void finishRequest(Tick latency);
+
+    // ---- per-resource occupancy ---------------------------------
+
+    /** One arrival: @p residence ticks inside the resource after
+     *  stalling @p stall ticks to get in. */
+    void resourceArrival(Res r, Tick residence, Tick stall = 0);
+    /** Stall ticks observed without a matching arrival record. */
+    void resourceStall(Res r, Tick stall);
+    void
+    setResourceCapacity(Res r, std::uint64_t capacity)
+    {
+        resources_[unsigned(r)].capacity = capacity ? capacity : 1;
+    }
+    /** Overwrite a resource row with authoritative totals (used to
+     *  sync the NVM-bank row from the device's own accounting). */
+    void setResourceTotals(Res r, Tick occupancy, Tick stall,
+                           std::uint64_t arrivals,
+                           std::uint64_t capacity);
+
+    // ---- aggregates for the report writer and tests -------------
+
+    Tick
+    classTicks(ReqClass c, WaitKind k) const
+    {
+        return agg_[unsigned(c)][unsigned(k)];
+    }
+    /** Sum of the four wait kinds of one class. */
+    Tick classWaitTicks(ReqClass c) const;
+    Tick totalLatency() const { return totalLatency_; }
+    std::uint64_t requests() const { return requests_; }
+    std::uint64_t identityViolations() const
+    {
+        return identityViolations_;
+    }
+    std::uint64_t
+    blockerCount(WaitKind k) const
+    {
+        return blockers_[unsigned(k)];
+    }
+    const stats::Histogram &
+    waitHistogram(ReqClass c) const
+    {
+        return waitHist_[unsigned(c)];
+    }
+    const Resource &
+    resource(Res r) const
+    {
+        return resources_[unsigned(r)];
+    }
+
+    /** Aggregated wait over all classes for one kind. */
+    Tick kindTicks(WaitKind k) const;
+    /** Wait kinds ranked by aggregated ticks (desc, stable). */
+    std::vector<Bottleneck> bottlenecks() const;
+    /** Fraction of all request latency serialized behind the Merkle
+     *  root (the Amdahl serial fraction). */
+    double serialFraction() const;
+    /** Amdahl projection: 1 / (s + (1-s)/shards). */
+    double projectedSpeedup(unsigned shards) const;
+
+  private:
+    template <std::size_t N> struct Matrix
+    {
+        std::array<Tick, N> v{};
+        void fill(Tick t) { v.fill(t); }
+        Tick &operator[](std::size_t i) { return v[i]; }
+        Tick operator[](std::size_t i) const { return v[i]; }
+    };
+
+    bool inRequest_ = false;
+    std::array<Matrix<numKinds>, numClasses> scratch_{};
+    std::array<Matrix<numKinds>, numClasses> agg_{};
+    std::array<std::uint64_t, numKinds> blockers_{};
+    std::array<stats::Histogram, numClasses> waitHist_;
+    std::array<Resource, numResources> resources_{};
+    std::uint64_t requests_ = 0;
+    Tick totalLatency_ = 0;
+    std::uint64_t identityViolations_ = 0;
+
+    metrics::LabeledCounter *blockerCtr_ = nullptr;
+    metrics::LabeledCounter *occCtr_ = nullptr;
+    metrics::LabeledCounter *stallCtr_ = nullptr;
+    metrics::LabeledCounter *arrivalCtr_ = nullptr;
+};
+
+/** Shard counts the Amdahl projection reports. */
+constexpr unsigned amdahlShards[] = {2, 4, 8, 16};
+
+} // namespace profile
+
+namespace report {
+
+/**
+ * Write the `profile` section of a v3 run/bench report: the
+ * per-class decomposition with wait histograms, the dominant-blocker
+ * counts, the ranked bottleneck table, per-resource Little's-law
+ * occupancy rows and the Amdahl projection.
+ *
+ * @param span total simulated ticks of the run (Little's-law divisor)
+ */
+void writeProfileSection(JsonWriter &w, const profile::Profiler &prof,
+                         Tick span);
+
+} // namespace report
+} // namespace fsencr
+
+#endif // FSENCR_COMMON_PROFILE_HH

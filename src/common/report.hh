@@ -47,6 +47,14 @@ constexpr const char *runReportSchema = "fsencr-run-report";
 constexpr int runReportVersion = 2;
 constexpr const char *benchReportSchema = "fsencr-bench-report";
 constexpr int benchReportVersion = 2;
+/**
+ * v3 (run/bench): adds the optional `profile` section (contention
+ * profiler, `--profile`). Version 3 is emitted only when the section
+ * is present, so profile-off reports stay byte-identical v2
+ * documents and every committed v2 baseline remains valid.
+ */
+constexpr int runReportVersionProfiled = 3;
+constexpr int benchReportVersionProfiled = 3;
 constexpr const char *crashtestReportSchema = "fsencr-crashtest-report";
 constexpr int crashtestReportVersion = 1;
 constexpr const char *compareReportSchema = "fsencr-compare-report";

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/json.hh"
+#include "common/logging.hh"
 
 namespace fsencr {
 namespace trace {
@@ -31,6 +32,11 @@ Tracer::push(const Event &e)
     ring_[head_] = e;
     if (++head_ == ring_.size()) {
         head_ = 0;
+        if (!wrapped_)
+            warnLimited(1,
+                        "trace ring buffer full (%zu events); oldest "
+                        "spans are being overwritten",
+                        ring_.size());
         wrapped_ = true;
     }
     ++emitted_;
@@ -157,7 +163,20 @@ Tracer::exportJson(std::ostream &os) const
        << ", \"dropped\": " << dropped() << "},\n"
        << "  \"traceEvents\": [";
     bool first = true;
-    for (const Event &e : events()) {
+    std::vector<Event> evs = events();
+    // A wrapped ring is invisible inside the Chrome viewer (otherData
+    // is not rendered), so surface the truncation as a synthetic
+    // instant marker at the oldest retained timestamp.
+    if (dropped() > 0) {
+        os << "\n    {\"name\": \"dropped_spans\", \"cat\": "
+              "\"tracer\", \"ph\": \"i\", \"pid\": 0, \"tid\": 0, "
+              "\"ts\": "
+           << ticksToUs(evs.empty() ? 0 : evs.front().ts)
+           << ", \"s\": \"g\", \"args\": {\"v\": " << dropped()
+           << "}}";
+        first = false;
+    }
+    for (const Event &e : evs) {
         if (!first)
             os << ',';
         first = false;

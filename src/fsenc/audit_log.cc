@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/metrics.hh"
+#include "common/profile.hh"
 #include "common/report.hh"
 
 namespace fsencr {
@@ -78,6 +79,8 @@ AuditLog::flushPending(Tick now)
     // serializes them itself, but nothing stops the chain from
     // overlapping a concurrently issued MECB/FECB walk.
     Tick done = now;
+    Tick crit_wait = 0;
+    std::uint64_t first_acked = acked_;
     for (std::uint64_t line = first_line; line <= last_line; ++line) {
         std::uint8_t buf[blockSize];
         packLine(line * recordsPerLine, buf);
@@ -93,7 +96,14 @@ AuditLog::flushPending(Tick now)
         req.isWrite = true;
         req.cls = TrafficClass::AuditLog;
         Completion c = device_.submit(req, now);
-        done = std::max(done, c.finish);
+        if (c.finish > done) {
+            done = c.finish;
+            crit_wait = c.bankWait;
+        }
+        if (prof_)
+            prof_->resourceArrival(profile::Res::NvmBanks,
+                                   c.latency() - c.bankWait,
+                                   c.bankWait);
 
         ++flushedLines_;
         if (opCtr_)
@@ -104,6 +114,12 @@ AuditLog::flushPending(Tick now)
             records_.size(), (line + 1) * recordsPerLine);
     }
     ++flushes_;
+    lastFlushBankWait_ = crit_wait;
+    if (prof_)
+        for (std::uint64_t i = first_acked;
+             i < acked_ && i < appendTicks_.size(); ++i)
+            prof_->resourceArrival(profile::Res::AuditWcb,
+                                   now - appendTicks_[i]);
 
     Tick latency = done - now;
     if (tracer_)
@@ -130,6 +146,8 @@ AuditLog::append(AuditRecord rec, Tick now)
     rec.seq = nextSeq_++;
     rec.scheme = scheme_;
     records_.push_back(rec);
+    if (prof_)
+        appendTicks_.push_back(now);
     ++appends_;
     if (opCtr_)
         opCtr_->add("append", 1);

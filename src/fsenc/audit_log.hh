@@ -42,6 +42,10 @@ class Registry;
 class LabeledCounter;
 } // namespace metrics
 
+namespace profile {
+class Profiler;
+} // namespace profile
+
 /** One fixed-size (32B, two per line) audit record. */
 struct AuditRecord
 {
@@ -171,6 +175,17 @@ class AuditLog
      *  appended / lines flushed) and audit.append{gid}. */
     void setMetrics(metrics::Registry *metrics);
 
+    /** Attach the contention profiler (nullptr disables): WCB record
+     *  residence becomes audit_wcb resource arrivals at drain time and
+     *  each flushed line an nvm_banks arrival. Observation only. */
+    void setProfiler(profile::Profiler *prof) { prof_ = prof; }
+
+    /** Bank-wait ticks of the critical (last-finishing) line of the
+     *  most recent flushPending() chain. The controller's profiler
+     *  splits the visible flush latency into wait-for-bank vs.
+     *  service with this. */
+    Tick lastFlushBankWait() const { return lastFlushBankWait_; }
+
   private:
     /** Device address of 0-based data line i (one past the header). */
     Addr lineAddr(std::uint64_t line_index) const;
@@ -202,6 +217,11 @@ class AuditLog
     trace::Tracer *tracer_ = nullptr;
     metrics::LabeledCounter *opCtr_ = nullptr;
     metrics::LabeledCounter *gidCtr_ = nullptr;
+    profile::Profiler *prof_ = nullptr;
+    /** Append tick of records_[i], kept only while profiling (the
+     *  WCB-residence integral needs per-record arrival times). */
+    std::vector<Tick> appendTicks_;
+    Tick lastFlushBankWait_ = 0;
 
     stats::StatGroup statGroup_;
     stats::Scalar appends_;

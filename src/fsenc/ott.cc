@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/metrics.hh"
+#include "common/profile.hh"
 #include "crypto/sha256.hh"
 
 namespace fsencr {
@@ -317,6 +318,8 @@ OpenTunnelTable::lookup(std::uint32_t gid, std::uint32_t fid, Tick now)
         res.found = true;
         res.ottHit = true;
         res.key = e->key;
+        if (prof_)
+            prof_->resourceArrival(profile::Res::Ott, res.latency);
         if (tracer_)
             tracer_->complete("ott_lookup", "ott", now, res.latency,
                               /*tid=*/0, /*arg=*/1);
@@ -335,6 +338,8 @@ OpenTunnelTable::lookup(std::uint32_t gid, std::uint32_t fid, Tick now)
     } else {
         ++missingKeys_;
     }
+    if (prof_)
+        prof_->resourceArrival(profile::Res::Ott, res.latency);
     if (tracer_)
         tracer_->complete("ott_lookup", "ott", now, res.latency,
                           /*tid=*/0, /*arg=*/res.found ? 1 : 0);

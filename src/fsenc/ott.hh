@@ -37,6 +37,10 @@ class Registry;
 class LabeledCounter;
 } // namespace metrics
 
+namespace profile {
+class Profiler;
+} // namespace profile
+
 /** Result of an OTT key lookup. */
 struct OttLookupResult
 {
@@ -107,6 +111,12 @@ class OpenTunnelTable
      *  labeled by the key's spill home slot (nullptr disables). */
     void setMetrics(metrics::Registry *metrics);
 
+    /** Attach the contention profiler (nullptr disables): each lookup
+     *  becomes an ott resource arrival with the full lookup latency
+     *  (search + any spill recall) as its residence. Observation
+     *  only. */
+    void setProfiler(profile::Profiler *prof) { prof_ = prof; }
+
   private:
     struct Entry
     {
@@ -154,6 +164,7 @@ class OpenTunnelTable
     std::uint64_t lruClock_ = 0;
     trace::Tracer *tracer_ = nullptr;
     metrics::LabeledCounter *lookupCtr_ = nullptr;
+    profile::Profiler *prof_ = nullptr;
 
     static constexpr unsigned spillProbeDepth = 8;
 

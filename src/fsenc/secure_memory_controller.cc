@@ -47,6 +47,27 @@ SecureMemoryController::SecureMemoryController(const SimConfig &cfg,
                                             *merkle_, cfg_.scheme);
         statGroup_.addChild(&audit_->statGroup());
     }
+    if (cfg_.profile) {
+        prof_ = std::make_unique<profile::Profiler>();
+        prof_->setResourceCapacity(profile::Res::NvmBanks,
+                                   device_.numBanks());
+        prof_->setResourceCapacity(profile::Res::Mshr,
+                                   cfg_.pcm.mcMshrs);
+        prof_->setResourceCapacity(profile::Res::Wpq,
+                                   cfg_.pcm.writeQueueDepth);
+        prof_->setResourceCapacity(profile::Res::MetaCache, 1);
+        prof_->setResourceCapacity(profile::Res::Ott, 1);
+        prof_->setResourceCapacity(profile::Res::AuditWcb,
+                                   cfg_.sec.auditWcbRecords);
+        if (metaCache_)
+            metaCache_->setProfiler(prof_.get(),
+                                    cfg_.sec.metadataCacheLatency *
+                                        cfg_.cyclePeriod());
+        if (ott_)
+            ott_->setProfiler(prof_.get());
+        if (audit_)
+            audit_->setProfiler(prof_.get());
+    }
 
     statGroup_.addScalar("dataReads", dataReads_);
     statGroup_.addScalar("dataWrites", dataWrites_);
@@ -104,6 +125,8 @@ SecureMemoryController::setMetrics(metrics::Registry *metrics)
     if (audit_)
         audit_->setMetrics(metrics);
     device_.setMetrics(metrics);
+    if (prof_)
+        prof_->setMetrics(metrics);
     if (!metrics) {
         readCtr_ = writeCtr_ = fileBytesCtr_ = merkleLevelCtr_ = nullptr;
         overlapCtr_ = nullptr;
@@ -146,6 +169,8 @@ SecureMemoryController::recordAccess(bool is_read,
                 tracer_->complete(trace::componentName(c), "mc.attr",
                                   now, bd.ticks[c], /*tid=*/c + 1);
     }
+    if (prof_)
+        prof_->finishRequest(total);
 }
 
 crypto::Line
@@ -226,10 +251,24 @@ SecureMemoryController::handleMetaEviction(Addr victim_addr, bool dirty,
     }
 }
 
+profile::Profiler *
+SecureMemoryController::profiler()
+{
+    if (prof_)
+        prof_->setResourceTotals(profile::Res::NvmBanks,
+                                 device_.bankBusyTicks(),
+                                 device_.bankWaitTicks(),
+                                 device_.numReads() +
+                                     device_.numWrites(),
+                                 device_.numBanks());
+    return prof_.get();
+}
+
 Tick
 SecureMemoryController::fetchMetadata(Addr meta_addr, Tick now,
                                       bool *missed,
-                                      trace::Breakdown *bd)
+                                      trace::Breakdown *bd,
+                                      profile::ChainProfile *cp)
 {
     // Leaf (counter-block) work is counter_fetch; the Bonsai ancestor
     // walk below is merkle_verify. A Merkle-node fetch requested
@@ -246,6 +285,8 @@ SecureMemoryController::fetchMetadata(Addr meta_addr, Tick now,
     if (res.hit) {
         if (bd)
             bd->ticks[leaf_comp] += lat;
+        if (cp)
+            cp->total = lat; // pure service: no device traffic
         return lat;
     }
 
@@ -262,7 +303,14 @@ SecureMemoryController::fetchMetadata(Addr meta_addr, Tick now,
                       PhysLayout::MetaKind::MerkleNode
                   ? TrafficClass::Merkle
                   : TrafficClass::Metadata;
-    lat += device_.access(req, now + lat);
+    Completion leaf_c = device_.submit(req, now + lat);
+    lat += leaf_c.latency();
+    if (cp)
+        cp->leafBankWait = leaf_c.bankWait;
+    if (prof_)
+        prof_->resourceArrival(profile::Res::NvmBanks,
+                               leaf_c.latency() - leaf_c.bankWait,
+                               leaf_c.bankWait);
 
     // Anubis: log the newly resident counter block in the persistent
     // shadow table (one extra NVM write per fill).
@@ -305,13 +353,27 @@ SecureMemoryController::fetchMetadata(Addr meta_addr, Tick now,
             mreq.paddr = node;
             mreq.isWrite = false;
             mreq.cls = TrafficClass::Merkle;
-            lat += device_.access(mreq, now + lat);
+            Completion wc = device_.submit(mreq, now + lat);
+            lat += wc.latency();
+            if (cp)
+                cp->walkBankWait += wc.bankWait;
+            if (prof_)
+                prof_->resourceArrival(profile::Res::NvmBanks,
+                                       wc.latency() - wc.bankWait,
+                                       wc.bankWait);
         }
     }
     if (bd) {
         bd->ticks[leaf_comp] += leaf_lat;
         bd->ticks[trace::MerkleVerify] += lat - leaf_lat;
     }
+    if (cp) {
+        cp->walkTicks = lat - leaf_lat;
+        cp->total = lat;
+    }
+    // The whole miss chain holds one MSHR from issue to retire.
+    if (prof_)
+        prof_->resourceArrival(profile::Res::Mshr, lat);
     return lat;
 }
 
@@ -380,7 +442,11 @@ SecureMemoryController::wpqAccept(Tick now, Tick completion)
         while (!wpqInFlight_.empty() && wpqInFlight_.front() <= free_at)
             wpqInFlight_.pop_front();
     }
-    wpqInFlight_.push_back(std::max(completion, now + stall));
+    Tick queued_until = std::max(completion, now + stall);
+    wpqInFlight_.push_back(queued_until);
+    if (prof_)
+        prof_->resourceArrival(profile::Res::Wpq, queued_until - now,
+                               stall);
     return stall;
 }
 
@@ -388,14 +454,21 @@ Tick
 SecureMemoryController::fetchSecondMeta(Addr fecb_addr, Tick now,
                                         Tick meta_lat,
                                         trace::Breakdown &mbd,
-                                        bool *missed, bool is_read)
+                                        bool *missed, bool is_read,
+                                        MetaPhaseProfile *mp)
 {
+    profile::ChainProfile *fcp = mp ? &mp->fecb : nullptr;
     if (!overlapEnabled()) {
         // Legacy strictly serial model: the FECB chain issues only
         // once the MECB chain retired. Bit-identical to the
-        // pre-banked simulator.
-        return meta_lat +
-               fetchMetadata(fecb_addr, now + meta_lat, missed, &mbd);
+        // pre-banked simulator. Both chains sit on the critical path.
+        Tick fecb_lat =
+            fetchMetadata(fecb_addr, now + meta_lat, missed, &mbd, fcp);
+        if (mp) {
+            mp->mecbVisible = true;
+            mp->fecbVisible = true;
+        }
+        return meta_lat + fecb_lat;
     }
 
     // MSHR-style overlap: the FECB walk depends on nothing the MECB
@@ -405,16 +478,25 @@ SecureMemoryController::fetchSecondMeta(Addr fecb_addr, Tick now,
     // issue waits for the MECB chain to retire.
     trace::Breakdown fbd;
     Tick fecb_start = metaIssueSlots() >= 2 ? now : now + meta_lat;
-    Tick fecb_lat = fetchMetadata(fecb_addr, fecb_start, missed, &fbd);
+    Tick fecb_lat = fetchMetadata(fecb_addr, fecb_start, missed, &fbd,
+                                  fcp);
     Tick fecb_done = fecb_start + fecb_lat;
     Tick span = std::max(meta_lat, fecb_done - now);
     bookOverlap(is_read, meta_lat + fecb_lat - span);
+    if (prof_ && fecb_start > now)
+        prof_->resourceStall(profile::Res::Mshr, fecb_start - now);
 
     // Attribute the critical chain only (hidden work is free), so the
     // breakdown keeps summing exactly to the returned span.
     if (fecb_done - now >= meta_lat) {
         mbd = fbd;
         mbd.ticks[trace::CounterFetch] += fecb_start - now;
+        if (mp) {
+            mp->fecbVisible = true;
+            mp->fecb.mshrWait = fecb_start - now;
+        }
+    } else if (mp) {
+        mp->mecbVisible = true;
     }
     return span;
 }
@@ -467,8 +549,21 @@ SecureMemoryController::auditRideAlong(bool is_read, bool blocking,
             return;
         Tick hidden = std::min(total, flush_lat);
         if (flush_lat > total) {
-            bd.ticks[trace::Writeback] += flush_lat - total;
+            Tick visible = flush_lat - total;
+            bd.ticks[trace::Writeback] += visible;
             total = flush_lat;
+            if (prof_) {
+                // The visible tail of the flush chain: its critical
+                // line's bank queueing, capped to what the request
+                // actually saw, the rest is drain service.
+                Tick vis_bank = std::min(audit_->lastFlushBankWait(),
+                                         visible);
+                prof_->book(profile::ReqClass::AuditCls,
+                            profile::WaitKind::Bank, vis_bank);
+                prof_->book(profile::ReqClass::AuditCls,
+                            profile::WaitKind::Service,
+                            visible - vis_bank);
+            }
         }
         if (hidden) {
             overlapTicks_ += hidden;
@@ -483,6 +578,15 @@ SecureMemoryController::auditRideAlong(bool is_read, bool blocking,
         if (flush_lat) {
             bd.ticks[trace::Writeback] += flush_lat;
             total += flush_lat;
+            if (prof_) {
+                Tick bank_w = std::min(audit_->lastFlushBankWait(),
+                                       flush_lat);
+                prof_->book(profile::ReqClass::AuditCls,
+                            profile::WaitKind::Bank, bank_w);
+                prof_->book(profile::ReqClass::AuditCls,
+                            profile::WaitKind::Service,
+                            flush_lat - bank_w);
+            }
         }
     }
 }
@@ -515,6 +619,8 @@ SecureMemoryController::readLine(Addr full_addr, Tick now,
         trace_->append({TraceRecord::Kind::Read, full_addr, 0, 0});
     if (tracer_)
         tracer_->setTime(now);
+    if (prof_)
+        prof_->beginRequest();
 
     MemRequest dreq;
     dreq.paddr = full_addr;
@@ -522,7 +628,17 @@ SecureMemoryController::readLine(Addr full_addr, Tick now,
     dreq.cls = TrafficClass::Data;
 
     if (!cfg_.hasMemoryEncryption()) {
-        Tick lat = device_.access(dreq, now);
+        Completion dc = device_.submit(dreq, now);
+        Tick lat = dc.latency();
+        if (prof_) {
+            prof_->resourceArrival(profile::Res::NvmBanks,
+                                   lat - dc.bankWait, dc.bankWait);
+            prof_->book(profile::ReqClass::Data,
+                        profile::WaitKind::Bank, dc.bankWait);
+            prof_->book(profile::ReqClass::Data,
+                        profile::WaitKind::Service,
+                        lat - dc.bankWait);
+        }
         if (plain_out)
             device_.readLine(line, plain_out);
         ++dataReads_;
@@ -542,7 +658,9 @@ SecureMemoryController::readLine(Addr full_addr, Tick now,
     // Counter fetch (and FECB for DAX lines) through the metadata
     // cache; the data-array read proceeds in parallel.
     trace::Breakdown mbd;
-    Tick meta_lat = fetchMetadata(mecb_addr, now, nullptr, &mbd);
+    MetaPhaseProfile mp;
+    Tick meta_lat = fetchMetadata(mecb_addr, now, nullptr, &mbd,
+                                  prof_ ? &mp.mecb : nullptr);
     Tick pad_lat = cfg_.sec.aesLatency;
 
     Mecb mecb = counters_->mecb(mecb_addr);
@@ -554,7 +672,8 @@ SecureMemoryController::readLine(Addr full_addr, Tick now,
         Addr fecb_addr = layout_.fecbAddr(line);
         bool fecb_missed = false;
         meta_lat = fetchSecondMeta(fecb_addr, now, meta_lat, mbd,
-                                   &fecb_missed, /*is_read=*/true);
+                                   &fecb_missed, /*is_read=*/true,
+                                   prof_ ? &mp : nullptr);
         fecb = counters_->fecb(fecb_addr);
         if (fileBytesCtr_ && (fecb.groupId | fecb.fileId))
             fileBytesCtr_->add(fileLabel(fecb.groupId, fecb.fileId),
@@ -582,7 +701,11 @@ SecureMemoryController::readLine(Addr full_addr, Tick now,
         }
     }
 
-    Tick data_lat = device_.access(dreq, now);
+    Completion dc = device_.submit(dreq, now);
+    Tick data_lat = dc.latency();
+    if (prof_)
+        prof_->resourceArrival(profile::Res::NvmBanks,
+                               data_lat - dc.bankWait, dc.bankWait);
 
     // Functional decryption of the stored ciphertext.
     std::uint8_t buf[blockSize];
@@ -608,12 +731,35 @@ SecureMemoryController::readLine(Addr full_addr, Tick now,
     trace::Breakdown bd;
     if (data_lat >= meta_lat + pad_lat) {
         bd.ticks[trace::NvmAccess] = data_lat;
+        if (prof_) {
+            prof_->book(profile::ReqClass::Data,
+                        profile::WaitKind::Bank, dc.bankWait);
+            prof_->book(profile::ReqClass::Data,
+                        profile::WaitKind::Service,
+                        data_lat - dc.bankWait);
+        }
     } else {
         bd = mbd; // counter_fetch + merkle_verify == meta_lat
         bd.ticks[trace::OttLookup] += pad_lat - cfg_.sec.aesLatency;
         bd.ticks[trace::PadGen] += cfg_.sec.aesLatency;
+        if (prof_) {
+            if (!dax)
+                mp.mecbVisible = true;
+            mp.bookInto(*prof_);
+            // The serialized OTT share of the pad resolves the FECB's
+            // file key; the AES itself is data-path service.
+            prof_->book(profile::ReqClass::Fecb,
+                        profile::WaitKind::Service,
+                        pad_lat - cfg_.sec.aesLatency);
+            prof_->book(profile::ReqClass::Data,
+                        profile::WaitKind::Service,
+                        cfg_.sec.aesLatency);
+        }
     }
     bd.ticks[trace::PadGen] += xor_lat;
+    if (prof_)
+        prof_->book(profile::ReqClass::Data,
+                    profile::WaitKind::Service, xor_lat);
     if (audit_ && dax)
         auditRideAlong(/*is_read=*/true, /*blocking=*/false, full_addr,
                        fecb, now, total, bd);
@@ -635,6 +781,8 @@ SecureMemoryController::writeLine(Addr full_addr,
                         full_addr, 0, 0});
     if (tracer_)
         tracer_->setTime(now);
+    if (prof_)
+        prof_->beginRequest();
 
     MemRequest dreq;
     dreq.paddr = full_addr;
@@ -643,11 +791,22 @@ SecureMemoryController::writeLine(Addr full_addr,
 
     if (!cfg_.hasMemoryEncryption()) {
         device_.writeLine(line, plain);
-        Tick dev_lat = device_.access(dreq, now); // bank occupancy
+        Completion dc = device_.submit(dreq, now); // bank occupancy
+        Tick dev_lat = dc.latency();
+        if (prof_)
+            prof_->resourceArrival(profile::Res::NvmBanks,
+                                   dev_lat - dc.bankWait, dc.bankWait);
         // ADR: accept into the WPQ is durability for all schemes, but
         // a full queue backpressures at the device drain rate.
-        Tick lat = cfg_.pcm.writeAcceptLatency +
-                   wpqAccept(now, now + dev_lat);
+        Tick wpq_stall = wpqAccept(now, now + dev_lat);
+        Tick lat = cfg_.pcm.writeAcceptLatency + wpq_stall;
+        if (prof_) {
+            prof_->book(profile::ReqClass::Data,
+                        profile::WaitKind::Wpq, wpq_stall);
+            prof_->book(profile::ReqClass::Data,
+                        profile::WaitKind::Service,
+                        cfg_.pcm.writeAcceptLatency);
+        }
         ++dataWrites_;
         trace::Breakdown bd;
         bd.ticks[trace::Writeback] = lat;
@@ -665,10 +824,13 @@ SecureMemoryController::writeLine(Addr full_addr,
 
     bool meta_missed = false;
     trace::Breakdown mbd;
-    Tick meta_lat = fetchMetadata(mecb_addr, now, &meta_missed, &mbd);
+    MetaPhaseProfile mp;
+    Tick meta_lat = fetchMetadata(mecb_addr, now, &meta_missed, &mbd,
+                                  prof_ ? &mp.mecb : nullptr);
     if (dax)
         meta_lat = fetchSecondMeta(fecb_addr, now, meta_lat, mbd,
-                                   &meta_missed, /*is_read=*/false);
+                                   &meta_missed, /*is_read=*/false,
+                                   prof_ ? &mp : nullptr);
 
     // Copy-mutate-install: references into the CounterStore can be
     // invalidated by nested metadata-cache evictions.
@@ -782,13 +944,27 @@ SecureMemoryController::writeLine(Addr full_addr,
         }
     }
 
-    Tick dev_lat = device_.access(dreq, now + meta_lat + pad_lat);
+    Completion dc = device_.submit(dreq, now + meta_lat + pad_lat);
+    Tick dev_lat = dc.latency();
+    if (prof_)
+        prof_->resourceArrival(profile::Res::NvmBanks,
+                               dev_lat - dc.bankWait, dc.bankWait);
     // The write occupies a WPQ slot until the pad is ready and the
     // cell write drains; a full queue stalls the accept.
     Tick completion = now + meta_lat + pad_lat + dev_lat;
-    Tick accept_lat =
-        cfg_.pcm.writeAcceptLatency + wpqAccept(now, completion);
+    Tick wpq_stall = wpqAccept(now, completion);
+    Tick accept_lat = cfg_.pcm.writeAcceptLatency + wpq_stall;
     Tick lat = accept_lat + reencrypt_lat;
+    if (prof_) {
+        prof_->book(profile::ReqClass::Data, profile::WaitKind::Wpq,
+                    wpq_stall);
+        prof_->book(profile::ReqClass::Data,
+                    profile::WaitKind::Service,
+                    cfg_.pcm.writeAcceptLatency);
+        // Page re-encryption is a serial burst of data-array traffic.
+        prof_->book(profile::ReqClass::Data,
+                    profile::WaitKind::Service, reencrypt_lat);
+    }
     trace::Breakdown bd;
     bd.ticks[trace::Writeback] = accept_lat;
     // Page re-encryption is a burst of data-array reads and writes.
@@ -800,6 +976,11 @@ SecureMemoryController::writeLine(Addr full_addr,
         // the accept itself.
         lat += meta_lat;
         bd += mbd; // counter_fetch + merkle_verify == meta_lat
+        if (prof_) {
+            if (!dax)
+                mp.mecbVisible = true;
+            mp.bookInto(*prof_);
+        }
     }
     if (audit_ && dax)
         auditRideAlong(/*is_read=*/false, blocking, full_addr, fecb,

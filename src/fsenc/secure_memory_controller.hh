@@ -27,6 +27,7 @@
 
 #include "cache/cache.hh"
 #include "common/config.hh"
+#include "common/profile.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
@@ -433,6 +434,15 @@ class SecureMemoryController
         return attrHists_.at(c);
     }
 
+    /**
+     * The contention profiler, nullptr unless cfg.profile (see
+     * docs/ARCHITECTURE.md, "Contention profiling"). The accessor
+     * first syncs the nvm_banks resource row from the device's own
+     * occupancy counters, so call it when emitting a report rather
+     * than caching the pointer mid-run.
+     */
+    profile::Profiler *profiler();
+
     /// @}
 
   private:
@@ -445,11 +455,40 @@ class SecureMemoryController
      *        (counter_fetch for the leaf, merkle_verify for the
      *        Bonsai ancestor walk); the attributed ticks sum to the
      *        returned latency
+     * @param cp if non-null, the chain's wait/service decomposition
+     *        (leaf + walk bank waits, walk span, total) for the
+     *        contention profiler; cp->total equals the returned
+     *        latency
      * @return latency
      */
     Tick fetchMetadata(Addr meta_addr, Tick now,
                        bool *missed = nullptr,
-                       trace::Breakdown *bd = nullptr);
+                       trace::Breakdown *bd = nullptr,
+                       profile::ChainProfile *cp = nullptr);
+
+    /**
+     * Profile of one request's metadata phase: the MECB and FECB
+     * chains plus which of them ended up visible on the critical
+     * path (a chain fully hidden by banked overlap books nothing).
+     * The visible chains' booked ticks sum exactly to the metadata
+     * span the request saw.
+     */
+    struct MetaPhaseProfile
+    {
+        profile::ChainProfile mecb;
+        profile::ChainProfile fecb;
+        bool mecbVisible = false;
+        bool fecbVisible = false;
+
+        void
+        bookInto(profile::Profiler &prof) const
+        {
+            if (mecbVisible)
+                prof.bookChain(profile::ReqClass::Mecb, mecb);
+            if (fecbVisible)
+                prof.bookChain(profile::ReqClass::Fecb, fecb);
+        }
+    };
 
     /** Banked mode is on: the controller may keep more than one
      *  request chain in flight over the device. */
@@ -480,11 +519,14 @@ class SecureMemoryController
      *
      * @param now when the access (and the MECB chain) started
      * @param meta_lat latency of the completed MECB chain
+     * @param mp if non-null, receives the FECB chain profile and the
+     *        visibility flags of both chains (mp->mecb must already
+     *        hold the MECB chain from the first fetchMetadata)
      * @return combined metadata span from @p now
      */
     Tick fetchSecondMeta(Addr fecb_addr, Tick now, Tick meta_lat,
                          trace::Breakdown &mbd, bool *missed,
-                         bool is_read);
+                         bool is_read, MetaPhaseProfile *mp = nullptr);
 
     /** Book ticks hidden by chain overlap (no-op for 0). */
     void bookOverlap(bool is_read, Tick hidden);
@@ -678,6 +720,9 @@ class SecureMemoryController
     std::unique_ptr<MetadataCache> metaCache_;
     std::unique_ptr<OpenTunnelTable> ott_;
     std::unique_ptr<AuditLog> audit_;
+    /** Contention profiler (null unless cfg.profile; observation
+     *  only — the datapath never reads it back). */
+    std::unique_ptr<profile::Profiler> prof_;
     OsirisRecovery osiris_;
 
     /** Core id of the request currently in submit() (0 otherwise). */

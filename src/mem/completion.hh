@@ -33,6 +33,10 @@ struct Completion
     unsigned bank = 0;
     /** Row-buffer hit in that bank (device completions only). */
     bool rowHit = false;
+    /** Ticks the request queued on a busy bank before service began
+     *  (device completions only; latency() = bankWait + service). The
+     *  contention profiler splits wait from service with this. */
+    Tick bankWait = 0;
     /** Per-component attribution; sums exactly to latency(). */
     trace::Breakdown breakdown;
 

@@ -114,6 +114,7 @@ NvmDevice::submit(const MemRequest &req, Tick now)
     // busy bank.
     bankBusyTicks_ += bank.busyUntil - start;
     bankWaitTicks_ += start - now;
+    classWaitTicks_[static_cast<int>(req.cls)] += start - now;
     if (bankBusyCtr_)
         bankBusyCtr_->add(static_cast<std::uint64_t>(bank_idx),
                           bank.busyUntil - start);
@@ -134,6 +135,7 @@ NvmDevice::submit(const MemRequest &req, Tick now)
     c.finish = done;
     c.bank = bank_idx;
     c.rowHit = row_hit;
+    c.bankWait = start - now;
     c.breakdown.ticks[trace::NvmAccess] = latency;
     return c;
 }

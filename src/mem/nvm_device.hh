@@ -156,6 +156,14 @@ class NvmDevice
         return classReads_[static_cast<int>(c)].value();
     }
 
+    /** Per-traffic-class bank-wait ticks. Always accumulated (plain
+     *  counters, never registered in the stat tree) so the contention
+     *  profiler can read them without perturbing report bytes. */
+    std::uint64_t waitTicksByClass(TrafficClass c) const
+    {
+        return classWaitTicks_[static_cast<int>(c)];
+    }
+
     void resetStats();
 
   private:
@@ -191,6 +199,9 @@ class NvmDevice
     stats::Scalar bankWaitTicks_;
     stats::Scalar classReads_[5];
     stats::Scalar classWrites_[5];
+    /** Bank-wait ticks per traffic class (plain counters: cheap,
+     *  unregistered, so the stat dump stays byte-identical). */
+    std::uint64_t classWaitTicks_[5] = {};
     stats::Histogram latency_;
 };
 

@@ -3,6 +3,7 @@
 #include "common/bitfield.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
+#include "common/profile.hh"
 
 namespace fsencr {
 
@@ -99,6 +100,9 @@ MetadataCache::access(Addr meta_addr, bool is_write)
 {
     CacheAccessResult res = cacheFor(meta_addr).access(meta_addr,
                                                        is_write);
+    if (prof_)
+        prof_->resourceArrival(profile::Res::MetaCache,
+                               profLookupTicks_);
     if (accessCtr_) {
         static const char *const kinds[3] = {"mecb", "fecb", "merkle"};
         const char *kind = kinds[partitionOf(meta_addr)];

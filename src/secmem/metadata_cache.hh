@@ -27,6 +27,10 @@ class Registry;
 class LabeledCounter;
 } // namespace metrics
 
+namespace profile {
+class Profiler;
+} // namespace profile
+
 /** Unified or partitioned metadata cache. */
 class MetadataCache
 {
@@ -77,6 +81,17 @@ class MetadataCache
      *  mecb/fecb/merkle (nullptr disables). */
     void setMetrics(metrics::Registry *metrics);
 
+    /** Attach the contention profiler (nullptr disables): each lookup
+     *  becomes a metacache resource arrival. This cache has no clock
+     *  of its own, so the controller passes the per-lookup tick cost
+     *  in as the residence time. Observation only. */
+    void
+    setProfiler(profile::Profiler *prof, Tick lookup_ticks)
+    {
+        prof_ = prof;
+        profLookupTicks_ = lookup_ticks;
+    }
+
   private:
     /** Partition index for an address: 0 MECB, 1 FECB, 2 Merkle. */
     unsigned partitionOf(Addr meta_addr) const;
@@ -94,6 +109,8 @@ class MetadataCache
     trace::Tracer *tracer_ = nullptr;
     metrics::LabeledCounter *accessCtr_ = nullptr;
     metrics::LabeledCounter *missCtr_ = nullptr;
+    profile::Profiler *prof_ = nullptr;
+    Tick profLookupTicks_ = 0;
 };
 
 } // namespace fsencr

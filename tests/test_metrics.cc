@@ -201,6 +201,46 @@ TEST(Sampler, EvictionRebalancePreservesFamilyTotal)
     EXPECT_EQ(fam.total(), 35u);
 }
 
+TEST(Sampler, CsvQuotesLabelsWithCommasAndQuotes)
+{
+    metrics::Registry reg;
+    metrics::LabeledCounter &fam = reg.counter("file.bytes", "file", 8);
+    metrics::Sampler s(reg, 10, 0);
+    fam.add("plain", 1);
+    fam.add("a,b.log", 2);          // comma shifts columns unquoted
+    fam.add("say \"hi\"", 3);       // quotes must be doubled
+    s.finish(20);
+
+    std::ostringstream os;
+    metrics::writeCsv(os, s);
+    std::string csv = os.str();
+
+    // RFC 4180: fields with separators are quoted, inner quotes
+    // doubled, plain fields untouched.
+    EXPECT_NE(csv.find("file.bytes{file=plain}"), std::string::npos);
+    EXPECT_NE(csv.find("\"file.bytes{file=a,b.log}\""),
+              std::string::npos);
+    EXPECT_NE(csv.find("\"file.bytes{file=say \"\"hi\"\"}\""),
+              std::string::npos);
+
+    // Every data row still has exactly 4 columns when parsed with a
+    // quote-aware reader (the regression: a naive writer emitted 5).
+    std::istringstream is(csv);
+    std::string line;
+    std::getline(is, line); // header
+    while (std::getline(is, line)) {
+        unsigned fields = 1;
+        bool quoted = false;
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            if (line[i] == '"')
+                quoted = !quoted;
+            else if (line[i] == ',' && !quoted)
+                ++fields;
+        }
+        EXPECT_EQ(fields, 4u) << line;
+    }
+}
+
 // ---------------------------------------------------------------------
 // Log2 histograms
 // ---------------------------------------------------------------------

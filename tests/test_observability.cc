@@ -198,6 +198,44 @@ TEST(Tracer, ExportIsValidJson)
     EXPECT_EQ(other->find("emitted")->asU64(), 3u);
 }
 
+TEST(Tracer, WrappedExportCarriesDroppedSpansMarker)
+{
+    trace::Tracer t(4);
+    for (std::uint64_t i = 0; i < 7; ++i)
+        t.instant("ev", "test", 1000 + i * 100, i);
+    ASSERT_EQ(t.dropped(), 3u);
+
+    std::ostringstream os;
+    t.exportJson(os);
+    json::Value doc;
+    ASSERT_TRUE(json::parse(os.str(), doc)) << os.str();
+    const json::Value *evs = doc.find("traceEvents");
+    ASSERT_NE(evs, nullptr);
+    // 4 surviving events plus the synthetic truncation marker.
+    ASSERT_EQ(evs->array.size(), 5u);
+    const json::Value &marker = evs->array[0];
+    EXPECT_EQ(marker.find("name")->str, "dropped_spans");
+    EXPECT_EQ(marker.find("cat")->str, "tracer");
+    EXPECT_EQ(marker.find("ph")->str, "i");
+    EXPECT_EQ(marker.find("args")->find("v")->asU64(), 3u);
+    // Anchored at the oldest retained timestamp so the viewer shows
+    // the truncation point, not time zero.
+    EXPECT_EQ(marker.find("ts")->asU64(),
+              evs->array[1].find("ts")->asU64());
+}
+
+TEST(Tracer, UnwrappedExportHasNoMarker)
+{
+    trace::Tracer t(8);
+    t.instant("ev", "test", 100, 1);
+    std::ostringstream os;
+    t.exportJson(os);
+    EXPECT_EQ(os.str().find("dropped_spans"), std::string::npos);
+    json::Value doc;
+    ASSERT_TRUE(json::parse(os.str(), doc));
+    EXPECT_EQ(doc.find("traceEvents")->array.size(), 1u);
+}
+
 TEST(Tracer, ExportImportRoundTrip)
 {
     trace::Tracer t(32);

@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Contention-profiler tests: --profile must be observation only
+ * (ticks and NVM traffic bit-identical to an unprofiled run), the
+ * per-request critical-path buckets must sum tick-exactly to every
+ * end-to-end latency, the aggregates must be deterministic across
+ * reruns, and degenerate configurations must pin the expected
+ * buckets to zero (banks=1 => no MSHR wait, no overlap).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bench/harness.hh"
+#include "common/compare.hh"
+#include "common/json.hh"
+#include "common/profile.hh"
+#include "common/report.hh"
+#include "sim/system.hh"
+#include "workloads/dax_micro.hh"
+#include "workloads/pmemkv_bench.hh"
+#include "workloads/workload.hh"
+
+using namespace fsencr;
+using profile::Profiler;
+using profile::ReqClass;
+using profile::Res;
+using profile::WaitKind;
+
+namespace {
+
+SimConfig
+profiledConfig(unsigned banks = 4, unsigned mshrs = 8)
+{
+    SimConfig cfg;
+    cfg.scheme = Scheme::FsEncr;
+    cfg.pcm.mcBanks = banks;
+    cfg.pcm.mcMshrs = mshrs;
+    cfg.profile = true;
+    return cfg;
+}
+
+workloads::WorkloadResult
+runFill(System &sys, unsigned ops = 512)
+{
+    workloads::PmemkvConfig kv;
+    kv.op = workloads::PmemkvOp::FillRandom;
+    kv.numKeys = 256;
+    kv.numOps = ops;
+    kv.valueBytes = 64;
+    workloads::PmemkvWorkload w(kv);
+    return workloads::runWorkload(sys, w);
+}
+
+Tick
+classTotal(const Profiler &p, ReqClass c)
+{
+    Tick sum = 0;
+    for (unsigned k = 0; k < profile::numKinds; ++k)
+        sum += p.classTicks(c, static_cast<WaitKind>(k));
+    return sum;
+}
+
+std::string
+profileJson(const Profiler &p, Tick span)
+{
+    std::ostringstream os;
+    {
+        report::JsonWriter w(os);
+        w.beginObject();
+        report::writeProfileSection(w, p, span);
+        w.endObject();
+    }
+    return os.str();
+}
+
+} // namespace
+
+TEST(Profile, OffMeansNoProfilerAttached)
+{
+    SimConfig cfg = profiledConfig();
+    cfg.profile = false;
+    System sys(cfg);
+    EXPECT_EQ(sys.mc().profiler(), nullptr);
+}
+
+TEST(Profile, ObservationOnlyTicksAndTrafficIdentical)
+{
+    SimConfig on_cfg = profiledConfig();
+    SimConfig off_cfg = on_cfg;
+    off_cfg.profile = false;
+
+    System on(on_cfg), off(off_cfg);
+    workloads::WorkloadResult ron = runFill(on);
+    workloads::WorkloadResult roff = runFill(off);
+
+    EXPECT_EQ(ron.ticks, roff.ticks);
+    EXPECT_EQ(ron.nvmReads, roff.nvmReads);
+    EXPECT_EQ(ron.nvmWrites, roff.nvmWrites);
+    EXPECT_EQ(ron.operations, roff.operations);
+    ASSERT_NE(on.mc().profiler(), nullptr);
+    EXPECT_GT(on.mc().profiler()->requests(), 0u);
+}
+
+TEST(Profile, WaitPlusServiceReconcilesTickExactly)
+{
+    SimConfig cfg = profiledConfig();
+    System sys(cfg);
+    runFill(sys);
+
+    const Profiler *p = sys.mc().profiler();
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->identityViolations(), 0u);
+
+    // Every booked tick of every class sums to the end-to-end latency
+    // the controller measured — the per-request identity, aggregated.
+    Tick sum = 0;
+    for (unsigned c = 0; c < profile::numClasses; ++c)
+        sum += classTotal(*p, static_cast<ReqClass>(c));
+    EXPECT_EQ(sum, p->totalLatency());
+
+    // Blocker counts partition the requests.
+    std::uint64_t blockers = 0;
+    for (unsigned k = 0; k < profile::numKinds; ++k)
+        blockers += p->blockerCount(static_cast<WaitKind>(k));
+    EXPECT_EQ(blockers, p->requests());
+}
+
+TEST(Profile, SerialChainsReconcileToo)
+{
+    // banks=1 exercises the serial fetchSecondMeta path where both
+    // chains are visible end to end.
+    SimConfig cfg = profiledConfig(/*banks=*/1);
+    System sys(cfg);
+    runFill(sys);
+
+    const Profiler *p = sys.mc().profiler();
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->identityViolations(), 0u);
+    Tick sum = 0;
+    for (unsigned c = 0; c < profile::numClasses; ++c)
+        sum += classTotal(*p, static_cast<ReqClass>(c));
+    EXPECT_EQ(sum, p->totalLatency());
+}
+
+TEST(Profile, DeterministicAcrossReruns)
+{
+    SimConfig cfg = profiledConfig();
+    System a(cfg), b(cfg);
+    workloads::WorkloadResult ra = runFill(a);
+    workloads::WorkloadResult rb = runFill(b);
+    ASSERT_EQ(ra.ticks, rb.ticks);
+
+    const Profiler *pa = a.mc().profiler();
+    const Profiler *pb = b.mc().profiler();
+    ASSERT_NE(pa, nullptr);
+    ASSERT_NE(pb, nullptr);
+
+    // The rendered section — every class bucket, histogram, blocker
+    // count, resource row and projection — must match byte for byte.
+    EXPECT_EQ(profileJson(*pa, ra.ticks), profileJson(*pb, rb.ticks));
+}
+
+TEST(Profile, SingleBankHasNoMshrWaitAndNoOverlap)
+{
+    SimConfig cfg = profiledConfig(/*banks=*/1);
+    System sys(cfg);
+    runFill(sys);
+
+    const Profiler *p = sys.mc().profiler();
+    ASSERT_NE(p, nullptr);
+    // The serial model issues one chain at a time: nothing ever waits
+    // for an issue slot, and no serial ticks are hidden by overlap.
+    EXPECT_EQ(p->kindTicks(WaitKind::Mshr), 0u);
+    EXPECT_EQ(sys.mc().overlapTicks(), 0u);
+}
+
+TEST(Profile, BankedAuditChainSeesBankWait)
+{
+    SimConfig cfg = profiledConfig(/*banks=*/4);
+    cfg.sec.auditEnabled = true;
+    System sys(cfg);
+    workloads::DaxMicroConfig c;
+    c.kind = workloads::DaxMicroKind::Dax2;
+    c.spanBytes = 256 << 10;
+    workloads::DaxMicroWorkload w(c);
+    workloads::runWorkload(sys, w);
+
+    const Profiler *p = sys.mc().profiler();
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->identityViolations(), 0u);
+    // Audit WCB drains burst consecutive lines into the same banks:
+    // with the banked device some of the visible flush latency must
+    // be queueing, not service.
+    EXPECT_GT(classTotal(*p, ReqClass::AuditCls), 0u);
+    EXPECT_GT(p->classTicks(ReqClass::AuditCls, WaitKind::Bank), 0u);
+    EXPECT_GT(p->resource(Res::AuditWcb).arrivals, 0u);
+}
+
+TEST(Profile, LittlesLawRowsArePopulated)
+{
+    SimConfig cfg = profiledConfig();
+    System sys(cfg);
+    workloads::WorkloadResult r = runFill(sys);
+
+    const Profiler *p = sys.mc().profiler();
+    ASSERT_NE(p, nullptr);
+    const profile::Resource &ott = p->resource(Res::Ott);
+    const profile::Resource &meta = p->resource(Res::MetaCache);
+    EXPECT_GT(ott.arrivals, 0u);
+    EXPECT_GT(ott.occupancy, 0u);
+    EXPECT_GT(meta.arrivals, 0u);
+
+    // The NVM-bank row is synced from the device's own authoritative
+    // accounting by the profiler() accessor; the device also counts
+    // metadata and audit traffic the workload totals don't include.
+    const profile::Resource &banks = p->resource(Res::NvmBanks);
+    EXPECT_GE(banks.arrivals, r.nvmReads + r.nvmWrites);
+    EXPECT_GT(banks.occupancy, 0u);
+    EXPECT_GE(banks.capacity, 1u);
+}
+
+TEST(Profile, AmdahlProjectionIsConsistent)
+{
+    SimConfig cfg = profiledConfig(/*banks=*/1);
+    System sys(cfg);
+    runFill(sys);
+
+    const Profiler *p = sys.mc().profiler();
+    ASSERT_NE(p, nullptr);
+    double s = p->serialFraction();
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+    for (unsigned n : profile::amdahlShards) {
+        double predicted = p->projectedSpeedup(n);
+        EXPECT_DOUBLE_EQ(predicted, 1.0 / (s + (1.0 - s) / n));
+        EXPECT_GE(predicted, 1.0);
+        EXPECT_LE(predicted, static_cast<double>(n) + 1e-9);
+    }
+}
+
+TEST(Profile, RankedBottlenecksAreSortedAndComplete)
+{
+    SimConfig cfg = profiledConfig();
+    System sys(cfg);
+    runFill(sys);
+
+    const Profiler *p = sys.mc().profiler();
+    ASSERT_NE(p, nullptr);
+    std::vector<profile::Bottleneck> table = p->bottlenecks();
+    ASSERT_EQ(table.size(), profile::numKinds - 1);
+    Tick waits = 0;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        if (i)
+            EXPECT_LE(table[i].waitTicks, table[i - 1].waitTicks);
+        EXPECT_NE(table[i].kind, WaitKind::Service);
+        waits += table[i].waitTicks;
+    }
+    Tick class_waits = 0;
+    for (unsigned c = 0; c < profile::numClasses; ++c)
+        class_waits +=
+            p->classWaitTicks(static_cast<ReqClass>(c));
+    EXPECT_EQ(waits, class_waits);
+}
+
+TEST(Profile, BenchCellsCarryProfileSnapshots)
+{
+    SimConfig cfg = profiledConfig();
+    workloads::PmemkvConfig kv;
+    kv.op = workloads::PmemkvOp::FillRandom;
+    kv.numKeys = 128;
+    kv.numOps = 128;
+    kv.valueBytes = 64;
+    bench::BenchRow row = bench::runRow(
+        "kv",
+        [kv]() {
+            return std::make_unique<workloads::PmemkvWorkload>(kv);
+        },
+        {Scheme::FsEncr}, cfg);
+    ASSERT_EQ(row.cells.size(), 1u);
+    const bench::Cell &cell = row.cells.begin()->second;
+    ASSERT_NE(cell.profile, nullptr);
+    EXPECT_GT(cell.profile->requests(), 0u);
+    EXPECT_EQ(cell.profile->identityViolations(), 0u);
+
+    cfg.profile = false;
+    bench::BenchRow off = bench::runRow(
+        "kv",
+        [kv]() {
+            return std::make_unique<workloads::PmemkvWorkload>(kv);
+        },
+        {Scheme::FsEncr}, cfg);
+    EXPECT_EQ(off.cells.begin()->second.profile, nullptr);
+}
+
+// ---------------------------------------------------------------------
+// fsencr-compare integration: profiled sections gate, one-sided
+// sections are structural errors
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string
+profiledReportJson(Tick service)
+{
+    std::ostringstream os;
+    os << "{\"schema\": \"fsencr-run-report\", \"version\": 3, "
+          "\"result\": {\"ticks\": 1000, \"nvm_reads\": 10, "
+          "\"nvm_writes\": 20}, "
+          "\"profile\": {\"requests\": 4, \"total_latency\": "
+       << service + 100
+       << ", \"identity_violations\": 0, \"classes\": {\"Data\": "
+          "{\"service\": "
+       << service
+       << ", \"wait_bank\": 100, \"wait_total\": 100}}, "
+          "\"amdahl\": {\"serial_fraction\": 0.25}}}";
+    return os.str();
+}
+
+std::string
+plainReportJson()
+{
+    return "{\"schema\": \"fsencr-run-report\", \"version\": 2, "
+           "\"result\": {\"ticks\": 1000, \"nvm_reads\": 10, "
+           "\"nvm_writes\": 20}}";
+}
+
+compare::Result
+compareStrings(const std::string &base, const std::string &cur,
+               const compare::Options &opt = {})
+{
+    json::Value b, c;
+    EXPECT_TRUE(json::parse(base, b));
+    EXPECT_TRUE(json::parse(cur, c));
+    return compare::compareReports(b, c, opt);
+}
+
+} // namespace
+
+TEST(ProfileCompare, IdenticalProfiledReportsAreClean)
+{
+    compare::Options strict;
+    strict.relTolerance = 0.0;
+    compare::Result r = compareStrings(profiledReportJson(900),
+                                       profiledReportJson(900), strict);
+    EXPECT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.regressed, 0u);
+}
+
+TEST(ProfileCompare, ServiceGrowthRegresses)
+{
+    compare::Result r =
+        compareStrings(profiledReportJson(900), profiledReportJson(1200));
+    EXPECT_EQ(compare::exitCodeFor(r), 1);
+    bool found = false;
+    for (const compare::Delta &d : r.deltas)
+        if (d.metric == "profile.Data.service" &&
+            d.status == compare::Status::Regressed)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(ProfileCompare, OneSidedProfileSectionIsStructuralError)
+{
+    compare::Result r =
+        compareStrings(profiledReportJson(900), plainReportJson());
+    EXPECT_FALSE(r.error.empty());
+    EXPECT_EQ(compare::exitCodeFor(r), 2);
+
+    compare::Result r2 =
+        compareStrings(plainReportJson(), profiledReportJson(900));
+    EXPECT_FALSE(r2.error.empty());
+}

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * fsencr-profile: offline analysis of contention-profiler output.
+ *
+ * Ingests a --profile run report (and optionally the matching
+ * --trace-events capture) and emits:
+ *
+ *  - the ranked bottleneck table, recomputed from the per-class wait
+ *    matrix and cross-checked against the report's own `bottlenecks`
+ *    array (a mismatch is a tool/report skew bug and fails the run);
+ *  - the Amdahl projection over the serialized-behind-Merkle-root
+ *    fraction;
+ *  - the top-N hottest files from the file.bytes{file} metric family;
+ *  - a flamegraph-compatible folded-stack file built from the trace
+ *    spans (`mc;read;counter_fetch <ticks>` per line, mergeable with
+ *    flamegraph.pl or speedscope).
+ *
+ * Exit codes: 0 ok, 1 ranking mismatch, 2 usage/input error.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/json.hh"
+#include "common/trace.hh"
+
+namespace {
+
+using fsencr::json::Value;
+
+bool
+loadJson(const std::string &path, Value &out)
+{
+    std::ifstream is(path);
+    if (!is) {
+        std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+        return false;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    if (!fsencr::json::parse(buf.str(), out) || !out.isObject()) {
+        std::fprintf(stderr, "cannot parse JSON in '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::uint64_t
+u64At(const Value &obj, const char *key)
+{
+    const Value *v = obj.find(key);
+    return v && v->isNumber() ? v->asU64() : 0;
+}
+
+/** One recomputed wait-kind total across all traffic classes. */
+struct KindTotal
+{
+    std::string kind; //!< report key (wait_bank, ...)
+    std::string name; //!< bottleneck resource name (bank, ...)
+    std::uint64_t ticks = 0;
+};
+
+/**
+ * Rebuild the bottleneck ranking from profile.classes: sum each wait
+ * kind over the classes, sort descending (ties keep the fixed kind
+ * order, matching the profiler's stable sort).
+ */
+std::vector<KindTotal>
+recomputeRanking(const Value &profile)
+{
+    static const std::pair<const char *, const char *> kinds[] = {
+        {"wait_bank", "bank"},
+        {"wait_mshr", "mshr"},
+        {"wait_merkle", "merkle"},
+        {"wait_wpq", "wpq"},
+    };
+    std::vector<KindTotal> totals;
+    for (const auto &[key, name] : kinds)
+        totals.push_back({key, name, 0});
+    if (const Value *classes = profile.find("classes"))
+        for (const auto &[cls, stats] : classes->object) {
+            (void)cls;
+            if (!stats.isObject())
+                continue;
+            for (KindTotal &t : totals)
+                t.ticks += u64At(stats, t.kind.c_str());
+        }
+    std::stable_sort(totals.begin(), totals.end(),
+                     [](const KindTotal &a, const KindTotal &b) {
+                         return a.ticks > b.ticks;
+                     });
+    return totals;
+}
+
+/** Check the report's bottlenecks array lists the same ranking. */
+bool
+rankingMatches(const Value &profile,
+               const std::vector<KindTotal> &totals)
+{
+    const Value *table = profile.find("bottlenecks");
+    if (!table || !table->isArray() ||
+        table->array.size() != totals.size())
+        return false;
+    for (std::size_t i = 0; i < totals.size(); ++i) {
+        const Value &row = table->array[i];
+        const Value *res = row.find("resource");
+        if (!res || !res->isString() || res->str != totals[i].name)
+            return false;
+        if (u64At(row, "wait_ticks") != totals[i].ticks)
+            return false;
+    }
+    return true;
+}
+
+void
+printProfile(const Value &profile)
+{
+    std::uint64_t total_lat = u64At(profile, "total_latency");
+    std::printf("requests        : %llu\n",
+                static_cast<unsigned long long>(
+                    u64At(profile, "requests")));
+    std::printf("span ticks      : %llu\n",
+                static_cast<unsigned long long>(
+                    u64At(profile, "span_ticks")));
+    std::printf("total latency   : %llu\n",
+                static_cast<unsigned long long>(total_lat));
+    std::printf("identity errors : %llu\n",
+                static_cast<unsigned long long>(
+                    u64At(profile, "identity_violations")));
+
+    if (const Value *classes = profile.find("classes")) {
+        std::printf("\n%-10s %16s %16s %16s %16s %16s\n", "class",
+                    "service", "wait_bank", "wait_mshr", "wait_merkle",
+                    "wait_wpq");
+        for (const auto &[cls, stats] : classes->object) {
+            if (!stats.isObject())
+                continue;
+            std::printf("%-10s %16llu %16llu %16llu %16llu %16llu\n",
+                        cls.c_str(),
+                        static_cast<unsigned long long>(
+                            u64At(stats, "service")),
+                        static_cast<unsigned long long>(
+                            u64At(stats, "wait_bank")),
+                        static_cast<unsigned long long>(
+                            u64At(stats, "wait_mshr")),
+                        static_cast<unsigned long long>(
+                            u64At(stats, "wait_merkle")),
+                        static_cast<unsigned long long>(
+                            u64At(stats, "wait_wpq")));
+        }
+    }
+}
+
+void
+printRanking(const std::vector<KindTotal> &totals,
+             std::uint64_t total_lat)
+{
+    std::printf("\nbottleneck ranking (wait ticks, share of total "
+                "latency)\n");
+    unsigned rank = 1;
+    for (const KindTotal &t : totals) {
+        double share =
+            total_lat
+                ? static_cast<double>(t.ticks) /
+                      static_cast<double>(total_lat)
+                : 0.0;
+        std::printf("  %u. %-8s %16llu  %6.2f%%\n", rank++,
+                    t.name.c_str(),
+                    static_cast<unsigned long long>(t.ticks),
+                    100.0 * share);
+    }
+}
+
+void
+printAmdahl(const Value &profile)
+{
+    const Value *amdahl = profile.find("amdahl");
+    if (!amdahl || !amdahl->isObject())
+        return;
+    const Value *sf = amdahl->find("serial_fraction");
+    std::printf("\nAmdahl projection (serial fraction behind the "
+                "Merkle root: %.4f)\n",
+                sf && sf->isNumber() ? sf->number : 0.0);
+    if (const Value *speedup = amdahl->find("speedup"))
+        for (const auto &[shards, v] : speedup->object)
+            if (v.isNumber())
+                std::printf("  %2s shards: %.3fx\n", shards.c_str(),
+                            v.number);
+}
+
+void
+printHotFiles(const Value &report, unsigned top_n)
+{
+    const Value *metrics = report.find("metrics");
+    const Value *fam = metrics ? metrics->find("file.bytes") : nullptr;
+    const Value *values = fam ? fam->find("values") : nullptr;
+    if (!values || !values->isObject() || values->object.empty())
+        return;
+    std::vector<std::pair<std::string, std::uint64_t>> files;
+    for (const auto &[file, v] : values->object)
+        if (v.isNumber())
+            files.emplace_back(file, v.asU64());
+    std::stable_sort(files.begin(), files.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second > b.second;
+                     });
+    if (files.size() > top_n)
+        files.resize(top_n);
+    std::printf("\nhottest files (file.bytes{file})\n");
+    for (const auto &[file, bytes] : files)
+        std::printf("  %-20s %16llu bytes\n", file.c_str(),
+                    static_cast<unsigned long long>(bytes));
+}
+
+/**
+ * Fold the per-request attribution spans into flamegraph stacks.
+ *
+ * The controller emits one tid-0 "mc"-category request event per
+ * memory access, plus one "mc.attr" event per nonzero breakdown
+ * component at the *same timestamp*; that shared timestamp is the
+ * join key. Each component span becomes one three-frame stack
+ * `mc;<read|write>;<component>` weighted by its ticks.
+ */
+bool
+writeFoldedStacks(const std::string &trace_path,
+                  const std::string &out_path)
+{
+    fsencr::trace::Tracer tracer;
+    std::ifstream is(trace_path);
+    if (!is) {
+        std::fprintf(stderr, "cannot open '%s'\n", trace_path.c_str());
+        return false;
+    }
+    if (!tracer.importJson(is)) {
+        std::fprintf(stderr, "cannot parse trace events in '%s'\n",
+                     trace_path.c_str());
+        return false;
+    }
+
+    // ts -> request kind ("read"/"write") for the join below. A
+    // timestamp collision between two requests would merge their
+    // stacks; harmless for aggregation since the weights still add.
+    std::map<fsencr::Tick, std::string> request_at;
+    for (const fsencr::trace::Event &e : tracer.events())
+        if (std::string(e.cat) == "mc" && e.tid == 0)
+            request_at[e.ts] = e.name;
+
+    std::map<std::string, std::uint64_t> folded;
+    for (const fsencr::trace::Event &e : tracer.events()) {
+        if (std::string(e.cat) != "mc.attr")
+            continue;
+        auto it = request_at.find(e.ts);
+        std::string kind =
+            it == request_at.end() ? "unattributed" : it->second;
+        folded["mc;" + kind + ";" + e.name] += e.dur;
+    }
+
+    std::ofstream os(out_path);
+    if (!os) {
+        std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+        return false;
+    }
+    for (const auto &[stack, ticks] : folded)
+        os << stack << ' ' << ticks << '\n';
+    if (folded.empty())
+        std::fprintf(stderr,
+                     "warning: no mc.attr spans in '%s' (folded "
+                     "output is empty)\n",
+                     trace_path.c_str());
+    return os.good();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string report_path, trace_path, folded_path;
+    std::uint64_t top_n = 10;
+    fsencr::cli::Parser p("--report FILE [options]");
+    p.opt("--report", "FILE", "profiled run report (--profile run)",
+          &report_path)
+        .opt("--trace-events", "FILE",
+             "matching --trace-events capture (enables --folded)",
+             &trace_path)
+        .opt("--folded", "FILE",
+             "write flamegraph folded stacks from the trace spans",
+             &folded_path)
+        .optU64("--top", "N", "hottest files to list (default 10)",
+                &top_n);
+    if (p.parse(argc, argv) != 0)
+        return 2;
+    if (report_path.empty()) {
+        p.usage(stderr, argv[0]);
+        return 2;
+    }
+    if (!folded_path.empty() && trace_path.empty()) {
+        std::fprintf(stderr, "--folded needs --trace-events\n");
+        return 2;
+    }
+
+    Value report;
+    if (!loadJson(report_path, report))
+        return 2;
+    const Value *profile = report.find("profile");
+    if (!profile || !profile->isObject()) {
+        std::fprintf(stderr,
+                     "'%s' has no profile section (run with "
+                     "--profile)\n",
+                     report_path.c_str());
+        return 2;
+    }
+
+    printProfile(*profile);
+    std::vector<KindTotal> totals = recomputeRanking(*profile);
+    printRanking(totals, u64At(*profile, "total_latency"));
+    printAmdahl(*profile);
+    printHotFiles(report, static_cast<unsigned>(top_n));
+
+    if (!folded_path.empty() &&
+        !writeFoldedStacks(trace_path, folded_path))
+        return 2;
+
+    if (!rankingMatches(*profile, totals)) {
+        std::fprintf(stderr,
+                     "error: report bottleneck table does not match "
+                     "the ranking recomputed from profile.classes\n");
+        return 1;
+    }
+    return 0;
+}

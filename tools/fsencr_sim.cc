@@ -24,6 +24,7 @@
 
 #include "common/cli.hh"
 #include "common/metrics.hh"
+#include "common/profile.hh"
 #include "common/report.hh"
 #include "common/trace.hh"
 #include "cpu/mem_trace.hh"
@@ -61,6 +62,7 @@ struct Options
     unsigned mcBanks = 0;       //!< --mc-banks N (0 = config default)
     unsigned mcMshrs = 0;       //!< --mc-mshrs N (0 = config default)
     bool fastForward = false;   //!< --fast-forward (tick-exact batch)
+    bool profile = false;       //!< --profile (contention profiler)
     std::string auditFilter;    //!< --audit-filter SPEC ("" = off)
     PersistDomain persistDomain = PersistDomain::Adr;
     std::uint64_t backupFlushBudget = 0; //!< eADR lines (0 = unbounded)
@@ -203,6 +205,10 @@ parseArgs(int argc, char **argv, Options &opt)
               "collapse L1-hit runs into bulk clock updates "
               "(tick-exact; see docs/ARCHITECTURE.md)",
               &opt.fastForward)
+        .flag("--profile",
+              "contention profiler: queueing attribution + bottleneck "
+              "report section (observation only)",
+              &opt.profile)
         .custom("--audit-filter", "{off|all|G1,G2,...}",
                 "audit-log ride-along predicate (per GroupID)",
                 [&opt](const std::string &v) {
@@ -260,6 +266,7 @@ configFrom(const Options &opt)
     if (opt.mcMshrs)
         cfg.pcm.mcMshrs = opt.mcMshrs;
     cfg.fastForward = opt.fastForward;
+    cfg.profile = opt.profile;
     cfg.sec.persistDomain = opt.persistDomain;
     cfg.sec.backupFlushBudgetLines = opt.backupFlushBudget;
     if (!opt.auditFilter.empty() && opt.auditFilter != "off") {
@@ -331,6 +338,8 @@ writeConfig(report::JsonWriter &w, const Options &opt,
                 cfg.sec.backupFlushBudgetLines);
     if (cfg.sec.auditEnabled)
         w.field("audit_filter", auditFilterSpec(cfg.sec));
+    if (cfg.profile)
+        w.field("profile", true);
     w.endObject();
 }
 
@@ -347,14 +356,18 @@ writeRunReport(const std::string &path, const char *mode,
                const report::PersistStats &persist,
                const metrics::Sampler *sampler = nullptr,
                const metrics::Registry *metrics = nullptr,
-               const AuditLog *audit = nullptr)
+               const AuditLog *audit = nullptr,
+               const profile::Profiler *prof = nullptr)
 {
     std::ofstream os(path);
     if (!os)
         return false;
     report::JsonWriter w(os);
+    // v3 is emitted only when the profile section rides along, so
+    // profile-off reports stay byte-identical v2 documents.
     report::beginReport(w, report::runReportSchema,
-                        report::runReportVersion);
+                        prof ? report::runReportVersionProfiled
+                             : report::runReportVersion);
     w.field("mode", mode);
     writeConfig(w, opt, cfg);
     w.beginObject("result");
@@ -377,6 +390,8 @@ writeRunReport(const std::string &path, const char *mode,
     report::writePersistSection(w, persist);
     if (audit)
         report::writeAuditSection(w, cfg.sec, *audit);
+    if (prof)
+        report::writeProfileSection(w, *prof, r.ticks);
     w.rawField("stats", stats_json);
     w.endObject();
     return os.good();
@@ -428,6 +443,7 @@ simMain(int argc, char **argv)
         std::string stats_json, stats_text, latency_json;
         report::PersistStats persist;
         persist.domain = persistDomainName(cfg.sec.persistDomain);
+        std::unique_ptr<profile::Profiler> prof_snap;
         ReplayResult r = replayTrace(
             mt, cfg, tracer.get(),
             [&](SecureMemoryController &mc) {
@@ -437,6 +453,9 @@ simMain(int argc, char **argv)
                 persist.stopLossPersists = mc.stopLossPersists();
                 persist.backupFlushLines = mc.backupFlushLines();
                 persist.backupFlushDropped = mc.backupFlushDropped();
+                if (const profile::Profiler *p = mc.profiler())
+                    prof_snap =
+                        std::make_unique<profile::Profiler>(*p);
                 std::ostringstream os;
                 mc.statGroup().dump(os);
                 stats_text = os.str();
@@ -463,7 +482,8 @@ simMain(int argc, char **argv)
             wr.nvmWrites = r.nvmWrites;
             if (!writeRunReport(opt.reportOut, "replay", opt, cfg, wr,
                                 r.attribution, latency_json,
-                                stats_json, persist)) {
+                                stats_json, persist, nullptr, nullptr,
+                                nullptr, prof_snap.get())) {
                 std::fprintf(stderr, "cannot write report '%s'\n",
                              opt.reportOut.c_str());
                 return 1;
@@ -589,7 +609,8 @@ simMain(int argc, char **argv)
                             latencyJsonOf(sys.mc()),
                             statsJsonOf(sys.statGroup()),
                             persist, sampler.get(), metricsReg.get(),
-                            sys.mc().auditLog())) {
+                            sys.mc().auditLog(),
+                            sys.mc().profiler())) {
             std::fprintf(stderr, "cannot write report '%s'\n",
                          opt.reportOut.c_str());
             return 1;
