@@ -14,6 +14,7 @@
 #include "common/logging.hh"
 #include "common/profile.hh"
 #include "common/report.hh"
+#include "fsenc/mc_router.hh"
 
 namespace fsencr {
 namespace bench {
@@ -123,38 +124,24 @@ SimConfig
 benchConfig(int argc, char **argv)
 {
     SimConfig cfg;
+    McParams mc;
     cli::Parser p;
-    p.optUnsigned("--mc-banks", "N",
-                  "controller issue width (1 = legacy serial model)",
-                  &cfg.pcm.mcBanks)
-        .optUnsigned("--mc-mshrs", "N",
-                     "outstanding-request registers (caps overlap)",
-                     &cfg.pcm.mcMshrs)
-        .flag("--fast-forward",
-              "collapse L1-hit runs into bulk clock updates "
-              "(tick-exact; see docs/ARCHITECTURE.md)",
-              &cfg.fastForward)
+    p.flag("--fast-forward",
+           "collapse L1-hit runs into bulk clock updates "
+           "(tick-exact; see docs/ARCHITECTURE.md)",
+           &cfg.fastForward)
         .flag("--profile",
               "contention profiler: per-cell bottleneck section in "
               "the bench report (observation only)",
               &cfg.profile)
-        .custom("--audit-filter", "{off|all|G1,G2,...}",
-                "audit-log ride-along predicate (per GroupID)",
-                [&cfg](const std::string &v) {
-                    if (v == "off")
-                        return true;
-                    if (!parseAuditFilter(v, cfg.sec))
-                        return false;
-                    cfg.layout.auditLogBytes = auditLogDefaultBytes;
-                    return true;
-                })
-        .custom("--persist-domain", "{adr|eadr}",
-                "persistence-domain boundary (eADR covers the caches)",
-                [&cfg](const std::string &v) {
-                    return parsePersistDomain(v, cfg.sec.persistDomain);
-                })
         .ignoreUnknown();
+    cli::addMcOptions(p, mc);
     p.parse(argc, argv);
+    std::string err;
+    if (!mc.applyTo(cfg, err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        std::exit(2);
+    }
     return cfg;
 }
 
@@ -202,17 +189,33 @@ runRows(const std::vector<RowSpec> &specs,
         cell.nvmWrites = r.nvmWrites;
         cell.operations = r.operations;
         cell.attribution = sys.measuredAttribution();
-        const stats::Histogram &rh = sys.mc().readLatencyHistogram();
-        const stats::Histogram &wh = sys.mc().writeLatencyHistogram();
+        McRouter &router = sys.router();
+        const stats::Histogram rh = router.readLatencyHistogram();
+        const stats::Histogram wh = router.writeLatencyHistogram();
         cell.readP50 = rh.percentile(50.0);
         cell.readP95 = rh.percentile(95.0);
         cell.readP99 = rh.percentile(99.0);
         cell.writeP50 = wh.percentile(50.0);
         cell.writeP95 = wh.percentile(95.0);
         cell.writeP99 = wh.percentile(99.0);
-        cell.mcOverlapTicks = sys.mc().overlapTicks();
-        if (const profile::Profiler *prof = sys.mc().profiler())
+        cell.mcOverlapTicks = 0;
+        for (unsigned k = 0; k < router.shardCount(); ++k)
+            cell.mcOverlapTicks += router.shard(k).overlapTicks();
+        if (const profile::Profiler *prof = router.profiler())
             cell.profile = std::make_shared<profile::Profiler>(*prof);
+        if (router.shardCount() > 1) {
+            auto sh = std::make_shared<report::ShardsInfo>();
+            sh->count = router.shardCount();
+            sh->serialTicks = sys.measuredShardSerialTicks();
+            sh->visibleTicks = sys.measuredShardVisibleTicks();
+            for (unsigned k = 0; k < sh->count; ++k)
+                sh->perShardBusy.push_back(
+                    sys.measuredShardBusyTicks(k));
+            if (cell.profile)
+                sh->projectedSpeedup = cell.profile->projectedSpeedup(
+                    sh->count, sh->perShardBusy);
+            cell.shards = std::move(sh);
+        }
         cells[t.row][t.scheme] = cell;
     };
 
@@ -294,6 +297,8 @@ writeBenchReport(const std::string &path)
             if (cell.profile)
                 report::writeProfileSection(w, *cell.profile,
                                             cell.ticks);
+            if (cell.shards)
+                report::writeShardsSection(w, *cell.shards);
             w.endObject();
         }
         w.endArray();

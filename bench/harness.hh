@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/report.hh"
 #include "common/trace.hh"
 #include "workloads/workload.hh"
 
@@ -60,6 +61,10 @@ struct Cell
      *  bench ran with --profile. Presence upgrades the bench report to
      *  the profiled schema version. */
     std::shared_ptr<profile::Profiler> profile;
+
+    /** Sharded-datapath measurement (`--mc-shards > 1`); null in the
+     *  default unsharded run so baseline reports are unchanged. */
+    std::shared_ptr<report::ShardsInfo> shards;
 };
 
 /** One row of a figure: a workload across schemes. */
@@ -92,10 +97,12 @@ double metricValue(const Cell &c, Metric m);
 unsigned benchJobs(int argc, char **argv);
 
 /**
- * Configuration template for a bench run: `--mc-banks N` and
- * `--mc-mshrs N` on the command line select the banked-timing issue
- * width (defaults leave the legacy serial model in place, so every
- * committed baseline is reproduced bit-identically without flags).
+ * Configuration template for a bench run: the shared MC knob bundle
+ * (`--mc-banks`, `--mc-mshrs`, `--mc-shards`, `--audit-filter`,
+ * `--persist-domain`, `--backup-flush-budget`; see cli::addMcOptions)
+ * plus `--fast-forward` and `--profile`. Defaults leave the legacy
+ * serial model in place, so every committed baseline is reproduced
+ * bit-identically without flags.
  */
 SimConfig benchConfig(int argc, char **argv);
 

@@ -38,7 +38,15 @@
 #     ranked with consistent shares, the resource rows obey the
 #     Little's-law arithmetic, the Amdahl projection matches its own
 #     serial fraction, and a profiled-vs-plain compare is a structural
-#     diff (exit 2).
+#     diff (exit 2),
+# 12. rerun the workload with --mc-shards 4 and validate the shards
+#     section: the per-shard busy-tick sums reconcile exactly with
+#     the global serial/visible ticks (and the run's total ticks
+#     cover the visible shard time), the reported speedup is
+#     serial/visible, shard-labeled metrics family totals equal the
+#     sum of their labeled rows, an unsharded report carries no
+#     shards section, and same seed + same shard count reproduces
+#     the sharded report byte for byte.
 #
 # Usage: scripts/check_report_schema.sh [build-dir]
 # Exit 0 on success; registered as a ctest test.
@@ -570,3 +578,61 @@ set -e
     exit 1
 }
 echo "profile compare gate OK (structural diff detected)"
+
+# ---- 12. sharded datapath: shards section + shard-labeled metrics --
+"$sim" --scheme fsencr --workload fillrandom-S --ops 2000 --keys 2000 \
+       --mc-shards 4 --mc-banks 4 --profile \
+       --sample-interval 100000000 \
+       --report "$tmp/shards.json" > /dev/null
+"$sim" --scheme fsencr --workload fillrandom-S --ops 2000 --keys 2000 \
+       --mc-shards 4 --mc-banks 4 --profile \
+       --sample-interval 100000000 \
+       --report "$tmp/shards2.json" > /dev/null
+cmp "$tmp/shards.json" "$tmp/shards2.json" \
+    || { echo "FAIL: sharded report is not deterministic"; exit 1; }
+
+"$python3_bin" - "$tmp/shards.json" "$tmp/report.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+plain = json.load(open(sys.argv[2]))
+
+assert "shards" not in plain, "unsharded report grew a shards section"
+
+s = r["shards"]
+assert s["count"] == 4, s
+busy = [row["busy_ticks"] for row in s["per_shard"]]
+assert len(busy) == 4, busy
+assert [row["shard"] for row in s["per_shard"]] == [0, 1, 2, 3]
+
+# Tick reconciliation: serial is the exact per-shard sum, visible is
+# bounded by the busiest shard below and the serial sum above, and
+# the run's total ticks cover the visible shard time.
+assert s["serial_ticks"] == sum(busy), (s["serial_ticks"], busy)
+assert max(busy) <= s["visible_ticks"] <= s["serial_ticks"], s
+assert r["result"]["ticks"] >= s["visible_ticks"], \
+    (r["result"]["ticks"], s["visible_ticks"])
+
+want = s["serial_ticks"] / s["visible_ticks"]
+assert abs(s["speedup"] - want) <= want * 1e-5, (s["speedup"], want)
+assert abs(s["efficiency"] - want / 4) <= want * 1e-5, s
+assert 1.0 <= s["projected_speedup"] <= 4.0, s
+
+# Shard-labeled families: the labeled rows must reconcile with the
+# family total (no silent drops while the cardinality bound holds).
+labeled = 0
+for name, fam in r["metrics"].items():
+    values = fam["values"]
+    tagged = [k for k in values if "@s" in k]
+    if not tagged:
+        continue
+    labeled += 1
+    if fam["evictions"] == 0:
+        assert sum(values.values()) == fam["total"], (name, fam)
+    shards_seen = {k.rsplit("@s", 1)[1] for k in tagged}
+    assert shards_seen <= {"0", "1", "2", "3"}, (name, shards_seen)
+assert labeled > 0, "no shard-labeled metrics family found"
+
+print("shards schema OK: serial=%d visible=%d speedup=%.2f "
+      "(%d labeled families)"
+      % (s["serial_ticks"], s["visible_ticks"], s["speedup"], labeled))
+EOF

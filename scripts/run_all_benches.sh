@@ -200,6 +200,64 @@ for b in "${profile_benches[@]}"; do
     echo | tee -a "$out"
 done
 
+# Sharded-datapath configuration: the Figure 8 pmemkv suite again
+# with the secure datapath split 8 ways (--mc-shards 8, one bank
+# slice per shard) under the profiler. Gated against its own
+# committed baseline (REPORT_<bench>_shards8.json) and against the
+# scale-out contract: every cell with datapath traffic must reach at
+# least 0.7x the profiler's load-aware Amdahl projection. The
+# default rows above stay on the single-controller model and its
+# baselines, bit-identical.
+shard_benches=(
+    bench_fig8_pmemkv_slowdown
+)
+
+for b in "${shard_benches[@]}"; do
+    echo "=== $b (--profile --mc-shards 8) ===" | tee -a "$out"
+    report="$report_dir/REPORT_${b}_shards8.json"
+    FSENCR_BENCH_REPORT="$report" \
+        "$build_dir/bench/$b" $quick --profile --mc-shards 8 \
+        --mc-banks 8 2>/dev/null | tee -a "$out"
+    baseline="$baseline_dir/REPORT_${b}_shards8.json"
+    if [ "$check_baselines" = 1 ] && [ -s "$report" ] &&
+       [ -s "$baseline" ] && [ -x "$compare" ]; then
+        if ! "$compare" --quiet "$baseline" "$report" | tee -a "$out"
+        then
+            echo "REGRESSION: $b (shards8) vs $baseline" | tee -a "$out"
+            regressions=$((regressions + 1))
+        fi
+    fi
+    if [ -s "$report" ] && [ -n "$python3_bin" ]; then
+        if ! "$python3_bin" - "$report" <<'EOF' | tee -a "$out"
+import json, sys
+doc = json.load(open(sys.argv[1]))
+print("  %-16s %-22s %9s %9s %6s" %
+      ("row", "scheme", "measured", "projected", "ratio"))
+worst = None
+for row in doc["rows"]:
+    for cell in row["cells"]:
+        s = cell.get("shards")
+        if not s or not s["serial_ticks"]:
+            continue
+        ratio = s["speedup"] / s["projected_speedup"]
+        print("  %-16s %-22s %8.2fx %8.2fx %6.2f" %
+              (row["name"], cell["scheme"], s["speedup"],
+               s["projected_speedup"], ratio))
+        if worst is None or ratio < worst:
+            worst = ratio
+assert worst is not None, "no sharded cell with datapath traffic"
+assert worst >= 0.7, \
+    "scale-out gate: worst measured/projected ratio %.2f < 0.7" % worst
+print("  scale-out gate OK (worst ratio %.2f)" % worst)
+EOF
+        then
+            echo "REGRESSION: $b (shards8 scale-out gate)" | tee -a "$out"
+            regressions=$((regressions + 1))
+        fi
+    fi
+    echo | tee -a "$out"
+done
+
 # ADR-vs-eADR delta: how much of each scheme's modeled time the wider
 # persistence domain buys back, per row. Informational only — the
 # gates above already pinned both domains to their own baselines.

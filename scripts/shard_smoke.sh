@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Sharded-datapath smoke, registered as a ctest test:
+#
+#  1. --mc-shards 1 is the single-controller model bit for bit: a run
+#     report produced with the flag must be byte-identical to one
+#     produced without it,
+#  2. cross-shard determinism: at shards 2, 4 and 8 the same seed must
+#     reproduce the sharded run report byte for byte,
+#  3. the crash-consistency invariant matrix holds on a sharded
+#     datapath (per-shard recovery, merged verdicts), and composes
+#     with the audit ride-along and the eADR persistence domain,
+#  4. sharded crashtest reports are deterministic byte for byte,
+#  5. the scale-out contract: at 8 shards the measured speedup
+#     (serial/visible ticks from the shards section) reaches at least
+#     0.7x the profiler's load-aware Amdahl projection.
+#
+# Usage: scripts/shard_smoke.sh [build-dir]
+set -eu
+
+build_dir="${1:-$(dirname "$0")/../build}"
+sim="$build_dir/tools/fsencr-sim"
+crashtest="$build_dir/tools/fsencr-crashtest"
+[ -x "$sim" ] || { echo "missing $sim (build first)"; exit 1; }
+[ -x "$crashtest" ] || { echo "missing $crashtest (build first)"; exit 1; }
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# 1. shards=1 identity: the flag spelled out changes nothing.
+"$sim" --scheme fsencr --workload fillrandom-S --ops 1000 --keys 1000 \
+       --report "$tmp/plain.json" > /dev/null
+"$sim" --scheme fsencr --workload fillrandom-S --ops 1000 --keys 1000 \
+       --mc-shards 1 --report "$tmp/s1.json" > /dev/null
+cmp "$tmp/plain.json" "$tmp/s1.json" \
+    || { echo "--mc-shards 1 diverged from the single controller"; exit 1; }
+
+# 2. Cross-shard determinism at every smoke shard count.
+for n in 2 4 8; do
+    "$sim" --scheme fsencr --workload fillrandom-S --ops 1000 \
+           --keys 1000 --mc-shards "$n" --mc-banks "$n" \
+           --report "$tmp/s$n-a.json" > /dev/null
+    "$sim" --scheme fsencr --workload fillrandom-S --ops 1000 \
+           --keys 1000 --mc-shards "$n" --mc-banks "$n" \
+           --report "$tmp/s$n-b.json" > /dev/null
+    cmp "$tmp/s$n-a.json" "$tmp/s$n-b.json" \
+        || { echo "shards=$n report is not deterministic"; exit 1; }
+done
+
+# 3a. Sharded crash matrix: one seeded run per fault class.
+for fault in midop torn dropped databitflip metabitflip; do
+    "$crashtest" --seed 11 --crashes 1 --fault "$fault" \
+                 --mc-shards 4 > "$tmp/shard-$fault.txt" \
+        || { echo "sharded fault class $fault failed:";
+             cat "$tmp/shard-$fault.txt"; exit 1; }
+done
+
+# 3b. Composition: audit ride-along + eADR + shards in one matrix.
+"$crashtest" --seed 11 --crashes 2 --fault all --mc-shards 4 \
+             --audit --persist-domain eadr > "$tmp/combo.txt" \
+    || { echo "audit+eadr+shards matrix failed:";
+         cat "$tmp/combo.txt"; exit 1; }
+
+# 4. Determinism: identical seed, identical sharded report bytes.
+"$crashtest" --seed 7 --crashes 4 --fault all --mc-shards 4 \
+             --json > "$tmp/a.json"
+"$crashtest" --seed 7 --crashes 4 --fault all --mc-shards 4 \
+             --json > "$tmp/b.json"
+cmp "$tmp/a.json" "$tmp/b.json" \
+    || { echo "sharded crashtest report is not deterministic"; exit 1; }
+
+python3_bin="$(command -v python3 || true)"
+if [ -n "$python3_bin" ]; then
+    # 5. Scale-out gate at 8 shards: measured >= 0.7x projected.
+    "$sim" --scheme fsencr --workload fillrandom-S --ops 4000 \
+           --keys 4000 --mc-shards 8 --mc-banks 8 --profile \
+           --report "$tmp/s8.json" > /dev/null
+    "$python3_bin" - "$tmp/s8.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+s = r["shards"]
+assert s["count"] == 8, s
+busy = [row["busy_ticks"] for row in s["per_shard"]]
+assert s["serial_ticks"] == sum(busy), (s["serial_ticks"], busy)
+assert max(busy) <= s["visible_ticks"] <= s["serial_ticks"], s
+ratio = s["speedup"] / s["projected_speedup"]
+assert ratio >= 0.7, \
+    "measured %.2f < 0.7x projected %.2f" \
+    % (s["speedup"], s["projected_speedup"])
+print("shard smoke OK: speedup %.2fx of %.2fx projected (%.0f%%)"
+      % (s["speedup"], s["projected_speedup"], 100 * ratio))
+EOF
+else
+    echo "shard smoke OK (python3 missing: speedup gate skipped)"
+fi

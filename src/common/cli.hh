@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "common/config.hh"
+
 namespace fsencr {
 namespace cli {
 
@@ -292,6 +294,43 @@ class Parser
     std::vector<Positional> positionals_;
     bool ignoreUnknown_ = false;
 };
+
+/**
+ * Register the shared memory-controller option bundle on @p p,
+ * parsing into @p mc. Every tool that exposes the secure-datapath
+ * knobs calls this instead of rolling its own registrations, so
+ * `--mc-banks`, `--mc-mshrs`, `--mc-shards`, `--audit-filter`,
+ * `--persist-domain` and `--backup-flush-budget` spell and behave
+ * identically across fsencr-sim, fsencr-crashtest and the benches.
+ * Fold into a SimConfig afterwards with McParams::applyTo().
+ */
+inline Parser &
+addMcOptions(Parser &p, McParams &mc)
+{
+    p.optUnsigned("--mc-banks", "N",
+                  "controller issue width over device banks "
+                  "(default 1 = serial)",
+                  &mc.banks);
+    p.optUnsigned("--mc-mshrs", "N",
+                  "MSHR count backing the issue width (default 8)",
+                  &mc.mshrs);
+    p.optUnsigned("--mc-shards", "N",
+                  "shard the secure datapath N ways (default 1 = "
+                  "single controller, bit-identical)",
+                  &mc.shards);
+    p.opt("--audit-filter", "SPEC",
+          "audit-log ride-along: 'all' or comma-separated GroupIDs "
+          "(default off)",
+          &mc.auditFilter);
+    p.opt("--persist-domain", "D",
+          "persistence boundary: adr (default) or eadr",
+          &mc.persistDomain);
+    p.optU64("--backup-flush-budget", "LINES",
+             "eADR backup-power flush budget in 64B lines "
+             "(default 0 = unbounded)",
+             &mc.backupFlushBudgetLines);
+    return p;
+}
 
 } // namespace cli
 } // namespace fsencr

@@ -166,6 +166,45 @@ compareTimeseries(Comparer &cmp, const json::Value &base,
 }
 
 void
+compareMetrics(Comparer &cmp, const json::Value &base,
+               const json::Value &cur)
+{
+    const json::Value *bm = base.find("metrics");
+    const json::Value *cm = cur.find("metrics");
+    // Older schema / metrics-off runs: nothing to diff.
+    if (!bm || !cm || !bm->isObject() || !cm->isObject())
+        return;
+    for (const auto &[fam, bv] : bm->object) {
+        if (!bv.isObject())
+            continue;
+        const json::Value *cv = cm->find(fam);
+        if (!cv || !cv->isObject()) {
+            cmp.res.error =
+                "current report lacks metrics family '" + fam + "'";
+            return;
+        }
+        cmp.member(bv, *cv, "total", "metrics." + fam + ".total");
+        // Rows match by (family, label) — never by position — so
+        // shard-tagged labels ("merkle@s3") diff against the same
+        // label regardless of emission order, and a label present
+        // only in the current report is additive, not a mismatch.
+        const json::Value *bvals = bv.find("values");
+        const json::Value *cvals = cv->find("values");
+        if (!bvals || !cvals || !bvals->isObject() ||
+            !cvals->isObject())
+            continue;
+        for (const auto &[label, lv] : bvals->object) {
+            if (!lv.isNumber())
+                continue;
+            const json::Value *c = cvals->find(label);
+            cmp.classify("metrics." + fam + "{" + label + "}",
+                         lv.number,
+                         c && c->isNumber() ? c->number : 0.0);
+        }
+    }
+}
+
+void
 compareAudit(Comparer &cmp, const json::Value &base,
              const json::Value &cur)
 {
@@ -282,6 +321,7 @@ compareRunReports(Comparer &cmp, const json::Value &base,
     compareAttribution(cmp, base, cur, "");
     compareLatency(cmp, base, cur, "");
     compareTimeseries(cmp, base, cur);
+    compareMetrics(cmp, base, cur);
     compareAudit(cmp, base, cur);
     comparePersist(cmp, base, cur);
     compareProfile(cmp, base, cur, "");

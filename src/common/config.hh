@@ -125,6 +125,16 @@ struct PcmParams
     /** MSHR count: outstanding-request registers backing the issue
      *  width. The effective overlap width is min(mcBanks, mcMshrs). */
     unsigned mcMshrs = 8;
+    /**
+     * Shard the secure datapath: partition the metadata region into
+     * this many per-shard Merkle subtrees, each shard with its own
+     * metadata cache, OTT slice, MSHR pool and bank-partition
+     * affinity, behind one McRouter. 1 (the default) runs the single
+     * legacy controller and is bit-identical to the unsharded
+     * simulator. Per-shard values of mcBanks/mcMshrs are NOT divided:
+     * each shard gets the full configured width.
+     */
+    unsigned mcShards = 1;
 };
 
 /** Encryption-related parameters (Table III, Section III). */
@@ -336,6 +346,63 @@ parseAuditFilter(const std::string &spec, SecParams &sec)
     sec.auditGroups = std::move(groups);
     return true;
 }
+
+/**
+ * The memory-controller CLI knob bundle: every tool that exposes the
+ * secure-datapath flags (--mc-banks/--mc-mshrs/--mc-shards/
+ * --audit-filter/--persist-domain/--backup-flush-budget) parses them
+ * into one of these via cli.hh's addMcOptions() and folds it into its
+ * SimConfig with applyTo(). One registration helper, one validation
+ * path, identical semantics in fsencr-sim, fsencr-crashtest and every
+ * bench suite.
+ */
+struct McParams
+{
+    unsigned banks = 1;
+    unsigned mshrs = 8;
+    unsigned shards = 1;
+    /** --audit-filter spec; empty = auditing off. */
+    std::string auditFilter;
+    /** --persist-domain spec: "adr" (default) or "eadr". */
+    std::string persistDomain = "adr";
+    /** --backup-flush-budget in 64B lines (0 = unbounded). */
+    std::uint64_t backupFlushBudgetLines = 0;
+
+    /**
+     * Validate and fold into @p cfg. On a malformed audit filter or
+     * persist-domain spec, @p err names the offending flag and cfg is
+     * left unchanged.
+     */
+    bool
+    applyTo(SimConfig &cfg, std::string &err) const
+    {
+        SecParams sec = cfg.sec;
+        if (!auditFilter.empty() && auditFilter != "off" &&
+            !parseAuditFilter(auditFilter, sec)) {
+            err = "--audit-filter: bad spec '" + auditFilter + "'";
+            return false;
+        }
+        if (!parsePersistDomain(persistDomain, sec.persistDomain)) {
+            err = "--persist-domain: bad domain '" + persistDomain +
+                  "' (adr|eadr)";
+            return false;
+        }
+        if (shards == 0) {
+            err = "--mc-shards: must be >= 1";
+            return false;
+        }
+        sec.backupFlushBudgetLines = backupFlushBudgetLines;
+        cfg.sec = sec;
+        // Consumers that build a PhysLayout directly (trace replay)
+        // need the audit carve-out resolved here, not just in System.
+        if (sec.auditEnabled && cfg.layout.auditLogBytes == 0)
+            cfg.layout.auditLogBytes = auditLogDefaultBytes;
+        cfg.pcm.mcBanks = banks ? banks : 1;
+        cfg.pcm.mcMshrs = mshrs ? mshrs : 1;
+        cfg.pcm.mcShards = shards;
+        return true;
+    }
+};
 
 /** Render the active audit filter back into its CLI spelling. */
 inline std::string

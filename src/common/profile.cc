@@ -75,10 +75,59 @@ Profiler::setMetrics(metrics::Registry *metrics)
         blockerCtr_ = occCtr_ = stallCtr_ = arrivalCtr_ = nullptr;
         return;
     }
-    blockerCtr_ = &metrics->counter("mc.blocker", "resource", 8);
-    occCtr_ = &metrics->counter("profile.occupancy", "resource", 8);
-    stallCtr_ = &metrics->counter("profile.stall", "resource", 8);
-    arrivalCtr_ = &metrics->counter("profile.arrivals", "resource", 8);
+    // Families are get-or-create, so N sharded profilers share one
+    // family per name and their rows aggregate side by side. The
+    // cardinality cap covers resources x shards when sharded (6
+    // resources x up to 16 shards, rounded up), 8 otherwise — bounded
+    // either way.
+    std::size_t cap = shardCount_ > 1 ? 128 : 8;
+    blockerCtr_ = &metrics->counter("mc.blocker", "resource", cap);
+    occCtr_ = &metrics->counter("profile.occupancy", "resource", cap);
+    stallCtr_ = &metrics->counter("profile.stall", "resource", cap);
+    arrivalCtr_ =
+        &metrics->counter("profile.arrivals", "resource", cap);
+}
+
+void
+Profiler::setShardLabel(unsigned id, unsigned count)
+{
+    shardCount_ = count ? count : 1;
+    shardSuffix_ =
+        shardCount_ > 1 ? "@s" + std::to_string(id) : std::string();
+}
+
+std::string
+Profiler::taggedLabel(const char *name) const
+{
+    return shardSuffix_.empty() ? std::string(name)
+                                : name + shardSuffix_;
+}
+
+void
+Profiler::mergeFrom(const Profiler &o)
+{
+    for (unsigned c = 0; c < numClasses; ++c) {
+        for (unsigned k = 0; k < numKinds; ++k)
+            agg_[c][k] += o.agg_[c][k];
+        waitHist_[c].merge(o.waitHist_[c]);
+    }
+    for (unsigned k = 0; k < numKinds; ++k)
+        blockers_[k] += o.blockers_[k];
+    for (unsigned r = 0; r < numResources; ++r) {
+        Resource &mine = resources_[r];
+        const Resource &theirs = o.resources_[r];
+        mine.arrivals += theirs.arrivals;
+        mine.occupancy += theirs.occupancy;
+        mine.stall += theirs.stall;
+        // First merge replaces the default capacity; later merges add
+        // (each shard brings its own MSHR/WPQ/OTT/cache pool).
+        mine.capacity = mergedAny_ ? mine.capacity + theirs.capacity
+                                   : theirs.capacity;
+    }
+    requests_ += o.requests_;
+    totalLatency_ += o.totalLatency_;
+    identityViolations_ += o.identityViolations_;
+    mergedAny_ = true;
 }
 
 void
@@ -139,7 +188,7 @@ Profiler::finishRequest(Tick latency)
     }
     ++blockers_[unsigned(blocker)];
     if (blockerCtr_)
-        blockerCtr_->add(blockerName(blocker), 1);
+        blockerCtr_->add(taggedLabel(blockerName(blocker)), 1);
 
     ++requests_;
     totalLatency_ += latency;
@@ -153,11 +202,11 @@ Profiler::resourceArrival(Res r, Tick residence, Tick stall)
     res.occupancy += residence;
     res.stall += stall;
     if (arrivalCtr_)
-        arrivalCtr_->add(resourceName(r), 1);
+        arrivalCtr_->add(taggedLabel(resourceName(r)), 1);
     if (occCtr_ && residence)
-        occCtr_->add(resourceName(r), residence);
+        occCtr_->add(taggedLabel(resourceName(r)), residence);
     if (stallCtr_ && stall)
-        stallCtr_->add(resourceName(r), stall);
+        stallCtr_->add(taggedLabel(resourceName(r)), stall);
 }
 
 void
@@ -165,7 +214,7 @@ Profiler::resourceStall(Res r, Tick stall)
 {
     resources_[unsigned(r)].stall += stall;
     if (stallCtr_ && stall)
-        stallCtr_->add(resourceName(r), stall);
+        stallCtr_->add(taggedLabel(resourceName(r)), stall);
 }
 
 void
@@ -234,6 +283,22 @@ Profiler::projectedSpeedup(unsigned shards) const
         return 1.0;
     double s = serialFraction();
     return 1.0 / (s + (1.0 - s) / shards);
+}
+
+double
+Profiler::projectedSpeedup(
+    unsigned shards, const std::vector<std::uint64_t> &shardBusy) const
+{
+    std::uint64_t sum = 0, max = 0;
+    for (std::uint64_t b : shardBusy) {
+        sum += b;
+        if (b > max)
+            max = b;
+    }
+    if (!sum)
+        return projectedSpeedup(shards);
+    double s = serialFraction();
+    return 1.0 / (s + (1.0 - s) * double(max) / double(sum));
 }
 
 } // namespace profile

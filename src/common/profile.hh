@@ -40,6 +40,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/stats.hh"
@@ -148,6 +149,27 @@ class Profiler
      *  Sampler turns into queue-depth time series. */
     void setMetrics(metrics::Registry *metrics);
 
+    /**
+     * Mark this profiler as shard @p id of @p count. With count > 1
+     * every metric label value gains an "@s<id>" suffix (bounded
+     * cardinality: resources x shards, capped at 128 per family) so
+     * shard-labeled rows coexist with, and sum to, the unlabeled
+     * totals of an unsharded run. Call before setMetrics. A count of
+     * 1 (the default) changes nothing, byte for byte.
+     */
+    void setShardLabel(unsigned id, unsigned count);
+
+    /**
+     * Fold another profiler's aggregates into this one: the
+     * (class, kind) matrix, blocker counts, wait histograms, resource
+     * rows (arrivals/occupancy/stall summed, capacities added),
+     * request count and total latency. Used by the router to present
+     * one merged profile over N shards; the NVM-bank row should be
+     * re-synced from the device afterwards since every shard reports
+     * the same shared banks.
+     */
+    void mergeFrom(const Profiler &o);
+
     // ---- per-request critical path ------------------------------
 
     /** Reset the per-request scratch matrix (start of a datapath
@@ -234,6 +256,19 @@ class Profiler
     double serialFraction() const;
     /** Amdahl projection: 1 / (s + (1-s)/shards). */
     double projectedSpeedup(unsigned shards) const;
+    /**
+     * Amdahl projection refined by a measured shard load balance:
+     * the parallel part drains when the most-loaded shard finishes,
+     * so speedup = 1 / (s + (1-s) * max(busy) / sum(busy)). Equal
+     * loads reduce to the ideal projectedSpeedup(shards); a hot
+     * page concentrated on one shard (which address-partitioned
+     * sharding cannot split) lowers the bound honestly. Falls back
+     * to the ideal projection when the load vector is empty or all
+     * zero.
+     */
+    double projectedSpeedup(
+        unsigned shards,
+        const std::vector<std::uint64_t> &shardBusy) const;
 
   private:
     template <std::size_t N> struct Matrix
@@ -258,6 +293,13 @@ class Profiler
     metrics::LabeledCounter *occCtr_ = nullptr;
     metrics::LabeledCounter *stallCtr_ = nullptr;
     metrics::LabeledCounter *arrivalCtr_ = nullptr;
+
+    /** "@s<id>" when sharded, "" otherwise. */
+    std::string shardSuffix_;
+    unsigned shardCount_ = 1;
+    bool mergedAny_ = false;
+    /** Metric label value for a resource/blocker name, shard-tagged. */
+    std::string taggedLabel(const char *name) const;
 };
 
 /** Shard counts the Amdahl projection reports. */

@@ -292,5 +292,33 @@ writePersistSection(JsonWriter &w, const PersistStats &p)
     w.endObject();
 }
 
+void
+writeShardsSection(JsonWriter &w, const ShardsInfo &s)
+{
+    w.beginObject("shards");
+    w.field("count", static_cast<std::uint64_t>(s.count));
+    w.field("serial_ticks", s.serialTicks);
+    w.field("visible_ticks", s.visibleTicks);
+    double speedup =
+        s.visibleTicks
+            ? static_cast<double>(s.serialTicks) /
+                  static_cast<double>(s.visibleTicks)
+            : 0.0;
+    w.field("speedup", speedup);
+    w.field("efficiency",
+            s.count ? speedup / static_cast<double>(s.count) : 0.0);
+    if (s.projectedSpeedup > 0.0)
+        w.field("projected_speedup", s.projectedSpeedup);
+    w.beginArray("per_shard");
+    for (std::size_t k = 0; k < s.perShardBusy.size(); ++k) {
+        w.beginObject();
+        w.field("shard", static_cast<std::uint64_t>(k));
+        w.field("busy_ticks", s.perShardBusy[k]);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
 } // namespace report
 } // namespace fsencr

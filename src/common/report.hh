@@ -185,6 +185,42 @@ void writePersistSection(JsonWriter &w, const PersistStats &p);
 void writeAuditSection(JsonWriter &w, const SecParams &sec,
                        const AuditLog &audit);
 
+/**
+ * Multi-shard form: counters summed across the per-shard audit-log
+ * slices (capacity included — the slices partition one region).
+ * With one log this emits exactly the single-log section.
+ */
+void writeAuditSection(JsonWriter &w, const SecParams &sec,
+                       const std::vector<const AuditLog *> &logs);
+
+/**
+ * Snapshot of the sharded-datapath clock model a report carries in
+ * its `shards` section (`--mc-shards > 1` only; unsharded reports
+ * omit the section and stay byte-identical). Callers gather these
+ * from System's measured accessors.
+ */
+struct ShardsInfo
+{
+    unsigned count = 0;
+    /** Sum of every shard's busy ticks (the one-controller cost). */
+    std::uint64_t serialTicks = 0;
+    /** Critical-shard ticks actually charged to the clock. */
+    std::uint64_t visibleTicks = 0;
+    /** Per-shard busy-tick totals, indexed by shard id. */
+    std::vector<std::uint64_t> perShardBusy;
+    /** Amdahl projection from the contention profiler for this shard
+     *  count (0 = profiler off, field omitted). */
+    double projectedSpeedup = 0.0;
+};
+
+/**
+ * Emit the `shards` section: shard count, serial vs. visible ticks,
+ * the measured speedup (serial / visible) and parallel efficiency,
+ * the profiler's Amdahl projection when available, and one busy-tick
+ * entry per shard.
+ */
+void writeShardsSection(JsonWriter &w, const ShardsInfo &s);
+
 } // namespace report
 } // namespace fsencr
 

@@ -139,6 +139,36 @@ class Histogram
         std::fill(_buckets.begin(), _buckets.end(), 0);
     }
 
+    /**
+     * Fold another histogram of the same geometry (scale, width,
+     * bucket count) into this one; used to aggregate per-shard
+     * profiles. Mismatched geometries fold samples/sum/min/max only
+     * and dump the other's buckets into overflow, which the test
+     * suite treats as a bug.
+     */
+    void
+    merge(const Histogram &o)
+    {
+        if (o._samples == 0)
+            return;
+        if (_samples == 0 || o._min < _min)
+            _min = o._min;
+        if (o._max > _max)
+            _max = o._max;
+        _samples += o._samples;
+        _sum += o._sum;
+        if (_scale == o._scale && _width == o._width &&
+            _buckets.size() == o._buckets.size()) {
+            for (std::size_t i = 0; i < _buckets.size(); ++i)
+                _buckets[i] += o._buckets[i];
+            _overflow += o._overflow;
+        } else {
+            for (std::uint64_t b : o._buckets)
+                _overflow += b;
+            _overflow += o._overflow;
+        }
+    }
+
   private:
     std::size_t bucketIndex(std::uint64_t v) const;
     /** Inclusive-exclusive value range [lo, hi) of bucket i; i ==

@@ -93,7 +93,9 @@ replayTrace(const MemTrace &mt, const SimConfig &cfg,
     PhysLayout layout(cfg.layout);
     NvmDevice device(cfg.pcm);
     Rng rng(cfg.seed);
-    SecureMemoryController mc(cfg, layout, device, rng);
+    SecureMemoryController mc(cfg.sec, cfg.scheme, cfg.pcm,
+                              cfg.cyclePeriod(), cfg.profile,
+                              layout, device, McKeys::draw(rng));
     if (tracer)
         mc.setTracer(tracer);
 

@@ -11,7 +11,8 @@
 namespace fsencr {
 
 AuditLog::AuditLog(const SecParams &params, const PhysLayout &layout,
-                   NvmDevice &device, MerkleTree &merkle, Scheme scheme)
+                   NvmDevice &device, MerkleTree &merkle, Scheme scheme,
+                   ShardGeometry geom)
     : layout_(layout),
       device_(device),
       merkle_(merkle),
@@ -19,7 +20,11 @@ AuditLog::AuditLog(const SecParams &params, const PhysLayout &layout,
       wcbRecords_(params.auditWcbRecords ? params.auditWcbRecords : 1),
       statGroup_("audit")
 {
-    std::uint64_t lines = layout.auditLogBytes() / blockSize;
+    // Shard k of N owns the k-th 1/N of the region, with its own
+    // header line and cursor; {0, 1} degenerates to the whole region.
+    unsigned count = std::max(1u, geom.count);
+    std::uint64_t lines = layout.auditLogBytes() / blockSize / count;
+    sliceBase_ = layout.auditLogBase() + geom.id * lines * blockSize;
     capacityRecords_ = lines > 1 ? (lines - 1) * recordsPerLine : 0;
 
     statGroup_.addScalar("appends", appends_);
@@ -40,15 +45,15 @@ AuditLog::AuditLog(const SecParams &params, const PhysLayout &layout,
     std::uint32_t rec_bytes = sizeof(AuditRecord);
     std::memcpy(buf + 12, &rec_bytes, sizeof(rec_bytes));
     std::memcpy(buf + 16, &capacityRecords_, sizeof(capacityRecords_));
-    device_.writeLine(layout_.auditLogBase(), buf);
-    merkle_.updateLeaf(layout_.auditLogBase(), buf);
+    device_.writeLine(sliceBase_, buf);
+    merkle_.updateLeaf(sliceBase_, buf);
 }
 
 Addr
 AuditLog::lineAddr(std::uint64_t line_index) const
 {
     // Data line 0 lives one line past the region header.
-    return layout_.auditLogBase() + (line_index + 1) * blockSize;
+    return sliceBase_ + (line_index + 1) * blockSize;
 }
 
 void
@@ -194,7 +199,7 @@ AuditLog::scan() const
         return res;
 
     // The header authenticates the region itself.
-    Addr header = layout_.auditLogBase();
+    Addr header = sliceBase_;
     if (!merkle_.leafTracked(header) || tamperedLines_.count(header) ||
         !merkle_.verifyLeaf(header)) {
         res.integrityTruncated = true;
@@ -262,13 +267,30 @@ void
 writeAuditSection(JsonWriter &w, const SecParams &sec,
                   const AuditLog &audit)
 {
+    writeAuditSection(w, sec,
+                      std::vector<const AuditLog *>{&audit});
+}
+
+void
+writeAuditSection(JsonWriter &w, const SecParams &sec,
+                  const std::vector<const AuditLog *> &logs)
+{
+    std::uint64_t appended = 0, acked = 0, overflow = 0, crash = 0,
+                  capacity = 0;
+    for (const AuditLog *log : logs) {
+        appended += log->appendedRecords();
+        acked += log->ackedRecords();
+        overflow += log->overflowDropped();
+        crash += log->crashDropped();
+        capacity += log->capacityRecords();
+    }
     w.beginObject("audit");
     w.field("filter", auditFilterSpec(sec));
-    w.field("appended", audit.appendedRecords());
-    w.field("acked", audit.ackedRecords());
-    w.field("overflow_dropped", audit.overflowDropped());
-    w.field("crash_dropped", audit.crashDropped());
-    w.field("capacity_records", audit.capacityRecords());
+    w.field("appended", appended);
+    w.field("acked", acked);
+    w.field("overflow_dropped", overflow);
+    w.field("crash_dropped", crash);
+    w.field("capacity_records", capacity);
     w.endObject();
 }
 

@@ -31,6 +31,7 @@
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
+#include "fsenc/secure_datapath.hh"
 #include "mem/nvm_device.hh"
 #include "mem/phys_layout.hh"
 #include "secmem/merkle_tree.hh"
@@ -107,8 +108,15 @@ class AuditLog
     static constexpr std::uint64_t headerMagic = 0x314c445541455346ull;
     static constexpr std::uint32_t headerVersion = 1;
 
+    /**
+     * @param geom shard slice: shard k of N owns the k-th 1/N of the
+     *        audit region (own header + own cursor). The default
+     *        {0, 1} owns the whole region and is bit-identical to the
+     *        unsharded log.
+     */
     AuditLog(const SecParams &params, const PhysLayout &layout,
-             NvmDevice &device, MerkleTree &merkle, Scheme scheme);
+             NvmDevice &device, MerkleTree &merkle, Scheme scheme,
+             ShardGeometry geom = {});
 
     /**
      * Append one record (seq is assigned internally). Returns the
@@ -203,6 +211,8 @@ class AuditLog
     MerkleTree &merkle_;
     std::uint8_t scheme_;
     unsigned wcbRecords_;
+    /** First line of this shard's slice of the audit region. */
+    Addr sliceBase_;
     std::uint64_t capacityRecords_;
 
     /** Golden stream; records_[acked_..] is the WCB content. */

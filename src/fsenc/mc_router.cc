@@ -1,0 +1,278 @@
+#include "fsenc/mc_router.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fsencr {
+
+McRouter::McRouter(const SimConfig &cfg, const PhysLayout &layout,
+                   NvmDevice &device, Rng &rng)
+    : device_(device)
+{
+    unsigned count = std::max(1u, cfg.pcm.mcShards);
+    McKeys keys = McKeys::draw(rng);
+    device_.setShardPartitions(count);
+
+    for (unsigned k = 0; k < count; ++k) {
+        SecParams sec = cfg.sec;
+        if (count > 1 && sec.backupFlushBudgetLines > 0)
+            // Ceil-divide the machine flush budget so shard slices sum
+            // to at least the configured bound.
+            sec.backupFlushBudgetLines =
+                (sec.backupFlushBudgetLines + count - 1) / count;
+        ShardGeometry geom{k, count};
+        std::string name =
+            count == 1 ? "mc" : "mc" + std::to_string(k);
+        shards_.push_back(std::make_unique<SecureMemoryController>(
+            sec, cfg.scheme, cfg.pcm, cfg.cyclePeriod(), cfg.profile,
+            layout, device, keys, geom, name));
+    }
+}
+
+Tick
+McRouter::mmioRegisterFileKey(std::uint32_t gid, std::uint32_t fid,
+                              const crypto::Key128 &fek, Tick now)
+{
+    Tick lat = 0;
+    for (auto &s : shards_)
+        lat = std::max(lat, s->mmioRegisterFileKey(gid, fid, fek, now));
+    return lat;
+}
+
+Tick
+McRouter::mmioRemoveFileKey(std::uint32_t gid, std::uint32_t fid,
+                            Tick now)
+{
+    Tick lat = 0;
+    for (auto &s : shards_)
+        lat = std::max(lat, s->mmioRemoveFileKey(gid, fid, now));
+    return lat;
+}
+
+Tick
+McRouter::mmioStampPage(Addr paddr, std::uint32_t gid,
+                        std::uint32_t fid, Tick now)
+{
+    return shards_[shardOf(paddr)]->mmioStampPage(paddr, gid, fid, now);
+}
+
+Tick
+McRouter::shredPage(Addr page_addr, Tick now)
+{
+    return shards_[shardOf(page_addr)]->shredPage(page_addr, now);
+}
+
+void
+McRouter::mmioAdminLogin(const crypto::Key128 &credential)
+{
+    for (auto &s : shards_)
+        s->mmioAdminLogin(credential);
+}
+
+void
+McRouter::provisionAdminCredential(const crypto::Key128 &credential)
+{
+    for (auto &s : shards_)
+        s->provisionAdminCredential(credential);
+}
+
+void
+McRouter::crash(Tick now)
+{
+    for (auto &s : shards_)
+        s->crash(now);
+}
+
+void
+McRouter::shutdown(Tick now)
+{
+    for (auto &s : shards_)
+        s->shutdown(now);
+}
+
+std::uint64_t
+McRouter::backupFlushLines() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : shards_)
+        n += s->backupFlushLines();
+    return n;
+}
+
+std::uint64_t
+McRouter::backupFlushDropped() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : shards_)
+        n += s->backupFlushDropped();
+    return n;
+}
+
+std::uint64_t
+McRouter::stopLossPersists() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : shards_)
+        n += s->stopLossPersists();
+    return n;
+}
+
+bool
+McRouter::recoverMetadata()
+{
+    // The top tree: every shard subtree root must verify.
+    bool ok = true;
+    for (auto &s : shards_)
+        ok = s->recoverMetadata() && ok;
+    return ok;
+}
+
+SecureMemoryController::MetadataVerdict
+McRouter::recoverMetadataGraceful()
+{
+    SecureMemoryController::MetadataVerdict merged;
+    for (auto &s : shards_) {
+        auto v = s->recoverMetadataGraceful();
+        merged.rootOk = merged.rootOk && v.rootOk;
+        merged.localizable = merged.localizable && v.localizable;
+        merged.tamperedLeaves.insert(merged.tamperedLeaves.end(),
+                                     v.tamperedLeaves.begin(),
+                                     v.tamperedLeaves.end());
+    }
+    return merged;
+}
+
+SecureMemoryController::RecoveryReport
+McRouter::recoverAllReport()
+{
+    SecureMemoryController::RecoveryReport merged;
+    for (auto &s : shards_) {
+        auto r = s->recoverAllReport();
+        merged.linesExamined += r.linesExamined;
+        merged.probes += r.probes;
+        merged.failures += r.failures;
+        // Shards recover in parallel on reboot: the machine's recovery
+        // latency is the slowest shard's, not the sum.
+        merged.modelTime = std::max(merged.modelTime, r.modelTime);
+        merged.quarantined.insert(merged.quarantined.end(),
+                                  r.quarantined.begin(),
+                                  r.quarantined.end());
+    }
+    std::sort(merged.quarantined.begin(), merged.quarantined.end(),
+              [](const SecureMemoryController::QuarantinedLine &a,
+                 const SecureMemoryController::QuarantinedLine &b) {
+                  return a.addr < b.addr;
+              });
+    return merged;
+}
+
+std::size_t
+McRouter::quarantinedCount() const
+{
+    std::size_t n = 0;
+    for (const auto &s : shards_)
+        n += s->quarantinedCount();
+    return n;
+}
+
+McRouter::Capsule
+McRouter::exportCapsule(Tick now)
+{
+    Capsule cap;
+    for (auto &s : shards_) {
+        auto one = s->exportCapsule(now);
+        cap.memKey = one.memKey;
+        cap.ottKey = one.ottKey;
+        cap.trees.push_back(std::move(one.tree));
+    }
+    return cap;
+}
+
+bool
+McRouter::importCapsule(const Capsule &capsule)
+{
+    if (capsule.trees.size() != shards_.size())
+        fatal("capsule shard count (%zu) != machine shards (%zu)",
+              capsule.trees.size(), shards_.size());
+    bool ok = true;
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+        SecureMemoryController::SecurityCapsule one;
+        one.memKey = capsule.memKey;
+        one.ottKey = capsule.ottKey;
+        one.tree = capsule.trees[k];
+        ok = shards_[k]->importCapsule(one) && ok;
+    }
+    return ok;
+}
+
+void
+McRouter::setTracer(trace::Tracer *tracer)
+{
+    for (auto &s : shards_)
+        s->setTracer(tracer);
+}
+
+void
+McRouter::setMetrics(metrics::Registry *metrics)
+{
+    for (auto &s : shards_)
+        s->setMetrics(metrics);
+}
+
+void
+McRouter::setTraceCapture(class MemTrace *trace)
+{
+    for (auto &s : shards_)
+        s->setTraceCapture(trace);
+}
+
+stats::Histogram
+McRouter::readLatencyHistogram() const
+{
+    stats::Histogram h = shards_[0]->readLatencyHistogram();
+    for (std::size_t k = 1; k < shards_.size(); ++k)
+        h.merge(shards_[k]->readLatencyHistogram());
+    return h;
+}
+
+stats::Histogram
+McRouter::writeLatencyHistogram() const
+{
+    stats::Histogram h = shards_[0]->writeLatencyHistogram();
+    for (std::size_t k = 1; k < shards_.size(); ++k)
+        h.merge(shards_[k]->writeLatencyHistogram());
+    return h;
+}
+
+stats::Histogram
+McRouter::componentHistogram(unsigned c) const
+{
+    stats::Histogram h = shards_[0]->componentHistogram(c);
+    for (std::size_t k = 1; k < shards_.size(); ++k)
+        h.merge(shards_[k]->componentHistogram(c));
+    return h;
+}
+
+profile::Profiler *
+McRouter::profiler()
+{
+    if (shards_.size() == 1)
+        return shards_[0]->profiler();
+    if (!shards_[0]->profiler())
+        return nullptr;
+
+    mergedProf_ = std::make_unique<profile::Profiler>();
+    for (auto &s : shards_)
+        mergedProf_->mergeFrom(*s->profiler());
+    // Every shard's profiler() synced its nvm_banks row from the same
+    // shared device, so the merge multiplied the banks by N; overwrite
+    // with the device's authoritative totals.
+    mergedProf_->setResourceTotals(
+        profile::Res::NvmBanks, device_.bankBusyTicks(),
+        device_.bankWaitTicks(), device_.numReads() + device_.numWrites(),
+        device_.numBanks());
+    return mergedProf_.get();
+}
+
+} // namespace fsencr

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * The sharded secure datapath: N SecureMemoryControllers behind one
+ * SecureDatapath face (`--mc-shards N`).
+ *
+ * The metadata region is partitioned into N per-shard Merkle subtrees
+ * (each shard's sparse tree tracks only the leaves of pages it owns,
+ * so the subtrees are disjoint by construction) under a tiny top
+ * tree: the router's recovery pass verifies every shard root and
+ * merges the verdicts. Each shard brings its own metadata cache, OTT
+ * slice, MSHR pool and bank-partition affinity
+ * (NvmDevice::setShardPartitions), and requests route by page
+ * ownership — ShardGeometry::shardOf(paddr), page number modulo N.
+ *
+ * With one shard the router constructs a single controller with the
+ * exact legacy arguments (same Rng draw order, stat-group name "mc",
+ * whole-machine geometry) and every call delegates straight through:
+ * `--mc-shards 1` is bit-identical to the unsharded simulator, report
+ * bytes included. With N > 1 the shards are named mc0..mcN-1 in the
+ * stat tree, MMIO key operations broadcast (keys are replicated so
+ * any shard can serve any file), page-targeted MMIO routes to the
+ * owner, and aggregate accessors (quarantine, flush accounting,
+ * profiler) merge across shards.
+ */
+
+#ifndef FSENCR_FSENC_MC_ROUTER_HH
+#define FSENCR_FSENC_MC_ROUTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "fsenc/secure_datapath.hh"
+#include "fsenc/secure_memory_controller.hh"
+
+namespace fsencr {
+
+/** N shards behind one SecureDatapath face. */
+class McRouter : public SecureDatapath
+{
+  public:
+    /**
+     * Draws the shared key pair from @p rng (memory key then OTT key,
+     * the legacy order), partitions the device's banks, and builds
+     * cfg.pcm.mcShards controllers. Each shard's SecParams copy gets
+     * ceil(backupFlushBudgetLines / N) so the shards' backup-power
+     * budgets sum to (at least) the configured machine budget.
+     */
+    McRouter(const SimConfig &cfg, const PhysLayout &layout,
+             NvmDevice &device, Rng &rng);
+
+    unsigned shardCount() const override
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+    unsigned
+    shardOf(Addr paddr) const override
+    {
+        return ShardGeometry::shardOf(paddr, shardCount());
+    }
+
+    SecureMemoryController &shard(unsigned k) { return *shards_.at(k); }
+    const SecureMemoryController &shard(unsigned k) const
+    {
+        return *shards_.at(k);
+    }
+
+    /** Route one request to its owner shard; the completion is
+     *  stamped with the serving shard id. */
+    Completion
+    submit(const MemRequest &req, Tick now) override
+    {
+        unsigned k = shardOf(req.paddr);
+        Completion c = shards_[k]->submit(req, now);
+        c.shard = k;
+        return c;
+    }
+
+    /// @name MMIO surface (SecureDatapath)
+    /// @{
+
+    /** Key install broadcasts to every shard (keys are replicated so
+     *  ownership never gates a lookup); latency is the slowest
+     *  shard's — the broadcast runs in parallel. */
+    Tick mmioRegisterFileKey(std::uint32_t gid, std::uint32_t fid,
+                             const crypto::Key128 &fek,
+                             Tick now) override;
+    Tick mmioRemoveFileKey(std::uint32_t gid, std::uint32_t fid,
+                           Tick now) override;
+    /** Page-targeted MMIO routes to the page's owner shard. */
+    Tick mmioStampPage(Addr paddr, std::uint32_t gid,
+                       std::uint32_t fid, Tick now) override;
+    Tick shredPage(Addr page_addr, Tick now) override;
+    void mmioAdminLogin(const crypto::Key128 &credential) override;
+    void provisionAdminCredential(
+        const crypto::Key128 &credential) override;
+    trace::Tracer *
+    tracer() const override
+    {
+        return shards_[0]->tracer();
+    }
+
+    /// @}
+
+    /// @name Machine lifecycle (fan-out over shards)
+    /// @{
+    void crash(Tick now);
+    void shutdown(Tick now);
+
+    /** Admission routes to the line's owner shard, whose slice of the
+     *  machine flush budget gates it. */
+    bool
+    backupFlushAdmit(Addr line_addr)
+    {
+        return shards_[shardOf(line_addr)]->backupFlushAdmit(
+            line_addr);
+    }
+    std::uint64_t backupFlushLines() const;
+    std::uint64_t backupFlushDropped() const;
+    std::uint64_t stopLossPersists() const;
+
+    /** All shard subtrees verify (the top-tree check). */
+    bool recoverMetadata();
+    /** Merged graceful verdict: rootOk/localizable AND across shards,
+     *  tampered leaves concatenated in shard order. */
+    SecureMemoryController::MetadataVerdict recoverMetadataGraceful();
+    /** Merged recovery report: counts summed, modelTime the slowest
+     *  shard's (shards recover in parallel), quarantined lines merged
+     *  and re-sorted by address. */
+    SecureMemoryController::RecoveryReport recoverAllReport();
+
+    bool
+    isQuarantined(Addr line_addr) const
+    {
+        return shards_[shardOf(line_addr)]->isQuarantined(line_addr);
+    }
+    std::size_t quarantinedCount() const;
+    /// @}
+
+    /** The portable security state of the whole sharded module: the
+     *  shared key pair plus one subtree state per shard. */
+    struct Capsule
+    {
+        crypto::Key128 memKey{};
+        crypto::Key128 ottKey{};
+        std::vector<MerkleTree::State> trees;
+    };
+
+    Capsule exportCapsule(Tick now);
+    /** Adopt a transported module; shard counts must match.
+     *  @return true iff every shard's subtree authenticates */
+    bool importCapsule(const Capsule &capsule);
+
+    /** Counter store of the shard owning @p addr (DAX/stamp
+     *  introspection: System::lineIsDax, crashtest invariants). */
+    CounterStore &
+    countersFor(Addr addr)
+    {
+        return shards_[shardOf(addr)]->counters();
+    }
+    const CounterStore &
+    countersFor(Addr addr) const
+    {
+        return shards_[shardOf(addr)]->counters();
+    }
+
+    /** Shard 0's audit log (the whole machine's at one shard);
+     *  per-shard logs via shard(k).auditLog(). */
+    AuditLog *auditLog() { return shards_[0]->auditLog(); }
+    const AuditLog *auditLog() const { return shards_[0]->auditLog(); }
+
+    /// @name Observability fan-out
+    /// @{
+    void setTracer(trace::Tracer *tracer);
+    void setMetrics(metrics::Registry *metrics);
+    void setTraceCapture(class MemTrace *trace);
+
+    /**
+     * The contention profiler view, nullptr unless cfg.profile. One
+     * shard: the controller's own profiler (legacy behavior). Sharded:
+     * a merged profiler — per-(class, kind) ticks, blocker counts,
+     * wait histograms, requests and resource rows summed across
+     * shards, then the nvm_banks row re-synced from the shared
+     * device (every shard sees the same banks; summing would
+     * multiply them). The merged object is rebuilt on each call;
+     * don't cache the pointer across submits.
+     */
+    profile::Profiler *profiler();
+
+    /** Machine-level latency views: the per-shard histograms merged
+     *  (at one shard, a copy of the controller's own). */
+    stats::Histogram readLatencyHistogram() const;
+    stats::Histogram writeLatencyHistogram() const;
+    stats::Histogram componentHistogram(unsigned c) const;
+    /// @}
+
+  private:
+    std::vector<std::unique_ptr<SecureMemoryController>> shards_;
+    NvmDevice &device_;
+    /** Merged profiler of the last profiler() call (N > 1 only). */
+    std::unique_ptr<profile::Profiler> mergedProf_;
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_FSENC_MC_ROUTER_HH

@@ -67,9 +67,9 @@ OpenTunnelTable::OpenTunnelTable(const SecParams &params,
                                  const PhysLayout &layout,
                                  NvmDevice &device, MerkleTree &merkle,
                                  const crypto::Key128 &ott_key,
-                                 Tick cycle_period)
+                                 Tick cycle_period, ShardGeometry geom)
     : params_(params), layout_(layout), device_(device), merkle_(merkle),
-      ottAes_(ott_key), cyclePeriod_(cycle_period),
+      ottAes_(ott_key), cyclePeriod_(cycle_period), geom_(geom),
       entries_(params.ottEntries), statGroup_("ott")
 {
     statGroup_.addScalar("lookups", lookups_);
@@ -84,7 +84,10 @@ OpenTunnelTable::OpenTunnelTable(const SecParams &params,
 std::size_t
 OpenTunnelTable::numSpillSlots() const
 {
-    return layout_.ottSpillBytes() / blockSize;
+    // Shard k of N owns the k-th 1/N of the spill region; the
+    // unsharded table ({0, 1}) owns all of it.
+    return layout_.ottSpillBytes() / blockSize /
+           std::max(1u, geom_.count);
 }
 
 std::size_t
@@ -97,7 +100,10 @@ OpenTunnelTable::spillHomeSlot(std::uint32_t gid,
 Addr
 OpenTunnelTable::spillSlotAddr(std::size_t slot) const
 {
-    return layout_.ottSpillBase() + slot * blockSize;
+    // Region-global slot index: local slot offset into this shard's
+    // slice. Identity for the unsharded geometry.
+    std::size_t global = geom_.id * numSpillSlots() + slot;
+    return layout_.ottSpillBase() + global * blockSize;
 }
 
 void
@@ -105,9 +111,11 @@ OpenTunnelTable::sealSlot(std::size_t slot, const std::uint8_t *plain,
                           std::uint8_t *cipher) const
 {
     // XTS-lite: tweak_i = AES_k(slot || i); c_i = AES_k(p_i ^ t_i) ^ t_i.
+    // The tweak uses the region-global slot index so every slot of
+    // every shard slice seals under a unique position.
     for (unsigned i = 0; i < blockSize / 16; ++i) {
         crypto::Block128 tweak_in{};
-        std::uint64_t s = slot;
+        std::uint64_t s = geom_.id * numSpillSlots() + slot;
         std::memcpy(tweak_in.data(), &s, 8);
         tweak_in[8] = static_cast<std::uint8_t>(i);
         crypto::Block128 tweak = ottAes_.encryptBlock(tweak_in);
@@ -129,7 +137,7 @@ OpenTunnelTable::openSlot(std::size_t slot, const std::uint8_t *cipher,
 {
     for (unsigned i = 0; i < blockSize / 16; ++i) {
         crypto::Block128 tweak_in{};
-        std::uint64_t s = slot;
+        std::uint64_t s = geom_.id * numSpillSlots() + slot;
         std::memcpy(tweak_in.data(), &s, 8);
         tweak_in[8] = static_cast<std::uint8_t>(i);
         crypto::Block128 tweak = ottAes_.encryptBlock(tweak_in);

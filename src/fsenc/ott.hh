@@ -26,6 +26,7 @@
 #include "common/trace.hh"
 #include "common/types.hh"
 #include "crypto/key.hh"
+#include "fsenc/secure_datapath.hh"
 #include "mem/nvm_device.hh"
 #include "mem/phys_layout.hh"
 #include "secmem/merkle_tree.hh"
@@ -57,9 +58,17 @@ struct OttLookupResult
 class OpenTunnelTable
 {
   public:
+    /**
+     * @param geom shard slice: shard k of N owns the k-th 1/N of the
+     *        spill region ({0, 1}, the default, owns all of it and is
+     *        bit-identical to the unsharded table). Keys are
+     *        replicated across shards by the router, so each slice
+     *        only ever holds its own shard's spill traffic.
+     */
     OpenTunnelTable(const SecParams &params, const PhysLayout &layout,
                     NvmDevice &device, MerkleTree &merkle,
-                    const crypto::Key128 &ott_key, Tick cycle_period);
+                    const crypto::Key128 &ott_key, Tick cycle_period,
+                    ShardGeometry geom = {});
 
     /**
      * Find the key for (group, file). On an OTT miss the entry is
@@ -159,6 +168,7 @@ class OpenTunnelTable
     MerkleTree &merkle_;
     crypto::Aes128 ottAes_;
     Tick cyclePeriod_;
+    ShardGeometry geom_;
 
     std::vector<Entry> entries_;
     std::uint64_t lruClock_ = 0;

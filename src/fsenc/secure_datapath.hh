@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The secure-datapath interface and sharding geometry.
+ *
+ * SecureDatapath is the surface the rest of the machine (System, the
+ * kernel's MMIO paths) drives the encryption stack through: one
+ * MemRequest submit -> Completion pipe plus the trusted MMIO register
+ * file. Both the single SecureMemoryController and the sharded
+ * McRouter implement it, so callers never poke controller internals
+ * and a config knob (`--mc-shards N`) swaps one for the other.
+ *
+ * ShardGeometry fixes the ownership rule: shard k owns every physical
+ * page whose (DF-stripped) page number is congruent to k modulo the
+ * shard count. A page's MECB/FECB pair covers exactly that page, so
+ * page-interleaved routing gives every counter line exactly one owner
+ * shard and the per-shard Merkle subtrees stay disjoint by
+ * construction.
+ */
+
+#ifndef FSENCR_FSENC_SECURE_DATAPATH_HH
+#define FSENCR_FSENC_SECURE_DATAPATH_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "common/trace.hh"
+#include "common/types.hh"
+#include "crypto/key.hh"
+#include "mem/completion.hh"
+#include "mem/mem_request.hh"
+#include "mem/phys_layout.hh"
+
+namespace fsencr {
+
+/**
+ * Which slice of the machine a datapath instance owns.
+ *
+ * The default {0, 1} geometry owns everything and is what a
+ * standalone (unsharded) controller runs with; a router hands shard k
+ * of N the geometry {k, N}.
+ */
+struct ShardGeometry
+{
+    unsigned id = 0;
+    unsigned count = 1;
+
+    /** Owner shard of a physical address (DF-bit tolerated). */
+    static unsigned
+    shardOf(Addr paddr, unsigned count)
+    {
+        if (count <= 1)
+            return 0;
+        return static_cast<unsigned>(pageNumber(stripDfBit(paddr)) %
+                                     count);
+    }
+
+    /** Does this shard own the page containing @p paddr? */
+    bool
+    owns(Addr paddr) const
+    {
+        return count <= 1 || shardOf(paddr, count) == id;
+    }
+};
+
+/**
+ * The controller key pair, drawn once and injected at construction
+ * (shards of one router share both keys, so ciphertext and spill
+ * contents are shard-count independent). draw() fixes the Rng
+ * consumption order — memory key first, then OTT key — matching the
+ * legacy in-constructor draws bit for bit.
+ */
+struct McKeys
+{
+    crypto::Key128 mem{};
+    crypto::Key128 ott{};
+
+    static McKeys
+    draw(Rng &rng)
+    {
+        McKeys k;
+        k.mem = crypto::randomKey(rng);
+        k.ott = crypto::randomKey(rng);
+        return k;
+    }
+};
+
+/**
+ * What the machine needs from the encryption stack: the
+ * submit/complete datapath plus the trusted kernel's MMIO surface.
+ * Implemented by SecureMemoryController (one shard, the whole
+ * machine) and McRouter (N shards behind one face).
+ */
+class SecureDatapath
+{
+  public:
+    virtual ~SecureDatapath() = default;
+
+    /** Submit one line request through the full encryption stack. */
+    virtual Completion submit(const MemRequest &req, Tick now) = 0;
+
+    /** How many shards sit behind this datapath (1 for a bare
+     *  controller). */
+    virtual unsigned shardCount() const = 0;
+
+    /** Which shard owns @p paddr (always 0 for a bare controller). */
+    virtual unsigned shardOf(Addr paddr) const = 0;
+
+    /// @name MMIO register interface used by the trusted kernel.
+    /// @{
+    virtual Tick mmioRegisterFileKey(std::uint32_t gid,
+                                     std::uint32_t fid,
+                                     const crypto::Key128 &fek,
+                                     Tick now) = 0;
+    virtual Tick mmioRemoveFileKey(std::uint32_t gid, std::uint32_t fid,
+                                   Tick now) = 0;
+    virtual Tick mmioStampPage(Addr paddr, std::uint32_t gid,
+                               std::uint32_t fid, Tick now) = 0;
+    virtual Tick shredPage(Addr page_addr, Tick now) = 0;
+    virtual void mmioAdminLogin(const crypto::Key128 &credential) = 0;
+    virtual void
+    provisionAdminCredential(const crypto::Key128 &credential) = 0;
+    /// @}
+
+    /** The attached event tracer (nullptr = disabled). */
+    virtual trace::Tracer *tracer() const = 0;
+};
+
+} // namespace fsencr
+
+#endif // FSENCR_FSENC_SECURE_DATAPATH_HH

@@ -10,59 +10,68 @@
 
 namespace fsencr {
 
-SecureMemoryController::SecureMemoryController(const SimConfig &cfg,
+SecureMemoryController::SecureMemoryController(const SecParams &sec,
+                                               Scheme scheme,
+                                               const PcmParams &pcm,
+                                               Tick cycle_period,
+                                               bool profile_enabled,
                                                const PhysLayout &layout,
                                                NvmDevice &device,
-                                               Rng &rng)
-    : cfg_(cfg), layout_(layout), device_(device),
-      memKey_(crypto::randomKey(rng)),
-      ottKeyValue_(crypto::randomKey(rng)),
+                                               const McKeys &keys,
+                                               ShardGeometry geom,
+                                               const std::string &stat_name)
+    : sec_(sec), scheme_(scheme), pcm_(pcm), cycle_(cycle_period),
+      profileEnabled_(profile_enabled), geom_(geom), layout_(layout),
+      device_(device),
+      memKey_(keys.mem),
+      ottKeyValue_(keys.ott),
       memAes_(memKey_),
-      wpqInFlight_(cfg.pcm.writeQueueDepth),
-      osiris_(cfg.sec.osirisStopLoss),
-      statGroup_("mc"),
+      wpqInFlight_(pcm.writeQueueDepth),
+      osiris_(sec.osirisStopLoss),
+      statGroup_(stat_name),
       readLatency_(stats::Histogram::log2Buckets()),
       writeLatency_(stats::Histogram::log2Buckets())
 {
-    if (cfg_.hasMemoryEncryption()) {
+    if (hasMemoryEncryption()) {
         merkle_ = std::make_unique<MerkleTree>(layout_, device_,
-                                               cfg_.sec.merkleArity);
+                                               sec_.merkleArity);
         counters_ = std::make_unique<CounterStore>(device_, *merkle_);
-        metaCache_ = std::make_unique<MetadataCache>(cfg_.sec,
+        metaCache_ = std::make_unique<MetadataCache>(sec_,
                                                      layout_);
         statGroup_.addChild(&merkle_->statGroup());
         statGroup_.addChild(&counters_->statGroup());
         statGroup_.addChild(&metaCache_->statGroup());
         statGroup_.addChild(&osiris_.statGroup());
     }
-    if (cfg_.hasFsEncr()) {
+    if (hasFsEncr()) {
         ott_ = std::make_unique<OpenTunnelTable>(
-            cfg_.sec, layout_, device_, *merkle_, ottKeyValue_,
-            cfg_.cyclePeriod());
+            sec_, layout_, device_, *merkle_, ottKeyValue_,
+            cycle_, geom_);
         statGroup_.addChild(&ott_->statGroup());
     }
-    if (cfg_.sec.auditEnabled && cfg_.hasFsEncr() &&
+    if (sec_.auditEnabled && hasFsEncr() &&
         layout_.auditLogBytes() > 0) {
-        audit_ = std::make_unique<AuditLog>(cfg_.sec, layout_, device_,
-                                            *merkle_, cfg_.scheme);
+        audit_ = std::make_unique<AuditLog>(sec_, layout_, device_,
+                                            *merkle_, scheme_, geom_);
         statGroup_.addChild(&audit_->statGroup());
     }
-    if (cfg_.profile) {
+    if (profileEnabled_) {
         prof_ = std::make_unique<profile::Profiler>();
+        prof_->setShardLabel(geom_.id, geom_.count);
         prof_->setResourceCapacity(profile::Res::NvmBanks,
                                    device_.numBanks());
         prof_->setResourceCapacity(profile::Res::Mshr,
-                                   cfg_.pcm.mcMshrs);
+                                   pcm_.mcMshrs);
         prof_->setResourceCapacity(profile::Res::Wpq,
-                                   cfg_.pcm.writeQueueDepth);
+                                   pcm_.writeQueueDepth);
         prof_->setResourceCapacity(profile::Res::MetaCache, 1);
         prof_->setResourceCapacity(profile::Res::Ott, 1);
         prof_->setResourceCapacity(profile::Res::AuditWcb,
-                                   cfg_.sec.auditWcbRecords);
+                                   sec_.auditWcbRecords);
         if (metaCache_)
             metaCache_->setProfiler(prof_.get(),
-                                    cfg_.sec.metadataCacheLatency *
-                                        cfg_.cyclePeriod());
+                                    sec_.metadataCacheLatency *
+                                        cycle_);
         if (ott_)
             ott_->setProfiler(prof_.get());
         if (audit_)
@@ -278,7 +287,7 @@ SecureMemoryController::fetchMetadata(Addr meta_addr, Tick now,
                              ? trace::MerkleVerify
                              : trace::CounterFetch;
 
-    Tick lat = cfg_.sec.metadataCacheLatency * cfg_.cyclePeriod();
+    Tick lat = sec_.metadataCacheLatency * cycle_;
     CacheAccessResult res = metaCache_->access(meta_addr, false);
     if (res.evicted)
         handleMetaEviction(res.victimAddr, res.writeback, now);
@@ -314,7 +323,7 @@ SecureMemoryController::fetchMetadata(Addr meta_addr, Tick now,
 
     // Anubis: log the newly resident counter block in the persistent
     // shadow table (one extra NVM write per fill).
-    if (cfg_.sec.recovery == SecParams::Recovery::AnubisShadow &&
+    if (sec_.recovery == SecParams::Recovery::AnubisShadow &&
         req.cls == TrafficClass::Metadata) {
         anubisShadow_.insert(meta_addr);
         MemRequest st;
@@ -436,7 +445,7 @@ SecureMemoryController::wpqAccept(Tick now, Tick completion)
         wpqInFlight_.pop_front();
 
     Tick stall = 0;
-    if (wpqInFlight_.size() >= cfg_.pcm.writeQueueDepth) {
+    if (wpqInFlight_.size() >= pcm_.writeQueueDepth) {
         Tick free_at = wpqInFlight_.front();
         stall = free_at - now;
         while (!wpqInFlight_.empty() && wpqInFlight_.front() <= free_at)
@@ -515,9 +524,9 @@ SecureMemoryController::bookOverlap(bool is_read, Tick hidden)
 bool
 SecureMemoryController::auditMatches(const Fecb &fecb) const
 {
-    if (cfg_.sec.auditGroups.empty())
+    if (sec_.auditGroups.empty())
         return true;
-    for (std::uint32_t gid : cfg_.sec.auditGroups)
+    for (std::uint32_t gid : sec_.auditGroups)
         if (gid == fecb.groupId)
             return true;
     return false;
@@ -613,7 +622,7 @@ SecureMemoryController::readLine(Addr full_addr, Tick now,
                                  std::uint8_t *plain_out)
 {
     Addr line = blockAlign(stripDfBit(full_addr));
-    bool dax = cfg_.hasFsEncr() && hasDfBit(full_addr);
+    bool dax = hasFsEncr() && hasDfBit(full_addr);
 
     if (trace_)
         trace_->append({TraceRecord::Kind::Read, full_addr, 0, 0});
@@ -627,7 +636,7 @@ SecureMemoryController::readLine(Addr full_addr, Tick now,
     dreq.isWrite = false;
     dreq.cls = TrafficClass::Data;
 
-    if (!cfg_.hasMemoryEncryption()) {
+    if (!hasMemoryEncryption()) {
         Completion dc = device_.submit(dreq, now);
         Tick lat = dc.latency();
         if (prof_) {
@@ -661,7 +670,7 @@ SecureMemoryController::readLine(Addr full_addr, Tick now,
     MetaPhaseProfile mp;
     Tick meta_lat = fetchMetadata(mecb_addr, now, nullptr, &mbd,
                                   prof_ ? &mp.mecb : nullptr);
-    Tick pad_lat = cfg_.sec.aesLatency;
+    Tick pad_lat = sec_.aesLatency;
 
     Mecb mecb = counters_->mecb(mecb_addr);
 
@@ -696,8 +705,8 @@ SecureMemoryController::readLine(Addr full_addr, Tick now,
             // fetch (this is what makes the OTT affordable at 20
             // cycles).
             Tick key_lat = fecb_missed ? key.latency : 0;
-            pad_lat = std::max(cfg_.sec.aesLatency,
-                               key_lat + cfg_.sec.aesLatency);
+            pad_lat = std::max(sec_.aesLatency,
+                               key_lat + sec_.aesLatency);
         }
     }
 
@@ -719,7 +728,7 @@ SecureMemoryController::readLine(Addr full_addr, Tick now,
     if (plain_out)
         std::memcpy(plain_out, buf, blockSize);
 
-    Tick xor_lat = cfg_.sec.xorLatency * cfg_.cyclePeriod();
+    Tick xor_lat = sec_.xorLatency * cycle_;
     Tick total = std::max(data_lat, meta_lat + pad_lat) + xor_lat;
 
     // Critical-path attribution of the max(): when the data-array
@@ -740,8 +749,8 @@ SecureMemoryController::readLine(Addr full_addr, Tick now,
         }
     } else {
         bd = mbd; // counter_fetch + merkle_verify == meta_lat
-        bd.ticks[trace::OttLookup] += pad_lat - cfg_.sec.aesLatency;
-        bd.ticks[trace::PadGen] += cfg_.sec.aesLatency;
+        bd.ticks[trace::OttLookup] += pad_lat - sec_.aesLatency;
+        bd.ticks[trace::PadGen] += sec_.aesLatency;
         if (prof_) {
             if (!dax)
                 mp.mecbVisible = true;
@@ -750,10 +759,10 @@ SecureMemoryController::readLine(Addr full_addr, Tick now,
             // file key; the AES itself is data-path service.
             prof_->book(profile::ReqClass::Fecb,
                         profile::WaitKind::Service,
-                        pad_lat - cfg_.sec.aesLatency);
+                        pad_lat - sec_.aesLatency);
             prof_->book(profile::ReqClass::Data,
                         profile::WaitKind::Service,
-                        cfg_.sec.aesLatency);
+                        sec_.aesLatency);
         }
     }
     bd.ticks[trace::PadGen] += xor_lat;
@@ -773,7 +782,7 @@ SecureMemoryController::writeLine(Addr full_addr,
                                   bool blocking)
 {
     Addr line = blockAlign(stripDfBit(full_addr));
-    bool dax = cfg_.hasFsEncr() && hasDfBit(full_addr);
+    bool dax = hasFsEncr() && hasDfBit(full_addr);
 
     if (trace_)
         trace_->append({blocking ? TraceRecord::Kind::PersistWrite
@@ -789,7 +798,7 @@ SecureMemoryController::writeLine(Addr full_addr,
     dreq.isWrite = true;
     dreq.cls = TrafficClass::Data;
 
-    if (!cfg_.hasMemoryEncryption()) {
+    if (!hasMemoryEncryption()) {
         device_.writeLine(line, plain);
         Completion dc = device_.submit(dreq, now); // bank occupancy
         Tick dev_lat = dc.latency();
@@ -799,13 +808,13 @@ SecureMemoryController::writeLine(Addr full_addr,
         // ADR: accept into the WPQ is durability for all schemes, but
         // a full queue backpressures at the device drain rate.
         Tick wpq_stall = wpqAccept(now, now + dev_lat);
-        Tick lat = cfg_.pcm.writeAcceptLatency + wpq_stall;
+        Tick lat = pcm_.writeAcceptLatency + wpq_stall;
         if (prof_) {
             prof_->book(profile::ReqClass::Data,
                         profile::WaitKind::Wpq, wpq_stall);
             prof_->book(profile::ReqClass::Data,
                         profile::WaitKind::Service,
-                        cfg_.pcm.writeAcceptLatency);
+                        pcm_.writeAcceptLatency);
         }
         ++dataWrites_;
         trace::Breakdown bd;
@@ -845,7 +854,7 @@ SecureMemoryController::writeLine(Addr full_addr,
 
     bool have_file_key = false;
     crypto::Key128 file_key{};
-    Tick pad_lat = cfg_.sec.aesLatency;
+    Tick pad_lat = sec_.aesLatency;
     Tick reencrypt_lat = 0;
     if (dax && !fsencLocked_) {
         OttLookupResult key = lookupFileKey(fecb, now + meta_lat);
@@ -857,8 +866,8 @@ SecureMemoryController::writeLine(Addr full_addr,
             reencrypt_lat += lazyRekeyOnWrite(fecb, line, file_key,
                                               now + meta_lat);
         }
-        pad_lat = std::max(cfg_.sec.aesLatency,
-                           key.latency + cfg_.sec.aesLatency);
+        pad_lat = std::max(sec_.aesLatency,
+                           key.latency + sec_.aesLatency);
     }
 
     // Bump the memory-layer minor counter; a 7-bit overflow bumps the
@@ -916,7 +925,7 @@ SecureMemoryController::writeLine(Addr full_addr,
     // domain, so the stop-loss cadence is off entirely — only the
     // overflow persist (which the re-encryption depends on) remains.
     bool overflowed = reencrypt_lat > 0;
-    bool eadr = cfg_.isEadr();
+    bool eadr = isEadr();
     if ((!eadr && osiris_.atStopLoss(mecb.minors.minor[blk])) ||
         overflowed) {
         counters_->persistMecb(mecb_addr);
@@ -930,7 +939,7 @@ SecureMemoryController::writeLine(Addr full_addr,
     }
     if (dax) {
         unsigned fecb_period = std::max(
-            1u, cfg_.sec.osirisStopLoss * cfg_.sec.fecbStopLossFactor);
+            1u, sec_.osirisStopLoss * sec_.fecbStopLossFactor);
         if ((!eadr && fecb.minors.minor[blk] % fecb_period == 0) ||
             overflowed) {
             counters_->persistFecb(fecb_addr);
@@ -953,14 +962,14 @@ SecureMemoryController::writeLine(Addr full_addr,
     // cell write drains; a full queue stalls the accept.
     Tick completion = now + meta_lat + pad_lat + dev_lat;
     Tick wpq_stall = wpqAccept(now, completion);
-    Tick accept_lat = cfg_.pcm.writeAcceptLatency + wpq_stall;
+    Tick accept_lat = pcm_.writeAcceptLatency + wpq_stall;
     Tick lat = accept_lat + reencrypt_lat;
     if (prof_) {
         prof_->book(profile::ReqClass::Data, profile::WaitKind::Wpq,
                     wpq_stall);
         prof_->book(profile::ReqClass::Data,
                     profile::WaitKind::Service,
-                    cfg_.pcm.writeAcceptLatency);
+                    pcm_.writeAcceptLatency);
         // Page re-encryption is a serial burst of data-array traffic.
         prof_->book(profile::ReqClass::Data,
                     profile::WaitKind::Service, reencrypt_lat);
@@ -1067,7 +1076,7 @@ SecureMemoryController::mmioRegisterFileKey(std::uint32_t gid,
                                             const crypto::Key128 &fek,
                                             Tick now)
 {
-    if (!cfg_.hasFsEncr())
+    if (!hasFsEncr())
         return 0;
     // The hardware identifies files by the FECB's 18/14-bit fields;
     // mask consistently at every MMIO entry point.
@@ -1083,14 +1092,14 @@ SecureMemoryController::mmioRegisterFileKey(std::uint32_t gid,
     // eADR: flush-on-crash replaces the immediate spill logging (the
     // OTT array is inside the persistence domain).
     return ott_->insert(gid, fid, fek, now,
-                        cfg_.sec.ottLogImmediately && !cfg_.isEadr());
+                        sec_.ottLogImmediately && !isEadr());
 }
 
 Tick
 SecureMemoryController::mmioRemoveFileKey(std::uint32_t gid,
                                           std::uint32_t fid, Tick now)
 {
-    if (!cfg_.hasFsEncr())
+    if (!hasFsEncr())
         return 0;
     // Deleted file: its key may still sit in the context cache keyed
     // by value; shedding every schedule is cheap and deletion is rare.
@@ -1111,7 +1120,7 @@ Tick
 SecureMemoryController::mmioStampPage(Addr paddr, std::uint32_t gid,
                                       std::uint32_t fid, Tick now)
 {
-    if (!cfg_.hasFsEncr())
+    if (!hasFsEncr())
         return 0;
     if (trace_)
         trace_->append({TraceRecord::Kind::MmioStamp, paddr, gid, fid});
@@ -1168,14 +1177,14 @@ SecureMemoryController::mmioReplaceFileKey(std::uint32_t gid,
                                            const crypto::Key128 &new_key,
                                            Tick now)
 {
-    if (!cfg_.hasFsEncr())
+    if (!hasFsEncr())
         return 0;
     // Eager re-key: the replaced key is dead once rekeyPage sweeps
     // the file, so drop stale schedules wholesale.
     fileAesCache_.invalidateAll();
     return ott_->insert(gid & Fecb::groupIdMask,
                         fid & Fecb::fileIdMask, new_key, now,
-                        cfg_.sec.ottLogImmediately && !cfg_.isEadr());
+                        sec_.ottLogImmediately && !isEadr());
 }
 
 const crypto::Key128 *
@@ -1253,7 +1262,7 @@ SecureMemoryController::mmioBeginLazyRekey(std::uint32_t gid,
                                            const std::vector<Addr> &pages,
                                            Tick now)
 {
-    if (!cfg_.hasFsEncr())
+    if (!hasFsEncr())
         return 0;
     gid &= Fecb::groupIdMask;
     fid &= Fecb::fileIdMask;
@@ -1274,8 +1283,8 @@ SecureMemoryController::mmioBeginLazyRekey(std::uint32_t gid,
     lazyRekeys_[lazyKeyOf(gid, fid)] = std::move(state);
 
     return ott_->insert(gid, fid, new_key, now + current.latency,
-                        cfg_.sec.ottLogImmediately &&
-                            !cfg_.isEadr()) +
+                        sec_.ottLogImmediately &&
+                            !isEadr()) +
            current.latency;
 }
 
@@ -1342,7 +1351,7 @@ SecureMemoryController::rekeyPage(Addr page_addr,
 Tick
 SecureMemoryController::shredPage(Addr page_addr, Tick now)
 {
-    if (!cfg_.hasMemoryEncryption())
+    if (!hasMemoryEncryption())
         return 0;
     Addr line = pageAlign(stripDfBit(page_addr));
     Addr mecb_addr = layout_.mecbAddr(line);
@@ -1355,7 +1364,7 @@ SecureMemoryController::shredPage(Addr page_addr, Tick now)
     touchMetadataDirty(mecb_addr);
 
     bool pmem = layout_.isPmem(line);
-    if (cfg_.hasFsEncr() && pmem) {
+    if (hasFsEncr() && pmem) {
         Addr fecb_addr = layout_.fecbAddr(line);
         lat += fetchMetadata(fecb_addr, now + lat);
         Fecb fecb;
@@ -1373,7 +1382,7 @@ SecureMemoryController::shredPage(Addr page_addr, Tick now)
     // the shredded page (coarse: shred is rare, expansion is cheap).
     fileAesCache_.invalidateAll();
 
-    persistPageCounters(line, cfg_.hasFsEncr() && pmem, now + lat);
+    persistPageCounters(line, hasFsEncr() && pmem, now + lat);
     return lat;
 }
 
@@ -1386,7 +1395,7 @@ SecureMemoryController::backupFlushAdmit(Addr line_addr)
     bool allow = true;
     if (FaultInjector *inj = device_.faultInjector())
         allow = inj->onBackupFlushLine(line_addr);
-    std::uint64_t budget = cfg_.sec.backupFlushBudgetLines;
+    std::uint64_t budget = sec_.backupFlushBudgetLines;
     if (budget != 0 && backupFlushLines_ >= budget)
         allow = false;
     if (allow)
@@ -1447,7 +1456,7 @@ SecureMemoryController::backupPowerFlush(Tick now)
 void
 SecureMemoryController::crash(Tick now)
 {
-    if (cfg_.isEadr())
+    if (isEadr())
         backupPowerFlush(now);
     if (metaCache_)
         metaCache_->loseAll();
@@ -1456,7 +1465,7 @@ SecureMemoryController::crash(Tick now)
     if (ott_)
         // eADR: the 2 KB on-controller OTT array is covered by its
         // own capacitor, so its crash flush is never budget-gated.
-        ott_->crash(cfg_.isEadr() || cfg_.sec.ottBackupPowerFlush, now);
+        ott_->crash(isEadr() || sec_.ottBackupPowerFlush, now);
     if (audit_)
         audit_->crash();
     device_.crash();
@@ -1504,6 +1513,11 @@ SecureMemoryController::recoverMetadataGraceful()
     virgin.reserve(2 * device_.eccMap().size());
     for (const auto &[line, ecc] : device_.eccMap()) {
         (void)ecc;
+        // Sharded datapath: the device's ECC map is machine-global;
+        // each shard sweeps only the pages it owns (its subtree's
+        // leaves). {0, 1} owns everything.
+        if (!geom_.owns(line))
+            continue;
         virgin.push_back(layout_.mecbAddr(line));
         if (layout_.isPmem(line))
             virgin.push_back(layout_.fecbAddr(line));
@@ -1595,7 +1609,7 @@ SecureMemoryController::recoverLineDetail(Addr full_addr,
                                           std::uint32_t *gid_out,
                                           std::uint32_t *fid_out)
 {
-    if (!cfg_.hasMemoryEncryption())
+    if (!hasMemoryEncryption())
         return LineRecovery::Ok;
 
     Addr line = blockAlign(stripDfBit(full_addr));
@@ -1609,7 +1623,7 @@ SecureMemoryController::recoverLineDetail(Addr full_addr,
     bool dax = false;
     Fecb fecb;
     Addr fecb_addr = 0;
-    if (cfg_.hasFsEncr() && layout_.isPmem(line)) {
+    if (hasFsEncr() && layout_.isPmem(line)) {
         fecb_addr = layout_.fecbAddr(line);
         // Persisted minors drive the probe; the identity stamp may
         // live only in the working copy (remount re-stamps it from
@@ -1689,8 +1703,8 @@ SecureMemoryController::recoverLineDetail(Addr full_addr,
         crypto::xorLine(plain, filePad(line, f, blk, file_key));
     };
     unsigned file_span = std::max(
-        1u, cfg_.sec.osirisStopLoss * cfg_.sec.fecbStopLossFactor);
-    auto pair = osiris_.recoverMinorPair(cfg_.sec.osirisStopLoss,
+        1u, sec_.osirisStopLoss * sec_.fecbStopLossFactor);
+    auto pair = osiris_.recoverMinorPair(sec_.osirisStopLoss,
                                          file_span, stored_ecc, trial2,
                                          line);
     if (!pair)
@@ -1718,14 +1732,14 @@ SecureMemoryController::recoverAllReport()
 {
     RecoveryReport report;
     std::uint64_t probes_before =
-        cfg_.hasMemoryEncryption()
+        hasMemoryEncryption()
             ? osiris_.statGroup().scalarValue("probes")
             : 0;
 
     // Candidate lines: the full ECC map (Osiris sweep), or only the
     // lines covered by shadow-tracked counter blocks (Anubis).
     std::vector<Addr> lines;
-    if (cfg_.sec.recovery == SecParams::Recovery::AnubisShadow) {
+    if (sec_.recovery == SecParams::Recovery::AnubisShadow) {
         for (Addr meta : anubisShadow_) {
             Addr page = layout_.dataPageOfMeta(meta);
             for (unsigned blk = 0; blk < blocksPerPage; ++blk) {
@@ -1742,6 +1756,8 @@ SecureMemoryController::recoverAllReport()
         lines.reserve(device_.eccMap().size());
         for (const auto &[addr, ecc] : device_.eccMap()) {
             (void)ecc;
+            if (!geom_.owns(addr))
+                continue; // another shard's line (sharded recovery)
             lines.push_back(addr);
         }
     }
@@ -1781,15 +1797,15 @@ SecureMemoryController::recoverAllReport()
                   return x.addr < y.addr;
               });
 
-    if (cfg_.hasMemoryEncryption())
+    if (hasMemoryEncryption())
         report.probes = osiris_.statGroup().scalarValue("probes") -
                         probes_before;
     // First-order recovery time: one array read per examined line and
     // one pipelined AES pass per probe (plus the shadow-table scan).
     report.modelTime =
-        report.linesExamined * cfg_.pcm.readLatency +
-        report.probes * cfg_.sec.aesLatency +
-        anubisShadow_.size() * cfg_.pcm.readLatency;
+        report.linesExamined * pcm_.readLatency +
+        report.probes * sec_.aesLatency +
+        anubisShadow_.size() * pcm_.readLatency;
     return report;
 }
 
@@ -1824,7 +1840,7 @@ SecureMemoryController::importCapsule(const SecurityCapsule &capsule)
     memAes_.setKey(memKey_);
     ottKeyValue_ = capsule.ottKey;
     fileAesCache_.invalidateAll();
-    if (cfg_.hasFsEncr() && ott_) {
+    if (hasFsEncr() && ott_) {
         // The transported spill region becomes readable under the
         // imported OTT key; the new machine's on-chip array is empty.
         ott_->adoptKey(ottKeyValue_);

@@ -37,6 +37,7 @@
 #include "crypto/key.hh"
 #include "fsenc/audit_log.hh"
 #include "fsenc/ott.hh"
+#include "fsenc/secure_datapath.hh"
 #include "mem/arena.hh"
 #include "mem/nvm_device.hh"
 #include "mem/phys_layout.hh"
@@ -63,11 +64,54 @@ class IntegrityError : public std::runtime_error
 
 
 /** The memory controller with layered encryption support. */
-class SecureMemoryController
+class SecureMemoryController : public SecureDatapath
 {
   public:
+    /**
+     * Primary constructor: parameters by value-copyable slices, the
+     * device and keys injected, geometry naming the shard's slice of
+     * the machine. The controller is immutable after wiring — no
+     * setter-after-construct mutation path exists (the set* methods
+     * attach pure observers).
+     *
+     * @param sec encryption parameters (copied)
+     * @param scheme protection scheme
+     * @param pcm device/controller timing parameters (copied)
+     * @param cycle_period ticks per CPU cycle
+     * @param profile_enabled build the contention profiler
+     * @param keys injected memory + OTT keys (shards share them)
+     * @param geom this shard's slice ({0, 1} = the whole machine)
+     * @param stat_name stat-tree group name ("mc"; routers name
+     *        shards "mc0".."mcN-1")
+     */
+    SecureMemoryController(const SecParams &sec, Scheme scheme,
+                           const PcmParams &pcm, Tick cycle_period,
+                           bool profile_enabled,
+                           const PhysLayout &layout, NvmDevice &device,
+                           const McKeys &keys,
+                           ShardGeometry geom = {},
+                           const std::string &stat_name = "mc");
+
+    /** Deprecated shim (one PR): the legacy constructor drew both
+     *  keys from the Rng itself. Draw them at the call site with
+     *  McKeys::draw(rng) and use the injected constructor instead. */
+    [[deprecated("construct from SecParams/Scheme/PcmParams with "
+                 "McKeys::draw(rng) injected")]]
     SecureMemoryController(const SimConfig &cfg, const PhysLayout &layout,
-                           NvmDevice &device, Rng &rng);
+                           NvmDevice &device, Rng &rng)
+        : SecureMemoryController(cfg.sec, cfg.scheme, cfg.pcm,
+                                 cfg.cyclePeriod(), cfg.profile, layout,
+                                 device, McKeys::draw(rng))
+    {}
+
+    ~SecureMemoryController() override = default;
+
+    /** One shard behind a bare controller. */
+    unsigned shardCount() const override { return 1; }
+    unsigned shardOf(Addr) const override { return 0; }
+
+    /** The slice of the machine this controller owns. */
+    const ShardGeometry &geometry() const { return geom_; }
 
     /**
      * Submit one request through the full encryption stack.
@@ -80,7 +124,7 @@ class SecureMemoryController
      * attribution from one record instead of pairing a returned
      * scalar with lastAccess().
      */
-    Completion submit(const MemRequest &req, Tick now);
+    Completion submit(const MemRequest &req, Tick now) override;
 
     /**
      * Service a line read (LLC miss fill).
@@ -114,25 +158,27 @@ class SecureMemoryController
 
     /** File creation: register {Group ID, File ID, FEK}. */
     Tick mmioRegisterFileKey(std::uint32_t gid, std::uint32_t fid,
-                             const crypto::Key128 &fek, Tick now);
+                             const crypto::Key128 &fek,
+                             Tick now) override;
 
     /** File deletion: remove the key from OTT and spill region. */
     Tick mmioRemoveFileKey(std::uint32_t gid, std::uint32_t fid,
-                           Tick now);
+                           Tick now) override;
 
     /** DAX page fault: stamp the page's FECB with Group/File ID. */
     Tick mmioStampPage(Addr paddr, std::uint32_t gid, std::uint32_t fid,
-                       Tick now);
+                       Tick now) override;
 
     /**
      * Boot-time admin login. A wrong credential locks FsEncr
      * decryption: file pads are withheld and DAX reads return
      * memory-layer-only decryption (i.e., garbage), Section VI.
      */
-    void mmioAdminLogin(const crypto::Key128 &credential);
+    void mmioAdminLogin(const crypto::Key128 &credential) override;
 
     /** Provision the admin credential (trusted setup). */
-    void provisionAdminCredential(const crypto::Key128 &credential);
+    void provisionAdminCredential(
+        const crypto::Key128 &credential) override;
 
     /// @}
 
@@ -179,7 +225,7 @@ class SecureMemoryController
      * so the old ciphertext is unintelligible even to a holder of the
      * old file key, without rewriting a single data line.
      */
-    Tick shredPage(Addr page_addr, Tick now);
+    Tick shredPage(Addr page_addr, Tick now) override;
 
     /// @name Crash and recovery
     /// @{
@@ -395,7 +441,7 @@ class SecureMemoryController
      * in the same ring. Pure observation: never affects timing.
      */
     void setTracer(trace::Tracer *tracer);
-    trace::Tracer *tracer() const { return tracer_; }
+    trace::Tracer *tracer() const override { return tracer_; }
 
     /**
      * Attach a metrics registry (nullptr disables), forwarded to the
@@ -495,7 +541,7 @@ class SecureMemoryController
     bool
     overlapEnabled() const
     {
-        return cfg_.pcm.mcBanks > 1 && cfg_.pcm.mcMshrs > 1;
+        return pcm_.mcBanks > 1 && pcm_.mcMshrs > 1;
     }
 
     /** Issue slots available to metadata chains (one of the
@@ -503,7 +549,7 @@ class SecureMemoryController
     unsigned
     metaIssueSlots() const
     {
-        return std::min(cfg_.pcm.mcBanks, cfg_.pcm.mcMshrs) - 1;
+        return std::min(pcm_.mcBanks, pcm_.mcMshrs) - 1;
     }
 
     /**
@@ -615,9 +661,29 @@ class SecureMemoryController
      */
     void backupPowerFlush(Tick now);
 
-    SimConfig cfg_;
+    SecParams sec_;
+    Scheme scheme_;
+    PcmParams pcm_;
+    /** Ticks per CPU cycle (SimConfig::cyclePeriod()). */
+    Tick cycle_;
+    bool profileEnabled_;
+    /** This shard's slice of the machine ({0, 1} when standalone). */
+    ShardGeometry geom_;
     const PhysLayout &layout_;
     NvmDevice &device_;
+
+    bool
+    hasMemoryEncryption() const
+    {
+        return scheme_ == Scheme::BaselineSecurity ||
+               scheme_ == Scheme::FsEncr;
+    }
+    bool hasFsEncr() const { return scheme_ == Scheme::FsEncr; }
+    bool
+    isEadr() const
+    {
+        return sec_.persistDomain == PersistDomain::Eadr;
+    }
 
     crypto::Key128 memKey_;
     crypto::Key128 ottKeyValue_;

@@ -39,6 +39,9 @@ struct Completion
     Tick bankWait = 0;
     /** Per-component attribution; sums exactly to latency(). */
     trace::Breakdown breakdown;
+    /** Datapath shard that serviced the request (router completions;
+     *  0 for a bare controller or the device). */
+    unsigned shard = 0;
 
     Tick latency() const { return finish - start; }
 };

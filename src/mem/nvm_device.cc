@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/metrics.hh"
 #include "fault/fault_injector.hh"
+#include "mem/phys_layout.hh"
 
 namespace fsencr {
 
@@ -65,6 +66,20 @@ NvmDevice::decode(Addr addr, unsigned &bank, std::uint64_t &row) const
     bank = (channel * params_.ranksPerChannel + rank) *
                params_.banksPerRank +
            bank_in_rank;
+
+    // Bank-partition affinity for the sharded datapath: fold the flat
+    // bank index into the owner shard's contiguous slice so shards
+    // never contend on each other's bank queues. Address-based (page
+    // number mod shards, matching ShardGeometry::shardOf) so no
+    // request needs to carry its shard.
+    if (shardPartitions_ > 1) {
+        unsigned n = shardPartitions_;
+        unsigned owner =
+            static_cast<unsigned>(pageNumber(stripDfBit(addr)) % n);
+        unsigned per = numBanks() / n;
+        bank = per >= 1 ? owner * per + bank % per
+                        : owner % numBanks();
+    }
 }
 
 Completion

@@ -141,6 +141,20 @@ class NvmDevice
         return static_cast<unsigned>(banks_.size());
     }
 
+    /**
+     * Partition the banks across @p n datapath shards: the decoded
+     * bank is folded so the shard owning a page (page number mod n)
+     * only ever touches its own numBanks()/n bank slice, giving each
+     * shard disjoint bank-queue state without any per-request
+     * plumbing. n <= 1 (the default) restores the flat decode,
+     * bit-identical to the unpartitioned device. With more shards
+     * than banks, shards share banks round-robin.
+     */
+    void setShardPartitions(unsigned n)
+    {
+        shardPartitions_ = n ? n : 1;
+    }
+
     /** Aggregate ticks banks spent busy servicing requests. */
     std::uint64_t bankBusyTicks() const { return bankBusyTicks_.value(); }
     /** Aggregate ticks requests waited on an occupied bank. */
@@ -180,6 +194,8 @@ class NvmDevice
 
     PcmParams params_;
     std::vector<Bank> banks_;
+    /** Datapath shard count for bank-partition affinity (1 = flat). */
+    unsigned shardPartitions_ = 1;
     BackingStore store_;
     std::unordered_map<Addr, std::uint32_t> ecc_;
     FaultInjector *injector_ = nullptr;

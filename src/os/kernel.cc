@@ -2,11 +2,12 @@
 
 #include "common/logging.hh"
 #include "crypto/sha256.hh"
+#include "secmem/counter_store.hh"
 
 namespace fsencr {
 
 Kernel::Kernel(const SimConfig &cfg, const PhysLayout &layout,
-               NvmFilesystem &fs, SecureMemoryController &mc, Rng &rng)
+               NvmFilesystem &fs, SecureDatapath &mc, Rng &rng)
     : cfg_(cfg), layout_(layout), fs_(fs), mc_(mc), rng_(rng),
       statGroup_("kernel")
 {

@@ -33,7 +33,7 @@
 #include "common/types.hh"
 #include "crypto/key.hh"
 #include "fs/nvmfs.hh"
-#include "fsenc/secure_memory_controller.hh"
+#include "fsenc/secure_datapath.hh"
 #include "os/open_flags.hh"
 
 namespace fsencr {
@@ -93,7 +93,7 @@ class Kernel
 {
   public:
     Kernel(const SimConfig &cfg, const PhysLayout &layout,
-           NvmFilesystem &fs, SecureMemoryController &mc, Rng &rng);
+           NvmFilesystem &fs, SecureDatapath &mc, Rng &rng);
 
     /// @name Accounts and processes
     /// @{
@@ -250,7 +250,7 @@ class Kernel
     const SimConfig cfg_;
     const PhysLayout &layout_;
     NvmFilesystem &fs_;
-    SecureMemoryController &mc_;
+    SecureDatapath &mc_;
     Rng &rng_;
 
     std::map<std::uint32_t, User> users_;

@@ -32,8 +32,7 @@ System::System(const SimConfig &cfg)
 {
     device_ = std::make_unique<NvmDevice>(cfg_.pcm,
                                           cfg_.sec.auditEnabled);
-    mc_ = std::make_unique<SecureMemoryController>(cfg_, layout_,
-                                                   *device_, rng_);
+    mc_ = std::make_unique<McRouter>(cfg_, layout_, *device_, rng_);
     fs_ = std::make_unique<NvmFilesystem>(layout_);
     kernel_ = std::make_unique<Kernel>(cfg_, layout_, *fs_, *mc_, rng_);
     caches_ = std::make_unique<CacheHierarchy>(cfg_.cpu);
@@ -55,9 +54,30 @@ System::System(const SimConfig &cfg)
     // Auditing records the exact per-access stream, so it forces the
     // exact model too (ISSUE: "auditing forces ffFlush or falls back
     // to exact" — we fall back).
+    // The sharded clock model reconciles per-shard epochs, which the
+    // batched fast path cannot observe — shards force the exact model.
     ffEnabled_ = cfg_.fastForward && !swenc_ &&
                  !cfg_.sec.auditEnabled &&
+                 cfg_.pcm.mcShards <= 1 &&
                  cfg_.cpu.numCores <= ffMaxCores;
+
+    shardMode_ = mc_->shardCount() > 1;
+    if (shardMode_) {
+        shEpochLimit_ = shardEpochDepth * mc_->shardCount();
+        shBusy_.assign(mc_->shardCount(), 0);
+        shBd_.assign(mc_->shardCount(), trace::Breakdown{});
+        measureStartShardBusy_.assign(mc_->shardCount(), 0);
+        shardGroup_ = std::make_unique<stats::StatGroup>("shards");
+        shardGroup_->addScalar("serialTicks", shardSerialTicks_);
+        shardGroup_->addScalar("visibleTicks", shardVisibleTicks_);
+        shardGroup_->addScalar("reconciles", shardReconciles_);
+        for (unsigned k = 0; k < mc_->shardCount(); ++k) {
+            shardBusyTotals_.emplace_back();
+            shardGroup_->addScalar("busy" + std::to_string(k),
+                                   shardBusyTotals_.back());
+        }
+        statGroup_.addChild(shardGroup_.get());
+    }
 
     statGroup_.addScalar("loads", totalLoads_);
     statGroup_.addScalar("stores", totalStores_);
@@ -67,7 +87,8 @@ System::System(const SimConfig &cfg)
         attrGroup_.addScalar(trace::componentName(c), attrTicks_[c]);
     statGroup_.addChild(&attrGroup_);
     statGroup_.addChild(&device_->statGroup());
-    statGroup_.addChild(&mc_->statGroup());
+    for (unsigned k = 0; k < mc_->shardCount(); ++k)
+        statGroup_.addChild(&mc_->shard(k).statGroup());
     statGroup_.addChild(&caches_->statGroup());
     statGroup_.addChild(&kernel_->statGroup());
     statGroup_.addChild(&fs_->statGroup());
@@ -81,6 +102,7 @@ void
 System::setTracer(trace::Tracer *tracer)
 {
     ffFlush();
+    reconcileShards();
     tracer_ = tracer;
     mc_->setTracer(tracer);
     if (tracer_)
@@ -88,14 +110,38 @@ System::setTracer(trace::Tracer *tracer)
 }
 
 void
-System::advanceMc(Tick latency)
+System::reconcileShards()
 {
-    // The controller's per-request breakdown sums exactly to the
-    // latency it returned; fold it into the system-level attribution.
-    const trace::Breakdown &bd = mc_->lastAccess();
+    if (!shardMode_)
+        return;
+    shEpochOps_ = 0;
+    Tick sum = 0;
+    unsigned crit = 0;
+    for (unsigned k = 0; k < shBusy_.size(); ++k) {
+        sum += shBusy_[k];
+        if (shBusy_[k] > shBusy_[crit])
+            crit = k; // ties resolve to the lowest shard id
+    }
+    if (sum == 0)
+        return;
+
+    shardSerialTicks_ += sum;
+    shardVisibleTicks_ += shBusy_[crit];
+    ++shardReconciles_;
+    for (unsigned k = 0; k < shBusy_.size(); ++k)
+        shardBusyTotals_[k] += shBusy_[k];
+
+    // The global clock advances by the critical shard's epoch (the
+    // others drained under it), and only its breakdown enters the
+    // attribution — the critical breakdown sums to exactly the ticks
+    // added, preserving attribution-total == ticks.
     for (unsigned c = 0; c < trace::NumComponents; ++c)
-        attrTicks_[c] += bd.ticks[c];
-    now_ += latency;
+        attrTicks_[c] += shBd_[crit].ticks[c];
+    now_ += shBusy_[crit];
+    for (unsigned k = 0; k < shBusy_.size(); ++k) {
+        shBusy_[k] = 0;
+        shBd_[k] = trace::Breakdown{};
+    }
     if (advanceHooks_)
         advanceHooks();
 }
@@ -104,6 +150,7 @@ void
 System::setMetrics(metrics::Registry *metrics)
 {
     ffFlush();
+    reconcileShards();
     metrics_ = metrics;
     if (metrics_)
         metrics_->setStatRoot(&statGroup_);
@@ -114,6 +161,7 @@ void
 System::setFaultInjector(FaultInjector *injector)
 {
     ffFlush();
+    reconcileShards();
     injector_ = injector;
     device_->setFaultInjector(injector);
     advanceHooks_ = injector_ != nullptr || sampler_ != nullptr;
@@ -122,6 +170,7 @@ System::setFaultInjector(FaultInjector *injector)
     // attached injector forces the exact model.
     ffEnabled_ = cfg_.fastForward && !swenc_ && !injector_ &&
                  !cfg_.sec.auditEnabled &&
+                 cfg_.pcm.mcShards <= 1 &&
                  cfg_.cpu.numCores <= ffMaxCores;
 }
 
@@ -348,6 +397,7 @@ System::attribution() const
     // Ticks of an open fast-forward run all belong to the L1 lookup
     // slot; fold them in so total() matches now() without a flush.
     bd.ticks[trace::CacheAccess] += ffPendingTicks();
+    foldPendingShardAttr(bd);
     return bd;
 }
 
@@ -358,7 +408,27 @@ System::measuredAttribution() const
     for (unsigned c = 0; c < trace::NumComponents; ++c)
         bd.ticks[c] = attrTicks_[c].value() - measureStartAttr_[c];
     bd.ticks[trace::CacheAccess] += ffPendingTicks();
+    foldPendingShardAttr(bd);
     return bd;
+}
+
+void
+System::foldPendingShardAttr(trace::Breakdown &bd) const
+{
+    // An open shard epoch's critical shard would advance the clock by
+    // its busy ticks at the next reconcile; fold its breakdown (which
+    // sums to exactly those ticks) in so total() matches now()
+    // without forcing the boundary.
+    if (!shardMode_)
+        return;
+    unsigned crit = 0;
+    for (unsigned k = 1; k < shBusy_.size(); ++k)
+        if (shBusy_[k] > shBusy_[crit])
+            crit = k;
+    if (shBusy_[crit] == 0)
+        return;
+    for (unsigned c = 0; c < trace::NumComponents; ++c)
+        bd.ticks[c] += shBd_[crit].ticks[c];
 }
 
 void
@@ -392,7 +462,7 @@ System::writebackLine(Addr paddr)
     req.paddr = paddr;
     req.isWrite = true;
     req.writeData = buf;
-    mc_->submit(req, now_);
+    submitMcBackground(req);
 }
 
 void
@@ -428,7 +498,7 @@ System::accessOnce(unsigned core_id, Addr vaddr, bool is_write,
         MemRequest req;
         req.paddr = paddr;
         req.core = static_cast<std::uint8_t>(core_id);
-        advanceMc(mc_->submit(req, now_));
+        submitMc(req);
     }
 
     // Functional data movement against the architectural image.
@@ -486,9 +556,8 @@ namespace {
 class BlockingSink : public WritebackSink
 {
   public:
-    BlockingSink(System &sys, SecureMemoryController &mc,
-                 BackingStore &arch, unsigned core)
-        : sys_(sys), mc_(mc), arch_(arch),
+    BlockingSink(System &sys, BackingStore &arch, unsigned core)
+        : sys_(sys), arch_(arch),
           core_(static_cast<std::uint8_t>(core))
     {}
 
@@ -503,12 +572,11 @@ class BlockingSink : public WritebackSink
         req.writeData = buf;
         req.blocking = true;
         req.core = core_;
-        sys_.advanceMc(mc_.submit(req, sys_.now()));
+        sys_.submitMc(req);
     }
 
   private:
     System &sys_;
-    SecureMemoryController &mc_;
     BackingStore &arch_;
     std::uint8_t core_;
 };
@@ -559,7 +627,7 @@ System::clwbPhys(unsigned core_id, Addr paddr)
 
     // The clwb instruction itself.
     advance(trace::CpuCompute, 2 * cfg_.cyclePeriod());
-    BlockingSink sink(*this, *mc_, archMem_, core_id);
+    BlockingSink sink(*this, archMem_, core_id);
     caches_->clwb(core_id, paddr, sink);
 }
 
@@ -727,7 +795,7 @@ System::accessPhys(unsigned core_id, Addr paddr, bool is_write,
         MemRequest req;
         req.paddr = paddr;
         req.core = static_cast<std::uint8_t>(core_id);
-        advanceMc(mc_->submit(req, now_));
+        submitMc(req);
     }
 
     Addr daddr = stripDfBit(paddr);
@@ -846,6 +914,7 @@ void
 System::crash()
 {
     ffFlush(); // credit batched hits before the caches vanish
+    reconcileShards(); // power loss is a hard epoch boundary
     ++crashes_;
     lostDirtyLines_ = caches_->crash();
     if (eadrActive()) {
@@ -894,12 +963,14 @@ System::lineIsDax(Addr line_addr) const
     if (!cfg_.hasFsEncr() || !layout_.isPmem(line_addr))
         return false;
     // The working copy carries remount-time stamps; fall back to the
-    // persisted image.
+    // persisted image. The counters live on the shard owning the
+    // data line, so route by the data address, not the FECB's.
     Addr fecb_addr = layout_.fecbAddr(line_addr);
-    Fecb fecb = mc_->counters().fecb(fecb_addr);
+    CounterStore &cs = mc_->countersFor(line_addr);
+    Fecb fecb = cs.fecb(fecb_addr);
     if ((fecb.groupId | fecb.fileId) != 0)
         return true;
-    Fecb persisted = mc_->counters().persistedFecb(fecb_addr);
+    Fecb persisted = cs.persistedFecb(fecb_addr);
     return (persisted.groupId | persisted.fileId) != 0;
 }
 
@@ -962,6 +1033,7 @@ bool
 System::recover()
 {
     ffFlush();
+    reconcileShards();
     ++recoveries_;
     lastRecovery_ = RecoveryOutcome{};
     RecoveryOutcome &out = lastRecovery_;
@@ -1033,6 +1105,7 @@ void
 System::shutdown()
 {
     ffFlush();
+    reconcileShards();
     caches_->flushAll(*this);
     mc_->shutdown(now_);
     if (swenc_)
@@ -1043,10 +1116,12 @@ bool
 System::migrateFrom(System &donor)
 {
     ffFlush();
+    reconcileShards();
     // 1. Orderly power-down of the donor; the capsule leaves through
-    //    the authorized user interface.
+    //    the authorized user interface. Shard counts must match: the
+    //    capsule carries one subtree per shard.
     donor.shutdown();
-    auto capsule = donor.mc().exportCapsule(donor.now());
+    auto capsule = donor.router().exportCapsule(donor.now());
 
     // 2. The DIMM (cells + ECC + on-module filesystem image) moves.
     device_->adoptContents(donor.device());
@@ -1067,6 +1142,7 @@ void
 System::dumpStats(std::ostream &os)
 {
     ffFlush();
+    reconcileShards();
     statGroup_.dump(os);
 }
 
@@ -1074,11 +1150,18 @@ void
 System::beginMeasurement()
 {
     ffFlush();
+    reconcileShards();
     measureStart_ = now_;
     measureStartReads_ = device_->numReads();
     measureStartWrites_ = device_->numWrites();
     for (unsigned c = 0; c < trace::NumComponents; ++c)
         measureStartAttr_[c] = attrTicks_[c].value();
+    if (shardMode_) {
+        measureStartShardSerial_ = shardSerialTicks_.value();
+        measureStartShardVisible_ = shardVisibleTicks_.value();
+        for (unsigned k = 0; k < shardBusyTotals_.size(); ++k)
+            measureStartShardBusy_[k] = shardBusyTotals_[k].value();
+    }
 }
 
 std::uint64_t

@@ -18,6 +18,7 @@
 #define FSENCR_SIM_SYSTEM_HH
 
 #include <cstring>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,7 +32,7 @@
 #include "common/types.hh"
 #include "cpu/core.hh"
 #include "fs/nvmfs.hh"
-#include "fsenc/secure_memory_controller.hh"
+#include "fsenc/mc_router.hh"
 #include "mem/backing_store.hh"
 #include "mem/nvm_device.hh"
 #include "mem/phys_layout.hh"
@@ -222,13 +223,25 @@ class System : public WritebackSink
     /// @name Introspection
     /// @{
 
-    /** Current time. Ticks of an open fast-forward run are folded in
-     *  arithmetically, so the value is exact without a flush. */
-    Tick now() const { return now_ + ffPendingTicks(); }
+    /** Current time. Ticks of an open fast-forward run and of the
+     *  shards' unreconciled epoch clocks are folded in arithmetically,
+     *  so the value is exact without a flush. */
+    Tick
+    now() const
+    {
+        return now_ + ffPendingTicks() + shardPendingTicks();
+    }
     const SimConfig &config() const { return cfg_; }
     const PhysLayout &layout() const { return layout_; }
     NvmDevice &device() { return *device_; }
-    SecureMemoryController &mc() { return *mc_; }
+    /** Shard 0 of the datapath — the whole controller at the default
+     *  `--mc-shards 1`. Sharded tools address shards explicitly
+     *  through router(). */
+    SecureMemoryController &mc() { return mc_->shard(0); }
+    /** The sharded datapath front (N == 1 included). */
+    McRouter &router() { return *mc_; }
+    /** The datapath as the kernel sees it: the abstract interface. */
+    SecureDatapath &datapath() { return *mc_; }
     Kernel &kernel() { return *kernel_; }
     NvmFilesystem &fs() { return *fs_; }
     CacheHierarchy &caches() { return *caches_; }
@@ -236,14 +249,16 @@ class System : public WritebackSink
     Core &core(unsigned i) { return *cores_.at(i); }
     BackingStore &archMem() { return archMem_; }
 
-    /** Stat tree root. Closes any open fast-forward run first (a
-     *  cached-flag no-op in the exact model) so scalars read through
-     *  the tree — loads, stores, cache hits — are exact at any time,
-     *  matching now()'s always-exact semantics. */
+    /** Stat tree root. Closes any open fast-forward run and
+     *  reconciles the shard clocks first (cached-flag no-ops in the
+     *  exact/unsharded model) so scalars read through the tree —
+     *  loads, stores, cache hits, shard ticks — are exact at any
+     *  time, matching now()'s always-exact semantics. */
     stats::StatGroup &
     statGroup()
     {
         ffFlush();
+        reconcileShards();
         return statGroup_;
     }
 
@@ -284,6 +299,7 @@ class System : public WritebackSink
     setSampler(metrics::Sampler *sampler)
     {
         ffFlush();
+        reconcileShards();
         sampler_ = sampler;
         advanceHooks_ = injector_ != nullptr || sampler_ != nullptr;
     }
@@ -305,10 +321,6 @@ class System : public WritebackSink
             advanceHooks();
     }
 
-    /** Advance by a memory-controller request latency, splitting it
-     *  per the controller's own attribution of that request. */
-    void advanceMc(Tick latency);
-
     /** Advance by a completed memory request: the clock moves by
      *  completion.latency() and its per-hop breakdown (which sums
      *  exactly to that latency) folds into the attribution. */
@@ -321,6 +333,102 @@ class System : public WritebackSink
         if (advanceHooks_)
             advanceHooks();
     }
+
+    /**
+     * Submit one demand request to the datapath and charge its
+     * latency to the system clock.
+     *
+     * Unsharded (`--mc-shards 1`): exactly submit + advanceMc, bit
+     * for bit the legacy path. Sharded: the request is issued on its
+     * owner shard's epoch-local clock (now_ + that shard's
+     * accumulated busy time), the completion extends only that
+     * shard's clock, and every shardEpochDepth x shardCount
+     * submissions — or any
+     * hard boundary — reconcileShards() merges the per-shard clocks
+     * deterministically: the global clock advances by the critical
+     * (max-busy) shard's epoch, modeling the shards draining their
+     * epochs concurrently. Submission order is deterministic, so the
+     * merged clock is too (same seed => byte-identical reports at
+     * any fixed shard count).
+     */
+    void
+    submitMc(const MemRequest &req)
+    {
+        if (!shardMode_) {
+            advanceMc(mc_->submit(req, now_));
+            return;
+        }
+        unsigned k = mc_->shardOf(req.paddr);
+        Completion c = mc_->submit(req, now_ + shBusy_[k]);
+        shBusy_[k] += c.latency();
+        for (unsigned i = 0; i < trace::NumComponents; ++i)
+            shBd_[k].ticks[i] += c.breakdown.ticks[i];
+        if (++shEpochOps_ >= shEpochLimit_)
+            reconcileShards();
+    }
+
+    /** Submit a background (posted) request: bank occupancy is
+     *  modeled on the owner shard's epoch clock, the completion never
+     *  lands on the system clock. */
+    void
+    submitMcBackground(const MemRequest &req)
+    {
+        if (!shardMode_) {
+            mc_->submit(req, now_);
+            return;
+        }
+        mc_->submit(req, now_ + shBusy_[mc_->shardOf(req.paddr)]);
+    }
+
+    /**
+     * Epoch boundary of the sharded clock model: fold the critical
+     * shard's breakdown into the attribution, advance the global
+     * clock by its busy time (the other shards' epochs ran under it),
+     * book the serial/visible tick aggregates, and zero the epoch
+     * state. No-op when unsharded or nothing is pending. Hard
+     * boundaries (crash, recovery, shutdown, migration, measurement
+     * marks, stat reads, observer attach) call this so cross-shard
+     * state is always read on a reconciled clock.
+     */
+    void reconcileShards();
+
+    /** Busy ticks of the open shard epoch not yet folded into now_
+     *  (the critical shard's accumulated time). */
+    Tick
+    shardPendingTicks() const
+    {
+        if (!shardMode_)
+            return 0;
+        Tick m = 0;
+        for (Tick t : shBusy_)
+            if (t > m)
+                m = t;
+        return m;
+    }
+
+    /// @name Sharded-datapath measurement (bench `shards` sections).
+    /// All reconcile first, so the values are exact.
+    /// @{
+    std::uint64_t
+    measuredShardSerialTicks()
+    {
+        reconcileShards();
+        return shardSerialTicks_.value() - measureStartShardSerial_;
+    }
+    std::uint64_t
+    measuredShardVisibleTicks()
+    {
+        reconcileShards();
+        return shardVisibleTicks_.value() - measureStartShardVisible_;
+    }
+    std::uint64_t
+    measuredShardBusyTicks(unsigned k)
+    {
+        reconcileShards();
+        return shardBusyTotals_.at(k).value() -
+               measureStartShardBusy_.at(k);
+    }
+    /// @}
 
     /** Cumulative per-component attribution since construction. */
     trace::Breakdown attribution() const;
@@ -375,6 +483,10 @@ class System : public WritebackSink
     /** Out-of-line hook tail of advance()/advanceMc(): fault injector
      *  and sampler, reached only when advanceHooks_ is set. */
     void advanceHooks();
+
+    /** Fold the open shard epoch's critical-shard breakdown into
+     *  @p bd (no-op unsharded); see attribution(). */
+    void foldPendingShardAttr(trace::Breakdown &bd) const;
 
     /// @name Fast-forward mode (opt-in via SimConfig::fastForward; see
     /// docs/ARCHITECTURE.md, "Fast-forward & trace replay").
@@ -640,7 +752,7 @@ class System : public WritebackSink
     PhysLayout layout_;
     Rng rng_;
     std::unique_ptr<NvmDevice> device_;
-    std::unique_ptr<SecureMemoryController> mc_;
+    std::unique_ptr<McRouter> mc_;
     std::unique_ptr<NvmFilesystem> fs_;
     std::unique_ptr<Kernel> kernel_;
     std::unique_ptr<CacheHierarchy> caches_;
@@ -671,6 +783,46 @@ class System : public WritebackSink
     Tick measureStart_ = 0;
     std::uint64_t measureStartReads_ = 0;
     std::uint64_t measureStartWrites_ = 0;
+
+    /// @name Sharded-clock epoch state (`--mc-shards > 1` only).
+    /// @{
+
+    /** Sharded mode is on (mcShards > 1); false keeps every shard
+     *  hook a cached-flag no-op and the clock bit-identical. */
+    bool shardMode_ = false;
+    /** Per-shard queue depth the epoch models: each shard drains up
+     *  to this many submissions concurrently with its peers before
+     *  the clocks merge, so the epoch length (depth x shard count)
+     *  spans enough pages that page-interleaved streams actually
+     *  overlap. Constant per shard => skew stays bounded as the
+     *  shard count grows. */
+    static constexpr unsigned shardEpochDepth = 4096;
+    /** Submissions per epoch before a reconcile (depth x shards);
+     *  set at construction, 0 while unsharded. */
+    unsigned shEpochLimit_ = 0;
+    unsigned shEpochOps_ = 0;
+    /** Per-shard busy ticks accumulated this epoch. */
+    std::vector<Tick> shBusy_;
+    /** Per-shard attribution accumulated this epoch (each sums to
+     *  its shard's shBusy_ entry). */
+    std::vector<trace::Breakdown> shBd_;
+    /** Registered only in shard mode, so unsharded stat dumps stay
+     *  byte-identical. */
+    std::unique_ptr<stats::StatGroup> shardGroup_;
+    /** Sum of all shards' busy ticks (the serial datapath time). */
+    stats::Scalar shardSerialTicks_;
+    /** Sum of the critical shard's ticks per epoch (the datapath
+     *  time the machine actually saw); serial/visible is the
+     *  measured sharding speedup. */
+    stats::Scalar shardVisibleTicks_;
+    stats::Scalar shardReconciles_;
+    /** Cumulative busy ticks per shard (deque: addScalar holds
+     *  references). */
+    std::deque<stats::Scalar> shardBusyTotals_;
+    std::uint64_t measureStartShardSerial_ = 0;
+    std::uint64_t measureStartShardVisible_ = 0;
+    std::vector<std::uint64_t> measureStartShardBusy_;
+    /// @}
 
     trace::Tracer *tracer_ = nullptr;
     metrics::Registry *metrics_ = nullptr;

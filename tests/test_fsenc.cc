@@ -162,7 +162,8 @@ struct McFixture
     explicit McFixture(Scheme scheme)
         : cfg(mcConfig(scheme)), layout(cfg.layout),
           device(cfg.pcm), rng(cfg.seed),
-          mc(cfg, layout, device, rng)
+          mc(cfg.sec, cfg.scheme, cfg.pcm, cfg.cyclePeriod(),
+             cfg.profile, layout, device, McKeys::draw(rng))
     {}
 
     SimConfig cfg;

@@ -21,7 +21,9 @@ struct LazyFixture : ::testing::Test
 {
     LazyFixture()
         : cfg(makeCfg()), layout(cfg.layout), device(cfg.pcm),
-          rng(cfg.seed), mc(cfg, layout, device, rng)
+          rng(cfg.seed),
+          mc(cfg.sec, cfg.scheme, cfg.pcm, cfg.cyclePeriod(),
+             cfg.profile, layout, device, McKeys::draw(rng))
     {
         old_key = crypto::randomKey(rng);
         new_key = crypto::randomKey(rng);

@@ -115,8 +115,12 @@ struct Options
     std::string reportOut;
     bool json = false;
     bool audit = false;
+    /** Parsed from mc.persistDomain after parseArgs. */
     PersistDomain persistDomain = PersistDomain::Adr;
     bool failFast = false;
+    /** The shared MC knob bundle (--mc-banks/--mc-mshrs/--mc-shards/
+     *  --audit-filter/--persist-domain/--backup-flush-budget). */
+    McParams mc;
 };
 
 bool
@@ -173,24 +177,19 @@ parseArgs(int argc, char **argv, Options &opt)
               "run with the audit ride-along on and check the "
               "no-lost/no-forged-records invariants",
               &opt.audit)
-        .custom("--persist-domain", "{adr|eadr}",
-                "persistence-domain boundary (eadr adds the "
-                "partialflush class and cache-durability checks)",
-                [&opt](const std::string &v) {
-                    if (!parsePersistDomain(v, opt.persistDomain)) {
-                        std::fprintf(stderr,
-                                     "bad --persist-domain '%s'\n",
-                                     v.c_str());
-                        return false;
-                    }
-                    return true;
-                })
         .flag("--fail-fast",
               "stop after the first failing run instead of finishing "
               "the matrix",
               &opt.failFast);
+    cli::addMcOptions(p, opt.mc);
     if (int rc = p.parse(argc, argv))
         return rc;
+    if (!parsePersistDomain(opt.mc.persistDomain,
+                            opt.persistDomain)) {
+        std::fprintf(stderr, "bad --persist-domain '%s'\n",
+                     opt.mc.persistDomain.c_str());
+        return 2;
+    }
     if (opt.crashes == 0 || opt.files == 0 || opt.ops < 2) {
         std::fprintf(stderr, "need --crashes>=1 --files>=1 --ops>=2\n");
         return 2;
@@ -339,9 +338,12 @@ struct Machine
         SimConfig cfg;
         cfg.scheme = o.scheme;
         cfg.seed = o.seed;
+        std::string err;
+        if (!o.mc.applyTo(cfg, err))
+            fatal("%s", err.c_str());
         // --audit: log every access (System sizes the region).
-        cfg.sec.auditEnabled = o.audit;
-        cfg.sec.persistDomain = o.persistDomain;
+        if (o.audit)
+            cfg.sec.auditEnabled = true;
         return cfg;
     }
 
@@ -592,7 +594,7 @@ checkInvariants(Machine &m, const Options &o,
         for (Addr page : node.blocks) {
             for (unsigned i = 0; i < linesPerPage; ++i) {
                 Addr a = page + i * blockSize;
-                if (!m.sys.mc().isQuarantined(a))
+                if (!m.sys.router().isQuarantined(a))
                     continue;
                 std::uint8_t arch[blockSize];
                 m.sys.archMem().read(a, arch, blockSize);
@@ -654,8 +656,9 @@ checkInvariants(Machine &m, const Options &o,
         m.sys.closeFd(0, fd);
     }
 
-    // The adopted post-recovery Merkle state must re-verify.
-    r.invMetadataConsistent = m.sys.mc().recoverMetadata();
+    // The adopted post-recovery Merkle state must re-verify (every
+    // shard's subtree at --mc-shards > 1).
+    r.invMetadataConsistent = m.sys.router().recoverMetadata();
 }
 
 /**
@@ -668,25 +671,10 @@ checkInvariants(Machine &m, const Options &o,
 void
 checkAuditInvariants(Machine &m, RunResult &r)
 {
-    const AuditLog *log = m.sys.mc().auditLog();
-    if (!log)
-        return;
-
-    AuditScanResult scan = log->scan();
-    r.auditChecked = true;
-    r.auditGolden = log->appendedRecords();
-    r.auditAcked = log->ackedRecords();
-    r.auditRecovered = scan.records.size();
-    r.auditTruncated = scan.integrityTruncated;
-
-    const auto &golden = log->goldenRecords();
-    if (scan.records.size() > golden.size())
-        r.invAuditPrefix = false;
-    for (std::size_t i = 0;
-         i < scan.records.size() && i < golden.size(); ++i)
-        if (!(scan.records[i] == golden[i]))
-            r.invAuditPrefix = false;
-
+    // Each shard keeps an independent audit-log slice with its own
+    // golden stream; the invariants hold per slice, the report's
+    // counters sum across them (one shard: the historical checks,
+    // byte-identical).
     bool log_hit = false;
     const PhysLayout &layout = m.sys.layout();
     for (const auto &rec : r.injections) {
@@ -698,15 +686,39 @@ checkAuditInvariants(Machine &m, RunResult &r)
             layout.classifyMeta(a) == PhysLayout::MetaKind::AuditLog)
             log_hit = true;
     }
-    if (log_hit) {
-        // Damaged log lines may truncate the recovery, but only
-        // loudly: a full-length undamaged-looking scan would mean the
-        // fault forged its way past the Merkle coverage.
-        if (!scan.integrityTruncated &&
-            scan.records.size() < r.auditAcked)
+
+    McRouter &router = m.sys.router();
+    for (unsigned k = 0; k < router.shardCount(); ++k) {
+        const AuditLog *log = router.shard(k).auditLog();
+        if (!log)
+            continue;
+
+        AuditScanResult scan = log->scan();
+        r.auditChecked = true;
+        std::uint64_t acked = log->ackedRecords();
+        r.auditGolden += log->appendedRecords();
+        r.auditAcked += acked;
+        r.auditRecovered += scan.records.size();
+        r.auditTruncated = r.auditTruncated || scan.integrityTruncated;
+
+        const auto &golden = log->goldenRecords();
+        if (scan.records.size() > golden.size())
+            r.invAuditPrefix = false;
+        for (std::size_t i = 0;
+             i < scan.records.size() && i < golden.size(); ++i)
+            if (!(scan.records[i] == golden[i]))
+                r.invAuditPrefix = false;
+
+        if (log_hit) {
+            // Damaged log lines may truncate the recovery, but only
+            // loudly: a full-length undamaged-looking scan would mean
+            // the fault forged its way past the Merkle coverage.
+            if (!scan.integrityTruncated &&
+                scan.records.size() < acked)
+                r.invAuditDurable = false;
+        } else if (scan.records.size() < acked) {
             r.invAuditDurable = false;
-    } else if (scan.records.size() < r.auditAcked) {
-        r.invAuditDurable = false;
+        }
     }
 }
 
@@ -865,7 +877,10 @@ writeReport(std::ostream &os, const Options &o, std::uint64_t W,
     w.field("files", static_cast<std::uint64_t>(o.files));
     w.field("scheme", schemeName(o.scheme));
     w.field("persist_domain", persistDomainName(o.persistDomain));
-    // Additive: absent when off (audit-off reports byte-identical).
+    // Additive: absent at the defaults (historical reports stay
+    // byte-identical).
+    if (o.mc.shards > 1)
+        w.field("mc_shards", static_cast<std::uint64_t>(o.mc.shards));
     if (o.audit)
         w.field("audit", true);
     w.endObject();

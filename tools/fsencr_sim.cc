@@ -28,6 +28,7 @@
 #include "common/report.hh"
 #include "common/trace.hh"
 #include "cpu/mem_trace.hh"
+#include "fsenc/mc_router.hh"
 #include "fsenc/secure_memory_controller.hh"
 #include "workloads/dax_micro.hh"
 #include "workloads/extra_workloads.hh"
@@ -59,13 +60,11 @@ struct Options
     Tick sampleInterval = 0;    //!< --sample-interval TICKS (0 = off)
     std::string metricsCsv;     //!< --metrics-csv FILE (interval deltas)
     std::string metricsProm;    //!< --metrics-prom FILE (text exposition)
-    unsigned mcBanks = 0;       //!< --mc-banks N (0 = config default)
-    unsigned mcMshrs = 0;       //!< --mc-mshrs N (0 = config default)
     bool fastForward = false;   //!< --fast-forward (tick-exact batch)
     bool profile = false;       //!< --profile (contention profiler)
-    std::string auditFilter;    //!< --audit-filter SPEC ("" = off)
-    PersistDomain persistDomain = PersistDomain::Adr;
-    std::uint64_t backupFlushBudget = 0; //!< eADR lines (0 = unbounded)
+    /** The shared MC knob bundle (--mc-banks/--mc-mshrs/--mc-shards/
+     *  --audit-filter/--persist-domain/--backup-flush-budget). */
+    McParams mc;
 };
 
 using Factory =
@@ -189,13 +188,6 @@ parseArgs(int argc, char **argv, Options &opt)
         .optUnsigned("--stop-loss", "N", "Osiris persistence bound",
                      &opt.stopLoss)
         .optU64("--seed", "N", "determinism", &opt.seed)
-        .optUnsigned("--mc-banks", "N",
-                     "controller issue width over the banked device "
-                     "(1 = legacy serial)",
-                     &opt.mcBanks)
-        .optUnsigned("--mc-mshrs", "N",
-                     "outstanding-request registers (caps overlap)",
-                     &opt.mcMshrs)
         .flag("--stats", "dump the stat tree", &opt.stats)
         .flag("--json", "dump the stat tree as JSON", &opt.json)
         .opt("--trace-out", "FILE", "capture MC trace", &opt.traceOut)
@@ -209,33 +201,6 @@ parseArgs(int argc, char **argv, Options &opt)
               "contention profiler: queueing attribution + bottleneck "
               "report section (observation only)",
               &opt.profile)
-        .custom("--audit-filter", "{off|all|G1,G2,...}",
-                "audit-log ride-along predicate (per GroupID)",
-                [&opt](const std::string &v) {
-                    SecParams probe;
-                    if (v != "off" && !parseAuditFilter(v, probe)) {
-                        std::fprintf(stderr,
-                                     "bad --audit-filter '%s'\n",
-                                     v.c_str());
-                        return false;
-                    }
-                    opt.auditFilter = v;
-                    return true;
-                })
-        .custom("--persist-domain", "{adr|eadr}",
-                "persistence-domain boundary (eADR covers the caches)",
-                [&opt](const std::string &v) {
-                    if (!parsePersistDomain(v, opt.persistDomain)) {
-                        std::fprintf(stderr,
-                                     "bad --persist-domain '%s'\n",
-                                     v.c_str());
-                        return false;
-                    }
-                    return true;
-                })
-        .optU64("--backup-flush-budget", "LINES",
-                "eADR backup-power energy budget (0 = unbounded)",
-                &opt.backupFlushBudget)
         .opt("--report", "FILE", "machine-readable run report",
              &opt.reportOut)
         .opt("--trace-events", "FILE", "Chrome trace_event JSON",
@@ -248,6 +213,7 @@ parseArgs(int argc, char **argv, Options &opt)
              &opt.metricsProm)
         .flag("--list-workloads", "print workload names and exit",
               &opt.listWorkloads);
+    cli::addMcOptions(p, opt.mc);
     return p.parse(argc, argv);
 }
 
@@ -261,17 +227,12 @@ configFrom(const Options &opt)
         cfg.sec.metadataCacheBytes = opt.metadataCacheKb << 10;
     if (opt.stopLoss != 0xffffffff)
         cfg.sec.osirisStopLoss = opt.stopLoss;
-    if (opt.mcBanks)
-        cfg.pcm.mcBanks = opt.mcBanks;
-    if (opt.mcMshrs)
-        cfg.pcm.mcMshrs = opt.mcMshrs;
     cfg.fastForward = opt.fastForward;
     cfg.profile = opt.profile;
-    cfg.sec.persistDomain = opt.persistDomain;
-    cfg.sec.backupFlushBudgetLines = opt.backupFlushBudget;
-    if (!opt.auditFilter.empty() && opt.auditFilter != "off") {
-        parseAuditFilter(opt.auditFilter, cfg.sec);
-        cfg.layout.auditLogBytes = auditLogDefaultBytes;
+    std::string err;
+    if (!opt.mc.applyTo(cfg, err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        std::exit(2);
     }
     return cfg;
 }
@@ -313,6 +274,26 @@ latencyJsonOf(const SecureMemoryController &mc)
     return trimmed(os.str());
 }
 
+/** Machine-level latency view: per-shard histograms merged. */
+std::string
+latencyJsonOf(const McRouter &router)
+{
+    std::ostringstream os;
+    report::JsonWriter w(os);
+    w.beginObject();
+    report::writeHistogram(w, "read", router.readLatencyHistogram());
+    report::writeHistogram(w, "write",
+                           router.writeLatencyHistogram());
+    w.beginObject("components");
+    for (unsigned c = 0; c < SecureMemoryController::numMcComponents;
+         ++c)
+        report::writeHistogram(w, trace::componentName(c),
+                               router.componentHistogram(c));
+    w.endObject();
+    w.endObject();
+    return trimmed(os.str());
+}
+
 void
 writeConfig(report::JsonWriter &w, const Options &opt,
             const SimConfig &cfg)
@@ -329,6 +310,10 @@ writeConfig(report::JsonWriter &w, const Options &opt,
             static_cast<std::uint64_t>(cfg.sec.osirisStopLoss));
     w.field("mc_banks", static_cast<std::uint64_t>(cfg.pcm.mcBanks));
     w.field("mc_mshrs", static_cast<std::uint64_t>(cfg.pcm.mcMshrs));
+    // Additive: unsharded reports stay byte-identical.
+    if (cfg.pcm.mcShards > 1)
+        w.field("mc_shards",
+                static_cast<std::uint64_t>(cfg.pcm.mcShards));
     w.field("fast_forward", cfg.fastForward);
     w.field("persist_domain", persistDomainName(cfg.sec.persistDomain));
     // Additive: absent in ADR / audit-off reports (byte-identity of
@@ -356,8 +341,9 @@ writeRunReport(const std::string &path, const char *mode,
                const report::PersistStats &persist,
                const metrics::Sampler *sampler = nullptr,
                const metrics::Registry *metrics = nullptr,
-               const AuditLog *audit = nullptr,
-               const profile::Profiler *prof = nullptr)
+               const std::vector<const AuditLog *> *audits = nullptr,
+               const profile::Profiler *prof = nullptr,
+               const report::ShardsInfo *shards = nullptr)
 {
     std::ofstream os(path);
     if (!os)
@@ -388,10 +374,12 @@ writeRunReport(const std::string &path, const char *mode,
     if (metrics)
         report::writeMetricsSection(w, *metrics);
     report::writePersistSection(w, persist);
-    if (audit)
-        report::writeAuditSection(w, cfg.sec, *audit);
+    if (audits && !audits->empty())
+        report::writeAuditSection(w, cfg.sec, *audits);
     if (prof)
         report::writeProfileSection(w, *prof, r.ticks);
+    if (shards)
+        report::writeShardsSection(w, *shards);
     w.rawField("stats", stats_json);
     w.endObject();
     return os.good();
@@ -428,6 +416,12 @@ simMain(int argc, char **argv)
 
     // Trace replay mode: no OS/workload, just the memory system.
     if (!opt.replayIn.empty()) {
+        if (cfg.pcm.mcShards > 1) {
+            std::fprintf(stderr, "--mc-shards applies to workload "
+                                 "runs; replay drives a single "
+                                 "controller\n");
+            return 2;
+        }
         MemTrace mt;
         if (!mt.load(opt.replayIn)) {
             std::fprintf(stderr, "cannot load trace '%s'\n",
@@ -530,7 +524,7 @@ simMain(int argc, char **argv)
     System sys(cfg);
     MemTrace mt;
     if (!opt.traceOut.empty())
-        sys.mc().setTraceCapture(&mt);
+        sys.router().setTraceCapture(&mt);
     std::unique_ptr<trace::Tracer> tracer;
     if (!opt.traceEventsOut.empty()) {
         tracer = std::make_unique<trace::Tracer>();
@@ -554,10 +548,12 @@ simMain(int argc, char **argv)
     auto workload = it->second(opt);
     WorkloadResult r = runWorkload(sys, *workload);
 
-    // Clean end-of-run: park nothing in the audit WCB (a trailing
-    // half line is zero-padded, which the scanner reads as EOF).
-    if (sys.mc().auditLog())
-        sys.mc().auditLog()->drain(sys.now());
+    // Clean end-of-run: park nothing in any shard's audit WCB (a
+    // trailing half line is zero-padded, which the scanner reads as
+    // EOF).
+    for (unsigned k = 0; k < sys.router().shardCount(); ++k)
+        if (AuditLog *al = sys.router().shard(k).auditLog())
+            al->drain(sys.now());
 
     if (sampler) {
         sampler->finish(sys.now());
@@ -583,7 +579,7 @@ simMain(int argc, char **argv)
     }
 
     if (!opt.traceOut.empty()) {
-        sys.mc().setTraceCapture(nullptr);
+        sys.router().setTraceCapture(nullptr);
         if (!mt.save(opt.traceOut)) {
             std::fprintf(stderr, "cannot write trace '%s'\n",
                          opt.traceOut.c_str());
@@ -595,22 +591,41 @@ simMain(int argc, char **argv)
     }
 
     if (!opt.reportOut.empty()) {
+        McRouter &router = sys.router();
         report::PersistStats persist;
         persist.domain = persistDomainName(cfg.sec.persistDomain);
-        persist.stopLossPersists = sys.mc().stopLossPersists();
+        persist.stopLossPersists = router.stopLossPersists();
         for (unsigned i = 0; i < cfg.cpu.numCores; ++i) {
             persist.clwbs += sys.core(i).clwbs_.value();
             persist.fences += sys.core(i).fences_.value();
         }
-        persist.backupFlushLines = sys.mc().backupFlushLines();
-        persist.backupFlushDropped = sys.mc().backupFlushDropped();
+        persist.backupFlushLines = router.backupFlushLines();
+        persist.backupFlushDropped = router.backupFlushDropped();
+        std::vector<const AuditLog *> audits;
+        for (unsigned k = 0; k < router.shardCount(); ++k)
+            if (const AuditLog *al = router.shard(k).auditLog())
+                audits.push_back(al);
+        profile::Profiler *prof = router.profiler();
+        report::ShardsInfo shards;
+        if (router.shardCount() > 1) {
+            shards.count = router.shardCount();
+            shards.serialTicks = sys.measuredShardSerialTicks();
+            shards.visibleTicks = sys.measuredShardVisibleTicks();
+            for (unsigned k = 0; k < shards.count; ++k)
+                shards.perShardBusy.push_back(
+                    sys.measuredShardBusyTicks(k));
+            if (prof)
+                shards.projectedSpeedup = prof->projectedSpeedup(
+                    shards.count, shards.perShardBusy);
+        }
         if (!writeRunReport(opt.reportOut, "workload", opt, cfg, r,
                             sys.measuredAttribution(),
-                            latencyJsonOf(sys.mc()),
+                            shards.count ? latencyJsonOf(router)
+                                         : latencyJsonOf(sys.mc()),
                             statsJsonOf(sys.statGroup()),
                             persist, sampler.get(), metricsReg.get(),
-                            sys.mc().auditLog(),
-                            sys.mc().profiler())) {
+                            &audits, prof,
+                            shards.count ? &shards : nullptr)) {
             std::fprintf(stderr, "cannot write report '%s'\n",
                          opt.reportOut.c_str());
             return 1;
